@@ -1,0 +1,141 @@
+#ifndef DIMQR_BENCH_COMMON_H_
+#define DIMQR_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "dimeval/benchmark.h"
+#include "linking/annotator.h"
+#include "mwp/augment.h"
+#include "solver/pipelines.h"
+
+/// \file common.h
+/// Shared fixtures for the table/figure reproduction binaries: the
+/// knowledge system (KB + linker + annotator), standard benchmark sizes,
+/// and the DimPerc model configuration. Every bench prints the measured
+/// values next to the paper's published numbers; EXPERIMENTS.md records
+/// both.
+
+namespace dimqr::benchutil {
+
+/// \brief The shared knowledge system.
+struct World {
+  std::shared_ptr<const kb::DimUnitKB> kb;
+  std::shared_ptr<const linking::UnitLinker> linker;
+  std::unique_ptr<linking::DimKsAnnotator> annotator;
+};
+
+inline const World& GetWorld() {
+  static const World* const kWorld = [] {
+    auto* world = new World();
+    world->kb = kb::DimUnitKB::Build().ValueOrDie();
+    world->linker = linking::UnitLinker::Build(world->kb).ValueOrDie();
+    world->annotator =
+        std::make_unique<linking::DimKsAnnotator>(world->linker);
+    return world;
+  }();
+  return *kWorld;
+}
+
+/// True when DIMQR_BENCH_FAST=1 (smaller datasets and training budgets for
+/// smoke runs).
+inline bool FastMode() {
+  const char* env = std::getenv("DIMQR_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+/// \brief The DimEval build used by tables VII/VIII.
+inline const dimeval::DimEvalBenchmark& GetDimEval() {
+  static const dimeval::DimEvalBenchmark* const kBench = [] {
+    dimeval::BenchmarkOptions options;
+    options.train_per_task = FastMode() ? 40 : 150;
+    options.test_per_task = FastMode() ? 20 : 60;
+    options.extraction_corpus_sentences = FastMode() ? 300 : 900;
+    return new dimeval::DimEvalBenchmark(
+        dimeval::BuildDimEval(GetWorld().kb, *GetWorld().annotator, options)
+            .ValueOrDie());
+  }();
+  return *kBench;
+}
+
+/// \brief The model architecture for DimPerc / LLaMA_IFT at bench scale.
+inline solver::Seq2SeqConfig BenchModelConfig() {
+  solver::Seq2SeqConfig config;
+  config.arch.d_model = 64;
+  config.arch.n_heads = 4;
+  config.arch.n_layers = 3;
+  config.arch.d_ff = 192;
+  config.arch.max_seq = 160;
+  config.batch_size = 8;
+  config.learning_rate = 2e-3;
+  config.max_generated_tokens = 64;
+  return config;
+}
+
+/// Epochs for DimEval fine-tuning.
+inline int DimEvalEpochs() { return FastMode() ? 2 : 6; }
+/// Epochs for MWP fine-tuning (override with DIMQR_MWP_EPOCHS).
+inline int MwpEpochs() {
+  if (const char* env = std::getenv("DIMQR_MWP_EPOCHS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return FastMode() ? 2 : 5;
+}
+
+/// \brief MWP dataset sizes: paper evaluates 225 test problems per
+/// dataset (Table VI).
+inline int MwpTestCount() { return FastMode() ? 40 : 225; }
+inline int MwpTrainCount() { return FastMode() ? 80 : 320; }
+
+/// \brief Builds the four evaluation datasets of Table VI/IX: N-Math23k,
+/// N-Ape210k and their Q-MWP extensions.
+struct MwpDatasets {
+  std::vector<mwp::TemplatedProblem> n_math23k, n_ape210k;
+  std::vector<mwp::TemplatedProblem> q_math23k, q_ape210k;
+  // Matching training splits (distinct generator streams).
+  std::vector<mwp::TemplatedProblem> train_n_math23k, train_n_ape210k;
+  std::vector<mwp::TemplatedProblem> train_q_math23k, train_q_ape210k;
+};
+
+inline const MwpDatasets& GetMwpDatasets() {
+  static const MwpDatasets* const kDatasets = [] {
+    auto* d = new MwpDatasets();
+    const World& world = GetWorld();
+    mwp::MwpGenerator test_gen(world.kb, /*seed=*/20240131);
+    mwp::MwpGenerator train_gen(world.kb, /*seed=*/777);
+    int n_test = MwpTestCount();
+    int n_train = MwpTrainCount();
+    // Math23k style: mostly few-step; Ape210k style: multi-step heavy.
+    d->n_math23k =
+        test_gen.Generate("n_math23k", n_test, 0.22).ValueOrDie();
+    d->n_ape210k =
+        test_gen.Generate("n_ape210k", n_test, 0.60).ValueOrDie();
+    d->train_n_math23k =
+        train_gen.Generate("n_math23k", n_train, 0.22).ValueOrDie();
+    d->train_n_ape210k =
+        train_gen.Generate("n_ape210k", n_train, 0.60).ValueOrDie();
+    mwp::QMwpOptions q_options;
+    q_options.augmentation_rate = 1.0;
+    d->q_math23k = mwp::BuildQMwp(d->n_math23k, "q_math23k", *world.kb,
+                                  q_options)
+                       .ValueOrDie();
+    d->q_ape210k = mwp::BuildQMwp(d->n_ape210k, "q_ape210k", *world.kb,
+                                  q_options)
+                       .ValueOrDie();
+    q_options.seed = 778;
+    d->train_q_math23k =
+        mwp::BuildQMwp(d->train_n_math23k, "q_math23k", *world.kb, q_options)
+            .ValueOrDie();
+    d->train_q_ape210k =
+        mwp::BuildQMwp(d->train_n_ape210k, "q_ape210k", *world.kb, q_options)
+            .ValueOrDie();
+    return d;
+  }();
+  return *kDatasets;
+}
+
+}  // namespace dimqr::benchutil
+
+#endif  // DIMQR_BENCH_COMMON_H_

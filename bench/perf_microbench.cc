@@ -1,0 +1,111 @@
+// Google-benchmark micro-benchmarks over the core substrates, including
+// the DESIGN.md ablation of exact-rational vs double-only conversion
+// chains. These measure throughput; the table/figure binaries measure the
+// paper's experimental results.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "mwp/equation.h"
+#include "text/levenshtein.h"
+
+namespace {
+
+using namespace dimqr;
+
+void BM_DimensionTimes(benchmark::State& state) {
+  Dimension force = dims::Force();
+  Dimension velocity = dims::Velocity();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(force.Times(velocity));
+  }
+}
+BENCHMARK(BM_DimensionTimes);
+
+void BM_RationalConversionChain(benchmark::State& state) {
+  // mile -> yard -> foot -> inch -> centimetre, exactly.
+  Rational mile_to_yd = Rational::Of(1760, 1).ValueOrDie();
+  Rational yd_to_ft = Rational::Of(3, 1).ValueOrDie();
+  Rational ft_to_in = Rational::Of(12, 1).ValueOrDie();
+  Rational in_to_cm = Rational::Of(254, 100).ValueOrDie();
+  for (auto _ : state) {
+    Rational acc = Rational(1);
+    acc = acc.Mul(mile_to_yd).ValueOrDie();
+    acc = acc.Mul(yd_to_ft).ValueOrDie();
+    acc = acc.Mul(ft_to_in).ValueOrDie();
+    acc = acc.Mul(in_to_cm).ValueOrDie();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_RationalConversionChain);
+
+void BM_DoubleConversionChain(benchmark::State& state) {
+  // The ablation counterpart: double-only chain (fast but drifts).
+  for (auto _ : state) {
+    double acc = 1.0;
+    acc *= 1760.0;
+    acc *= 3.0;
+    acc *= 12.0;
+    acc *= 2.54;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_DoubleConversionChain);
+
+void BM_KbFindBySurface(benchmark::State& state) {
+  const auto& world = benchutil::GetWorld();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.kb->FindBySurface("km"));
+    benchmark::DoNotOptimize(world.kb->FindBySurface("kilograms"));
+    benchmark::DoNotOptimize(world.kb->FindBySurface("千克"));
+  }
+}
+BENCHMARK(BM_KbFindBySurface);
+
+void BM_KbConversionFactor(benchmark::State& state) {
+  const auto& world = benchutil::GetWorld();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.kb->ConversionFactor("MI", "KiloM"));
+  }
+}
+BENCHMARK(BM_KbConversionFactor);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::LevenshteinSimilarity("kilometre per hour", "kilometer/hr"));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_UnitLinking(benchmark::State& state) {
+  const auto& world = benchutil::GetWorld();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.linker->Link("km/h", "the train travelled fast"));
+  }
+}
+BENCHMARK(BM_UnitLinking);
+
+void BM_AnnotateSentence(benchmark::State& state) {
+  const auto& world = benchutil::GetWorld();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.annotator->Annotate(
+        "LeBron James's height is 2.06 meters and Stephen Curry's height "
+        "is 188 cm"));
+  }
+}
+BENCHMARK(BM_AnnotateSentence);
+
+void BM_EquationParseEvaluate(benchmark::State& state) {
+  for (auto _ : state) {
+    mwp::Equation eq =
+        mwp::Equation::Parse("150*20%/5%-150").ValueOrDie();
+    benchmark::DoNotOptimize(eq.Evaluate().ValueOrDie());
+  }
+}
+BENCHMARK(BM_EquationParseEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

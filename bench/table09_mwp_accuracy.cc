@@ -1,0 +1,104 @@
+// Reproduces Table IX: accuracy on N-MWP and Q-MWP for the published
+// baselines (simulated) and our supervised models:
+//  - "LLaMa (sft)" analogue: the seq2seq model trained on N-MWP only —
+//    strong on N-*, weak on Q-* (the paper's point about N-MWP-trained
+//    models);
+//  - DimPerc: the same model trained on DimEval knowledge + Q-MWP
+//    augmented data — holds up on Q-* (RQ3).
+
+#include <iostream>
+
+#include "bench/common.h"
+#include "eval/table.h"
+#include "lm/mock_llm.h"
+
+int main() {
+  using namespace dimqr;
+  using eval::TablePrinter;
+  const benchutil::MwpDatasets& d = benchutil::GetMwpDatasets();
+  solver::Seq2SeqConfig config = benchutil::BenchModelConfig();
+
+  std::cout << "=== Table IX: accuracy on N-MWP and Q-MWP ===\n"
+            << "(LLM rows: calibrated simulators of the published numbers; "
+               "supervised rows: measured)\n\n";
+  TablePrinter table(
+      {"Model", "N-Math23k", "N-Ape210k", "Q-Math23k", "Q-Ape210k"});
+
+  for (const std::shared_ptr<lm::Model>& model : lm::BuildPaperBaselines()) {
+    lm::MockLlm* mock = dynamic_cast<lm::MockLlm*>(model.get());
+    if (mock == nullptr) continue;
+    // Only models with MWP profiles belong in Table IX.
+    if (mock->ProfileFor("n_math23k").precision == 0.25) continue;
+    std::cerr << "[table09] evaluating " << model->name() << "...\n";
+    table.AddRow({model->name(),
+                  TablePrinter::Pct(
+                      solver::EvaluateMwpAccuracy(*model, d.n_math23k)),
+                  TablePrinter::Pct(
+                      solver::EvaluateMwpAccuracy(*model, d.n_ape210k)),
+                  TablePrinter::Pct(
+                      solver::EvaluateMwpAccuracy(*model, d.q_math23k)),
+                  TablePrinter::Pct(
+                      solver::EvaluateMwpAccuracy(*model, d.q_ape210k))});
+  }
+  table.AddSeparator();
+
+  // N-MWP-only supervised baseline.
+  std::cerr << "[table09] training the N-MWP supervised baseline...\n";
+  std::vector<solver::SeqExample> n_train =
+      solver::MakeMwpExamples(d.train_n_math23k);
+  std::vector<solver::SeqExample> n_train2 =
+      solver::MakeMwpExamples(d.train_n_ape210k);
+  n_train.insert(n_train.end(), n_train2.begin(), n_train2.end());
+  // Q-MWP training pairs enter the vocabulary so the comparison is about
+  // training data, not token coverage.
+  std::vector<solver::SeqExample> q_train =
+      solver::MakeMwpExamples(d.train_q_math23k);
+  std::vector<solver::SeqExample> q_train2 =
+      solver::MakeMwpExamples(d.train_q_ape210k);
+  q_train.insert(q_train.end(), q_train2.begin(), q_train2.end());
+  auto n_model =
+      solver::Seq2SeqModel::Create("LLaMa-sft (N-MWP)", n_train, config,
+                                   q_train)
+          .ValueOrDie();
+  n_model->TrainEpochs(benchutil::MwpEpochs()).ValueOrDie();
+  table.AddRow({n_model->name(),
+                TablePrinter::Pct(
+                    solver::EvaluateMwpAccuracy(*n_model, d.n_math23k)),
+                TablePrinter::Pct(
+                    solver::EvaluateMwpAccuracy(*n_model, d.n_ape210k)),
+                TablePrinter::Pct(
+                    solver::EvaluateMwpAccuracy(*n_model, d.q_math23k)),
+                TablePrinter::Pct(
+                    solver::EvaluateMwpAccuracy(*n_model, d.q_ape210k))});
+
+  // DimPerc: trained on N-MWP + augmented Q-MWP data (Section V-B).
+  std::cerr << "[table09] training DimPerc (N+Q augmented)...\n";
+  std::vector<solver::SeqExample> dimperc_train = n_train;
+  dimperc_train.insert(dimperc_train.end(), q_train.begin(), q_train.end());
+  auto dimperc =
+      solver::Seq2SeqModel::Create("DimPerc (ours)", dimperc_train, config)
+          .ValueOrDie();
+  dimperc->TrainEpochs(benchutil::MwpEpochs()).ValueOrDie();
+  double dp_nm = solver::EvaluateMwpAccuracy(*dimperc, d.n_math23k);
+  double dp_na = solver::EvaluateMwpAccuracy(*dimperc, d.n_ape210k);
+  double dp_qm = solver::EvaluateMwpAccuracy(*dimperc, d.q_math23k);
+  double dp_qa = solver::EvaluateMwpAccuracy(*dimperc, d.q_ape210k);
+  table.AddRow({dimperc->name(), TablePrinter::Pct(dp_nm),
+                TablePrinter::Pct(dp_na), TablePrinter::Pct(dp_qm),
+                TablePrinter::Pct(dp_qa)});
+  table.Print(std::cout);
+
+  double base_qm = solver::EvaluateMwpAccuracy(*n_model, d.q_math23k);
+  double base_qa = solver::EvaluateMwpAccuracy(*n_model, d.q_ape210k);
+  std::cout << "\nShape checks:\n"
+            << "  DimPerc > N-MWP-trained baseline on Q-MWP: "
+            << (dp_qm > base_qm && dp_qa > base_qa ? "PRESERVED" : "VIOLATED")
+            << "\n  DimPerc retains N-MWP competence (within 10 pts of "
+               "baseline): "
+            << (dp_nm + 0.10 >=
+                        solver::EvaluateMwpAccuracy(*n_model, d.n_math23k)
+                    ? "PRESERVED"
+                    : "VIOLATED")
+            << "\n";
+  return 0;
+}

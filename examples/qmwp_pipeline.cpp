@@ -1,0 +1,69 @@
+// End-to-end Q-MWP pipeline (Section V): generate N-MWP problems, apply
+// the four Table V augmentation operators, inspect the gold equations with
+// their conversion factors, and score a solver with the calculator.
+//
+//   $ ./build/examples/qmwp_pipeline
+
+#include <iostream>
+
+#include "mwp/augment.h"
+#include "mwp/slotting.h"
+#include "mwp/stats.h"
+#include "solver/pipelines.h"
+
+int main() {
+  using namespace dimqr;
+  auto kb = kb::DimUnitKB::Build().ValueOrDie();
+
+  // 1. Generate N-MWP problems (Math23k style).
+  mwp::MwpGenerator generator(kb, /*seed=*/4242);
+  auto numeric = generator.Generate("n_demo", 60, 0.3).ValueOrDie();
+  std::cout << "N-MWP sample:\n  " << numeric[0].problem.text << "\n  gold: "
+            << numeric[0].problem.gold_equation.ToString() << " = "
+            << numeric[0].problem.answer << " "
+            << numeric[0].problem.question_surface << "\n\n";
+
+  // 2. Build the Q-MWP extension (Table V operators).
+  mwp::QMwpOptions options;
+  options.augmentation_rate = 1.0;
+  auto quantitative =
+      mwp::BuildQMwp(numeric, "q_demo", *kb, options).ValueOrDie();
+  for (const auto& tp : quantitative) {
+    if (tp.problem.augmentations.size() >= 2) {
+      std::cout << "Q-MWP sample (augmentations:";
+      for (const auto& a : tp.problem.augmentations) std::cout << ' ' << a;
+      std::cout << "):\n  " << tp.problem.text << "\n  gold: "
+                << tp.problem.gold_equation.ToString() << " = "
+                << tp.problem.answer << " " << tp.problem.question_surface
+                << "\n\n";
+      break;
+    }
+  }
+
+  // 3. Table VI-style statistics.
+  mwp::DatasetStats n_stats = mwp::ComputeStats(numeric, "n_demo");
+  mwp::DatasetStats q_stats = mwp::ComputeStats(quantitative, "q_demo");
+  std::cout << "units: " << n_stats.num_units << " (N) vs "
+            << q_stats.num_units << " (Q); mean ops " << n_stats.mean_ops
+            << " vs " << q_stats.mean_ops << "\n\n";
+
+  // 4. Train a small solver on the N problems and watch it struggle on Q.
+  solver::Seq2SeqConfig config;
+  config.arch.d_model = 48;
+  config.arch.n_heads = 4;
+  config.arch.n_layers = 2;
+  config.arch.d_ff = 128;
+  config.arch.max_seq = 128;
+  auto q_pairs = solver::MakeMwpExamples(quantitative);
+  auto model = solver::Seq2SeqModel::Create(
+                   "demo", solver::MakeMwpExamples(numeric), config, q_pairs)
+                   .ValueOrDie();
+  std::cout << "training a micro solver on the N-MWP pool...\n";
+  model->TrainEpochs(18).ValueOrDie();
+  double n_acc = solver::EvaluateMwpAccuracy(*model, numeric);
+  double q_acc = solver::EvaluateMwpAccuracy(*model, quantitative);
+  std::cout << "accuracy on N-MWP: " << n_acc * 100.0
+            << "%   on Q-MWP: " << q_acc * 100.0
+            << "%  (the Table IX gap in miniature)\n";
+  return 0;
+}

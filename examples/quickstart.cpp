@@ -1,0 +1,61 @@
+// Quickstart: build the knowledge system and ground quantities in text.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through the library's core loop: DimUnitKB construction, unit
+// linking, quantity annotation, dimension-law arithmetic and conversion.
+
+#include <iostream>
+
+#include "linking/annotator.h"
+
+int main() {
+  using namespace dimqr;
+
+  // 1. Build the dimensional unit knowledge base (Section III-A).
+  auto kb = kb::DimUnitKB::Build().ValueOrDie();
+  kb::KbStats stats = kb->Stats();
+  std::cout << "DimUnitKB: " << stats.num_units << " units, "
+            << stats.num_quantity_kinds << " quantity kinds, "
+            << stats.num_dimension_vectors << " dimension vectors\n\n";
+
+  // 2. Look up a unit and its Table II record.
+  const kb::UnitRecord* km = kb->FindById("KiloM").ValueOrDie();
+  std::cout << "KiloM: " << km->label_en << " / " << km->label_zh
+            << ", dimension " << km->dimension.ToFormula() << " ("
+            << km->dimension.ToVectorForm() << "), Freq=" << km->frequency
+            << "\n\n";
+
+  // 3. Build the unit linker + DimKS annotator (Section III-B).
+  auto linker = linking::UnitLinker::Build(kb).ValueOrDie();
+  linking::DimKsAnnotator annotator(linker);
+
+  // 4. Ground the paper's introduction example.
+  std::string text =
+      "LeBron James's height is 2.06 meters and Stephen Curry's height is "
+      "188 cm";
+  std::cout << "Text: " << text << "\n";
+  auto annotations = annotator.Annotate(text);
+  std::vector<Quantity> quantities;
+  for (const auto& ann : annotations) {
+    Quantity q = annotator.ToQuantity(ann).ValueOrDie();
+    std::cout << "  found " << q << "  (unit "
+              << (ann.HasUnit() ? ann.unit->id : "none") << ", dim "
+              << q.dimension().ToFormula() << ")\n";
+    quantities.push_back(q);
+  }
+
+  // 5. The dimension law in action: compare across units.
+  int cmp = quantities[0].Compare(quantities[1]).ValueOrDie();
+  std::cout << "\n2.06 m vs 188 cm: " << (cmp > 0 ? "first" : "second")
+            << " is larger -> LeBron James is taller.\n";
+
+  // 6. Exact conversion (Definition 8).
+  double factor = kb->ConversionFactor("MI", "KiloM").ValueOrDie();
+  std::cout << "1 mile = " << factor << " kilometres (exact: "
+            << kb->FindById("MI")
+                   .ValueOrDie()
+                   ->exact_conversion->ToString()
+            << " m)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// The Figure 1 unit trap: a question mixes "poundal" (dimension LMT-2)
+// with "dyn/cm" (dimension MT-2). ChatGPT converted between them as if
+// they were compatible; dimension perception catches the trap.
+//
+//   $ ./build/examples/unit_trap
+
+#include <iostream>
+
+#include "linking/annotator.h"
+
+int main() {
+  using namespace dimqr;
+  auto kb = kb::DimUnitKB::Build().ValueOrDie();
+  auto linker = linking::UnitLinker::Build(kb).ValueOrDie();
+  linking::DimKsAnnotator annotator(linker);
+
+  std::string question =
+      "A force of 0.1 poundal is applied while the surface tension is "
+      "5 dyn/cm . Convert the force into dyn/cm .";
+  std::cout << "Question: " << question << "\n\n";
+
+  auto annotations = annotator.Annotate(question);
+  for (const auto& ann : annotations) {
+    if (!ann.HasUnit()) continue;
+    std::cout << "  quantity: " << ann.number.value << " " << ann.unit_text
+              << "  -> linked to " << ann.unit->id << ", dimension "
+              << ann.unit->dimension.ToFormula() << " ("
+              << ann.unit->dimension.ToVectorForm() << ")\n";
+  }
+
+  const kb::UnitRecord* poundal = kb->FindById("POUNDAL").ValueOrDie();
+  const kb::UnitRecord* dyn_cm = kb->FindById("DYN-PER-CentiM").ValueOrDie();
+  std::cout << "\nDimension check: dim(poundal) = "
+            << poundal->dimension.ToFormula() << ", dim(dyn/cm) = "
+            << dyn_cm->dimension.ToFormula() << "\n";
+
+  Result<double> conversion =
+      poundal->Semantics().ConversionFactorTo(dyn_cm->Semantics());
+  if (!conversion.ok()) {
+    std::cout << "Conversion rejected: " << conversion.status() << "\n"
+              << "\nVerdict: the question contains a UNIT TRAP — poundal "
+                 "(a force) cannot be converted\ninto dyn/cm (a force per "
+                 "length). The dimension law blocks the bogus inference\n"
+                 "that tripped the LLM in Fig. 1.\n";
+  } else {
+    std::cout << "Unexpectedly converted with factor " << *conversion << "\n";
+  }
+
+  // What WOULD be legal: poundal -> dyne (both LMT-2).
+  double to_dyne = kb->ConversionFactor("POUNDAL", "DYN").ValueOrDie();
+  std::cout << "\nA legal conversion instead: 0.1 poundal = "
+            << 0.1 * to_dyne << " dyne.\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Runs every table/figure reproduction binary plus the micro-benchmarks,
+# in experiment order, writing the combined log to bench_output.txt.
+cd "$(dirname "$0")"
+{
+  for b in table04_kb_stats fig03_unit_frequency fig04_quantity_kinds \
+           table06_dataset_stats table07_dimeval table08_dimperc_vs_base \
+           table09_mwp_accuracy fig06_augmentation_rate \
+           fig07_tokenization_ablation perf_microbench; do
+    echo "############################################################"
+    echo "### $b"
+    echo "############################################################"
+    ./build/bench/$b 2>&1
+    echo
+  done
+} | tee bench_output.txt

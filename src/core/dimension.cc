@@ -1,0 +1,303 @@
+#include "core/dimension.h"
+
+#include <cctype>
+
+namespace dimqr {
+namespace {
+
+// Symbols in exponent-array order (paper vector form A.E.L.I.M.H.T).
+constexpr char kSymbols[kNumBaseDims] = {'A', 'E', 'L', 'I', 'M', 'H', 'T'};
+
+constexpr std::string_view kQuantityNames[kNumBaseDims] = {
+    "Amount of Substance", "Electric Current",          "Length",
+    "Luminous Intensity",  "Mass",                      "Thermodynamic Temperature",
+    "Time"};
+
+constexpr std::string_view kUnitNames[kNumBaseDims] = {
+    "mole", "ampere", "metre", "candela", "kilogram", "kelvin", "second"};
+
+constexpr std::string_view kUnitSymbols[kNumBaseDims] = {
+    "mol", "A", "m", "cd", "kg", "K", "s"};
+
+// Paper formula order L M H E T A I (Section II-A).
+constexpr BaseDim kFormulaOrder[kNumBaseDims] = {
+    BaseDim::kLength,          BaseDim::kMass,
+    BaseDim::kTemperature,     BaseDim::kElectricCurrent,
+    BaseDim::kTime,            BaseDim::kAmountOfSubstance,
+    BaseDim::kLuminousIntensity};
+
+int SymbolToIndex(char c) {
+  for (int i = 0; i < kNumBaseDims; ++i) {
+    if (kSymbols[i] == c) return i;
+  }
+  return -1;
+}
+
+bool InInt8Range(int v) { return v >= -128 && v <= 127; }
+
+}  // namespace
+
+char BaseDimSymbol(BaseDim dim) {
+  return kSymbols[static_cast<std::size_t>(dim)];
+}
+
+std::string_view BaseDimQuantityName(BaseDim dim) {
+  return kQuantityNames[static_cast<std::size_t>(dim)];
+}
+
+std::string_view BaseDimUnitName(BaseDim dim) {
+  return kUnitNames[static_cast<std::size_t>(dim)];
+}
+
+std::string_view BaseDimUnitSymbol(BaseDim dim) {
+  return kUnitSymbols[static_cast<std::size_t>(dim)];
+}
+
+Dimension Dimension::Base(BaseDim dim, int exponent) {
+  Dimension d;
+  d.exp_[static_cast<std::size_t>(dim)] = static_cast<std::int8_t>(exponent);
+  return d;
+}
+
+Result<Dimension> Dimension::FromExponents(
+    const std::array<int, kNumBaseDims>& e) {
+  Dimension d;
+  for (int i = 0; i < kNumBaseDims; ++i) {
+    if (!InInt8Range(e[i])) {
+      return Status::OutOfRange("dimension exponent out of int8 range");
+    }
+    d.exp_[i] = static_cast<std::int8_t>(e[i]);
+  }
+  return d;
+}
+
+Result<Dimension> Dimension::ParseVectorForm(std::string_view text) {
+  Dimension d;
+  std::array<bool, kNumBaseDims> seen{};
+  int d_flag = -1;  // -1: absent
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char sym = text[i++];
+    bool is_d = sym == 'D';
+    int idx = is_d ? -1 : SymbolToIndex(sym);
+    if (!is_d && idx < 0) {
+      return Status::ParseError(std::string("unknown dimension symbol '") +
+                                sym + "'");
+    }
+    bool neg = false;
+    if (i < text.size() && (text[i] == '-' || text[i] == '+')) {
+      neg = text[i] == '-';
+      ++i;
+    }
+    if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return Status::ParseError("missing exponent in dimension vector");
+    }
+    int v = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      v = v * 10 + (text[i] - '0');
+      if (v > 128) return Status::OutOfRange("dimension exponent overflows");
+      ++i;
+    }
+    if (neg) v = -v;
+    if (!InInt8Range(v)) {
+      return Status::OutOfRange("dimension exponent overflows");
+    }
+    if (is_d) {
+      if (d_flag != -1) return Status::ParseError("duplicate D component");
+      if (v != 0 && v != 1) {
+        return Status::ParseError("D component must be 0 or 1");
+      }
+      d_flag = v;
+    } else {
+      if (seen[idx]) {
+        return Status::ParseError(std::string("duplicate dimension symbol '") +
+                                  sym + "'");
+      }
+      seen[idx] = true;
+      d.exp_[idx] = static_cast<std::int8_t>(v);
+    }
+  }
+  if (d_flag != -1) {
+    bool dimensionless = d.IsDimensionless();
+    if (d_flag == 1 && !dimensionless) {
+      return Status::ParseError("D1 with non-zero physical exponents");
+    }
+    if (d_flag == 0 && dimensionless) {
+      return Status::ParseError("D0 with all-zero physical exponents");
+    }
+  }
+  return d;
+}
+
+Result<Dimension> Dimension::ParseFormula(std::string_view text) {
+  Dimension d;
+  std::size_t i = 0;
+  bool any = false;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == '*' || c == '.') {
+      ++i;
+      continue;
+    }
+    if (c == 'D') {
+      // Dimensionless marker; only valid alone.
+      ++i;
+      any = true;
+      continue;
+    }
+    int idx = SymbolToIndex(c);
+    if (idx < 0) {
+      return Status::ParseError(std::string("unknown dimension symbol '") + c +
+                                "' in formula");
+    }
+    ++i;
+    any = true;
+    int v = 1;
+    if (i < text.size() &&
+        (text[i] == '^' || text[i] == '-' || text[i] == '+' ||
+         std::isdigit(static_cast<unsigned char>(text[i])))) {
+      if (text[i] == '^') ++i;
+      bool neg = false;
+      if (i < text.size() && (text[i] == '-' || text[i] == '+')) {
+        neg = text[i] == '-';
+        ++i;
+      }
+      if (i >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[i]))) {
+        return Status::ParseError("missing exponent after sign in formula");
+      }
+      v = 0;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        v = v * 10 + (text[i] - '0');
+        if (v > 128) return Status::OutOfRange("formula exponent overflows");
+        ++i;
+      }
+      if (neg) v = -v;
+      if (!InInt8Range(v)) {
+        return Status::OutOfRange("formula exponent overflows");
+      }
+    }
+    int cur = d.exp_[idx] + v;
+    if (!InInt8Range(cur)) {
+      return Status::OutOfRange("formula exponent overflows");
+    }
+    d.exp_[idx] = static_cast<std::int8_t>(cur);
+  }
+  if (!any) return Status::ParseError("empty dimension formula");
+  return d;
+}
+
+bool Dimension::IsDimensionless() const {
+  for (int i = 0; i < kNumBaseDims; ++i) {
+    if (exp_[i] != 0) return false;
+  }
+  return true;
+}
+
+Result<Dimension> Dimension::Times(const Dimension& other) const {
+  Dimension out;
+  for (int i = 0; i < kNumBaseDims; ++i) {
+    int v = exp_[i] + other.exp_[i];
+    if (!InInt8Range(v)) {
+      return Status::OutOfRange("dimension product exponent overflows");
+    }
+    out.exp_[i] = static_cast<std::int8_t>(v);
+  }
+  return out;
+}
+
+Result<Dimension> Dimension::Over(const Dimension& other) const {
+  return Times(other.Inverse());
+}
+
+Result<Dimension> Dimension::Power(int k) const {
+  Dimension out;
+  for (int i = 0; i < kNumBaseDims; ++i) {
+    int v = exp_[i] * k;
+    if (!InInt8Range(v)) {
+      return Status::OutOfRange("dimension power exponent overflows");
+    }
+    out.exp_[i] = static_cast<std::int8_t>(v);
+  }
+  return out;
+}
+
+Dimension Dimension::Inverse() const {
+  Dimension out;
+  for (int i = 0; i < kNumBaseDims; ++i) {
+    out.exp_[i] = static_cast<std::int8_t>(-exp_[i]);
+  }
+  return out;
+}
+
+std::string Dimension::ToVectorForm() const {
+  std::string out;
+  for (int i = 0; i < kNumBaseDims; ++i) {
+    out += kSymbols[i];
+    out += std::to_string(static_cast<int>(exp_[i]));
+  }
+  out += 'D';
+  out += IsDimensionless() ? '1' : '0';
+  return out;
+}
+
+std::string Dimension::ToFormula() const {
+  if (IsDimensionless()) return "D";
+  std::string out;
+  for (BaseDim bd : kFormulaOrder) {
+    int e = exponent(bd);
+    if (e == 0) continue;
+    out += BaseDimSymbol(bd);
+    if (e != 1) out += std::to_string(e);
+  }
+  return out;
+}
+
+std::uint64_t Dimension::PackedKey() const {
+  std::uint64_t key = 0;
+  for (int i = 0; i < kNumBaseDims; ++i) {
+    key = (key << 8) | static_cast<std::uint8_t>(exp_[i]);
+  }
+  return key;
+}
+
+std::ostream& operator<<(std::ostream& os, const Dimension& d) {
+  return os << d.ToFormula();
+}
+
+namespace dims {
+
+Dimension Dimensionless() { return Dimension(); }
+Dimension Length() { return Dimension::Base(BaseDim::kLength); }
+Dimension Mass() { return Dimension::Base(BaseDim::kMass); }
+Dimension Time() { return Dimension::Base(BaseDim::kTime); }
+Dimension Current() { return Dimension::Base(BaseDim::kElectricCurrent); }
+Dimension Temperature() { return Dimension::Base(BaseDim::kTemperature); }
+Dimension Amount() { return Dimension::Base(BaseDim::kAmountOfSubstance); }
+Dimension LuminousIntensity() {
+  return Dimension::Base(BaseDim::kLuminousIntensity);
+}
+Dimension Area() { return Dimension::Base(BaseDim::kLength, 2); }
+Dimension Volume() { return Dimension::Base(BaseDim::kLength, 3); }
+Dimension Velocity() {
+  return Length().Times(Dimension::Base(BaseDim::kTime, -1)).ValueOrDie();
+}
+Dimension Acceleration() {
+  return Length().Times(Dimension::Base(BaseDim::kTime, -2)).ValueOrDie();
+}
+Dimension Force() { return Mass().Times(Acceleration()).ValueOrDie(); }
+Dimension Pressure() { return Force().Over(Area()).ValueOrDie(); }
+Dimension Energy() { return Force().Times(Length()).ValueOrDie(); }
+Dimension Power() {
+  return Energy().Over(Dimension::Base(BaseDim::kTime)).ValueOrDie();
+}
+Dimension Frequency() { return Dimension::Base(BaseDim::kTime, -1); }
+Dimension Density() { return Mass().Over(Volume()).ValueOrDie(); }
+Dimension VolumeFlowRate() {
+  return Volume().Over(Dimension::Base(BaseDim::kTime)).ValueOrDie();
+}
+Dimension ForcePerLength() { return Force().Over(Length()).ValueOrDie(); }
+
+}  // namespace dims
+}  // namespace dimqr

@@ -1,0 +1,175 @@
+#ifndef DIMQR_CORE_DIMENSION_H_
+#define DIMQR_CORE_DIMENSION_H_
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+/// \file dimension.h
+/// Dimension vectors per Section II-A / Table III of the paper.
+///
+/// Every quantity q has a dimensional formula
+///   dim(q) = L^a M^b H^g E^s T^e A^z I^n
+/// over the seven SI base quantities. DimUnitKB additionally records a
+/// pseudo-axis D that flags dimensionless units, giving the vector form
+/// "A0E0L0I0M1H0T-2D0" used throughout the paper. Here D is derived: a
+/// dimension is dimensionless iff all seven physical exponents are zero.
+
+namespace dimqr {
+
+/// \brief Index of each base dimension inside Dimension's exponent array.
+///
+/// The array order follows the paper's vector form "A.E.L.I.M.H.T.D"
+/// (Table III row order), minus the derived D axis.
+enum class BaseDim : std::uint8_t {
+  kAmountOfSubstance = 0,  ///< A — mole
+  kElectricCurrent = 1,    ///< E — ampere
+  kLength = 2,             ///< L — metre
+  kLuminousIntensity = 3,  ///< I — candela
+  kMass = 4,               ///< M — kilogram
+  kTemperature = 5,        ///< H — kelvin
+  kTime = 6,               ///< T — second
+};
+
+/// Number of physical base dimensions (excludes the derived D flag).
+inline constexpr int kNumBaseDims = 7;
+
+/// The single-letter symbol of a base dimension ('A','E','L','I','M','H','T').
+char BaseDimSymbol(BaseDim dim);
+
+/// The fundamental quantity name, e.g. "Length" for BaseDim::kLength.
+std::string_view BaseDimQuantityName(BaseDim dim);
+
+/// The SI base unit name, e.g. "metre" for BaseDim::kLength.
+std::string_view BaseDimUnitName(BaseDim dim);
+
+/// The SI base unit symbol, e.g. "m" for BaseDim::kLength.
+std::string_view BaseDimUnitSymbol(BaseDim dim);
+
+/// \brief A dimension vector: seven integer exponents over the SI base
+/// quantities.
+///
+/// Value type with group structure: dimensions multiply by adding exponents
+/// (Times), divide by subtracting (Over), and raise to integer powers.
+/// Exponents are int8 and arithmetic is saturating-checked: operations that
+/// would leave the int8 range return OutOfRange.
+class Dimension {
+ public:
+  /// The dimensionless dimension (all exponents zero).
+  constexpr Dimension() : exp_{} {}
+
+  /// \brief A dimension with a single base exponent, e.g. Base(kLength) == L.
+  static Dimension Base(BaseDim dim, int exponent = 1);
+
+  /// \brief Builds a dimension from all seven exponents in paper vector order
+  /// (A, E, L, I, M, H, T). Returns OutOfRange if any exponent exceeds int8.
+  static Result<Dimension> FromExponents(const std::array<int, kNumBaseDims>& e);
+
+  /// \brief Parses the KB vector form, e.g. "A0E0L1I0M1H0T-2D0".
+  ///
+  /// The trailing D component is validated against the seven physical
+  /// exponents (D1 requires all-zero, D0 requires at least one non-zero) and
+  /// may be omitted. Returns ParseError on malformed input.
+  static Result<Dimension> ParseVectorForm(std::string_view text);
+
+  /// \brief Parses a compact formula like "LMT-2", "L3T-1", or "M T^-2".
+  ///
+  /// Accepts optional '^' before exponents and optional whitespace between
+  /// factors. Returns ParseError on malformed input.
+  static Result<Dimension> ParseFormula(std::string_view text);
+
+  /// The exponent of one base dimension.
+  int exponent(BaseDim dim) const {
+    return exp_[static_cast<std::size_t>(dim)];
+  }
+
+  /// True iff all seven exponents are zero (the paper's D axis).
+  bool IsDimensionless() const;
+
+  /// \brief Product of dimensions: exponents add. dim(u1*u2).
+  Result<Dimension> Times(const Dimension& other) const;
+
+  /// \brief Quotient of dimensions: exponents subtract. dim(u1/u2).
+  Result<Dimension> Over(const Dimension& other) const;
+
+  /// \brief Integer power: exponents scale. dim(u^k).
+  Result<Dimension> Power(int k) const;
+
+  /// The inverse dimension (all exponents negated).
+  Dimension Inverse() const;
+
+  /// \brief The Dimension Law predicate: two quantities are comparable
+  /// (addable, subtractable, orderable) iff their dimensions are equal.
+  bool ComparableWith(const Dimension& other) const { return *this == other; }
+
+  /// \brief The KB vector form, e.g. "A0E0L1I0M1H0T-2D0" (always includes D).
+  std::string ToVectorForm() const;
+
+  /// \brief The compact formula in the paper's order L M H E T A I,
+  /// e.g. "LMT-2"; "D" for the dimensionless dimension.
+  std::string ToFormula() const;
+
+  /// \brief A 64-bit key unique per dimension (8 bits per exponent, biased).
+  /// Equal keys iff equal dimensions; used for hashing and O(1)
+  /// comparable-analysis.
+  std::uint64_t PackedKey() const;
+
+  friend bool operator==(const Dimension& a, const Dimension& b) {
+    return a.exp_ == b.exp_;
+  }
+  friend bool operator!=(const Dimension& a, const Dimension& b) {
+    return !(a == b);
+  }
+  /// Arbitrary-but-total order (by packed key) for use in ordered containers.
+  friend bool operator<(const Dimension& a, const Dimension& b) {
+    return a.PackedKey() < b.PackedKey();
+  }
+
+ private:
+  std::array<std::int8_t, kNumBaseDims> exp_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Dimension& d);
+
+/// \brief Hash functor for Dimension (usable with std::unordered_map).
+struct DimensionHash {
+  std::size_t operator()(const Dimension& d) const {
+    // splitmix64 finalizer over the packed key.
+    std::uint64_t x = d.PackedKey() + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+namespace dims {
+/// Convenience constructors for the dimensions used across the library.
+Dimension Dimensionless();
+Dimension Length();
+Dimension Mass();
+Dimension Time();
+Dimension Current();
+Dimension Temperature();
+Dimension Amount();
+Dimension LuminousIntensity();
+Dimension Area();          ///< L^2
+Dimension Volume();        ///< L^3
+Dimension Velocity();      ///< L T^-1
+Dimension Acceleration();  ///< L T^-2
+Dimension Force();         ///< L M T^-2
+Dimension Pressure();      ///< L^-1 M T^-2
+Dimension Energy();        ///< L^2 M T^-2
+Dimension Power();         ///< L^2 M T^-3
+Dimension Frequency();     ///< T^-1
+Dimension Density();       ///< L^-3 M
+Dimension VolumeFlowRate();///< L^3 T^-1
+Dimension ForcePerLength();///< M T^-2
+}  // namespace dims
+
+}  // namespace dimqr
+
+#endif  // DIMQR_CORE_DIMENSION_H_

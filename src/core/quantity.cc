@@ -1,0 +1,234 @@
+#include "core/quantity.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dimqr {
+namespace {
+
+std::string ComposedLabel(const std::string& a, const std::string& b,
+                          char op) {
+  if (a.empty() && b.empty()) return "";
+  if (a.empty()) return op == '*' ? b : "1/" + b;
+  if (b.empty()) return a;
+  return a + op + b;
+}
+
+}  // namespace
+
+UnitSemantics UnitSemantics::Dimensionless() {
+  UnitSemantics u;
+  u.dimension = Dimension();
+  return u;
+}
+
+UnitSemantics UnitSemantics::SiCoherent(const Dimension& dim,
+                                        std::string label) {
+  UnitSemantics u;
+  u.dimension = dim;
+  u.label = std::move(label);
+  return u;
+}
+
+UnitSemantics UnitSemantics::Linear(const Dimension& dim,
+                                    const Rational& scale, std::string label) {
+  UnitSemantics u;
+  u.dimension = dim;
+  u.scale = scale.ToDouble();
+  u.exact_scale = scale;
+  u.label = std::move(label);
+  return u;
+}
+
+UnitSemantics UnitSemantics::LinearInexact(const Dimension& dim, double scale,
+                                           std::string label) {
+  UnitSemantics u;
+  u.dimension = dim;
+  u.scale = scale;
+  u.exact_scale.reset();
+  u.label = std::move(label);
+  return u;
+}
+
+UnitSemantics UnitSemantics::Affine(const Dimension& dim,
+                                    const Rational& scale, double offset,
+                                    std::string label) {
+  UnitSemantics u;
+  u.dimension = dim;
+  u.scale = scale.ToDouble();
+  u.exact_scale = scale;
+  u.offset = offset;
+  u.label = std::move(label);
+  return u;
+}
+
+Result<UnitSemantics> UnitSemantics::Times(const UnitSemantics& other) const {
+  if (IsAffine() || other.IsAffine()) {
+    return Status::InvalidArgument(
+        "cannot compose affine units multiplicatively");
+  }
+  UnitSemantics out;
+  DIMQR_ASSIGN_OR_RETURN(out.dimension, dimension.Times(other.dimension));
+  out.scale = scale * other.scale;
+  if (exact_scale && other.exact_scale) {
+    Result<Rational> exact = exact_scale->Mul(*other.exact_scale);
+    if (exact.ok()) {
+      out.exact_scale = *exact;
+    } else {
+      out.exact_scale.reset();
+    }
+  } else {
+    out.exact_scale.reset();
+  }
+  out.label = ComposedLabel(label, other.label, '*');
+  return out;
+}
+
+Result<UnitSemantics> UnitSemantics::Over(const UnitSemantics& other) const {
+  if (IsAffine() || other.IsAffine()) {
+    return Status::InvalidArgument(
+        "cannot compose affine units multiplicatively");
+  }
+  if (other.scale == 0.0) {
+    return Status::InvalidArgument("unit with zero scale");
+  }
+  UnitSemantics out;
+  DIMQR_ASSIGN_OR_RETURN(out.dimension, dimension.Over(other.dimension));
+  out.scale = scale / other.scale;
+  if (exact_scale && other.exact_scale) {
+    Result<Rational> exact = exact_scale->Div(*other.exact_scale);
+    if (exact.ok()) {
+      out.exact_scale = *exact;
+    } else {
+      out.exact_scale.reset();
+    }
+  } else {
+    out.exact_scale.reset();
+  }
+  out.label = ComposedLabel(label, other.label, '/');
+  return out;
+}
+
+Result<UnitSemantics> UnitSemantics::Power(int k) const {
+  if (IsAffine()) {
+    return Status::InvalidArgument("cannot raise an affine unit to a power");
+  }
+  UnitSemantics out;
+  DIMQR_ASSIGN_OR_RETURN(out.dimension, dimension.Power(k));
+  out.scale = std::pow(scale, k);
+  if (exact_scale) {
+    Result<Rational> exact = exact_scale->Pow(k);
+    if (exact.ok()) {
+      out.exact_scale = *exact;
+    } else {
+      out.exact_scale.reset();
+    }
+  } else {
+    out.exact_scale.reset();
+  }
+  if (!label.empty()) {
+    out.label = label + "^" + std::to_string(k);
+  }
+  return out;
+}
+
+Result<double> UnitSemantics::ConversionFactorTo(
+    const UnitSemantics& target) const {
+  if (dimension != target.dimension) {
+    return Status::DimensionMismatch("units '" + label + "' (" +
+                                     dimension.ToFormula() + ") and '" +
+                                     target.label + "' (" +
+                                     target.dimension.ToFormula() +
+                                     ") are not comparable");
+  }
+  if (IsAffine() || target.IsAffine()) {
+    return Status::InvalidArgument(
+        "affine units have no single conversion factor");
+  }
+  if (target.scale == 0.0) {
+    return Status::InvalidArgument("target unit with zero scale");
+  }
+  return scale / target.scale;
+}
+
+Result<Rational> UnitSemantics::ExactConversionFactorTo(
+    const UnitSemantics& target) const {
+  DIMQR_RETURN_NOT_OK(ConversionFactorTo(target).status());
+  if (!exact_scale || !target.exact_scale) {
+    return Status::InvalidArgument("conversion factor has no exact form");
+  }
+  return exact_scale->Div(*target.exact_scale);
+}
+
+Result<Quantity> Quantity::ConvertTo(const UnitSemantics& target) const {
+  if (dimension() != target.dimension) {
+    return Status::DimensionMismatch(
+        "cannot convert " + unit_.dimension.ToFormula() + " to " +
+        target.dimension.ToFormula());
+  }
+  if (target.scale == 0.0) {
+    return Status::InvalidArgument("target unit with zero scale");
+  }
+  double si = SiValue();
+  double v = (si - target.offset) / target.scale;
+  return Quantity(v, target);
+}
+
+Result<Quantity> Quantity::Add(const Quantity& other) const {
+  if (dimension() != other.dimension()) {
+    return Status::DimensionMismatch(
+        "dimension law: cannot add " + dimension().ToFormula() + " and " +
+        other.dimension().ToFormula());
+  }
+  DIMQR_ASSIGN_OR_RETURN(Quantity rhs, other.ConvertTo(unit_));
+  return Quantity(value_ + rhs.value(), unit_);
+}
+
+Result<Quantity> Quantity::Sub(const Quantity& other) const {
+  if (dimension() != other.dimension()) {
+    return Status::DimensionMismatch(
+        "dimension law: cannot subtract " + other.dimension().ToFormula() +
+        " from " + dimension().ToFormula());
+  }
+  DIMQR_ASSIGN_OR_RETURN(Quantity rhs, other.ConvertTo(unit_));
+  return Quantity(value_ - rhs.value(), unit_);
+}
+
+Result<Quantity> Quantity::Mul(const Quantity& other) const {
+  DIMQR_ASSIGN_OR_RETURN(UnitSemantics u, unit_.Times(other.unit()));
+  return Quantity(value_ * other.value(), u);
+}
+
+Result<Quantity> Quantity::Div(const Quantity& other) const {
+  if (other.value() == 0.0) {
+    return Status::InvalidArgument("division by a zero quantity");
+  }
+  DIMQR_ASSIGN_OR_RETURN(UnitSemantics u, unit_.Over(other.unit()));
+  return Quantity(value_ / other.value(), u);
+}
+
+Result<int> Quantity::Compare(const Quantity& other) const {
+  if (dimension() != other.dimension()) {
+    return Status::DimensionMismatch(
+        "dimension law: cannot compare " + dimension().ToFormula() + " and " +
+        other.dimension().ToFormula());
+  }
+  double a = SiValue();
+  double b = other.SiValue();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+std::string Quantity::ToString() const {
+  std::ostringstream os;
+  os << value_;
+  if (!unit_.label.empty()) os << ' ' << unit_.label;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Quantity& q) {
+  return os << q.ToString();
+}
+
+}  // namespace dimqr

@@ -1,0 +1,128 @@
+#ifndef DIMQR_CORE_QUANTITY_H_
+#define DIMQR_CORE_QUANTITY_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "core/dimension.h"
+#include "core/rational.h"
+#include "core/status.h"
+
+/// \file quantity.h
+/// Grounded values (quantities) and unit semantics.
+///
+/// Following Section I of the paper: an *abstract value* is a bare number; a
+/// *grounded value* — a quantity — couples a numerical part with a unit part.
+/// Core code does not know about the knowledge base; it works with
+/// `UnitSemantics`, the physical meaning of a unit (dimension + mapping to
+/// the coherent SI unit of that dimension). kb::DimUnitKB resolves unit names
+/// into UnitSemantics.
+
+namespace dimqr {
+
+/// \brief The physical semantics of a unit: its dimension and the affine map
+/// to the coherent SI unit of that dimension.
+///
+/// A value v in this unit equals `v * scale + offset` in SI terms. `offset`
+/// is non-zero only for affine temperature units (degree Celsius/Fahrenheit).
+/// `exact_scale` carries the scale as an exact rational when one exists
+/// (inch = 127/5000 m); irrational scales (degree = pi/180 rad) leave it
+/// empty and rely on the double.
+struct UnitSemantics {
+  Dimension dimension;
+  double scale = 1.0;
+  std::optional<Rational> exact_scale = Rational(1);
+  double offset = 0.0;
+  /// Human-readable label used when formatting quantities ("km/h").
+  std::string label;
+
+  /// \brief A dimensionless, scale-1 unit (pure number).
+  static UnitSemantics Dimensionless();
+
+  /// \brief The coherent SI unit of a dimension (scale 1, offset 0).
+  static UnitSemantics SiCoherent(const Dimension& dim, std::string label = "");
+
+  /// \brief A linear unit: `dim`, scale given exactly.
+  static UnitSemantics Linear(const Dimension& dim, const Rational& scale,
+                              std::string label = "");
+
+  /// \brief A linear unit with a scale that has no exact rational form.
+  static UnitSemantics LinearInexact(const Dimension& dim, double scale,
+                                     std::string label = "");
+
+  /// \brief An affine unit (temperatures): si = v * scale + offset.
+  static UnitSemantics Affine(const Dimension& dim, const Rational& scale,
+                              double offset, std::string label = "");
+
+  bool IsAffine() const { return offset != 0.0; }
+
+  /// \brief Product of two unit semantics (u1*u2). Fails on affine operands
+  /// (multiplying Celsius by anything is ill-defined) or exponent overflow.
+  Result<UnitSemantics> Times(const UnitSemantics& other) const;
+
+  /// \brief Quotient (u1/u2); same affine restriction.
+  Result<UnitSemantics> Over(const UnitSemantics& other) const;
+
+  /// \brief Integer power (u^k); same affine restriction.
+  Result<UnitSemantics> Power(int k) const;
+
+  /// \brief The factor beta such that 1 of this unit equals beta of `target`
+  /// (Definition 8: u1 * beta = u2 form). Fails with DimensionMismatch when
+  /// the dimensions differ, or InvalidArgument for affine units (which need
+  /// a full value conversion, not a single factor).
+  Result<double> ConversionFactorTo(const UnitSemantics& target) const;
+
+  /// \brief Exact conversion factor, when both scales are exact.
+  Result<Rational> ExactConversionFactorTo(const UnitSemantics& target) const;
+};
+
+/// \brief A quantity: numerical value + unit (Section II-A, Table I).
+class Quantity {
+ public:
+  /// A dimensionless zero.
+  Quantity() : value_(0.0), unit_(UnitSemantics::Dimensionless()) {}
+
+  /// A value in the given unit.
+  Quantity(double value, UnitSemantics unit)
+      : value_(value), unit_(std::move(unit)) {}
+
+  double value() const { return value_; }
+  const UnitSemantics& unit() const { return unit_; }
+  const Dimension& dimension() const { return unit_.dimension; }
+
+  /// The value expressed in the coherent SI unit of its dimension.
+  double SiValue() const { return value_ * unit_.scale + unit_.offset; }
+
+  /// \brief This quantity re-expressed in `target` units.
+  /// Fails with DimensionMismatch when dimensions differ. Affine units are
+  /// handled with the full affine map (Celsius -> Fahrenheit works).
+  Result<Quantity> ConvertTo(const UnitSemantics& target) const;
+
+  /// \brief Dimension-law arithmetic (Section III-A4): addition and
+  /// subtraction require identical dimensions; the result takes the left
+  /// operand's unit.
+  Result<Quantity> Add(const Quantity& other) const;
+  Result<Quantity> Sub(const Quantity& other) const;
+
+  /// \brief Multiplication/division combine dimensions; affine operands fail.
+  Result<Quantity> Mul(const Quantity& other) const;
+  Result<Quantity> Div(const Quantity& other) const;
+
+  /// \brief Three-way comparison under the dimension law. Returns -1/0/+1,
+  /// or DimensionMismatch when the dimensions are not comparable.
+  Result<int> Compare(const Quantity& other) const;
+
+  /// "2.5 km/h" (uses the unit label; bare number when dimensionless).
+  std::string ToString() const;
+
+ private:
+  double value_;
+  UnitSemantics unit_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Quantity& q);
+
+}  // namespace dimqr
+
+#endif  // DIMQR_CORE_QUANTITY_H_

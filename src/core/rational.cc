@@ -1,0 +1,268 @@
+#include "core/rational.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+
+namespace dimqr {
+namespace {
+
+using int128 = __int128;
+
+constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+
+bool FitsInt64(int128 v) { return v >= kInt64Min && v <= kInt64Max; }
+
+/// Reduces num/den (den != 0) to lowest terms with den > 0, checking that the
+/// result fits in int64.
+Result<Rational> MakeReduced(int128 num, int128 den) {
+  if (den == 0) {
+    return Status::InvalidArgument("rational with zero denominator");
+  }
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  // gcd over unsigned magnitudes; num may be int128-min-like but inputs here
+  // always come from products of int64 values so magnitude < 2^126.
+  int128 a = num < 0 ? -num : num;
+  int128 b = den;
+  while (b != 0) {
+    int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a > 1) {
+    num /= a;
+    den /= a;
+  }
+  if (!FitsInt64(num) || !FitsInt64(den)) {
+    return Status::OutOfRange("rational overflows int64 after reduction");
+  }
+  Result<Rational> out = Rational::Of(static_cast<std::int64_t>(num),
+                                      static_cast<std::int64_t>(den));
+  return out;
+}
+
+}  // namespace
+
+Result<Rational> Rational::Of(std::int64_t num, std::int64_t den) {
+  if (den == 0) {
+    return Status::InvalidArgument("rational with zero denominator");
+  }
+  if (num == kInt64Min || den == kInt64Min) {
+    // std::abs / negation would overflow; route through 128-bit reduction.
+    return MakeReduced(static_cast<int128>(num), static_cast<int128>(den));
+  }
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  std::int64_t g = std::gcd(std::abs(num), den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  return Rational(num, den);
+}
+
+Result<Rational> Rational::Parse(std::string_view text) {
+  if (text.empty()) return Status::ParseError("empty rational literal");
+  bool negative = false;
+  std::size_t i = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  auto slash = text.find('/', i);
+  if (slash != std::string_view::npos) {
+    // "a/b" form: parse both sides as integers.
+    int128 num = 0, den = 0;
+    std::size_t j = i;
+    if (j == slash) return Status::ParseError("missing numerator");
+    for (; j < slash; ++j) {
+      if (text[j] < '0' || text[j] > '9') {
+        return Status::ParseError("non-digit in rational numerator");
+      }
+      num = num * 10 + (text[j] - '0');
+      if (num > static_cast<int128>(kInt64Max)) {
+        return Status::OutOfRange("rational numerator overflows");
+      }
+    }
+    if (slash + 1 == text.size()) return Status::ParseError("missing denominator");
+    for (j = slash + 1; j < text.size(); ++j) {
+      if (text[j] < '0' || text[j] > '9') {
+        return Status::ParseError("non-digit in rational denominator");
+      }
+      den = den * 10 + (text[j] - '0');
+      if (den > static_cast<int128>(kInt64Max)) {
+        return Status::OutOfRange("rational denominator overflows");
+      }
+    }
+    return MakeReduced(negative ? -num : num, den);
+  }
+  // Integer or decimal form, optionally with exponent "e<int>".
+  int128 mantissa = 0;
+  int frac_digits = 0;
+  bool seen_digit = false, seen_dot = false;
+  int exp10 = 0;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c >= '0' && c <= '9') {
+      seen_digit = true;
+      mantissa = mantissa * 10 + (c - '0');
+      if (seen_dot) ++frac_digits;
+      if (mantissa > (static_cast<int128>(1) << 100)) {
+        return Status::OutOfRange("decimal literal too long for exact rational");
+      }
+    } else if (c == '.') {
+      if (seen_dot) return Status::ParseError("multiple decimal points");
+      seen_dot = true;
+    } else if (c == 'e' || c == 'E') {
+      ++i;
+      bool exp_neg = false;
+      if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+        exp_neg = text[i] == '-';
+        ++i;
+      }
+      if (i >= text.size()) return Status::ParseError("missing exponent digits");
+      int e = 0;
+      for (; i < text.size(); ++i) {
+        if (text[i] < '0' || text[i] > '9') {
+          return Status::ParseError("non-digit in exponent");
+        }
+        e = e * 10 + (text[i] - '0');
+        if (e > 40) return Status::OutOfRange("exponent too large");
+      }
+      exp10 = exp_neg ? -e : e;
+      break;
+    } else {
+      return Status::ParseError("unexpected character in rational literal");
+    }
+  }
+  if (!seen_digit) return Status::ParseError("no digits in rational literal");
+  int net = exp10 - frac_digits;
+  int128 num = negative ? -mantissa : mantissa;
+  int128 den = 1;
+  while (net > 0) {
+    num *= 10;
+    --net;
+    if (num > (static_cast<int128>(1) << 120) ||
+        num < -(static_cast<int128>(1) << 120)) {
+      return Status::OutOfRange("rational magnitude overflows");
+    }
+  }
+  while (net < 0) {
+    den *= 10;
+    ++net;
+    if (den > (static_cast<int128>(1) << 120)) {
+      return Status::OutOfRange("rational denominator overflows");
+    }
+  }
+  return MakeReduced(num, den);
+}
+
+Result<Rational> Rational::FromDouble(double value,
+                                      std::int64_t max_denominator) {
+  if (!std::isfinite(value)) {
+    return Status::OutOfRange("cannot convert non-finite double to rational");
+  }
+  if (max_denominator < 1) {
+    return Status::InvalidArgument("max_denominator must be >= 1");
+  }
+  bool negative = value < 0;
+  double x = std::fabs(value);
+  if (x > 9.2e18) return Status::OutOfRange("double too large for rational");
+  // Continued-fraction expansion: maintain convergents h/k.
+  std::int64_t h0 = 0, h1 = 1, k0 = 1, k1 = 0;
+  double frac = x;
+  for (int iter = 0; iter < 64; ++iter) {
+    double fa = std::floor(frac);
+    if (fa > 9.2e18) break;
+    auto a = static_cast<std::int64_t>(fa);
+    int128 h2 = static_cast<int128>(a) * h1 + h0;
+    int128 k2 = static_cast<int128>(a) * k1 + k0;
+    if (k2 > max_denominator || h2 > kInt64Max) break;
+    h0 = h1;
+    k0 = k1;
+    h1 = static_cast<std::int64_t>(h2);
+    k1 = static_cast<std::int64_t>(k2);
+    double rem = frac - fa;
+    if (rem < 1e-15 * std::max(1.0, x)) break;
+    frac = 1.0 / rem;
+  }
+  if (k1 == 0) return Status::OutOfRange("no rational approximation found");
+  return Rational::Of(negative ? -h1 : h1, k1);
+}
+
+Result<Rational> Rational::Add(const Rational& other) const {
+  int128 num = static_cast<int128>(num_) * other.den_ +
+               static_cast<int128>(other.num_) * den_;
+  int128 den = static_cast<int128>(den_) * other.den_;
+  return MakeReduced(num, den);
+}
+
+Result<Rational> Rational::Sub(const Rational& other) const {
+  return Add(other.Negated());
+}
+
+Result<Rational> Rational::Mul(const Rational& other) const {
+  int128 num = static_cast<int128>(num_) * other.num_;
+  int128 den = static_cast<int128>(den_) * other.den_;
+  return MakeReduced(num, den);
+}
+
+Result<Rational> Rational::Div(const Rational& other) const {
+  if (other.IsZero()) return Status::InvalidArgument("division by zero");
+  int128 num = static_cast<int128>(num_) * other.den_;
+  int128 den = static_cast<int128>(den_) * other.num_;
+  return MakeReduced(num, den);
+}
+
+Result<Rational> Rational::Pow(int exponent) const {
+  if (exponent == 0) return Rational(1);
+  if (IsZero() && exponent < 0) {
+    return Status::InvalidArgument("zero to a negative power");
+  }
+  Rational base = *this;
+  bool invert = exponent < 0;
+  unsigned e = invert ? static_cast<unsigned>(-(static_cast<std::int64_t>(exponent)))
+                      : static_cast<unsigned>(exponent);
+  Rational acc(1);
+  while (e > 0) {
+    if (e & 1u) {
+      DIMQR_ASSIGN_OR_RETURN(acc, acc.Mul(base));
+    }
+    e >>= 1u;
+    if (e > 0) {
+      DIMQR_ASSIGN_OR_RETURN(base, base.Mul(base));
+    }
+  }
+  if (invert) return acc.Inverse();
+  return acc;
+}
+
+Rational Rational::Negated() const { return Rational(-num_, den_); }
+
+Result<Rational> Rational::Inverse() const {
+  if (IsZero()) return Status::InvalidArgument("inverse of zero");
+  return Rational::Of(den_, num_);
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  return static_cast<__int128>(a.num_) * b.den_ <
+         static_cast<__int128>(b.num_) * a.den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.ToString();
+}
+
+}  // namespace dimqr

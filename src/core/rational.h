@@ -1,0 +1,107 @@
+#ifndef DIMQR_CORE_RATIONAL_H_
+#define DIMQR_CORE_RATIONAL_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "core/status.h"
+
+/// \file rational.h
+/// Exact rational arithmetic for unit-conversion factors.
+///
+/// Conversion chains (e.g. mile -> yard -> foot -> inch -> cm) stay exact
+/// when every factor is rational; floating-point chains drift. Rational
+/// keeps numerator/denominator as int64 with __int128 intermediates and
+/// reports overflow via Status instead of silently wrapping.
+
+namespace dimqr {
+
+/// \brief An exact rational number num/den with den > 0 and gcd(num,den)==1.
+///
+/// Value type: copyable, equality-comparable, totally ordered. All arithmetic
+/// that could overflow int64 is exposed through fallible factory functions.
+class Rational {
+ public:
+  /// Zero.
+  Rational() = default;
+
+  /// The integer `n` as a rational.
+  explicit Rational(std::int64_t n) : num_(n), den_(1) {}
+
+  /// \brief Constructs num/den reduced to lowest terms.
+  ///
+  /// Returns InvalidArgument if den == 0.
+  static Result<Rational> Of(std::int64_t num, std::int64_t den);
+
+  /// \brief Parses "a", "a/b", or a decimal string like "2.54" exactly.
+  ///
+  /// Decimal strings are converted via powers of ten ("2.54" -> 127/50).
+  /// Returns ParseError on malformed input, OutOfRange if the exact value
+  /// does not fit.
+  static Result<Rational> Parse(std::string_view text);
+
+  /// \brief Best-effort conversion from a double.
+  ///
+  /// Uses continued fractions with bounded denominator; exact for doubles
+  /// that are ratios of small integers. Returns OutOfRange for NaN/inf.
+  static Result<Rational> FromDouble(double value,
+                                     std::int64_t max_denominator = 1000000000);
+
+  std::int64_t numerator() const { return num_; }
+  std::int64_t denominator() const { return den_; }
+
+  /// This rational as a double (may round).
+  double ToDouble() const { return static_cast<double>(num_) / den_; }
+
+  bool IsZero() const { return num_ == 0; }
+  bool IsOne() const { return num_ == 1 && den_ == 1; }
+  bool IsInteger() const { return den_ == 1; }
+  bool IsNegative() const { return num_ < 0; }
+
+  /// \brief Checked arithmetic. Returns OutOfRange on int64 overflow.
+  Result<Rational> Add(const Rational& other) const;
+  Result<Rational> Sub(const Rational& other) const;
+  Result<Rational> Mul(const Rational& other) const;
+  /// Returns InvalidArgument when dividing by zero.
+  Result<Rational> Div(const Rational& other) const;
+  /// Integer powers; negative exponents invert. Returns InvalidArgument for
+  /// 0^negative, OutOfRange on overflow.
+  Result<Rational> Pow(int exponent) const;
+
+  /// The additive inverse (never overflows: |num| <= INT64_MAX by invariant).
+  Rational Negated() const;
+  /// The multiplicative inverse. Returns InvalidArgument for zero.
+  Result<Rational> Inverse() const;
+
+  /// "a" when integer, otherwise "a/b".
+  std::string ToString() const;
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  /// Total order via cross-multiplication in 128-bit.
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return !(b < a);
+  }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return !(a < b);
+  }
+
+ private:
+  Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {}
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace dimqr
+
+#endif  // DIMQR_CORE_RATIONAL_H_

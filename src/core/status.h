@@ -1,0 +1,190 @@
+#ifndef DIMQR_CORE_STATUS_H_
+#define DIMQR_CORE_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Arrow-style Status / Result<T> error handling.
+///
+/// The dimqr library does not throw exceptions across its public API.
+/// Fallible operations return a `Status` (when there is no payload) or a
+/// `Result<T>` (a Status or a value). Both are cheap to move and carry an
+/// error code plus a human-readable message.
+
+namespace dimqr {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller supplied a malformed or out-of-range input.
+  kNotFound,          ///< A lookup (unit, kind, key) had no match.
+  kAlreadyExists,     ///< An insert collided with an existing key.
+  kOutOfRange,        ///< Arithmetic overflow or index out of bounds.
+  kParseError,        ///< Text could not be parsed into the requested form.
+  kDimensionMismatch, ///< A dimension-law violation (add/compare across dims).
+  kIOError,           ///< Filesystem or serialization failure.
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief The outcome of a fallible operation with no payload.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are value types: copyable, movable, comparable on code.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \brief Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DimensionMismatch(std::string msg) {
+    return Status(StatusCode::kDimensionMismatch, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessing the value of an errored Result aborts,
+/// so callers must check `ok()` first (or use `ValueOr`).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Aborts if `status.ok()`:
+  /// an OK status carries no value and would leave the Result empty.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(payload_).ok()) {
+      Abort("Result constructed from OK status");
+    }
+  }
+
+  /// True iff this result holds a value.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The held value. Aborts if this result is an error.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Shorthand for ValueOrDie, matching arrow::Result.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// The held value, or `fallback` if this result is an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) Abort(std::get<Status>(payload_).ToString());
+  }
+  [[noreturn]] static void Abort(const std::string& why);
+
+  std::variant<Status, T> payload_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithMessage(const std::string& why);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Abort(const std::string& why) {
+  internal::AbortWithMessage(why);
+}
+
+/// Propagates an error Status from a fallible expression.
+#define DIMQR_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::dimqr::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define DIMQR_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto DIMQR_CONCAT_(_res_, __LINE__) = (rexpr);  \
+  if (!DIMQR_CONCAT_(_res_, __LINE__).ok())       \
+    return DIMQR_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(DIMQR_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define DIMQR_CONCAT_IMPL_(a, b) a##b
+#define DIMQR_CONCAT_(a, b) DIMQR_CONCAT_IMPL_(a, b)
+
+}  // namespace dimqr
+
+#endif  // DIMQR_CORE_STATUS_H_

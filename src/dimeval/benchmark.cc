@@ -1,0 +1,122 @@
+#include "dimeval/benchmark.h"
+
+#include "lm/mock_llm.h"
+#include "text/tokenizer.h"
+
+namespace dimqr::dimeval {
+namespace {
+
+using dimqr::Result;
+using dimqr::Status;
+
+/// Splits `all` into the first `train_n` (train) and the rest (test).
+void SplitInto(std::vector<TaskInstance> all, int train_n,
+               std::vector<TaskInstance>& train,
+               std::vector<TaskInstance>& test) {
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i < static_cast<std::size_t>(train_n)) {
+      train.push_back(std::move(all[i]));
+    } else {
+      test.push_back(std::move(all[i]));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const TaskInstance*> DimEvalBenchmark::TestOf(
+    std::string_view task) const {
+  std::vector<const TaskInstance*> out;
+  for (const TaskInstance& inst : test) {
+    if (inst.task == task) out.push_back(&inst);
+  }
+  return out;
+}
+
+std::vector<const TaskInstance*> DimEvalBenchmark::TrainOf(
+    std::string_view task) const {
+  std::vector<const TaskInstance*> out;
+  for (const TaskInstance& inst : train) {
+    if (inst.task == task) out.push_back(&inst);
+  }
+  return out;
+}
+
+Result<DimEvalBenchmark> BuildDimEval(
+    std::shared_ptr<const kb::DimUnitKB> kb,
+    const linking::DimKsAnnotator& annotator,
+    const BenchmarkOptions& options) {
+  if (kb == nullptr) {
+    return Status::InvalidArgument("BuildDimEval needs a knowledge base");
+  }
+  if (options.train_per_task < 0 || options.test_per_task <= 0) {
+    return Status::InvalidArgument("bad benchmark sizes");
+  }
+  DimEvalBenchmark bench;
+  GeneratorOptions gen_options = options.generator;
+  gen_options.seed = options.seed;
+  TaskGenerator generator(kb, gen_options);
+  const int total = options.train_per_task + options.test_per_task;
+
+  // --- the five heuristic rule-based tasks ---
+  DIMQR_ASSIGN_OR_RETURN(std::vector<TaskInstance> qk,
+                         generator.QuantityKindMatch(total));
+  SplitInto(std::move(qk), options.train_per_task, bench.train, bench.test);
+  DIMQR_ASSIGN_OR_RETURN(std::vector<TaskInstance> comp,
+                         generator.ComparableAnalysis(total));
+  SplitInto(std::move(comp), options.train_per_task, bench.train, bench.test);
+  DIMQR_ASSIGN_OR_RETURN(std::vector<TaskInstance> arith,
+                         generator.DimensionArithmetic(total));
+  SplitInto(std::move(arith), options.train_per_task, bench.train,
+            bench.test);
+  DIMQR_ASSIGN_OR_RETURN(std::vector<TaskInstance> mag,
+                         generator.MagnitudeComparison(total));
+  SplitInto(std::move(mag), options.train_per_task, bench.train, bench.test);
+  DIMQR_ASSIGN_OR_RETURN(std::vector<TaskInstance> conv,
+                         generator.UnitConversion(total));
+  SplitInto(std::move(conv), options.train_per_task, bench.train, bench.test);
+
+  // --- dimension prediction via Algorithm 2 over the synthetic KG ---
+  kg::SynthKgOptions kg_options = options.synth_kg;
+  kg_options.seed = dimqr::Rng::DeriveSeed(options.seed, "synth-kg");
+  DIMQR_ASSIGN_OR_RETURN(kg::TripleStore store,
+                         kg::BuildSyntheticKg(*kb, kg_options));
+  DIMQR_ASSIGN_OR_RETURN(BootstrapResult bootstrap,
+                         BootstrapRetrieve(store, *kb, options.bootstrap));
+  bench.bootstrap_triples = bootstrap.quantitative_triples.size();
+  bench.bootstrap_trace = bootstrap.trace;
+  DIMQR_ASSIGN_OR_RETURN(
+      std::vector<TaskInstance> dpred,
+      generator.DimensionPrediction(bootstrap.quantitative_triples, total));
+  SplitInto(std::move(dpred), options.train_per_task, bench.train,
+            bench.test);
+
+  // --- quantity extraction via Algorithm 1 ---
+  std::vector<CorpusSentence> corpus = GenerateQuantityCorpus(
+      *kb, options.extraction_corpus_sentences,
+      dimqr::Rng::DeriveSeed(options.seed, "extraction-corpus"));
+  // The masked LM trains on the corpus itself (the "pretrained" LM of the
+  // paper; see DESIGN.md substitution table).
+  std::vector<std::vector<std::string>> tokenized;
+  tokenized.reserve(corpus.size());
+  for (const CorpusSentence& s : corpus) {
+    tokenized.push_back(text::TokenizeLower(s.text));
+  }
+  DIMQR_ASSIGN_OR_RETURN(lm::NgramMaskedLm masked_lm,
+                         lm::NgramMaskedLm::Train(tokenized));
+  DIMQR_ASSIGN_OR_RETURN(auto annotated,
+                         SemiAutoAnnotate(corpus, annotator, masked_lm));
+  bench.annotation_stats = annotated.second;
+  std::vector<TaskInstance> extraction = ToExtractionInstances(
+      annotated.first, dimqr::Rng::DeriveSeed(options.seed, "extraction"));
+  if (static_cast<int>(extraction.size()) < total) {
+    return Status::Internal("Algorithm 1 yielded too few sentences: " +
+                            std::to_string(extraction.size()));
+  }
+  extraction.resize(total);
+  SplitInto(std::move(extraction), options.train_per_task, bench.train,
+            bench.test);
+  return bench;
+}
+
+}  // namespace dimqr::dimeval

@@ -1,0 +1,58 @@
+#ifndef DIMQR_DIMEVAL_BENCHMARK_H_
+#define DIMQR_DIMEVAL_BENCHMARK_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/status.h"
+#include "dimeval/bootstrap_retrieval.h"
+#include "dimeval/generators.h"
+#include "dimeval/semi_auto_annotate.h"
+#include "kg/synth_kg.h"
+#include "linking/annotator.h"
+
+/// \file benchmark.h
+/// Assembly of the full DimEval benchmark: all seven tasks with train/test
+/// splits, built end-to-end through the paper's construction pipeline —
+/// heuristic generation with DimKS for five tasks, Algorithm 1 for
+/// quantity extraction, Algorithm 2 + sentence realization for dimension
+/// prediction.
+
+namespace dimqr::dimeval {
+
+/// \brief Benchmark sizes and seeds.
+struct BenchmarkOptions {
+  int train_per_task = 300;
+  int test_per_task = 150;
+  int extraction_corpus_sentences = 1400;
+  std::uint64_t seed = 20240131;
+  GeneratorOptions generator;
+  kg::SynthKgOptions synth_kg;
+  BootstrapOptions bootstrap;
+};
+
+/// \brief The assembled benchmark.
+struct DimEvalBenchmark {
+  std::vector<TaskInstance> train;
+  std::vector<TaskInstance> test;
+  SemiAutoStats annotation_stats;     ///< Algorithm 1 trace.
+  std::size_t bootstrap_triples = 0;  ///< Algorithm 2 yield.
+  std::vector<BootstrapIteration> bootstrap_trace;
+
+  /// Test instances of one task.
+  std::vector<const TaskInstance*> TestOf(std::string_view task) const;
+  /// Train instances of one task.
+  std::vector<const TaskInstance*> TrainOf(std::string_view task) const;
+};
+
+/// \brief Builds DimEval. `annotator` supplies DimKS (Algorithm 1 and unit
+/// resolution); expensive (dataset generation + Algorithm 2 over the
+/// synthetic KG).
+dimqr::Result<DimEvalBenchmark> BuildDimEval(
+    std::shared_ptr<const kb::DimUnitKB> kb,
+    const linking::DimKsAnnotator& annotator,
+    const BenchmarkOptions& options = {});
+
+}  // namespace dimqr::dimeval
+
+#endif  // DIMQR_DIMEVAL_BENCHMARK_H_

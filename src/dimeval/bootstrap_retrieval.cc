@@ -1,0 +1,117 @@
+#include "dimeval/bootstrap_retrieval.h"
+
+#include <set>
+
+#include "text/number_scanner.h"
+#include "text/string_util.h"
+
+namespace dimqr::dimeval {
+namespace {
+
+using dimqr::Result;
+using dimqr::Status;
+
+/// True when the object is "value + linkable unit mention".
+bool IsQuantityObject(const std::string& object, const kb::DimUnitKB& kb) {
+  std::string mention = UnitMentionOf(object);
+  if (mention.empty()) return false;
+  if (mention == "%") return true;
+  return !kb.FindBySurface(mention).empty();
+}
+
+}  // namespace
+
+std::string UnitMentionOf(const std::string& object) {
+  std::vector<text::NumberMention> numbers = text::ScanNumbers(object);
+  if (numbers.empty() || numbers.front().begin != 0) return "";
+  const text::NumberMention& value = numbers.front();
+  if (value.is_percent) return "%";
+  std::string suffix = text::Trim(object.substr(value.end));
+  return suffix;
+}
+
+double QuantityRatio(const std::vector<const kg::Triple*>& triples,
+                     const kb::DimUnitKB& kb) {
+  if (triples.empty()) return 0.0;
+  std::size_t quantitative = 0;
+  for (const kg::Triple* t : triples) {
+    if (IsQuantityObject(t->object, kb)) ++quantitative;
+  }
+  return static_cast<double>(quantitative) /
+         static_cast<double>(triples.size());
+}
+
+Result<BootstrapResult> BootstrapRetrieve(const kg::TripleStore& store,
+                                          const kb::DimUnitKB& kb,
+                                          const BootstrapOptions& options) {
+  if (store.size() == 0) {
+    return Status::InvalidArgument("empty triple store for Algorithm 2");
+  }
+  if (options.iterations <= 0 || options.seed_mentions == 0) {
+    return Status::InvalidArgument("bad bootstrap options");
+  }
+  BootstrapResult result;
+
+  // M0 <- highFreqUnits(DimUnitKB): the primary surfaces of the most
+  // frequent units.
+  std::set<std::string> mentions;
+  std::vector<const kb::UnitRecord*> ranked = kb.UnitsByFrequency();
+  for (const kb::UnitRecord* unit : ranked) {
+    if (mentions.size() >= options.seed_mentions) break;
+    mentions.insert(unit->symbols.empty() ? unit->label_en
+                                          : unit->symbols.front());
+    mentions.insert(unit->label_en);
+  }
+
+  std::set<std::string> predicates;
+  for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    BootstrapIteration trace;
+    trace.mentions = mentions.size();
+
+    // Step 1: build the predicate set from the mention set.
+    predicates.clear();
+    for (const std::string& mention : mentions) {
+      for (const kg::Triple* t : store.FindByObjectContaining(mention)) {
+        predicates.insert(t->predicate);
+      }
+    }
+    trace.predicates_before_filter = predicates.size();
+
+    // Step 2: filter predicates by quantity ratio.
+    for (auto it = predicates.begin(); it != predicates.end();) {
+      std::vector<const kg::Triple*> triples = store.FindByPredicate(*it);
+      if (QuantityRatio(triples, kb) < options.tau) {
+        it = predicates.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    trace.predicates_after_filter = predicates.size();
+
+    // Step 3: rebuild the mention set from the surviving predicates.
+    mentions.clear();
+    for (const std::string& predicate : predicates) {
+      for (const kg::Triple* t : store.FindByPredicate(predicate)) {
+        std::string mention = UnitMentionOf(t->object);
+        if (!mention.empty()) mentions.insert(mention);
+      }
+    }
+    result.trace.push_back(trace);
+    if (predicates.empty()) break;
+  }
+
+  // Final retrieval: all triples of the surviving predicates whose object
+  // carries a recognizable unit mention.
+  for (const std::string& predicate : predicates) {
+    for (const kg::Triple* t : store.FindByPredicate(predicate)) {
+      if (IsQuantityObject(t->object, kb)) {
+        result.quantitative_triples.push_back(*t);
+      }
+    }
+  }
+  result.predicates.assign(predicates.begin(), predicates.end());
+  result.mentions.assign(mentions.begin(), mentions.end());
+  return result;
+}
+
+}  // namespace dimqr::dimeval

@@ -1,0 +1,65 @@
+#ifndef DIMQR_DIMEVAL_BOOTSTRAP_RETRIEVAL_H_
+#define DIMQR_DIMEVAL_BOOTSTRAP_RETRIEVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "kb/kb.h"
+#include "kg/triple_store.h"
+
+/// \file bootstrap_retrieval.h
+/// Algorithm 2 — the bootstrapping retrieval method (Section IV-C2).
+///
+/// Maintains a mention set M (unit surface forms) and a predicate set P.
+/// Per iteration:
+///   Step 1: P <- predicates of triples whose object contains a mention
+///           from M;
+///   Step 2: filter P by the ratio of quantity-bearing triples
+///           (calculateQuantityRatio with DimKS; predicates below tau are
+///           dropped);
+///   Step 3: M <- unit mentions extracted from the objects of P's triples.
+/// After delta iterations, retrieve all triples of the surviving
+/// predicates as the quantitative triple set.
+
+namespace dimqr::dimeval {
+
+/// \brief Algorithm 2 parameters (paper: delta = 5 iterations).
+struct BootstrapOptions {
+  double tau = 0.5;             ///< Quantity-ratio threshold.
+  int iterations = 5;           ///< delta.
+  std::size_t seed_mentions = 40;  ///< |M0| = top-frequency units.
+};
+
+/// \brief Per-iteration trace, for tests and the complexity analysis bench.
+struct BootstrapIteration {
+  std::size_t mentions = 0;
+  std::size_t predicates_before_filter = 0;
+  std::size_t predicates_after_filter = 0;
+};
+
+/// \brief The result: quantitative triples plus the final sets and trace.
+struct BootstrapResult {
+  std::vector<kg::Triple> quantitative_triples;
+  std::vector<std::string> predicates;
+  std::vector<std::string> mentions;
+  std::vector<BootstrapIteration> trace;
+};
+
+/// \brief Runs Algorithm 2 over `store` using unit knowledge from `kb`.
+dimqr::Result<BootstrapResult> BootstrapRetrieve(
+    const kg::TripleStore& store, const kb::DimUnitKB& kb,
+    const BootstrapOptions& options = {});
+
+/// \brief calculateQuantityRatio: the fraction of triples whose object is
+/// quantity-bearing (leading value + unit mention linkable in `kb`).
+double QuantityRatio(const std::vector<const kg::Triple*>& triples,
+                     const kb::DimUnitKB& kb);
+
+/// \brief Extracts the unit mention from a quantity object ("2.06 metres"
+/// -> "metres"); empty when the object is not quantity-shaped.
+std::string UnitMentionOf(const std::string& object);
+
+}  // namespace dimqr::dimeval
+
+#endif  // DIMQR_DIMEVAL_BOOTSTRAP_RETRIEVAL_H_

@@ -1,0 +1,219 @@
+#include "dimeval/semi_auto_annotate.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/rng.h"
+#include "lm/mock_llm.h"
+#include "text/string_util.h"
+#include "text/tokenizer.h"
+
+namespace dimqr::dimeval {
+namespace {
+
+using dimqr::Result;
+using dimqr::Rng;
+using dimqr::Status;
+
+/// The word tokens immediately left/right of a byte span.
+std::pair<std::string, std::string> NeighbourWords(const std::string& text,
+                                                   std::size_t begin,
+                                                   std::size_t end) {
+  std::string left, right;
+  for (const text::Token& tok : text::Tokenize(text)) {
+    if (tok.end <= begin &&
+        (tok.kind == text::Token::Kind::kWord ||
+         tok.kind == text::Token::Kind::kCjk)) {
+      left = text::ToLowerAscii(tok.text);
+    }
+    if (tok.begin >= end && right.empty() &&
+        (tok.kind == text::Token::Kind::kWord ||
+         tok.kind == text::Token::Kind::kCjk)) {
+      right = text::ToLowerAscii(tok.text);
+    }
+  }
+  return {left, right};
+}
+
+bool AnnotationMatchesTruth(const std::string& text,
+                            const linking::QuantityAnnotation& ann,
+                            const std::vector<GoldQuantity>& truth) {
+  std::string value(ann.number.TextIn(text));
+  for (const GoldQuantity& gold : truth) {
+    if (gold.value_text != value) continue;
+    if (gold.unit_text.empty() && !ann.HasUnit()) return true;
+    if (!gold.unit_text.empty() && ann.HasUnit() &&
+        (ann.unit_text == gold.unit_text || ann.unit->id == gold.unit_id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::pair<std::vector<AnnotatedSentence>, SemiAutoStats>>
+SemiAutoAnnotate(const std::vector<CorpusSentence>& corpus,
+                 const linking::DimKsAnnotator& annotator,
+                 const lm::NgramMaskedLm& masked_lm,
+                 const SemiAutoOptions& options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("empty corpus for Algorithm 1");
+  }
+  SemiAutoStats stats;
+  stats.sentences_in = corpus.size();
+  std::vector<AnnotatedSentence> out;
+  for (const CorpusSentence& sentence : corpus) {
+    stats.truth_total += sentence.truth.size();
+    // Step 1: initial annotation with DimKS.
+    std::vector<linking::QuantityAnnotation> annotations =
+        annotator.Annotate(sentence.text);
+    if (annotations.empty()) continue;  // no numeric entity
+    ++stats.sentences_with_numeric;
+    stats.annotations_initial += annotations.size();
+
+    // Step 2: masked-LM filter. Replace the numeric mention with [MASK]
+    // and keep the annotation only if the context predicts a number there.
+    std::vector<linking::QuantityAnnotation> kept;
+    for (const linking::QuantityAnnotation& ann : annotations) {
+      auto [left, right] =
+          NeighbourWords(sentence.text, ann.number.begin, ann.number.end);
+      double numeric = masked_lm.NumericLikelihood(left, right);
+      if (numeric >= options.numeric_threshold) kept.push_back(ann);
+    }
+    if (kept.empty()) continue;
+    stats.annotations_after_plm += kept.size();
+
+    // Accuracy against ground truth (pre-review), when available.
+    if (!sentence.truth.empty()) {
+      for (const linking::QuantityAnnotation& ann : kept) {
+        if (AnnotationMatchesTruth(sentence.text, ann, sentence.truth)) {
+          ++stats.annotations_correct;
+        }
+      }
+    }
+
+    AnnotatedSentence annotated;
+    annotated.text = sentence.text;
+    annotated.annotations = std::move(kept);
+    out.push_back(std::move(annotated));
+  }
+  if (stats.annotations_after_plm > 0) {
+    stats.accuracy = static_cast<double>(stats.annotations_correct) /
+                     static_cast<double>(stats.annotations_after_plm);
+  }
+
+  // Step 3: manual review — reconcile with ground truth where we have it.
+  if (options.apply_manual_review) {
+    std::size_t index = 0;
+    for (const CorpusSentence& sentence : corpus) {
+      if (index >= out.size()) break;
+      if (out[index].text != sentence.text) continue;  // dropped sentence
+      if (!sentence.truth.empty()) {
+        std::erase_if(out[index].annotations,
+                      [&](const linking::QuantityAnnotation& ann) {
+                        return !AnnotationMatchesTruth(sentence.text, ann,
+                                                       sentence.truth);
+                      });
+        if (out[index].annotations.empty()) {
+          out.erase(out.begin() + static_cast<std::ptrdiff_t>(index));
+          continue;
+        }
+      }
+      ++index;
+    }
+  }
+  return std::make_pair(std::move(out), stats);
+}
+
+std::vector<CorpusSentence> GenerateQuantityCorpus(const kb::DimUnitKB& kb,
+                                                   int n_sentences,
+                                                   std::uint64_t seed) {
+  // Quantity sentence templates; {q} is "value unit".
+  static const char* kQuantityTemplates[] = {
+      "the rope measures {q} in total",
+      "she bought {q} of rice at the market",
+      "the journey took about {q} to finish",
+      "its engine delivers up to {q} at peak",
+      "the tank holds {q} of fuel",
+      "each box weighs exactly {q} on the scale",
+      "the field spans {q} near the river",
+      "the sample was heated to {q} in the lab",
+      "the signal oscillates at {q} when active",
+      "the corridor is {q} wide",
+  };
+  // Trap sentences: numeric-looking text that is NOT a quantity.
+  static const char* kTrapTemplates[] = {
+      "the device LPUI-{n}T shipped last week",
+      "see model GTX-{n} for details",
+      "building {n} hosts the archive",
+      "the team was founded in {n}",
+      "call extension {n} for support",
+  };
+  Rng rng(seed);
+  std::vector<CorpusSentence> corpus;
+  std::vector<const kb::UnitRecord*> pool;
+  for (const kb::UnitRecord& unit : kb.units()) {
+    if (unit.frequency >= 0.45 && unit.conversion_offset == 0.0) {
+      pool.push_back(&unit);
+    }
+  }
+  for (int i = 0; i < n_sentences; ++i) {
+    CorpusSentence sentence;
+    if (rng.Bernoulli(0.25)) {
+      const char* tmpl =
+          kTrapTemplates[rng.Index(std::size(kTrapTemplates))];
+      std::string number = std::to_string(rng.UniformInt(1, 2099));
+      sentence.text = text::ReplaceAll(tmpl, "{n}", number);
+      // No gold quantities: any extraction here is a false positive.
+    } else {
+      const char* tmpl =
+          kQuantityTemplates[rng.Index(std::size(kQuantityTemplates))];
+      const kb::UnitRecord* unit = pool[rng.Index(pool.size())];
+      double value = std::round(rng.UniformReal(1.0, 500.0) * 10.0) / 10.0;
+      char value_text[32];
+      if (value == std::floor(value)) {
+        std::snprintf(value_text, sizeof(value_text), "%.0f", value);
+      } else {
+        std::snprintf(value_text, sizeof(value_text), "%.1f", value);
+      }
+      std::string surface =
+          rng.Bernoulli(0.5) && !unit->symbols.empty()
+              ? unit->symbols.front()
+              : unit->label_en;
+      sentence.text = text::ReplaceAll(
+          tmpl, "{q}", std::string(value_text) + " " + surface);
+      GoldQuantity gold;
+      gold.value_text = value_text;
+      gold.unit_text = surface;
+      gold.unit_id = unit->id;
+      sentence.truth.push_back(gold);
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+std::vector<TaskInstance> ToExtractionInstances(
+    const std::vector<AnnotatedSentence>& sentences, std::uint64_t seed) {
+  std::vector<TaskInstance> out;
+  for (std::size_t i = 0; i < sentences.size(); ++i) {
+    const AnnotatedSentence& sentence = sentences[i];
+    TaskInstance inst;
+    inst.task = lm::tasks::kQuantityExtraction;
+    inst.source_text = sentence.text;
+    inst.prompt = "task: extract | text: " + sentence.text;
+    for (const linking::QuantityAnnotation& ann : sentence.annotations) {
+      GoldQuantity gold;
+      gold.value_text = std::string(ann.number.TextIn(sentence.text));
+      gold.unit_text = ann.unit_text;
+      gold.unit_id = ann.HasUnit() ? ann.unit->id : "";
+      inst.gold_quantities.push_back(std::move(gold));
+    }
+    inst.instance_seed = Rng::DeriveSeed(seed, "qe" + std::to_string(i));
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+}  // namespace dimqr::dimeval

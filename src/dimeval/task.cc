@@ -1,0 +1,51 @@
+#include "dimeval/task.h"
+
+#include "lm/mock_llm.h"
+
+namespace dimqr::dimeval {
+
+TaskCategory CategoryOf(std::string_view task_key) {
+  using namespace lm::tasks;
+  if (task_key == kComparableAnalysis || task_key == kDimensionPrediction ||
+      task_key == kDimensionArithmetic) {
+    return TaskCategory::kDimensionPerception;
+  }
+  if (task_key == kMagnitudeComparison || task_key == kUnitConversion) {
+    return TaskCategory::kScalePerception;
+  }
+  return TaskCategory::kBasicPerception;
+}
+
+std::string_view CategoryName(TaskCategory category) {
+  switch (category) {
+    case TaskCategory::kBasicPerception:
+      return "Basic Perception";
+    case TaskCategory::kDimensionPerception:
+      return "Dimension Perception";
+    case TaskCategory::kScalePerception:
+      return "Scale Perception";
+  }
+  return "Basic Perception";
+}
+
+const std::vector<std::string>& AllTaskKeys() {
+  using namespace lm::tasks;
+  static const std::vector<std::string>* const kKeys =
+      new std::vector<std::string>{
+          kQuantityExtraction, kQuantityKindMatch,  kComparableAnalysis,
+          kDimensionPrediction, kDimensionArithmetic, kMagnitudeComparison,
+          kUnitConversion};
+  return *kKeys;
+}
+
+lm::ChoiceQuestion TaskInstance::ToChoiceQuestion() const {
+  lm::ChoiceQuestion q;
+  q.task = task;
+  q.prompt = prompt;
+  q.choices = choices;
+  q.gold_index = gold_index;
+  q.instance_seed = instance_seed;
+  return q;
+}
+
+}  // namespace dimqr::dimeval

@@ -1,0 +1,73 @@
+#ifndef DIMQR_DIMEVAL_TASK_H_
+#define DIMQR_DIMEVAL_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lm/model_api.h"
+
+/// \file task.h
+/// DimEval task instances (Section IV).
+///
+/// DimEval probes three aspects with seven tasks:
+///  - Basic perception: Quantity Extraction (Def. 2), QuantityKind Match
+///    (Def. 3);
+///  - Dimension perception: Comparable Analysis (Def. 4), Dimension
+///    Prediction (Def. 5), Dimension Arithmetic (Def. 6);
+///  - Scale perception: Magnitude Comparison (Def. 7), Unit Conversion
+///    (Def. 8).
+/// All judgment tasks are converted into m=4 selection tasks (Section IV-B).
+
+namespace dimqr::dimeval {
+
+/// \brief The three aspects of Section IV-A.
+enum class TaskCategory {
+  kBasicPerception,
+  kDimensionPerception,
+  kScalePerception,
+};
+
+/// The category a task key belongs to. Unknown keys map to basic perception.
+TaskCategory CategoryOf(std::string_view task_key);
+
+/// Human-readable category name ("Basic Perception", ...).
+std::string_view CategoryName(TaskCategory category);
+
+/// All seven task keys in paper order.
+const std::vector<std::string>& AllTaskKeys();
+
+/// \brief One gold quantity of an extraction instance.
+struct GoldQuantity {
+  std::string value_text;  ///< "2.06"
+  std::string unit_text;   ///< "meters" (may be empty for bare values)
+  std::string unit_id;     ///< DimUnitKB id; empty when unlinked.
+};
+
+/// \brief One DimEval instance. Multiple-choice tasks fill `choices` and
+/// `gold_index`; quantity extraction fills `source_text` and
+/// `gold_quantities` instead.
+struct TaskInstance {
+  std::string task;  ///< One of lm::tasks::* keys.
+  std::string prompt;
+  std::vector<std::string> choices;
+  int gold_index = -1;
+  /// Rule/template-generated chain-of-thought (the R sequence of y =
+  /// "<bos> R <sep> A <eos>", Section IV-D).
+  std::string reasoning;
+  std::uint64_t instance_seed = 0;
+
+  // Extraction-only fields:
+  std::string source_text;
+  std::vector<GoldQuantity> gold_quantities;
+
+  bool IsExtraction() const { return !source_text.empty(); }
+
+  /// The instance as a ChoiceQuestion for the harness.
+  lm::ChoiceQuestion ToChoiceQuestion() const;
+};
+
+}  // namespace dimqr::dimeval
+
+#endif  // DIMQR_DIMEVAL_TASK_H_

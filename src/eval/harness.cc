@@ -1,0 +1,125 @@
+#include "eval/harness.h"
+
+#include "lm/mock_llm.h"
+
+namespace dimqr::eval {
+namespace {
+
+using namespace lm::tasks;
+
+}  // namespace
+
+std::vector<lm::ExtractedQuantity> GoldOf(const dimeval::TaskInstance& inst) {
+  std::vector<lm::ExtractedQuantity> out;
+  for (const dimeval::GoldQuantity& g : inst.gold_quantities) {
+    out.push_back({g.value_text, g.unit_text});
+  }
+  return out;
+}
+
+Extractor AnnotatorExtractor(const linking::DimKsAnnotator& annotator) {
+  return [&annotator](const dimeval::TaskInstance& inst) {
+    std::vector<lm::ExtractedQuantity> out;
+    for (const linking::QuantityAnnotation& ann :
+         annotator.Annotate(inst.source_text)) {
+      lm::ExtractedQuantity q;
+      q.value = std::string(ann.number.TextIn(inst.source_text));
+      q.unit = ann.unit_text;
+      out.push_back(std::move(q));
+    }
+    return out;
+  };
+}
+
+Extractor ModelExtractor(lm::Model& model) {
+  return [&model](const dimeval::TaskInstance& inst) {
+    lm::ExtractionQuestion question;
+    question.text = inst.source_text;
+    question.gold = GoldOf(inst);
+    question.instance_seed = inst.instance_seed;
+    return model.ExtractQuantities(question);
+  };
+}
+
+ChoiceMetrics EvaluateChoiceTask(
+    lm::Model& model,
+    const std::vector<const dimeval::TaskInstance*>& tests) {
+  ChoiceMetrics metrics;
+  for (const dimeval::TaskInstance* inst : tests) {
+    ++metrics.total;
+    lm::ChoiceAnswer answer = model.AnswerChoice(inst->ToChoiceQuestion());
+    if (!answer.answered()) continue;
+    ++metrics.answered;
+    if (answer.index == inst->gold_index) ++metrics.correct;
+  }
+  return metrics;
+}
+
+ExtractionMetrics EvaluateExtraction(
+    const Extractor& extractor,
+    const std::vector<const dimeval::TaskInstance*>& tests) {
+  ExtractionMetrics metrics;
+  for (const dimeval::TaskInstance* inst : tests) {
+    std::vector<lm::ExtractedQuantity> predicted = (extractor)(*inst);
+    ScoreExtraction(predicted, GoldOf(*inst), metrics);
+  }
+  return metrics;
+}
+
+DimEvalRow EvaluateOnDimEval(lm::Model& model,
+                             const dimeval::DimEvalBenchmark& bench,
+                             const Extractor* extractor) {
+  DimEvalRow row;
+  row.model = model.name();
+  const char* choice_tasks[] = {kQuantityKindMatch,   kComparableAnalysis,
+                                kDimensionPrediction, kDimensionArithmetic,
+                                kMagnitudeComparison, kUnitConversion};
+  for (const char* task : choice_tasks) {
+    row.choice[task] = EvaluateChoiceTask(model, bench.TestOf(task));
+  }
+  std::vector<const dimeval::TaskInstance*> extraction =
+      bench.TestOf(kQuantityExtraction);
+  if (!extraction.empty()) {
+    Extractor model_extractor = ModelExtractor(model);
+    const Extractor& chosen =
+        extractor != nullptr ? *extractor : model_extractor;
+    ExtractionMetrics metrics = EvaluateExtraction(chosen, extraction);
+    // "-" rows: a model with no extraction path produced no predictions at
+    // all; mark as not evaluated rather than zero.
+    if (metrics.qe.true_positive + metrics.qe.false_positive > 0) {
+      row.qe_f1 = metrics.qe.F1();
+      row.ve_f1 = metrics.ve.F1();
+      row.ue_f1 = metrics.ue.F1();
+    }
+  }
+  return row;
+}
+
+std::map<dimeval::TaskCategory, CategoryMetrics> AggregateByCategory(
+    const DimEvalRow& row) {
+  std::map<dimeval::TaskCategory, std::vector<std::pair<double, double>>>
+      samples;
+  for (const auto& [task, metrics] : row.choice) {
+    samples[dimeval::CategoryOf(task)].emplace_back(metrics.Precision(),
+                                                    metrics.F1());
+  }
+  if (row.qe_f1 >= 0.0) {
+    // Extraction contributes its pair-level F1 as both components.
+    samples[dimeval::TaskCategory::kBasicPerception].emplace_back(row.qe_f1,
+                                                                  row.qe_f1);
+  }
+  std::map<dimeval::TaskCategory, CategoryMetrics> out;
+  for (const auto& [category, values] : samples) {
+    CategoryMetrics aggregate;
+    for (const auto& [p, f1] : values) {
+      aggregate.precision += p;
+      aggregate.f1 += f1;
+    }
+    aggregate.precision /= static_cast<double>(values.size());
+    aggregate.f1 /= static_cast<double>(values.size());
+    out[category] = aggregate;
+  }
+  return out;
+}
+
+}  // namespace dimqr::eval

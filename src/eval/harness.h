@@ -1,0 +1,71 @@
+#ifndef DIMQR_EVAL_HARNESS_H_
+#define DIMQR_EVAL_HARNESS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dimeval/benchmark.h"
+#include "eval/metrics.h"
+#include "linking/annotator.h"
+#include "lm/model_api.h"
+
+/// \file harness.h
+/// The DimEval evaluation harness: runs a model over benchmark test splits
+/// and aggregates Table VII / Table VIII style results.
+
+namespace dimqr::eval {
+
+/// \brief A quantity extractor: task instance -> predicted quantities.
+using Extractor = std::function<std::vector<lm::ExtractedQuantity>(
+    const dimeval::TaskInstance&)>;
+
+/// \brief Extractor backed by DimKS (the DimPerc pipeline's extraction
+/// path; see EXPERIMENTS.md).
+Extractor AnnotatorExtractor(const linking::DimKsAnnotator& annotator);
+
+/// \brief Extractor that calls Model::ExtractQuantities.
+Extractor ModelExtractor(lm::Model& model);
+
+/// \brief Gold quantities of an extraction instance as ExtractedQuantity.
+std::vector<lm::ExtractedQuantity> GoldOf(const dimeval::TaskInstance& inst);
+
+/// \brief Evaluates a model on one choice task's instances.
+ChoiceMetrics EvaluateChoiceTask(
+    lm::Model& model, const std::vector<const dimeval::TaskInstance*>& tests);
+
+/// \brief Evaluates an extractor over extraction instances.
+ExtractionMetrics EvaluateExtraction(
+    const Extractor& extractor,
+    const std::vector<const dimeval::TaskInstance*>& tests);
+
+/// \brief One model's full Table VII row.
+struct DimEvalRow {
+  std::string model;
+  /// QE/VE/UE F1 (negative = not evaluated).
+  double qe_f1 = -1.0, ve_f1 = -1.0, ue_f1 = -1.0;
+  /// Per choice task: metrics keyed by task key.
+  std::map<std::string, ChoiceMetrics> choice;
+};
+
+/// \brief Runs a model over all DimEval test splits. When `extractor` is
+/// provided the extraction row is evaluated through it; otherwise through
+/// Model::ExtractQuantities (which may be empty).
+DimEvalRow EvaluateOnDimEval(lm::Model& model,
+                             const dimeval::DimEvalBenchmark& bench,
+                             const Extractor* extractor = nullptr);
+
+/// \brief Category aggregates for Table VIII: macro precision/F1 over the
+/// tasks of each of the three categories. Extraction contributes its QE
+/// pair-level counts to basic perception.
+struct CategoryMetrics {
+  double precision = 0.0;
+  double f1 = 0.0;
+};
+std::map<dimeval::TaskCategory, CategoryMetrics> AggregateByCategory(
+    const DimEvalRow& row);
+
+}  // namespace dimqr::eval
+
+#endif  // DIMQR_EVAL_HARNESS_H_

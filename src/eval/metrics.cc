@@ -1,0 +1,67 @@
+#include "eval/metrics.h"
+
+#include <vector>
+
+namespace dimqr::eval {
+namespace {
+
+/// Greedy multiset matching: counts predictions matching an unused gold
+/// item under `match`, then attributes fp/fn.
+template <typename MatchFn>
+void ScoreComponent(const std::vector<lm::ExtractedQuantity>& predicted,
+                    const std::vector<lm::ExtractedQuantity>& gold,
+                    MatchFn match, PrfCounts& counts) {
+  std::vector<bool> used(gold.size(), false);
+  std::size_t matched = 0;
+  for (const lm::ExtractedQuantity& p : predicted) {
+    bool hit = false;
+    for (std::size_t g = 0; g < gold.size(); ++g) {
+      if (used[g]) continue;
+      if (match(p, gold[g])) {
+        used[g] = true;
+        hit = true;
+        ++matched;
+        break;
+      }
+    }
+    if (!hit) ++counts.false_positive;
+  }
+  counts.true_positive += matched;
+  counts.false_negative += gold.size() - matched;
+}
+
+}  // namespace
+
+void ScoreExtraction(const std::vector<lm::ExtractedQuantity>& predicted,
+                     const std::vector<lm::ExtractedQuantity>& gold,
+                     ExtractionMetrics& metrics) {
+  ScoreComponent(
+      predicted, gold,
+      [](const lm::ExtractedQuantity& p, const lm::ExtractedQuantity& g) {
+        return p.value == g.value && p.unit == g.unit;
+      },
+      metrics.qe);
+  ScoreComponent(
+      predicted, gold,
+      [](const lm::ExtractedQuantity& p, const lm::ExtractedQuantity& g) {
+        return p.value == g.value;
+      },
+      metrics.ve);
+  // UE scores only unit-bearing entries on both sides: bare values have no
+  // unit part to judge.
+  std::vector<lm::ExtractedQuantity> predicted_units, gold_units;
+  for (const lm::ExtractedQuantity& p : predicted) {
+    if (!p.unit.empty()) predicted_units.push_back(p);
+  }
+  for (const lm::ExtractedQuantity& g : gold) {
+    if (!g.unit.empty()) gold_units.push_back(g);
+  }
+  ScoreComponent(
+      predicted_units, gold_units,
+      [](const lm::ExtractedQuantity& p, const lm::ExtractedQuantity& g) {
+        return p.unit == g.unit;
+      },
+      metrics.ue);
+}
+
+}  // namespace dimqr::eval

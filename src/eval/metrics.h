@@ -1,0 +1,90 @@
+#ifndef DIMQR_EVAL_METRICS_H_
+#define DIMQR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "lm/model_api.h"
+
+/// \file metrics.h
+/// Metrics of Section VI-D: precision and F1 for dimension-perception
+/// tasks, component-wise F1 (QE/VE/UE) for quantity extraction, accuracy
+/// for quantitative reasoning.
+///
+/// Scoring model for multiple choice: a model may decline a question
+/// (Section VI-E1's observation that LLMs "refrain from providing
+/// responses"). Precision is correct/answered; recall is correct/total;
+/// F1 combines them — so refusals depress F1 but not precision, matching
+/// the Table VII discussion.
+
+namespace dimqr::eval {
+
+/// \brief Counts and derived metrics for a choice task.
+struct ChoiceMetrics {
+  std::size_t total = 0;
+  std::size_t answered = 0;
+  std::size_t correct = 0;
+
+  double Precision() const {
+    return answered == 0 ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(answered);
+  }
+  double Recall() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  /// Element-wise sum, for macro aggregation across tasks.
+  ChoiceMetrics& operator+=(const ChoiceMetrics& other) {
+    total += other.total;
+    answered += other.answered;
+    correct += other.correct;
+    return *this;
+  }
+};
+
+/// \brief Precision/recall/F1 counts for one extraction component.
+struct PrfCounts {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  double Precision() const {
+    std::size_t denom = true_positive + false_positive;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positive) /
+                            static_cast<double>(denom);
+  }
+  double Recall() const {
+    std::size_t denom = true_positive + false_negative;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positive) /
+                            static_cast<double>(denom);
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// \brief The three extraction sub-scores of Table VII: QE (value+unit
+/// pair), VE (value part), UE (unit part).
+struct ExtractionMetrics {
+  PrfCounts qe;
+  PrfCounts ve;
+  PrfCounts ue;
+};
+
+/// \brief Scores one extraction prediction against gold, updating counts.
+/// Matching is greedy multiset matching on exact strings.
+void ScoreExtraction(const std::vector<lm::ExtractedQuantity>& predicted,
+                     const std::vector<lm::ExtractedQuantity>& gold,
+                     ExtractionMetrics& metrics);
+
+}  // namespace dimqr::eval
+
+#endif  // DIMQR_EVAL_METRICS_H_

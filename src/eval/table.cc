@@ -1,0 +1,76 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "text/string_util.h"
+
+namespace dimqr::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = text::Utf8Length(header_[c]);
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], text::Utf8Length(row[c]));
+    }
+  }
+  auto pad = [&widths](const std::string& cell, std::size_t c) {
+    std::string out = cell;
+    std::size_t len = text::Utf8Length(cell);
+    for (std::size_t i = len; i < widths[c]; ++i) out += ' ';
+    return out;
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << ' ' << pad(c < row.size() ? row[c] : "", c) << " |";
+    }
+    os << '\n';
+  };
+  auto print_sep = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep();
+    } else {
+      print_row(row);
+    }
+  }
+  print_sep();
+}
+
+std::string TablePrinter::Pct(double value_0_to_1) {
+  if (value_0_to_1 < 0.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", value_0_to_1 * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::Num(double value, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace dimqr::eval

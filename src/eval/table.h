@@ -1,0 +1,41 @@
+#ifndef DIMQR_EVAL_TABLE_H_
+#define DIMQR_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// Plain-text table rendering for the bench binaries that reprint the
+/// paper's tables and figures.
+
+namespace dimqr::eval {
+
+/// \brief A column-aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Sets the header row.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row (padded/truncated to the header width).
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table.
+  void Print(std::ostream& os) const;
+
+  /// "12.34" with two decimals; "-" for negative sentinel values.
+  static std::string Pct(double value_0_to_1);
+  /// Formats a raw number with `decimals` places.
+  static std::string Num(double value, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  ///< Empty row = separator.
+};
+
+}  // namespace dimqr::eval
+
+#endif  // DIMQR_EVAL_TABLE_H_

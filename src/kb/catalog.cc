@@ -1,0 +1,400 @@
+#include "kb/catalog.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "kb/frequency.h"
+#include "text/string_util.h"
+
+namespace dimqr::kb {
+namespace {
+
+using dimqr::Dimension;
+using dimqr::Rational;
+using dimqr::Result;
+using dimqr::Status;
+
+std::vector<std::string> SplitList(const char* list) {
+  if (list == nullptr || *list == '\0') return {};
+  return dimqr::text::Split(list, ';');
+}
+
+/// Parses the seed `scale` field: "~x" -> inexact double, otherwise an
+/// exact rational literal.
+struct ParsedScale {
+  double value = 1.0;
+  std::optional<Rational> exact;
+};
+
+Result<ParsedScale> ParseScale(const char* scale_text) {
+  ParsedScale out;
+  std::string s = scale_text;
+  if (s.empty()) return Status::Internal("seed with empty scale");
+  if (s[0] == '~') {
+    out.value = std::strtod(s.c_str() + 1, nullptr);
+    out.exact.reset();
+    if (out.value == 0.0) {
+      return Status::Internal("seed with zero inexact scale: " + s);
+    }
+    return out;
+  }
+  DIMQR_ASSIGN_OR_RETURN(Rational r, Rational::Parse(s));
+  if (r.IsZero()) return Status::Internal("seed with zero scale: " + s);
+  out.value = r.ToDouble();
+  out.exact = r;
+  return out;
+}
+
+PopularitySignals ScaleSignals(const PopularitySignals& base, double factor) {
+  PopularitySignals out;
+  out.google_trends = std::max(0.1, base.google_trends * factor);
+  out.human_score = std::max(0.1, base.human_score * factor);
+  out.corpus_freq = std::max(0.1, base.corpus_freq * factor);
+  return out;
+}
+
+PopularitySignals CombineSignals(const PopularitySignals& a,
+                                 const PopularitySignals& b, double factor) {
+  PopularitySignals out;
+  out.google_trends =
+      std::max(0.1, std::sqrt(a.google_trends * b.google_trends) * factor);
+  out.human_score =
+      std::max(0.1, std::sqrt(a.human_score * b.human_score) * factor);
+  out.corpus_freq =
+      std::max(0.1, std::sqrt(a.corpus_freq * b.corpus_freq) * factor);
+  return out;
+}
+
+std::string PascalCase(const std::string& word) {
+  if (word.empty()) return word;
+  std::string out = word;
+  out[0] = static_cast<char>(
+      std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+void MergeKeywords(std::vector<std::string>& dst,
+                   const std::vector<std::string>& src) {
+  for (const std::string& k : src) {
+    bool present = false;
+    for (const std::string& existing : dst) {
+      if (existing == k) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) dst.push_back(k);
+  }
+}
+
+/// The builder holds the kind registry and the growing unit map.
+class CatalogBuilder {
+ public:
+  Status Build() {
+    DIMQR_RETURN_NOT_OK(LoadKinds());
+    DIMQR_RETURN_NOT_OK(LoadSeeds());
+    DIMQR_RETURN_NOT_OK(ExpandPrefixes());
+    DIMQR_RETURN_NOT_OK(ApplyCompoundRules());
+    DIMQR_RETURN_NOT_OK(ApplyExtraAliases());
+    DIMQR_RETURN_NOT_OK(AssignFrequencies(units_));
+    return Status::OK();
+  }
+
+  std::vector<UnitRecord> TakeUnits() { return std::move(units_); }
+
+ private:
+  Status LoadKinds() {
+    for (const KindSeed& seed : KindSeeds()) {
+      QuantityKindRecord rec;
+      rec.name = seed.name;
+      rec.label_zh = seed.label_zh;
+      DIMQR_ASSIGN_OR_RETURN(rec.dimension, Dimension::ParseFormula(seed.dim));
+      rec.keywords = SplitList(seed.keywords);
+      if (kinds_.contains(rec.name)) {
+        return Status::Internal("duplicate quantity kind: " + rec.name);
+      }
+      kinds_[rec.name] = rec;
+    }
+    return Status::OK();
+  }
+
+  Result<const QuantityKindRecord*> KindOf(const std::string& name,
+                                           const Dimension& dim) {
+    auto it = kinds_.find(name);
+    if (it == kinds_.end()) {
+      return Status::Internal("unit references unknown kind: " + name);
+    }
+    if (it->second.dimension != dim) {
+      return Status::Internal("unit dimension " + dim.ToFormula() +
+                              " disagrees with kind " + name + " (" +
+                              it->second.dimension.ToFormula() + ")");
+    }
+    return &it->second;
+  }
+
+  Status AddUnit(UnitRecord rec) {
+    if (index_.contains(rec.id)) {
+      return Status::Internal("duplicate unit id: " + rec.id);
+    }
+    index_[rec.id] = units_.size();
+    units_.push_back(std::move(rec));
+    return Status::OK();
+  }
+
+  Result<const UnitRecord*> FindUnit(const std::string& id) const {
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+      return Status::Internal("compound rule references missing unit: " + id);
+    }
+    return &units_[it->second];
+  }
+
+  Status LoadSeeds() {
+    for (const UnitSeed& seed : UnitSeeds()) {
+      UnitRecord rec;
+      rec.id = seed.id;
+      rec.label_en = seed.label_en;
+      rec.label_zh = seed.label_zh;
+      rec.symbols = SplitList(seed.symbols);
+      rec.aliases = SplitList(seed.aliases);
+      rec.description = seed.description;
+      rec.keywords = SplitList(seed.keywords);
+      rec.quantity_kind = seed.kind;
+      DIMQR_ASSIGN_OR_RETURN(rec.dimension, Dimension::ParseFormula(seed.dim));
+      DIMQR_ASSIGN_OR_RETURN(const QuantityKindRecord* kind,
+                             KindOf(rec.quantity_kind, rec.dimension));
+      MergeKeywords(rec.keywords, kind->keywords);
+      DIMQR_ASSIGN_OR_RETURN(ParsedScale scale, ParseScale(seed.scale));
+      rec.conversion_value = scale.value;
+      rec.exact_conversion = scale.exact;
+      rec.conversion_offset = seed.offset;
+      rec.popularity = {seed.gt, seed.hs, seed.cf};
+      rec.origin = UnitOrigin::kSeed;
+      if (rec.description.empty()) {
+        rec.description = "A unit of " + rec.quantity_kind + ".";
+      }
+      DIMQR_RETURN_NOT_OK(AddUnit(std::move(rec)));
+    }
+    return Status::OK();
+  }
+
+  Status ExpandPrefixes() {
+    // Collect targets first; AddUnit invalidates nothing but we iterate over
+    // a stable snapshot of seed indices anyway.
+    std::size_t n_seeds = units_.size();
+    const std::vector<UnitSeed>& seeds = UnitSeeds();
+    if (seeds.size() != n_seeds) {
+      return Status::Internal("seed bookkeeping mismatch");
+    }
+    for (std::size_t i = 0; i < n_seeds; ++i) {
+      const UnitSeed& seed = seeds[i];
+      if (seed.prefix == PrefixPolicy::kNone) continue;
+      const std::vector<PrefixSpec>& prefixes =
+          seed.prefix == PrefixPolicy::kAll ? AllPrefixes() : CommonPrefixes();
+      const UnitRecord base = units_[i];  // copy: units_ may reallocate
+      for (const PrefixSpec& prefix : prefixes) {
+        UnitRecord rec;
+        rec.id = PascalCase(prefix.name) + base.id;
+        if (index_.contains(rec.id)) continue;  // hand-seeded override
+        rec.label_en = prefix.name + base.label_en;
+        if (!base.label_zh.empty()) {
+          rec.label_zh = prefix.label_zh + base.label_zh;
+        }
+        for (const std::string& sym : base.symbols) {
+          rec.symbols.push_back(prefix.symbol + sym);
+        }
+        for (const std::string& alias : base.aliases) {
+          // Only single-word aliases compose ("meter" -> "kilometer").
+          if (alias.find(' ') == std::string::npos &&
+              alias.find('/') == std::string::npos) {
+            rec.aliases.push_back(prefix.name + alias);
+          }
+        }
+        rec.quantity_kind = base.quantity_kind;
+        rec.dimension = base.dimension;
+        double p10 = std::pow(10.0, prefix.pow10);
+        rec.conversion_value = base.conversion_value * p10;
+        std::optional<Rational> exact10 = ExactPow10(prefix.pow10);
+        if (base.exact_conversion && exact10) {
+          Result<Rational> exact = base.exact_conversion->Mul(*exact10);
+          if (exact.ok()) rec.exact_conversion = *exact;
+          else rec.exact_conversion.reset();
+        } else {
+          rec.exact_conversion.reset();
+        }
+        rec.conversion_offset = 0.0;
+        rec.keywords = base.keywords;
+        rec.popularity = ScaleSignals(base.popularity, prefix.commonness);
+        rec.origin = UnitOrigin::kPrefixExpanded;
+        rec.description = "SI-prefixed form of " + base.label_en + " (10^" +
+                          std::to_string(prefix.pow10) + ").";
+        DIMQR_RETURN_NOT_OK(AddUnit(std::move(rec)));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ApplyCompoundRules() {
+    for (const CompoundRule& rule : CompoundRules()) {
+      std::vector<std::string> extra_keywords = SplitList(rule.keywords);
+      std::vector<std::string> lefts = SplitList(rule.left_ids);
+      std::vector<std::string> rights = SplitList(rule.right_ids);
+      if (rule.op == 'p') {
+        for (const std::string& lid : lefts) {
+          DIMQR_ASSIGN_OR_RETURN(const UnitRecord* l, FindUnit(lid));
+          DIMQR_RETURN_NOT_OK(
+              AddPowerUnit(*l, rule, extra_keywords));
+        }
+        continue;
+      }
+      for (const std::string& lid : lefts) {
+        for (const std::string& rid : rights) {
+          DIMQR_ASSIGN_OR_RETURN(const UnitRecord* l, FindUnit(lid));
+          DIMQR_ASSIGN_OR_RETURN(const UnitRecord* r, FindUnit(rid));
+          // Copy before AddUnit: the vector may reallocate.
+          UnitRecord left = *l, right = *r;
+          DIMQR_RETURN_NOT_OK(
+              AddBinaryUnit(left, right, rule, extra_keywords));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status AddPowerUnit(const UnitRecord& base, const CompoundRule& rule,
+                      const std::vector<std::string>& extra_keywords) {
+    if (rule.power != 2 && rule.power != 3) {
+      return Status::Internal("power rules support exponents 2 and 3 only");
+    }
+    UnitRecord rec;
+    rec.id = base.id + std::to_string(rule.power);
+    if (index_.contains(rec.id)) return Status::OK();  // seeded override
+    const char* en_prefix = rule.power == 2 ? "square " : "cubic ";
+    const char* zh_prefix = rule.power == 2 ? "平方" : "立方";
+    rec.label_en = en_prefix + base.label_en;
+    if (!base.label_zh.empty()) rec.label_zh = zh_prefix + base.label_zh;
+    for (const std::string& sym : base.symbols) {
+      rec.symbols.push_back(sym + "^" + std::to_string(rule.power));
+      rec.symbols.push_back(sym + (rule.power == 2 ? "²" : "³"));
+    }
+    rec.aliases.push_back(base.label_en +
+                          (rule.power == 2 ? " squared" : " cubed"));
+    rec.quantity_kind = rule.kind;
+    DIMQR_ASSIGN_OR_RETURN(dimqr::Dimension dim,
+                           base.dimension.Power(rule.power));
+    rec.dimension = dim;
+    DIMQR_ASSIGN_OR_RETURN(const QuantityKindRecord* kind,
+                           KindOf(rec.quantity_kind, rec.dimension));
+    rec.conversion_value = std::pow(base.conversion_value, rule.power);
+    if (base.exact_conversion) {
+      Result<Rational> exact = base.exact_conversion->Pow(rule.power);
+      if (exact.ok()) rec.exact_conversion = *exact;
+      else rec.exact_conversion.reset();
+    } else {
+      rec.exact_conversion.reset();
+    }
+    rec.keywords = base.keywords;
+    MergeKeywords(rec.keywords, kind->keywords);
+    MergeKeywords(rec.keywords, extra_keywords);
+    rec.popularity =
+        ScaleSignals(base.popularity, 0.6 * rule.popularity_scale);
+    rec.origin = UnitOrigin::kCompound;
+    rec.description = "The " + std::to_string(rule.power) +
+                      (rule.power == 2 ? "nd" : "rd") + " power of " +
+                      base.label_en + "; a unit of " + rec.quantity_kind + ".";
+    return AddUnit(std::move(rec));
+  }
+
+  Status AddBinaryUnit(const UnitRecord& left, const UnitRecord& right,
+                       const CompoundRule& rule,
+                       const std::vector<std::string>& extra_keywords) {
+    UnitRecord rec;
+    bool divide = rule.op == '/';
+    rec.id = left.id + (divide ? "-PER-" : "-") + right.id;
+    if (index_.contains(rec.id)) return Status::OK();
+    rec.label_en =
+        left.label_en + (divide ? " per " : " ") + right.label_en;
+    if (!left.label_zh.empty() && !right.label_zh.empty()) {
+      rec.label_zh = divide ? left.label_zh + "每" + right.label_zh
+                            : left.label_zh + right.label_zh;
+    }
+    std::string lsym = left.symbols.empty() ? left.label_en : left.symbols[0];
+    std::string rsym =
+        right.symbols.empty() ? right.label_en : right.symbols[0];
+    rec.symbols.push_back(lsym + (divide ? "/" : "*") + rsym);
+    if (divide) {
+      rec.aliases.push_back(lsym + " per " + rsym);
+    } else {
+      rec.aliases.push_back(lsym + "·" + rsym);
+    }
+    rec.quantity_kind = rule.kind;
+    dimqr::UnitSemantics lsem = left.Semantics();
+    dimqr::UnitSemantics rsem = right.Semantics();
+    DIMQR_ASSIGN_OR_RETURN(
+        dimqr::UnitSemantics sem,
+        divide ? lsem.Over(rsem) : lsem.Times(rsem));
+    rec.dimension = sem.dimension;
+    DIMQR_ASSIGN_OR_RETURN(const QuantityKindRecord* kind,
+                           KindOf(rec.quantity_kind, rec.dimension));
+    rec.conversion_value = sem.scale;
+    rec.exact_conversion = sem.exact_scale;
+    rec.keywords = left.keywords;
+    MergeKeywords(rec.keywords, right.keywords);
+    MergeKeywords(rec.keywords, kind->keywords);
+    MergeKeywords(rec.keywords, extra_keywords);
+    rec.popularity =
+        CombineSignals(left.popularity, right.popularity,
+                       rule.popularity_scale);
+    rec.origin = UnitOrigin::kCompound;
+    rec.description = "A unit of " + rec.quantity_kind + " (" +
+                      left.label_en + (divide ? " per " : " times ") +
+                      right.label_en + ").";
+    return AddUnit(std::move(rec));
+  }
+
+  Status ApplyExtraAliases() {
+    for (const auto& [id, aliases] : ExtraCompoundAliases()) {
+      auto it = index_.find(id);
+      if (it == index_.end()) {
+        return Status::Internal(std::string("extra alias for missing unit: ") +
+                                id);
+      }
+      for (const std::string& alias : SplitList(aliases)) {
+        units_[it->second].aliases.push_back(alias);
+      }
+    }
+    return Status::OK();
+  }
+
+  std::unordered_map<std::string, QuantityKindRecord> kinds_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<UnitRecord> units_;
+};
+
+}  // namespace
+
+Result<std::vector<UnitRecord>> BuildUnitCatalog() {
+  CatalogBuilder builder;
+  DIMQR_RETURN_NOT_OK(builder.Build());
+  return builder.TakeUnits();
+}
+
+Result<std::vector<QuantityKindRecord>> BuildKindCatalog() {
+  std::vector<QuantityKindRecord> out;
+  std::unordered_set<std::string> seen;
+  for (const KindSeed& seed : KindSeeds()) {
+    QuantityKindRecord rec;
+    rec.name = seed.name;
+    rec.label_zh = seed.label_zh;
+    DIMQR_ASSIGN_OR_RETURN(rec.dimension, Dimension::ParseFormula(seed.dim));
+    rec.keywords = SplitList(seed.keywords);
+    if (!seen.insert(rec.name).second) {
+      return Status::Internal("duplicate quantity kind: " + rec.name);
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace dimqr::kb

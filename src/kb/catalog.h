@@ -1,0 +1,94 @@
+#ifndef DIMQR_KB_CATALOG_H_
+#define DIMQR_KB_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "kb/prefix.h"
+#include "kb/unit_record.h"
+
+/// \file catalog.h
+/// The DimUnitKB seed catalog and its two expansion generators.
+///
+/// Substitution (DESIGN.md): the paper ingests the QUDT ontology (1778
+/// units, 327 quantity kinds, 175 dimension vectors) plus Chinese
+/// extensions. Offline, the same scale is reached from
+///   (a) a hand-curated seed catalog of named units (QUDT-schema-compatible,
+///       bilingual, with keywords and popularity signals),
+///   (b) SI-prefix expansion ("kilo" + "metre" -> kilometre, 24 prefixes),
+///   (c) compound rules ("Length unit / Time unit" -> velocity units,
+///       "Length unit ^ 3" -> volume units, ...).
+/// plus a quantity-kind registry covering the standard physics kinds.
+
+namespace dimqr::kb {
+
+/// \brief One hand-curated seed unit. String list fields are ';'-separated.
+struct UnitSeed {
+  const char* id;        ///< "M", "SEC", "DYN".
+  const char* label_en;  ///< "metre".
+  const char* label_zh;  ///< UTF-8 Chinese label; may be "".
+  const char* symbols;   ///< "m" or "t;mt".
+  const char* aliases;   ///< "meter;meters;metres".
+  const char* kind;      ///< QuantityKind name, must exist in the registry.
+  const char* dim;       ///< Dimension formula, e.g. "LMT-2" or "D".
+  /// Conversion to the SI coherent unit: an exact rational string
+  /// ("1", "1/1000", "2.54e-2"), or "~<double>" when no exact form exists
+  /// (e.g. "~0.01745329251994330" for degree -> radian-equivalent).
+  const char* scale;
+  double offset;          ///< Affine offset (temperatures), else 0.
+  const char* keywords;   ///< "distance;far;tall;length".
+  double gt, hs, cf;      ///< Popularity signals on a 0.1..100 scale.
+  PrefixPolicy prefix;    ///< Prefix-expansion policy.
+  const char* description;
+};
+
+/// \brief One quantity-kind registry entry.
+struct KindSeed {
+  const char* name;      ///< "VolumeFlowRate".
+  const char* label_zh;  ///< "体积流量".
+  const char* dim;       ///< Dimension formula.
+  const char* keywords;  ///< ';'-separated context keywords.
+};
+
+/// \brief A compound-unit generation rule.
+///
+/// op '/' or '*': every (left, right) ID pair produces one compound unit.
+/// op 'p': every left ID is raised to `power` (right_ids unused).
+struct CompoundRule {
+  const char* kind;       ///< Resulting QuantityKind name.
+  char op;                ///< '/', '*', or 'p'.
+  const char* left_ids;   ///< ';'-separated unit IDs (must exist by then).
+  const char* right_ids;  ///< ';'-separated unit IDs, or "" for 'p'.
+  int power;              ///< Exponent for op 'p'.
+  double popularity_scale;///< Multiplies the combined parent popularity.
+  const char* keywords;   ///< Extra keywords for the generated units.
+};
+
+/// The hand-curated seed units.
+const std::vector<UnitSeed>& UnitSeeds();
+
+/// The quantity-kind registry (superset of the kinds used by units, like
+/// QUDT's kind ontology).
+const std::vector<KindSeed>& KindSeeds();
+
+/// The compound-unit generation rules, in application order.
+const std::vector<CompoundRule>& CompoundRules();
+
+/// \brief Extra aliases for famous compound units ("mph", "kph", "mpg",
+/// "bps"), applied after compound generation. Pairs of (unit ID,
+/// ';'-separated aliases).
+const std::vector<std::pair<const char*, const char*>>& ExtraCompoundAliases();
+
+/// \brief Builds the full unit collection: seeds, then prefix expansion,
+/// then compound rules, then frequency assignment (Eq. 1-2). Fails with
+/// Internal if seed data is inconsistent (bad dimension formula, unknown
+/// kind, duplicate ID, rule referencing a missing unit).
+dimqr::Result<std::vector<UnitRecord>> BuildUnitCatalog();
+
+/// \brief Builds the quantity-kind records from the registry.
+dimqr::Result<std::vector<QuantityKindRecord>> BuildKindCatalog();
+
+}  // namespace dimqr::kb
+
+#endif  // DIMQR_KB_CATALOG_H_

@@ -1,0 +1,168 @@
+#include "kb/catalog.h"
+
+/// \file catalog_data_rules.cc
+/// Compound-unit generation rules. Rules run in order; later rules may
+/// reference units produced by earlier ones (e.g. acceleration divides the
+/// velocity units, thermal conductivity divides by the metre-kelvin
+/// product). A pair whose ID already exists is skipped, so overlapping
+/// rules keep the first kind assignment.
+
+namespace dimqr::kb {
+
+const std::vector<CompoundRule>& CompoundRules() {
+  static const std::vector<CompoundRule>* const kRules =
+      new std::vector<CompoundRule>{
+          // --- powers first: areas and volumes feed later rules ---
+          {"Area", 'p', "M;KiloM;CentiM;MilliM;MicroM;NanoM;DeciM;FT;IN;MI;YD;NMI",
+           "", 2, 1.0, "area;surface"},
+          {"Volume", 'p', "M;CentiM;MilliM;DeciM;KiloM;MicroM;FT;IN;YD", "", 3,
+           1.0, "volume;capacity"},
+
+          // --- velocity & kinematics ---
+          {"Velocity", '/',
+           "M;KiloM;CentiM;MilliM;DeciM;MicroM;FT;IN;YD;MI;NMI;LI_CN;CHI_CN",
+           "SEC;MilliSEC;MIN;HR;DAY", 0, 1.0, "speed;travel"},
+          {"Acceleration", '/',
+           "M-PER-SEC;CentiM-PER-SEC;MilliM-PER-SEC;FT-PER-SEC;IN-PER-SEC;"
+           "KiloM-PER-HR;MI-PER-HR",
+           "SEC;MIN", 0, 0.6, "acceleration"},
+          {"AngularVelocity", '/', "RAD_ANGLE;DEG_ANGLE;REV;GRADIAN",
+           "SEC;MIN;HR", 0, 0.5, "rotation;angular"},
+          {"TimePerLength", '/', "SEC;MIN;HR", "KiloM;MI;M", 0, 0.5,
+           "pace;running"},
+
+          // --- flow ---
+          {"VolumeFlowRate", '/',
+           "LITRE;MilliLITRE;CentiLITRE;DeciLITRE;M3;CentiM3;GAL_US;GAL_UK;"
+           "GILL_US;BBL;FT3;IN3",
+           "SEC;MIN;HR;DAY", 0, 0.7, "flow;discharge"},
+          {"MassFlowRate", '/', "GM;KiloGM;MilliGM;TONNE;LB;OZ",
+           "SEC;MIN;HR;DAY", 0, 0.6, "flow;throughput"},
+          {"MolarFlowRate", '/', "MOL;MilliMOL;KiloMOL", "SEC;MIN;HR", 0, 0.3,
+           "molar;flow"},
+
+          // --- density & concentration ---
+          {"Density", '/', "GM;KiloGM;LB;OZ;TONNE;JIN_CN",
+           "LITRE;MilliLITRE;M3;CentiM3;DeciM3;FT3;IN3;GAL_US", 0, 0.8,
+           "density;material"},
+          {"MassConcentration", '/', "MilliGM;MicroGM;NanoGM;GM",
+           "LITRE;DeciLITRE;MilliLITRE;M3", 0, 0.6,
+           "concentration;medical;lab"},
+          {"AmountConcentration", '/', "MOL;MilliMOL;MicroMOL;NanoMOL",
+           "LITRE;MilliLITRE;M3", 0, 0.5, "concentration;solution"},
+          {"MolarMass", '/', "GM;KiloGM;MilliGM", "MOL;MilliMOL", 0, 0.4,
+           "molar;molecular"},
+          {"SpecificVolume", '/', "LITRE;MilliLITRE;M3;CentiM3", "KiloGM;GM",
+           0, 0.3, "specific;volume"},
+
+          // --- force, pressure, energy ---
+          {"ForcePerLength", '/', "N;MilliN;KiloN;DYN;LBF;KGF;POUNDAL",
+           "M;CentiM;MilliM;FT;IN", 0, 0.4, "tension;spring"},
+          {"Pressure", '/', "N;KiloN;MegaN;LBF;KGF;DYN",
+           "M2;CentiM2;MilliM2;IN2;FT2", 0, 0.6, "pressure"},
+          {"EnergyPerArea", '/', "J;KiloJ;MegaJ;MilliJ", "M2;CentiM2", 0, 0.4,
+           "fluence;energy"},
+          {"PowerPerArea", '/', "W;KiloW;MilliW;MegaW;MicroW", "M2;CentiM2",
+           0, 0.5, "intensity;flux;solar"},
+          {"SpecificEnergy", '/',
+           "J;KiloJ;MegaJ;CAL;KiloCAL;WH;KiloWH;BTU;EV", "GM;KiloGM;LB;OZ", 0,
+           0.6, "energy;food;diet"},
+          {"EnergyDensity", '/', "J;KiloJ;MegaJ;WH;KiloWH",
+           "LITRE;M3;MilliLITRE", 0, 0.4, "battery;fuel"},
+          {"Torque", '*', "N;KiloN;MilliN", "M;CentiM;MilliM", 0, 0.6,
+           "torque;wrench"},
+          {"Torque", '*', "LBF", "FT;IN", 0, 0.5, "torque;imperial"},
+          {"Momentum", '*', "KiloGM", "M-PER-SEC", 0, 0.3, "momentum"},
+          {"Impulse", '*', "N", "SEC;MilliSEC", 0, 0.3, "impulse"},
+          {"MomentOfInertia", '*', "KiloGM", "M2", 0, 0.3, "inertia"},
+          {"Action", '*', "J", "SEC", 0, 0.3, "action;planck"},
+          {"AbsementKind", '*', "M", "SEC", 0, 0.2, "absement"},
+          {"DynamicViscosity", '*', "PA;MilliPA", "SEC", 0, 0.4,
+           "viscosity;fluid"},
+          {"KinematicViscosity", '/', "M2;CentiM2;MilliM2", "SEC;HR", 0, 0.3,
+           "viscosity;kinematic"},
+
+          // --- thermal ---
+          {"HeatCapacity", '/', "J;KiloJ;MilliJ", "K", 0, 0.4,
+           "heat;capacity"},
+          {"LengthTemperature", '*', "M", "K", 0, 0.2, "metre;kelvin"},
+          {"ThermalConductivity", '/', "W;KiloW", "M-K", 0, 0.4,
+           "conductivity;insulation"},
+          {"CoefficientOfHeatTransfer", '/', "W-PER-M2", "K", 0, 0.3,
+           "transfer;coefficient"},
+          {"SpecificHeatCapacity", '/', "J-PER-KiloGM;KiloJ-PER-KiloGM", "K",
+           0, 0.4, "specific;heat"},
+          {"TemperatureRate", '/', "K", "SEC;MIN;HR", 0, 0.3,
+           "heating;cooling;rate"},
+          {"MolarEnergy", '/', "J;KiloJ;KiloCAL;CAL", "MOL", 0, 0.4,
+           "bond;reaction"},
+
+          // --- electromagnetic ---
+          {"ElectricFieldStrength", '/', "V;KiloV;MilliV;MegaV",
+           "M;CentiM;MilliM", 0, 0.4, "field;electric"},
+          {"CurrentDensity", '/', "AMP;MilliAMP;MicroAMP;KiloAMP",
+           "M2;CentiM2;MilliM2", 0, 0.3, "current;density"},
+
+          // --- photometry ---
+          {"Luminance", '/', "CD", "M2", 0, 0.5, "luminance;display"},
+          {"LuminousEnergy", '*', "LUMEN", "SEC", 0, 0.2, "luminous;energy"},
+          {"LuminousExposure", '*', "LUX", "SEC", 0, 0.2, "exposure"},
+
+          // --- dosimetry ---
+          {"AbsorbedDoseRate", '/',
+           "SV;MilliSV;MicroSV;NanoSV;GY;MilliGY;MicroGY", "SEC;HR;YR", 0,
+           0.4, "dose;rate;radiation"},
+          {"CatalyticConcentration", '/', "KATAL;MilliKATAL;MicroKATAL",
+           "LITRE;M3", 0, 0.2, "catalytic"},
+
+          // --- everyday composites ---
+          {"DataRate", '/',
+           "BIT;KiloBIT;MegaBIT;GigaBIT;TeraBIT;BYTE;KiloBYTE;MegaBYTE;"
+           "GigaBYTE;TeraBYTE",
+           "SEC", 0, 0.9, "bandwidth;network;download"},
+          {"FuelEfficiency", '/', "KiloM;MI", "LITRE;GAL_US;GAL_UK", 0, 0.6,
+           "fuel;economy;mileage"},
+          {"MassPerArea", '/', "GM;KiloGM;MilliGM;TONNE",
+           "M2;CentiM2;HECTARE", 0, 0.4, "areal;coating;yield"},
+          {"MassPerLength", '/', "KiloGM;GM;MilliGM", "M;CentiM;KiloM", 0,
+           0.3, "linear;density"},
+          {"VolumePerArea", '/', "LITRE;MilliLITRE", "M2", 0, 0.3,
+           "irrigation;rainfall"},
+          {"PowerPerVolume", '/', "W;KiloW;MegaW", "M3;LITRE", 0, 0.3,
+           "power;density"},
+          {"SpecificPower", '/', "W;KiloW;MilliW", "KiloGM;GM", 0, 0.4,
+           "power;weight;ratio"},
+          {"PressureRate", '/', "PA;KiloPA;BAR", "SEC;MIN", 0, 0.2,
+           "pressure;rate"},
+      };
+  return *kRules;
+}
+
+const std::vector<std::pair<const char*, const char*>>&
+ExtraCompoundAliases() {
+  static const std::vector<std::pair<const char*, const char*>>* const
+      kAliases = new std::vector<std::pair<const char*, const char*>>{
+          {"MI-PER-HR", "mph;miles per hour"},
+          {"KiloM-PER-HR", "kph;kmh;kilometers per hour;公里每小时"},
+          {"M-PER-SEC", "mps;meters per second"},
+          {"FT-PER-SEC", "fps;feet per second"},
+          {"GM-PER-CentiM3", "g/cc;grams per cc"},
+          {"KiloM-PER-LITRE", "km/L"},
+          {"MI-PER-GAL_US", "mpg;miles per gallon"},
+          {"BIT-PER-SEC", "bps"},
+          {"KiloBIT-PER-SEC", "kbps"},
+          {"MegaBIT-PER-SEC", "mbps"},
+          {"GigaBIT-PER-SEC", "gbps"},
+          {"MegaBYTE-PER-SEC", "MBps"},
+          {"N-M", "newton metre;newton meter"},
+          {"KiloGM-PER-M3", "kilograms per cubic metre"},
+          {"MilliGM-PER-DeciLITRE", "mg/dL"},
+          {"MilliMOL-PER-LITRE", "mmol/L"},
+          {"MicroSV-PER-HR", "uSv/h"},
+          {"REV-PER-MIN", "revs per minute"},
+          {"CD-PER-M2", "nits"},
+      };
+  return *kAliases;
+}
+
+}  // namespace dimqr::kb

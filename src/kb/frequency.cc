@@ -1,0 +1,46 @@
+#include "kb/frequency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dimqr::kb {
+namespace {
+
+constexpr double kSignalFloor = 1e-3;
+
+}  // namespace
+
+double FrequencyScore(const PopularitySignals& signals,
+                      const FrequencyWeights& weights) {
+  double gt = std::max(signals.google_trends, kSignalFloor);
+  double hs = std::max(signals.human_score, kSignalFloor);
+  double cf = std::max(signals.corpus_freq, kSignalFloor);
+  return weights.alpha_gt * std::log(gt) + weights.alpha_hs * std::log(hs) +
+         weights.alpha_cf * std::log(cf);
+}
+
+dimqr::Status AssignFrequencies(std::vector<UnitRecord>& units,
+                                const FrequencyWeights& weights) {
+  if (units.empty()) {
+    return dimqr::Status::InvalidArgument(
+        "cannot assign frequencies to an empty unit collection");
+  }
+  std::vector<double> scores(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    scores[i] = FrequencyScore(units[i].popularity, weights);
+  }
+  auto [min_it, max_it] = std::minmax_element(scores.begin(), scores.end());
+  double lo = *min_it, hi = *max_it;
+  double range = hi - lo;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (range <= 0.0) {
+      units[i].frequency = 1.0;
+    } else {
+      units[i].frequency =
+          (1.0 - weights.delta) * (scores[i] - lo) / range + weights.delta;
+    }
+  }
+  return dimqr::Status::OK();
+}
+
+}  // namespace dimqr::kb

@@ -1,0 +1,44 @@
+#ifndef DIMQR_KB_FREQUENCY_H_
+#define DIMQR_KB_FREQUENCY_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "kb/unit_record.h"
+
+/// \file frequency.h
+/// The unit-frequency model of Section III-A4, Equations (1)-(2):
+///
+///   Score(u) = sum_{j in {GT,HS,CF}} alpha_j * log(Freq_j(u))          (1)
+///   Freq(u)  = (1-delta) * (Score(u) - min Score) / (max - min) + delta (2)
+///
+/// with alpha_GT = 0.3, alpha_HS = 0.3, alpha_CF = 0.4, delta = 0.1 as set
+/// in the paper. Freq(u) lands in [delta, 1] and is used as the linking
+/// prior Pr(u) and for the Figure 3/4 rankings.
+
+namespace dimqr::kb {
+
+/// \brief The weighting parameters of Eq. (1)-(2).
+struct FrequencyWeights {
+  double alpha_gt = 0.3;
+  double alpha_hs = 0.3;
+  double alpha_cf = 0.4;
+  double delta = 0.1;
+};
+
+/// \brief Eq. (1): the raw log-linear popularity score of one unit.
+/// Signals are clamped below at a small epsilon so log() stays finite.
+double FrequencyScore(const PopularitySignals& signals,
+                      const FrequencyWeights& weights = {});
+
+/// \brief Eq. (2): computes Freq(u) for every record in `units` in place
+/// (min/max normalization runs over the whole collection).
+///
+/// Returns InvalidArgument for an empty collection. When all scores are
+/// equal (degenerate min == max), every unit gets frequency 1.0.
+dimqr::Status AssignFrequencies(std::vector<UnitRecord>& units,
+                                const FrequencyWeights& weights = {});
+
+}  // namespace dimqr::kb
+
+#endif  // DIMQR_KB_FREQUENCY_H_

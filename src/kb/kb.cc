@@ -1,0 +1,313 @@
+#include "kb/kb.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "kb/catalog.h"
+#include "text/string_util.h"
+
+namespace dimqr::kb {
+namespace {
+
+using dimqr::Result;
+using dimqr::Status;
+
+std::string JoinList(const std::vector<std::string>& parts) {
+  return dimqr::text::Join(parts, "|");
+}
+
+std::vector<std::string> SplitPipe(const std::string& field) {
+  if (field.empty()) return {};
+  return dimqr::text::Split(field, '|');
+}
+
+const char* OriginName(UnitOrigin origin) {
+  switch (origin) {
+    case UnitOrigin::kSeed:
+      return "seed";
+    case UnitOrigin::kPrefixExpanded:
+      return "prefix";
+    case UnitOrigin::kCompound:
+      return "compound";
+  }
+  return "seed";
+}
+
+Result<UnitOrigin> ParseOrigin(const std::string& name) {
+  if (name == "seed") return UnitOrigin::kSeed;
+  if (name == "prefix") return UnitOrigin::kPrefixExpanded;
+  if (name == "compound") return UnitOrigin::kCompound;
+  return Status::ParseError("unknown unit origin: " + name);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const DimUnitKB>> DimUnitKB::Build() {
+  auto kb = std::shared_ptr<DimUnitKB>(new DimUnitKB());
+  DIMQR_ASSIGN_OR_RETURN(kb->units_, BuildUnitCatalog());
+  DIMQR_ASSIGN_OR_RETURN(kb->kinds_, BuildKindCatalog());
+  kb->BuildIndexes();
+  return std::shared_ptr<const DimUnitKB>(kb);
+}
+
+void DimUnitKB::BuildIndexes() {
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    const UnitRecord& u = units_[i];
+    by_id_[u.id] = i;
+    for (const std::string& surface : u.SurfaceForms()) {
+      if (surface.empty()) continue;
+      by_surface_[surface].push_back(i);
+      by_surface_lower_[dimqr::text::ToLowerAscii(surface)].push_back(i);
+    }
+    by_dimension_[u.dimension.PackedKey()].push_back(i);
+    by_kind_[u.quantity_kind].push_back(i);
+  }
+  for (std::size_t k = 0; k < kinds_.size(); ++k) {
+    kind_by_name_[kinds_[k].name] = k;
+  }
+}
+
+Result<const UnitRecord*> DimUnitKB::FindById(std::string_view id) const {
+  auto it = by_id_.find(std::string(id));
+  if (it == by_id_.end()) {
+    return Status::NotFound("no unit with id '" + std::string(id) + "'");
+  }
+  return &units_[it->second];
+}
+
+std::vector<const UnitRecord*> DimUnitKB::FindBySurface(
+    std::string_view surface) const {
+  std::vector<const UnitRecord*> out;
+  auto exact = by_surface_.find(std::string(surface));
+  if (exact != by_surface_.end()) {
+    for (std::size_t i : exact->second) out.push_back(&units_[i]);
+    return out;
+  }
+  auto lower = by_surface_lower_.find(dimqr::text::ToLowerAscii(surface));
+  if (lower != by_surface_lower_.end()) {
+    std::unordered_set<std::size_t> seen;
+    for (std::size_t i : lower->second) {
+      if (seen.insert(i).second) out.push_back(&units_[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<const UnitRecord*> DimUnitKB::UnitsOfDimension(
+    const dimqr::Dimension& dim) const {
+  std::vector<const UnitRecord*> out;
+  auto it = by_dimension_.find(dim.PackedKey());
+  if (it == by_dimension_.end()) return out;
+  for (std::size_t i : it->second) out.push_back(&units_[i]);
+  return out;
+}
+
+std::vector<const UnitRecord*> DimUnitKB::UnitsOfKind(
+    std::string_view kind) const {
+  std::vector<const UnitRecord*> out;
+  auto it = by_kind_.find(std::string(kind));
+  if (it == by_kind_.end()) return out;
+  for (std::size_t i : it->second) out.push_back(&units_[i]);
+  return out;
+}
+
+Result<const QuantityKindRecord*> DimUnitKB::FindKind(
+    std::string_view name) const {
+  auto it = kind_by_name_.find(std::string(name));
+  if (it == kind_by_name_.end()) {
+    return Status::NotFound("no quantity kind '" + std::string(name) + "'");
+  }
+  return &kinds_[it->second];
+}
+
+Result<double> DimUnitKB::ConversionFactor(std::string_view from_id,
+                                           std::string_view to_id) const {
+  DIMQR_ASSIGN_OR_RETURN(const UnitRecord* from, FindById(from_id));
+  DIMQR_ASSIGN_OR_RETURN(const UnitRecord* to, FindById(to_id));
+  return from->Semantics().ConversionFactorTo(to->Semantics());
+}
+
+dimqr::UnitResolver DimUnitKB::Resolver() const {
+  return [this](std::string_view name) -> Result<dimqr::UnitSemantics> {
+    std::vector<const UnitRecord*> candidates = FindBySurface(name);
+    if (candidates.empty()) {
+      Result<const UnitRecord*> by_id = FindById(name);
+      if (by_id.ok()) return (*by_id)->Semantics();
+      return Status::NotFound("unknown unit '" + std::string(name) + "'");
+    }
+    const UnitRecord* best = candidates.front();
+    for (const UnitRecord* c : candidates) {
+      if (c->frequency > best->frequency) best = c;
+    }
+    return best->Semantics();
+  };
+}
+
+std::vector<const UnitRecord*> DimUnitKB::UnitsByFrequency() const {
+  std::vector<const UnitRecord*> out;
+  out.reserve(units_.size());
+  for (const UnitRecord& u : units_) out.push_back(&u);
+  std::sort(out.begin(), out.end(),
+            [](const UnitRecord* a, const UnitRecord* b) {
+              if (a->frequency != b->frequency) {
+                return a->frequency > b->frequency;
+              }
+              return a->id < b->id;
+            });
+  return out;
+}
+
+std::vector<std::pair<const QuantityKindRecord*, double>>
+DimUnitKB::KindsByFrequency(std::size_t top_k) const {
+  std::vector<std::pair<const QuantityKindRecord*, double>> out;
+  for (const QuantityKindRecord& kind : kinds_) {
+    std::vector<const UnitRecord*> members = UnitsOfKind(kind.name);
+    if (members.empty()) continue;
+    std::sort(members.begin(), members.end(),
+              [](const UnitRecord* a, const UnitRecord* b) {
+                return a->frequency > b->frequency;
+              });
+    std::size_t n = std::min(top_k, members.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += members[i]->frequency;
+    out.emplace_back(&kind, sum / static_cast<double>(n));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first->name < b.first->name;
+  });
+  return out;
+}
+
+KbStats DimUnitKB::Stats() const {
+  KbStats stats;
+  stats.num_units = units_.size();
+  stats.num_quantity_kinds = kinds_.size();
+  std::unordered_set<std::uint64_t> dims;
+  for (const UnitRecord& u : units_) dims.insert(u.dimension.PackedKey());
+  for (const QuantityKindRecord& k : kinds_) {
+    dims.insert(k.dimension.PackedKey());
+  }
+  stats.num_dimension_vectors = dims.size();
+  for (const UnitRecord& u : units_) {
+    if (!u.label_zh.empty()) ++stats.num_units_with_zh;
+    switch (u.origin) {
+      case UnitOrigin::kSeed:
+        ++stats.num_seed_units;
+        break;
+      case UnitOrigin::kPrefixExpanded:
+        ++stats.num_prefix_units;
+        break;
+      case UnitOrigin::kCompound:
+        ++stats.num_compound_units;
+        break;
+    }
+  }
+  return stats;
+}
+
+Status DimUnitKB::SaveTsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "#id\tlabel_en\tlabel_zh\tsymbols\taliases\tkind\tdim\tscale\t"
+         "exact\toffset\tfreq\tgt\ths\tcf\torigin\tkeywords\tdescription\n";
+  for (const UnitRecord& u : units_) {
+    out << u.id << '\t' << u.label_en << '\t' << u.label_zh << '\t'
+        << JoinList(u.symbols) << '\t' << JoinList(u.aliases) << '\t'
+        << u.quantity_kind << '\t' << u.dimension.ToVectorForm() << '\t';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", u.conversion_value);
+    out << buf << '\t'
+        << (u.exact_conversion ? u.exact_conversion->ToString() : "") << '\t';
+    std::snprintf(buf, sizeof(buf), "%.17g", u.conversion_offset);
+    out << buf << '\t';
+    std::snprintf(buf, sizeof(buf), "%.17g", u.frequency);
+    out << buf << '\t';
+    std::snprintf(buf, sizeof(buf), "%.17g", u.popularity.google_trends);
+    out << buf << '\t';
+    std::snprintf(buf, sizeof(buf), "%.17g", u.popularity.human_score);
+    out << buf << '\t';
+    std::snprintf(buf, sizeof(buf), "%.17g", u.popularity.corpus_freq);
+    out << buf << '\t' << OriginName(u.origin) << '\t'
+        << JoinList(u.keywords) << '\t' << u.description << '\n';
+  }
+  out << "#KINDS\n";
+  for (const QuantityKindRecord& k : kinds_) {
+    out << k.name << '\t' << k.label_zh << '\t' << k.dimension.ToVectorForm()
+        << '\t' << JoinList(k.keywords) << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const DimUnitKB>> DimUnitKB::LoadTsv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  auto kb = std::shared_ptr<DimUnitKB>(new DimUnitKB());
+  std::string line;
+  bool in_kinds = false;
+  bool header_skipped = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "#KINDS") {
+      in_kinds = true;
+      continue;
+    }
+    if (!header_skipped && line[0] == '#') {
+      header_skipped = true;
+      continue;
+    }
+    std::vector<std::string> f = dimqr::text::Split(line, '\t');
+    if (in_kinds) {
+      if (f.size() != 4) {
+        return Status::ParseError("malformed kind row: " + line);
+      }
+      QuantityKindRecord k;
+      k.name = f[0];
+      k.label_zh = f[1];
+      DIMQR_ASSIGN_OR_RETURN(k.dimension,
+                             dimqr::Dimension::ParseVectorForm(f[2]));
+      k.keywords = SplitPipe(f[3]);
+      kb->kinds_.push_back(std::move(k));
+      continue;
+    }
+    if (f.size() != 17) {
+      return Status::ParseError("malformed unit row: " + line);
+    }
+    UnitRecord u;
+    u.id = f[0];
+    u.label_en = f[1];
+    u.label_zh = f[2];
+    u.symbols = SplitPipe(f[3]);
+    u.aliases = SplitPipe(f[4]);
+    u.quantity_kind = f[5];
+    DIMQR_ASSIGN_OR_RETURN(u.dimension, dimqr::Dimension::ParseVectorForm(f[6]));
+    u.conversion_value = std::strtod(f[7].c_str(), nullptr);
+    if (f[8].empty()) {
+      u.exact_conversion.reset();
+    } else {
+      DIMQR_ASSIGN_OR_RETURN(dimqr::Rational exact,
+                             dimqr::Rational::Parse(f[8]));
+      u.exact_conversion = exact;
+    }
+    u.conversion_offset = std::strtod(f[9].c_str(), nullptr);
+    u.frequency = std::strtod(f[10].c_str(), nullptr);
+    u.popularity.google_trends = std::strtod(f[11].c_str(), nullptr);
+    u.popularity.human_score = std::strtod(f[12].c_str(), nullptr);
+    u.popularity.corpus_freq = std::strtod(f[13].c_str(), nullptr);
+    DIMQR_ASSIGN_OR_RETURN(u.origin, ParseOrigin(f[14]));
+    u.keywords = SplitPipe(f[15]);
+    u.description = f[16];
+    kb->units_.push_back(std::move(u));
+  }
+  if (kb->units_.empty()) {
+    return Status::ParseError("no unit rows in " + path);
+  }
+  kb->BuildIndexes();
+  return std::shared_ptr<const DimUnitKB>(kb);
+}
+
+}  // namespace dimqr::kb

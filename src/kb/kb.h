@@ -1,0 +1,119 @@
+#ifndef DIMQR_KB_KB_H_
+#define DIMQR_KB_KB_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dimension.h"
+#include "core/quantity.h"
+#include "core/status.h"
+#include "core/unit_expr.h"
+#include "kb/unit_record.h"
+
+/// \file kb.h
+/// DimUnitKB — the dimensional unit knowledge base (Section III-A).
+///
+/// Stores the full unit collection with Table II schema, the quantity-kind
+/// registry, and the lookup indexes the rest of the system needs: by ID, by
+/// surface form, by dimension, by quantity kind. Construction runs the
+/// catalog builder (seeds + prefix expansion + compound rules + Eq. 1-2
+/// frequencies); the result is immutable afterwards.
+
+namespace dimqr::kb {
+
+/// \brief Aggregate statistics in the shape of Table IV.
+struct KbStats {
+  std::size_t num_units = 0;
+  std::size_t num_quantity_kinds = 0;   ///< Registry kinds.
+  std::size_t num_dimension_vectors = 0;///< Distinct dims across units+kinds.
+  std::size_t num_units_with_zh = 0;    ///< Bilingual coverage.
+  std::size_t num_seed_units = 0;
+  std::size_t num_prefix_units = 0;
+  std::size_t num_compound_units = 0;
+};
+
+/// \brief The dimensional unit knowledge base.
+///
+/// Immutable after construction; all lookups are const and thread-safe.
+class DimUnitKB {
+ public:
+  /// \brief Builds the KB from the built-in catalog. Expensive (~all units
+  /// are generated and indexed); call once and share.
+  static dimqr::Result<std::shared_ptr<const DimUnitKB>> Build();
+
+  /// \brief Loads a KB previously saved with SaveTsv.
+  static dimqr::Result<std::shared_ptr<const DimUnitKB>> LoadTsv(
+      const std::string& path);
+
+  /// \brief Serializes all unit records to a TSV file (one row per unit,
+  /// lists '|'-joined). Kind records are appended after a `#KINDS` marker.
+  dimqr::Status SaveTsv(const std::string& path) const;
+
+  /// All unit records, in catalog order.
+  const std::vector<UnitRecord>& units() const { return units_; }
+
+  /// All quantity-kind records.
+  const std::vector<QuantityKindRecord>& kinds() const { return kinds_; }
+
+  /// The record with the given UnitID, or NotFound.
+  dimqr::Result<const UnitRecord*> FindById(std::string_view id) const;
+
+  /// \brief All units whose label/symbol/alias equals `surface` exactly
+  /// (case-sensitive first; falls back to ASCII-case-insensitive matches).
+  /// Multiple units may share a surface form ("M" is both metre-symbol-ish
+  /// and molar) — disambiguation is the linker's job.
+  std::vector<const UnitRecord*> FindBySurface(std::string_view surface) const;
+
+  /// All units with exactly this dimension.
+  std::vector<const UnitRecord*> UnitsOfDimension(
+      const dimqr::Dimension& dim) const;
+
+  /// All units of a quantity kind.
+  std::vector<const UnitRecord*> UnitsOfKind(std::string_view kind) const;
+
+  /// The kind record by name, or NotFound.
+  dimqr::Result<const QuantityKindRecord*> FindKind(
+      std::string_view name) const;
+
+  /// \brief The conversion factor beta with u_from * beta = u_to
+  /// (Definition 8), by unit ID. DimensionMismatch when not comparable.
+  dimqr::Result<double> ConversionFactor(std::string_view from_id,
+                                         std::string_view to_id) const;
+
+  /// \brief A UnitResolver over this KB for core::UnitExpr evaluation:
+  /// resolves names through FindBySurface (then ID lookup), picking the
+  /// highest-frequency match.
+  dimqr::UnitResolver Resolver() const;
+
+  /// Units sorted by descending frequency (Fig. 3).
+  std::vector<const UnitRecord*> UnitsByFrequency() const;
+
+  /// \brief Quantity kinds ranked by the mean frequency of their top-`k`
+  /// units (Fig. 4). Kinds with no units are skipped.
+  std::vector<std::pair<const QuantityKindRecord*, double>>
+  KindsByFrequency(std::size_t top_k = 5) const;
+
+  /// Table IV statistics.
+  KbStats Stats() const;
+
+ private:
+  DimUnitKB() = default;
+
+  void BuildIndexes();
+
+  std::vector<UnitRecord> units_;
+  std::vector<QuantityKindRecord> kinds_;
+  std::unordered_map<std::string, std::size_t> by_id_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_surface_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_surface_lower_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_dimension_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_kind_;
+  std::unordered_map<std::string, std::size_t> kind_by_name_;
+};
+
+}  // namespace dimqr::kb
+
+#endif  // DIMQR_KB_KB_H_

@@ -1,0 +1,61 @@
+#include "kb/prefix.h"
+
+namespace dimqr::kb {
+
+const std::vector<PrefixSpec>& AllPrefixes() {
+  static const std::vector<PrefixSpec>* const kPrefixes =
+      new std::vector<PrefixSpec>{
+          {"quetta", "Q", "昆", 30, 0.02},
+          {"ronna", "R", "容", 27, 0.02},
+          {"yotta", "Y", "尧", 24, 0.05},
+          {"zetta", "Z", "泽", 21, 0.05},
+          {"exa", "E", "艾", 18, 0.08},
+          {"peta", "P", "拍", 15, 0.12},
+          {"tera", "T", "太", 12, 0.30},
+          {"giga", "G", "吉", 9, 0.55},
+          {"mega", "M", "兆", 6, 0.70},
+          {"kilo", "k", "千", 3, 1.00},
+          {"hecto", "h", "百", 2, 0.25},
+          {"deca", "da", "十", 1, 0.15},
+          {"deci", "d", "分", -1, 0.30},
+          {"centi", "c", "厘", -2, 0.90},
+          {"milli", "m", "毫", -3, 0.95},
+          {"micro", "u", "微", -6, 0.60},
+          {"nano", "n", "纳", -9, 0.50},
+          {"pico", "p", "皮", -12, 0.25},
+          {"femto", "f", "飞", -15, 0.10},
+          {"atto", "a", "阿", -18, 0.06},
+          {"zepto", "z", "仄", -21, 0.04},
+          {"yocto", "y", "幺", -24, 0.03},
+          {"ronto", "r", "柔", -27, 0.02},
+          {"quecto", "q", "亏", -30, 0.02},
+      };
+  return *kPrefixes;
+}
+
+const std::vector<PrefixSpec>& CommonPrefixes() {
+  static const std::vector<PrefixSpec>* const kCommon = [] {
+    auto* subset = new std::vector<PrefixSpec>;
+    for (const PrefixSpec& p : AllPrefixes()) {
+      if (p.name == "kilo" || p.name == "hecto" || p.name == "deca" ||
+          p.name == "deci" || p.name == "centi" || p.name == "milli" ||
+          p.name == "micro") {
+        subset->push_back(p);
+      }
+    }
+    return subset;
+  }();
+  return *kCommon;
+}
+
+std::optional<dimqr::Rational> ExactPow10(int pow10) {
+  if (pow10 < -18 || pow10 > 18) return std::nullopt;
+  std::int64_t mag = 1;
+  for (int i = 0; i < (pow10 < 0 ? -pow10 : pow10); ++i) mag *= 10;
+  if (pow10 >= 0) {
+    return dimqr::Rational(mag);
+  }
+  return dimqr::Rational::Of(1, mag).ValueOrDie();
+}
+
+}  // namespace dimqr::kb

@@ -1,0 +1,49 @@
+#ifndef DIMQR_KB_PREFIX_H_
+#define DIMQR_KB_PREFIX_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rational.h"
+
+/// \file prefix.h
+/// SI metric prefixes and the prefix-expansion policy used when building
+/// DimUnitKB. Prefix expansion is one of the two generators (with compound
+/// rules) that take the hand-curated seed catalog to Table IV scale.
+
+namespace dimqr::kb {
+
+/// \brief One SI prefix ("kilo", "k", 10^3).
+struct PrefixSpec {
+  std::string name;      ///< "kilo".
+  std::string symbol;    ///< "k".
+  std::string label_zh;  ///< "千".
+  int pow10;             ///< 3 for kilo.
+  /// Relative commonness of this prefix in text, in (0, 1]; multiplies the
+  /// base unit's popularity when deriving the expanded unit's signals
+  /// ("kilometre" is common, "yoctometre" is not).
+  double commonness;
+};
+
+/// All 24 SI prefixes (quetta..quecto), largest first.
+const std::vector<PrefixSpec>& AllPrefixes();
+
+/// The everyday subset {kilo, hecto, deca, deci, centi, milli, micro},
+/// used for units that take prefixes only occasionally.
+const std::vector<PrefixSpec>& CommonPrefixes();
+
+/// \brief How aggressively a seed unit is prefix-expanded.
+enum class PrefixPolicy {
+  kNone,    ///< Never prefixed (hour, inch, degree Celsius, ...).
+  kCommon,  ///< CommonPrefixes() only (litre, bar, ...).
+  kAll,     ///< Full SI set (metre, gram, second, watt, ...).
+};
+
+/// \brief 10^pow10 as an exact rational when |pow10| <= 18, otherwise empty
+/// (the double value is always available via std::pow).
+std::optional<dimqr::Rational> ExactPow10(int pow10);
+
+}  // namespace dimqr::kb
+
+#endif  // DIMQR_KB_PREFIX_H_

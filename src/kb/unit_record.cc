@@ -1,0 +1,24 @@
+#include "kb/unit_record.h"
+
+namespace dimqr::kb {
+
+dimqr::UnitSemantics UnitRecord::Semantics() const {
+  dimqr::UnitSemantics sem;
+  sem.dimension = dimension;
+  sem.scale = conversion_value;
+  sem.exact_scale = exact_conversion;
+  sem.offset = conversion_offset;
+  sem.label = symbols.empty() ? label_en : symbols.front();
+  return sem;
+}
+
+std::vector<std::string> UnitRecord::SurfaceForms() const {
+  std::vector<std::string> out;
+  out.push_back(label_en);
+  if (!label_zh.empty()) out.push_back(label_zh);
+  for (const std::string& s : symbols) out.push_back(s);
+  for (const std::string& a : aliases) out.push_back(a);
+  return out;
+}
+
+}  // namespace dimqr::kb

@@ -1,0 +1,62 @@
+#include "kg/realizer.h"
+
+#include "core/rng.h"
+
+namespace dimqr::kg {
+namespace {
+
+/// Templates with {s} subject, {p} predicate, {o} object placeholders.
+/// The object placeholder must occur exactly once.
+const std::vector<const char*>& Templates() {
+  static const std::vector<const char*>* const kTemplates =
+      new std::vector<const char*>{
+          "The {p} of {s} is {o}.",
+          "{s} has a {p} of {o}.",
+          "According to the records, the {p} of {s} reaches {o}.",
+          "With a {p} of {o}, {s} is well documented.",
+          "{s}'s {p} was measured at {o}.",
+          "Reports state that {s} records a {p} of about {o}.",
+          "At {o}, the {p} of {s} is notable.",
+          "{s} is known for its {p} of {o}.",
+      };
+  return *kTemplates;
+}
+
+}  // namespace
+
+std::size_t RealizerTemplateCount() { return Templates().size(); }
+
+RealizedSentence RealizeTriple(const Triple& triple, std::uint64_t seed) {
+  dimqr::Rng rng(dimqr::Rng::DeriveSeed(seed, triple.subject + "|" +
+                                                  triple.predicate));
+  const char* tmpl = Templates()[rng.Index(Templates().size())];
+  RealizedSentence out;
+  std::string text;
+  for (const char* p = tmpl; *p != '\0';) {
+    if (p[0] == '{' && p[1] != '\0' && p[2] == '}') {
+      switch (p[1]) {
+        case 's':
+          text += triple.subject;
+          p += 3;
+          continue;
+        case 'p':
+          text += triple.predicate;
+          p += 3;
+          continue;
+        case 'o':
+          out.object_begin = text.size();
+          text += triple.object;
+          out.object_end = text.size();
+          p += 3;
+          continue;
+        default:
+          break;
+      }
+    }
+    text += *p++;
+  }
+  out.text = std::move(text);
+  return out;
+}
+
+}  // namespace dimqr::kg

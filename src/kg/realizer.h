@@ -1,0 +1,38 @@
+#ifndef DIMQR_KG_REALIZER_H_
+#define DIMQR_KG_REALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/triple_store.h"
+
+/// \file realizer.h
+/// Template-based sentence realization for triples.
+///
+/// Substitution (DESIGN.md): the paper feeds quantity triplets to ChatGPT
+/// "to generate sentences that include these triplets". Offline, a set of
+/// sentence templates produces the same artifact: natural-ish sentences
+/// that contain the triple's subject, predicate, and quantity object, for
+/// the dimension-prediction dataset (Section IV-C2).
+
+namespace dimqr::kg {
+
+/// \brief A realized sentence with the byte span of the object inside it,
+/// so dataset construction can mask the quantity with [MASK].
+struct RealizedSentence {
+  std::string text;
+  std::size_t object_begin = 0;
+  std::size_t object_end = 0;
+};
+
+/// \brief Renders a triple as a sentence, choosing a template
+/// deterministically from `seed`. The object appears verbatim exactly once.
+RealizedSentence RealizeTriple(const Triple& triple, std::uint64_t seed);
+
+/// \brief The number of distinct templates (for coverage tests).
+std::size_t RealizerTemplateCount();
+
+}  // namespace dimqr::kg
+
+#endif  // DIMQR_KG_REALIZER_H_

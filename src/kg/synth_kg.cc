@@ -1,0 +1,191 @@
+#include "kg/synth_kg.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/rng.h"
+#include "text/number_scanner.h"
+#include "text/string_util.h"
+
+namespace dimqr::kg {
+namespace {
+
+using dimqr::Rng;
+
+/// A quantity-bearing predicate of a domain: SI value range + unit choices.
+struct QuantityPredicate {
+  const char* predicate;
+  double si_lo, si_hi;
+  bool log_uniform;  ///< Sample magnitude log-uniformly (populations, ...).
+  std::vector<const char*> unit_ids;
+};
+
+/// A textual predicate with its value pool.
+struct TextualPredicate {
+  const char* predicate;
+  std::vector<const char*> values;
+};
+
+struct Domain {
+  const char* name;
+  std::vector<QuantityPredicate> quantities;
+  std::vector<TextualPredicate> textuals;
+};
+
+const std::vector<Domain>& Domains() {
+  static const std::vector<Domain>* const kDomains = new std::vector<Domain>{
+      {"Athlete",
+       {{"height", 1.55, 2.25, false, {"M", "CentiM", "FT", "IN"}},
+        {"weight", 50, 130, false, {"KiloGM", "LB", "JIN_CN"}},
+        {"sprint speed", 7, 12, false, {"M-PER-SEC", "KiloM-PER-HR"}}},
+       {{"team", {"Lakers", "Warriors", "Bulls", "Celtics", "Heat"}},
+        {"birthplace", {"Akron", "Oakland", "Chicago", "Madrid", "Paris"}},
+        {"position", {"guard", "forward", "center"}}}},
+      {"City",
+       {{"area", 5e7, 2e10, true, {"KiloM2", "HECTARE", "MI2"}},
+        {"elevation", 2, 4000, true, {"M", "FT"}},
+        {"annual rainfall", 0.1, 3.0, false, {"MilliM", "CentiM", "IN"}}},
+       {{"population", {"3400000", "860000", "12000000", "152000"}},
+        {"mayor", {"Chen Wei", "Ana Silva", "John Park", "Li Na"}},
+        {"country", {"China", "Brazil", "France", "Japan", "Canada"}}}},
+      {"Car",
+       {{"top speed", 33, 110, false,
+         {"KiloM-PER-HR", "MI-PER-HR", "M-PER-SEC"}},
+        {"engine power", 45000, 900000, true, {"KiloW", "HP", "W"}},
+        {"curb weight", 900, 2600, false, {"KiloGM", "TONNE", "LB"}},
+        {"fuel tank capacity", 0.035, 0.095, false,
+         {"LITRE", "GAL_US"}},
+        {"fuel economy", 5e6, 2.5e7, false,
+         {"KiloM-PER-LITRE", "MI-PER-GAL_US"}}},
+       {{"manufacturer", {"Toyota", "BYD", "Volkswagen", "Ford", "Geely"}},
+        {"body style", {"sedan", "suv", "hatchback", "wagon"}},
+        {"model code", {"LPUI-1T", "XR-3Z", "GT2-K9", "HV-7P"}}}},
+      {"River",
+       {{"length", 5e4, 6.5e6, true, {"KiloM", "MI", "LI_CN"}},
+        {"discharge", 50, 220000, true,
+         {"M3-PER-SEC", "LITRE-PER-SEC"}},
+        {"basin area", 1e9, 3e12, true, {"KiloM2", "MI2"}}},
+       {{"mouth", {"East China Sea", "Atlantic Ocean", "Bohai Sea"}},
+        {"source", {"Tanggula Mountains", "Alps", "Andes"}}}},
+      {"Food",
+       {{"energy content", 2e5, 3e6, false,
+         {"KiloCAL-PER-KiloGM", "KiloJ-PER-KiloGM", "CAL-PER-GM"}},
+        {"package mass", 0.05, 2.5, false, {"GM", "KiloGM", "OZ", "JIN_CN"}},
+        {"sugar content", 0.01, 0.6, false, {"PERCENT"}}},
+       {{"cuisine", {"Sichuan", "Cantonese", "Italian", "Mexican"}},
+        {"flavor", {"sweet", "spicy", "savory", "sour"}}}},
+      {"Device",
+       {{"battery capacity", 3600, 21600, false, {"MilliAH"}},
+        {"screen size", 0.10, 0.45, false, {"IN", "CentiM"}},
+        {"mass", 0.1, 2.8, false, {"GM", "KiloGM", "OZ"}},
+        {"storage", 5.12e11, 1.6e13, true, {"GigaBYTE", "TeraBYTE"}},
+        {"download speed", 1e7, 1e10, true,
+         {"MegaBIT-PER-SEC", "GigaBIT-PER-SEC"}}},
+       {{"brand", {"Huawei", "Apple", "Samsung", "Xiaomi"}},
+        {"chipset", {"LPUI-1T", "SD8G3", "A17-Pro", "K9000"}},
+        {"color", {"black", "silver", "blue", "white"}}}},
+      {"Chemical",
+       {{"molar mass", 0.002, 0.5, false, {"GM-PER-MOL"}},
+        {"density", 500, 20000, false,
+         {"KiloGM-PER-M3", "GM-PER-CentiM3", "GM-PER-MilliLITRE"}},
+        {"boiling point", 150, 3500, false, {"K", "DEG_C"}}},
+       {{"appearance", {"white powder", "clear liquid", "silver solid"}},
+        {"cas number", {"64-17-5", "7732-18-5", "7647-14-5"}}}},
+      {"Building",
+       {{"height", 30, 830, false, {"M", "FT", "ZHANG_CN"}},
+        {"floor area", 2e3, 5e5, true, {"M2", "FT2", "MU_CN"}}},
+       {{"architect", {"Zaha Hadid", "I. M. Pei", "Norman Foster"}},
+        {"completed", {"1998", "2004", "2015", "2021"}},
+        {"use", {"office", "residential", "hotel", "museum"}}}},
+      {"Animal",
+       {{"body mass", 0.02, 6000, true, {"KiloGM", "GM", "LB", "TONNE"}},
+        {"lifespan", 6.3e7, 2.2e9, true, {"YR", "MO"}},
+        {"top speed", 1, 33, false, {"KiloM-PER-HR", "M-PER-SEC", "MI-PER-HR"}}},
+       {{"habitat", {"savanna", "rainforest", "tundra", "reef"}},
+        {"diet", {"carnivore", "herbivore", "omnivore"}}}},
+  };
+  return *kDomains;
+}
+
+/// Renders `value` with ~3 significant digits for realistic text.
+std::string RenderValue(double value) {
+  char buf[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", value);
+  }
+  return buf;
+}
+
+/// Picks a surface form for the unit: symbol / label / alias / Chinese.
+std::string PickSurface(const kb::UnitRecord& unit, double alias_rate,
+                        Rng& rng) {
+  double roll = rng.UniformReal(0.0, 1.0);
+  if (roll < alias_rate && !unit.aliases.empty()) {
+    return unit.aliases[rng.Index(unit.aliases.size())];
+  }
+  if (roll < alias_rate + 0.12 && !unit.label_zh.empty()) {
+    return unit.label_zh;
+  }
+  if (roll < alias_rate + 0.45 || unit.symbols.empty()) {
+    return unit.label_en;
+  }
+  return unit.symbols.front();
+}
+
+}  // namespace
+
+bool ObjectLooksQuantitative(std::string_view object) {
+  std::vector<text::NumberMention> numbers = text::ScanNumbers(object);
+  if (numbers.empty()) return false;
+  const text::NumberMention& first = numbers.front();
+  if (first.begin != 0) return false;
+  if (first.is_percent) return true;
+  std::string suffix = text::Trim(object.substr(first.end));
+  return !suffix.empty();
+}
+
+dimqr::Result<TripleStore> BuildSyntheticKg(const kb::DimUnitKB& kb,
+                                            const SynthKgOptions& options) {
+  TripleStore store;
+  Rng rng(options.seed);
+  for (const Domain& domain : Domains()) {
+    for (int e = 0; e < options.entities_per_domain; ++e) {
+      std::string subject =
+          std::string(domain.name) + "-" + std::to_string(e + 1);
+      for (const QuantityPredicate& pred : domain.quantities) {
+        if (!rng.Bernoulli(0.9)) continue;
+        DIMQR_ASSIGN_OR_RETURN(
+            const kb::UnitRecord* unit,
+            kb.FindById(pred.unit_ids[rng.Index(pred.unit_ids.size())]));
+        double si;
+        if (pred.log_uniform) {
+          si = std::exp(
+              rng.UniformReal(std::log(pred.si_lo), std::log(pred.si_hi)));
+        } else {
+          si = rng.UniformReal(pred.si_lo, pred.si_hi);
+        }
+        double value = (si - unit->conversion_offset) / unit->conversion_value;
+        std::string surface = PickSurface(*unit, options.alias_rate, rng);
+        std::string object = RenderValue(value);
+        // Percent renders glued ("42%"), words get a space ("1.9 metres").
+        if (surface == "%") {
+          object += surface;
+        } else {
+          object += " " + surface;
+        }
+        store.Add(subject, pred.predicate, object);
+      }
+      for (const TextualPredicate& pred : domain.textuals) {
+        if (!rng.Bernoulli(0.8)) continue;
+        const char* value = pred.values[rng.Index(pred.values.size())];
+        store.Add(subject, pred.predicate, value);
+      }
+    }
+  }
+  (void)options.trap_rate;  // traps come from the textual value pools
+  return store;
+}
+
+}  // namespace dimqr::kg

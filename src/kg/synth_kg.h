@@ -1,0 +1,47 @@
+#ifndef DIMQR_KG_SYNTH_KG_H_
+#define DIMQR_KG_SYNTH_KG_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/status.h"
+#include "kb/kb.h"
+#include "kg/triple_store.h"
+
+/// \file synth_kg.h
+/// Synthetic CN-DBpedia-like knowledge graph generation (substitution).
+///
+/// The generator emits entities across everyday domains (athletes, cities,
+/// cars, rivers, foods, devices, chemicals, buildings, animals), each with
+/// a mix of quantity-bearing predicates (height, mass, top speed, ...)
+/// whose objects render a value plus a *varied* unit surface form drawn
+/// from DimUnitKB, and textual predicates (birthplace, colour, ...) that
+/// Algorithm 2 must learn to filter out. A small fraction of objects are
+/// "trap strings" — device-code-like tokens such as "LPUI-1T" — mirroring
+/// the false positives discussed in Section IV-C1.
+
+namespace dimqr::kg {
+
+/// \brief Generation knobs.
+struct SynthKgOptions {
+  int entities_per_domain = 40;
+  /// Fraction of quantity objects rendered with a unit alias instead of the
+  /// primary symbol (surface-form diversity).
+  double alias_rate = 0.35;
+  /// Fraction of textual objects that contain trap strings ("LPUI-1T").
+  double trap_rate = 0.15;
+  std::uint64_t seed = 20240131;
+};
+
+/// \brief Builds the synthetic knowledge graph over units from `kb`.
+dimqr::Result<TripleStore> BuildSyntheticKg(const kb::DimUnitKB& kb,
+                                            const SynthKgOptions& options = {});
+
+/// \brief True when an object string is quantity-bearing according to this
+/// generator's ground truth (value followed by a linkable unit). Exposed so
+/// tests and the bootstrapping evaluation can measure retrieval quality.
+bool ObjectLooksQuantitative(std::string_view object);
+
+}  // namespace dimqr::kg
+
+#endif  // DIMQR_KG_SYNTH_KG_H_

@@ -1,0 +1,54 @@
+#include "kg/triple_store.h"
+
+namespace dimqr::kg {
+
+void TripleStore::Add(Triple triple) {
+  std::size_t index = triples_.size();
+  if (!by_predicate_.contains(triple.predicate)) {
+    predicate_order_.push_back(triple.predicate);
+  }
+  by_predicate_[triple.predicate].push_back(index);
+  by_subject_[triple.subject].push_back(index);
+  triples_.push_back(std::move(triple));
+}
+
+void TripleStore::Add(std::string subject, std::string predicate,
+                      std::string object) {
+  Add(Triple{std::move(subject), std::move(predicate), std::move(object)});
+}
+
+std::vector<const Triple*> TripleStore::FindByPredicate(
+    std::string_view predicate) const {
+  std::vector<const Triple*> out;
+  auto it = by_predicate_.find(std::string(predicate));
+  if (it == by_predicate_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t i : it->second) out.push_back(&triples_[i]);
+  return out;
+}
+
+std::vector<const Triple*> TripleStore::FindByObjectContaining(
+    std::string_view mention) const {
+  std::vector<const Triple*> out;
+  if (mention.empty()) return out;
+  for (const Triple& t : triples_) {
+    if (t.object.find(mention) != std::string::npos) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<const Triple*> TripleStore::FindBySubject(
+    std::string_view subject) const {
+  std::vector<const Triple*> out;
+  auto it = by_subject_.find(std::string(subject));
+  if (it == by_subject_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t i : it->second) out.push_back(&triples_[i]);
+  return out;
+}
+
+std::vector<std::string> TripleStore::Predicates() const {
+  return predicate_order_;
+}
+
+}  // namespace dimqr::kg

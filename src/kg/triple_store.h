@@ -1,0 +1,65 @@
+#ifndef DIMQR_KG_TRIPLE_STORE_H_
+#define DIMQR_KG_TRIPLE_STORE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file triple_store.h
+/// An in-memory <subject, predicate, object> triple store standing in for
+/// CN-DBpedia (substitution, see DESIGN.md). Algorithm 2's bootstrapping
+/// retrieval needs exactly three access paths: triples whose object
+/// contains a mention, triples of a predicate, and full enumeration.
+
+namespace dimqr::kg {
+
+/// \brief One knowledge-graph triple, e.g.
+/// <LeBron James, height, "2.06 metres">.
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+};
+
+/// \brief The store. Append-only; indexes are maintained on insert.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Adds one triple.
+  void Add(Triple triple);
+  void Add(std::string subject, std::string predicate, std::string object);
+
+  std::size_t size() const { return triples_.size(); }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// All triples with this exact predicate (findTriplets(K, p)).
+  std::vector<const Triple*> FindByPredicate(std::string_view predicate) const;
+
+  /// \brief All triples whose object contains `mention` as a substring
+  /// (findTriplets(K, m in object)). Linear scan; the store is small.
+  std::vector<const Triple*> FindByObjectContaining(
+      std::string_view mention) const;
+
+  /// All triples about a subject.
+  std::vector<const Triple*> FindBySubject(std::string_view subject) const;
+
+  /// All distinct predicates, in first-seen order.
+  std::vector<std::string> Predicates() const;
+
+ private:
+  std::vector<Triple> triples_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_predicate_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_subject_;
+  std::vector<std::string> predicate_order_;
+};
+
+}  // namespace dimqr::kg
+
+#endif  // DIMQR_KG_TRIPLE_STORE_H_

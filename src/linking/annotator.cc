@@ -1,0 +1,134 @@
+#include "linking/annotator.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace dimqr::linking {
+namespace {
+
+using dimqr::Result;
+using dimqr::Status;
+
+/// True for tokens that end a unit mention (punctuation, another number).
+bool BreaksUnitSpan(const text::Token& token) {
+  if (token.kind == text::Token::Kind::kNumber) return true;
+  if (token.kind == text::Token::Kind::kPunct) {
+    // '/' and '^' and '*' occur inside compound unit symbols ("km/h",
+    // "m/s^2", "N*m"); everything else breaks the span.
+    return token.text != "/" && token.text != "^" && token.text != "*" &&
+           token.text != "·";
+  }
+  return false;
+}
+
+}  // namespace
+
+DimKsAnnotator::DimKsAnnotator(std::shared_ptr<const UnitLinker> linker,
+                               AnnotatorOptions options)
+    : linker_(std::move(linker)), options_(options) {}
+
+std::vector<QuantityAnnotation> DimKsAnnotator::Annotate(
+    std::string_view textv) const {
+  std::vector<QuantityAnnotation> out;
+  std::vector<text::NumberMention> numbers = text::ScanNumbers(textv);
+  if (numbers.empty()) return out;
+  std::vector<text::Token> tokens = text::Tokenize(textv);
+
+  for (const text::NumberMention& number : numbers) {
+    QuantityAnnotation ann;
+    ann.number = number;
+    ann.unit_begin = ann.unit_end = number.end;
+
+    if (number.is_percent) {
+      // '%' is the unit; link it directly so downstream sees PERCENT.
+      Result<const kb::UnitRecord*> pct =
+          linker_->knowledge_base().FindById("PERCENT");
+      if (pct.ok()) {
+        ann.unit = *pct;
+        ann.unit_text = "%";
+        ann.unit_begin = number.end - 1;
+        ann.unit_end = number.end;
+        ann.link_confidence = 1.0;
+      }
+      out.push_back(std::move(ann));
+      continue;
+    }
+
+    // Candidate unit mentions following the value: either the tail of a
+    // token the number is glued into ("5kg" -> "kg"), or a short run of
+    // adjacent tokens after it ("degrees Celsius").
+    std::vector<std::pair<std::size_t, std::size_t>> mention_spans;
+    for (const text::Token& tok : tokens) {
+      if (tok.begin < number.end && tok.end > number.end) {
+        mention_spans.emplace_back(number.end, tok.end);
+        break;
+      }
+    }
+    std::vector<const text::Token*> span;
+    for (const text::Token& tok : tokens) {
+      if (tok.begin < number.end) continue;
+      if (!span.empty() &&
+          tok.begin > span.back()->end + 1) {
+        break;  // a gap of more than one byte ends the span
+      }
+      if (span.empty() && tok.begin > number.end + 1) break;
+      if (BreaksUnitSpan(tok)) break;
+      span.push_back(&tok);
+      if (span.size() >= static_cast<std::size_t>(options_.max_unit_tokens)) {
+        break;
+      }
+    }
+    // Longest prefix first ("degrees Celsius" before "degrees").
+    for (std::size_t take = span.size(); take >= 1; --take) {
+      mention_spans.emplace_back(span[0]->begin, span[take - 1]->end);
+    }
+
+    std::string context(textv.substr(0, number.begin));
+    if (number.end < textv.size()) {
+      context += ' ';
+      context += std::string(textv.substr(number.end));
+    }
+    for (const auto& [begin, end] : mention_spans) {
+      std::string mention(textv.substr(begin, end - begin));
+      std::vector<LinkCandidate> candidates = linker_->Link(mention, context);
+      // Accept the best-scoring candidate among those whose *surface*
+      // similarity clears the floor — a fuzzy high-frequency unit must not
+      // veto an exact match ranked just below it.
+      const LinkCandidate* accepted = nullptr;
+      for (const LinkCandidate& cand : candidates) {
+        if (cand.pr_mention >= options_.accept_threshold) {
+          accepted = &cand;
+          break;  // candidates are score-sorted: first eligible is best
+        }
+      }
+      if (accepted != nullptr) {
+        ann.unit = accepted->unit;
+        ann.unit_text = mention;
+        ann.unit_begin = begin;
+        ann.unit_end = end;
+        ann.link_confidence = accepted->score;
+        break;
+      }
+    }
+    out.push_back(std::move(ann));
+  }
+  return out;
+}
+
+Result<dimqr::Quantity> DimKsAnnotator::ToQuantity(
+    const QuantityAnnotation& annotation) const {
+  if (!annotation.HasUnit()) {
+    return dimqr::Quantity(annotation.number.value,
+                           dimqr::UnitSemantics::Dimensionless());
+  }
+  if (annotation.number.is_percent) {
+    // NumberMention.value already folded the percent division in.
+    return dimqr::Quantity(annotation.number.value,
+                           dimqr::UnitSemantics::Dimensionless());
+  }
+  return dimqr::Quantity(annotation.number.value,
+                         annotation.unit->Semantics());
+}
+
+}  // namespace dimqr::linking

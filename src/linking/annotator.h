@@ -1,0 +1,68 @@
+#ifndef DIMQR_LINKING_ANNOTATOR_H_
+#define DIMQR_LINKING_ANNOTATOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/quantity.h"
+#include "linking/linker.h"
+#include "text/number_scanner.h"
+
+/// \file annotator.h
+/// DimKS — the dimensional knowledge system (Section III): DimUnitKB plus
+/// the unit-linking module, packaged as a text annotator. This is the "D"
+/// of Algorithm 1 ("DimKS annotator"): it finds value mentions with the
+/// heuristic scanner, attempts to link the following span as a unit, and
+/// yields grounded quantities.
+
+namespace dimqr::linking {
+
+/// \brief One annotated quantity occurrence in text.
+struct QuantityAnnotation {
+  text::NumberMention number;    ///< The numeric part.
+  std::size_t unit_begin = 0;    ///< Byte span of the unit mention; empty
+  std::size_t unit_end = 0;      ///< (begin == end) for bare numbers.
+  std::string unit_text;         ///< The unit mention as written.
+  const kb::UnitRecord* unit = nullptr;  ///< Best link; null for bare numbers.
+  double link_confidence = 0.0;
+
+  bool HasUnit() const { return unit != nullptr; }
+};
+
+/// \brief Annotator options.
+struct AnnotatorOptions {
+  /// Max tokens after the value considered as the unit mention.
+  int max_unit_tokens = 3;
+  /// A linked unit is accepted only when its mention similarity Pr(u|m)
+  /// reaches this floor (rejects linking "apples" to some unit).
+  double accept_threshold = 0.74;
+};
+
+/// \brief DimKS: annotates quantities in running text.
+class DimKsAnnotator {
+ public:
+  DimKsAnnotator(std::shared_ptr<const UnitLinker> linker,
+                 AnnotatorOptions options = {});
+
+  /// \brief Finds all quantities (value + optional unit) in `textv`.
+  std::vector<QuantityAnnotation> Annotate(std::string_view textv) const;
+
+  /// \brief Converts an annotation into a core Quantity (SI-convertible).
+  /// Bare numbers and percentages become dimensionless quantities.
+  dimqr::Result<dimqr::Quantity> ToQuantity(
+      const QuantityAnnotation& annotation) const;
+
+  const UnitLinker& linker() const { return *linker_; }
+  const AnnotatorOptions& options() const { return options_; }
+
+ private:
+  std::shared_ptr<const UnitLinker> linker_;
+  AnnotatorOptions options_;
+};
+
+}  // namespace dimqr::linking
+
+#endif  // DIMQR_LINKING_ANNOTATOR_H_

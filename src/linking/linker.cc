@@ -1,0 +1,177 @@
+#include "linking/linker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "text/corpus.h"
+#include "text/levenshtein.h"
+#include "text/string_util.h"
+#include "text/tokenizer.h"
+
+namespace dimqr::linking {
+namespace {
+
+using dimqr::Result;
+using dimqr::Status;
+
+/// Lowercased word terms of a unit usable as embedding/cluster tokens.
+std::vector<std::string> UnitTerms(const kb::UnitRecord& unit) {
+  std::vector<std::string> terms;
+  auto add_words = [&terms](std::string_view s) {
+    for (const std::string& tok : text::TokenizeLower(s)) {
+      if (tok.size() >= 2 || (!tok.empty() && (tok[0] & 0x80))) {
+        terms.push_back(tok);
+      }
+    }
+  };
+  add_words(unit.label_en);
+  for (const std::string& alias : unit.aliases) add_words(alias);
+  return terms;
+}
+
+}  // namespace
+
+Result<text::Embedding> BuildLinkerEmbedding(const kb::DimUnitKB& kb,
+                                             const LinkerConfig& config) {
+  // One topic cluster per quantity kind: the kind's keywords plus the
+  // labels of its most frequent units. In-cluster co-occurrence teaches the
+  // embedding which context words go with which units.
+  std::vector<text::TopicCluster> clusters;
+  for (const kb::QuantityKindRecord& kind : kb.kinds()) {
+    std::vector<const kb::UnitRecord*> members = kb.UnitsOfKind(kind.name);
+    if (members.empty()) continue;
+    std::sort(members.begin(), members.end(),
+              [](const kb::UnitRecord* a, const kb::UnitRecord* b) {
+                return a->frequency > b->frequency;
+              });
+    text::TopicCluster cluster;
+    cluster.name = kind.name;
+    for (const std::string& k : kind.keywords) cluster.terms.push_back(k);
+    std::size_t take = std::min<std::size_t>(members.size(), 8);
+    for (std::size_t i = 0; i < take; ++i) {
+      for (const std::string& term : UnitTerms(*members[i])) {
+        cluster.terms.push_back(term);
+      }
+      for (const std::string& k : members[i]->keywords) {
+        cluster.terms.push_back(k);
+      }
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  text::CorpusOptions corpus_options;
+  corpus_options.sentences_per_cluster = config.corpus_sentences_per_cluster;
+  corpus_options.seed = dimqr::Rng::DeriveSeed(20240131, "linker-corpus");
+  std::vector<std::vector<std::string>> corpus =
+      text::GenerateClusterCorpus(clusters, corpus_options);
+  return text::Embedding::Train(corpus, config.embedding);
+}
+
+UnitLinker::UnitLinker(std::shared_ptr<const kb::DimUnitKB> kb,
+                       text::Embedding emb, LinkerConfig config)
+    : kb_(std::move(kb)), embedding_(std::move(emb)), config_(config) {
+  const std::vector<kb::UnitRecord>& units = kb_->units();
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    for (const std::string& surface : units[i].SurfaceForms()) {
+      if (!surface.empty()) naming_dictionary_.emplace_back(surface, i);
+    }
+  }
+}
+
+Result<std::shared_ptr<const UnitLinker>> UnitLinker::Build(
+    std::shared_ptr<const kb::DimUnitKB> kb, const LinkerConfig& config) {
+  if (kb == nullptr) {
+    return Status::InvalidArgument("UnitLinker needs a knowledge base");
+  }
+  DIMQR_ASSIGN_OR_RETURN(text::Embedding emb,
+                         BuildLinkerEmbedding(*kb, config));
+  return std::shared_ptr<const UnitLinker>(
+      new UnitLinker(std::move(kb), std::move(emb), config));
+}
+
+double UnitLinker::ContextScore(
+    const kb::UnitRecord& unit,
+    const std::vector<std::string>& context_tokens) const {
+  // Pr(u|c) = (1/n) sum_i max_j cos(c_i, k_j).
+  if (context_tokens.empty() || unit.keywords.empty()) {
+    return 0.5;  // uninformative context: neutral factor
+  }
+  double sum = 0.0;
+  for (const std::string& token : context_tokens) {
+    double best = 0.0;
+    for (const std::string& keyword : unit.keywords) {
+      best = std::max(best, embedding_.CosineSimilarity(token, keyword));
+    }
+    sum += best;
+  }
+  double mean = sum / static_cast<double>(context_tokens.size());
+  // Cosines live in [-1, 1]; clamp into a probability-like range with a
+  // small floor so an uninformative context never zeroes the product (which
+  // would make the final ranking an arbitrary tie).
+  return std::clamp(mean, 0.05, 1.0);
+}
+
+std::vector<LinkCandidate> UnitLinker::Link(std::string_view mention,
+                                            std::string_view context) const {
+  // --- Step 1: candidate generation over the naming dictionary ---
+  const std::vector<kb::UnitRecord>& units = kb_->units();
+  std::unordered_map<std::size_t, double> best_similarity;
+  for (const auto& [surface, index] : naming_dictionary_) {
+    double sim = text::LevenshteinSimilarityIgnoreCase(surface, mention);
+    if (sim < config_.mention_threshold) continue;
+    auto it = best_similarity.find(index);
+    if (it == best_similarity.end() || sim > it->second) {
+      best_similarity[index] = sim;
+    }
+  }
+  if (best_similarity.empty()) return {};
+
+  // --- Step 2: context-based scoring ---
+  std::vector<std::string> context_tokens;
+  for (const text::Token& tok : text::Tokenize(context)) {
+    if (tok.kind == text::Token::Kind::kWord ||
+        tok.kind == text::Token::Kind::kCjk) {
+      context_tokens.push_back(text::ToLowerAscii(tok.text));
+    }
+  }
+
+  std::vector<LinkCandidate> candidates;
+  candidates.reserve(best_similarity.size());
+  for (const auto& [index, sim] : best_similarity) {
+    const kb::UnitRecord& unit = units[index];
+    LinkCandidate cand;
+    cand.unit = &unit;
+    cand.pr_mention = sim;
+    cand.pr_prior = unit.frequency;
+    cand.pr_context =
+        config_.use_context ? ContextScore(unit, context_tokens) : 1.0;
+    cand.score = 1.0;
+    if (config_.use_mention) {
+      cand.score *= std::pow(cand.pr_mention, config_.mention_sharpness);
+    }
+    if (config_.use_prior) cand.score *= cand.pr_prior;
+    if (config_.use_context) cand.score *= cand.pr_context;
+    candidates.push_back(cand);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const LinkCandidate& a, const LinkCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.unit->id < b.unit->id;
+            });
+  if (candidates.size() > config_.max_candidates) {
+    candidates.resize(config_.max_candidates);
+  }
+  return candidates;
+}
+
+Result<const kb::UnitRecord*> UnitLinker::Best(std::string_view mention,
+                                               std::string_view context) const {
+  std::vector<LinkCandidate> candidates = Link(mention, context);
+  if (candidates.empty()) {
+    return Status::NotFound("no unit candidate for mention '" +
+                            std::string(mention) + "'");
+  }
+  return candidates.front().unit;
+}
+
+}  // namespace dimqr::linking

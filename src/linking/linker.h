@@ -1,0 +1,99 @@
+#ifndef DIMQR_LINKING_LINKER_H_
+#define DIMQR_LINKING_LINKER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kb/kb.h"
+#include "text/embedding.h"
+
+/// \file linker.h
+/// The unit-linking module of Section III-B.
+///
+/// Definition 1 (Unit Linking): given contextual information c and a unit
+/// mention m, map it to the corresponding unit u in DimUnitKB. The score is
+///   u~ = argmax_u Pr(u) * Pr(u|m) * Pr(u|c)
+/// with
+///   Pr(u)   = Freq(u)                      (the Eq. 1-2 frequency prior)
+///   Pr(u|m) = LevenshteinSimilarity(u, m)  (candidate generation)
+///   Pr(u|c) = (1/n) sum_i max_j cos(c_i, k_j)   (context model over the
+///             unit's keywords k_j and the context tokens c_i)
+
+namespace dimqr::linking {
+
+/// \brief One ranked candidate for a unit mention.
+struct LinkCandidate {
+  const kb::UnitRecord* unit = nullptr;
+  double pr_mention = 0.0;  ///< Pr(u|m): surface similarity.
+  double pr_prior = 0.0;    ///< Pr(u): frequency prior.
+  double pr_context = 0.0;  ///< Pr(u|c): context-keyword similarity.
+  double score = 0.0;       ///< Product of the enabled factors.
+};
+
+/// \brief Linker knobs. The three probability factors can be toggled
+/// independently (used by the linking ablation bench).
+struct LinkerConfig {
+  /// Candidates whose best surface similarity is below this are dropped
+  /// ("if the similarity exceeds a preset threshold ... added to the
+  /// candidate list").
+  double mention_threshold = 0.62;
+  std::size_t max_candidates = 10;
+  bool use_prior = true;
+  bool use_mention = true;
+  bool use_context = true;
+  /// Sharpness of the mention factor: the score uses Pr(u|m)^gamma so that
+  /// an exact dictionary hit dominates fuzzy hits with large priors
+  /// ("poundal" must not lose to "pound" on frequency alone).
+  double mention_sharpness = 3.0;
+  /// Embedding training settings for the KB-derived context corpus.
+  text::EmbeddingConfig embedding;
+  int corpus_sentences_per_cluster = 120;
+};
+
+/// \brief Trains the context-model embedding on the KB-derived synthetic
+/// corpus (topic clusters built from quantity-kind keywords and unit
+/// labels; see DESIGN.md substitution table).
+dimqr::Result<text::Embedding> BuildLinkerEmbedding(
+    const kb::DimUnitKB& kb, const LinkerConfig& config = {});
+
+/// \brief The unit linker. Immutable and thread-safe after construction.
+class UnitLinker {
+ public:
+  /// Builds a linker over `kb`, training the context embedding.
+  static dimqr::Result<std::shared_ptr<const UnitLinker>> Build(
+      std::shared_ptr<const kb::DimUnitKB> kb, const LinkerConfig& config = {});
+
+  /// \brief Links a mention within a context; returns candidates sorted by
+  /// descending confidence ("all candidate units ... sorted in a descending
+  /// order according to the confidence"). Empty when nothing clears the
+  /// mention threshold.
+  std::vector<LinkCandidate> Link(std::string_view mention,
+                                  std::string_view context) const;
+
+  /// The best link, or NotFound when no candidate clears the threshold.
+  dimqr::Result<const kb::UnitRecord*> Best(std::string_view mention,
+                                            std::string_view context) const;
+
+  const kb::DimUnitKB& knowledge_base() const { return *kb_; }
+  const text::Embedding& embedding() const { return embedding_; }
+  const LinkerConfig& config() const { return config_; }
+
+ private:
+  UnitLinker(std::shared_ptr<const kb::DimUnitKB> kb, text::Embedding emb,
+             LinkerConfig config);
+
+  double ContextScore(const kb::UnitRecord& unit,
+                      const std::vector<std::string>& context_tokens) const;
+
+  std::shared_ptr<const kb::DimUnitKB> kb_;
+  text::Embedding embedding_;
+  LinkerConfig config_;
+  /// Flattened (surface form, unit index) dictionary for candidate scan.
+  std::vector<std::pair<std::string, std::size_t>> naming_dictionary_;
+};
+
+}  // namespace dimqr::linking
+
+#endif  // DIMQR_LINKING_LINKER_H_

@@ -1,0 +1,217 @@
+#include "lm/mock_llm.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+
+namespace dimqr::lm {
+namespace {
+
+/// Recovers the answer rate a from precision P and F1 under the harness's
+/// scoring model: recall = P * a, so F1 = 2*P*a / (1 + a)  =>
+/// a = F1 / (2P - F1). Degenerate inputs clamp into [0, 1].
+double AnswerRateFrom(double precision, double f1) {
+  if (precision <= 0.0 || f1 <= 0.0) return 0.0;
+  double denom = 2.0 * precision - f1;
+  if (denom <= 0.0) return 1.0;
+  return std::clamp(f1 / denom, 0.0, 1.0);
+}
+
+SkillProfile FromPrecF1(double precision_pct, double f1_pct) {
+  SkillProfile p;
+  p.precision = precision_pct / 100.0;
+  p.answer_rate = AnswerRateFrom(precision_pct / 100.0, f1_pct / 100.0);
+  return p;
+}
+
+SkillProfile FromAccuracy(double accuracy_pct) {
+  return SkillProfile{accuracy_pct / 100.0, 1.0};
+}
+
+}  // namespace
+
+const std::vector<PaperRowVII>& PaperTableVII() {
+  // Values transcribed from the paper's Table VII (percent). Negative F1
+  // entries mean the model was not evaluated on quantity extraction.
+  static const std::vector<PaperRowVII>* const kRows =
+      new std::vector<PaperRowVII>{
+          {"GPT-4 + WolframAlpha", "-", "tool", 68.40, 79.70, 78.22,
+           64.44, 54.37, 71.11, 58.71, 62.22, 56.48, 26.67, 25.61,
+           64.44, 53.76, 73.33, 59.30},
+          {"GPT-3.5-Turbo + WolframAlpha", "-", "tool", 44.09, 46.74, 55.94,
+           33.33, 32.40, 31.11, 33.39, 48.89, 45.43, 8.89, 9.31,
+           20.00, 18.77, 28.89, 27.83},
+          {"GPT-4", "-", "large", 73.91, 80.59, 80.79,
+           66.67, 39.63, 68.89, 55.18, 44.44, 34.40, 31.11, 14.98,
+           53.33, 31.37, 64.45, 52.68},
+          {"GPT-3.5-Turbo", "-", "large", 73.48, 78.18, 78.95,
+           46.00, 18.43, 39.91, 24.63, 47.56, 25.05, 19.50, 7.38,
+           39.73, 13.71, 41.96, 23.42},
+          {"InstructGPT", "175B", "large", 77.67, 76.57, 80.70,
+           49.50, 32.99, 42.15, 42.42, 54.47, 43.24, 24.00, 15.70,
+           37.50, 28.12, 60.71, 59.80},
+          {"PaLM-2", "540B", "large", -1, -1, -1,
+           68.89, 47.29, 51.11, 44.67, 53.33, 31.24, 31.11, 23.11,
+           17.78, 15.65, 60.00, 38.90},
+          {"LLaMa-2-70B", "70B", "large", 65.94, 60.45, 71.79,
+           28.89, 27.03, 33.33, 31.93, 42.22, 41.08, 22.22, 20.41,
+           31.11, 28.11, 46.67, 33.60},
+          {"LLaMa-2-13B", "13B", "small", 57.58, 59.09, 58.42,
+           44.44, 39.82, 24.44, 25.92, 51.11, 36.62, 20.00, 19.92,
+           13.34, 5.60, 33.33, 21.90},
+          {"OpenChat", "13B", "small", 33.07, 39.69, 46.23,
+           37.77, 30.33, 28.89, 22.01, 35.56, 26.75, 26.67, 20.84,
+           20.00, 14.17, 28.89, 24.26},
+          {"Flan-T5", "11B", "small", -1, -1, -1,
+           40.00, 36.00, 37.78, 32.15, 47.11, 39.67, 17.00, 14.95,
+           16.07, 15.49, 30.80, 23.27},
+          {"T0++", "11B", "small", -1, -1, -1,
+           18.76, 17.26, 18.67, 17.26, 41.33, 36.88, 6.00, 6.99,
+           15.62, 16.74, 13.39, 17.20},
+          {"ChatGLM-2", "6B", "small", 36.30, 35.29, 45.25,
+           44.44, 34.89, 42.22, 32.71, 28.89, 25.15, 17.78, 14.77,
+           20.00, 18.45, 24.44, 19.93},
+      };
+  return *kRows;
+}
+
+const std::vector<PaperRowIX>& PaperTableIX() {
+  static const std::vector<PaperRowIX>* const kRows =
+      new std::vector<PaperRowIX>{
+          {"GPT-4", "llm", 78.22, 65.33, 57.33, 34.67},
+          {"GPT-4 + WolframAlpha", "llm", 84.44, 67.11, 54.67, 43.55},
+          {"GPT-3.5-Turbo", "llm", 49.33, 39.56, 29.78, 14.22},
+          {"GPT-3.5-Turbo + WolframAlpha", "llm", 58.67, 44.89, 30.22, 20.44},
+          {"BertGen", "sft", 73.78, 61.78, 14.22, 30.67},
+          {"LLaMa", "sft", 78.22, 53.78, 36.44, 18.67},
+      };
+  return *kRows;
+}
+
+MockLlm::MockLlm(std::string name, std::map<std::string, SkillProfile> skills,
+                 std::uint64_t seed)
+    : name_(std::move(name)), skills_(std::move(skills)), seed_(seed) {}
+
+SkillProfile MockLlm::ProfileFor(const std::string& task) const {
+  auto it = skills_.find(task);
+  if (it != skills_.end()) return it->second;
+  return SkillProfile{0.25, 0.9};  // roughly chance on 4-way choices
+}
+
+ChoiceAnswer MockLlm::AnswerChoice(const ChoiceQuestion& question) {
+  SkillProfile profile = ProfileFor(question.task);
+  dimqr::Rng rng(dimqr::Rng::DeriveSeed(
+      question.instance_seed, name_ + "|" + question.task));
+  ChoiceAnswer answer;
+  if (!rng.Bernoulli(profile.answer_rate)) return answer;  // declined
+  if (question.choices.empty()) return answer;
+  if (question.gold_index >= 0 && rng.Bernoulli(profile.precision)) {
+    answer.index = question.gold_index;
+    return answer;
+  }
+  // A confidently wrong answer: any index but the gold one.
+  if (question.choices.size() == 1) {
+    answer.index = 0;
+    return answer;
+  }
+  int wrong = static_cast<int>(rng.Index(question.choices.size() - 1));
+  if (wrong >= question.gold_index && question.gold_index >= 0) ++wrong;
+  answer.index = wrong;
+  return answer;
+}
+
+std::string MockLlm::AnswerText(const TextQuestion& question) {
+  SkillProfile profile = ProfileFor(question.task);
+  dimqr::Rng rng(dimqr::Rng::DeriveSeed(
+      question.instance_seed, name_ + "|text|" + question.task));
+  if (!rng.Bernoulli(profile.answer_rate)) return "";
+  if (rng.Bernoulli(profile.precision)) return question.gold;
+  // Corrupt the gold deterministically: prepend a wrong token.
+  return "<wrong> " + question.gold;
+}
+
+std::vector<ExtractedQuantity> MockLlm::ExtractQuantities(
+    const ExtractionQuestion& question) {
+  // Models without an extraction profile were not evaluated on extraction
+  // in the paper ("-" rows); they produce nothing.
+  if (!skills_.contains(tasks::kQuantityExtraction)) return {};
+  SkillProfile pair = ProfileFor(tasks::kQuantityExtraction);
+  SkillProfile value = ProfileFor("value_extraction");
+  SkillProfile unit = ProfileFor("unit_extraction");
+  dimqr::Rng rng(dimqr::Rng::DeriveSeed(question.instance_seed,
+                                        name_ + "|extract"));
+  std::vector<ExtractedQuantity> out;
+  int counter = 0;
+  for (const ExtractedQuantity& gold : question.gold) {
+    // Joint sampling with the published marginals: P(value) = ve,
+    // P(pair) = qe, P(unit) = ue  =>  P(unit | value) = qe / ve,
+    // P(unit | !value) = (ue - qe) / (1 - ve).
+    double ve = std::clamp(value.precision, 1e-6, 1.0);
+    double qe = std::min(pair.precision, ve);
+    double ue = std::clamp(unit.precision, qe, 1.0);
+    bool value_ok = rng.Bernoulli(ve);
+    double p_unit = value_ok
+                        ? qe / ve
+                        : (ve < 1.0 ? (ue - qe) / (1.0 - ve) : 0.0);
+    bool unit_ok = rng.Bernoulli(std::clamp(p_unit, 0.0, 1.0));
+    ExtractedQuantity prediction;
+    prediction.value =
+        value_ok ? gold.value : "9" + gold.value;  // corrupted value
+    if (gold.unit.empty()) {
+      prediction.unit = "";  // bare value: no unit part to get wrong
+    } else {
+      prediction.unit =
+          unit_ok ? gold.unit : "wrongunit" + std::to_string(counter);
+    }
+    ++counter;
+    out.push_back(std::move(prediction));
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<Model>> BuildPaperBaselines() {
+  using namespace tasks;
+  std::vector<std::shared_ptr<Model>> models;
+  for (const PaperRowVII& row : PaperTableVII()) {
+    std::map<std::string, SkillProfile> skills;
+    // Extraction: the harness scores per-quantity; use the QE F1 as the
+    // per-quantity success probability (see mock_llm.h).
+    if (row.qe >= 0) {
+      skills[kQuantityExtraction] = SkillProfile{row.qe / 100.0, 1.0};
+      skills["value_extraction"] = SkillProfile{row.ve / 100.0, 1.0};
+      skills["unit_extraction"] = SkillProfile{row.ue / 100.0, 1.0};
+    }
+    skills[kQuantityKindMatch] = FromPrecF1(row.qk_p, row.qk_f1);
+    skills[kComparableAnalysis] = FromPrecF1(row.comp_p, row.comp_f1);
+    skills[kDimensionPrediction] = FromPrecF1(row.dpred_p, row.dpred_f1);
+    skills[kDimensionArithmetic] = FromPrecF1(row.darith_p, row.darith_f1);
+    skills[kMagnitudeComparison] = FromPrecF1(row.mag_p, row.mag_f1);
+    skills[kUnitConversion] = FromPrecF1(row.conv_p, row.conv_f1);
+    // MWP profiles for the models that also appear in Table IX.
+    for (const PaperRowIX& mwp : PaperTableIX()) {
+      std::string base = row.model;
+      if (base == mwp.model ||
+          (base == "GPT-3.5-Turbo + WolframAlpha" &&
+           std::string(mwp.model) == "GPT-3.5-Turbo + WolframAlpha")) {
+        skills[kNMath23k] = FromAccuracy(mwp.n_math23k);
+        skills[kNApe210k] = FromAccuracy(mwp.n_ape210k);
+        skills[kQMath23k] = FromAccuracy(mwp.q_math23k);
+        skills[kQApe210k] = FromAccuracy(mwp.q_ape210k);
+      }
+    }
+    models.push_back(std::make_shared<MockLlm>(row.model, std::move(skills)));
+  }
+  // Table IX's supervised-finetuned baselines that are not in Table VII.
+  for (const PaperRowIX& row : PaperTableIX()) {
+    if (std::string(row.group) != "sft") continue;
+    std::map<std::string, SkillProfile> skills;
+    skills[tasks::kNMath23k] = FromAccuracy(row.n_math23k);
+    skills[tasks::kNApe210k] = FromAccuracy(row.n_ape210k);
+    skills[tasks::kQMath23k] = FromAccuracy(row.q_math23k);
+    skills[tasks::kQApe210k] = FromAccuracy(row.q_ape210k);
+    models.push_back(std::make_shared<MockLlm>(row.model, std::move(skills)));
+  }
+  return models;
+}
+
+}  // namespace dimqr::lm

@@ -1,0 +1,88 @@
+#ifndef DIMQR_LM_MODEL_API_H_
+#define DIMQR_LM_MODEL_API_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file model_api.h
+/// The model-under-evaluation interface shared by the DimEval and Q-MWP
+/// harnesses. Two shapes cover every experiment: multiple-choice questions
+/// (six of the seven DimEval tasks are "converted ... into selection
+/// tasks", Section IV-B) and free-text answers (quantity extraction, MWP
+/// equation generation).
+
+namespace dimqr::lm {
+
+/// \brief A multiple-choice question instance.
+///
+/// `gold_index` is the ground truth. It exists on the question because the
+/// *simulated* baselines (closed APIs we cannot call offline; see
+/// DESIGN.md) are calibrated samplers that need the truth to reproduce a
+/// published accuracy. Trainable models MUST NOT read it; the harness
+/// verifies this by shuffling choices per instance.
+struct ChoiceQuestion {
+  std::string task;      ///< Task key, e.g. "unit_conversion".
+  std::string prompt;    ///< Full natural-language prompt.
+  std::vector<std::string> choices;
+  int gold_index = -1;
+  std::uint64_t instance_seed = 0;  ///< Per-instance determinism seed.
+};
+
+/// \brief A free-text question (extraction, equation generation).
+struct TextQuestion {
+  std::string task;
+  std::string prompt;
+  std::string gold;  ///< Reference answer (same caveat as gold_index).
+  std::uint64_t instance_seed = 0;
+};
+
+/// \brief The answer to a choice question; index -1 means the model
+/// declined ("LLMs still tend to refrain from providing responses",
+/// Section VI-E1) — scored as answered-wrong for precision but missing for
+/// recall/F1.
+struct ChoiceAnswer {
+  int index = -1;
+  bool answered() const { return index >= 0; }
+};
+
+/// \brief One extracted quantity (Definition 2: value part + unit part).
+struct ExtractedQuantity {
+  std::string value;
+  std::string unit;  ///< Empty for bare values.
+};
+
+/// \brief A quantity-extraction question.
+struct ExtractionQuestion {
+  std::string text;
+  /// Ground truth (read only by simulated baselines; see ChoiceQuestion).
+  std::vector<ExtractedQuantity> gold;
+  std::uint64_t instance_seed = 0;
+};
+
+/// \brief A model that the harness can evaluate.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Display name ("GPT-4", "DimPerc", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Answers a multiple-choice question.
+  virtual ChoiceAnswer AnswerChoice(const ChoiceQuestion& question) = 0;
+
+  /// Answers a free-text question; empty string means declined.
+  virtual std::string AnswerText(const TextQuestion& question) = 0;
+
+  /// \brief Extracts quantities from text (Definition 2). The default
+  /// implementation returns nothing (model cannot do extraction).
+  virtual std::vector<ExtractedQuantity> ExtractQuantities(
+      const ExtractionQuestion& question) {
+    (void)question;
+    return {};
+  }
+};
+
+}  // namespace dimqr::lm
+
+#endif  // DIMQR_LM_MODEL_API_H_

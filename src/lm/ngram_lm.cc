@@ -1,0 +1,108 @@
+#include "lm/ngram_lm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/number_scanner.h"
+
+namespace dimqr::lm {
+namespace {
+
+bool IsNumericToken(const std::string& token) {
+  return text::ParseNumber(token).has_value();
+}
+
+std::string Normalize(const std::string& token) {
+  return IsNumericToken(token) ? NgramMaskedLm::NumToken() : token;
+}
+
+}  // namespace
+
+const std::string& NgramMaskedLm::NumToken() {
+  static const std::string* const kNum = new std::string("<num>");
+  return *kNum;
+}
+
+dimqr::Result<NgramMaskedLm> NgramMaskedLm::Train(
+    const std::vector<std::vector<std::string>>& sentences, double add_k) {
+  if (sentences.empty()) {
+    return dimqr::Status::InvalidArgument("empty n-gram training corpus");
+  }
+  if (add_k <= 0.0) {
+    return dimqr::Status::InvalidArgument("add_k must be positive");
+  }
+  NgramMaskedLm lm;
+  lm.add_k_ = add_k;
+  for (const auto& sentence : sentences) {
+    for (std::size_t i = 0; i < sentence.size(); ++i) {
+      std::string tok = Normalize(sentence[i]);
+      if (!lm.unigram_.contains(tok)) lm.vocab_.push_back(tok);
+      ++lm.unigram_[tok];
+      ++lm.total_tokens_;
+      if (i > 0) {
+        ++lm.left_bigram_[Normalize(sentence[i - 1]) + "|" + tok];
+      }
+      if (i + 1 < sentence.size()) {
+        ++lm.right_bigram_[tok + "|" + Normalize(sentence[i + 1])];
+      }
+    }
+  }
+  std::sort(lm.vocab_.begin(), lm.vocab_.end());
+  return lm;
+}
+
+double NgramMaskedLm::Score(const std::string& token, const std::string& left,
+                            const std::string& right) const {
+  auto count_of = [](const std::unordered_map<std::string, std::size_t>& map,
+                     const std::string& key) -> double {
+    auto it = map.find(key);
+    return it == map.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  double uni = count_of(unigram_, token);
+  double v = static_cast<double>(vocab_.size());
+  double p = (uni + add_k_) / (static_cast<double>(total_tokens_) + add_k_ * v);
+  if (!left.empty()) {
+    double left_count = count_of(unigram_, Normalize(left));
+    double pair = count_of(left_bigram_, Normalize(left) + "|" + token);
+    p *= (pair + add_k_) / (left_count + add_k_ * v) / ((uni + add_k_) /
+         (static_cast<double>(total_tokens_) + add_k_ * v));
+  }
+  if (!right.empty()) {
+    double pair = count_of(right_bigram_, token + "|" + Normalize(right));
+    p *= (pair + add_k_) / (uni + add_k_ * v) * v;
+  }
+  return p;
+}
+
+std::vector<std::pair<std::string, double>> NgramMaskedLm::PredictMasked(
+    const std::string& left, const std::string& right, std::size_t k) const {
+  std::vector<std::pair<std::string, double>> scored;
+  scored.reserve(vocab_.size());
+  double total = 0.0;
+  for (const std::string& token : vocab_) {
+    double s = Score(token, left, right);
+    scored.emplace_back(token, s);
+    total += s;
+  }
+  if (total > 0.0) {
+    for (auto& [token, s] : scored) s /= total;
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+double NgramMaskedLm::NumericLikelihood(const std::string& left,
+                                        const std::string& right) const {
+  std::vector<std::pair<std::string, double>> top =
+      PredictMasked(left, right, 8);
+  for (const auto& [token, p] : top) {
+    if (token == NumToken()) return p;
+  }
+  return 0.0;
+}
+
+}  // namespace dimqr::lm

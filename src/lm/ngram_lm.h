@@ -1,0 +1,63 @@
+#ifndef DIMQR_LM_NGRAM_LM_H_
+#define DIMQR_LM_NGRAM_LM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+
+/// \file ngram_lm.h
+/// A bigram-context masked-token predictor.
+///
+/// Substitution (DESIGN.md): Algorithm 1's step 2 masks the numeric part
+/// of a candidate quantity and asks BERT to infer the masked word — if the
+/// prediction is not numeric-like, the candidate is rejected. The only
+/// capability that step needs is "predict the masked token from its left
+/// and right neighbours", which a smoothed n-gram model supplies. The model
+/// trains on the same synthetic corpus as everything else.
+
+namespace dimqr::lm {
+
+/// \brief Masked-token predictor from (left, right) neighbour words.
+class NgramMaskedLm {
+ public:
+  /// \brief Trains from tokenized sentences. Counts (left, token),
+  /// (token, right) bigrams and unigrams with add-k smoothing.
+  static dimqr::Result<NgramMaskedLm> Train(
+      const std::vector<std::vector<std::string>>& sentences, double add_k = 0.1);
+
+  /// \brief Top-`k` predictions for the masked position given neighbours
+  /// (either may be empty at sentence edges). Most probable first.
+  std::vector<std::pair<std::string, double>> PredictMasked(
+      const std::string& left, const std::string& right,
+      std::size_t k = 5) const;
+
+  /// \brief Probability that the masked position holds a numeric-like token,
+  /// estimated from the top predictions (numbers were replaced by the
+  /// "<num>" pseudo-token at training time).
+  double NumericLikelihood(const std::string& left,
+                           const std::string& right) const;
+
+  std::size_t vocab_size() const { return vocab_.size(); }
+
+  /// The pseudo-token standing for any number.
+  static const std::string& NumToken();
+
+ private:
+  NgramMaskedLm() = default;
+
+  double Score(const std::string& token, const std::string& left,
+               const std::string& right) const;
+
+  std::vector<std::string> vocab_;
+  std::unordered_map<std::string, std::size_t> unigram_;
+  std::unordered_map<std::string, std::size_t> left_bigram_;   // "l|t"
+  std::unordered_map<std::string, std::size_t> right_bigram_;  // "t|r"
+  std::size_t total_tokens_ = 0;
+  double add_k_ = 0.1;
+};
+
+}  // namespace dimqr::lm
+
+#endif  // DIMQR_LM_NGRAM_LM_H_

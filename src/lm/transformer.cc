@@ -1,0 +1,896 @@
+#include "lm/transformer.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "core/rng.h"
+
+namespace dimqr::lm {
+namespace {
+
+using dimqr::Result;
+using dimqr::Status;
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+float Gelu(float x) {
+  float inner = kGeluC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float GeluGrad(float x) {
+  float x3 = x * x * x;
+  float inner = kGeluC * (x + 0.044715f * x3);
+  float t = std::tanh(inner);
+  float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+/// C(MxN) = A(MxK) * B(KxN), all row-major.
+void MatMul(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::ptrdiff_t>(i) * n;
+    std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+    const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::ptrdiff_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// dA(MxK) += dC(MxN) * B^T (B is KxN).
+void MatMulGradA(const float* dc, const float* b, float* da, int m, int k,
+                 int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* dcrow = dc + static_cast<std::ptrdiff_t>(i) * n;
+    float* darow = da + static_cast<std::ptrdiff_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<std::ptrdiff_t>(p) * n;
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+      darow[p] += acc;
+    }
+  }
+}
+
+/// dB(KxN) += A^T (A is MxK) * dC(MxN).
+void MatMulGradB(const float* a, const float* dc, float* db, int m, int k,
+                 int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
+    const float* dcrow = dc + static_cast<std::ptrdiff_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      float* dbrow = db + static_cast<std::ptrdiff_t>(p) * n;
+      for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+    }
+  }
+}
+
+/// LayerNorm forward for one row. Returns (mean, rstd).
+void LayerNormRow(const float* x, const float* g, const float* b, float* y,
+                  int d, float* mean_out, float* rstd_out) {
+  float mean = 0.0f;
+  for (int i = 0; i < d; ++i) mean += x[i];
+  mean /= static_cast<float>(d);
+  float var = 0.0f;
+  for (int i = 0; i < d; ++i) {
+    float dx = x[i] - mean;
+    var += dx * dx;
+  }
+  var /= static_cast<float>(d);
+  float rstd = 1.0f / std::sqrt(var + 1e-5f);
+  for (int i = 0; i < d; ++i) y[i] = (x[i] - mean) * rstd * g[i] + b[i];
+  *mean_out = mean;
+  *rstd_out = rstd;
+}
+
+/// LayerNorm backward for one row; accumulates into dx, dg, db.
+void LayerNormRowBackward(const float* x, const float* g, const float* dy,
+                          float mean, float rstd, float* dx, float* dg,
+                          float* db, int d) {
+  float sum_dyg = 0.0f, sum_dyg_xhat = 0.0f;
+  for (int i = 0; i < d; ++i) {
+    float xhat = (x[i] - mean) * rstd;
+    float dyg = dy[i] * g[i];
+    sum_dyg += dyg;
+    sum_dyg_xhat += dyg * xhat;
+    dg[i] += dy[i] * xhat;
+    db[i] += dy[i];
+  }
+  float inv_d = 1.0f / static_cast<float>(d);
+  for (int i = 0; i < d; ++i) {
+    float xhat = (x[i] - mean) * rstd;
+    float dyg = dy[i] * g[i];
+    dx[i] += rstd * (dyg - inv_d * sum_dyg - xhat * inv_d * sum_dyg_xhat);
+  }
+}
+
+}  // namespace
+
+/// Computes flat offsets into the parameter vector.
+class TransformerLayout {
+ public:
+  explicit TransformerLayout(const TransformerConfig& c) : c_(c) {
+    std::size_t off = 0;
+    tok_emb = Take(&off, static_cast<std::size_t>(c.vocab_size) * c.d_model);
+    pos_emb = Take(&off, static_cast<std::size_t>(c.max_seq) * c.d_model);
+    for (int l = 0; l < c.n_layers; ++l) {
+      Layer layer;
+      layer.ln1_g = Take(&off, c.d_model);
+      layer.ln1_b = Take(&off, c.d_model);
+      layer.w_qkv = Take(&off, static_cast<std::size_t>(c.d_model) * 3 * c.d_model);
+      layer.b_qkv = Take(&off, 3 * c.d_model);
+      layer.w_o = Take(&off, static_cast<std::size_t>(c.d_model) * c.d_model);
+      layer.b_o = Take(&off, c.d_model);
+      layer.ln2_g = Take(&off, c.d_model);
+      layer.ln2_b = Take(&off, c.d_model);
+      layer.w1 = Take(&off, static_cast<std::size_t>(c.d_model) * c.d_ff);
+      layer.b1 = Take(&off, c.d_ff);
+      layer.w2 = Take(&off, static_cast<std::size_t>(c.d_ff) * c.d_model);
+      layer.b2 = Take(&off, c.d_model);
+      layers.push_back(layer);
+    }
+    lnf_g = Take(&off, c.d_model);
+    lnf_b = Take(&off, c.d_model);
+    w_head = Take(&off, static_cast<std::size_t>(c.d_model) * c.vocab_size);
+    total = off;
+  }
+
+  struct Layer {
+    std::size_t ln1_g, ln1_b, w_qkv, b_qkv, w_o, b_o;
+    std::size_t ln2_g, ln2_b, w1, b1, w2, b2;
+  };
+
+  std::size_t tok_emb, pos_emb, lnf_g, lnf_b, w_head, total;
+  std::vector<Layer> layers;
+
+ private:
+  static std::size_t Take(std::size_t* off, std::size_t n) {
+    std::size_t at = *off;
+    *off += n;
+    return at;
+  }
+  TransformerConfig c_;
+};
+
+Result<Transformer> Transformer::Create(const TransformerConfig& config) {
+  if (config.vocab_size <= SpecialTokensGuard()) {
+    return Status::InvalidArgument("vocab_size too small");
+  }
+  if (config.d_model <= 0 || config.n_heads <= 0 ||
+      config.d_model % config.n_heads != 0 || config.n_layers <= 0 ||
+      config.d_ff <= 0 || config.max_seq <= 1) {
+    return Status::InvalidArgument("bad transformer config");
+  }
+  Transformer model;
+  model.config_ = config;
+  TransformerLayout layout(config);
+  model.params_.assign(layout.total, 0.0f);
+  dimqr::Rng rng(config.seed);
+  auto init = [&rng, &model](std::size_t off, std::size_t n, double scale) {
+    for (std::size_t i = 0; i < n; ++i) {
+      model.params_[off + i] = static_cast<float>(rng.Normal(0.0, scale));
+    }
+  };
+  double scale = 0.08;
+  init(layout.tok_emb,
+       static_cast<std::size_t>(config.vocab_size) * config.d_model, scale);
+  init(layout.pos_emb,
+       static_cast<std::size_t>(config.max_seq) * config.d_model, scale);
+  for (const TransformerLayout::Layer& l : layout.layers) {
+    // LN gains start at 1.
+    for (int i = 0; i < config.d_model; ++i) {
+      model.params_[l.ln1_g + i] = 1.0f;
+      model.params_[l.ln2_g + i] = 1.0f;
+    }
+    init(l.w_qkv, static_cast<std::size_t>(config.d_model) * 3 * config.d_model,
+         scale);
+    init(l.w_o, static_cast<std::size_t>(config.d_model) * config.d_model,
+         scale / std::sqrt(2.0 * config.n_layers));
+    init(l.w1, static_cast<std::size_t>(config.d_model) * config.d_ff, scale);
+    init(l.w2, static_cast<std::size_t>(config.d_ff) * config.d_model,
+         scale / std::sqrt(2.0 * config.n_layers));
+  }
+  for (int i = 0; i < config.d_model; ++i) {
+    model.params_[layout.lnf_g + i] = 1.0f;
+  }
+  init(layout.w_head,
+       static_cast<std::size_t>(config.d_model) * config.vocab_size, scale);
+  model.adam_m_.assign(layout.total, 0.0f);
+  model.adam_v_.assign(layout.total, 0.0f);
+  return model;
+}
+
+int Transformer::SpecialTokensGuard() { return 6; }
+
+Result<double> Transformer::ForwardBackward(const LmExample& example,
+                                            std::vector<float>* grads) const {
+  const TransformerConfig& c = config_;
+  TransformerLayout lay(c);
+  const float* P = params_.data();
+
+  // Left-truncate to max_seq (answers live at the end of the sequence).
+  std::vector<int> tokens = example.tokens;
+  std::vector<std::uint8_t> mask = example.loss_mask;
+  if (tokens.size() != mask.size()) {
+    return Status::InvalidArgument("tokens/loss_mask size mismatch");
+  }
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument("example needs at least two tokens");
+  }
+  if (tokens.size() > static_cast<std::size_t>(c.max_seq)) {
+    std::size_t drop = tokens.size() - static_cast<std::size_t>(c.max_seq);
+    tokens.erase(tokens.begin(), tokens.begin() + static_cast<std::ptrdiff_t>(drop));
+    mask.erase(mask.begin(), mask.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  const int T = static_cast<int>(tokens.size());
+  const int D = c.d_model, H = c.n_heads, Dh = D / H, F = c.d_ff,
+            V = c.vocab_size, L = c.n_layers;
+  for (int t = 0; t < T; ++t) {
+    if (tokens[t] < 0 || tokens[t] >= V) {
+      return Status::InvalidArgument("token id out of range");
+    }
+  }
+
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(Dh));
+  auto TD = static_cast<std::size_t>(T) * D;
+
+  // ---- forward ----
+  std::vector<float> x0(TD);
+  for (int t = 0; t < T; ++t) {
+    const float* te = P + lay.tok_emb + static_cast<std::size_t>(tokens[t]) * D;
+    const float* pe = P + lay.pos_emb + static_cast<std::size_t>(t) * D;
+    for (int i = 0; i < D; ++i) x0[static_cast<std::size_t>(t) * D + i] = te[i] + pe[i];
+  }
+
+  struct LayerActs {
+    std::vector<float> x_in, ln1, qkv, att, ctx, x_mid, ln2, ff_pre, ff_act,
+        x_out;
+    std::vector<float> ln1_mean, ln1_rstd, ln2_mean, ln2_rstd;
+  };
+  std::vector<LayerActs> acts(L);
+  std::vector<float> x = x0;
+  for (int l = 0; l < L; ++l) {
+    const TransformerLayout::Layer& W = lay.layers[l];
+    LayerActs& a = acts[l];
+    a.x_in = x;
+    a.ln1.resize(TD);
+    a.ln1_mean.resize(T);
+    a.ln1_rstd.resize(T);
+    for (int t = 0; t < T; ++t) {
+      LayerNormRow(a.x_in.data() + static_cast<std::size_t>(t) * D,
+                   P + W.ln1_g, P + W.ln1_b,
+                   a.ln1.data() + static_cast<std::size_t>(t) * D, D,
+                   &a.ln1_mean[t], &a.ln1_rstd[t]);
+    }
+    a.qkv.resize(static_cast<std::size_t>(T) * 3 * D);
+    MatMul(a.ln1.data(), P + W.w_qkv, a.qkv.data(), T, D, 3 * D);
+    for (int t = 0; t < T; ++t) {
+      float* row = a.qkv.data() + static_cast<std::size_t>(t) * 3 * D;
+      for (int i = 0; i < 3 * D; ++i) row[i] += P[W.b_qkv + i];
+    }
+    // attention per head
+    a.att.assign(static_cast<std::size_t>(H) * T * T, 0.0f);
+    a.ctx.assign(TD, 0.0f);
+    for (int h = 0; h < H; ++h) {
+      for (int t = 0; t < T; ++t) {
+        const float* q =
+            a.qkv.data() + static_cast<std::size_t>(t) * 3 * D + h * Dh;
+        float* att_row =
+            a.att.data() + (static_cast<std::size_t>(h) * T + t) * T;
+        float maxv = -1e30f;
+        for (int u = 0; u <= t; ++u) {
+          const float* k =
+              a.qkv.data() + static_cast<std::size_t>(u) * 3 * D + D + h * Dh;
+          float dot = 0.0f;
+          for (int i = 0; i < Dh; ++i) dot += q[i] * k[i];
+          dot *= inv_sqrt_dh;
+          att_row[u] = dot;
+          if (dot > maxv) maxv = dot;
+        }
+        float denom = 0.0f;
+        for (int u = 0; u <= t; ++u) {
+          att_row[u] = std::exp(att_row[u] - maxv);
+          denom += att_row[u];
+        }
+        float inv_denom = 1.0f / denom;
+        for (int u = 0; u <= t; ++u) att_row[u] *= inv_denom;
+        float* ctx =
+            a.ctx.data() + static_cast<std::size_t>(t) * D + h * Dh;
+        for (int u = 0; u <= t; ++u) {
+          const float* v = a.qkv.data() +
+                           static_cast<std::size_t>(u) * 3 * D + 2 * D + h * Dh;
+          float w = att_row[u];
+          for (int i = 0; i < Dh; ++i) ctx[i] += w * v[i];
+        }
+      }
+    }
+    // output projection + residual
+    a.x_mid.resize(TD);
+    MatMul(a.ctx.data(), P + W.w_o, a.x_mid.data(), T, D, D);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < D; ++i) {
+        std::size_t idx = static_cast<std::size_t>(t) * D + i;
+        a.x_mid[idx] += P[W.b_o + i] + a.x_in[idx];
+      }
+    }
+    // MLP
+    a.ln2.resize(TD);
+    a.ln2_mean.resize(T);
+    a.ln2_rstd.resize(T);
+    for (int t = 0; t < T; ++t) {
+      LayerNormRow(a.x_mid.data() + static_cast<std::size_t>(t) * D,
+                   P + W.ln2_g, P + W.ln2_b,
+                   a.ln2.data() + static_cast<std::size_t>(t) * D, D,
+                   &a.ln2_mean[t], &a.ln2_rstd[t]);
+    }
+    a.ff_pre.resize(static_cast<std::size_t>(T) * F);
+    MatMul(a.ln2.data(), P + W.w1, a.ff_pre.data(), T, D, F);
+    a.ff_act.resize(static_cast<std::size_t>(T) * F);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < F; ++i) {
+        std::size_t idx = static_cast<std::size_t>(t) * F + i;
+        a.ff_pre[idx] += P[W.b1 + i];
+        a.ff_act[idx] = Gelu(a.ff_pre[idx]);
+      }
+    }
+    a.x_out.resize(TD);
+    MatMul(a.ff_act.data(), P + W.w2, a.x_out.data(), T, F, D);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < D; ++i) {
+        std::size_t idx = static_cast<std::size_t>(t) * D + i;
+        a.x_out[idx] += P[W.b2 + i] + a.x_mid[idx];
+      }
+    }
+    x = a.x_out;
+  }
+
+  std::vector<float> lnf(TD), lnf_mean(T), lnf_rstd(T);
+  for (int t = 0; t < T; ++t) {
+    LayerNormRow(x.data() + static_cast<std::size_t>(t) * D, P + lay.lnf_g,
+                 P + lay.lnf_b, lnf.data() + static_cast<std::size_t>(t) * D,
+                 D, &lnf_mean[t], &lnf_rstd[t]);
+  }
+
+  // Loss positions: predict tokens[t] from prefix ending at t-1, for every
+  // t >= 1 with mask[t] set.
+  int n_loss = 0;
+  for (int t = 1; t < T; ++t) {
+    if (mask[t]) ++n_loss;
+  }
+  if (n_loss == 0) {
+    return Status::InvalidArgument("no positions carry loss");
+  }
+
+  double loss = 0.0;
+  std::vector<float> dlnf;  // gradient wrt lnf rows (filled on backward)
+  if (grads != nullptr) dlnf.assign(TD, 0.0f);
+  std::vector<float> probs(V);
+  const float loss_scale = 1.0f / static_cast<float>(n_loss);
+  for (int t = 1; t < T; ++t) {
+    if (!mask[t]) continue;
+    const float* hrow = lnf.data() + static_cast<std::size_t>(t - 1) * D;
+    // logits = hrow . Whead (D x V)
+    float maxv = -1e30f;
+    for (int vtok = 0; vtok < V; ++vtok) {
+      float acc = 0.0f;
+      const float* wcol = P + lay.w_head;  // row-major D x V
+      for (int i = 0; i < D; ++i) {
+        acc += hrow[i] * wcol[static_cast<std::size_t>(i) * V + vtok];
+      }
+      probs[vtok] = acc;
+      if (acc > maxv) maxv = acc;
+    }
+    float denom = 0.0f;
+    for (int vtok = 0; vtok < V; ++vtok) {
+      probs[vtok] = std::exp(probs[vtok] - maxv);
+      denom += probs[vtok];
+    }
+    float inv_denom = 1.0f / denom;
+    for (int vtok = 0; vtok < V; ++vtok) probs[vtok] *= inv_denom;
+    loss -= std::log(std::max(probs[tokens[t]], 1e-12f));
+    if (grads != nullptr) {
+      float* G = grads->data();
+      float* dh = dlnf.data() + static_cast<std::size_t>(t - 1) * D;
+      probs[tokens[t]] -= 1.0f;
+      for (int i = 0; i < D; ++i) {
+        const float* wrow = P + lay.w_head + static_cast<std::size_t>(i) * V;
+        float* gwrow = G + lay.w_head + static_cast<std::size_t>(i) * V;
+        float hi = hrow[i];
+        float acc = 0.0f;
+        for (int vtok = 0; vtok < V; ++vtok) {
+          float dl = probs[vtok] * loss_scale;
+          acc += dl * wrow[vtok];
+          gwrow[vtok] += dl * hi;
+        }
+        dh[i] += acc;
+      }
+    }
+  }
+  loss /= n_loss;
+  if (grads == nullptr) return loss;
+
+  float* G = grads->data();
+  // ---- backward ----
+  std::vector<float> dx(TD, 0.0f);
+  for (int t = 0; t < T; ++t) {
+    LayerNormRowBackward(x.data() + static_cast<std::size_t>(t) * D,
+                         P + lay.lnf_g,
+                         dlnf.data() + static_cast<std::size_t>(t) * D,
+                         lnf_mean[t], lnf_rstd[t],
+                         dx.data() + static_cast<std::size_t>(t) * D,
+                         G + lay.lnf_g, G + lay.lnf_b, D);
+  }
+
+  std::vector<float> d_mid(TD), d_ln2(TD), d_ff_act, d_ff_pre, d_ctx(TD),
+      d_ln1(TD), d_qkv, d_att;
+  for (int l = L - 1; l >= 0; --l) {
+    const TransformerLayout::Layer& W = lay.layers[l];
+    const LayerActs& a = acts[l];
+    // dx is gradient wrt a.x_out.
+    // x_out = x_mid + (gelu(ln2.W1+b1)).W2 + b2
+    d_ff_act.assign(static_cast<std::size_t>(T) * F, 0.0f);
+    MatMulGradA(dx.data(), P + W.w2, d_ff_act.data(), T, F, D);
+    MatMulGradB(a.ff_act.data(), dx.data(), G + W.w2, T, F, D);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < D; ++i) {
+        G[W.b2 + i] += dx[static_cast<std::size_t>(t) * D + i];
+      }
+    }
+    d_ff_pre.assign(static_cast<std::size_t>(T) * F, 0.0f);
+    for (std::size_t i = 0; i < d_ff_pre.size(); ++i) {
+      d_ff_pre[i] = d_ff_act[i] * GeluGrad(a.ff_pre[i]);
+    }
+    std::fill(d_ln2.begin(), d_ln2.end(), 0.0f);
+    MatMulGradA(d_ff_pre.data(), P + W.w1, d_ln2.data(), T, D, F);
+    MatMulGradB(a.ln2.data(), d_ff_pre.data(), G + W.w1, T, D, F);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < F; ++i) {
+        G[W.b1 + i] += d_ff_pre[static_cast<std::size_t>(t) * F + i];
+      }
+    }
+    // residual: d_mid = dx (from skip) + LN2 backward contribution
+    d_mid = dx;
+    for (int t = 0; t < T; ++t) {
+      LayerNormRowBackward(a.x_mid.data() + static_cast<std::size_t>(t) * D,
+                           P + W.ln2_g,
+                           d_ln2.data() + static_cast<std::size_t>(t) * D,
+                           a.ln2_mean[t], a.ln2_rstd[t],
+                           d_mid.data() + static_cast<std::size_t>(t) * D,
+                           G + W.ln2_g, G + W.ln2_b, D);
+    }
+    // x_mid = x_in + ctx.Wo + bo
+    std::fill(d_ctx.begin(), d_ctx.end(), 0.0f);
+    MatMulGradA(d_mid.data(), P + W.w_o, d_ctx.data(), T, D, D);
+    MatMulGradB(a.ctx.data(), d_mid.data(), G + W.w_o, T, D, D);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < D; ++i) {
+        G[W.b_o + i] += d_mid[static_cast<std::size_t>(t) * D + i];
+      }
+    }
+    // attention backward
+    d_qkv.assign(static_cast<std::size_t>(T) * 3 * D, 0.0f);
+    d_att.assign(static_cast<std::size_t>(T) * T, 0.0f);
+    for (int h = 0; h < H; ++h) {
+      for (int t = 0; t < T; ++t) {
+        const float* att_row =
+            a.att.data() + (static_cast<std::size_t>(h) * T + t) * T;
+        const float* dctx =
+            d_ctx.data() + static_cast<std::size_t>(t) * D + h * Dh;
+        float* datt_row = d_att.data() + static_cast<std::size_t>(t) * T;
+        // d att[u] = dctx . v_u ; dv_u += att[u] * dctx
+        for (int u = 0; u <= t; ++u) {
+          const float* v = a.qkv.data() +
+                           static_cast<std::size_t>(u) * 3 * D + 2 * D + h * Dh;
+          float* dv = d_qkv.data() +
+                      static_cast<std::size_t>(u) * 3 * D + 2 * D + h * Dh;
+          float acc = 0.0f;
+          float w = att_row[u];
+          for (int i = 0; i < Dh; ++i) {
+            acc += dctx[i] * v[i];
+            dv[i] += w * dctx[i];
+          }
+          datt_row[u] = acc;
+        }
+        // softmax backward -> scores gradient
+        float dot = 0.0f;
+        for (int u = 0; u <= t; ++u) dot += datt_row[u] * att_row[u];
+        const float* q =
+            a.qkv.data() + static_cast<std::size_t>(t) * 3 * D + h * Dh;
+        float* dq = d_qkv.data() + static_cast<std::size_t>(t) * 3 * D + h * Dh;
+        for (int u = 0; u <= t; ++u) {
+          float dscore = att_row[u] * (datt_row[u] - dot) * inv_sqrt_dh;
+          const float* k =
+              a.qkv.data() + static_cast<std::size_t>(u) * 3 * D + D + h * Dh;
+          float* dk = d_qkv.data() +
+                      static_cast<std::size_t>(u) * 3 * D + D + h * Dh;
+          for (int i = 0; i < Dh; ++i) {
+            dq[i] += dscore * k[i];
+            dk[i] += dscore * q[i];
+          }
+        }
+      }
+    }
+    // qkv = ln1 . Wqkv + bqkv
+    std::fill(d_ln1.begin(), d_ln1.end(), 0.0f);
+    MatMulGradA(d_qkv.data(), P + W.w_qkv, d_ln1.data(), T, D, 3 * D);
+    MatMulGradB(a.ln1.data(), d_qkv.data(), G + W.w_qkv, T, D, 3 * D);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < 3 * D; ++i) {
+        G[W.b_qkv + i] += d_qkv[static_cast<std::size_t>(t) * 3 * D + i];
+      }
+    }
+    // residual: d x_in = d_mid (skip) + LN1 backward
+    dx = d_mid;
+    for (int t = 0; t < T; ++t) {
+      LayerNormRowBackward(a.x_in.data() + static_cast<std::size_t>(t) * D,
+                           P + W.ln1_g,
+                           d_ln1.data() + static_cast<std::size_t>(t) * D,
+                           a.ln1_mean[t], a.ln1_rstd[t],
+                           dx.data() + static_cast<std::size_t>(t) * D,
+                           G + W.ln1_g, G + W.ln1_b, D);
+    }
+  }
+  // embeddings
+  for (int t = 0; t < T; ++t) {
+    float* gte = G + lay.tok_emb + static_cast<std::size_t>(tokens[t]) * D;
+    float* gpe = G + lay.pos_emb + static_cast<std::size_t>(t) * D;
+    const float* drow = dx.data() + static_cast<std::size_t>(t) * D;
+    for (int i = 0; i < D; ++i) {
+      gte[i] += drow[i];
+      gpe[i] += drow[i];
+    }
+  }
+  return loss;
+}
+
+Result<double> Transformer::Loss(const LmExample& example) const {
+  return ForwardBackward(example, nullptr);
+}
+
+Result<double> Transformer::TrainBatch(const std::vector<LmExample>& batch,
+                                       double learning_rate) {
+  if (batch.empty()) {
+    return Status::InvalidArgument("empty training batch");
+  }
+  std::vector<float> grads(params_.size(), 0.0f);
+  double total_loss = 0.0;
+  for (const LmExample& example : batch) {
+    DIMQR_ASSIGN_OR_RETURN(double loss, ForwardBackward(example, &grads));
+    total_loss += loss;
+  }
+  float inv_n = 1.0f / static_cast<float>(batch.size());
+  ++adam_step_;
+  const float beta1 = 0.9f, beta2 = 0.999f, eps = 1e-8f;
+  float bc1 = 1.0f - std::pow(beta1, static_cast<float>(adam_step_));
+  float bc2 = 1.0f - std::pow(beta2, static_cast<float>(adam_step_));
+  auto lr = static_cast<float>(learning_rate);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float g = grads[i] * inv_n;
+    adam_m_[i] = beta1 * adam_m_[i] + (1.0f - beta1) * g;
+    adam_v_[i] = beta2 * adam_v_[i] + (1.0f - beta2) * g * g;
+    float mhat = adam_m_[i] / bc1;
+    float vhat = adam_v_[i] / bc2;
+    params_[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+  return total_loss / static_cast<double>(batch.size());
+}
+
+Result<std::vector<float>> Transformer::NextLogits(
+    const std::vector<int>& prefix) const {
+  if (prefix.empty()) {
+    return Status::InvalidArgument("empty prefix");
+  }
+  // Run a forward pass with a dummy target after the prefix; we reuse
+  // ForwardBackward's machinery indirectly by recomputing here instead.
+  // For simplicity: append a pad token, mask it, and read logits from the
+  // loss machinery is awkward — so run a direct forward.
+  LmExample probe;
+  probe.tokens = prefix;
+  probe.tokens.push_back(0);
+  probe.loss_mask.assign(probe.tokens.size(), 0);
+  probe.loss_mask.back() = 1;
+  // A forward pass computing logits at the last prefix position:
+  return LogitsAtLast(probe);
+}
+
+Result<std::vector<float>> Transformer::LogitsAtLast(
+    const LmExample& probe) const {
+  // Forward-only clone of ForwardBackward returning the logits used for the
+  // single masked position. Implemented via the loss path would lose the
+  // logits, so recompute: easiest correct route is to call ForwardBackward
+  // with a gradient buffer? No — we re-run the forward here.
+  const TransformerConfig& c = config_;
+  TransformerLayout lay(c);
+  const float* P = params_.data();
+  std::vector<int> tokens = probe.tokens;
+  if (tokens.size() > static_cast<std::size_t>(c.max_seq)) {
+    std::size_t drop = tokens.size() - static_cast<std::size_t>(c.max_seq);
+    tokens.erase(tokens.begin(),
+                 tokens.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  const int T = static_cast<int>(tokens.size());
+  const int D = c.d_model, H = c.n_heads, Dh = D / H, F = c.d_ff,
+            V = c.vocab_size, L = c.n_layers;
+  for (int t = 0; t < T; ++t) {
+    if (tokens[t] < 0 || tokens[t] >= V) {
+      return Status::InvalidArgument("token id out of range");
+    }
+  }
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(Dh));
+  auto TD = static_cast<std::size_t>(T) * D;
+  std::vector<float> x(TD);
+  for (int t = 0; t < T; ++t) {
+    const float* te = P + lay.tok_emb + static_cast<std::size_t>(tokens[t]) * D;
+    const float* pe = P + lay.pos_emb + static_cast<std::size_t>(t) * D;
+    for (int i = 0; i < D; ++i) {
+      x[static_cast<std::size_t>(t) * D + i] = te[i] + pe[i];
+    }
+  }
+  std::vector<float> ln(TD), qkv(static_cast<std::size_t>(T) * 3 * D),
+      ctx(TD), proj(TD), ff_pre(static_cast<std::size_t>(T) * F),
+      ff_act(static_cast<std::size_t>(T) * F), ffout(TD);
+  float mean, rstd;
+  for (int l = 0; l < L; ++l) {
+    const TransformerLayout::Layer& W = lay.layers[l];
+    for (int t = 0; t < T; ++t) {
+      LayerNormRow(x.data() + static_cast<std::size_t>(t) * D, P + W.ln1_g,
+                   P + W.ln1_b, ln.data() + static_cast<std::size_t>(t) * D,
+                   D, &mean, &rstd);
+    }
+    MatMul(ln.data(), P + W.w_qkv, qkv.data(), T, D, 3 * D);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < 3 * D; ++i) {
+        qkv[static_cast<std::size_t>(t) * 3 * D + i] += P[W.b_qkv + i];
+      }
+    }
+    std::fill(ctx.begin(), ctx.end(), 0.0f);
+    std::vector<float> att_row(T);
+    for (int h = 0; h < H; ++h) {
+      for (int t = 0; t < T; ++t) {
+        const float* q = qkv.data() + static_cast<std::size_t>(t) * 3 * D + h * Dh;
+        float maxv = -1e30f;
+        for (int u = 0; u <= t; ++u) {
+          const float* k =
+              qkv.data() + static_cast<std::size_t>(u) * 3 * D + D + h * Dh;
+          float dot = 0.0f;
+          for (int i = 0; i < Dh; ++i) dot += q[i] * k[i];
+          att_row[u] = dot * inv_sqrt_dh;
+          maxv = std::max(maxv, att_row[u]);
+        }
+        float denom = 0.0f;
+        for (int u = 0; u <= t; ++u) {
+          att_row[u] = std::exp(att_row[u] - maxv);
+          denom += att_row[u];
+        }
+        float* crow = ctx.data() + static_cast<std::size_t>(t) * D + h * Dh;
+        for (int u = 0; u <= t; ++u) {
+          const float* v = qkv.data() +
+                           static_cast<std::size_t>(u) * 3 * D + 2 * D + h * Dh;
+          float w = att_row[u] / denom;
+          for (int i = 0; i < Dh; ++i) crow[i] += w * v[i];
+        }
+      }
+    }
+    MatMul(ctx.data(), P + W.w_o, proj.data(), T, D, D);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < D; ++i) {
+        std::size_t idx = static_cast<std::size_t>(t) * D + i;
+        x[idx] += proj[idx] + P[W.b_o + i];
+      }
+    }
+    for (int t = 0; t < T; ++t) {
+      LayerNormRow(x.data() + static_cast<std::size_t>(t) * D, P + W.ln2_g,
+                   P + W.ln2_b, ln.data() + static_cast<std::size_t>(t) * D,
+                   D, &mean, &rstd);
+    }
+    MatMul(ln.data(), P + W.w1, ff_pre.data(), T, D, F);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < F; ++i) {
+        std::size_t idx = static_cast<std::size_t>(t) * F + i;
+        ff_act[idx] = Gelu(ff_pre[idx] + P[W.b1 + i]);
+      }
+    }
+    MatMul(ff_act.data(), P + W.w2, ffout.data(), T, F, D);
+    for (int t = 0; t < T; ++t) {
+      for (int i = 0; i < D; ++i) {
+        std::size_t idx = static_cast<std::size_t>(t) * D + i;
+        x[idx] += ffout[idx] + P[W.b2 + i];
+      }
+    }
+  }
+  // Final LN at the last *prefix* position (T-2 if a dummy was appended,
+  // but callers pass the probe with exactly one trailing dummy).
+  int last = T - 2;
+  if (last < 0) last = 0;
+  std::vector<float> h(D);
+  LayerNormRow(x.data() + static_cast<std::size_t>(last) * D, P + lay.lnf_g,
+               P + lay.lnf_b, h.data(), D, &mean, &rstd);
+  std::vector<float> logits(V, 0.0f);
+  for (int i = 0; i < D; ++i) {
+    const float* wrow = P + lay.w_head + static_cast<std::size_t>(i) * V;
+    float hi = h[i];
+    for (int vtok = 0; vtok < V; ++vtok) logits[vtok] += hi * wrow[vtok];
+  }
+  return logits;
+}
+
+/// Incremental decoding state: cached K/V per layer plus the running
+/// position. One instance per Greedy call.
+struct DecodeState {
+  int position = 0;
+  // Per layer: K and V rows appended per position, each d_model wide.
+  std::vector<std::vector<float>> keys;
+  std::vector<std::vector<float>> values;
+};
+
+Result<std::vector<float>> Transformer::StepDecode(DecodeState& state,
+                                                   int token) const {
+  const TransformerConfig& c = config_;
+  TransformerLayout lay(c);
+  const float* P = params_.data();
+  const int D = c.d_model, H = c.n_heads, Dh = D / H, F = c.d_ff,
+            V = c.vocab_size, L = c.n_layers;
+  if (token < 0 || token >= V) {
+    return Status::InvalidArgument("token id out of range");
+  }
+  if (state.position >= c.max_seq) {
+    return Status::OutOfRange("decode exceeded max_seq");
+  }
+  if (state.keys.empty()) {
+    state.keys.assign(static_cast<std::size_t>(L), {});
+    state.values.assign(static_cast<std::size_t>(L), {});
+  }
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(Dh));
+  const int t = state.position;
+
+  std::vector<float> x(D);
+  {
+    const float* te = P + lay.tok_emb + static_cast<std::size_t>(token) * D;
+    const float* pe = P + lay.pos_emb + static_cast<std::size_t>(t) * D;
+    for (int i = 0; i < D; ++i) x[i] = te[i] + pe[i];
+  }
+  float mean, rstd;
+  std::vector<float> ln(D), qkv(3 * D), ctx(D), proj(D), ff(F);
+  for (int l = 0; l < L; ++l) {
+    const TransformerLayout::Layer& W = lay.layers[l];
+    LayerNormRow(x.data(), P + W.ln1_g, P + W.ln1_b, ln.data(), D, &mean,
+                 &rstd);
+    MatMul(ln.data(), P + W.w_qkv, qkv.data(), 1, D, 3 * D);
+    for (int i = 0; i < 3 * D; ++i) qkv[i] += P[W.b_qkv + i];
+    std::vector<float>& kcache = state.keys[static_cast<std::size_t>(l)];
+    std::vector<float>& vcache = state.values[static_cast<std::size_t>(l)];
+    kcache.insert(kcache.end(), qkv.begin() + D, qkv.begin() + 2 * D);
+    vcache.insert(vcache.end(), qkv.begin() + 2 * D, qkv.end());
+    std::fill(ctx.begin(), ctx.end(), 0.0f);
+    std::vector<float> att(static_cast<std::size_t>(t) + 1);
+    for (int h = 0; h < H; ++h) {
+      const float* q = qkv.data() + h * Dh;
+      float maxv = -1e30f;
+      for (int u = 0; u <= t; ++u) {
+        const float* k = kcache.data() + static_cast<std::size_t>(u) * D +
+                         h * Dh;
+        float dot = 0.0f;
+        for (int i = 0; i < Dh; ++i) dot += q[i] * k[i];
+        att[static_cast<std::size_t>(u)] = dot * inv_sqrt_dh;
+        maxv = std::max(maxv, att[static_cast<std::size_t>(u)]);
+      }
+      float denom = 0.0f;
+      for (int u = 0; u <= t; ++u) {
+        att[static_cast<std::size_t>(u)] =
+            std::exp(att[static_cast<std::size_t>(u)] - maxv);
+        denom += att[static_cast<std::size_t>(u)];
+      }
+      float* crow = ctx.data() + h * Dh;
+      for (int u = 0; u <= t; ++u) {
+        const float* v = vcache.data() + static_cast<std::size_t>(u) * D +
+                         h * Dh;
+        float w = att[static_cast<std::size_t>(u)] / denom;
+        for (int i = 0; i < Dh; ++i) crow[i] += w * v[i];
+      }
+    }
+    MatMul(ctx.data(), P + W.w_o, proj.data(), 1, D, D);
+    for (int i = 0; i < D; ++i) x[i] += proj[i] + P[W.b_o + i];
+    LayerNormRow(x.data(), P + W.ln2_g, P + W.ln2_b, ln.data(), D, &mean,
+                 &rstd);
+    MatMul(ln.data(), P + W.w1, ff.data(), 1, D, F);
+    for (int i = 0; i < F; ++i) ff[i] = Gelu(ff[i] + P[W.b1 + i]);
+    MatMul(ff.data(), P + W.w2, proj.data(), 1, F, D);
+    for (int i = 0; i < D; ++i) x[i] += proj[i] + P[W.b2 + i];
+  }
+  ++state.position;
+  std::vector<float> h_final(D);
+  LayerNormRow(x.data(), P + lay.lnf_g, P + lay.lnf_b, h_final.data(), D,
+               &mean, &rstd);
+  std::vector<float> logits(V, 0.0f);
+  for (int i = 0; i < D; ++i) {
+    const float* wrow = P + lay.w_head + static_cast<std::size_t>(i) * V;
+    float hi = h_final[i];
+    for (int vtok = 0; vtok < V; ++vtok) logits[vtok] += hi * wrow[vtok];
+  }
+  return logits;
+}
+
+Result<std::vector<int>> Transformer::Greedy(const std::vector<int>& prefix,
+                                             int max_new, int eos) const {
+  if (prefix.empty()) return Status::InvalidArgument("empty prefix");
+  // Left-truncate to leave room for generation.
+  std::vector<int> start = prefix;
+  int budget = config_.max_seq - max_new;
+  if (budget < 1) budget = 1;
+  if (static_cast<int>(start.size()) > budget) {
+    start.erase(start.begin(),
+                start.end() - static_cast<std::ptrdiff_t>(budget));
+  }
+  DecodeState state;
+  std::vector<float> logits;
+  for (int token : start) {
+    DIMQR_ASSIGN_OR_RETURN(logits, StepDecode(state, token));
+  }
+  std::vector<int> generated;
+  for (int step = 0; step < max_new; ++step) {
+    int best = 0;
+    for (int v = 1; v < static_cast<int>(logits.size()); ++v) {
+      if (logits[v] > logits[best]) best = v;
+    }
+    if (best == eos) break;
+    generated.push_back(best);
+    if (state.position >= config_.max_seq) break;
+    DIMQR_ASSIGN_OR_RETURN(logits, StepDecode(state, best));
+  }
+  return generated;
+}
+
+Status Transformer::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot write model: " + path);
+  std::int32_t header[7] = {
+      config_.vocab_size, config_.d_model,  config_.n_heads,
+      config_.n_layers,   config_.d_ff,     config_.max_seq,
+      static_cast<std::int32_t>(adam_step_)};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  auto write_vec = [&out](const std::vector<float>& v) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(float)));
+  };
+  write_vec(params_);
+  write_vec(adam_m_);
+  write_vec(adam_v_);
+  if (!out) return Status::IOError("model write failed: " + path);
+  return Status::OK();
+}
+
+Result<Transformer> Transformer::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot read model: " + path);
+  std::int32_t header[7];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in) return Status::ParseError("truncated model header: " + path);
+  TransformerConfig config;
+  config.vocab_size = header[0];
+  config.d_model = header[1];
+  config.n_heads = header[2];
+  config.n_layers = header[3];
+  config.d_ff = header[4];
+  config.max_seq = header[5];
+  DIMQR_ASSIGN_OR_RETURN(Transformer model, Create(config));
+  model.adam_step_ = header[6];
+  auto read_vec = [&in](std::vector<float>& v) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+  };
+  read_vec(model.params_);
+  read_vec(model.adam_m_);
+  read_vec(model.adam_v_);
+  if (!in) return Status::ParseError("truncated model body: " + path);
+  return model;
+}
+
+}  // namespace dimqr::lm

@@ -1,0 +1,111 @@
+#ifndef DIMQR_LM_TRANSFORMER_H_
+#define DIMQR_LM_TRANSFORMER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+/// \file transformer.h
+/// A micro decoder-only transformer with hand-written backprop and Adam.
+///
+/// Substitution (DESIGN.md): the paper continually fine-tunes LLaMA-7B on
+/// A800 GPUs. Offline and CPU-only, the same *methodology* — Section IV-D's
+/// "standard Transformer model architecture, which operates solely on
+/// decoder-based attention mechanisms", trained to minimize the negative
+/// log-likelihood of y = "<bos> R <sep> A <eos>" given x (Eq. 3) — runs at
+/// micro scale. Fine-tuning this model on DimEval data reproduces the
+/// paper's central effect (RQ2): dimensional knowledge is learnable from
+/// the constructed datasets and transfers to held-out instances.
+///
+/// The implementation is deterministic (seeded init, no dropout) and
+/// single-threaded.
+
+namespace dimqr::lm {
+
+/// \brief Architecture and optimization sizes.
+struct TransformerConfig {
+  int vocab_size = 0;    ///< Required.
+  int d_model = 64;      ///< Embedding width; divisible by n_heads.
+  int n_heads = 2;
+  int n_layers = 2;
+  int d_ff = 256;
+  int max_seq = 96;      ///< Maximum sequence length (positional table).
+  std::uint64_t seed = 1234;
+};
+
+/// \brief One training example: token ids plus a per-position loss mask.
+/// Position t contributes to the loss iff loss_mask[t] != 0 — the model is
+/// then trained to predict tokens[t] from tokens[0..t-1]. Sequences longer
+/// than max_seq are left-truncated (the answer lives at the end).
+struct LmExample {
+  std::vector<int> tokens;
+  std::vector<std::uint8_t> loss_mask;
+};
+
+/// \brief The model. Copyable (parameters are plain vectors).
+class Transformer {
+ public:
+  /// Creates a randomly initialized model. InvalidArgument on bad config.
+  static dimqr::Result<Transformer> Create(const TransformerConfig& config);
+
+  const TransformerConfig& config() const { return config_; }
+  std::size_t num_parameters() const { return params_.size(); }
+
+  /// \brief Mean masked cross-entropy of one example (no gradient).
+  dimqr::Result<double> Loss(const LmExample& example) const;
+
+  /// \brief One Adam step over a mini-batch (gradients averaged across
+  /// examples). Returns the mean loss before the step.
+  dimqr::Result<double> TrainBatch(const std::vector<LmExample>& batch,
+                                   double learning_rate);
+
+  /// \brief Next-token logits after the given prefix (length >= 1).
+  dimqr::Result<std::vector<float>> NextLogits(
+      const std::vector<int>& prefix) const;
+
+  /// \brief Greedy decoding: appends tokens until `eos` or `max_new`.
+  /// Returns only the newly generated ids (without `eos`). Uses an
+  /// incremental KV-cache decoder (O(T) per new token instead of O(T^2)).
+  dimqr::Result<std::vector<int>> Greedy(const std::vector<int>& prefix,
+                                         int max_new, int eos) const;
+
+  /// Binary weight persistence.
+  dimqr::Status Save(const std::string& path) const;
+  static dimqr::Result<Transformer> Load(const std::string& path);
+
+ private:
+  Transformer() = default;
+
+  /// Minimum sensible vocabulary (the special tokens).
+  static int SpecialTokensGuard();
+
+  /// Forward pass; when `grads` is non-null also runs backward, adding
+  /// parameter gradients into it. Returns the mean masked CE loss, or an
+  /// error for empty/oversized/invalid inputs.
+  dimqr::Result<double> ForwardBackward(const LmExample& example,
+                                        std::vector<float>* grads) const;
+
+  /// Forward-only pass returning the logits at the last prefix position of
+  /// a probe whose final token is a dummy.
+  dimqr::Result<std::vector<float>> LogitsAtLast(const LmExample& probe) const;
+
+  /// One incremental decode step (appends to the KV cache); returns the
+  /// next-token logits.
+  dimqr::Result<std::vector<float>> StepDecode(struct DecodeState& state,
+                                               int token) const;
+
+  TransformerConfig config_;
+  std::vector<float> params_;
+  // Adam state (moments + step counter); mutable across TrainBatch calls.
+  std::vector<float> adam_m_;
+  std::vector<float> adam_v_;
+  std::int64_t adam_step_ = 0;
+
+  friend class TransformerLayout;
+};
+
+}  // namespace dimqr::lm
+
+#endif  // DIMQR_LM_TRANSFORMER_H_

@@ -1,0 +1,102 @@
+#include "lm/vocab.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "text/tokenizer.h"
+
+namespace dimqr::lm {
+namespace {
+
+const char* kSpecialNames[SpecialTokens::kCount] = {
+    "<pad>", "<bos>", "<eos>", "<sep>", "<unk>", "[MASK]"};
+
+}  // namespace
+
+Vocab Vocab::Build(const std::vector<std::vector<std::string>>& texts,
+                   int min_count, std::size_t max_size) {
+  Vocab v;
+  for (int i = 0; i < SpecialTokens::kCount; ++i) {
+    v.tokens_.emplace_back(kSpecialNames[i]);
+    v.ids_[kSpecialNames[i]] = i;
+  }
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const auto& text : texts) {
+    for (const std::string& tok : text) ++counts[tok];
+  }
+  std::vector<std::pair<std::string, std::size_t>> sorted(counts.begin(),
+                                                          counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (const auto& [token, count] : sorted) {
+    if (count < static_cast<std::size_t>(min_count)) break;
+    if (v.tokens_.size() >= max_size) break;
+    if (v.ids_.contains(token)) continue;
+    v.ids_[token] = static_cast<int>(v.tokens_.size());
+    v.tokens_.push_back(token);
+  }
+  return v;
+}
+
+int Vocab::Id(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  if (it == ids_.end()) return SpecialTokens::kUnk;
+  return it->second;
+}
+
+std::vector<int> Vocab::Encode(std::string_view text) const {
+  return EncodeTokens(text::TokenizeLower(text));
+}
+
+std::vector<int> Vocab::EncodeTokens(
+    const std::vector<std::string>& words) const {
+  std::vector<int> out;
+  out.reserve(words.size());
+  for (const std::string& w : words) out.push_back(Id(w));
+  return out;
+}
+
+std::string Vocab::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    if (id < SpecialTokens::kCount || id >= static_cast<int>(tokens_.size())) {
+      continue;
+    }
+    if (!out.empty()) out += ' ';
+    out += tokens_[id];
+  }
+  return out;
+}
+
+dimqr::Status Vocab::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return dimqr::Status::IOError("cannot write vocab: " + path);
+  for (const std::string& token : tokens_) out << token << '\n';
+  if (!out) return dimqr::Status::IOError("vocab write failed: " + path);
+  return dimqr::Status::OK();
+}
+
+dimqr::Result<Vocab> Vocab::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return dimqr::Status::IOError("cannot read vocab: " + path);
+  Vocab v;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    v.ids_[line] = static_cast<int>(v.tokens_.size());
+    v.tokens_.push_back(line);
+  }
+  if (v.tokens_.size() < SpecialTokens::kCount) {
+    return dimqr::Status::ParseError("vocab file missing special tokens");
+  }
+  for (int i = 0; i < SpecialTokens::kCount; ++i) {
+    if (v.tokens_[i] != kSpecialNames[i]) {
+      return dimqr::Status::ParseError("vocab special tokens corrupted");
+    }
+  }
+  return v;
+}
+
+}  // namespace dimqr::lm

@@ -1,0 +1,67 @@
+#ifndef DIMQR_LM_VOCAB_H_
+#define DIMQR_LM_VOCAB_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+
+/// \file vocab.h
+/// Token vocabulary for the micro language models. Word-level over the
+/// dimqr tokenizer, with the special tokens the paper's output format
+/// needs: y = "<bos> R <sep> A <eos>" (Section IV-D), plus [MASK] for the
+/// Algorithm 1 masked-prediction filter and <unk>/<pad>.
+
+namespace dimqr::lm {
+
+/// \brief Fixed special-token ids (always the first vocabulary entries).
+struct SpecialTokens {
+  static constexpr int kPad = 0;
+  static constexpr int kBos = 1;
+  static constexpr int kEos = 2;
+  static constexpr int kSep = 3;
+  static constexpr int kUnk = 4;
+  static constexpr int kMask = 5;
+  static constexpr int kCount = 6;
+};
+
+/// \brief An immutable token<->id mapping.
+class Vocab {
+ public:
+  /// \brief Builds a vocabulary from tokenized texts, keeping tokens with
+  /// at least `min_count` occurrences, most frequent first (caps at
+  /// `max_size` including the special tokens).
+  static Vocab Build(const std::vector<std::vector<std::string>>& texts,
+                     int min_count = 1, std::size_t max_size = 20000);
+
+  std::size_t size() const { return tokens_.size(); }
+
+  /// The id of a token; kUnk when absent.
+  int Id(std::string_view token) const;
+
+  /// The token of an id ("<unk>" etc. for specials). Requires valid id.
+  const std::string& TokenOf(int id) const { return tokens_[id]; }
+
+  /// \brief Encodes a raw text through the dimqr tokenizer (lowercased).
+  std::vector<int> Encode(std::string_view text) const;
+
+  /// Encodes pre-tokenized words.
+  std::vector<int> EncodeTokens(const std::vector<std::string>& words) const;
+
+  /// \brief Decodes ids to a space-joined string, dropping special tokens.
+  std::string Decode(const std::vector<int>& ids) const;
+
+  /// TSV-ish persistence (one token per line).
+  dimqr::Status Save(const std::string& path) const;
+  static dimqr::Result<Vocab> Load(const std::string& path);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace dimqr::lm
+
+#endif  // DIMQR_LM_VOCAB_H_

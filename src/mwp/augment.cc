@@ -1,0 +1,306 @@
+#include "mwp/augment.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "text/string_util.h"
+
+namespace dimqr::mwp {
+namespace {
+
+using dimqr::Result;
+using dimqr::Rng;
+using dimqr::Status;
+
+std::string FormatDisplay(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+/// True when `value` prints-and-reparses exactly with %.6g — the filter
+/// that keeps dimension substitutions from introducing rounded (and thus
+/// physically inconsistent) displayed values.
+bool DisplaysExactly(double value) {
+  std::string s = FormatDisplay(value);
+  // Scientific notation would read unnaturally in problem text and is not
+  // supported by the equation grammar.
+  if (s.find('e') != std::string::npos || s.find('E') != std::string::npos) {
+    return false;
+  }
+  return std::strtod(s.c_str(), nullptr) == value;
+}
+
+bool IsWordByte(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Replaces the first *word-bounded* occurrence of `from` in `text`
+/// ("10 metre" must not match inside "110 metre"). False when absent.
+bool ReplaceFirst(std::string& text, const std::string& from,
+                  const std::string& to) {
+  if (from.empty()) return false;
+  std::size_t at = 0;
+  while ((at = text.find(from, at)) != std::string::npos) {
+    bool left_ok = at == 0 || !IsWordByte(text[at - 1]);
+    std::size_t end = at + from.size();
+    bool right_ok = end == text.size() || !IsWordByte(text[end]);
+    if (left_ok && right_ok) {
+      text.replace(at, from.size(), to);
+      return true;
+    }
+    ++at;
+  }
+  return false;
+}
+
+/// Replaces the last word-bounded occurrence (the question lives at the
+/// end of the problem, and its unit word may also occur in a context slot).
+bool ReplaceLast(std::string& text, const std::string& from,
+                 const std::string& to) {
+  if (from.empty()) return false;
+  std::size_t best = std::string::npos;
+  std::size_t at = 0;
+  while ((at = text.find(from, at)) != std::string::npos) {
+    bool left_ok = at == 0 || !IsWordByte(text[at - 1]);
+    std::size_t end = at + from.size();
+    bool right_ok = end == text.size() || !IsWordByte(text[end]);
+    if (left_ok && right_ok) best = at;
+    ++at;
+  }
+  if (best == std::string::npos) return false;
+  text.replace(best, from.size(), to);
+  return true;
+}
+
+/// The rendering "value surface" of a slot as it appears in the text.
+std::string SlotRendering(const QuantitySlot& slot) {
+  std::string out = FormatDisplay(slot.display_value);
+  if (slot.display_percent) {
+    out += "%";
+  } else if (!slot.surface.empty()) {
+    out += " " + slot.surface;
+  }
+  return out;
+}
+
+/// An alternative surface form of the same unit (not the current one).
+/// Prefers symbols and aliases; falls back to the Chinese label.
+Result<std::string> AlternativeSurface(const kb::UnitRecord& unit,
+                                       const std::string& current, Rng& rng) {
+  std::vector<std::string> options;
+  for (const std::string& s : unit.SurfaceForms()) {
+    if (!s.empty() && s != current) options.push_back(s);
+  }
+  if (options.empty()) {
+    return Status::NotFound("unit has a single surface form: " + unit.id);
+  }
+  return options[rng.Index(options.size())];
+}
+
+/// A same-dimension replacement unit whose rescaled display value stays
+/// exact and within a sane magnitude.
+Result<const kb::UnitRecord*> SameDimensionReplacement(
+    const kb::DimUnitKB& kb, const kb::UnitRecord& unit, double display_value,
+    Rng& rng, bool require_exact_display = true) {
+  std::vector<const kb::UnitRecord*> pool =
+      kb.UnitsOfDimension(unit.dimension);
+  std::vector<const kb::UnitRecord*> eligible;
+  for (const kb::UnitRecord* candidate : pool) {
+    if (candidate->id == unit.id) continue;
+    if (candidate->conversion_offset != 0.0) continue;
+    if (candidate->frequency < 0.4) continue;
+    double factor = unit.conversion_value / candidate->conversion_value;
+    if (factor == 1.0) continue;  // same scale: no dimension-law exercise
+    double rescaled = display_value * factor;
+    if (rescaled < 1e-4 || rescaled > 1e9) continue;
+    if (require_exact_display && !DisplaysExactly(rescaled)) continue;
+    eligible.push_back(candidate);
+  }
+  if (eligible.empty()) {
+    return Status::NotFound("no same-dimension replacement for " + unit.id);
+  }
+  return eligible[rng.Index(eligible.size())];
+}
+
+/// Indices of context slots that carry a unit.
+std::vector<std::size_t> UnitContextSlots(const MwpProblem& problem) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < problem.slots.size(); ++i) {
+    const QuantitySlot& slot = problem.slots[i];
+    if (!slot.in_question && !slot.unit_id.empty() && !slot.display_percent) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Status ContextFormat(TemplatedProblem& tp, const kb::DimUnitKB& kb,
+                     Rng& rng) {
+  MwpProblem& p = tp.problem;
+  std::vector<std::size_t> sites = UnitContextSlots(p);
+  if (sites.empty()) return Status::NotFound("no unit-bearing context slot");
+  std::size_t site = sites[rng.Index(sites.size())];
+  QuantitySlot& slot = p.slots[site];
+  DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit, kb.FindById(slot.unit_id));
+  DIMQR_ASSIGN_OR_RETURN(std::string surface,
+                         AlternativeSurface(*unit, slot.surface, rng));
+  std::string old_rendering = SlotRendering(slot);
+  slot.surface = surface;
+  if (!ReplaceFirst(p.text, old_rendering, SlotRendering(slot))) {
+    return Status::Internal("slot rendering not found in text");
+  }
+  // Same unit, same value: equation and answer are untouched.
+  return Status::OK();
+}
+
+Status ContextDimension(TemplatedProblem& tp, const kb::DimUnitKB& kb,
+                        Rng& rng) {
+  MwpProblem& p = tp.problem;
+  std::vector<std::size_t> sites = UnitContextSlots(p);
+  if (sites.empty()) return Status::NotFound("no unit-bearing context slot");
+  std::size_t site = sites[rng.Index(sites.size())];
+  QuantitySlot& slot = p.slots[site];
+  DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit, kb.FindById(slot.unit_id));
+  DIMQR_ASSIGN_OR_RETURN(
+      const kb::UnitRecord* replacement,
+      SameDimensionReplacement(kb, *unit, slot.display_value, rng));
+  std::string old_rendering = SlotRendering(slot);
+  double factor = unit->conversion_value / replacement->conversion_value;
+  // Physical value invariant: rescale the displayed number, track the
+  // conversion back into the canonical unit for the gold equation.
+  slot.display_value *= factor;
+  slot.to_canonical /= factor;
+  slot.unit_id = replacement->id;
+  slot.surface = replacement->label_en;
+  if (!ReplaceFirst(p.text, old_rendering, SlotRendering(slot))) {
+    return Status::Internal("slot rendering not found in text");
+  }
+  return Recompute(tp);
+}
+
+Status QuestionFormat(TemplatedProblem& tp, const kb::DimUnitKB& kb,
+                      Rng& rng) {
+  MwpProblem& p = tp.problem;
+  if (p.question_unit_id.empty()) {
+    return Status::NotFound("bare-number question");
+  }
+  DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit,
+                         kb.FindById(p.question_unit_id));
+  DIMQR_ASSIGN_OR_RETURN(std::string surface,
+                         AlternativeSurface(*unit, p.question_surface, rng));
+  if (!ReplaceLast(p.text, p.question_surface, surface)) {
+    return Status::Internal("question surface not found in text");
+  }
+  p.question_surface = surface;
+  // Same unit: the numeric answer is unchanged.
+  return Status::OK();
+}
+
+Status QuestionDimension(TemplatedProblem& tp, const kb::DimUnitKB& kb,
+                         Rng& rng) {
+  MwpProblem& p = tp.problem;
+  if (p.question_unit_id.empty()) {
+    return Status::NotFound("bare-number question");
+  }
+  DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit,
+                         kb.FindById(p.question_unit_id));
+  // The answer value is not rendered in the text, so no exact-display
+  // constraint applies — only a sane magnitude.
+  DIMQR_ASSIGN_OR_RETURN(
+      const kb::UnitRecord* replacement,
+      SameDimensionReplacement(kb, *unit, p.answer, rng,
+                               /*require_exact_display=*/false));
+  double factor = unit->conversion_value / replacement->conversion_value;
+  if (!ReplaceLast(p.text, p.question_surface, replacement->label_en)) {
+    return Status::Internal("question surface not found in text");
+  }
+  p.question_unit_id = replacement->id;
+  p.question_surface = replacement->label_en;
+  // "Simultaneous adjustments to the solution equation and answer are
+  // necessary" (Section V-B2): the answer converts into the new unit.
+  tp.question_factor *= factor;
+  return Recompute(tp);
+}
+
+}  // namespace
+
+const char* AugmentKindName(AugmentKind kind) {
+  switch (kind) {
+    case AugmentKind::kContextFormat:
+      return "ctx-format";
+    case AugmentKind::kContextDimension:
+      return "ctx-dim";
+    case AugmentKind::kQuestionFormat:
+      return "q-format";
+    case AugmentKind::kQuestionDimension:
+      return "q-dim";
+  }
+  return "unknown";
+}
+
+Status ApplyAugmentation(TemplatedProblem& tp, AugmentKind kind,
+                         const kb::DimUnitKB& kb, Rng& rng) {
+  Status status;
+  switch (kind) {
+    case AugmentKind::kContextFormat:
+      status = ContextFormat(tp, kb, rng);
+      break;
+    case AugmentKind::kContextDimension:
+      status = ContextDimension(tp, kb, rng);
+      break;
+    case AugmentKind::kQuestionFormat:
+      status = QuestionFormat(tp, kb, rng);
+      break;
+    case AugmentKind::kQuestionDimension:
+      status = QuestionDimension(tp, kb, rng);
+      break;
+  }
+  if (status.ok()) {
+    tp.problem.augmentations.push_back(AugmentKindName(kind));
+  }
+  return status;
+}
+
+Result<std::vector<TemplatedProblem>> BuildQMwp(
+    const std::vector<TemplatedProblem>& numeric, const std::string& dataset,
+    const kb::DimUnitKB& kb, const QMwpOptions& options) {
+  if (numeric.empty()) {
+    return Status::InvalidArgument("no N-MWP problems to augment");
+  }
+  if (options.augmentation_rate < 0.0 || options.augmentation_rate > 1.0 ||
+      options.min_substitutions < 1 ||
+      options.max_substitutions < options.min_substitutions) {
+    return Status::InvalidArgument("bad Q-MWP options");
+  }
+  Rng rng(Rng::DeriveSeed(options.seed, "qmwp-" + dataset));
+  std::vector<TemplatedProblem> out;
+  out.reserve(numeric.size());
+  const AugmentKind kKinds[] = {
+      AugmentKind::kContextFormat, AugmentKind::kContextDimension,
+      AugmentKind::kQuestionFormat, AugmentKind::kQuestionDimension};
+  for (std::size_t i = 0; i < numeric.size(); ++i) {
+    TemplatedProblem tp = numeric[i];
+    tp.problem.dataset = dataset;
+    tp.problem.id = dataset + "-" + std::to_string(i);
+    if (rng.Bernoulli(options.augmentation_rate)) {
+      int n_subs = static_cast<int>(rng.UniformInt(
+          options.min_substitutions, options.max_substitutions));
+      int applied = 0;
+      for (int attempt = 0; attempt < 12 && applied < n_subs; ++attempt) {
+        AugmentKind kind = kKinds[rng.Index(4)];
+        Status status = ApplyAugmentation(tp, kind, kb, rng);
+        if (status.ok()) {
+          ++applied;
+        } else if (status.code() != dimqr::StatusCode::kNotFound) {
+          return status;
+        }
+      }
+    }
+    out.push_back(std::move(tp));
+  }
+  return out;
+}
+
+}  // namespace dimqr::mwp

@@ -1,0 +1,64 @@
+#ifndef DIMQR_MWP_AUGMENT_H_
+#define DIMQR_MWP_AUGMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "kb/kb.h"
+#include "mwp/generator.h"
+
+/// \file augment.h
+/// Quantity-oriented data augmentation (Section V-B2, Table V).
+///
+/// Two directions x two substitute methods:
+///  - context-based vs question-based substitution;
+///  - Unit Format Substitution (same unit, different surface form;
+///    "150千克" -> "150 kg") vs Substitution of Units with Same Dimension
+///    ("150千克" -> "150000克"), where context substitutions rescale the
+///    value to keep the physical quantity invariant and question
+///    substitutions rescale the answer (450 kg -> 0.45 t).
+/// Dimension substitutions make the gold equation carry explicit
+/// conversion factors, which is what pushes Q-MWP operation counts above
+/// N-MWP (Table VI).
+
+namespace dimqr::mwp {
+
+/// \brief The four Table V augmentation operators.
+enum class AugmentKind {
+  kContextFormat,
+  kContextDimension,
+  kQuestionFormat,
+  kQuestionDimension,
+};
+
+/// Kind name used in MwpProblem::augmentations ("ctx-format", ...).
+const char* AugmentKindName(AugmentKind kind);
+
+/// \brief Applies one augmentation in place. Returns NotFound when the
+/// problem offers no applicable site (e.g. no context slot with a unit),
+/// leaving the problem unchanged.
+dimqr::Status ApplyAugmentation(TemplatedProblem& tp, AugmentKind kind,
+                                const kb::DimUnitKB& kb, dimqr::Rng& rng);
+
+/// \brief Q-MWP construction options.
+struct QMwpOptions {
+  /// eta: the fraction of problems that receive augmentations (Fig. 6).
+  double augmentation_rate = 1.0;
+  /// How many augmentation operators are applied per augmented problem.
+  int min_substitutions = 1;
+  int max_substitutions = 3;
+  std::uint64_t seed = 20240131;
+};
+
+/// \brief Builds a Q-MWP dataset from N-MWP problems (Section V-A):
+/// each problem is copied, re-tagged `dataset`, and augmented with
+/// probability `augmentation_rate`.
+dimqr::Result<std::vector<TemplatedProblem>> BuildQMwp(
+    const std::vector<TemplatedProblem>& numeric, const std::string& dataset,
+    const kb::DimUnitKB& kb, const QMwpOptions& options = {});
+
+}  // namespace dimqr::mwp
+
+#endif  // DIMQR_MWP_AUGMENT_H_

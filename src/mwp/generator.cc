@@ -1,0 +1,417 @@
+#include "mwp/generator.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "text/string_util.h"
+
+namespace dimqr::mwp {
+namespace {
+
+using dimqr::Result;
+using dimqr::Rng;
+using dimqr::Status;
+
+Equation Num(double v) { return Equation::Number(v); }
+Equation Pct(double v) { return Equation::Number(v, true); }
+Equation Bin(char op, Equation l, Equation r) {
+  return Equation::Binary(op, std::move(l), std::move(r));
+}
+
+/// One context-slot blueprint.
+struct SlotDef {
+  double lo, hi;
+  int decimals;
+  bool percent;
+  const char* unit;  ///< Canonical unit id; "" for bare numbers.
+};
+
+/// One template family.
+struct TemplateDef {
+  const char* family;
+  const char* text;  ///< "{0}".."{9}" slots; "{ans}" question unit surface.
+  std::vector<SlotDef> slots;
+  Formula formula;
+  const char* answer_unit;  ///< Canonical answer unit id; "" for bare.
+  bool multi_step;
+  /// Extra constraint on the sampled slot values (nullptr = none).
+  std::function<bool(const std::vector<double>&)> valid;
+};
+
+const std::vector<TemplateDef>& Templates() {
+  static const std::vector<TemplateDef>* const kTemplates = [] {
+    auto* t = new std::vector<TemplateDef>;
+    t->push_back({"dilution",
+                  "a farmer wants to dilute {0} of pesticide with "
+                  "concentration {1} down to concentration {2} . how many "
+                  "{ans} of water must be added ?",
+                  {{50, 400, 0, false, "KiloGM"},
+                   {10, 40, 0, true, ""},
+                   {2, 9, 0, true, ""}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('-', Bin('/', Bin('*', s[0], s[1]), s[2]),
+                               s[0]);
+                  },
+                  "KiloGM", false,
+                  [](const std::vector<double>& v) { return v[1] > v[2]; }});
+    t->push_back({"travel_distance",
+                  "a train runs at {0} for {1} . how many {ans} does it "
+                  "cover ?",
+                  {{40, 120, 0, false, "KiloM-PER-HR"},
+                   {2, 9, 0, false, "HR"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('*', s[0], s[1]);
+                  },
+                  "KiloM", false, nullptr});
+    t->push_back({"travel_time",
+                  "the road between two towns is {0} long . a bus drives at "
+                  "{1} . how many {ans} does the trip take ?",
+                  {{60, 480, 0, false, "KiloM"},
+                   {40, 80, 0, false, "KiloM-PER-HR"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('/', s[0], s[1]);
+                  },
+                  "HR", false, nullptr});
+    t->push_back({"add_masses",
+                  "mother bought {0} of apples and {1} of pears . how many "
+                  "{ans} of fruit did she buy in total ?",
+                  {{1, 9, 1, false, "KiloGM"}, {1, 9, 1, false, "KiloGM"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('+', s[0], s[1]);
+                  },
+                  "KiloGM", false, nullptr});
+    t->push_back({"rope_left",
+                  "a rope is {0} long . uncle cuts {1} pieces of {2} each . "
+                  "how many {ans} of rope remain ?",
+                  {{20, 80, 0, false, "M"},
+                   {3, 8, 0, false, ""},
+                   {1, 6, 1, false, "M"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('-', s[0], Bin('*', s[1], s[2]));
+                  },
+                  "M", false,
+                  [](const std::vector<double>& v) {
+                    return v[0] - v[1] * v[2] > 0.5;
+                  }});
+    t->push_back({"rect_area",
+                  "a rectangular field is {0} long and {1} wide . what is "
+                  "its area in {ans} ?",
+                  {{8, 90, 0, false, "M"}, {5, 60, 0, false, "M"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('*', s[0], s[1]);
+                  },
+                  "M2", false, nullptr});
+    t->push_back({"rect_perimeter",
+                  "a rectangular garden is {0} long and {1} wide . what is "
+                  "its perimeter in {ans} ?",
+                  {{8, 90, 0, false, "M"}, {5, 60, 0, false, "M"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('*', Num(2), Bin('+', s[0], s[1]));
+                  },
+                  "M", false, nullptr});
+    t->push_back({"tank_fill",
+                  "a tank holds {0} . a pump injects water at {1} . how many "
+                  "{ans} are needed to fill it ?",
+                  {{200, 1200, 0, false, "LITRE"},
+                   {10, 60, 0, false, "LITRE-PER-MIN"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('/', s[0], s[1]);
+                  },
+                  "MIN", false, nullptr});
+    t->push_back({"two_leg_distance",
+                  "a cyclist rides at {0} for {1} and then at {2} for {3} . "
+                  "what total distance in {ans} is covered ?",
+                  {{10, 30, 0, false, "KiloM-PER-HR"},
+                   {1, 5, 0, false, "HR"},
+                   {8, 24, 0, false, "KiloM-PER-HR"},
+                   {1, 4, 0, false, "HR"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('+', Bin('*', s[0], s[1]),
+                               Bin('*', s[2], s[3]));
+                  },
+                  "KiloM", true, nullptr});
+    t->push_back({"average_speed",
+                  "a driver goes at {0} for {1} and then at {2} for {3} . "
+                  "what is the average speed in {ans} ?",
+                  {{40, 90, 0, false, "KiloM-PER-HR"},
+                   {1, 5, 0, false, "HR"},
+                   {30, 70, 0, false, "KiloM-PER-HR"},
+                   {1, 4, 0, false, "HR"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('/',
+                               Bin('+', Bin('*', s[0], s[1]),
+                                   Bin('*', s[2], s[3])),
+                               Bin('+', s[1], s[3]));
+                  },
+                  "KiloM-PER-HR", true, nullptr});
+    t->push_back({"mixture_concentration",
+                  "{0} of syrup with concentration {1} is mixed with {2} of "
+                  "syrup with concentration {3} . what is the concentration "
+                  "of the mixture in {ans} ?",
+                  {{2, 12, 0, false, "KiloGM"},
+                   {10, 50, 0, true, ""},
+                   {2, 12, 0, false, "KiloGM"},
+                   {5, 45, 0, true, ""}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('/',
+                               Bin('+', Bin('*', s[0], s[1]),
+                                   Bin('*', s[2], s[3])),
+                               Bin('+', s[0], s[2]));
+                  },
+                  "PERCENT", true, nullptr});
+    t->push_back({"combined_work",
+                  "worker a alone finishes a job in {0} and worker b alone "
+                  "in {1} . working together how many {ans} do they need ?",
+                  {{4, 12, 0, false, "HR"}, {6, 18, 0, false, "HR"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('/', Num(1),
+                               Bin('+', Bin('/', Num(1), s[0]),
+                                   Bin('/', Num(1), s[1])));
+                  },
+                  "HR", true, nullptr});
+    t->push_back({"fence_posts",
+                  "a straight path is {0} long . posts are planted every {1} "
+                  "including both ends . how many posts are needed ?",
+                  {{20, 120, 0, false, "M"}, {2, 10, 0, false, "M"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('+', Bin('/', s[0], s[1]), Num(1));
+                  },
+                  "", false,
+                  [](const std::vector<double>& v) {
+                    return std::fmod(v[0], v[1]) < 1e-9;
+                  }});
+    t->push_back({"production_total",
+                  "a workshop produces flour at {0} . after {1} it ships an "
+                  "extra {2} . what is the total output in {ans} ?",
+                  {{50, 400, 0, false, "KiloGM-PER-DAY"},
+                   {3, 15, 0, false, "DAY"},
+                   {20, 200, 0, false, "KiloGM"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('+', Bin('*', s[0], s[1]), s[2]);
+                  },
+                  "KiloGM", false, nullptr});
+    t->push_back({"fuel_needed",
+                  "a car covers {0} on each litre of petrol . how many {ans} "
+                  "are needed for a trip of {1} ?",
+                  {{8, 16, 0, false, "KiloM-PER-LITRE"},
+                   {120, 960, 0, false, "KiloM"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('/', s[1], s[0]);
+                  },
+                  "LITRE", false, nullptr});
+    t->push_back({"chase_gap",
+                  "runner a runs at {0} while runner b runs at {1} . after "
+                  "{2} how many {ans} separate them ?",
+                  {{10, 18, 0, false, "KiloM-PER-HR"},
+                   {6, 14, 0, false, "KiloM-PER-HR"},
+                   {1, 5, 0, false, "HR"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('*', Bin('-', s[0], s[1]), s[2]);
+                  },
+                  "KiloM", false,
+                  [](const std::vector<double>& v) { return v[0] > v[1]; }});
+    t->push_back({"percent_off",
+                  "a sack holds {0} of grain . {1} of it is used for baking "
+                  ". how many {ans} of grain remain ?",
+                  {{100, 900, 0, false, "KiloGM"}, {10, 80, 0, true, ""}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('*', s[0], Bin('-', Num(1), s[1]));
+                  },
+                  "KiloGM", false, nullptr});
+    t->push_back({"three_friends",
+                  "tom collects {0} of waste paper . jerry collects {1} more "
+                  "than tom and spike collects twice as much as jerry . how "
+                  "many {ans} do the three collect together ?",
+                  {{5, 30, 0, false, "KiloGM"}, {2, 10, 0, false, "KiloGM"}},
+                  [](const std::vector<Equation>& s) {
+                    Equation jerry = Bin('+', s[0], s[1]);
+                    Equation jerry_again = Bin('+', s[0], s[1]);
+                    return Bin('+', Bin('+', s[0], std::move(jerry)),
+                               Bin('*', Num(2), std::move(jerry_again)));
+                  },
+                  "KiloGM", true, nullptr});
+    t->push_back({"cistern_net",
+                  "a cistern holds {0} . pipe a fills {1} , pipe b fills {2} "
+                  "while a drain leaks {3} . how many {ans} does filling "
+                  "take ?",
+                  {{400, 2000, 0, false, "LITRE"},
+                   {20, 60, 0, false, "LITRE-PER-MIN"},
+                   {10, 50, 0, false, "LITRE-PER-MIN"},
+                   {5, 25, 0, false, "LITRE-PER-MIN"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('/', s[0],
+                               Bin('-', Bin('+', s[1], s[2]), s[3]));
+                  },
+                  "MIN", true,
+                  [](const std::vector<double>& v) {
+                    return v[1] + v[2] - v[3] > 1.0;
+                  }});
+    t->push_back({"three_leg_distance",
+                  "a courier drives at {0} for {1} , at {2} for {3} and at "
+                  "{4} for {5} . what total distance in {ans} ?",
+                  {{30, 70, 0, false, "KiloM-PER-HR"},
+                   {1, 4, 0, false, "HR"},
+                   {40, 90, 0, false, "KiloM-PER-HR"},
+                   {1, 3, 0, false, "HR"},
+                   {20, 60, 0, false, "KiloM-PER-HR"},
+                   {1, 3, 0, false, "HR"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('+',
+                               Bin('+', Bin('*', s[0], s[1]),
+                                   Bin('*', s[2], s[3])),
+                               Bin('*', s[4], s[5]));
+                  },
+                  "KiloM", true, nullptr});
+    t->push_back({"three_leg_average",
+                  "a ship sails at {0} for {1} , at {2} for {3} and at {4} "
+                  "for {5} . what is its average speed in {ans} ?",
+                  {{10, 30, 0, false, "KiloM-PER-HR"},
+                   {1, 5, 0, false, "HR"},
+                   {12, 36, 0, false, "KiloM-PER-HR"},
+                   {1, 4, 0, false, "HR"},
+                   {8, 24, 0, false, "KiloM-PER-HR"},
+                   {1, 4, 0, false, "HR"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('/',
+                               Bin('+',
+                                   Bin('+', Bin('*', s[0], s[1]),
+                                       Bin('*', s[2], s[3])),
+                                   Bin('*', s[4], s[5])),
+                               Bin('+', Bin('+', s[1], s[3]), s[5]));
+                  },
+                  "KiloM-PER-HR", true, nullptr});
+    t->push_back({"buy_milk",
+                  "a shop sells milk in bottles of {0} . aunt buys {1} "
+                  "bottles and the family drinks {2} . how many {ans} of "
+                  "milk remain ?",
+                  {{1, 3, 1, false, "LITRE"},
+                   {2, 9, 0, false, ""},
+                   {1, 4, 1, false, "LITRE"}},
+                  [](const std::vector<Equation>& s) {
+                    return Bin('-', Bin('*', s[0], s[1]), s[2]);
+                  },
+                  "LITRE", false,
+                  [](const std::vector<double>& v) {
+                    return v[0] * v[1] - v[2] > 0.2;
+                  }});
+    return t;
+  }();
+  return *kTemplates;
+}
+
+std::string FormatValue(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  std::string out = buf;
+  // Trim trailing zeros after a decimal point ("2.50" -> "2.5").
+  if (out.find('.') != std::string::npos) {
+    while (out.back() == '0') out.pop_back();
+    if (out.back() == '.') out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Recompute(TemplatedProblem& tp) {
+  std::vector<Equation> exprs;
+  for (const QuantitySlot& slot : tp.problem.slots) {
+    if (slot.in_question) continue;
+    Equation e = Equation::Number(slot.display_value, slot.display_percent);
+    if (slot.to_canonical != 1.0) {
+      e = Equation::Binary('*', std::move(e),
+                           Equation::Number(slot.to_canonical));
+    }
+    exprs.push_back(std::move(e));
+  }
+  if (!tp.formula) return Status::InvalidArgument("problem without formula");
+  Equation eq = tp.formula(exprs);
+  if (tp.question_factor != 1.0) {
+    eq = Equation::Binary('*', std::move(eq),
+                          Equation::Number(tp.question_factor));
+  }
+  DIMQR_ASSIGN_OR_RETURN(double answer, eq.Evaluate());
+  tp.problem.answer = answer;
+  tp.problem.op_count = eq.OperationCount();
+  tp.problem.gold_equation = std::move(eq);
+  return Status::OK();
+}
+
+MwpGenerator::MwpGenerator(std::shared_ptr<const kb::DimUnitKB> kb,
+                           std::uint64_t seed)
+    : kb_(std::move(kb)), seed_(seed) {}
+
+std::size_t MwpGenerator::TemplateFamilyCount() { return Templates().size(); }
+
+Result<std::vector<TemplatedProblem>> MwpGenerator::Generate(
+    const std::string& dataset, int count, double multi_step_bias) const {
+  if (count <= 0) return Status::InvalidArgument("count must be positive");
+  Rng rng(Rng::DeriveSeed(seed_, "mwp-" + dataset));
+  std::vector<const TemplateDef*> simple, multi;
+  for (const TemplateDef& tdef : Templates()) {
+    (tdef.multi_step ? multi : simple).push_back(&tdef);
+  }
+  std::vector<TemplatedProblem> out;
+  int guard = 0;
+  while (static_cast<int>(out.size()) < count && guard++ < count * 200) {
+    const TemplateDef& tdef =
+        rng.Bernoulli(multi_step_bias)
+            ? *multi[rng.Index(multi.size())]
+            : *simple[rng.Index(simple.size())];
+    // Sample slot values.
+    std::vector<double> values;
+    values.reserve(tdef.slots.size());
+    for (const SlotDef& sd : tdef.slots) {
+      double v = rng.UniformReal(sd.lo, sd.hi);
+      double scale = std::pow(10.0, sd.decimals);
+      v = std::round(v * scale) / scale;
+      values.push_back(v);
+    }
+    if (tdef.valid && !tdef.valid(values)) continue;
+
+    TemplatedProblem tp;
+    tp.formula = tdef.formula;
+    tp.question_factor = 1.0;
+    MwpProblem& p = tp.problem;
+    p.dataset = dataset;
+    p.id = dataset + "-" + std::to_string(out.size());
+
+    std::string text = tdef.text;
+    for (std::size_t i = 0; i < tdef.slots.size(); ++i) {
+      const SlotDef& sd = tdef.slots[i];
+      QuantitySlot slot;
+      slot.display_value = values[i];
+      slot.display_percent = sd.percent;
+      slot.unit_id = sd.unit;
+      std::string rendered = FormatValue(values[i], sd.decimals);
+      if (sd.percent) {
+        rendered += "%";
+      } else if (*sd.unit != '\0') {
+        DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit,
+                               kb_->FindById(sd.unit));
+        slot.surface = unit->label_en;
+        rendered += " " + slot.surface;
+      }
+      text = text::ReplaceAll(text, "{" + std::to_string(i) + "}", rendered);
+      p.slots.push_back(std::move(slot));
+    }
+    p.question_unit_id = tdef.answer_unit;
+    if (*tdef.answer_unit != '\0') {
+      DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit,
+                             kb_->FindById(tdef.answer_unit));
+      p.question_surface = unit->label_en;
+      text = text::ReplaceAll(text, "{ans}", p.question_surface);
+    }
+    p.text = std::move(text);
+    Status recompute = Recompute(tp);
+    if (!recompute.ok()) continue;
+    if (!std::isfinite(p.answer) || p.answer <= 0.0) continue;
+    out.push_back(std::move(tp));
+  }
+  if (static_cast<int>(out.size()) < count) {
+    return Status::Internal("could not generate enough MWP problems");
+  }
+  return out;
+}
+
+}  // namespace dimqr::mwp

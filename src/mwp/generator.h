@@ -1,0 +1,70 @@
+#ifndef DIMQR_MWP_GENERATOR_H_
+#define DIMQR_MWP_GENERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "kb/kb.h"
+#include "mwp/problem.h"
+
+/// \file generator.h
+/// N-MWP generation (substitution, DESIGN.md): Math23k and Ape210k are
+/// Chinese elementary-school word-problem datasets we cannot ship, so
+/// template families in their style generate matched problems — real-world
+/// scenarios, multi-step arithmetic, canonical metric units. "N-Math23k"
+/// draws mostly low-operation templates, "N-Ape210k" skews multi-step,
+/// mirroring the operation-count shape of Table VI.
+
+namespace dimqr::mwp {
+
+/// \brief A problem template's formula: builds the gold equation from the
+/// context-slot sub-expressions (in canonical units).
+using Formula = std::function<Equation(const std::vector<Equation>&)>;
+
+/// \brief Rebuilds `problem.gold_equation`, `answer` and `op_count` from
+/// its slots, formula and question factor. Called by the generator and
+/// after every augmentation.
+dimqr::Status RebuildEquation(MwpProblem& problem);
+
+/// \brief The formula and canonical bookkeeping attached to each problem.
+/// (Kept outside MwpProblem so the problem struct stays a plain record;
+/// generator and augmenter operate on TemplatedProblem.)
+struct TemplatedProblem {
+  MwpProblem problem;
+  Formula formula;
+  /// answer = canonical_result * question_factor.
+  double question_factor = 1.0;
+};
+
+/// \brief Recomputes equation/answer of a templated problem from its
+/// current slots. InvalidArgument when the formula and slots disagree.
+dimqr::Status Recompute(TemplatedProblem& tp);
+
+/// \brief Generates N-MWP problems.
+class MwpGenerator {
+ public:
+  MwpGenerator(std::shared_ptr<const kb::DimUnitKB> kb,
+               std::uint64_t seed = 20240131);
+
+  /// \brief Generates `count` problems for a dataset tag. `multi_step_bias`
+  /// in [0,1] shifts the template mixture toward multi-operation families
+  /// (0.25 for the Math23k style, 0.6 for the Ape210k style).
+  dimqr::Result<std::vector<TemplatedProblem>> Generate(
+      const std::string& dataset, int count, double multi_step_bias) const;
+
+  /// Number of distinct template families.
+  static std::size_t TemplateFamilyCount();
+
+  const kb::DimUnitKB& knowledge_base() const { return *kb_; }
+
+ private:
+  std::shared_ptr<const kb::DimUnitKB> kb_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dimqr::mwp
+
+#endif  // DIMQR_MWP_GENERATOR_H_

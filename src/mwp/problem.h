@@ -1,0 +1,50 @@
+#ifndef DIMQR_MWP_PROBLEM_H_
+#define DIMQR_MWP_PROBLEM_H_
+
+#include <string>
+#include <vector>
+
+#include "mwp/equation.h"
+
+/// \file problem.h
+/// Math word problem instances (Section V).
+///
+/// N-MWP problems render every quantity in the template's canonical unit;
+/// Q-MWP problems (produced by the Table V augmentation operators) mix
+/// unit representations and dimensions, so their gold equations carry
+/// explicit conversion factors and more operations (Table VI).
+
+namespace dimqr::mwp {
+
+/// \brief One quantity slot of a problem.
+struct QuantitySlot {
+  double display_value = 0.0;   ///< The value as written in the text.
+  bool display_percent = false; ///< Rendered as "v%".
+  std::string unit_id;          ///< Displayed unit's DimUnitKB id ("" = bare).
+  std::string surface;          ///< Rendered unit surface ("千克", "kg"...).
+  /// Factor from the displayed unit to the template's canonical unit
+  /// (1 when unchanged); enters the gold equation under dimension
+  /// substitution.
+  double to_canonical = 1.0;
+  bool in_question = false;     ///< Context slot vs question slot.
+};
+
+/// \brief One math word problem.
+struct MwpProblem {
+  std::string id;
+  std::string dataset;   ///< "n_math23k", "q_ape210k", ...
+  std::string text;      ///< Full problem statement including the question.
+  std::vector<QuantitySlot> slots;
+  Equation gold_equation = Equation::Number(0);  ///< Evaluates to `answer`.
+  double answer = 0.0;           ///< In the question unit.
+  std::string question_unit_id;  ///< DimUnitKB id of the answer unit.
+  std::string question_surface;  ///< Its rendering in the text.
+  int op_count = 0;              ///< gold_equation.OperationCount().
+  /// Which Table V augmentations were applied ("ctx-format", "ctx-dim",
+  /// "q-format", "q-dim"); empty for N-MWP problems.
+  std::vector<std::string> augmentations;
+};
+
+}  // namespace dimqr::mwp
+
+#endif  // DIMQR_MWP_PROBLEM_H_

@@ -1,0 +1,115 @@
+#include "mwp/slotting.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "text/number_scanner.h"
+
+namespace dimqr::mwp {
+namespace {
+
+using dimqr::Result;
+using dimqr::Status;
+
+/// Renders an equation with slot substitution: literal nodes whose value
+/// (and percent flag) matches an available slot render as the slot token;
+/// each slot is consumed at most once (left-to-right).
+class SlotRenderer {
+ public:
+  SlotRenderer(const std::vector<double>& values,
+               const std::vector<bool>& percents)
+      : values_(values), percents_(percents), used_(values.size(), false) {}
+
+  std::string Render(const Equation& eq) { return RenderNode(eq, 0); }
+
+ private:
+  static int Precedence(char op) {
+    return (op == '+' || op == '-') ? 1 : 2;
+  }
+
+  std::string RenderNode(const Equation& eq, int parent_prec,
+                         bool right_side = false) {
+    if (eq.is_number()) {
+      for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (used_[i]) continue;
+        if (percents_[i] != eq.is_percent()) continue;
+        if (values_[i] == eq.number_value()) {
+          used_[i] = true;
+          return "n" + std::to_string(i + 1);
+        }
+      }
+      return eq.ToString();
+    }
+    int prec = Precedence(eq.op());
+    std::string lhs = RenderNode(eq.lhs(), prec, false);
+    std::string rhs = RenderNode(eq.rhs(), prec, true);
+    std::string body = lhs + eq.op() + rhs;
+    bool needs_parens =
+        prec < parent_prec ||
+        (prec == parent_prec && right_side);
+    return needs_parens ? "(" + body + ")" : body;
+  }
+
+  const std::vector<double>& values_;
+  const std::vector<bool>& percents_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+Result<SlottedProblem> SlotNumbers(const MwpProblem& problem) {
+  SlottedProblem out;
+  std::vector<text::NumberMention> mentions =
+      text::ScanNumbers(problem.text);
+  std::vector<double> values;
+  std::vector<bool> percents;
+  std::string slotted;
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < mentions.size(); ++i) {
+    const text::NumberMention& m = mentions[i];
+    slotted += problem.text.substr(cursor, m.begin - cursor);
+    slotted += "n" + std::to_string(i + 1);
+    cursor = m.end;
+    out.slot_literals.emplace_back(m.TextIn(problem.text));
+    // For percents the scanner value is already /100; equation literals
+    // store the displayed number with a percent flag, so recover it.
+    values.push_back(m.is_percent ? m.value * 100.0 : m.value);
+    percents.push_back(m.is_percent);
+  }
+  slotted += problem.text.substr(cursor);
+  out.input_text = std::move(slotted);
+
+  SlotRenderer renderer(values, percents);
+  out.equation = renderer.Render(problem.gold_equation);
+  return out;
+}
+
+std::string UnslotEquation(const std::string& equation,
+                           const std::vector<std::string>& slot_literals) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < equation.size()) {
+    if (equation[i] == 'n' && i + 1 < equation.size() &&
+        std::isdigit(static_cast<unsigned char>(equation[i + 1]))) {
+      std::size_t j = i + 1;
+      int index = 0;
+      while (j < equation.size() &&
+             std::isdigit(static_cast<unsigned char>(equation[j]))) {
+        if (index < 1000000) {  // cap: model output may be a digit storm
+          index = index * 10 + (equation[j] - '0');
+        }
+        ++j;
+      }
+      if (index >= 1 && index <= static_cast<int>(slot_literals.size())) {
+        // Parenthesize to keep "-5" style literals parseable in context.
+        out += "(" + slot_literals[static_cast<std::size_t>(index - 1)] + ")";
+        i = j;
+        continue;
+      }
+    }
+    out += equation[i++];
+  }
+  return out;
+}
+
+}  // namespace dimqr::mwp

@@ -1,0 +1,45 @@
+#ifndef DIMQR_MWP_SLOTTING_H_
+#define DIMQR_MWP_SLOTTING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "mwp/problem.h"
+
+/// \file slotting.h
+/// Number-slot abstraction for MWP seq2seq training.
+///
+/// Following the Math23k line of solvers (the "number mapping" of Wang et
+/// al.'s deep neural solver), problem numbers are replaced by slot tokens
+/// n1..nk in the input, and the gold equation references those slots;
+/// constants that do NOT occur in the text — notably the unit-conversion
+/// factors introduced by the Table V dimension substitutions — remain
+/// literal. Those residual literals are exactly the dimensional knowledge
+/// the model must supply itself, which is what separates DimPerc from the
+/// base model on Q-MWP.
+
+namespace dimqr::mwp {
+
+/// \brief A slotted problem view.
+struct SlottedProblem {
+  std::string input_text;  ///< Problem text with numbers -> "n1".."nk".
+  std::string equation;    ///< Gold equation over slots + residual literals.
+  /// The literal source strings per slot ("150", "20%").
+  std::vector<std::string> slot_literals;
+};
+
+/// \brief Slots a problem. Fails with Internal when a slot literal cannot
+/// be found in the text (generator/augmenter invariant violation).
+dimqr::Result<SlottedProblem> SlotNumbers(const MwpProblem& problem);
+
+/// \brief Substitutes slot tokens back into a (possibly model-generated)
+/// equation string: "n1*0.001-n2" -> "150*0.001-12". Unknown slots ("n9"
+/// with 3 literals) are left untouched, making the string unparseable —
+/// which the calculator then scores as wrong.
+std::string UnslotEquation(const std::string& equation,
+                           const std::vector<std::string>& slot_literals);
+
+}  // namespace dimqr::mwp
+
+#endif  // DIMQR_MWP_SLOTTING_H_

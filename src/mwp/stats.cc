@@ -1,0 +1,44 @@
+#include "mwp/stats.h"
+
+#include <set>
+
+namespace dimqr::mwp {
+
+std::size_t OpBucket(int op_count) {
+  if (op_count <= 3) return 0;
+  if (op_count <= 5) return 1;
+  if (op_count <= 8) return 2;
+  return 3;
+}
+
+const std::array<const char*, 4>& OpBucketLabels() {
+  static const std::array<const char*, 4> kLabels = {"[0,3]", "(3,5]",
+                                                     "(5,8]", "(8,+inf)"};
+  return kLabels;
+}
+
+DatasetStats ComputeStats(const std::vector<TemplatedProblem>& problems,
+                          const std::string& dataset_name) {
+  DatasetStats stats;
+  stats.dataset = dataset_name;
+  stats.num_problems = problems.size();
+  std::set<std::string> units;
+  double total_ops = 0.0;
+  for (const TemplatedProblem& tp : problems) {
+    const MwpProblem& p = tp.problem;
+    for (const QuantitySlot& slot : p.slots) {
+      if (!slot.unit_id.empty()) units.insert(slot.unit_id);
+      if (slot.display_percent) units.insert("PERCENT");
+    }
+    if (!p.question_unit_id.empty()) units.insert(p.question_unit_id);
+    ++stats.op_buckets[OpBucket(p.op_count)];
+    total_ops += p.op_count;
+  }
+  stats.num_units = units.size();
+  if (!problems.empty()) {
+    stats.mean_ops = total_ops / static_cast<double>(problems.size());
+  }
+  return stats;
+}
+
+}  // namespace dimqr::mwp

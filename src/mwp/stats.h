@@ -1,0 +1,39 @@
+#ifndef DIMQR_MWP_STATS_H_
+#define DIMQR_MWP_STATS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "mwp/generator.h"
+
+/// \file stats.h
+/// Dataset statistics in the shape of Table VI: #Num (problems), #Units
+/// (distinct units appearing across the dataset), and the operation-count
+/// histogram over the buckets [0,3], (3,5], (5,8], (8, inf).
+
+namespace dimqr::mwp {
+
+/// \brief Table VI row for one dataset.
+struct DatasetStats {
+  std::string dataset;
+  std::size_t num_problems = 0;
+  std::size_t num_units = 0;  ///< Distinct unit ids in slots + questions.
+  /// Operation-count buckets: [0,3], (3,5], (5,8], (8, +inf).
+  std::array<std::size_t, 4> op_buckets = {0, 0, 0, 0};
+  double mean_ops = 0.0;
+};
+
+/// The bucket index for an operation count.
+std::size_t OpBucket(int op_count);
+
+/// Bucket labels in paper order.
+const std::array<const char*, 4>& OpBucketLabels();
+
+/// \brief Computes Table VI statistics for a dataset.
+DatasetStats ComputeStats(const std::vector<TemplatedProblem>& problems,
+                          const std::string& dataset_name);
+
+}  // namespace dimqr::mwp
+
+#endif  // DIMQR_MWP_STATS_H_

@@ -1,0 +1,66 @@
+#include "mwp/tokenization.h"
+
+#include <cctype>
+
+#include "text/string_util.h"
+#include "text/tokenizer.h"
+
+namespace dimqr::mwp {
+namespace {
+
+bool IsNumberToken(const std::string& token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EmitNumber(const std::string& number, TokenizationMode mode,
+                std::vector<std::string>& out) {
+  if (mode == TokenizationMode::kRegular) {
+    out.push_back(number);
+    return;
+  }
+  for (char c : number) out.emplace_back(1, c);
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeEquation(const std::string& equation,
+                                          TokenizationMode mode) {
+  std::vector<std::string> out;
+  std::string number;
+  for (char c : equation) {
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      number += c;
+      continue;
+    }
+    if (!number.empty()) {
+      EmitNumber(number, mode, out);
+      number.clear();
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    out.emplace_back(1, c);
+  }
+  if (!number.empty()) EmitNumber(number, mode, out);
+  return out;
+}
+
+std::vector<std::string> TokenizeProblemText(const std::string& text,
+                                             TokenizationMode mode) {
+  std::vector<std::string> out;
+  for (const text::Token& tok : text::Tokenize(text)) {
+    std::string lower = text::ToLowerAscii(tok.text);
+    if (tok.kind == text::Token::Kind::kNumber && IsNumberToken(lower)) {
+      EmitNumber(lower, mode, out);
+    } else {
+      out.push_back(std::move(lower));
+    }
+  }
+  return out;
+}
+
+}  // namespace dimqr::mwp

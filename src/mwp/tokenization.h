@@ -1,0 +1,36 @@
+#ifndef DIMQR_MWP_TOKENIZATION_H_
+#define DIMQR_MWP_TOKENIZATION_H_
+
+#include <string>
+#include <vector>
+
+/// \file tokenization.h
+/// Equation tokenization (Section V-B3).
+///
+/// For a word-piece of an equation e1..ek with ei in D u Op,
+/// D = {0..9}, Op = {+,-,*,/,%,=,(,)}, the *equation tokenization*
+/// strategy further splits it into single-character tokens (the digit
+/// tokenization of GenBERT [17]); the *regular* strategy keeps multi-digit
+/// numbers as single tokens. Figure 7 ablates the two.
+
+namespace dimqr::mwp {
+
+/// \brief The two strategies of the Fig. 7 ablation.
+enum class TokenizationMode {
+  kRegular,  ///< Numbers stay whole ("150" is one token).
+  kDigit,    ///< Numbers split into digits ("1","5","0").
+};
+
+/// \brief Tokenizes an equation string. Operators and parentheses are
+/// always single tokens; numbers follow `mode`.
+std::vector<std::string> TokenizeEquation(const std::string& equation,
+                                          TokenizationMode mode);
+
+/// \brief Tokenizes problem text: words lowercased via the dimqr
+/// tokenizer; number tokens follow `mode`.
+std::vector<std::string> TokenizeProblemText(const std::string& text,
+                                             TokenizationMode mode);
+
+}  // namespace dimqr::mwp
+
+#endif  // DIMQR_MWP_TOKENIZATION_H_

@@ -1,0 +1,276 @@
+#include "solver/dimperc.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <cstdio>
+
+#include "lm/mock_llm.h"
+#include "text/string_util.h"
+
+namespace dimqr::solver {
+namespace {
+
+using dimqr::Result;
+
+/// Removes all spaces (model decodes join tokens with spaces: "l - 3m").
+std::string StripSpaces(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c != ' ') out += c;
+  }
+  return out;
+}
+
+/// Extracts the segment after `key` up to the next " | " (or end).
+std::optional<std::string> PromptField(const std::string& prompt,
+                                       const std::string& key) {
+  auto at = prompt.find(key);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t begin = at + key.size();
+  auto end = prompt.find(" | ", begin);
+  if (end == std::string::npos) end = prompt.size();
+  return prompt.substr(begin, end - begin);
+}
+
+std::string FormatFactor(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+}  // namespace
+
+DimPercPipeline::DimPercPipeline(std::string name,
+                                 std::shared_ptr<Seq2SeqModel> knowledge)
+    : name_(std::move(name)), knowledge_(std::move(knowledge)) {}
+
+std::optional<dimqr::Dimension> DimPercPipeline::ParseDimWord(
+    const std::string& word) {
+  std::string compact = StripSpaces(word);
+  if (compact.empty() || compact.size() > 24) return std::nullopt;
+  for (char& c : compact) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  Result<dimqr::Dimension> parsed = dimqr::Dimension::ParseFormula(compact);
+  if (!parsed.ok()) return std::nullopt;
+  return *parsed;
+}
+
+std::optional<dimqr::Dimension> DimPercPipeline::RecallUnitDimension(
+    const std::string& unit_label) {
+  Result<SeqOutput> out = knowledge_->Generate(
+      "task: dimof | unit: " + text::ToLowerAscii(unit_label), false);
+  if (!out.ok()) return std::nullopt;
+  return ParseDimWord(out->answer);
+}
+
+std::optional<dimqr::Dimension> DimPercPipeline::RecallKindDimension(
+    const std::string& kind_name) {
+  Result<SeqOutput> out = knowledge_->Generate(
+      "task: kinddim | kind: " + text::ToLowerAscii(kind_name), false);
+  if (!out.ok()) return std::nullopt;
+  return ParseDimWord(out->answer);
+}
+
+std::optional<int> DimPercPipeline::RecallUnitScale(
+    const std::string& unit_label) {
+  Result<SeqOutput> out = knowledge_->Generate(
+      "task: scaleof | unit: " + text::ToLowerAscii(unit_label), false);
+  if (!out.ok()) return std::nullopt;
+  std::string word = StripSpaces(out->answer);
+  if (word.size() < 2 || word[0] != 'e') return std::nullopt;
+  char* end = nullptr;
+  long k = std::strtol(word.c_str() + 1, &end, 10);
+  if (end == word.c_str() + 1 || *end != '\0') return std::nullopt;
+  return static_cast<int>(k);
+}
+
+std::optional<double> DimPercPipeline::RecallConversionFactor(
+    const std::string& from_label, const std::string& to_label) {
+  Result<SeqOutput> out = knowledge_->Generate(
+      "task: convert | 1 " + text::ToLowerAscii(from_label) + " = ? " +
+          text::ToLowerAscii(to_label),
+      false);
+  if (!out.ok()) return std::nullopt;
+  std::string word = StripSpaces(out->answer);
+  if (word.empty()) return std::nullopt;
+  char* end = nullptr;
+  double value = std::strtod(word.c_str(), &end);
+  if (end == word.c_str() || *end != '\0' || !std::isfinite(value) ||
+      value == 0.0) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+lm::ChoiceAnswer DimPercPipeline::AnswerChoice(
+    const lm::ChoiceQuestion& question) {
+  using namespace lm::tasks;
+  lm::ChoiceAnswer answer;
+
+  // Target dimension for the dimension-law tasks; empty = undetermined.
+  std::optional<dimqr::Dimension> target;
+  if (question.task == kComparableAnalysis) {
+    std::optional<std::string> probe = PromptField(question.prompt, "unit: ");
+    if (!probe) return answer;
+    target = RecallUnitDimension(*probe);
+  } else if (question.task == kQuantityKindMatch) {
+    std::optional<std::string> kind = PromptField(question.prompt, "kind: ");
+    if (!kind) return answer;
+    target = RecallKindDimension(*kind);
+  } else if (question.task == kDimensionArithmetic) {
+    std::optional<std::string> expr = PromptField(question.prompt, "expr: ");
+    if (!expr) return answer;
+    // "<u1> * <u2>" or "<u1> / <u2>".
+    char op = 0;
+    std::size_t op_at = std::string::npos;
+    for (std::size_t i = 0; i < expr->size(); ++i) {
+      if ((*expr)[i] == '*' || (*expr)[i] == '/') {
+        op = (*expr)[i];
+        op_at = i;
+        break;
+      }
+    }
+    if (op_at == std::string::npos) return answer;
+    std::string u1 = text::Trim(expr->substr(0, op_at));
+    std::string u2 = text::Trim(expr->substr(op_at + 1));
+    std::optional<dimqr::Dimension> d1 = RecallUnitDimension(u1);
+    std::optional<dimqr::Dimension> d2 = RecallUnitDimension(u2);
+    if (!d1 || !d2) return answer;
+    // The dimension laws, applied as rules to the recalled knowledge.
+    Result<dimqr::Dimension> composed =
+        op == '*' ? d1->Times(*d2) : d1->Over(*d2);
+    if (!composed.ok()) return answer;
+    target = *composed;
+  } else if (question.task == kDimensionPrediction) {
+    // The fine-tuned model generates the "<predicate> implies <dim>" chain
+    // it was trained on; parse the implied dimension out of it.
+    Result<SeqOutput> out = knowledge_->Generate(question.prompt, false);
+    if (!out.ok()) return answer;
+    auto at = out->middle.find("implies ");
+    if (at == std::string::npos) return answer;
+    std::string rest = out->middle.substr(at + 8);
+    auto bar = rest.find(" |");
+    if (bar != std::string::npos) rest = rest.substr(0, bar);
+    target = ParseDimWord(rest);
+  } else if (question.task == kMagnitudeComparison) {
+    int best_index = -1;
+    int best_scale = 0;
+    for (std::size_t i = 0; i < question.choices.size(); ++i) {
+      std::optional<int> scale = RecallUnitScale(question.choices[i]);
+      if (!scale) return answer;  // incomplete knowledge: decline
+      if (best_index < 0 || *scale > best_scale) {
+        best_index = static_cast<int>(i);
+        best_scale = *scale;
+      }
+    }
+    answer.index = best_index;
+    return answer;
+  } else if (question.task == kUnitConversion) {
+    // Prompt form: "task: convert | 1 <from> = ? <to> | a: ...".
+    std::optional<std::string> body = PromptField(question.prompt, "| 1 ");
+    if (!body) return answer;
+    auto eq = body->find(" = ? ");
+    if (eq == std::string::npos) return answer;
+    std::string from = body->substr(0, eq);
+    std::string to = body->substr(eq + 5);
+    std::optional<double> factor = RecallConversionFactor(from, to);
+    if (!factor) return answer;
+    // Nearest choice in relative terms; decline when nothing is close.
+    int best_index = -1;
+    double best_err = 0.12;
+    for (std::size_t i = 0; i < question.choices.size(); ++i) {
+      double value = std::strtod(question.choices[i].c_str(), nullptr);
+      if (value == 0.0) continue;
+      double err = std::fabs(std::log(std::fabs(value / *factor)));
+      if (best_index < 0 || err < best_err) {
+        best_index = static_cast<int>(i);
+        best_err = err;
+      }
+    }
+    if (best_err > 0.12) return answer;  // recall too far from every choice
+    answer.index = best_index;
+    return answer;
+  } else {
+    // Unknown task: fall back to end-to-end generation.
+    return knowledge_->AnswerChoice(question);
+  }
+
+  if (!target) return answer;  // knowledge recall failed: decline
+  for (std::size_t i = 0; i < question.choices.size(); ++i) {
+    std::optional<dimqr::Dimension> dim =
+        RecallUnitDimension(question.choices[i]);
+    if (dim && *dim == *target) {
+      answer.index = static_cast<int>(i);
+      return answer;
+    }
+  }
+  return answer;  // no choice matched: decline
+}
+
+std::string DimPercPipeline::AnswerText(const lm::TextQuestion& question) {
+  return knowledge_->AnswerText(question);
+}
+
+std::vector<SeqExample> MakeKindKnowledgeExamples(const kb::DimUnitKB& kb,
+                                                  int repeats) {
+  std::vector<SeqExample> out;
+  for (const kb::QuantityKindRecord& kind : kb.kinds()) {
+    std::string name = text::ToLowerAscii(kind.name);
+    std::string dim = text::ToLowerAscii(kind.dimension.ToFormula());
+    for (int r = 0; r < repeats; ++r) {
+      SeqExample ex;
+      ex.input = "task: kinddim | kind: " + name;
+      ex.middle = name + " is " + dim;
+      ex.answer = dim;
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+std::vector<SeqExample> MakeConversionKnowledgeExamples(
+    const kb::DimUnitKB& kb, std::size_t pool_size,
+    std::size_t max_per_dimension, int repeats) {
+  // Group the generator pool (most frequent non-compound units) by
+  // dimension; enumerate ordered pairs within each group.
+  std::vector<const kb::UnitRecord*> pool;
+  for (const kb::UnitRecord* u : kb.UnitsByFrequency()) {
+    if (u->origin == kb::UnitOrigin::kCompound) continue;
+    pool.push_back(u);
+    if (pool_size != 0 && pool.size() >= pool_size) break;
+  }
+  std::map<std::uint64_t, std::vector<const kb::UnitRecord*>> by_dim;
+  for (const kb::UnitRecord* u : pool) {
+    if (u->conversion_offset != 0.0) continue;
+    std::vector<const kb::UnitRecord*>& group =
+        by_dim[u->dimension.PackedKey()];
+    if (group.size() < max_per_dimension) group.push_back(u);
+  }
+  std::vector<SeqExample> out;
+  for (const auto& [key, group] : by_dim) {
+    for (const kb::UnitRecord* from : group) {
+      for (const kb::UnitRecord* to : group) {
+        if (from == to) continue;
+        dimqr::Result<double> factor =
+            from->Semantics().ConversionFactorTo(to->Semantics());
+        if (!factor.ok()) continue;
+        std::string from_label = text::ToLowerAscii(from->label_en);
+        std::string to_label = text::ToLowerAscii(to->label_en);
+        std::string factor_text = FormatFactor(*factor);
+        for (int r = 0; r < repeats; ++r) {
+          SeqExample ex;
+          ex.input = "task: convert | 1 " + from_label + " = ? " + to_label;
+          ex.middle = "1 " + from_label + " = " + factor_text + " " + to_label;
+          ex.answer = factor_text;
+          out.push_back(std::move(ex));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dimqr::solver

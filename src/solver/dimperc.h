@@ -1,0 +1,84 @@
+#ifndef DIMQR_SOLVER_DIMPERC_H_
+#define DIMQR_SOLVER_DIMPERC_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/dimension.h"
+#include "kb/kb.h"
+#include "solver/seq2seq.h"
+
+/// \file dimperc.h
+/// The DimPerc pipeline model.
+///
+/// Substitution (DESIGN.md): the paper's DimPerc is LLaMA-7B after
+/// continual fine-tuning — at that scale the model internalizes both the
+/// dimensional *knowledge* and the multi-step *reasoning procedure*, and
+/// emits the chain of thought end-to-end. A three-layer micro transformer
+/// reliably learns the knowledge (unit -> dimension, unit -> scale,
+/// kind -> dimension, pair -> conversion factor: recall accuracy ~100% on
+/// trained associations) but not the end-to-end relational selection. The
+/// pipeline therefore executes the paper's CoT *programmatically*: every
+/// piece of dimensional knowledge is recalled from the fine-tuned LM by
+/// generation, and the dimension laws (compare, compose) run as explicit
+/// rules over the recalled strings. The learned model remains the
+/// knowledge bottleneck — routing the *untrained* base model through the
+/// very same pipeline collapses to chance, which is what Table VIII
+/// measures.
+
+namespace dimqr::solver {
+
+/// \brief A Model that answers DimEval choice tasks by querying a
+/// fine-tuned Seq2SeqModel for dimensional knowledge and applying the
+/// dimension laws to the recalled strings. Questions whose knowledge
+/// recall fails to parse are declined (index -1), reproducing the
+/// precision>F1 refusal pattern of Table VII.
+class DimPercPipeline : public lm::Model {
+ public:
+  DimPercPipeline(std::string name, std::shared_ptr<Seq2SeqModel> knowledge);
+
+  const std::string& name() const override { return name_; }
+  lm::ChoiceAnswer AnswerChoice(const lm::ChoiceQuestion& question) override;
+  std::string AnswerText(const lm::TextQuestion& question) override;
+
+  /// The underlying fine-tuned model.
+  Seq2SeqModel& knowledge_model() { return *knowledge_; }
+
+  // --- knowledge recall primitives (public for tests/benches) ---
+
+  /// Recalled dimension of a unit surface ("kilometre" -> L), or empty.
+  std::optional<dimqr::Dimension> RecallUnitDimension(
+      const std::string& unit_label);
+
+  /// Recalled dimension of a quantity kind name, or empty.
+  std::optional<dimqr::Dimension> RecallKindDimension(
+      const std::string& kind_name);
+
+  /// Recalled base-10 scale exponent of a unit, or empty.
+  std::optional<int> RecallUnitScale(const std::string& unit_label);
+
+  /// Recalled conversion factor "1 from = ? to", or empty.
+  std::optional<double> RecallConversionFactor(const std::string& from_label,
+                                               const std::string& to_label);
+
+ private:
+  /// Parses a lowercase dimension word ("l2mt-2") back to a Dimension.
+  static std::optional<dimqr::Dimension> ParseDimWord(const std::string& word);
+
+  std::string name_;
+  std::shared_ptr<Seq2SeqModel> knowledge_;
+};
+
+/// \brief Knowledge-pair builders for fine-tuning (beyond the unit pairs in
+/// pipelines.h): quantity-kind dimensions and within-dimension conversion
+/// factors over the generator pool.
+std::vector<SeqExample> MakeKindKnowledgeExamples(const kb::DimUnitKB& kb,
+                                                  int repeats = 3);
+std::vector<SeqExample> MakeConversionKnowledgeExamples(
+    const kb::DimUnitKB& kb, std::size_t pool_size = 320,
+    std::size_t max_per_dimension = 14, int repeats = 1);
+
+}  // namespace dimqr::solver
+
+#endif  // DIMQR_SOLVER_DIMPERC_H_

@@ -1,0 +1,224 @@
+#include "solver/seq2seq.h"
+
+#include <algorithm>
+
+#include "text/string_util.h"
+
+namespace dimqr::solver {
+namespace {
+
+using dimqr::Result;
+using dimqr::Status;
+using lm::SpecialTokens;
+
+/// Joins equation tokens with no separator ("150","*","20","%" ->
+/// "150*20%"), plain tokens with spaces.
+std::string JoinTokens(const std::vector<std::string>& tokens,
+                       bool is_equation) {
+  if (is_equation) {
+    std::string out;
+    for (const std::string& t : tokens) out += t;
+    return out;
+  }
+  std::string out;
+  for (const std::string& t : tokens) {
+    if (!out.empty()) out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> Seq2SeqModel::TokenizeInput(
+    const std::string& text) const {
+  return mwp::TokenizeProblemText(text, config_.tokenization);
+}
+
+std::vector<std::string> Seq2SeqModel::TokenizeMiddle(
+    const std::string& text, bool is_equation) const {
+  if (is_equation) {
+    return mwp::TokenizeEquation(text, config_.tokenization);
+  }
+  return mwp::TokenizeProblemText(text, config_.tokenization);
+}
+
+Result<std::unique_ptr<Seq2SeqModel>> Seq2SeqModel::Create(
+    std::string name, std::vector<SeqExample> train,
+    const Seq2SeqConfig& config, const std::vector<SeqExample>& vocab_extra) {
+  if (train.empty()) {
+    return Status::InvalidArgument("seq2seq model needs training examples");
+  }
+  auto model = std::unique_ptr<Seq2SeqModel>(new Seq2SeqModel());
+  model->name_ = std::move(name);
+  model->config_ = config;
+  model->train_ = std::move(train);
+  model->shuffle_rng_ = dimqr::Rng(dimqr::Rng::DeriveSeed(config.seed,
+                                                          "seq2seq-shuffle"));
+  // Vocabulary over all parts of all training examples.
+  std::vector<std::vector<std::string>> texts;
+  texts.reserve(model->train_.size() * 3);
+  for (const SeqExample& ex : model->train_) {
+    texts.push_back(model->TokenizeInput(ex.input));
+    texts.push_back(model->TokenizeMiddle(ex.middle, ex.middle_is_equation));
+    texts.push_back(model->TokenizeMiddle(ex.answer, ex.middle_is_equation));
+  }
+  for (const SeqExample& ex : vocab_extra) {
+    texts.push_back(model->TokenizeInput(ex.input));
+    texts.push_back(model->TokenizeMiddle(ex.middle, ex.middle_is_equation));
+    texts.push_back(model->TokenizeMiddle(ex.answer, ex.middle_is_equation));
+  }
+  model->vocab_ = lm::Vocab::Build(texts, config.vocab_min_count,
+                                   config.vocab_max_size);
+  lm::TransformerConfig arch = config.arch;
+  arch.vocab_size = static_cast<int>(model->vocab_.size());
+  arch.seed = dimqr::Rng::DeriveSeed(config.seed, "seq2seq-init");
+  DIMQR_ASSIGN_OR_RETURN(lm::Transformer transformer,
+                         lm::Transformer::Create(arch));
+  model->model_ = std::make_unique<lm::Transformer>(std::move(transformer));
+  model->order_.resize(model->train_.size());
+  for (std::size_t i = 0; i < model->order_.size(); ++i) {
+    model->order_[i] = i;
+  }
+  model->shuffle_rng_.Shuffle(model->order_);
+  return model;
+}
+
+lm::LmExample Seq2SeqModel::EncodeExample(const SeqExample& example) const {
+  lm::LmExample out;
+  std::vector<int> input = vocab_.EncodeTokens(TokenizeInput(example.input));
+  std::vector<int> middle = vocab_.EncodeTokens(
+      TokenizeMiddle(example.middle, example.middle_is_equation));
+  std::vector<int> answer = vocab_.EncodeTokens(
+      TokenizeMiddle(example.answer, example.middle_is_equation));
+  out.tokens.push_back(SpecialTokens::kBos);
+  out.tokens.insert(out.tokens.end(), input.begin(), input.end());
+  out.tokens.push_back(SpecialTokens::kSep);
+  std::size_t loss_from = out.tokens.size();
+  out.tokens.insert(out.tokens.end(), middle.begin(), middle.end());
+  out.tokens.push_back(SpecialTokens::kSep);
+  out.tokens.insert(out.tokens.end(), answer.begin(), answer.end());
+  out.tokens.push_back(SpecialTokens::kEos);
+  out.loss_mask.assign(out.tokens.size(), 0);
+  for (std::size_t i = loss_from; i < out.tokens.size(); ++i) {
+    out.loss_mask[i] = 1;
+  }
+  return out;
+}
+
+dimqr::Status Seq2SeqModel::ReplaceTrainingSet(std::vector<SeqExample> train) {
+  if (train.empty()) {
+    return Status::InvalidArgument("replacement training set is empty");
+  }
+  train_ = std::move(train);
+  order_.resize(train_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  shuffle_rng_.Shuffle(order_);
+  cursor_ = 0;
+  return Status::OK();
+}
+
+Result<double> Seq2SeqModel::TrainSteps(int n_batches) {
+  if (n_batches <= 0) {
+    return Status::InvalidArgument("n_batches must be positive");
+  }
+  double total = 0.0;
+  for (int b = 0; b < n_batches; ++b) {
+    std::vector<lm::LmExample> batch;
+    for (int i = 0; i < config_.batch_size; ++i) {
+      if (cursor_ >= order_.size()) {
+        shuffle_rng_.Shuffle(order_);
+        cursor_ = 0;
+      }
+      batch.push_back(EncodeExample(train_[order_[cursor_++]]));
+    }
+    DIMQR_ASSIGN_OR_RETURN(double loss,
+                           model_->TrainBatch(batch, config_.learning_rate));
+    total += loss;
+    ++steps_;
+  }
+  return total / n_batches;
+}
+
+Result<double> Seq2SeqModel::TrainEpochs(int epochs) {
+  if (epochs <= 0) return Status::InvalidArgument("epochs must be positive");
+  double last = 0.0;
+  int batches_per_epoch = static_cast<int>(
+      (train_.size() + config_.batch_size - 1) / config_.batch_size);
+  for (int e = 0; e < epochs; ++e) {
+    DIMQR_ASSIGN_OR_RETURN(last, TrainSteps(batches_per_epoch));
+  }
+  return last;
+}
+
+Result<SeqOutput> Seq2SeqModel::Generate(const std::string& input,
+                                         bool middle_is_equation) const {
+  std::vector<int> prefix;
+  prefix.push_back(SpecialTokens::kBos);
+  std::vector<int> encoded = vocab_.EncodeTokens(TokenizeInput(input));
+  prefix.insert(prefix.end(), encoded.begin(), encoded.end());
+  prefix.push_back(SpecialTokens::kSep);
+  DIMQR_ASSIGN_OR_RETURN(
+      std::vector<int> generated,
+      model_->Greedy(prefix, config_.max_generated_tokens,
+                     SpecialTokens::kEos));
+  // Split on the LAST <sep>.
+  std::size_t sep_at = generated.size();
+  for (std::size_t i = generated.size(); i > 0; --i) {
+    if (generated[i - 1] == SpecialTokens::kSep) {
+      sep_at = i - 1;
+      break;
+    }
+  }
+  SeqOutput out;
+  std::vector<std::string> middle_tokens, answer_tokens;
+  for (std::size_t i = 0; i < generated.size(); ++i) {
+    int id = generated[i];
+    if (id < SpecialTokens::kCount) continue;
+    if (i < sep_at) {
+      middle_tokens.push_back(vocab_.TokenOf(id));
+    } else {
+      answer_tokens.push_back(vocab_.TokenOf(id));
+    }
+  }
+  out.middle = JoinTokens(middle_tokens, middle_is_equation);
+  out.answer = JoinTokens(answer_tokens, middle_is_equation);
+  return out;
+}
+
+lm::ChoiceAnswer Seq2SeqModel::AnswerChoice(
+    const lm::ChoiceQuestion& question) {
+  lm::ChoiceAnswer answer;
+  Result<SeqOutput> generated = Generate(question.prompt, false);
+  if (!generated.ok()) return answer;
+  // The answer part should be a single letter; fall back to the last
+  // letter-like token anywhere in the generation.
+  auto letter_index = [&question](const std::string& token) -> int {
+    if (token.size() != 1) return -1;
+    int idx = token[0] - 'a';
+    if (idx < 0 || idx >= static_cast<int>(question.choices.size())) {
+      return -1;
+    }
+    return idx;
+  };
+  for (const std::string& part : {generated->answer, generated->middle}) {
+    // Scan tokens from the end.
+    std::vector<std::string> tokens = text::SplitWhitespace(part);
+    for (auto it = tokens.rbegin(); it != tokens.rend(); ++it) {
+      int idx = letter_index(*it);
+      if (idx >= 0) {
+        answer.index = idx;
+        return answer;
+      }
+    }
+  }
+  return answer;
+}
+
+std::string Seq2SeqModel::AnswerText(const lm::TextQuestion& question) {
+  Result<SeqOutput> generated = Generate(question.prompt, true);
+  if (!generated.ok()) return "";
+  return generated->middle;
+}
+
+}  // namespace dimqr::solver

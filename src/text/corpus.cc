@@ -1,0 +1,53 @@
+#include "text/corpus.h"
+
+#include "core/rng.h"
+
+namespace dimqr::text {
+
+const std::vector<std::string>& FillerWords() {
+  static const std::vector<std::string>* const kFillers =
+      new std::vector<std::string>{
+          "the",   "a",     "of",      "is",      "was",   "about",
+          "and",   "with",  "measured", "around",  "than",  "at",
+          "record", "value", "reading", "roughly", "its",   "for",
+          "total", "per",   "each",    "this",    "that",  "reported"};
+  return *kFillers;
+}
+
+std::vector<std::vector<std::string>> GenerateClusterCorpus(
+    const std::vector<TopicCluster>& clusters, const CorpusOptions& options) {
+  std::vector<std::vector<std::string>> corpus;
+  dimqr::Rng rng(options.seed);
+  const std::vector<std::string>& fillers = FillerWords();
+
+  std::vector<std::size_t> usable;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    if (!clusters[i].terms.empty()) usable.push_back(i);
+  }
+  if (usable.empty()) return corpus;
+
+  for (std::size_t ci : usable) {
+    const TopicCluster& cluster = clusters[ci];
+    for (int s = 0; s < options.sentences_per_cluster; ++s) {
+      int n_terms = static_cast<int>(rng.UniformInt(
+          options.min_terms_per_sentence, options.max_terms_per_sentence));
+      std::vector<std::string> sentence;
+      for (int t = 0; t < n_terms; ++t) {
+        if (rng.Bernoulli(options.filler_rate)) {
+          sentence.push_back(fillers[rng.Index(fillers.size())]);
+        }
+        const TopicCluster* source = &cluster;
+        if (usable.size() > 1 && rng.Bernoulli(options.cross_cluster_noise)) {
+          std::size_t other = usable[rng.Index(usable.size())];
+          source = &clusters[other];
+        }
+        sentence.push_back(source->terms[rng.Index(source->terms.size())]);
+      }
+      corpus.push_back(std::move(sentence));
+    }
+  }
+  rng.Shuffle(corpus);
+  return corpus;
+}
+
+}  // namespace dimqr::text

@@ -1,0 +1,55 @@
+#ifndef DIMQR_TEXT_CORPUS_H_
+#define DIMQR_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file corpus.h
+/// Synthetic co-occurrence corpus generation.
+///
+/// Substitution (see DESIGN.md): the paper trains its context model on web
+/// corpora rich in quantity talk (physics tests, electronics forums,
+/// CN-DBpedia). Offline, we generate that corpus: each *topic cluster*
+/// groups terms that genuinely co-occur in quantity contexts (a quantity
+/// kind's keywords + its unit surface forms), and sentences are sampled so
+/// that in-cluster terms co-occur far more than cross-cluster terms. A
+/// skip-gram model trained on this reproduces the property the linker needs:
+/// cos(context word, unit keyword) is high within a topic and low across.
+
+namespace dimqr::text {
+
+/// \brief A group of words that should co-occur in the generated corpus.
+struct TopicCluster {
+  std::string name;                ///< Diagnostic label ("temperature").
+  std::vector<std::string> terms;  ///< Words of the topic, already tokenized
+                                   ///< form (lowercase recommended).
+};
+
+/// \brief Options for corpus generation.
+struct CorpusOptions {
+  int sentences_per_cluster = 200;
+  int min_terms_per_sentence = 3;
+  int max_terms_per_sentence = 7;
+  /// Probability that a sentence position draws a generic filler word
+  /// instead of a cluster term (gives the corpus realistic glue).
+  double filler_rate = 0.35;
+  /// Probability that one term of a sentence is sampled from a *different*
+  /// cluster (cross-topic noise; keeps similarities graded, not binary).
+  double cross_cluster_noise = 0.05;
+  std::uint64_t seed = 7;
+};
+
+/// \brief Generates tokenized sentences from topic clusters.
+///
+/// Deterministic for fixed inputs. Clusters with fewer than one term are
+/// skipped.
+std::vector<std::vector<std::string>> GenerateClusterCorpus(
+    const std::vector<TopicCluster>& clusters, const CorpusOptions& options);
+
+/// The shared filler-word inventory used by GenerateClusterCorpus.
+const std::vector<std::string>& FillerWords();
+
+}  // namespace dimqr::text
+
+#endif  // DIMQR_TEXT_CORPUS_H_

@@ -1,0 +1,198 @@
+#include "text/embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/levenshtein.h"
+
+namespace dimqr::text {
+namespace {
+
+float Sigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace
+
+Result<Embedding> Embedding::Train(
+    const std::vector<std::vector<std::string>>& sentences,
+    const EmbeddingConfig& config) {
+  if (config.dimension <= 0 || config.window <= 0 || config.epochs <= 0 ||
+      config.negatives < 0 || config.learning_rate <= 0.0) {
+    return Status::InvalidArgument("bad embedding config");
+  }
+  // Count words.
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const auto& sentence : sentences) {
+    for (const std::string& w : sentence) ++counts[w];
+  }
+  std::vector<std::pair<std::string, std::size_t>> vocab(counts.begin(),
+                                                         counts.end());
+  std::erase_if(vocab, [&](const auto& p) {
+    return p.second < static_cast<std::size_t>(config.min_count);
+  });
+  if (vocab.empty()) {
+    return Status::InvalidArgument(
+        "corpus has no word meeting min_count; cannot train embeddings");
+  }
+  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  Embedding emb;
+  emb.dimension_ = config.dimension;
+  emb.words_.reserve(vocab.size());
+  for (std::size_t i = 0; i < vocab.size(); ++i) {
+    emb.words_.push_back(vocab[i].first);
+    emb.index_[vocab[i].first] = i;
+  }
+  const std::size_t v = emb.words_.size();
+  const auto d = static_cast<std::size_t>(config.dimension);
+
+  // Unigram^0.75 table for negative sampling.
+  std::vector<double> neg_weights(v);
+  for (std::size_t i = 0; i < v; ++i) {
+    neg_weights[i] = std::pow(static_cast<double>(vocab[i].second), 0.75);
+  }
+
+  Rng rng(config.seed);
+  emb.vectors_.assign(v * d, 0.0f);
+  std::vector<float> context(v * d, 0.0f);
+  for (float& x : emb.vectors_) {
+    x = static_cast<float>(rng.UniformReal(-0.5, 0.5)) /
+        static_cast<float>(d);
+  }
+
+  // Pre-index sentences into vocab ids, dropping OOV words.
+  std::vector<std::vector<std::size_t>> encoded;
+  encoded.reserve(sentences.size());
+  for (const auto& sentence : sentences) {
+    std::vector<std::size_t> ids;
+    for (const std::string& w : sentence) {
+      auto it = emb.index_.find(w);
+      if (it != emb.index_.end()) ids.push_back(it->second);
+    }
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+  if (encoded.empty()) {
+    return Status::InvalidArgument("no trainable sentence pairs in corpus");
+  }
+
+  // Count total positions for the learning-rate schedule.
+  std::size_t total_positions = 0;
+  for (const auto& ids : encoded) total_positions += ids.size();
+  total_positions *= static_cast<std::size_t>(config.epochs);
+  std::size_t seen = 0;
+
+  std::vector<float> grad_center(d);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const auto& ids : encoded) {
+      for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+        ++seen;
+        double progress = static_cast<double>(seen) / total_positions;
+        auto lr = static_cast<float>(config.learning_rate *
+                                     std::max(0.05, 1.0 - progress));
+        std::size_t center = ids[pos];
+        auto win = static_cast<std::size_t>(
+            rng.UniformInt(1, config.window));
+        std::size_t lo = pos >= win ? pos - win : 0;
+        std::size_t hi = std::min(ids.size() - 1, pos + win);
+        for (std::size_t cpos = lo; cpos <= hi; ++cpos) {
+          if (cpos == pos) continue;
+          std::size_t ctx = ids[cpos];
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          float* vec_c = &emb.vectors_[center * d];
+          // One positive pair + `negatives` sampled negatives.
+          for (int n = -1; n < config.negatives; ++n) {
+            std::size_t target;
+            float label;
+            if (n < 0) {
+              target = ctx;
+              label = 1.0f;
+            } else {
+              target = rng.WeightedIndex(neg_weights);
+              if (target == ctx) continue;
+              label = 0.0f;
+            }
+            float* vec_t = &context[target * d];
+            float dot = 0.0f;
+            for (std::size_t k = 0; k < d; ++k) dot += vec_c[k] * vec_t[k];
+            float g = (label - Sigmoid(dot)) * lr;
+            for (std::size_t k = 0; k < d; ++k) {
+              grad_center[k] += g * vec_t[k];
+              vec_t[k] += g * vec_c[k];
+            }
+          }
+          for (std::size_t k = 0; k < d; ++k) vec_c[k] += grad_center[k];
+        }
+      }
+    }
+  }
+
+  emb.norms_.resize(v);
+  for (std::size_t i = 0; i < v; ++i) {
+    float s = 0.0f;
+    for (std::size_t k = 0; k < d; ++k) {
+      float x = emb.vectors_[i * d + k];
+      s += x * x;
+    }
+    emb.norms_[i] = std::sqrt(s);
+  }
+  return emb;
+}
+
+bool Embedding::Contains(std::string_view word) const {
+  return index_.contains(std::string(word));
+}
+
+const float* Embedding::VectorOf(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  if (it == index_.end()) return nullptr;
+  return &vectors_[it->second * static_cast<std::size_t>(dimension_)];
+}
+
+double Embedding::CosineByIndex(std::size_t i, std::size_t j) const {
+  const auto d = static_cast<std::size_t>(dimension_);
+  const float* a = &vectors_[i * d];
+  const float* b = &vectors_[j * d];
+  float dot = 0.0f;
+  for (std::size_t k = 0; k < d; ++k) dot += a[k] * b[k];
+  float denom = norms_[i] * norms_[j];
+  if (denom <= 0.0f) return 0.0;
+  return dot / denom;
+}
+
+double Embedding::CosineSimilarity(std::string_view a,
+                                   std::string_view b) const {
+  auto ia = index_.find(std::string(a));
+  auto ib = index_.find(std::string(b));
+  if (ia == index_.end() || ib == index_.end()) {
+    // OOV fallback: graded surface similarity keeps rare unit forms usable.
+    return LevenshteinSimilarityIgnoreCase(a, b);
+  }
+  if (ia->second == ib->second) return 1.0;
+  return CosineByIndex(ia->second, ib->second);
+}
+
+std::vector<std::pair<std::string, double>> Embedding::MostSimilar(
+    std::string_view word, std::size_t k) const {
+  auto it = index_.find(std::string(word));
+  if (it == index_.end()) return {};
+  std::vector<std::pair<std::string, double>> scored;
+  scored.reserve(words_.size());
+  for (std::size_t j = 0; j < words_.size(); ++j) {
+    if (j == it->second) continue;
+    scored.emplace_back(words_[j], CosineByIndex(it->second, j));
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace dimqr::text

@@ -1,0 +1,42 @@
+#include "text/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "text/string_util.h"
+
+namespace dimqr::text {
+
+std::size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  std::vector<std::string> ca = Utf8CodePoints(a);
+  std::vector<std::string> cb = Utf8CodePoints(b);
+  if (ca.empty()) return cb.size();
+  if (cb.empty()) return ca.size();
+  // Two-row dynamic program.
+  std::vector<std::size_t> prev(cb.size() + 1), cur(cb.size() + 1);
+  for (std::size_t j = 0; j <= cb.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= ca.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= cb.size(); ++j) {
+      std::size_t sub = prev[j - 1] + (ca[i - 1] == cb[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[cb.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  std::size_t la = Utf8Length(a), lb = Utf8Length(b);
+  std::size_t longest = std::max(la, lb);
+  if (longest == 0) return 1.0;
+  std::size_t d = LevenshteinDistance(a, b);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(longest);
+}
+
+double LevenshteinSimilarityIgnoreCase(std::string_view a,
+                                       std::string_view b) {
+  return LevenshteinSimilarity(ToLowerAscii(a), ToLowerAscii(b));
+}
+
+}  // namespace dimqr::text

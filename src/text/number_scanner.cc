@@ -1,0 +1,210 @@
+#include "text/number_scanner.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace dimqr::text {
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Tries to match one numeric mention starting exactly at `pos`.
+/// Returns the end offset (exclusive) or pos if no match.
+struct Match {
+  std::size_t end = 0;
+  double value = 0.0;
+  std::optional<dimqr::Rational> exact;
+  bool is_percent = false;
+  bool is_fraction = false;
+};
+
+std::optional<Match> MatchAt(std::string_view s, std::size_t pos,
+                             bool allow_fraction = true) {
+  std::size_t i = pos;
+  bool neg = false;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+    neg = s[i] == '-';
+    ++i;
+  }
+  if (i >= s.size() || !IsDigit(s[i])) return std::nullopt;
+
+  // Integer part, allowing comma grouping ("1,250,000"): a comma must be
+  // followed by exactly three digits to count as grouping.
+  std::string digits;
+  while (i < s.size()) {
+    if (IsDigit(s[i])) {
+      digits += s[i++];
+    } else if (s[i] == ',' && i + 3 < s.size() + 1 && i + 3 <= s.size() &&
+               IsDigit(s[i + 1]) && IsDigit(s[i + 2]) && IsDigit(s[i + 3]) &&
+               (i + 4 >= s.size() || !IsDigit(s[i + 4]))) {
+      digits += s.substr(i + 1, 3);
+      i += 4;
+    } else {
+      break;
+    }
+  }
+
+  std::string frac;
+  bool has_dot = false;
+  if (i < s.size() && s[i] == '.' && i + 1 < s.size() && IsDigit(s[i + 1])) {
+    has_dot = true;
+    ++i;
+    while (i < s.size() && IsDigit(s[i])) frac += s[i++];
+  }
+
+  int exp10 = 0;
+  bool has_exp = false;
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    std::size_t j = i + 1;
+    bool exp_neg = false;
+    if (j < s.size() && (s[j] == '-' || s[j] == '+')) {
+      exp_neg = s[j] == '-';
+      ++j;
+    }
+    if (j < s.size() && IsDigit(s[j])) {
+      int e = 0;
+      while (j < s.size() && IsDigit(s[j]) && e < 1000) {
+        e = e * 10 + (s[j] - '0');
+        ++j;
+      }
+      // Only treat as an exponent when not immediately followed by a word
+      // character ("3em" is not scientific notation).
+      if (j >= s.size() || !IsWordChar(s[j])) {
+        has_exp = true;
+        exp10 = exp_neg ? -e : e;
+        i = j;
+      }
+    }
+  }
+
+  // Simple fraction "a/b" (no dot/exponent on the numerator).
+  bool is_fraction = false;
+  std::string denom;
+  if (allow_fraction && !has_dot && !has_exp && i < s.size() && s[i] == '/' &&
+      i + 1 < s.size() && IsDigit(s[i + 1])) {
+    std::size_t j = i + 1;
+    while (j < s.size() && IsDigit(s[j])) denom += s[j++];
+    // Avoid eating dates like 3/4/2024 or identifiers like 1/2x.
+    if (j >= s.size() || (!IsWordChar(s[j]) && s[j] != '/')) {
+      is_fraction = true;
+      i = j;
+    } else {
+      denom.clear();
+    }
+  }
+
+  bool is_percent = false;
+  if (i < s.size() && s[i] == '%') {
+    is_percent = true;
+    ++i;
+  }
+
+  Match m;
+  m.end = i;
+  m.is_percent = is_percent;
+  m.is_fraction = is_fraction;
+
+  // Compose the value.
+  std::string literal = digits;
+  if (has_dot) literal += "." + frac;
+  if (has_exp) literal += "e" + std::to_string(exp10);
+  double v = std::strtod(literal.c_str(), nullptr);
+  if (is_fraction) {
+    double d = std::strtod(denom.c_str(), nullptr);
+    if (d == 0.0) return std::nullopt;  // "3/0" is not a number mention
+    v /= d;
+  }
+  if (is_percent) v /= 100.0;
+  if (neg) v = -v;
+  m.value = v;
+
+  // Exact rational when the literal is small enough.
+  std::string exact_text = (neg ? "-" : "") + digits;
+  if (has_dot) exact_text += "." + frac;
+  if (has_exp) exact_text += "e" + std::to_string(exp10);
+  dimqr::Result<dimqr::Rational> exact = dimqr::Rational::Parse(exact_text);
+  if (exact.ok()) {
+    dimqr::Rational r = *exact;
+    bool exact_ok = true;
+    if (is_fraction) {
+      dimqr::Result<dimqr::Rational> den = dimqr::Rational::Parse(denom);
+      if (den.ok() && !den->IsZero()) {
+        dimqr::Result<dimqr::Rational> q = r.Div(*den);
+        if (q.ok()) {
+          r = *q;
+        } else {
+          exact_ok = false;
+        }
+      } else {
+        exact_ok = false;
+      }
+    }
+    if (exact_ok && is_percent) {
+      dimqr::Result<dimqr::Rational> q =
+          r.Div(dimqr::Rational(100));
+      if (q.ok()) {
+        r = *q;
+      } else {
+        exact_ok = false;
+      }
+    }
+    if (exact_ok) m.exact = r;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<NumberMention> ScanNumbers(std::string_view textv) {
+  std::vector<NumberMention> out;
+  std::size_t i = 0;
+  while (i < textv.size()) {
+    char c = textv[i];
+    bool could_start = IsDigit(c) || c == '-' || c == '+';
+    if (could_start) {
+      // A sign or digit glued to the end of a word is not a number start
+      // ("LPUI-1T", "abc123" — Algorithm 1's false-positive example).
+      bool glued = i > 0 && IsWordChar(textv[i - 1]);
+      // A number right after '/' must not re-read as a fraction head:
+      // "3/4/2024" would otherwise yield the bogus fraction "4/2024".
+      bool after_slash = i > 0 && textv[i - 1] == '/';
+      if (!glued) {
+        std::optional<Match> m = MatchAt(textv, i, !after_slash);
+        if (m.has_value()) {
+          NumberMention nm;
+          nm.begin = i;
+          nm.end = m->end;
+          nm.value = m->value;
+          nm.exact = m->exact;
+          nm.is_percent = m->is_percent;
+          nm.is_fraction = m->is_fraction;
+          out.push_back(nm);
+          i = m->end;
+          continue;
+        }
+      }
+    }
+    ++i;
+  }
+  return out;
+}
+
+std::optional<NumberMention> ParseNumber(std::string_view textv) {
+  std::optional<Match> m = MatchAt(textv, 0);
+  if (!m.has_value() || m->end != textv.size()) return std::nullopt;
+  NumberMention nm;
+  nm.begin = 0;
+  nm.end = m->end;
+  nm.value = m->value;
+  nm.exact = m->exact;
+  nm.is_percent = m->is_percent;
+  nm.is_fraction = m->is_fraction;
+  return nm;
+}
+
+}  // namespace dimqr::text

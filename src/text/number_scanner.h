@@ -1,0 +1,50 @@
+#ifndef DIMQR_TEXT_NUMBER_SCANNER_H_
+#define DIMQR_TEXT_NUMBER_SCANNER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rational.h"
+
+/// \file number_scanner.h
+/// Locates numeric value mentions in running text — the first stage of the
+/// heuristic quantity annotator used by Algorithm 1 ("utilizing regular
+/// expressions to extract values, followed by attempts to link subsequent
+/// mentions ... as units").
+///
+/// Recognized forms: integers ("42"), comma-grouped integers ("1,250"),
+/// decimals ("2.06"), scientific notation ("3e8", "1.5E-3"), simple
+/// fractions ("3/4"), percentages ("20%"), and signed variants when the
+/// sign is not glued to a preceding word character.
+
+namespace dimqr::text {
+
+/// \brief A numeric mention found in text.
+struct NumberMention {
+  std::size_t begin = 0;  ///< Byte offset of the first character.
+  std::size_t end = 0;    ///< Byte offset one past the last character.
+  double value = 0.0;     ///< Parsed value; percentages are divided by 100.
+  /// Exact rational value when representable (empty for huge literals).
+  std::optional<dimqr::Rational> exact;
+  bool is_percent = false;
+  bool is_fraction = false;
+
+  /// The source text of the mention.
+  std::string_view TextIn(std::string_view source) const {
+    return source.substr(begin, end - begin);
+  }
+};
+
+/// \brief Scans `textv` and returns all numeric mentions, left to right,
+/// non-overlapping (longest match wins at each position).
+std::vector<NumberMention> ScanNumbers(std::string_view textv);
+
+/// \brief Parses an entire string as one number (no surrounding text).
+/// Returns empty when the string is not exactly one numeric mention.
+std::optional<NumberMention> ParseNumber(std::string_view textv);
+
+}  // namespace dimqr::text
+
+#endif  // DIMQR_TEXT_NUMBER_SCANNER_H_

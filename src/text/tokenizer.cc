@@ -1,0 +1,132 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/string_util.h"
+
+namespace dimqr::text {
+namespace {
+
+bool IsAsciiWord(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsAsciiDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Decodes the UTF-8 code point starting at s[i]; returns its byte length.
+std::size_t CodePointLen(std::string_view s, std::size_t i) {
+  auto lead = static_cast<unsigned char>(s[i]);
+  std::size_t len = 1;
+  if (lead >= 0xF0) {
+    len = 4;
+  } else if (lead >= 0xE0) {
+    len = 3;
+  } else if (lead >= 0xC0) {
+    len = 2;
+  }
+  if (i + len > s.size()) return 1;
+  for (std::size_t k = 1; k < len; ++k) {
+    if ((static_cast<unsigned char>(s[i + k]) & 0xC0) != 0x80) return 1;
+  }
+  return len;
+}
+
+std::uint32_t DecodeCodePoint(std::string_view s, std::size_t i,
+                              std::size_t len) {
+  auto b0 = static_cast<unsigned char>(s[i]);
+  switch (len) {
+    case 1:
+      return b0;
+    case 2:
+      return ((b0 & 0x1Fu) << 6) |
+             (static_cast<unsigned char>(s[i + 1]) & 0x3Fu);
+    case 3:
+      return ((b0 & 0x0Fu) << 12) |
+             ((static_cast<unsigned char>(s[i + 1]) & 0x3Fu) << 6) |
+             (static_cast<unsigned char>(s[i + 2]) & 0x3Fu);
+    default:
+      return ((b0 & 0x07u) << 18) |
+             ((static_cast<unsigned char>(s[i + 1]) & 0x3Fu) << 12) |
+             ((static_cast<unsigned char>(s[i + 2]) & 0x3Fu) << 6) |
+             (static_cast<unsigned char>(s[i + 3]) & 0x3Fu);
+  }
+}
+
+bool IsCjk(std::uint32_t cp) {
+  return (cp >= 0x4E00 && cp <= 0x9FFF) ||    // CJK Unified Ideographs
+         (cp >= 0x3400 && cp <= 0x4DBF) ||    // Extension A
+         (cp >= 0xF900 && cp <= 0xFAFF);      // Compatibility Ideographs
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view textv) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < textv.size()) {
+    char c = textv[i];
+    auto u = static_cast<unsigned char>(c);
+    if (u < 0x80) {
+      if (std::isspace(u)) {
+        ++i;
+        continue;
+      }
+      if (IsAsciiWord(c)) {
+        std::size_t start = i;
+        bool all_digits = true;
+        bool seen_dot = false;
+        while (i < textv.size()) {
+          char d = textv[i];
+          if (IsAsciiWord(d)) {
+            if (!IsAsciiDigit(d)) all_digits = false;
+            ++i;
+          } else if (d == '.' && all_digits && !seen_dot &&
+                     i + 1 < textv.size() && IsAsciiDigit(textv[i + 1])) {
+            // Keep decimals like "2.06" as one number token.
+            seen_dot = true;
+            ++i;
+          } else {
+            break;
+          }
+        }
+        Token t;
+        t.text = std::string(textv.substr(start, i - start));
+        t.begin = start;
+        t.end = i;
+        t.kind = all_digits ? Token::Kind::kNumber : Token::Kind::kWord;
+        out.push_back(std::move(t));
+        continue;
+      }
+      // Single ASCII punctuation mark.
+      Token t;
+      t.text = std::string(1, c);
+      t.begin = i;
+      t.end = i + 1;
+      t.kind = Token::Kind::kPunct;
+      out.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    // Multi-byte code point.
+    std::size_t len = CodePointLen(textv, i);
+    std::uint32_t cp = DecodeCodePoint(textv, i, len);
+    Token t;
+    t.text = std::string(textv.substr(i, len));
+    t.begin = i;
+    t.end = i + len;
+    t.kind = IsCjk(cp) ? Token::Kind::kCjk : Token::Kind::kPunct;
+    out.push_back(std::move(t));
+    i += len;
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeLower(std::string_view textv) {
+  std::vector<std::string> out;
+  for (Token& t : Tokenize(textv)) {
+    out.push_back(ToLowerAscii(t.text));
+  }
+  return out;
+}
+
+}  // namespace dimqr::text

@@ -1,0 +1,43 @@
+#ifndef DIMQR_TEXT_TOKENIZER_H_
+#define DIMQR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file tokenizer.h
+/// Word-level tokenization for context models and language-model vocabularies.
+///
+/// The tokenizer is deliberately simple and deterministic: ASCII words
+/// (letters/digits/'_'), numbers, single CJK code points (so mixed
+/// Chinese/English unit text segments sanely), and single punctuation marks.
+/// It stands in for the "Word2Vec tokenizer" of Section III-B2.
+
+namespace dimqr::text {
+
+/// \brief A token with its byte span in the source text.
+struct Token {
+  std::string text;
+  std::size_t begin = 0;  ///< Byte offset of the first byte.
+  std::size_t end = 0;    ///< One past the last byte.
+
+  enum class Kind { kWord, kNumber, kCjk, kPunct };
+  Kind kind = Kind::kWord;
+
+  friend bool operator==(const Token& a, const Token& b) {
+    return a.text == b.text && a.begin == b.begin && a.end == b.end &&
+           a.kind == b.kind;
+  }
+};
+
+/// \brief Tokenizes text into words/numbers/CJK chars/punctuation.
+/// Whitespace separates tokens and is never emitted.
+std::vector<Token> Tokenize(std::string_view textv);
+
+/// \brief Tokenize and return lowercase token strings only (the common
+/// input shape for embedding training and context similarity).
+std::vector<std::string> TokenizeLower(std::string_view textv);
+
+}  // namespace dimqr::text
+
+#endif  // DIMQR_TEXT_TOKENIZER_H_

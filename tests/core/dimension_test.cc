@@ -1,0 +1,195 @@
+#include "core/dimension.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dimqr {
+namespace {
+
+TEST(DimensionTest, DefaultIsDimensionless) {
+  Dimension d;
+  EXPECT_TRUE(d.IsDimensionless());
+  EXPECT_EQ(d.ToFormula(), "D");
+  EXPECT_EQ(d.ToVectorForm(), "A0E0L0I0M0H0T0D1");
+}
+
+TEST(DimensionTest, BaseConstruction) {
+  Dimension len = Dimension::Base(BaseDim::kLength);
+  EXPECT_EQ(len.exponent(BaseDim::kLength), 1);
+  EXPECT_EQ(len.exponent(BaseDim::kMass), 0);
+  EXPECT_FALSE(len.IsDimensionless());
+  EXPECT_EQ(len.ToFormula(), "L");
+}
+
+TEST(DimensionTest, PaperExampleForce) {
+  // Fig. 1: dim(poundal) = LMT^-2.
+  Dimension force = dims::Force();
+  EXPECT_EQ(force.ToFormula(), "LMT-2");
+  EXPECT_EQ(force.ToVectorForm(), "A0E0L1I0M1H0T-2D0");
+}
+
+TEST(DimensionTest, PaperExampleForcePerLength) {
+  // Fig. 1: dim(dyn/cm) = MT^-2, vector form A0E0L0I0M1H0T-2D0.
+  Dimension fpl = dims::ForcePerLength();
+  EXPECT_EQ(fpl.ToFormula(), "MT-2");
+  EXPECT_EQ(fpl.ToVectorForm(), "A0E0L0I0M1H0T-2D0");
+}
+
+TEST(DimensionTest, PaperExampleVolumeFlowRate) {
+  // Table I: dim(gill/h) = L^3 T^-1.
+  EXPECT_EQ(dims::VolumeFlowRate().ToFormula(), "L3T-1");
+}
+
+TEST(DimensionTest, TimesAddsExponents) {
+  Dimension e = dims::Energy();  // L2MT-2
+  Dimension l = dims::Length();
+  Dimension el = e.Times(l).ValueOrDie();
+  EXPECT_EQ(el.exponent(BaseDim::kLength), 3);
+  EXPECT_EQ(el.exponent(BaseDim::kMass), 1);
+  EXPECT_EQ(el.exponent(BaseDim::kTime), -2);
+}
+
+TEST(DimensionTest, OverSubtractsExponents) {
+  Dimension v = dims::Velocity();
+  Dimension t = dims::Time();
+  EXPECT_EQ(v.Over(t).ValueOrDie(), dims::Acceleration());
+}
+
+TEST(DimensionTest, GroupLaws) {
+  Dimension f = dims::Force();
+  Dimension p = dims::Pressure();
+  // Identity element.
+  EXPECT_EQ(f.Times(Dimension()).ValueOrDie(), f);
+  // Inverse element.
+  EXPECT_TRUE(f.Times(f.Inverse()).ValueOrDie().IsDimensionless());
+  // Commutativity.
+  EXPECT_EQ(f.Times(p).ValueOrDie(), p.Times(f).ValueOrDie());
+  // Associativity.
+  Dimension v = dims::Velocity();
+  EXPECT_EQ(f.Times(p).ValueOrDie().Times(v).ValueOrDie(),
+            f.Times(p.Times(v).ValueOrDie()).ValueOrDie());
+}
+
+TEST(DimensionTest, PowerScalesExponents) {
+  Dimension l = dims::Length();
+  EXPECT_EQ(l.Power(3).ValueOrDie(), dims::Volume());
+  EXPECT_EQ(l.Power(0).ValueOrDie(), Dimension());
+  EXPECT_EQ(dims::Velocity().Power(2).ValueOrDie().ToFormula(), "L2T-2");
+  EXPECT_EQ(l.Power(-1).ValueOrDie(), l.Inverse());
+}
+
+TEST(DimensionTest, OverflowDetected) {
+  Dimension big = Dimension::Base(BaseDim::kLength, 100);
+  EXPECT_EQ(big.Times(big).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(big.Power(2).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DimensionTest, ComparableWithIsDimensionEquality) {
+  EXPECT_TRUE(dims::Energy().ComparableWith(dims::Energy()));
+  // Classic: torque and energy share a dimension.
+  Dimension torque = dims::Force().Times(dims::Length()).ValueOrDie();
+  EXPECT_TRUE(torque.ComparableWith(dims::Energy()));
+  EXPECT_FALSE(dims::Force().ComparableWith(dims::Energy()));
+}
+
+TEST(DimensionTest, ParseVectorForm) {
+  Dimension d = Dimension::ParseVectorForm("A0E0L1I0M1H0T-2D0").ValueOrDie();
+  EXPECT_EQ(d, dims::Force());
+  // D component optional.
+  EXPECT_EQ(Dimension::ParseVectorForm("L1M1T-2").ValueOrDie(), dims::Force());
+  // Order-insensitive.
+  EXPECT_EQ(Dimension::ParseVectorForm("T-2M1L1").ValueOrDie(), dims::Force());
+}
+
+TEST(DimensionTest, ParseVectorFormValidatesDFlag) {
+  EXPECT_FALSE(Dimension::ParseVectorForm("L1D1").ok());
+  EXPECT_FALSE(Dimension::ParseVectorForm("L0D0").ok());
+  EXPECT_TRUE(Dimension::ParseVectorForm("L0D1").ok());
+}
+
+TEST(DimensionTest, ParseVectorFormRejectsMalformed) {
+  EXPECT_FALSE(Dimension::ParseVectorForm("Z1").ok());
+  EXPECT_FALSE(Dimension::ParseVectorForm("L").ok());
+  EXPECT_FALSE(Dimension::ParseVectorForm("L1L2").ok());
+  EXPECT_FALSE(Dimension::ParseVectorForm("D2").ok());
+  EXPECT_FALSE(Dimension::ParseVectorForm("L999").ok());
+}
+
+TEST(DimensionTest, ParseFormula) {
+  EXPECT_EQ(Dimension::ParseFormula("LMT-2").ValueOrDie(), dims::Force());
+  EXPECT_EQ(Dimension::ParseFormula("L M T^-2").ValueOrDie(), dims::Force());
+  EXPECT_EQ(Dimension::ParseFormula("L3T-1").ValueOrDie(),
+            dims::VolumeFlowRate());
+  EXPECT_EQ(Dimension::ParseFormula("D").ValueOrDie(), Dimension());
+  EXPECT_FALSE(Dimension::ParseFormula("").ok());
+  EXPECT_FALSE(Dimension::ParseFormula("Q2").ok());
+}
+
+TEST(DimensionTest, FormulaRoundTrip) {
+  for (const Dimension& d :
+       {dims::Force(), dims::Energy(), dims::Pressure(), dims::Power(),
+        dims::Density(), dims::Frequency(), Dimension()}) {
+    EXPECT_EQ(Dimension::ParseFormula(d.ToFormula()).ValueOrDie(), d);
+    EXPECT_EQ(Dimension::ParseVectorForm(d.ToVectorForm()).ValueOrDie(), d);
+  }
+}
+
+TEST(DimensionTest, PackedKeyIsInjectiveOverCommonDims) {
+  std::vector<Dimension> all = {
+      Dimension(),       dims::Length(),   dims::Mass(),
+      dims::Time(),      dims::Current(),  dims::Temperature(),
+      dims::Amount(),    dims::LuminousIntensity(),
+      dims::Area(),      dims::Volume(),   dims::Velocity(),
+      dims::Acceleration(), dims::Force(), dims::Pressure(),
+      dims::Energy(),    dims::Power(),    dims::Frequency(),
+      dims::Density(),   dims::VolumeFlowRate(), dims::ForcePerLength()};
+  std::unordered_set<std::uint64_t> keys;
+  for (const Dimension& d : all) keys.insert(d.PackedKey());
+  EXPECT_EQ(keys.size(), all.size());
+}
+
+TEST(DimensionTest, HashUsableInUnorderedSet) {
+  std::unordered_set<Dimension, DimensionHash> set;
+  set.insert(dims::Force());
+  set.insert(dims::Force());
+  set.insert(dims::Energy());
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(dims::Force()));
+}
+
+TEST(DimensionTest, BaseDimMetadataMatchesTableIII) {
+  EXPECT_EQ(BaseDimSymbol(BaseDim::kAmountOfSubstance), 'A');
+  EXPECT_EQ(BaseDimUnitSymbol(BaseDim::kAmountOfSubstance), "mol");
+  EXPECT_EQ(BaseDimSymbol(BaseDim::kElectricCurrent), 'E');
+  EXPECT_EQ(BaseDimUnitSymbol(BaseDim::kElectricCurrent), "A");
+  EXPECT_EQ(BaseDimSymbol(BaseDim::kLength), 'L');
+  EXPECT_EQ(BaseDimUnitName(BaseDim::kLength), "metre");
+  EXPECT_EQ(BaseDimSymbol(BaseDim::kLuminousIntensity), 'I');
+  EXPECT_EQ(BaseDimUnitSymbol(BaseDim::kLuminousIntensity), "cd");
+  EXPECT_EQ(BaseDimSymbol(BaseDim::kMass), 'M');
+  EXPECT_EQ(BaseDimUnitName(BaseDim::kMass), "kilogram");
+  EXPECT_EQ(BaseDimSymbol(BaseDim::kTemperature), 'H');
+  EXPECT_EQ(BaseDimUnitSymbol(BaseDim::kTemperature), "K");
+  EXPECT_EQ(BaseDimSymbol(BaseDim::kTime), 'T');
+  EXPECT_EQ(BaseDimQuantityName(BaseDim::kTime), "Time");
+}
+
+/// Property sweep over exponent grids: ToVectorForm/Parse round-trips.
+class DimensionGridTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DimensionGridTest, VectorFormRoundTripsOnGrid) {
+  int v = GetParam();
+  for (int axis = 0; axis < kNumBaseDims; ++axis) {
+    Dimension d = Dimension::Base(static_cast<BaseDim>(axis), v);
+    EXPECT_EQ(Dimension::ParseVectorForm(d.ToVectorForm()).ValueOrDie(), d)
+        << d.ToVectorForm();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, DimensionGridTest,
+                         ::testing::Values(-8, -3, -2, -1, 1, 2, 3, 8, 127,
+                                           -128));
+
+}  // namespace
+}  // namespace dimqr

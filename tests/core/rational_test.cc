@@ -1,0 +1,174 @@
+#include "core/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace dimqr {
+namespace {
+
+Rational R(std::int64_t n, std::int64_t d = 1) {
+  return Rational::Of(n, d).ValueOrDie();
+}
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(r.numerator(), 0);
+  EXPECT_EQ(r.denominator(), 1);
+}
+
+TEST(RationalTest, ReducesToLowestTerms) {
+  Rational r = R(6, 4);
+  EXPECT_EQ(r.numerator(), 3);
+  EXPECT_EQ(r.denominator(), 2);
+}
+
+TEST(RationalTest, NormalizesSignToNumerator) {
+  Rational r = R(3, -6);
+  EXPECT_EQ(r.numerator(), -1);
+  EXPECT_EQ(r.denominator(), 2);
+  EXPECT_TRUE(r.IsNegative());
+}
+
+TEST(RationalTest, ZeroDenominatorFails) {
+  EXPECT_EQ(Rational::Of(1, 0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RationalTest, Int64MinHandled) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  Rational r = Rational::Of(kMin, 2).ValueOrDie();
+  EXPECT_EQ(r.numerator(), kMin / 2);
+  EXPECT_EQ(r.denominator(), 1);
+  // kMin / kMin reduces to 1.
+  EXPECT_TRUE(Rational::Of(kMin, kMin).ValueOrDie().IsOne());
+}
+
+TEST(RationalTest, Arithmetic) {
+  EXPECT_EQ(R(1, 2).Add(R(1, 3)).ValueOrDie(), R(5, 6));
+  EXPECT_EQ(R(1, 2).Sub(R(1, 3)).ValueOrDie(), R(1, 6));
+  EXPECT_EQ(R(2, 3).Mul(R(3, 4)).ValueOrDie(), R(1, 2));
+  EXPECT_EQ(R(2, 3).Div(R(4, 3)).ValueOrDie(), R(1, 2));
+}
+
+TEST(RationalTest, DivisionByZeroFails) {
+  EXPECT_EQ(R(1).Div(R(0)).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(R(0).Inverse().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RationalTest, PowPositiveNegativeZero) {
+  EXPECT_EQ(R(2, 3).Pow(2).ValueOrDie(), R(4, 9));
+  EXPECT_EQ(R(2, 3).Pow(-2).ValueOrDie(), R(9, 4));
+  EXPECT_EQ(R(7, 5).Pow(0).ValueOrDie(), R(1));
+  EXPECT_EQ(R(0).Pow(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RationalTest, OverflowDetected) {
+  constexpr std::int64_t kBig = std::numeric_limits<std::int64_t>::max();
+  Rational big = R(kBig);
+  EXPECT_EQ(big.Mul(big).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(big.Add(big).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RationalTest, OverflowCancelsWhenReducible) {
+  // (2^62 / 3) * (3 / 2^62) == 1 despite huge intermediates.
+  Rational a = R(std::int64_t{1} << 62, 3);
+  Rational b = R(3, std::int64_t{1} << 62);
+  EXPECT_TRUE(a.Mul(b).ValueOrDie().IsOne());
+}
+
+TEST(RationalTest, Ordering) {
+  EXPECT_LT(R(1, 3), R(1, 2));
+  EXPECT_LT(R(-1, 2), R(0));
+  EXPECT_GE(R(5, 4), R(5, 4));
+  EXPECT_GT(R(7, 2), R(10, 3));
+}
+
+TEST(RationalTest, ParseInteger) {
+  EXPECT_EQ(Rational::Parse("42").ValueOrDie(), R(42));
+  EXPECT_EQ(Rational::Parse("-7").ValueOrDie(), R(-7));
+  EXPECT_EQ(Rational::Parse("+3").ValueOrDie(), R(3));
+}
+
+TEST(RationalTest, ParseFraction) {
+  EXPECT_EQ(Rational::Parse("127/50").ValueOrDie(), R(127, 50));
+  EXPECT_EQ(Rational::Parse("-3/9").ValueOrDie(), R(-1, 3));
+}
+
+TEST(RationalTest, ParseDecimal) {
+  EXPECT_EQ(Rational::Parse("2.54").ValueOrDie(), R(127, 50));
+  EXPECT_EQ(Rational::Parse("0.001").ValueOrDie(), R(1, 1000));
+  EXPECT_EQ(Rational::Parse("-0.5").ValueOrDie(), R(-1, 2));
+}
+
+TEST(RationalTest, ParseScientific) {
+  EXPECT_EQ(Rational::Parse("1e3").ValueOrDie(), R(1000));
+  EXPECT_EQ(Rational::Parse("2.5e-2").ValueOrDie(), R(1, 40));
+  EXPECT_EQ(Rational::Parse("1E6").ValueOrDie(), R(1000000));
+}
+
+TEST(RationalTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Rational::Parse("").ok());
+  EXPECT_FALSE(Rational::Parse("abc").ok());
+  EXPECT_FALSE(Rational::Parse("1/").ok());
+  EXPECT_FALSE(Rational::Parse("/2").ok());
+  EXPECT_FALSE(Rational::Parse("1.2.3").ok());
+  EXPECT_FALSE(Rational::Parse("1e").ok());
+  EXPECT_FALSE(Rational::Parse("--2").ok());
+}
+
+TEST(RationalTest, FromDoubleRecoversSimpleRatios) {
+  EXPECT_EQ(Rational::FromDouble(0.5).ValueOrDie(), R(1, 2));
+  EXPECT_EQ(Rational::FromDouble(2.54).ValueOrDie(), R(127, 50));
+  EXPECT_EQ(Rational::FromDouble(-0.2).ValueOrDie(), R(-1, 5));
+  EXPECT_EQ(Rational::FromDouble(3.0).ValueOrDie(), R(3));
+}
+
+TEST(RationalTest, FromDoubleRejectsNonFinite) {
+  EXPECT_FALSE(Rational::FromDouble(std::numeric_limits<double>::infinity()).ok());
+  EXPECT_FALSE(Rational::FromDouble(std::numeric_limits<double>::quiet_NaN()).ok());
+}
+
+TEST(RationalTest, ToStringRoundTrips) {
+  EXPECT_EQ(R(5).ToString(), "5");
+  EXPECT_EQ(R(-3, 7).ToString(), "-3/7");
+  EXPECT_EQ(Rational::Parse(R(-3, 7).ToString()).ValueOrDie(), R(-3, 7));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(R(1, 4).ToDouble(), 0.25);
+  EXPECT_DOUBLE_EQ(R(-7, 2).ToDouble(), -3.5);
+}
+
+/// Property sweep: exact conversion chains never drift. Multiplying by a
+/// factor and dividing by the same factor is the identity.
+class RationalRoundTripTest
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(RationalRoundTripTest, MulDivRoundTrip) {
+  auto [n, d] = GetParam();
+  Rational f = R(n, d);
+  Rational x = R(981, 100);
+  Rational there = x.Mul(f).ValueOrDie();
+  Rational back = there.Div(f).ValueOrDie();
+  EXPECT_EQ(back, x);
+}
+
+TEST_P(RationalRoundTripTest, InverseIsInvolution) {
+  auto [n, d] = GetParam();
+  Rational f = R(n, d);
+  EXPECT_EQ(f.Inverse().ValueOrDie().Inverse().ValueOrDie(), f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConversionFactors, RationalRoundTripTest,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{127, 50},
+                      std::pair<std::int64_t, std::int64_t>{1000, 1},
+                      std::pair<std::int64_t, std::int64_t>{1, 3600},
+                      std::pair<std::int64_t, std::int64_t>{45359237, 100000000},
+                      std::pair<std::int64_t, std::int64_t>{1609344, 1000},
+                      std::pair<std::int64_t, std::int64_t>{-5, 9}));
+
+}  // namespace
+}  // namespace dimqr

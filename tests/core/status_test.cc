@@ -1,0 +1,105 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dimqr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("unit 'blorp'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "unit 'blorp'");
+  EXPECT_EQ(s.ToString(), "NotFound: unit 'blorp'");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::ParseError("x"), Status::ParseError("x"));
+  EXPECT_FALSE(Status::ParseError("x") == Status::ParseError("y"));
+  EXPECT_FALSE(Status::ParseError("x") == Status::IOError("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDimensionMismatch),
+            "DimensionMismatch");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("too big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> Quarter(int v) {
+  DIMQR_ASSIGN_OR_RETURN(int h, Half(v));
+  DIMQR_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  EXPECT_EQ(Quarter(8).ValueOrDie(), 2);
+  EXPECT_EQ(Quarter(6).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Quarter(5).status().code(), StatusCode::kInvalidArgument);
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status CheckAll(int a, int b) {
+  DIMQR_RETURN_NOT_OK(FailIfNegative(a));
+  DIMQR_RETURN_NOT_OK(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(CheckAll(1, 2).ok());
+  EXPECT_FALSE(CheckAll(-1, 2).ok());
+  EXPECT_FALSE(CheckAll(1, -2).ok());
+}
+
+}  // namespace
+}  // namespace dimqr

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/harness.h"
+#include "eval/table.h"
+#include "lm/mock_llm.h"
+
+namespace dimqr::eval {
+namespace {
+
+// ------------------------------------------------------------- metrics
+
+TEST(ChoiceMetricsTest, PrecisionRecallF1) {
+  ChoiceMetrics m;
+  m.total = 100;
+  m.answered = 80;
+  m.correct = 60;
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.60);
+  EXPECT_NEAR(m.F1(), 2 * 0.75 * 0.6 / (0.75 + 0.6), 1e-12);
+}
+
+TEST(ChoiceMetricsTest, DegenerateCases) {
+  ChoiceMetrics none;
+  EXPECT_DOUBLE_EQ(none.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(none.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(none.F1(), 0.0);
+}
+
+TEST(ChoiceMetricsTest, RefusalsDepressF1NotPrecision) {
+  // The Table VII phenomenon: refusals leave precision high but F1 low.
+  ChoiceMetrics eager{100, 100, 50};
+  ChoiceMetrics shy{100, 50, 40};
+  EXPECT_GT(shy.Precision(), eager.Precision());
+  EXPECT_LT(shy.F1(), shy.Precision());
+}
+
+TEST(ExtractionMetricsTest, ExactMatchScoring) {
+  ExtractionMetrics m;
+  std::vector<lm::ExtractedQuantity> gold = {{"2.06", "meters"},
+                                             {"188", "cm"}};
+  std::vector<lm::ExtractedQuantity> predicted = {{"2.06", "meters"},
+                                                  {"188", "mm"}};
+  ScoreExtraction(predicted, gold, m);
+  EXPECT_EQ(m.qe.true_positive, 1u);   // one pair fully right
+  EXPECT_EQ(m.qe.false_positive, 1u);
+  EXPECT_EQ(m.qe.false_negative, 1u);
+  EXPECT_EQ(m.ve.true_positive, 2u);   // both values right
+  EXPECT_EQ(m.ue.true_positive, 1u);   // one unit right
+}
+
+TEST(ExtractionMetricsTest, SpuriousAndMissing) {
+  ExtractionMetrics m;
+  ScoreExtraction({{"5", "kg"}, {"7", "m"}}, {{"5", "kg"}}, m);
+  EXPECT_EQ(m.qe.true_positive, 1u);
+  EXPECT_EQ(m.qe.false_positive, 1u);
+  EXPECT_EQ(m.qe.false_negative, 0u);
+  ExtractionMetrics m2;
+  ScoreExtraction({}, {{"5", "kg"}}, m2);
+  EXPECT_EQ(m2.qe.false_negative, 1u);
+  EXPECT_DOUBLE_EQ(m2.qe.F1(), 0.0);
+}
+
+TEST(ExtractionMetricsTest, BareValuesDontCountForUe) {
+  ExtractionMetrics m;
+  ScoreExtraction({{"7", ""}}, {{"7", ""}}, m);
+  EXPECT_EQ(m.qe.true_positive, 1u);
+  EXPECT_EQ(m.ve.true_positive, 1u);
+  EXPECT_EQ(m.ue.true_positive, 0u);  // no unit part to score
+}
+
+// -------------------------------------------------------------- table
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"Model", "Acc"});
+  table.AddRow({"GPT-4", "78.22"});
+  table.AddSeparator();
+  table.AddRow({"DimPerc", "80.89"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| Model   |"), std::string::npos);
+  EXPECT_NE(out.find("| GPT-4   |"), std::string::npos);
+  EXPECT_NE(out.find("| DimPerc |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Formatting) {
+  EXPECT_EQ(TablePrinter::Pct(0.4355), "43.55");
+  EXPECT_EQ(TablePrinter::Pct(-1.0), "-");
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(5.0, 0), "5");
+}
+
+// ------------------------------------------------------------- harness
+
+std::shared_ptr<const kb::DimUnitKB> Kb() {
+  static const std::shared_ptr<const kb::DimUnitKB> kKb =
+      kb::DimUnitKB::Build().ValueOrDie();
+  return kKb;
+}
+
+const linking::DimKsAnnotator& Annotator() {
+  static const linking::DimKsAnnotator* const kAnnotator = [] {
+    auto linker = linking::UnitLinker::Build(Kb()).ValueOrDie();
+    return new linking::DimKsAnnotator(linker);
+  }();
+  return *kAnnotator;
+}
+
+const dimeval::DimEvalBenchmark& Bench() {
+  static const dimeval::DimEvalBenchmark* const kBench = [] {
+    dimeval::BenchmarkOptions options;
+    options.train_per_task = 8;
+    options.test_per_task = 30;
+    options.extraction_corpus_sentences = 260;
+    return new dimeval::DimEvalBenchmark(
+        dimeval::BuildDimEval(Kb(), Annotator(), options).ValueOrDie());
+  }();
+  return *kBench;
+}
+
+TEST(HarnessTest, PerfectOracleScoresPerfectly) {
+  lm::MockLlm oracle("Oracle",
+                     {{"quantitykind_match", {1.0, 1.0}},
+                      {"comparable_analysis", {1.0, 1.0}},
+                      {"dimension_prediction", {1.0, 1.0}},
+                      {"dimension_arithmetic", {1.0, 1.0}},
+                      {"magnitude_comparison", {1.0, 1.0}},
+                      {"unit_conversion", {1.0, 1.0}},
+                      {"quantity_extraction", {1.0, 1.0}},
+                      {"value_extraction", {1.0, 1.0}},
+                      {"unit_extraction", {1.0, 1.0}}});
+  DimEvalRow row = EvaluateOnDimEval(oracle, Bench());
+  for (const auto& [task, metrics] : row.choice) {
+    EXPECT_DOUBLE_EQ(metrics.Precision(), 1.0) << task;
+    EXPECT_DOUBLE_EQ(metrics.F1(), 1.0) << task;
+  }
+  EXPECT_NEAR(row.qe_f1, 1.0, 1e-9);
+  EXPECT_NEAR(row.ve_f1, 1.0, 1e-9);
+  EXPECT_NEAR(row.ue_f1, 1.0, 1e-9);
+}
+
+TEST(HarnessTest, CalibratedMockLandsNearProfile) {
+  lm::MockLlm mock("Cal", {{"unit_conversion", {0.6, 0.8}}});
+  ChoiceMetrics metrics =
+      EvaluateChoiceTask(mock, Bench().TestOf("unit_conversion"));
+  EXPECT_EQ(metrics.total, 30u);
+  // With only 30 samples the tolerance is loose.
+  EXPECT_NEAR(metrics.Precision(), 0.6, 0.25);
+  EXPECT_LT(metrics.answered, metrics.total);
+}
+
+TEST(HarnessTest, AnnotatorExtractorScoresWell) {
+  // DimKS extraction on the Algorithm 1 test sentences: the annotator
+  // produced these labels (post-review), so it should score high.
+  Extractor extractor = AnnotatorExtractor(Annotator());
+  ExtractionMetrics metrics = EvaluateExtraction(
+      extractor, Bench().TestOf("quantity_extraction"));
+  EXPECT_GT(metrics.qe.F1(), 0.8);
+  EXPECT_GT(metrics.ve.F1(), 0.8);
+  EXPECT_GT(metrics.ue.F1(), 0.8);
+}
+
+TEST(HarnessTest, ModelWithoutExtractionMarkedNotEvaluated) {
+  lm::MockLlm no_extraction("NoExtract", {});
+  DimEvalRow row = EvaluateOnDimEval(no_extraction, Bench());
+  EXPECT_LT(row.qe_f1, 0.0);
+}
+
+TEST(HarnessTest, CategoryAggregation) {
+  lm::MockLlm skewed("Skewed",
+                     {{"quantitykind_match", {0.9, 1.0}},
+                      {"comparable_analysis", {0.2, 1.0}},
+                      {"dimension_prediction", {0.2, 1.0}},
+                      {"dimension_arithmetic", {0.2, 1.0}},
+                      {"magnitude_comparison", {0.8, 1.0}},
+                      {"unit_conversion", {0.8, 1.0}}});
+  DimEvalRow row = EvaluateOnDimEval(skewed, Bench());
+  auto categories = AggregateByCategory(row);
+  EXPECT_GT(categories[dimeval::TaskCategory::kScalePerception].precision,
+            categories[dimeval::TaskCategory::kDimensionPerception].precision);
+  EXPECT_EQ(categories.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dimqr::eval

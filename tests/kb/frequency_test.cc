@@ -1,0 +1,94 @@
+#include "kb/frequency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dimqr::kb {
+namespace {
+
+UnitRecord UnitWithSignals(double gt, double hs, double cf) {
+  UnitRecord u;
+  u.popularity = {gt, hs, cf};
+  return u;
+}
+
+TEST(FrequencyTest, ScoreMatchesEquation1) {
+  // Score(u) = 0.3*log(GT) + 0.3*log(HS) + 0.4*log(CF).
+  PopularitySignals s{10.0, 20.0, 30.0};
+  double expected =
+      0.3 * std::log(10.0) + 0.3 * std::log(20.0) + 0.4 * std::log(30.0);
+  EXPECT_DOUBLE_EQ(FrequencyScore(s), expected);
+}
+
+TEST(FrequencyTest, ScoreUsesCustomWeights) {
+  PopularitySignals s{2.0, 4.0, 8.0};
+  FrequencyWeights w{0.5, 0.25, 0.25, 0.1};
+  double expected =
+      0.5 * std::log(2.0) + 0.25 * std::log(4.0) + 0.25 * std::log(8.0);
+  EXPECT_DOUBLE_EQ(FrequencyScore(s, w), expected);
+}
+
+TEST(FrequencyTest, ZeroSignalsClampedNotInfinite) {
+  PopularitySignals s{0.0, 0.0, 0.0};
+  EXPECT_TRUE(std::isfinite(FrequencyScore(s)));
+}
+
+TEST(FrequencyTest, AssignNormalizesToDeltaOneRange) {
+  std::vector<UnitRecord> units = {UnitWithSignals(100, 100, 100),
+                                   UnitWithSignals(10, 10, 10),
+                                   UnitWithSignals(1, 1, 1)};
+  ASSERT_TRUE(AssignFrequencies(units).ok());
+  // Eq. (2): max score -> 1, min score -> delta (0.1).
+  EXPECT_DOUBLE_EQ(units[0].frequency, 1.0);
+  EXPECT_DOUBLE_EQ(units[2].frequency, 0.1);
+  EXPECT_GT(units[1].frequency, 0.1);
+  EXPECT_LT(units[1].frequency, 1.0);
+}
+
+TEST(FrequencyTest, MonotoneInSignals) {
+  std::vector<UnitRecord> units;
+  for (double p : {1.0, 5.0, 25.0, 50.0, 100.0}) {
+    units.push_back(UnitWithSignals(p, p, p));
+  }
+  ASSERT_TRUE(AssignFrequencies(units).ok());
+  for (std::size_t i = 1; i < units.size(); ++i) {
+    EXPECT_GT(units[i].frequency, units[i - 1].frequency);
+  }
+}
+
+TEST(FrequencyTest, LogIntermediateLandsBetweenByGeometry) {
+  // With log scoring, the geometric midpoint maps to the arithmetic middle
+  // of the normalized range: Freq = (1-d)*0.5 + d.
+  std::vector<UnitRecord> units = {UnitWithSignals(1, 1, 1),
+                                   UnitWithSignals(10, 10, 10),
+                                   UnitWithSignals(100, 100, 100)};
+  ASSERT_TRUE(AssignFrequencies(units).ok());
+  EXPECT_NEAR(units[1].frequency, 0.9 * 0.5 + 0.1, 1e-9);
+}
+
+TEST(FrequencyTest, EmptyCollectionRejected) {
+  std::vector<UnitRecord> none;
+  EXPECT_EQ(AssignFrequencies(none).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrequencyTest, DegenerateEqualScoresAllOne) {
+  std::vector<UnitRecord> units = {UnitWithSignals(5, 5, 5),
+                                   UnitWithSignals(5, 5, 5)};
+  ASSERT_TRUE(AssignFrequencies(units).ok());
+  EXPECT_DOUBLE_EQ(units[0].frequency, 1.0);
+  EXPECT_DOUBLE_EQ(units[1].frequency, 1.0);
+}
+
+TEST(FrequencyTest, CustomDelta) {
+  std::vector<UnitRecord> units = {UnitWithSignals(1, 1, 1),
+                                   UnitWithSignals(100, 100, 100)};
+  FrequencyWeights w;
+  w.delta = 0.25;
+  ASSERT_TRUE(AssignFrequencies(units, w).ok());
+  EXPECT_DOUBLE_EQ(units[0].frequency, 0.25);
+  EXPECT_DOUBLE_EQ(units[1].frequency, 1.0);
+}
+
+}  // namespace
+}  // namespace dimqr::kb

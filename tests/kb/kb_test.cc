@@ -1,0 +1,297 @@
+#include "kb/kb.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unordered_set>
+
+namespace dimqr::kb {
+namespace {
+
+/// One KB shared by all tests in this file (construction is expensive).
+const DimUnitKB& Kb() {
+  static const std::shared_ptr<const DimUnitKB> kKb =
+      DimUnitKB::Build().ValueOrDie();
+  return *kKb;
+}
+
+TEST(DimUnitKBTest, BuildsWithoutErrors) {
+  EXPECT_GT(Kb().units().size(), 0u);
+  EXPECT_GT(Kb().kinds().size(), 0u);
+}
+
+TEST(DimUnitKBTest, ReachesTableIvScale) {
+  // Table IV: DimUnitKB has 1778 units / 327 kinds / 175 dim vectors,
+  // versus WolframAlpha's 540/173/63 and UoM's 76/16. The reproduction
+  // must preserve the ordering DimUnitKB >> WolframAlpha >> UoM.
+  KbStats stats = Kb().Stats();
+  EXPECT_GT(stats.num_units, 1000u) << "should be well above WolframAlpha's 540";
+  EXPECT_GT(stats.num_quantity_kinds, 173u) << "above WolframAlpha's 173";
+  EXPECT_GT(stats.num_dimension_vectors, 63u) << "above WolframAlpha's 63";
+}
+
+TEST(DimUnitKBTest, UniqueIds) {
+  std::unordered_set<std::string> ids;
+  for (const UnitRecord& u : Kb().units()) {
+    EXPECT_TRUE(ids.insert(u.id).second) << "duplicate id " << u.id;
+  }
+}
+
+TEST(DimUnitKBTest, EveryUnitHasLabelKindDimension) {
+  for (const UnitRecord& u : Kb().units()) {
+    EXPECT_FALSE(u.label_en.empty()) << u.id;
+    EXPECT_FALSE(u.quantity_kind.empty()) << u.id;
+    EXPECT_TRUE(Kb().FindKind(u.quantity_kind).ok())
+        << u.id << " kind " << u.quantity_kind;
+    EXPECT_NE(u.conversion_value, 0.0) << u.id;
+    EXPECT_FALSE(u.description.empty()) << u.id;
+  }
+}
+
+TEST(DimUnitKBTest, UnitDimensionMatchesKindDimension) {
+  for (const UnitRecord& u : Kb().units()) {
+    const QuantityKindRecord* kind = Kb().FindKind(u.quantity_kind).ValueOrDie();
+    EXPECT_EQ(u.dimension, kind->dimension) << u.id;
+  }
+}
+
+TEST(DimUnitKBTest, ExactConversionsAgreeWithDoubles) {
+  for (const UnitRecord& u : Kb().units()) {
+    if (!u.exact_conversion) continue;
+    EXPECT_NEAR(u.exact_conversion->ToDouble(), u.conversion_value,
+                1e-9 * std::abs(u.conversion_value))
+        << u.id;
+  }
+}
+
+TEST(DimUnitKBTest, FrequenciesInPaperRange) {
+  // Eq. (2) maps scores to [delta, 1] with delta = 0.1.
+  for (const UnitRecord& u : Kb().units()) {
+    EXPECT_GE(u.frequency, 0.1) << u.id;
+    EXPECT_LE(u.frequency, 1.0) << u.id;
+  }
+}
+
+TEST(DimUnitKBTest, FindById) {
+  const UnitRecord* m = Kb().FindById("M").ValueOrDie();
+  EXPECT_EQ(m->label_en, "metre");
+  EXPECT_EQ(m->label_zh, "米");
+  EXPECT_EQ(m->dimension, dims::Length());
+  EXPECT_FALSE(Kb().FindById("NO_SUCH_UNIT").ok());
+}
+
+TEST(DimUnitKBTest, PrefixExpansionProducesKilometre) {
+  const UnitRecord* km = Kb().FindById("KiloM").ValueOrDie();
+  EXPECT_EQ(km->label_en, "kilometre");
+  EXPECT_EQ(km->label_zh, "千米");
+  EXPECT_EQ(km->origin, UnitOrigin::kPrefixExpanded);
+  EXPECT_DOUBLE_EQ(km->conversion_value, 1000.0);
+  ASSERT_TRUE(km->exact_conversion.has_value());
+  EXPECT_EQ(*km->exact_conversion, Rational(1000));
+  // Symbol composition: "k" + "m".
+  ASSERT_FALSE(km->symbols.empty());
+  EXPECT_EQ(km->symbols[0], "km");
+  // Alias composition: "kilo" + "meter".
+  bool has_kilometer = false;
+  for (const std::string& a : km->aliases) {
+    if (a == "kilometer") has_kilometer = true;
+  }
+  EXPECT_TRUE(has_kilometer);
+}
+
+TEST(DimUnitKBTest, PaperFig1UnitsPresent) {
+  // Fig. 1 hinges on poundal (LMT-2) vs dyn/cm (MT-2).
+  const UnitRecord* poundal = Kb().FindById("POUNDAL").ValueOrDie();
+  EXPECT_EQ(poundal->dimension.ToFormula(), "LMT-2");
+  const UnitRecord* dyn_cm = Kb().FindById("DYN-PER-CentiM").ValueOrDie();
+  EXPECT_EQ(dyn_cm->dimension.ToFormula(), "MT-2");
+  EXPECT_EQ(dyn_cm->dimension.ToVectorForm(), "A0E0L0I0M1H0T-2D0");
+  EXPECT_FALSE(poundal->dimension.ComparableWith(dyn_cm->dimension));
+}
+
+TEST(DimUnitKBTest, PaperTableIGillPerHourPresent) {
+  const UnitRecord* gill_h = Kb().FindById("GILL_US-PER-HR").ValueOrDie();
+  EXPECT_EQ(gill_h->dimension.ToFormula(), "L3T-1");
+  EXPECT_EQ(gill_h->quantity_kind, "VolumeFlowRate");
+}
+
+TEST(DimUnitKBTest, CompoundConversionIsExact) {
+  // km/h -> m/s is exactly 5/18.
+  const UnitRecord* kmh = Kb().FindById("KiloM-PER-HR").ValueOrDie();
+  const UnitRecord* ms = Kb().FindById("M-PER-SEC").ValueOrDie();
+  double factor = kmh->Semantics()
+                      .ConversionFactorTo(ms->Semantics())
+                      .ValueOrDie();
+  EXPECT_DOUBLE_EQ(factor, 5.0 / 18.0);
+  ASSERT_TRUE(kmh->exact_conversion.has_value());
+  EXPECT_EQ(*kmh->exact_conversion, Rational::Of(5, 18).ValueOrDie());
+}
+
+TEST(DimUnitKBTest, ConversionFactorByIds) {
+  EXPECT_DOUBLE_EQ(Kb().ConversionFactor("KiloM", "M").ValueOrDie(), 1000.0);
+  EXPECT_DOUBLE_EQ(Kb().ConversionFactor("IN", "CentiM").ValueOrDie(), 2.54);
+  EXPECT_EQ(Kb().ConversionFactor("KiloM", "SEC").status().code(),
+            StatusCode::kDimensionMismatch);
+}
+
+TEST(DimUnitKBTest, FindBySurfaceExactAndCaseFallback) {
+  std::vector<const UnitRecord*> exact = Kb().FindBySurface("km");
+  ASSERT_FALSE(exact.empty());
+  EXPECT_EQ(exact[0]->id, "KiloM");
+  // Case-insensitive fallback: "KM" has no exact match.
+  std::vector<const UnitRecord*> ci = Kb().FindBySurface("KM");
+  ASSERT_FALSE(ci.empty());
+  EXPECT_EQ(ci[0]->id, "KiloM");
+  EXPECT_TRUE(Kb().FindBySurface("no-such-unit-xyz").empty());
+}
+
+TEST(DimUnitKBTest, ChineseSurfaceFormsIndexed) {
+  std::vector<const UnitRecord*> zh = Kb().FindBySurface("千克");
+  ASSERT_FALSE(zh.empty());
+  EXPECT_EQ(zh[0]->id, "KiloGM");
+  std::vector<const UnitRecord*> jin = Kb().FindBySurface("斤");
+  ASSERT_FALSE(jin.empty());
+  EXPECT_EQ(jin[0]->id, "JIN_CN");
+}
+
+TEST(DimUnitKBTest, AmbiguousSurfaceReturnsAllCandidates) {
+  // "degree" is both the angle unit alias and part of temperature labels;
+  // at minimum the angle unit must be found, and multiple matches must be
+  // supported by the API shape.
+  std::vector<const UnitRecord*> deg = Kb().FindBySurface("degrees");
+  ASSERT_FALSE(deg.empty());
+}
+
+TEST(DimUnitKBTest, UnitsOfDimensionForce) {
+  std::vector<const UnitRecord*> force = Kb().UnitsOfDimension(dims::Force());
+  // newton + dyne + poundal + kgf + lbf + 24 newton prefixes at least.
+  EXPECT_GE(force.size(), 25u);
+  for (const UnitRecord* u : force) {
+    EXPECT_EQ(u->dimension, dims::Force()) << u->id;
+  }
+}
+
+TEST(DimUnitKBTest, UnitsOfKind) {
+  std::vector<const UnitRecord*> vel = Kb().UnitsOfKind("Velocity");
+  EXPECT_GE(vel.size(), 30u);  // 13x5 compounds + knot + mach + c
+  std::vector<const UnitRecord*> none = Kb().UnitsOfKind("NoSuchKind");
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(DimUnitKBTest, ResolverEvaluatesUnitExpressions) {
+  UnitResolver resolver = Kb().Resolver();
+  UnitExpr e = UnitExpr::Parse("joule x metre").ValueOrDie();
+  Dimension d = e.EvaluateDimension(resolver).ValueOrDie();
+  EXPECT_EQ(d.ToFormula(), "L3MT-2");
+  // Symbols resolve too.
+  UnitExpr e2 = UnitExpr::Parse("km/h").ValueOrDie();
+  EXPECT_EQ(e2.EvaluateDimension(resolver).ValueOrDie(), dims::Velocity());
+}
+
+TEST(DimUnitKBTest, FrequencyRankingPutsCommonUnitsFirst) {
+  // Fig. 3's shape: metre/second-class units rank far above rarities.
+  std::vector<const UnitRecord*> ranked = Kb().UnitsByFrequency();
+  ASSERT_GT(ranked.size(), 100u);
+  std::unordered_set<std::string> top50;
+  for (std::size_t i = 0; i < 50; ++i) top50.insert(ranked[i]->id);
+  EXPECT_TRUE(top50.contains("M") || top50.contains("SEC") ||
+              top50.contains("HR"))
+      << "everyday units missing from the top of the ranking";
+  // The paper's motivating contrast: metre is frequent, decimetre rare.
+  const UnitRecord* metre = Kb().FindById("M").ValueOrDie();
+  const UnitRecord* decimetre = Kb().FindById("DeciM").ValueOrDie();
+  EXPECT_GT(metre->frequency, decimetre->frequency);
+}
+
+TEST(DimUnitKBTest, KindsByFrequencyRanked) {
+  auto kinds = Kb().KindsByFrequency(5);
+  ASSERT_GT(kinds.size(), 20u);
+  // Descending order.
+  for (std::size_t i = 1; i < kinds.size(); ++i) {
+    EXPECT_GE(kinds[i - 1].second, kinds[i].second);
+  }
+  // Everyday kinds near the top (Fig. 4 shape): Length/Time/Mass in top 14.
+  std::unordered_set<std::string> top14;
+  for (std::size_t i = 0; i < 14 && i < kinds.size(); ++i) {
+    top14.insert(kinds[i].first->name);
+  }
+  EXPECT_TRUE(top14.contains("Length"));
+  EXPECT_TRUE(top14.contains("Time"));
+}
+
+TEST(DimUnitKBTest, BilingualCoverage) {
+  KbStats stats = Kb().Stats();
+  // The vast majority of units carry a Chinese label (Table IV: En&Zh).
+  EXPECT_GT(stats.num_units_with_zh, stats.num_units * 8 / 10);
+}
+
+TEST(DimUnitKBTest, AffineTemperatureUnits) {
+  const UnitRecord* celsius = Kb().FindById("DEG_C").ValueOrDie();
+  EXPECT_DOUBLE_EQ(celsius->conversion_offset, 273.15);
+  Quantity q(25.0, celsius->Semantics());
+  EXPECT_DOUBLE_EQ(q.SiValue(), 298.15);
+  const UnitRecord* fahrenheit = Kb().FindById("DEG_F").ValueOrDie();
+  Quantity f(212.0, fahrenheit->Semantics());
+  EXPECT_NEAR(f.SiValue(), 373.15, 1e-9);
+}
+
+TEST(DimUnitKBTest, TsvRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "dimqr_kb_test.tsv").string();
+  ASSERT_TRUE(Kb().SaveTsv(path).ok());
+  auto loaded = DimUnitKB::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const DimUnitKB& kb2 = **loaded;
+  ASSERT_EQ(kb2.units().size(), Kb().units().size());
+  ASSERT_EQ(kb2.kinds().size(), Kb().kinds().size());
+  for (std::size_t i = 0; i < 50; ++i) {
+    const UnitRecord& a = Kb().units()[i];
+    const UnitRecord& b = kb2.units()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.label_zh, b.label_zh);
+    EXPECT_EQ(a.symbols, b.symbols);
+    EXPECT_EQ(a.dimension, b.dimension);
+    EXPECT_DOUBLE_EQ(a.conversion_value, b.conversion_value);
+    EXPECT_EQ(a.exact_conversion.has_value(), b.exact_conversion.has_value());
+    EXPECT_DOUBLE_EQ(a.frequency, b.frequency);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(DimUnitKBTest, LoadTsvRejectsMissingFile) {
+  EXPECT_EQ(DimUnitKB::LoadTsv("/no/such/path.tsv").status().code(),
+            StatusCode::kIOError);
+}
+
+/// Conversion sanity sweep across well-known unit pairs.
+struct ConvCase {
+  const char* from;
+  const char* to;
+  double factor;
+};
+
+class KbConversionSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(KbConversionSweep, FactorMatches) {
+  const ConvCase& c = GetParam();
+  double f = Kb().ConversionFactor(c.from, c.to).ValueOrDie();
+  EXPECT_NEAR(f, c.factor, 1e-6 * c.factor) << c.from << " -> " << c.to;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownFactors, KbConversionSweep,
+    ::testing::Values(ConvCase{"MI", "KiloM", 1.609344},
+                      ConvCase{"LB", "GM", 453.59237},
+                      ConvCase{"IN", "MilliM", 25.4},
+                      ConvCase{"GAL_US", "LITRE", 3.785411784},
+                      ConvCase{"HR", "SEC", 3600.0},
+                      ConvCase{"ATM", "PA", 101325.0},
+                      ConvCase{"CAL", "J", 4.184},
+                      ConvCase{"KiloWH", "J", 3600000.0},
+                      ConvCase{"JIN_CN", "GM", 500.0},
+                      ConvCase{"MU_CN", "M2", 2000.0 / 3.0},
+                      ConvCase{"KNOT", "KiloM-PER-HR", 1.852},
+                      ConvCase{"LY", "M", 9460730472580800.0}));
+
+}  // namespace
+}  // namespace dimqr::kb

@@ -1,0 +1,81 @@
+#include "kb/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+namespace dimqr::kb {
+namespace {
+
+TEST(PrefixTest, AllTwentyFourSiPrefixes) {
+  EXPECT_EQ(AllPrefixes().size(), 24u);
+  std::unordered_set<std::string> names, symbols;
+  for (const PrefixSpec& p : AllPrefixes()) {
+    EXPECT_TRUE(names.insert(p.name).second) << p.name;
+    EXPECT_TRUE(symbols.insert(p.symbol).second) << p.symbol;
+    EXPECT_GT(p.commonness, 0.0);
+    EXPECT_LE(p.commonness, 1.0);
+    EXPECT_NE(p.pow10, 0);
+  }
+}
+
+TEST(PrefixTest, SortedLargestFirst) {
+  const auto& all = AllPrefixes();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(all[i - 1].pow10, all[i].pow10);
+  }
+}
+
+TEST(PrefixTest, KnownEntries) {
+  bool found_kilo = false, found_micro = false;
+  for (const PrefixSpec& p : AllPrefixes()) {
+    if (p.name == "kilo") {
+      found_kilo = true;
+      EXPECT_EQ(p.symbol, "k");
+      EXPECT_EQ(p.pow10, 3);
+      EXPECT_EQ(p.label_zh, "千");
+    }
+    if (p.name == "micro") {
+      found_micro = true;
+      EXPECT_EQ(p.pow10, -6);
+    }
+  }
+  EXPECT_TRUE(found_kilo);
+  EXPECT_TRUE(found_micro);
+}
+
+TEST(PrefixTest, CommonSubset) {
+  const auto& common = CommonPrefixes();
+  EXPECT_EQ(common.size(), 7u);
+  for (const PrefixSpec& p : common) {
+    EXPECT_GE(p.pow10, -6);
+    EXPECT_LE(p.pow10, 3);
+  }
+}
+
+TEST(PrefixTest, ExactPow10WithinRange) {
+  EXPECT_EQ(ExactPow10(3).value(), Rational(1000));
+  EXPECT_EQ(ExactPow10(-2).value(), Rational::Of(1, 100).ValueOrDie());
+  EXPECT_EQ(ExactPow10(0).value(), Rational(1));
+  EXPECT_EQ(ExactPow10(18).value(), Rational(1000000000000000000LL));
+}
+
+TEST(PrefixTest, ExactPow10OutsideRangeEmpty) {
+  EXPECT_FALSE(ExactPow10(19).has_value());
+  EXPECT_FALSE(ExactPow10(-19).has_value());
+  EXPECT_FALSE(ExactPow10(30).has_value());
+}
+
+TEST(PrefixTest, ExactPow10AgreesWithStdPow) {
+  for (int k = -18; k <= 18; ++k) {
+    auto exact = ExactPow10(k);
+    ASSERT_TRUE(exact.has_value()) << k;
+    EXPECT_NEAR(exact->ToDouble(), std::pow(10.0, k),
+                1e-9 * std::pow(10.0, k))
+        << k;
+  }
+}
+
+}  // namespace
+}  // namespace dimqr::kb

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "kg/realizer.h"
+#include "kg/synth_kg.h"
+#include "kg/triple_store.h"
+
+namespace dimqr::kg {
+namespace {
+
+TEST(TripleStoreTest, AddAndSize) {
+  TripleStore store;
+  EXPECT_EQ(store.size(), 0u);
+  store.Add("LeBron James", "height", "2.06 metres");
+  store.Add("LeBron James", "team", "Lakers");
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(TripleStoreTest, FindByPredicate) {
+  TripleStore store;
+  store.Add("A", "height", "2 m");
+  store.Add("B", "height", "3 m");
+  store.Add("A", "team", "Lakers");
+  auto heights = store.FindByPredicate("height");
+  ASSERT_EQ(heights.size(), 2u);
+  EXPECT_EQ(heights[0]->subject, "A");
+  EXPECT_EQ(heights[1]->subject, "B");
+  EXPECT_TRUE(store.FindByPredicate("missing").empty());
+}
+
+TEST(TripleStoreTest, FindByObjectContaining) {
+  TripleStore store;
+  store.Add("A", "height", "2.06 metres");
+  store.Add("B", "weight", "100 kg");
+  store.Add("C", "note", "about 3 metres of rope");
+  auto hits = store.FindByObjectContaining("metres");
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(store.FindByObjectContaining("").empty());
+}
+
+TEST(TripleStoreTest, FindBySubject) {
+  TripleStore store;
+  store.Add("A", "height", "2 m");
+  store.Add("A", "team", "Lakers");
+  store.Add("B", "height", "3 m");
+  EXPECT_EQ(store.FindBySubject("A").size(), 2u);
+  EXPECT_TRUE(store.FindBySubject("Z").empty());
+}
+
+TEST(TripleStoreTest, PredicatesFirstSeenOrder) {
+  TripleStore store;
+  store.Add("A", "height", "2 m");
+  store.Add("B", "weight", "3 kg");
+  store.Add("C", "height", "1 m");
+  std::vector<std::string> preds = store.Predicates();
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], "height");
+  EXPECT_EQ(preds[1], "weight");
+}
+
+const kb::DimUnitKB& Kb() {
+  static const std::shared_ptr<const kb::DimUnitKB> kKb =
+      kb::DimUnitKB::Build().ValueOrDie();
+  return *kKb;
+}
+
+TEST(SynthKgTest, BuildsNonTrivialGraph) {
+  TripleStore store = BuildSyntheticKg(Kb()).ValueOrDie();
+  EXPECT_GT(store.size(), 1000u);
+  EXPECT_GT(store.Predicates().size(), 30u);
+}
+
+TEST(SynthKgTest, DeterministicForSeed) {
+  SynthKgOptions opt;
+  opt.entities_per_domain = 5;
+  TripleStore a = BuildSyntheticKg(Kb(), opt).ValueOrDie();
+  TripleStore b = BuildSyntheticKg(Kb(), opt).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.triples()[i], b.triples()[i]);
+  }
+}
+
+TEST(SynthKgTest, ContainsQuantitativeAndTextualObjects) {
+  TripleStore store = BuildSyntheticKg(Kb()).ValueOrDie();
+  std::size_t quantitative = 0, textual = 0;
+  for (const Triple& t : store.triples()) {
+    if (ObjectLooksQuantitative(t.object)) {
+      ++quantitative;
+    } else {
+      ++textual;
+    }
+  }
+  EXPECT_GT(quantitative, store.size() / 3);
+  EXPECT_GT(textual, store.size() / 10);
+}
+
+TEST(SynthKgTest, QuantityPredicatesAreConsistentlyQuantitative) {
+  // Objects of the "height" predicate must look quantitative; "team"
+  // objects must not (Algorithm 2's ratio filter depends on this signal).
+  TripleStore store = BuildSyntheticKg(Kb()).ValueOrDie();
+  for (const Triple* t : store.FindByPredicate("height")) {
+    EXPECT_TRUE(ObjectLooksQuantitative(t->object)) << t->object;
+  }
+  for (const Triple* t : store.FindByPredicate("team")) {
+    EXPECT_FALSE(ObjectLooksQuantitative(t->object)) << t->object;
+  }
+}
+
+TEST(SynthKgTest, TrapStringsNotQuantitative) {
+  EXPECT_FALSE(ObjectLooksQuantitative("LPUI-1T"));
+  EXPECT_FALSE(ObjectLooksQuantitative("1998"));
+  EXPECT_FALSE(ObjectLooksQuantitative("white powder"));
+  EXPECT_TRUE(ObjectLooksQuantitative("2.06 metres"));
+  EXPECT_TRUE(ObjectLooksQuantitative("42%"));
+  EXPECT_TRUE(ObjectLooksQuantitative("120 km/h"));
+}
+
+TEST(SynthKgTest, UnitSurfaceFormsAreDiverse) {
+  // The same predicate should use more than one unit surface across
+  // entities (the paper stresses representation diversity).
+  TripleStore store = BuildSyntheticKg(Kb()).ValueOrDie();
+  std::unordered_set<std::string> suffixes;
+  for (const Triple* t : store.FindByPredicate("height")) {
+    auto space = t->object.find(' ');
+    if (space != std::string::npos) {
+      suffixes.insert(t->object.substr(space + 1));
+    }
+  }
+  EXPECT_GE(suffixes.size(), 3u);
+}
+
+TEST(RealizerTest, ObjectSpanIsExact) {
+  Triple t{"LeBron James", "height", "2.06 metres"};
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    RealizedSentence s = RealizeTriple(t, seed);
+    EXPECT_EQ(s.text.substr(s.object_begin, s.object_end - s.object_begin),
+              t.object)
+        << s.text;
+    EXPECT_NE(s.text.find("LeBron James"), std::string::npos);
+    EXPECT_NE(s.text.find("height"), std::string::npos);
+  }
+}
+
+TEST(RealizerTest, DeterministicPerSeed) {
+  Triple t{"City-1", "area", "88 km^2"};
+  EXPECT_EQ(RealizeTriple(t, 7).text, RealizeTriple(t, 7).text);
+}
+
+TEST(RealizerTest, TemplateVarietyUsed) {
+  Triple t{"X", "p", "1 m"};
+  std::unordered_set<std::string> seen;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    seen.insert(RealizeTriple(t, seed).text);
+  }
+  EXPECT_GE(seen.size(), 3u);
+  EXPECT_GE(RealizerTemplateCount(), 5u);
+}
+
+}  // namespace
+}  // namespace dimqr::kg

@@ -1,0 +1,126 @@
+#include "linking/annotator.h"
+
+#include <gtest/gtest.h>
+
+namespace dimqr::linking {
+namespace {
+
+const DimKsAnnotator& Annotator() {
+  static const DimKsAnnotator* const kAnnotator = [] {
+    auto kb = kb::DimUnitKB::Build().ValueOrDie();
+    auto linker = UnitLinker::Build(kb).ValueOrDie();
+    return new DimKsAnnotator(linker);
+  }();
+  return *kAnnotator;
+}
+
+TEST(AnnotatorTest, PaperIntroSentence) {
+  // "LeBron James's height is 2.06 meters and Stephen Curry's height is
+  // 188 cm" — both quantities must ground, and compare correctly.
+  auto anns = Annotator().Annotate(
+      "LeBron James's height is 2.06 meters and Stephen Curry's height is "
+      "188 cm");
+  ASSERT_EQ(anns.size(), 2u);
+  ASSERT_TRUE(anns[0].HasUnit());
+  EXPECT_EQ(anns[0].unit->id, "M");
+  EXPECT_DOUBLE_EQ(anns[0].number.value, 2.06);
+  ASSERT_TRUE(anns[1].HasUnit());
+  EXPECT_EQ(anns[1].unit->id, "CentiM");
+  Quantity lebron = Annotator().ToQuantity(anns[0]).ValueOrDie();
+  Quantity curry = Annotator().ToQuantity(anns[1]).ValueOrDie();
+  EXPECT_EQ(lebron.Compare(curry).ValueOrDie(), 1);
+}
+
+TEST(AnnotatorTest, Fig1UnitTrapUnits) {
+  auto anns = Annotator().Annotate(
+      "A force of 0.1 poundal acts while the tension is 5 dyn/cm at the "
+      "surface");
+  ASSERT_EQ(anns.size(), 2u);
+  ASSERT_TRUE(anns[0].HasUnit());
+  EXPECT_EQ(anns[0].unit->id, "POUNDAL");
+  ASSERT_TRUE(anns[1].HasUnit());
+  EXPECT_EQ(anns[1].unit->id, "DYN-PER-CentiM");
+  // The trap: these two are NOT comparable.
+  Quantity a = Annotator().ToQuantity(anns[0]).ValueOrDie();
+  Quantity b = Annotator().ToQuantity(anns[1]).ValueOrDie();
+  EXPECT_EQ(a.Compare(b).status().code(), StatusCode::kDimensionMismatch);
+}
+
+TEST(AnnotatorTest, GluedUnit) {
+  auto anns = Annotator().Annotate("the bag weighs 5kg today");
+  ASSERT_EQ(anns.size(), 1u);
+  ASSERT_TRUE(anns[0].HasUnit());
+  EXPECT_EQ(anns[0].unit->id, "KiloGM");
+  EXPECT_EQ(anns[0].unit_text, "kg");
+}
+
+TEST(AnnotatorTest, MultiWordUnit) {
+  auto anns = Annotator().Annotate("water boils at 100 degrees Celsius");
+  ASSERT_EQ(anns.size(), 1u);
+  ASSERT_TRUE(anns[0].HasUnit());
+  EXPECT_EQ(anns[0].unit->id, "DEG_C");
+  EXPECT_EQ(anns[0].unit_text, "degrees Celsius");
+}
+
+TEST(AnnotatorTest, PercentBecomesPercentUnit) {
+  auto anns = Annotator().Annotate("a potion containing 20% of the agent");
+  ASSERT_EQ(anns.size(), 1u);
+  ASSERT_TRUE(anns[0].HasUnit());
+  EXPECT_EQ(anns[0].unit->id, "PERCENT");
+  Quantity q = Annotator().ToQuantity(anns[0]).ValueOrDie();
+  EXPECT_DOUBLE_EQ(q.value(), 0.2);
+  EXPECT_TRUE(q.dimension().IsDimensionless());
+}
+
+TEST(AnnotatorTest, BareNumberHasNoUnit) {
+  auto anns = Annotator().Annotate("she bought 7 apples at the market");
+  ASSERT_EQ(anns.size(), 1u);
+  EXPECT_FALSE(anns[0].HasUnit()) << "linked to " << anns[0].unit->id;
+  Quantity q = Annotator().ToQuantity(anns[0]).ValueOrDie();
+  EXPECT_TRUE(q.dimension().IsDimensionless());
+  EXPECT_DOUBLE_EQ(q.value(), 7.0);
+}
+
+TEST(AnnotatorTest, CompoundSymbolUnit) {
+  auto anns = Annotator().Annotate("the train travels at 120 km/h between "
+                                   "the two cities");
+  ASSERT_EQ(anns.size(), 1u);
+  ASSERT_TRUE(anns[0].HasUnit());
+  EXPECT_EQ(anns[0].unit->id, "KiloM-PER-HR");
+}
+
+TEST(AnnotatorTest, ChineseQuantity) {
+  auto anns = Annotator().Annotate("小王要将150千克的农药稀释");
+  ASSERT_EQ(anns.size(), 1u);
+  ASSERT_TRUE(anns[0].HasUnit());
+  EXPECT_EQ(anns[0].unit->id, "KiloGM");
+}
+
+TEST(AnnotatorTest, MultipleQuantitiesKeepOrder) {
+  auto anns = Annotator().Annotate(
+      "mix 250 ml of milk with 3 cups of flour and bake for 45 minutes");
+  ASSERT_EQ(anns.size(), 3u);
+  EXPECT_EQ(anns[0].unit->id, "MilliLITRE");
+  EXPECT_EQ(anns[1].unit->id, "CUP_US");
+  EXPECT_EQ(anns[2].unit->id, "MIN");
+}
+
+TEST(AnnotatorTest, EmptyAndUnitlessText) {
+  EXPECT_TRUE(Annotator().Annotate("").empty());
+  EXPECT_TRUE(Annotator().Annotate("no numbers here at all").empty());
+}
+
+TEST(AnnotatorTest, SpansAreAccurate) {
+  std::string s = "run 10 km now";
+  auto anns = Annotator().Annotate(s);
+  ASSERT_EQ(anns.size(), 1u);
+  EXPECT_EQ(s.substr(anns[0].number.begin,
+                     anns[0].number.end - anns[0].number.begin),
+            "10");
+  EXPECT_EQ(s.substr(anns[0].unit_begin,
+                     anns[0].unit_end - anns[0].unit_begin),
+            "km");
+}
+
+}  // namespace
+}  // namespace dimqr::linking

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "lm/mock_llm.h"
+#include "lm/ngram_lm.h"
+#include "lm/vocab.h"
+
+namespace dimqr::lm {
+namespace {
+
+// ---------------------------------------------------------------- Vocab
+
+TEST(VocabTest, SpecialTokensFirst) {
+  Vocab v = Vocab::Build({{"a", "b"}});
+  EXPECT_EQ(v.TokenOf(SpecialTokens::kPad), "<pad>");
+  EXPECT_EQ(v.TokenOf(SpecialTokens::kBos), "<bos>");
+  EXPECT_EQ(v.TokenOf(SpecialTokens::kEos), "<eos>");
+  EXPECT_EQ(v.TokenOf(SpecialTokens::kSep), "<sep>");
+  EXPECT_EQ(v.TokenOf(SpecialTokens::kUnk), "<unk>");
+  EXPECT_EQ(v.TokenOf(SpecialTokens::kMask), "[MASK]");
+  EXPECT_EQ(v.size(), 8u);
+}
+
+TEST(VocabTest, FrequencyOrderAndMinCount) {
+  Vocab v = Vocab::Build({{"x", "x", "x", "y", "y", "z"}}, /*min_count=*/2);
+  EXPECT_LT(v.Id("x"), v.Id("y"));
+  EXPECT_EQ(v.Id("z"), SpecialTokens::kUnk);
+}
+
+TEST(VocabTest, EncodeDecodeRoundTrip) {
+  Vocab v = Vocab::Build({{"run", "5", "km", "fast"}});
+  std::vector<int> ids = v.Encode("run 5 km");
+  EXPECT_EQ(v.Decode(ids), "run 5 km");
+}
+
+TEST(VocabTest, UnknownWordsMapToUnk) {
+  Vocab v = Vocab::Build({{"a"}});
+  std::vector<int> ids = v.Encode("a zebra");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[1], SpecialTokens::kUnk);
+}
+
+TEST(VocabTest, MaxSizeCaps) {
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 100; ++i) {
+    corpus.push_back({"w" + std::to_string(i)});
+  }
+  Vocab v = Vocab::Build(corpus, 1, 20);
+  EXPECT_EQ(v.size(), 20u);
+}
+
+TEST(VocabTest, SaveLoadRoundTrip) {
+  Vocab v = Vocab::Build({{"alpha", "beta"}});
+  std::string path =
+      (std::filesystem::temp_directory_path() / "dimqr_vocab.txt").string();
+  ASSERT_TRUE(v.Save(path).ok());
+  Vocab loaded = Vocab::Load(path).ValueOrDie();
+  EXPECT_EQ(loaded.size(), v.size());
+  EXPECT_EQ(loaded.Id("alpha"), v.Id("alpha"));
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------- NgramLm
+
+std::vector<std::vector<std::string>> QuantityCorpus() {
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 50; ++i) {
+    corpus.push_back({"the", "rope", "is", std::to_string(i + 1), "metres",
+                      "long"});
+    corpus.push_back({"it", "weighs", std::to_string(i * 2 + 1), "kg"});
+    corpus.push_back({"the", "model", "code", "is", "lpui" , "special"});
+  }
+  return corpus;
+}
+
+TEST(NgramLmTest, TrainsAndPredicts) {
+  NgramMaskedLm lm = NgramMaskedLm::Train(QuantityCorpus()).ValueOrDie();
+  EXPECT_GT(lm.vocab_size(), 5u);
+  auto preds = lm.PredictMasked("is", "metres", 3);
+  ASSERT_FALSE(preds.empty());
+  EXPECT_EQ(preds[0].first, NgramMaskedLm::NumToken())
+      << "masked token between 'is' and 'metres' should be numeric";
+}
+
+TEST(NgramLmTest, NumericLikelihoodSeparatesContexts) {
+  NgramMaskedLm lm = NgramMaskedLm::Train(QuantityCorpus()).ValueOrDie();
+  double quantity_ctx = lm.NumericLikelihood("weighs", "kg");
+  double code_ctx = lm.NumericLikelihood("code", "special");
+  EXPECT_GT(quantity_ctx, code_ctx)
+      << "Algorithm 1's filter hinges on this separation";
+  EXPECT_GT(quantity_ctx, 0.3);
+}
+
+TEST(NgramLmTest, RejectsEmptyCorpusAndBadK) {
+  EXPECT_FALSE(NgramMaskedLm::Train({}).ok());
+  EXPECT_FALSE(NgramMaskedLm::Train({{"a"}}, 0.0).ok());
+}
+
+TEST(NgramLmTest, EdgeContextsWork) {
+  NgramMaskedLm lm = NgramMaskedLm::Train(QuantityCorpus()).ValueOrDie();
+  EXPECT_FALSE(lm.PredictMasked("", "rope").empty());
+  EXPECT_FALSE(lm.PredictMasked("long", "").empty());
+}
+
+// ------------------------------------------------------------- MockLlm
+
+TEST(MockLlmTest, PaperTablesTranscribed) {
+  EXPECT_EQ(PaperTableVII().size(), 12u);
+  EXPECT_EQ(PaperTableIX().size(), 6u);
+  // Spot checks against the published numbers.
+  const PaperRowVII& gpt4 = PaperTableVII()[2];
+  EXPECT_STREQ(gpt4.model, "GPT-4");
+  EXPECT_DOUBLE_EQ(gpt4.qe, 73.91);
+  EXPECT_DOUBLE_EQ(gpt4.qk_p, 66.67);
+  const PaperRowIX& wolfram = PaperTableIX()[1];
+  EXPECT_DOUBLE_EQ(wolfram.q_ape210k, 43.55);
+}
+
+TEST(MockLlmTest, RosterCoversAllPaperRows) {
+  auto models = BuildPaperBaselines();
+  EXPECT_EQ(models.size(), 14u);  // 12 Table VII rows + BertGen + LLaMa
+}
+
+TEST(MockLlmTest, DeterministicAnswers) {
+  MockLlm m("Test", {{"t", {0.7, 0.9}}});
+  ChoiceQuestion q{"t", "?", {"a", "b", "c", "d"}, 2, 99};
+  EXPECT_EQ(m.AnswerChoice(q).index, m.AnswerChoice(q).index);
+}
+
+TEST(MockLlmTest, CalibratedAccuracyConverges) {
+  MockLlm m("Test", {{"t", {0.60, 1.0}}});
+  int correct = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    ChoiceQuestion q{"t", "?", {"a", "b", "c", "d"}, i % 4,
+                     static_cast<std::uint64_t>(i)};
+    if (m.AnswerChoice(q).index == q.gold_index) ++correct;
+  }
+  EXPECT_NEAR(correct / static_cast<double>(n), 0.60, 0.03);
+}
+
+TEST(MockLlmTest, RefusalRateHonoured) {
+  MockLlm m("Test", {{"t", {0.9, 0.5}}});
+  int declined = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    ChoiceQuestion q{"t", "?", {"a", "b"}, 0, static_cast<std::uint64_t>(i)};
+    if (!m.AnswerChoice(q).answered()) ++declined;
+  }
+  EXPECT_NEAR(declined / static_cast<double>(n), 0.5, 0.04);
+}
+
+TEST(MockLlmTest, WrongAnswersNeverGold) {
+  MockLlm m("Test", {{"t", {0.0, 1.0}}});  // always answers, never correct
+  for (int i = 0; i < 200; ++i) {
+    ChoiceQuestion q{"t", "?", {"a", "b", "c", "d"}, i % 4,
+                     static_cast<std::uint64_t>(i)};
+    ChoiceAnswer a = m.AnswerChoice(q);
+    ASSERT_TRUE(a.answered());
+    EXPECT_NE(a.index, q.gold_index);
+    EXPECT_GE(a.index, 0);
+    EXPECT_LT(a.index, 4);
+  }
+}
+
+TEST(MockLlmTest, UnknownTaskNearChance) {
+  MockLlm m("Test", {});
+  SkillProfile p = m.ProfileFor("never_seen");
+  EXPECT_NEAR(p.precision, 0.25, 0.01);
+}
+
+TEST(MockLlmTest, TextAnswersFollowProfile) {
+  MockLlm m("Test", {{"t", {1.0, 1.0}}});
+  TextQuestion q{"t", "prompt", "42 metres", 7};
+  EXPECT_EQ(m.AnswerText(q), "42 metres");
+  MockLlm never("Never", {{"t", {0.0, 0.0}}});
+  EXPECT_EQ(never.AnswerText(q), "");
+}
+
+}  // namespace
+}  // namespace dimqr::lm

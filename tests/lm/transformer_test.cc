@@ -1,0 +1,205 @@
+#include "lm/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "core/rng.h"
+
+namespace dimqr::lm {
+namespace {
+
+TransformerConfig TinyConfig() {
+  TransformerConfig c;
+  c.vocab_size = 24;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_layers = 2;
+  c.d_ff = 32;
+  c.max_seq = 16;
+  c.seed = 7;
+  return c;
+}
+
+LmExample MakeExample(std::vector<int> tokens, std::size_t answer_from) {
+  LmExample e;
+  e.tokens = std::move(tokens);
+  e.loss_mask.assign(e.tokens.size(), 0);
+  for (std::size_t i = answer_from; i < e.tokens.size(); ++i) {
+    e.loss_mask[i] = 1;
+  }
+  return e;
+}
+
+TEST(TransformerTest, CreateValidatesConfig) {
+  TransformerConfig c = TinyConfig();
+  c.vocab_size = 2;
+  EXPECT_FALSE(Transformer::Create(c).ok());
+  c = TinyConfig();
+  c.d_model = 15;  // not divisible by heads
+  EXPECT_FALSE(Transformer::Create(c).ok());
+  c = TinyConfig();
+  c.n_layers = 0;
+  EXPECT_FALSE(Transformer::Create(c).ok());
+  EXPECT_TRUE(Transformer::Create(TinyConfig()).ok());
+}
+
+TEST(TransformerTest, DeterministicInit) {
+  Transformer a = Transformer::Create(TinyConfig()).ValueOrDie();
+  Transformer b = Transformer::Create(TinyConfig()).ValueOrDie();
+  LmExample e = MakeExample({1, 7, 8, 9, 2}, 2);
+  EXPECT_DOUBLE_EQ(a.Loss(e).ValueOrDie(), b.Loss(e).ValueOrDie());
+}
+
+TEST(TransformerTest, LossIsFiniteAndNearUniformAtInit) {
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  LmExample e = MakeExample({1, 7, 8, 9, 2}, 2);
+  double loss = m.Loss(e).ValueOrDie();
+  EXPECT_TRUE(std::isfinite(loss));
+  // Roughly ln(vocab) at random init.
+  EXPECT_NEAR(loss, std::log(24.0), 1.2);
+}
+
+TEST(TransformerTest, RejectsDegenerateExamples) {
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  LmExample too_short = MakeExample({1}, 0);
+  EXPECT_FALSE(m.Loss(too_short).ok());
+  LmExample no_loss = MakeExample({1, 2, 3}, 3);
+  EXPECT_FALSE(m.Loss(no_loss).ok());
+  LmExample bad_token = MakeExample({1, 99, 2}, 1);
+  EXPECT_FALSE(m.Loss(bad_token).ok());
+  LmExample mismatched;
+  mismatched.tokens = {1, 2, 3};
+  mismatched.loss_mask = {0, 1};
+  EXPECT_FALSE(m.Loss(mismatched).ok());
+}
+
+TEST(TransformerTest, LongSequencesLeftTruncated) {
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  std::vector<int> tokens(40, 7);
+  tokens.back() = 9;
+  LmExample e = MakeExample(tokens, 39);
+  EXPECT_TRUE(m.Loss(e).ok());
+}
+
+TEST(TransformerTest, OverfitsASingleExample) {
+  // Behavioural gradient check: the loss on one repeated example must
+  // collapse towards zero, which only happens if the hand-written backward
+  // pass points downhill through every layer.
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  LmExample e = MakeExample({1, 7, 8, 9, 10, 2}, 2);
+  double before = m.Loss(e).ValueOrDie();
+  for (int step = 0; step < 120; ++step) {
+    ASSERT_TRUE(m.TrainBatch({e}, 3e-3).ok());
+  }
+  double after = m.Loss(e).ValueOrDie();
+  EXPECT_LT(after, before * 0.2)
+      << "loss failed to drop under single-example overfit: " << before
+      << " -> " << after;
+  EXPECT_LT(after, 0.2);
+}
+
+TEST(TransformerTest, LearnsACopyTask) {
+  // Sequence "<bos> a b <sep> a b <eos>": the model must learn to copy.
+  TransformerConfig c = TinyConfig();
+  Transformer m = Transformer::Create(c).ValueOrDie();
+  Rng rng(5);
+  auto make = [&rng](int x, int y) {
+    LmExample e;
+    e.tokens = {1, x, y, 3, x, y, 2};
+    e.loss_mask = {0, 0, 0, 0, 1, 1, 1};
+    return e;
+  };
+  std::vector<LmExample> train;
+  for (int i = 0; i < 64; ++i) {
+    train.push_back(make(static_cast<int>(rng.UniformInt(6, 23)),
+                         static_cast<int>(rng.UniformInt(6, 23))));
+  }
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    for (std::size_t i = 0; i + 8 <= train.size(); i += 8) {
+      std::vector<LmExample> batch(train.begin() + i, train.begin() + i + 8);
+      ASSERT_TRUE(m.TrainBatch(batch, 2e-3).ok());
+    }
+  }
+  // Evaluate greedy copy on unseen pairs.
+  int correct = 0, total = 0;
+  for (int x = 6; x <= 10; ++x) {
+    for (int y = 11; y <= 15; ++y) {
+      std::vector<int> generated =
+          m.Greedy({1, x, y, 3}, 3, /*eos=*/2).ValueOrDie();
+      ++total;
+      if (generated.size() >= 2 && generated[0] == x && generated[1] == y) {
+        ++correct;
+      }
+    }
+  }
+  EXPECT_GE(correct, total * 3 / 5)
+      << "copy accuracy " << correct << "/" << total;
+}
+
+TEST(TransformerTest, NextLogitsShapeAndDeterminism) {
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  std::vector<float> l1 = m.NextLogits({1, 7, 8}).ValueOrDie();
+  std::vector<float> l2 = m.NextLogits({1, 7, 8}).ValueOrDie();
+  ASSERT_EQ(l1.size(), 24u);
+  EXPECT_EQ(l1, l2);
+  EXPECT_FALSE(m.NextLogits({}).ok());
+}
+
+TEST(TransformerTest, GreedyStopsAtEos) {
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  std::vector<int> out = m.Greedy({1, 7}, 5, /*eos=*/2).ValueOrDie();
+  EXPECT_LE(out.size(), 5u);
+  for (int id : out) EXPECT_NE(id, 2);
+}
+
+TEST(TransformerTest, TrainBatchRejectsEmpty) {
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  EXPECT_FALSE(m.TrainBatch({}, 1e-3).ok());
+}
+
+TEST(TransformerTest, SaveLoadRoundTrip) {
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  LmExample e = MakeExample({1, 7, 8, 9, 2}, 2);
+  ASSERT_TRUE(m.TrainBatch({e}, 1e-3).ok());
+  std::string path =
+      (std::filesystem::temp_directory_path() / "dimqr_tf_test.bin").string();
+  ASSERT_TRUE(m.Save(path).ok());
+  Transformer loaded = Transformer::Load(path).ValueOrDie();
+  EXPECT_EQ(loaded.num_parameters(), m.num_parameters());
+  EXPECT_DOUBLE_EQ(loaded.Loss(e).ValueOrDie(), m.Loss(e).ValueOrDie());
+  std::filesystem::remove(path);
+}
+
+TEST(TransformerTest, LoadRejectsMissing) {
+  EXPECT_FALSE(Transformer::Load("/no/such/model.bin").ok());
+}
+
+TEST(TransformerTest, CachedDecoderMatchesFullForward) {
+  // Greedy uses the KV-cache decoder; its next-token choice must match the
+  // full-forward NextLogits path at every step.
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  LmExample e = MakeExample({1, 7, 8, 9, 10, 2}, 2);
+  for (int step = 0; step < 40; ++step) {
+    ASSERT_TRUE(m.TrainBatch({e}, 3e-3).ok());
+  }
+  std::vector<int> prefix = {1, 7, 8};
+  std::vector<int> generated = m.Greedy(prefix, 6, /*eos=*/2).ValueOrDie();
+  std::vector<int> slow_sequence = prefix;
+  std::vector<int> slow_generated;
+  for (int step = 0; step < 6; ++step) {
+    std::vector<float> logits = m.NextLogits(slow_sequence).ValueOrDie();
+    int best = 0;
+    for (int v = 1; v < static_cast<int>(logits.size()); ++v) {
+      if (logits[v] > logits[best]) best = v;
+    }
+    if (best == 2) break;
+    slow_generated.push_back(best);
+    slow_sequence.push_back(best);
+  }
+  EXPECT_EQ(generated, slow_generated);
+}
+
+}  // namespace
+}  // namespace dimqr::lm

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "lm/mock_llm.h"
+#include "mwp/augment.h"
+#include "mwp/slotting.h"
+#include "solver/pipelines.h"
+
+namespace dimqr::solver {
+namespace {
+
+std::shared_ptr<const kb::DimUnitKB> Kb() {
+  static const std::shared_ptr<const kb::DimUnitKB> kKb =
+      kb::DimUnitKB::Build().ValueOrDie();
+  return kKb;
+}
+
+Seq2SeqConfig TinyConfig() {
+  Seq2SeqConfig config;
+  config.arch.d_model = 32;
+  config.arch.n_heads = 2;
+  config.arch.n_layers = 2;
+  config.arch.d_ff = 96;
+  config.arch.max_seq = 96;
+  config.batch_size = 8;
+  config.learning_rate = 2e-3;
+  return config;
+}
+
+// --------------------------------------------------------- slotting
+
+TEST(SlottingTest, SlotsNumbersAndEquation) {
+  mwp::MwpGenerator gen(Kb());
+  auto problems = gen.Generate("s", 30, 0.3).ValueOrDie();
+  for (const mwp::TemplatedProblem& tp : problems) {
+    mwp::SlottedProblem slotted = mwp::SlotNumbers(tp.problem).ValueOrDie();
+    // Every slot literal appears in the original text and none in the
+    // slotted text.
+    for (std::size_t i = 0; i < slotted.slot_literals.size(); ++i) {
+      EXPECT_NE(tp.problem.text.find(slotted.slot_literals[i]),
+                std::string::npos);
+    }
+    EXPECT_NE(slotted.input_text.find("n1"), std::string::npos);
+    // Unslotting the gold equation reproduces the answer.
+    std::string unslotted =
+        mwp::UnslotEquation(slotted.equation, slotted.slot_literals);
+    EXPECT_TRUE(mwp::EquationAnswersMatch(unslotted, tp.problem.answer))
+        << tp.problem.text << "\n  slotted: " << slotted.equation
+        << "\n  unslotted: " << unslotted;
+  }
+}
+
+TEST(SlottingTest, AugmentedProblemsStillSlotCorrectly) {
+  mwp::MwpGenerator gen(Kb());
+  auto n = gen.Generate("s", 40, 0.3).ValueOrDie();
+  auto q = mwp::BuildQMwp(n, "q", *Kb(), {}).ValueOrDie();
+  int checked = 0;
+  for (const mwp::TemplatedProblem& tp : q) {
+    mwp::SlottedProblem slotted = mwp::SlotNumbers(tp.problem).ValueOrDie();
+    std::string unslotted =
+        mwp::UnslotEquation(slotted.equation, slotted.slot_literals);
+    EXPECT_TRUE(mwp::EquationAnswersMatch(unslotted, tp.problem.answer))
+        << tp.problem.text << "\n  eq: " << tp.problem.gold_equation.ToString()
+        << "\n  slotted: " << slotted.equation;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(SlottingTest, UnslotHandlesUnknownSlots) {
+  EXPECT_EQ(mwp::UnslotEquation("n1+n9", {"5"}), "(5)+n9");
+  EXPECT_EQ(mwp::UnslotEquation("n1*n2", {"3", "20%"}), "(3)*(20%)");
+  EXPECT_EQ(mwp::UnslotEquation("42", {}), "42");
+}
+
+TEST(SlottingTest, UnslotSurvivesDigitStorms) {
+  // Regression: an untrained model under digit tokenization can emit "n"
+  // followed by hundreds of digits; the slot index must not overflow into
+  // an out-of-bounds access.
+  std::string storm = "n";
+  for (int i = 0; i < 400; ++i) storm += "9";
+  std::string result = mwp::UnslotEquation(storm, {"5", "6"});
+  EXPECT_EQ(result, storm);  // unknown slot: left untouched
+  EXPECT_EQ(mwp::UnslotEquation("n2147483648", {"5"}), "n2147483648");
+}
+
+// ----------------------------------------------------- seq2seq model
+
+TEST(Seq2SeqTest, CreateRejectsEmptyTraining) {
+  EXPECT_FALSE(Seq2SeqModel::Create("m", {}, TinyConfig()).ok());
+}
+
+TEST(Seq2SeqTest, LearnsTinyMwpSubset) {
+  // Train on a small fixed pool of problems; evaluation on the training
+  // pool itself must reach high accuracy (pure capacity check), and on
+  // held-out problems from the same templates must beat the untrained
+  // model by a wide margin.
+  mwp::MwpGenerator gen(Kb());
+  auto train_problems = gen.Generate("train", 120, 0.0).ValueOrDie();
+  auto test_problems = gen.Generate("test", 40, 0.0).ValueOrDie();
+  auto model = Seq2SeqModel::Create(
+                   "mini", MakeMwpExamples(train_problems), TinyConfig())
+                   .ValueOrDie();
+  double before = EvaluateMwpAccuracy(*model, test_problems);
+  ASSERT_TRUE(model->TrainEpochs(30).ok());
+  double train_acc = EvaluateMwpAccuracy(*model, train_problems);
+  double test_acc = EvaluateMwpAccuracy(*model, test_problems);
+  EXPECT_GT(train_acc, 0.6) << "failed to fit the training pool";
+  EXPECT_GT(test_acc, before + 0.3) << "no generalization: " << before
+                                    << " -> " << test_acc;
+}
+
+TEST(Seq2SeqTest, AnswerChoiceParsesLetters) {
+  // A model trained on a trivial single mapping answers with a letter.
+  std::vector<SeqExample> train;
+  for (int i = 0; i < 40; ++i) {
+    SeqExample ex;
+    ex.input = "task: trivial | a: yes | b: no";
+    ex.middle = "the answer is a";
+    ex.answer = "a";
+    train.push_back(ex);
+  }
+  auto model = Seq2SeqModel::Create("m", train, TinyConfig()).ValueOrDie();
+  ASSERT_TRUE(model->TrainEpochs(20).ok());
+  lm::ChoiceQuestion q;
+  q.prompt = "task: trivial | a: yes | b: no";
+  q.choices = {"yes", "no"};
+  q.gold_index = 0;
+  lm::ChoiceAnswer a = model->AnswerChoice(q);
+  EXPECT_EQ(a.index, 0);
+}
+
+TEST(Seq2SeqTest, TrainStepsAdvanceCounter) {
+  std::vector<SeqExample> train = MakeGenericInstructionExamples(32, 5);
+  auto model = Seq2SeqModel::Create("m", train, TinyConfig()).ValueOrDie();
+  EXPECT_EQ(model->steps_taken(), 0);
+  ASSERT_TRUE(model->TrainSteps(5).ok());
+  EXPECT_EQ(model->steps_taken(), 5);
+  EXPECT_FALSE(model->TrainSteps(0).ok());
+}
+
+TEST(Seq2SeqTest, ReplaceTrainingSetKeepsVocab) {
+  std::vector<SeqExample> phase1 = MakeGenericInstructionExamples(16, 5);
+  mwp::MwpGenerator gen(Kb());
+  auto problems = gen.Generate("p", 16, 0.0).ValueOrDie();
+  std::vector<SeqExample> phase2 = MakeMwpExamples(problems);
+  auto model =
+      Seq2SeqModel::Create("m", phase1, TinyConfig(), phase2).ValueOrDie();
+  std::size_t vocab_size = model->vocab().size();
+  ASSERT_TRUE(model->TrainSteps(2).ok());
+  ASSERT_TRUE(model->ReplaceTrainingSet(phase2).ok());
+  EXPECT_EQ(model->vocab().size(), vocab_size);
+  ASSERT_TRUE(model->TrainSteps(2).ok());
+  EXPECT_FALSE(model->ReplaceTrainingSet({}).ok());
+}
+
+// ----------------------------------------------------- pipelines
+
+TEST(PipelinesTest, MakeDimEvalExamplesSkipsExtraction) {
+  dimeval::TaskInstance choice;
+  choice.task = "unit_conversion";
+  choice.prompt = "p";
+  choice.reasoning = "r";
+  choice.gold_index = 2;
+  dimeval::TaskInstance extraction;
+  extraction.task = "quantity_extraction";
+  extraction.source_text = "text";
+  std::vector<SeqExample> examples =
+      MakeDimEvalExamples({choice, extraction});
+  ASSERT_EQ(examples.size(), 1u);
+  EXPECT_EQ(examples[0].answer, "c");
+  EXPECT_FALSE(examples[0].middle_is_equation);
+}
+
+TEST(PipelinesTest, GenericInstructionShapes) {
+  std::vector<SeqExample> examples = MakeGenericInstructionExamples(50, 9);
+  ASSERT_EQ(examples.size(), 50u);
+  for (const SeqExample& ex : examples) {
+    EXPECT_NE(ex.input.find("| a: "), std::string::npos);
+    ASSERT_EQ(ex.answer.size(), 1u);
+    EXPECT_GE(ex.answer[0], 'a');
+    EXPECT_LE(ex.answer[0], 'd');
+  }
+}
+
+TEST(PipelinesTest, MockModelScoresOnMwp) {
+  mwp::MwpGenerator gen(Kb());
+  auto problems = gen.Generate("n_math23k", 60, 0.3).ValueOrDie();
+  lm::MockLlm good("Good", {{"n_math23k", {1.0, 1.0}}});
+  lm::MockLlm bad("Bad", {{"n_math23k", {0.0, 1.0}}});
+  EXPECT_GT(EvaluateMwpAccuracy(good, problems), 0.95);
+  EXPECT_LT(EvaluateMwpAccuracy(bad, problems), 0.05);
+  lm::MockLlm half("Half", {{"n_math23k", {0.5, 1.0}}});
+  double acc = EvaluateMwpAccuracy(half, problems);
+  EXPECT_GT(acc, 0.3);
+  EXPECT_LT(acc, 0.7);
+}
+
+}  // namespace
+}  // namespace dimqr::solver

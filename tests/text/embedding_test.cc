@@ -1,0 +1,139 @@
+#include "text/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "text/corpus.h"
+
+namespace dimqr::text {
+namespace {
+
+/// Builds a small two-topic corpus: temperature words vs length words.
+std::vector<std::vector<std::string>> TwoTopicCorpus() {
+  std::vector<TopicCluster> clusters = {
+      {"temperature",
+       {"temperature", "celsius", "kelvin", "fahrenheit", "thermometer",
+        "heat", "degree", "warm"}},
+      {"length",
+       {"length", "metre", "kilometre", "centimetre", "distance", "ruler",
+        "tall", "far"}},
+  };
+  CorpusOptions opt;
+  opt.sentences_per_cluster = 400;
+  opt.seed = 11;
+  return GenerateClusterCorpus(clusters, opt);
+}
+
+TEST(EmbeddingTest, TrainRejectsBadConfig) {
+  EmbeddingConfig cfg;
+  cfg.dimension = 0;
+  EXPECT_FALSE(Embedding::Train({{"a", "b"}}, cfg).ok());
+}
+
+TEST(EmbeddingTest, TrainRejectsEmptyCorpus) {
+  EmbeddingConfig cfg;
+  EXPECT_FALSE(Embedding::Train({}, cfg).ok());
+}
+
+TEST(EmbeddingTest, VocabRespectsMinCount) {
+  EmbeddingConfig cfg;
+  cfg.min_count = 2;
+  cfg.epochs = 1;
+  std::vector<std::vector<std::string>> corpus = {
+      {"aa", "bb", "aa", "bb"}, {"aa", "bb", "rare"}};
+  Embedding e = Embedding::Train(corpus, cfg).ValueOrDie();
+  EXPECT_TRUE(e.Contains("aa"));
+  EXPECT_TRUE(e.Contains("bb"));
+  EXPECT_FALSE(e.Contains("rare"));
+}
+
+TEST(EmbeddingTest, DeterministicForFixedSeed) {
+  auto corpus = TwoTopicCorpus();
+  EmbeddingConfig cfg;
+  cfg.epochs = 1;
+  Embedding a = Embedding::Train(corpus, cfg).ValueOrDie();
+  Embedding b = Embedding::Train(corpus, cfg).ValueOrDie();
+  ASSERT_EQ(a.vocab_size(), b.vocab_size());
+  EXPECT_DOUBLE_EQ(a.CosineSimilarity("celsius", "kelvin"),
+                   b.CosineSimilarity("celsius", "kelvin"));
+}
+
+TEST(EmbeddingTest, InTopicSimilarityBeatsCrossTopic) {
+  Embedding e = Embedding::Train(TwoTopicCorpus(), EmbeddingConfig{})
+                    .ValueOrDie();
+  double in_topic = e.CosineSimilarity("celsius", "thermometer");
+  double cross_topic = e.CosineSimilarity("celsius", "kilometre");
+  EXPECT_GT(in_topic, cross_topic);
+}
+
+TEST(EmbeddingTest, SelfSimilarityIsOne) {
+  Embedding e = Embedding::Train(TwoTopicCorpus(), EmbeddingConfig{})
+                    .ValueOrDie();
+  EXPECT_DOUBLE_EQ(e.CosineSimilarity("metre", "metre"), 1.0);
+}
+
+TEST(EmbeddingTest, OovFallsBackToStringSimilarity) {
+  Embedding e = Embedding::Train(TwoTopicCorpus(), EmbeddingConfig{})
+                    .ValueOrDie();
+  // "metres" is OOV; string fallback should still rank it near "metre".
+  double oov_close = e.CosineSimilarity("metres", "metre");
+  double oov_far = e.CosineSimilarity("metres", "heat");
+  EXPECT_GT(oov_close, oov_far);
+}
+
+TEST(EmbeddingTest, VectorOfReturnsNullForOov) {
+  Embedding e = Embedding::Train(TwoTopicCorpus(), EmbeddingConfig{})
+                    .ValueOrDie();
+  EXPECT_EQ(e.VectorOf("nonexistent_word"), nullptr);
+  EXPECT_NE(e.VectorOf("metre"), nullptr);
+}
+
+TEST(EmbeddingTest, MostSimilarFindsTopicNeighbours) {
+  Embedding e = Embedding::Train(TwoTopicCorpus(), EmbeddingConfig{})
+                    .ValueOrDie();
+  auto sims = e.MostSimilar("celsius", 5);
+  ASSERT_EQ(sims.size(), 5u);
+  // At least 3 of the 5 nearest neighbours should be temperature words.
+  int temp_hits = 0;
+  for (const auto& [w, s] : sims) {
+    if (w == "kelvin" || w == "fahrenheit" || w == "thermometer" ||
+        w == "temperature" || w == "heat" || w == "degree" || w == "warm") {
+      ++temp_hits;
+    }
+  }
+  EXPECT_GE(temp_hits, 3) << "nearest neighbours leak across topics";
+}
+
+TEST(EmbeddingTest, MostSimilarOovEmpty) {
+  Embedding e = Embedding::Train(TwoTopicCorpus(), EmbeddingConfig{})
+                    .ValueOrDie();
+  EXPECT_TRUE(e.MostSimilar("zzzz").empty());
+}
+
+TEST(CorpusTest, GeneratesRequestedVolume) {
+  std::vector<TopicCluster> clusters = {{"t", {"a", "b", "c"}}};
+  CorpusOptions opt;
+  opt.sentences_per_cluster = 50;
+  auto corpus = GenerateClusterCorpus(clusters, opt);
+  EXPECT_EQ(corpus.size(), 50u);
+  for (const auto& s : corpus) {
+    EXPECT_GE(s.size(), 3u);
+  }
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  std::vector<TopicCluster> clusters = {{"t", {"a", "b", "c"}},
+                                        {"u", {"x", "y"}}};
+  CorpusOptions opt;
+  opt.seed = 99;
+  auto c1 = GenerateClusterCorpus(clusters, opt);
+  auto c2 = GenerateClusterCorpus(clusters, opt);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(CorpusTest, EmptyClustersSkipped) {
+  std::vector<TopicCluster> clusters = {{"empty", {}}};
+  EXPECT_TRUE(GenerateClusterCorpus(clusters, CorpusOptions{}).empty());
+}
+
+}  // namespace
+}  // namespace dimqr::text

@@ -1,0 +1,61 @@
+#include "text/levenshtein.h"
+
+#include <gtest/gtest.h>
+
+namespace dimqr::text {
+namespace {
+
+TEST(LevenshteinTest, IdenticalStringsZeroDistance) {
+  EXPECT_EQ(LevenshteinDistance("metre", "metre"), 0u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+}
+
+TEST(LevenshteinTest, EmptyVsNonEmpty) {
+  EXPECT_EQ(LevenshteinDistance("", "km"), 2u);
+  EXPECT_EQ(LevenshteinDistance("km", ""), 2u);
+}
+
+TEST(LevenshteinTest, ClassicCases) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("meter", "metre"), 2u);
+  EXPECT_EQ(LevenshteinDistance("dyn/cm", "dyne/cm"), 1u);
+}
+
+TEST(LevenshteinTest, Symmetry) {
+  EXPECT_EQ(LevenshteinDistance("gram", "gramme"),
+            LevenshteinDistance("gramme", "gram"));
+}
+
+TEST(LevenshteinTest, TriangleInequality) {
+  std::string a = "newton", b = "nwton", c = "newtons";
+  EXPECT_LE(LevenshteinDistance(a, c),
+            LevenshteinDistance(a, b) + LevenshteinDistance(b, c));
+}
+
+TEST(LevenshteinTest, CountsCodePointsNotBytes) {
+  // Each CJK char is 3 bytes; distance must be in code points.
+  EXPECT_EQ(LevenshteinDistance("千克", "千米"), 1u);
+  EXPECT_EQ(LevenshteinDistance("千克", "克"), 1u);
+}
+
+TEST(LevenshteinTest, SimilarityRange) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("km", "km"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("ab", "xy"), 0.0);
+  double s = LevenshteinSimilarity("meter", "metre");
+  EXPECT_GT(s, 0.5);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(LevenshteinTest, SimilarityIgnoreCase) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarityIgnoreCase("KM", "km"), 1.0);
+  EXPECT_LT(LevenshteinSimilarity("KM", "km"), 1.0);
+}
+
+TEST(LevenshteinTest, CloserStringMoreSimilar) {
+  EXPECT_GT(LevenshteinSimilarity("kilometer", "kilometre"),
+            LevenshteinSimilarity("kilometer", "gram"));
+}
+
+}  // namespace
+}  // namespace dimqr::text

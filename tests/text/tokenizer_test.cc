@@ -1,0 +1,83 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace dimqr::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  auto toks = Tokenize("the quick fox");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "the");
+  EXPECT_EQ(toks[1].text, "quick");
+  EXPECT_EQ(toks[2].text, "fox");
+}
+
+TEST(TokenizerTest, SpansMatchSource) {
+  std::string s = "run 5 km/h";
+  auto toks = Tokenize(s);
+  for (const Token& t : toks) {
+    EXPECT_EQ(s.substr(t.begin, t.end - t.begin), t.text);
+  }
+}
+
+TEST(TokenizerTest, NumbersKeepDecimals) {
+  auto toks = Tokenize("height 2.06 meters");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "2.06");
+  EXPECT_EQ(toks[1].kind, Token::Kind::kNumber);
+}
+
+TEST(TokenizerTest, PunctuationSeparated) {
+  auto toks = Tokenize("m/s, fast!");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].text, "m");
+  EXPECT_EQ(toks[1].text, "/");
+  EXPECT_EQ(toks[1].kind, Token::Kind::kPunct);
+  EXPECT_EQ(toks[2].text, "s");
+  EXPECT_EQ(toks[3].text, ",");
+  EXPECT_EQ(toks[4].text, "fast");
+  EXPECT_EQ(toks[5].text, "!");
+}
+
+TEST(TokenizerTest, CjkCharactersAreSingleTokens) {
+  auto toks = Tokenize("重150千克");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "重");
+  EXPECT_EQ(toks[0].kind, Token::Kind::kCjk);
+  EXPECT_EQ(toks[1].text, "150");
+  EXPECT_EQ(toks[1].kind, Token::Kind::kNumber);
+  EXPECT_EQ(toks[2].text, "千");
+  EXPECT_EQ(toks[3].text, "克");
+}
+
+TEST(TokenizerTest, TrailingSentenceDotNotPartOfNumber) {
+  auto toks = Tokenize("it is 5.");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[2].text, "5");
+  EXPECT_EQ(toks[3].text, ".");
+}
+
+TEST(TokenizerTest, AlphanumericWordsStayWhole) {
+  auto toks = Tokenize("model LPUI1T v2");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "LPUI1T");
+  EXPECT_EQ(toks[1].kind, Token::Kind::kWord);
+  EXPECT_EQ(toks[2].text, "v2");
+  EXPECT_EQ(toks[2].kind, Token::Kind::kWord);
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n").empty());
+}
+
+TEST(TokenizerTest, TokenizeLowerLowercases) {
+  auto toks = TokenizeLower("Run 5 KM");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "run");
+  EXPECT_EQ(toks[2], "km");
+}
+
+}  // namespace
+}  // namespace dimqr::text
