@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_quantity_kinds.dir/fig04_quantity_kinds.cc.o"
+  "CMakeFiles/fig04_quantity_kinds.dir/fig04_quantity_kinds.cc.o.d"
+  "fig04_quantity_kinds"
+  "fig04_quantity_kinds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_quantity_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_augmentation_rate.dir/fig06_augmentation_rate.cc.o"
+  "CMakeFiles/fig06_augmentation_rate.dir/fig06_augmentation_rate.cc.o.d"
+  "fig06_augmentation_rate"
+  "fig06_augmentation_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_augmentation_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

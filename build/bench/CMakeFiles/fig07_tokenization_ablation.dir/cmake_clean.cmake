@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tokenization_ablation.dir/fig07_tokenization_ablation.cc.o"
+  "CMakeFiles/fig07_tokenization_ablation.dir/fig07_tokenization_ablation.cc.o.d"
+  "fig07_tokenization_ablation"
+  "fig07_tokenization_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tokenization_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

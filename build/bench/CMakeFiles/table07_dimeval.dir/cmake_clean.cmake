@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_dimeval.dir/table07_dimeval.cc.o"
+  "CMakeFiles/table07_dimeval.dir/table07_dimeval.cc.o.d"
+  "table07_dimeval"
+  "table07_dimeval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_dimeval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_dimperc_vs_base.dir/table08_dimperc_vs_base.cc.o"
+  "CMakeFiles/table08_dimperc_vs_base.dir/table08_dimperc_vs_base.cc.o.d"
+  "table08_dimperc_vs_base"
+  "table08_dimperc_vs_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_dimperc_vs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_mwp_accuracy.dir/table09_mwp_accuracy.cc.o"
+  "CMakeFiles/table09_mwp_accuracy.dir/table09_mwp_accuracy.cc.o.d"
+  "table09_mwp_accuracy"
+  "table09_mwp_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_mwp_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

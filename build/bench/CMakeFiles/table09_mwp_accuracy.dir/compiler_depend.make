@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table09_mwp_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmwp_pipeline.dir/qmwp_pipeline.cpp.o"
+  "CMakeFiles/qmwp_pipeline.dir/qmwp_pipeline.cpp.o.d"
+  "qmwp_pipeline"
+  "qmwp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmwp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

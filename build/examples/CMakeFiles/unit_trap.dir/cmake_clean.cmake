@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_trap.dir/unit_trap.cpp.o"
+  "CMakeFiles/unit_trap.dir/unit_trap.cpp.o.d"
+  "unit_trap"
+  "unit_trap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

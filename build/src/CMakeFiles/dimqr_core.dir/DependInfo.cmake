@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dimension.cc" "src/CMakeFiles/dimqr_core.dir/core/dimension.cc.o" "gcc" "src/CMakeFiles/dimqr_core.dir/core/dimension.cc.o.d"
+  "/root/repo/src/core/quantity.cc" "src/CMakeFiles/dimqr_core.dir/core/quantity.cc.o" "gcc" "src/CMakeFiles/dimqr_core.dir/core/quantity.cc.o.d"
+  "/root/repo/src/core/rational.cc" "src/CMakeFiles/dimqr_core.dir/core/rational.cc.o" "gcc" "src/CMakeFiles/dimqr_core.dir/core/rational.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/CMakeFiles/dimqr_core.dir/core/rng.cc.o" "gcc" "src/CMakeFiles/dimqr_core.dir/core/rng.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/CMakeFiles/dimqr_core.dir/core/status.cc.o" "gcc" "src/CMakeFiles/dimqr_core.dir/core/status.cc.o.d"
+  "/root/repo/src/core/unit_expr.cc" "src/CMakeFiles/dimqr_core.dir/core/unit_expr.cc.o" "gcc" "src/CMakeFiles/dimqr_core.dir/core/unit_expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimqr_core.dir/core/dimension.cc.o"
+  "CMakeFiles/dimqr_core.dir/core/dimension.cc.o.d"
+  "CMakeFiles/dimqr_core.dir/core/quantity.cc.o"
+  "CMakeFiles/dimqr_core.dir/core/quantity.cc.o.d"
+  "CMakeFiles/dimqr_core.dir/core/rational.cc.o"
+  "CMakeFiles/dimqr_core.dir/core/rational.cc.o.d"
+  "CMakeFiles/dimqr_core.dir/core/rng.cc.o"
+  "CMakeFiles/dimqr_core.dir/core/rng.cc.o.d"
+  "CMakeFiles/dimqr_core.dir/core/status.cc.o"
+  "CMakeFiles/dimqr_core.dir/core/status.cc.o.d"
+  "CMakeFiles/dimqr_core.dir/core/unit_expr.cc.o"
+  "CMakeFiles/dimqr_core.dir/core/unit_expr.cc.o.d"
+  "libdimqr_core.a"
+  "libdimqr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimqr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

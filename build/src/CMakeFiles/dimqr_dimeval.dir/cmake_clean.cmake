@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimqr_dimeval.dir/dimeval/benchmark.cc.o"
+  "CMakeFiles/dimqr_dimeval.dir/dimeval/benchmark.cc.o.d"
+  "CMakeFiles/dimqr_dimeval.dir/dimeval/bootstrap_retrieval.cc.o"
+  "CMakeFiles/dimqr_dimeval.dir/dimeval/bootstrap_retrieval.cc.o.d"
+  "CMakeFiles/dimqr_dimeval.dir/dimeval/generators.cc.o"
+  "CMakeFiles/dimqr_dimeval.dir/dimeval/generators.cc.o.d"
+  "CMakeFiles/dimqr_dimeval.dir/dimeval/semi_auto_annotate.cc.o"
+  "CMakeFiles/dimqr_dimeval.dir/dimeval/semi_auto_annotate.cc.o.d"
+  "CMakeFiles/dimqr_dimeval.dir/dimeval/task.cc.o"
+  "CMakeFiles/dimqr_dimeval.dir/dimeval/task.cc.o.d"
+  "libdimqr_dimeval.a"
+  "libdimqr_dimeval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimqr_dimeval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

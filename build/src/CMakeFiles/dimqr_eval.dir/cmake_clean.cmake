@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimqr_eval.dir/eval/harness.cc.o"
+  "CMakeFiles/dimqr_eval.dir/eval/harness.cc.o.d"
+  "CMakeFiles/dimqr_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/dimqr_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/dimqr_eval.dir/eval/table.cc.o"
+  "CMakeFiles/dimqr_eval.dir/eval/table.cc.o.d"
+  "libdimqr_eval.a"
+  "libdimqr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimqr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

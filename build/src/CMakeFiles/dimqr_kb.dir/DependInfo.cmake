@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/catalog.cc" "src/CMakeFiles/dimqr_kb.dir/kb/catalog.cc.o" "gcc" "src/CMakeFiles/dimqr_kb.dir/kb/catalog.cc.o.d"
+  "/root/repo/src/kb/catalog_data_kinds.cc" "src/CMakeFiles/dimqr_kb.dir/kb/catalog_data_kinds.cc.o" "gcc" "src/CMakeFiles/dimqr_kb.dir/kb/catalog_data_kinds.cc.o.d"
+  "/root/repo/src/kb/catalog_data_rules.cc" "src/CMakeFiles/dimqr_kb.dir/kb/catalog_data_rules.cc.o" "gcc" "src/CMakeFiles/dimqr_kb.dir/kb/catalog_data_rules.cc.o.d"
+  "/root/repo/src/kb/catalog_data_units.cc" "src/CMakeFiles/dimqr_kb.dir/kb/catalog_data_units.cc.o" "gcc" "src/CMakeFiles/dimqr_kb.dir/kb/catalog_data_units.cc.o.d"
+  "/root/repo/src/kb/frequency.cc" "src/CMakeFiles/dimqr_kb.dir/kb/frequency.cc.o" "gcc" "src/CMakeFiles/dimqr_kb.dir/kb/frequency.cc.o.d"
+  "/root/repo/src/kb/kb.cc" "src/CMakeFiles/dimqr_kb.dir/kb/kb.cc.o" "gcc" "src/CMakeFiles/dimqr_kb.dir/kb/kb.cc.o.d"
+  "/root/repo/src/kb/prefix.cc" "src/CMakeFiles/dimqr_kb.dir/kb/prefix.cc.o" "gcc" "src/CMakeFiles/dimqr_kb.dir/kb/prefix.cc.o.d"
+  "/root/repo/src/kb/unit_record.cc" "src/CMakeFiles/dimqr_kb.dir/kb/unit_record.cc.o" "gcc" "src/CMakeFiles/dimqr_kb.dir/kb/unit_record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dimqr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimqr_kb.dir/kb/catalog.cc.o"
+  "CMakeFiles/dimqr_kb.dir/kb/catalog.cc.o.d"
+  "CMakeFiles/dimqr_kb.dir/kb/catalog_data_kinds.cc.o"
+  "CMakeFiles/dimqr_kb.dir/kb/catalog_data_kinds.cc.o.d"
+  "CMakeFiles/dimqr_kb.dir/kb/catalog_data_rules.cc.o"
+  "CMakeFiles/dimqr_kb.dir/kb/catalog_data_rules.cc.o.d"
+  "CMakeFiles/dimqr_kb.dir/kb/catalog_data_units.cc.o"
+  "CMakeFiles/dimqr_kb.dir/kb/catalog_data_units.cc.o.d"
+  "CMakeFiles/dimqr_kb.dir/kb/frequency.cc.o"
+  "CMakeFiles/dimqr_kb.dir/kb/frequency.cc.o.d"
+  "CMakeFiles/dimqr_kb.dir/kb/kb.cc.o"
+  "CMakeFiles/dimqr_kb.dir/kb/kb.cc.o.d"
+  "CMakeFiles/dimqr_kb.dir/kb/prefix.cc.o"
+  "CMakeFiles/dimqr_kb.dir/kb/prefix.cc.o.d"
+  "CMakeFiles/dimqr_kb.dir/kb/unit_record.cc.o"
+  "CMakeFiles/dimqr_kb.dir/kb/unit_record.cc.o.d"
+  "libdimqr_kb.a"
+  "libdimqr_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimqr_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/realizer.cc" "src/CMakeFiles/dimqr_kg.dir/kg/realizer.cc.o" "gcc" "src/CMakeFiles/dimqr_kg.dir/kg/realizer.cc.o.d"
+  "/root/repo/src/kg/synth_kg.cc" "src/CMakeFiles/dimqr_kg.dir/kg/synth_kg.cc.o" "gcc" "src/CMakeFiles/dimqr_kg.dir/kg/synth_kg.cc.o.d"
+  "/root/repo/src/kg/triple_store.cc" "src/CMakeFiles/dimqr_kg.dir/kg/triple_store.cc.o" "gcc" "src/CMakeFiles/dimqr_kg.dir/kg/triple_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dimqr_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimqr_kg.dir/kg/realizer.cc.o"
+  "CMakeFiles/dimqr_kg.dir/kg/realizer.cc.o.d"
+  "CMakeFiles/dimqr_kg.dir/kg/synth_kg.cc.o"
+  "CMakeFiles/dimqr_kg.dir/kg/synth_kg.cc.o.d"
+  "CMakeFiles/dimqr_kg.dir/kg/triple_store.cc.o"
+  "CMakeFiles/dimqr_kg.dir/kg/triple_store.cc.o.d"
+  "libdimqr_kg.a"
+  "libdimqr_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimqr_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

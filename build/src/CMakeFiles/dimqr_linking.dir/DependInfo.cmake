@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linking/annotator.cc" "src/CMakeFiles/dimqr_linking.dir/linking/annotator.cc.o" "gcc" "src/CMakeFiles/dimqr_linking.dir/linking/annotator.cc.o.d"
+  "/root/repo/src/linking/linker.cc" "src/CMakeFiles/dimqr_linking.dir/linking/linker.cc.o" "gcc" "src/CMakeFiles/dimqr_linking.dir/linking/linker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dimqr_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimqr_linking.dir/linking/annotator.cc.o"
+  "CMakeFiles/dimqr_linking.dir/linking/annotator.cc.o.d"
+  "CMakeFiles/dimqr_linking.dir/linking/linker.cc.o"
+  "CMakeFiles/dimqr_linking.dir/linking/linker.cc.o.d"
+  "libdimqr_linking.a"
+  "libdimqr_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimqr_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

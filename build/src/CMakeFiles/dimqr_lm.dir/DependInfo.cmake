@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lm/mock_llm.cc" "src/CMakeFiles/dimqr_lm.dir/lm/mock_llm.cc.o" "gcc" "src/CMakeFiles/dimqr_lm.dir/lm/mock_llm.cc.o.d"
+  "/root/repo/src/lm/ngram_lm.cc" "src/CMakeFiles/dimqr_lm.dir/lm/ngram_lm.cc.o" "gcc" "src/CMakeFiles/dimqr_lm.dir/lm/ngram_lm.cc.o.d"
+  "/root/repo/src/lm/transformer.cc" "src/CMakeFiles/dimqr_lm.dir/lm/transformer.cc.o" "gcc" "src/CMakeFiles/dimqr_lm.dir/lm/transformer.cc.o.d"
+  "/root/repo/src/lm/vocab.cc" "src/CMakeFiles/dimqr_lm.dir/lm/vocab.cc.o" "gcc" "src/CMakeFiles/dimqr_lm.dir/lm/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dimqr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimqr_lm.dir/lm/mock_llm.cc.o"
+  "CMakeFiles/dimqr_lm.dir/lm/mock_llm.cc.o.d"
+  "CMakeFiles/dimqr_lm.dir/lm/ngram_lm.cc.o"
+  "CMakeFiles/dimqr_lm.dir/lm/ngram_lm.cc.o.d"
+  "CMakeFiles/dimqr_lm.dir/lm/transformer.cc.o"
+  "CMakeFiles/dimqr_lm.dir/lm/transformer.cc.o.d"
+  "CMakeFiles/dimqr_lm.dir/lm/vocab.cc.o"
+  "CMakeFiles/dimqr_lm.dir/lm/vocab.cc.o.d"
+  "libdimqr_lm.a"
+  "libdimqr_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimqr_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

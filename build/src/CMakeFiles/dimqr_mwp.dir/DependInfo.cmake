@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mwp/augment.cc" "src/CMakeFiles/dimqr_mwp.dir/mwp/augment.cc.o" "gcc" "src/CMakeFiles/dimqr_mwp.dir/mwp/augment.cc.o.d"
+  "/root/repo/src/mwp/equation.cc" "src/CMakeFiles/dimqr_mwp.dir/mwp/equation.cc.o" "gcc" "src/CMakeFiles/dimqr_mwp.dir/mwp/equation.cc.o.d"
+  "/root/repo/src/mwp/generator.cc" "src/CMakeFiles/dimqr_mwp.dir/mwp/generator.cc.o" "gcc" "src/CMakeFiles/dimqr_mwp.dir/mwp/generator.cc.o.d"
+  "/root/repo/src/mwp/slotting.cc" "src/CMakeFiles/dimqr_mwp.dir/mwp/slotting.cc.o" "gcc" "src/CMakeFiles/dimqr_mwp.dir/mwp/slotting.cc.o.d"
+  "/root/repo/src/mwp/stats.cc" "src/CMakeFiles/dimqr_mwp.dir/mwp/stats.cc.o" "gcc" "src/CMakeFiles/dimqr_mwp.dir/mwp/stats.cc.o.d"
+  "/root/repo/src/mwp/tokenization.cc" "src/CMakeFiles/dimqr_mwp.dir/mwp/tokenization.cc.o" "gcc" "src/CMakeFiles/dimqr_mwp.dir/mwp/tokenization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dimqr_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

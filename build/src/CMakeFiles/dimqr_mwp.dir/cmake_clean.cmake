@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimqr_mwp.dir/mwp/augment.cc.o"
+  "CMakeFiles/dimqr_mwp.dir/mwp/augment.cc.o.d"
+  "CMakeFiles/dimqr_mwp.dir/mwp/equation.cc.o"
+  "CMakeFiles/dimqr_mwp.dir/mwp/equation.cc.o.d"
+  "CMakeFiles/dimqr_mwp.dir/mwp/generator.cc.o"
+  "CMakeFiles/dimqr_mwp.dir/mwp/generator.cc.o.d"
+  "CMakeFiles/dimqr_mwp.dir/mwp/slotting.cc.o"
+  "CMakeFiles/dimqr_mwp.dir/mwp/slotting.cc.o.d"
+  "CMakeFiles/dimqr_mwp.dir/mwp/stats.cc.o"
+  "CMakeFiles/dimqr_mwp.dir/mwp/stats.cc.o.d"
+  "CMakeFiles/dimqr_mwp.dir/mwp/tokenization.cc.o"
+  "CMakeFiles/dimqr_mwp.dir/mwp/tokenization.cc.o.d"
+  "libdimqr_mwp.a"
+  "libdimqr_mwp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimqr_mwp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimqr_solver.dir/solver/dimperc.cc.o"
+  "CMakeFiles/dimqr_solver.dir/solver/dimperc.cc.o.d"
+  "CMakeFiles/dimqr_solver.dir/solver/pipelines.cc.o"
+  "CMakeFiles/dimqr_solver.dir/solver/pipelines.cc.o.d"
+  "CMakeFiles/dimqr_solver.dir/solver/seq2seq.cc.o"
+  "CMakeFiles/dimqr_solver.dir/solver/seq2seq.cc.o.d"
+  "libdimqr_solver.a"
+  "libdimqr_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimqr_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

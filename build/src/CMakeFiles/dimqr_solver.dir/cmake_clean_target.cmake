@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdimqr_solver.a"
+)

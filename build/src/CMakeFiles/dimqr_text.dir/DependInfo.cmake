@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/corpus.cc" "src/CMakeFiles/dimqr_text.dir/text/corpus.cc.o" "gcc" "src/CMakeFiles/dimqr_text.dir/text/corpus.cc.o.d"
+  "/root/repo/src/text/embedding.cc" "src/CMakeFiles/dimqr_text.dir/text/embedding.cc.o" "gcc" "src/CMakeFiles/dimqr_text.dir/text/embedding.cc.o.d"
+  "/root/repo/src/text/levenshtein.cc" "src/CMakeFiles/dimqr_text.dir/text/levenshtein.cc.o" "gcc" "src/CMakeFiles/dimqr_text.dir/text/levenshtein.cc.o.d"
+  "/root/repo/src/text/number_scanner.cc" "src/CMakeFiles/dimqr_text.dir/text/number_scanner.cc.o" "gcc" "src/CMakeFiles/dimqr_text.dir/text/number_scanner.cc.o.d"
+  "/root/repo/src/text/string_util.cc" "src/CMakeFiles/dimqr_text.dir/text/string_util.cc.o" "gcc" "src/CMakeFiles/dimqr_text.dir/text/string_util.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/dimqr_text.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/dimqr_text.dir/text/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dimqr_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

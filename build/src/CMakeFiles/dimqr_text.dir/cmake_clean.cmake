@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimqr_text.dir/text/corpus.cc.o"
+  "CMakeFiles/dimqr_text.dir/text/corpus.cc.o.d"
+  "CMakeFiles/dimqr_text.dir/text/embedding.cc.o"
+  "CMakeFiles/dimqr_text.dir/text/embedding.cc.o.d"
+  "CMakeFiles/dimqr_text.dir/text/levenshtein.cc.o"
+  "CMakeFiles/dimqr_text.dir/text/levenshtein.cc.o.d"
+  "CMakeFiles/dimqr_text.dir/text/number_scanner.cc.o"
+  "CMakeFiles/dimqr_text.dir/text/number_scanner.cc.o.d"
+  "CMakeFiles/dimqr_text.dir/text/string_util.cc.o"
+  "CMakeFiles/dimqr_text.dir/text/string_util.cc.o.d"
+  "CMakeFiles/dimqr_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/dimqr_text.dir/text/tokenizer.cc.o.d"
+  "libdimqr_text.a"
+  "libdimqr_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimqr_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimeval_test.dir/dimeval/dimeval_test.cc.o"
+  "CMakeFiles/dimeval_test.dir/dimeval/dimeval_test.cc.o.d"
+  "dimeval_test"
+  "dimeval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimeval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

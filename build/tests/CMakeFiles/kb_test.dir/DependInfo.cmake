@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kb/frequency_test.cc" "tests/CMakeFiles/kb_test.dir/kb/frequency_test.cc.o" "gcc" "tests/CMakeFiles/kb_test.dir/kb/frequency_test.cc.o.d"
+  "/root/repo/tests/kb/kb_test.cc" "tests/CMakeFiles/kb_test.dir/kb/kb_test.cc.o" "gcc" "tests/CMakeFiles/kb_test.dir/kb/kb_test.cc.o.d"
+  "/root/repo/tests/kb/prefix_test.cc" "tests/CMakeFiles/kb_test.dir/kb/prefix_test.cc.o" "gcc" "tests/CMakeFiles/kb_test.dir/kb/prefix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dimqr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_dimeval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_mwp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dimqr_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

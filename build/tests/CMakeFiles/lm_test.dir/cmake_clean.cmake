@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_test.dir/lm/lm_misc_test.cc.o"
+  "CMakeFiles/lm_test.dir/lm/lm_misc_test.cc.o.d"
+  "CMakeFiles/lm_test.dir/lm/transformer_test.cc.o"
+  "CMakeFiles/lm_test.dir/lm/transformer_test.cc.o.d"
+  "lm_test"
+  "lm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwp_test.dir/mwp/equation_test.cc.o"
+  "CMakeFiles/mwp_test.dir/mwp/equation_test.cc.o.d"
+  "CMakeFiles/mwp_test.dir/mwp/mwp_test.cc.o"
+  "CMakeFiles/mwp_test.dir/mwp/mwp_test.cc.o.d"
+  "mwp_test"
+  "mwp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/kb_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+add_test(linking_test "/root/repo/build/tests/linking_test")
+set_tests_properties(linking_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;33;dimqr_add_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
+add_test(kg_test "/root/repo/build/tests/kg_test")
+set_tests_properties(kg_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;38;dimqr_add_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lm_test "/root/repo/build/tests/lm_test")
+set_tests_properties(lm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;42;dimqr_add_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dimeval_test "/root/repo/build/tests/dimeval_test")
+set_tests_properties(dimeval_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;47;dimqr_add_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mwp_test "/root/repo/build/tests/mwp_test")
+set_tests_properties(mwp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;51;dimqr_add_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
+add_test(solver_test "/root/repo/build/tests/solver_test")
+set_tests_properties(solver_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;56;dimqr_add_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eval_test "/root/repo/build/tests/eval_test")
+set_tests_properties(eval_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;61;dimqr_add_test_monolithic;/root/repo/tests/CMakeLists.txt;0;")
