@@ -10,23 +10,22 @@
 
 int main() {
   const dimqr::benchutil::World& world = dimqr::benchutil::GetWorld();
-  std::vector<const dimqr::kb::UnitRecord*> ranked =
-      world.kb->UnitsByFrequency();
+  std::vector<dimqr::UnitId> ranked = world.kb->UnitsByFrequency();
 
   std::cout << "=== Figure 3: units ranked by Freq(u) (Eq. 1-2; "
                "alpha=(0.3,0.3,0.4), delta=0.1) ===\n\n";
   constexpr int kTop = 24;
   for (int i = 0; i < kTop && i < static_cast<int>(ranked.size()); ++i) {
-    const dimqr::kb::UnitRecord* u = ranked[i];
-    int bar = static_cast<int>(u->frequency * 48.0);
-    std::printf("%2d. %-22s %5.3f |%s\n", i + 1, u->label_en.c_str(),
-                u->frequency, std::string(bar, '#').c_str());
+    const dimqr::kb::UnitRecord& u = world.kb->Get(ranked[i]);
+    int bar = static_cast<int>(u.frequency * 48.0);
+    std::printf("%2d. %-22s %5.3f |%s\n", i + 1, u.label_en.c_str(),
+                u.frequency, std::string(bar, '#').c_str());
   }
   std::cout << "\n... tail of the ranking ...\n";
   for (std::size_t i = ranked.size() - 3; i < ranked.size(); ++i) {
-    const dimqr::kb::UnitRecord* u = ranked[i];
-    std::printf("%4zu. %-40s %5.3f\n", i + 1, u->label_en.c_str(),
-                u->frequency);
+    const dimqr::kb::UnitRecord& u = world.kb->Get(ranked[i]);
+    std::printf("%4zu. %-40s %5.3f\n", i + 1, u.label_en.c_str(),
+                u.frequency);
   }
 
   // The paper's motivating contrast (Section III-A4): metre common,

@@ -16,9 +16,14 @@ int main() {
   constexpr std::size_t kTop = 14;
   for (std::size_t i = 0; i < kTop && i < kinds.size(); ++i) {
     const auto& [kind, freq] = kinds[i];
-    std::printf("%2zu. %-28s %5.3f\n", i + 1, kind->name.c_str(), freq);
-    std::vector<const dimqr::kb::UnitRecord*> members =
-        world.kb->UnitsOfKind(kind->name);
+    std::printf("%2zu. %-28s %5.3f\n", i + 1,
+                world.kb->GetKind(kind).name.c_str(), freq);
+    std::span<const dimqr::UnitId> member_ids = world.kb->UnitsOfKind(kind);
+    std::vector<const dimqr::kb::UnitRecord*> members;
+    members.reserve(member_ids.size());
+    for (dimqr::UnitId uid : member_ids) {
+      members.push_back(&world.kb->Get(uid));
+    }
     std::sort(members.begin(), members.end(),
               [](const dimqr::kb::UnitRecord* a,
                  const dimqr::kb::UnitRecord* b) {
@@ -33,9 +38,10 @@ int main() {
   // Shape check: everyday kinds (Length, Time, Mass) rank in the top 14.
   bool length = false, time = false, mass = false;
   for (std::size_t i = 0; i < kTop && i < kinds.size(); ++i) {
-    if (kinds[i].first->name == "Length") length = true;
-    if (kinds[i].first->name == "Time") time = true;
-    if (kinds[i].first->name == "Mass") mass = true;
+    const std::string& name = world.kb->GetKind(kinds[i].first).name;
+    if (name == "Length") length = true;
+    if (name == "Time") time = true;
+    if (name == "Mass") mass = true;
   }
   std::printf("\nShape check (Length/Time/Mass in top %zu): %s\n", kTop,
               length && time && mass ? "PRESERVED" : "VIOLATED");

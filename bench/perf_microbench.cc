@@ -5,13 +5,70 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "bench/common.h"
 #include "mwp/equation.h"
 #include "text/levenshtein.h"
+#include "text/string_util.h"
 
 namespace {
 
 using namespace dimqr;
+
+// ---------------------------------------------------------------------
+// Legacy string-keyed replicas. These reconstruct the unordered_map
+// indexes and the flattened linker naming dictionary that the interned
+// identity layer (core/interner.h) retired, so the speedup of the handle
+// paths stays measurable against the real old implementation.
+
+struct LegacyKbIndex {
+  std::unordered_map<std::string, std::size_t> by_id;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_surface;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_surface_lower;
+  /// (surface form, unit index) pairs, the old linker candidate source.
+  std::vector<std::pair<std::string, std::size_t>> naming_dictionary;
+};
+
+const LegacyKbIndex& GetLegacyIndex() {
+  static const LegacyKbIndex* const kIndex = [] {
+    auto* idx = new LegacyKbIndex();
+    const std::vector<kb::UnitRecord>& units = benchutil::GetWorld().kb->units();
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      idx->by_id[units[i].id] = i;
+      for (const std::string& surface : units[i].SurfaceForms()) {
+        if (surface.empty()) continue;
+        idx->by_surface[surface].push_back(i);
+        idx->by_surface_lower[text::ToLowerAscii(surface)].push_back(i);
+        idx->naming_dictionary.emplace_back(surface, i);
+      }
+    }
+    return idx;
+  }();
+  return *kIndex;
+}
+
+/// Replica of the retired string-keyed DimUnitKB::FindBySurface: per-call
+/// std::string key materialization, hash probes and a freshly allocated
+/// result vector.
+std::vector<const kb::UnitRecord*> LegacyFindBySurface(
+    std::string_view surface) {
+  const LegacyKbIndex& idx = GetLegacyIndex();
+  const std::vector<kb::UnitRecord>& units = benchutil::GetWorld().kb->units();
+  std::vector<const kb::UnitRecord*> out;
+  auto exact = idx.by_surface.find(std::string(surface));
+  if (exact != idx.by_surface.end()) {
+    for (std::size_t i : exact->second) out.push_back(&units[i]);
+    return out;
+  }
+  auto lower = idx.by_surface_lower.find(text::ToLowerAscii(surface));
+  if (lower != idx.by_surface_lower.end()) {
+    for (std::size_t i : lower->second) out.push_back(&units[i]);
+  }
+  return out;
+}
 
 void BM_DimensionTimes(benchmark::State& state) {
   Dimension force = dims::Force();
@@ -62,6 +119,28 @@ void BM_KbFindBySurface(benchmark::State& state) {
 }
 BENCHMARK(BM_KbFindBySurface);
 
+void BM_KbFindBySurfaceSpan(benchmark::State& state) {
+  // The interned path: SymbolTable lookup + CSR span, zero allocation.
+  const auto& world = benchutil::GetWorld();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.kb->FindBySurface("km"));
+    benchmark::DoNotOptimize(world.kb->FindBySurface("kilograms"));
+    benchmark::DoNotOptimize(world.kb->FindBySurface("千克"));
+  }
+}
+BENCHMARK(BM_KbFindBySurfaceSpan);
+
+void BM_KbFindBySurfaceLegacyMap(benchmark::State& state) {
+  // The retired path, same three queries.
+  GetLegacyIndex();  // build outside the timed region
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LegacyFindBySurface("km"));
+    benchmark::DoNotOptimize(LegacyFindBySurface("kilograms"));
+    benchmark::DoNotOptimize(LegacyFindBySurface("千克"));
+  }
+}
+BENCHMARK(BM_KbFindBySurfaceLegacyMap);
+
 void BM_KbConversionFactor(benchmark::State& state) {
   const auto& world = benchutil::GetWorld();
   for (auto _ : state) {
@@ -69,6 +148,34 @@ void BM_KbConversionFactor(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KbConversionFactor);
+
+void BM_ConversionFactorCached(benchmark::State& state) {
+  // Handles resolved once, then every call is two array reads into the
+  // per-dimension-class memo table.
+  const auto& world = benchutil::GetWorld();
+  const UnitId mi = world.kb->IdOf("MI");
+  const UnitId km = world.kb->IdOf("KiloM");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.kb->ConversionFactor(mi, km));
+  }
+}
+BENCHMARK(BM_ConversionFactorCached);
+
+void BM_ConversionFactorLegacyString(benchmark::State& state) {
+  // Replica of the retired path: two string-keyed id lookups plus a full
+  // exact-rational factor computation on every call.
+  const auto& world = benchutil::GetWorld();
+  const LegacyKbIndex& idx = GetLegacyIndex();
+  const std::vector<kb::UnitRecord>& units = world.kb->units();
+  for (auto _ : state) {
+    const kb::UnitRecord& from = units[idx.by_id.find(std::string("MI"))->second];
+    const kb::UnitRecord& to =
+        units[idx.by_id.find(std::string("KiloM"))->second];
+    benchmark::DoNotOptimize(
+        from.Semantics().ConversionFactorTo(to.Semantics()));
+  }
+}
+BENCHMARK(BM_ConversionFactorLegacyString);
 
 void BM_Levenshtein(benchmark::State& state) {
   for (auto _ : state) {
@@ -86,6 +193,39 @@ void BM_UnitLinking(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UnitLinking);
+
+void BM_LinkerLinkHotPath(benchmark::State& state) {
+  // Full interned hot path: one edit-distance call per distinct lowercased
+  // surface, postings fan-out into flat arrays, then context scoring.
+  const auto& world = benchutil::GetWorld();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.linker->Link("km", "the distance of the trip"));
+  }
+}
+BENCHMARK(BM_LinkerLinkHotPath);
+
+void BM_LinkerCandidateGenLegacyDict(benchmark::State& state) {
+  // Replica of the retired candidate-generation step alone (no context
+  // scoring): scan the flattened (surface, unit) dictionary with one
+  // edit-distance call per pair, collecting best scores in a hash map.
+  const auto& world = benchutil::GetWorld();
+  const LegacyKbIndex& idx = GetLegacyIndex();
+  const double threshold = world.linker->config().mention_threshold;
+  for (auto _ : state) {
+    std::unordered_map<std::size_t, double> best_similarity;
+    for (const auto& [surface, index] : idx.naming_dictionary) {
+      double sim = text::LevenshteinSimilarityIgnoreCase(surface, "km");
+      if (sim < threshold) continue;
+      auto it = best_similarity.find(index);
+      if (it == best_similarity.end() || sim > it->second) {
+        best_similarity[index] = sim;
+      }
+    }
+    benchmark::DoNotOptimize(best_similarity);
+  }
+}
+BENCHMARK(BM_LinkerCandidateGenLegacyDict);
 
 void BM_AnnotateSentence(benchmark::State& state) {
   const auto& world = benchutil::GetWorld();

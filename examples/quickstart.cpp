@@ -40,8 +40,8 @@ int main() {
   for (const auto& ann : annotations) {
     Quantity q = annotator.ToQuantity(ann).ValueOrDie();
     std::cout << "  found " << q << "  (unit "
-              << (ann.HasUnit() ? ann.unit->id : "none") << ", dim "
-              << q.dimension().ToFormula() << ")\n";
+              << (ann.HasUnit() ? kb->Get(ann.unit).id : std::string("none"))
+              << ", dim " << q.dimension().ToFormula() << ")\n";
     quantities.push_back(q);
   }
 

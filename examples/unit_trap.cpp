@@ -22,10 +22,11 @@ int main() {
   auto annotations = annotator.Annotate(question);
   for (const auto& ann : annotations) {
     if (!ann.HasUnit()) continue;
+    const kb::UnitRecord& unit = kb->Get(ann.unit);
     std::cout << "  quantity: " << ann.number.value << " " << ann.unit_text
-              << "  -> linked to " << ann.unit->id << ", dimension "
-              << ann.unit->dimension.ToFormula() << " ("
-              << ann.unit->dimension.ToVectorForm() << ")\n";
+              << "  -> linked to " << unit.id << ", dimension "
+              << unit.dimension.ToFormula() << " ("
+              << unit.dimension.ToVectorForm() << ")\n";
   }
 
   const kb::UnitRecord* poundal = kb->FindById("POUNDAL").ValueOrDie();

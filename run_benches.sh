@@ -1,6 +1,8 @@
 #!/bin/bash
 # Runs every table/figure reproduction binary plus the micro-benchmarks,
-# in experiment order, writing the combined log to bench_output.txt.
+# in experiment order, writing the combined log to bench_output.txt. The
+# micro-benchmarks additionally dump machine-readable Google-benchmark
+# JSON to BENCH_perf.json (interned vs legacy string-keyed comparisons).
 cd "$(dirname "$0")"
 {
   for b in table04_kb_stats fig03_unit_frequency fig04_quantity_kinds \
@@ -10,7 +12,12 @@ cd "$(dirname "$0")"
     echo "############################################################"
     echo "### $b"
     echo "############################################################"
-    ./build/bench/$b 2>&1
+    if [ "$b" = perf_microbench ]; then
+      ./build/bench/$b --benchmark_out=BENCH_perf.json \
+                       --benchmark_out_format=json 2>&1
+    else
+      ./build/bench/$b 2>&1
+    fi
     echo
   done
 } | tee bench_output.txt

@@ -1,0 +1,76 @@
+#include "core/interner.h"
+
+#include <cstring>
+
+namespace dimqr {
+namespace {
+
+constexpr std::size_t kInitialBuckets = 64;  // Power of two.
+
+}  // namespace
+
+SymbolTable::SymbolTable() : buckets_(kInitialBuckets, 0) {}
+
+std::uint64_t SymbolTable::Hash(std::string_view s) {
+  // FNV-1a: tiny, deterministic across platforms, good enough for short
+  // symbol keys behind a power-of-two table.
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void SymbolTable::Rehash(std::size_t min_buckets) {
+  std::size_t n = buckets_.size();
+  while (n < min_buckets) n *= 2;
+  std::vector<std::uint32_t> fresh(n, 0);
+  for (std::uint32_t id = 1; id <= spans_.size(); ++id) {
+    const Span& span = spans_[id - 1];
+    std::string_view s(arena_.data() + span.offset, span.length);
+    std::size_t bucket = Hash(s) & (n - 1);
+    while (fresh[bucket] != 0) bucket = (bucket + 1) & (n - 1);
+    fresh[bucket] = id;
+  }
+  buckets_ = std::move(fresh);
+}
+
+std::uint32_t SymbolTable::Intern(std::string_view s) {
+  // Keep load factor under 0.7 so probe chains stay short.
+  if ((spans_.size() + 1) * 10 >= buckets_.size() * 7) {
+    Rehash(buckets_.size() * 2);
+  }
+  std::size_t mask = buckets_.size() - 1;
+  std::size_t bucket = Hash(s) & mask;
+  while (buckets_[bucket] != 0) {
+    if (Str(buckets_[bucket]) == s) return buckets_[bucket];
+    bucket = (bucket + 1) & mask;
+  }
+  Span span;
+  span.offset = static_cast<std::uint32_t>(arena_.size());
+  span.length = static_cast<std::uint32_t>(s.size());
+  arena_.insert(arena_.end(), s.begin(), s.end());
+  spans_.push_back(span);
+  std::uint32_t id = static_cast<std::uint32_t>(spans_.size());
+  buckets_[bucket] = id;
+  return id;
+}
+
+std::uint32_t SymbolTable::Lookup(std::string_view s) const {
+  std::size_t mask = buckets_.size() - 1;
+  std::size_t bucket = Hash(s) & mask;
+  while (buckets_[bucket] != 0) {
+    if (Str(buckets_[bucket]) == s) return buckets_[bucket];
+    bucket = (bucket + 1) & mask;
+  }
+  return 0;
+}
+
+std::string_view SymbolTable::Str(std::uint32_t id) const {
+  if (id == 0 || id > spans_.size()) return {};
+  const Span& span = spans_[id - 1];
+  return std::string_view(arena_.data() + span.offset, span.length);
+}
+
+}  // namespace dimqr

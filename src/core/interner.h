@@ -1,0 +1,212 @@
+#ifndef DIMQR_CORE_INTERNER_H_
+#define DIMQR_CORE_INTERNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string_view>
+#include <vector>
+
+/// \file interner.h
+/// The identity layer: dense 32-bit handles for the entities the hot
+/// annotate → link → evaluate path keeps re-identifying by string.
+///
+/// A SymbolTable interns strings into consecutive ids starting at 1 (0 is
+/// the invalid sentinel), storing all bytes in one arena so lookups never
+/// allocate and `Str()` returns stable views. Typed wrappers (`UnitId`,
+/// `KindId`, `SurfaceId`) keep the three id spaces from mixing at compile
+/// time; `IdMap`/`IdSet` are the flat-vector replacements for
+/// `unordered_map<std::string, …>` keyed containers.
+///
+/// Strings remain the representation at serialization boundaries only
+/// (TSV files, bench table output, LM prompts); everything in between
+/// moves handles.
+
+namespace dimqr {
+
+/// \brief A dense 32-bit handle. `Tag` separates id spaces; the value 0 is
+/// the invalid sentinel, valid handles are 1..N and `index()` maps them to
+/// the 0-based dense range for flat-array addressing.
+template <typename Tag>
+struct Id32 {
+  std::uint32_t value = 0;
+
+  constexpr Id32() = default;
+  constexpr explicit Id32(std::uint32_t v) : value(v) {}
+
+  /// The handle for dense index `i` (inverse of index()).
+  static constexpr Id32 FromIndex(std::size_t i) {
+    return Id32(static_cast<std::uint32_t>(i) + 1);
+  }
+
+  constexpr bool valid() const { return value != 0; }
+  /// 0-based dense index; only meaningful when valid().
+  constexpr std::uint32_t index() const { return value - 1; }
+
+  friend constexpr bool operator==(Id32 a, Id32 b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id32 a, Id32 b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id32 a, Id32 b) { return a.value < b.value; }
+  friend std::ostream& operator<<(std::ostream& os, Id32 id) {
+    return os << id.value;
+  }
+};
+
+struct UnitIdTag;
+struct KindIdTag;
+struct SurfaceIdTag;
+
+/// Handle of a unit record: catalog position + 1 in its DimUnitKB.
+using UnitId = Id32<UnitIdTag>;
+/// Handle of a quantity kind (registry position + 1 for registered kinds).
+using KindId = Id32<KindIdTag>;
+/// Handle of an interned surface form.
+using SurfaceId = Id32<SurfaceIdTag>;
+
+/// \brief Interns strings into dense ids (1..N, 0 invalid). Append-only;
+/// lookups are allocation-free and safe from concurrent readers once no
+/// writer is active (DimUnitKB freezes its tables after construction).
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  /// The id of `s`, interning it first if new. Ids are assigned in first-
+  /// insertion order and never change.
+  std::uint32_t Intern(std::string_view s);
+
+  /// The id of `s`, or 0 when it was never interned. Never allocates.
+  std::uint32_t Lookup(std::string_view s) const;
+
+  /// The string of a valid id (arena-backed view, stable for the table's
+  /// lifetime). The invalid id 0 yields an empty view.
+  std::string_view Str(std::uint32_t id) const;
+
+  /// Number of interned symbols (valid ids are 1..size()).
+  std::size_t size() const { return spans_.size(); }
+
+ private:
+  struct Span {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  static std::uint64_t Hash(std::string_view s);
+  void Rehash(std::size_t min_buckets);
+
+  std::vector<char> arena_;   ///< All symbol bytes, concatenated.
+  std::vector<Span> spans_;   ///< spans_[id-1] locates symbol `id`.
+  /// Open-addressing index over spans_: bucket -> symbol id (0 = empty).
+  std::vector<std::uint32_t> buckets_;
+};
+
+/// \brief Typed overloads so call sites read as `table.Str(surface_id)`.
+template <typename Tag>
+std::string_view StrOf(const SymbolTable& table, Id32<Tag> id) {
+  return table.Str(id.value);
+}
+
+/// \brief A flat map keyed by a dense handle: a vector addressed by
+/// `id.index()`. Missing keys read as value-initialized `T`.
+template <typename Id, typename T>
+class IdMap {
+ public:
+  IdMap() = default;
+  explicit IdMap(std::size_t n) : values_(n) {}
+
+  void ResizeForCount(std::size_t n) { values_.resize(n); }
+
+  T& operator[](Id id) {
+    if (id.index() >= values_.size()) values_.resize(id.index() + 1);
+    return values_[id.index()];
+  }
+  const T& at(Id id) const { return values_[id.index()]; }
+  /// Missing-tolerant read: value-initialized T when out of range.
+  T Get(Id id) const {
+    return id.valid() && id.index() < values_.size() ? values_[id.index()]
+                                                     : T{};
+  }
+  std::size_t size() const { return values_.size(); }
+  std::span<const T> values() const { return values_; }
+
+ private:
+  std::vector<T> values_;
+};
+
+/// \brief A flat bitset over dense handles; the allocation-light
+/// replacement for `unordered_set` of ids/strings.
+template <typename Id>
+class IdSet {
+ public:
+  /// Inserts `id`; true when newly inserted.
+  bool insert(Id id) {
+    std::size_t word = id.index() >> 6;
+    if (word >= bits_.size()) bits_.resize(word + 1, 0);
+    std::uint64_t mask = std::uint64_t{1} << (id.index() & 63);
+    if (bits_[word] & mask) return false;
+    bits_[word] |= mask;
+    ++count_;
+    return true;
+  }
+  bool contains(Id id) const {
+    std::size_t word = id.index() >> 6;
+    return word < bits_.size() &&
+           (bits_[word] & (std::uint64_t{1} << (id.index() & 63))) != 0;
+  }
+  std::size_t size() const { return count_; }
+  void clear() {
+    bits_.clear();
+    count_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::size_t count_ = 0;
+};
+
+/// \brief A CSR-style postings index: for each key handle, a contiguous
+/// span of value handles. Built once from (key, value) pairs; lookups are
+/// one offset subtraction and never allocate.
+template <typename Key, typename Value>
+class PostingsIndex {
+ public:
+  PostingsIndex() = default;
+
+  /// Builds from per-key buckets: `buckets[i]` holds the postings of the
+  /// key with dense index `i`, already in the desired order.
+  static PostingsIndex FromBuckets(
+      const std::vector<std::vector<Value>>& buckets) {
+    PostingsIndex index;
+    index.offsets_.reserve(buckets.size() + 1);
+    index.offsets_.push_back(0);
+    std::size_t total = 0;
+    for (const auto& bucket : buckets) total += bucket.size();
+    index.postings_.reserve(total);
+    for (const auto& bucket : buckets) {
+      index.postings_.insert(index.postings_.end(), bucket.begin(),
+                             bucket.end());
+      index.offsets_.push_back(
+          static_cast<std::uint32_t>(index.postings_.size()));
+    }
+    return index;
+  }
+
+  /// The postings of `key`; empty for invalid/unknown keys.
+  std::span<const Value> operator[](Key key) const {
+    if (!key.valid() || key.index() + 1 >= offsets_.size()) return {};
+    return std::span<const Value>(postings_.data() + offsets_[key.index()],
+                                  offsets_[key.index() + 1] -
+                                      offsets_[key.index()]);
+  }
+
+  std::size_t num_keys() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;  ///< num_keys + 1 boundaries.
+  std::vector<Value> postings_;         ///< Concatenated posting lists.
+};
+
+}  // namespace dimqr
+
+#endif  // DIMQR_CORE_INTERNER_H_

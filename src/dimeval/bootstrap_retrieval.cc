@@ -55,12 +55,12 @@ Result<BootstrapResult> BootstrapRetrieve(const kg::TripleStore& store,
   // M0 <- highFreqUnits(DimUnitKB): the primary surfaces of the most
   // frequent units.
   std::set<std::string> mentions;
-  std::vector<const kb::UnitRecord*> ranked = kb.UnitsByFrequency();
-  for (const kb::UnitRecord* unit : ranked) {
+  for (UnitId uid : kb.UnitsByFrequency()) {
     if (mentions.size() >= options.seed_mentions) break;
-    mentions.insert(unit->symbols.empty() ? unit->label_en
-                                          : unit->symbols.front());
-    mentions.insert(unit->label_en);
+    const kb::UnitRecord& unit = kb.Get(uid);
+    mentions.insert(unit.symbols.empty() ? unit.label_en
+                                         : unit.symbols.front());
+    mentions.insert(unit.label_en);
   }
 
   std::set<std::string> predicates;

@@ -48,7 +48,7 @@ std::string ChoiceDimReasoning(const std::vector<std::string>& choices,
                                const kb::DimUnitKB& kb) {
   std::string out;
   for (std::size_t i = 0; i < choices.size(); ++i) {
-    std::vector<const kb::UnitRecord*> units = kb.FindBySurface(choices[i]);
+    std::span<const UnitId> units = kb.FindBySurface(choices[i]);
     out += " | ";
     out += kLetters[i];
     out += ' ';
@@ -58,7 +58,7 @@ std::string ChoiceDimReasoning(const std::vector<std::string>& choices,
     // ("<unit> is <dim>").
     out += text::ToLowerAscii(choices[i]);
     out += " is ";
-    out += units.empty() ? "?" : DimWord(units.front()->dimension);
+    out += units.empty() ? "?" : DimWord(kb.Get(units.front()).dimension);
   }
   return out;
 }
@@ -91,19 +91,19 @@ int PlaceGold(std::vector<std::string>& choices, std::size_t gold_at,
 TaskGenerator::TaskGenerator(std::shared_ptr<const kb::DimUnitKB> kb,
                              GeneratorOptions options)
     : kb_(std::move(kb)), options_(options) {
-  std::vector<const kb::UnitRecord*> ranked = kb_->UnitsByFrequency();
-  for (const kb::UnitRecord* unit : ranked) {
-    if (unit->frequency < options_.min_unit_frequency) break;
+  for (UnitId uid : kb_->UnitsByFrequency()) {
+    const kb::UnitRecord& unit = kb_->Get(uid);
+    if (unit.frequency < options_.min_unit_frequency) break;
     if (options_.max_pool_size != 0 &&
         pool_.size() >= options_.max_pool_size) {
       break;
     }
     if (!options_.include_compound_units &&
-        unit->origin == kb::UnitOrigin::kCompound) {
+        unit.origin == kb::UnitOrigin::kCompound) {
       continue;
     }
-    pool_.push_back(unit);
-    pool_weights_.push_back(unit->frequency);
+    pool_.push_back(&unit);
+    pool_weights_.push_back(unit.frequency);
   }
 }
 
@@ -420,12 +420,11 @@ Result<std::vector<TaskInstance>> TaskGenerator::DimensionPrediction(
       unit_mention = "%";
     }
     if (unit_mention.empty()) continue;
-    std::vector<const kb::UnitRecord*> matches =
-        kb_->FindBySurface(unit_mention);
+    std::span<const UnitId> matches = kb_->FindBySurface(unit_mention);
     if (matches.empty()) continue;
-    const kb::UnitRecord* source_unit = matches.front();
+    const kb::UnitRecord& source_unit = kb_->Get(matches.front());
     const kb::UnitRecord* gold =
-        SampleUnitOfDimension(source_unit->dimension, rng);
+        SampleUnitOfDimension(source_unit.dimension, rng);
     if (gold == nullptr) continue;
     std::vector<std::string> choices = {gold->label_en};
     std::set<std::uint64_t> dims = {gold->dimension.PackedKey()};

@@ -43,7 +43,7 @@ bool AnnotationMatchesTruth(const std::string& text,
     if (gold.value_text != value) continue;
     if (gold.unit_text.empty() && !ann.HasUnit()) return true;
     if (!gold.unit_text.empty() && ann.HasUnit() &&
-        (ann.unit_text == gold.unit_text || ann.unit->id == gold.unit_id)) {
+        (ann.unit_text == gold.unit_text || ann.unit == gold.unit)) {
       return true;
     }
   }
@@ -152,10 +152,11 @@ std::vector<CorpusSentence> GenerateQuantityCorpus(const kb::DimUnitKB& kb,
   };
   Rng rng(seed);
   std::vector<CorpusSentence> corpus;
-  std::vector<const kb::UnitRecord*> pool;
-  for (const kb::UnitRecord& unit : kb.units()) {
+  std::vector<UnitId> pool;
+  for (std::size_t i = 0; i < kb.units().size(); ++i) {
+    const kb::UnitRecord& unit = kb.units()[i];
     if (unit.frequency >= 0.45 && unit.conversion_offset == 0.0) {
-      pool.push_back(&unit);
+      pool.push_back(UnitId::FromIndex(i));
     }
   }
   for (int i = 0; i < n_sentences; ++i) {
@@ -169,7 +170,8 @@ std::vector<CorpusSentence> GenerateQuantityCorpus(const kb::DimUnitKB& kb,
     } else {
       const char* tmpl =
           kQuantityTemplates[rng.Index(std::size(kQuantityTemplates))];
-      const kb::UnitRecord* unit = pool[rng.Index(pool.size())];
+      const UnitId unit_id = pool[rng.Index(pool.size())];
+      const kb::UnitRecord& unit = kb.Get(unit_id);
       double value = std::round(rng.UniformReal(1.0, 500.0) * 10.0) / 10.0;
       char value_text[32];
       if (value == std::floor(value)) {
@@ -177,16 +179,15 @@ std::vector<CorpusSentence> GenerateQuantityCorpus(const kb::DimUnitKB& kb,
       } else {
         std::snprintf(value_text, sizeof(value_text), "%.1f", value);
       }
-      std::string surface =
-          rng.Bernoulli(0.5) && !unit->symbols.empty()
-              ? unit->symbols.front()
-              : unit->label_en;
+      std::string surface = rng.Bernoulli(0.5) && !unit.symbols.empty()
+                                ? unit.symbols.front()
+                                : unit.label_en;
       sentence.text = text::ReplaceAll(
           tmpl, "{q}", std::string(value_text) + " " + surface);
       GoldQuantity gold;
       gold.value_text = value_text;
       gold.unit_text = surface;
-      gold.unit_id = unit->id;
+      gold.unit = unit_id;
       sentence.truth.push_back(gold);
     }
     corpus.push_back(std::move(sentence));
@@ -207,7 +208,7 @@ std::vector<TaskInstance> ToExtractionInstances(
       GoldQuantity gold;
       gold.value_text = std::string(ann.number.TextIn(sentence.text));
       gold.unit_text = ann.unit_text;
-      gold.unit_id = ann.HasUnit() ? ann.unit->id : "";
+      gold.unit = ann.unit;
       inst.gold_quantities.push_back(std::move(gold));
     }
     inst.instance_seed = Rng::DeriveSeed(seed, "qe" + std::to_string(i));

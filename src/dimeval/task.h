@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/interner.h"
 #include "lm/model_api.h"
 
 /// \file task.h
@@ -42,7 +43,7 @@ const std::vector<std::string>& AllTaskKeys();
 struct GoldQuantity {
   std::string value_text;  ///< "2.06"
   std::string unit_text;   ///< "meters" (may be empty for bare values)
-  std::string unit_id;     ///< DimUnitKB id; empty when unlinked.
+  UnitId unit;             ///< DimUnitKB handle; invalid when unlinked.
 };
 
 /// \brief One DimEval instance. Multiple-choice tasks fill `choices` and

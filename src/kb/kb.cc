@@ -1,8 +1,11 @@
 #include "kb/kb.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "kb/catalog.h"
@@ -53,118 +56,220 @@ Result<std::shared_ptr<const DimUnitKB>> DimUnitKB::Build() {
 }
 
 void DimUnitKB::BuildIndexes() {
-  for (std::size_t i = 0; i < units_.size(); ++i) {
+  const std::size_t n = units_.size();
+  unit_class_.assign(n, 0);
+  unit_rank_.assign(n, 0);
+
+  // Registry kinds first so KindId 1..kinds_.size() mirror kinds_ order;
+  // kind strings seen only on unit records (possibly "") follow.
+  for (const QuantityKindRecord& k : kinds_) kind_syms_.Intern(k.name);
+
+  std::vector<std::vector<UnitId>> exact_buckets;
+  std::vector<std::vector<UnitId>> lower_buckets;
+  std::vector<std::vector<UnitId>> kind_buckets(kind_syms_.size());
+  std::vector<std::vector<UnitId>> dim_buckets;
+  std::unordered_map<std::uint64_t, std::uint32_t> dim_class_of;
+
+  for (std::size_t i = 0; i < n; ++i) {
     const UnitRecord& u = units_[i];
-    by_id_[u.id] = i;
+    const UnitId uid = UnitId::FromIndex(i);
+
+    std::uint32_t sym = id_syms_.Intern(u.id);
+    if (sym > id_sym_to_unit_.size()) {
+      id_sym_to_unit_.push_back(uid);
+    } else {
+      id_sym_to_unit_[sym - 1] = uid;  // duplicate UnitID: last wins
+    }
+
     for (const std::string& surface : u.SurfaceForms()) {
       if (surface.empty()) continue;
-      by_surface_[surface].push_back(i);
-      by_surface_lower_[dimqr::text::ToLowerAscii(surface)].push_back(i);
+      std::uint32_t es = surface_syms_.Intern(surface);
+      if (es > exact_buckets.size()) exact_buckets.emplace_back();
+      exact_buckets[es - 1].push_back(uid);
+      std::uint32_t ls = lower_syms_.Intern(dimqr::text::ToLowerAscii(surface));
+      if (ls > lower_buckets.size()) lower_buckets.emplace_back();
+      std::vector<UnitId>& bucket = lower_buckets[ls - 1];
+      // Deduplicate per lowercased surface, keeping the first occurrence
+      // (buckets are tiny; linear scan beats any set here).
+      if (std::find(bucket.begin(), bucket.end(), uid) == bucket.end()) {
+        bucket.push_back(uid);
+      }
     }
-    by_dimension_[u.dimension.PackedKey()].push_back(i);
-    by_kind_[u.quantity_kind].push_back(i);
+
+    std::uint32_t ks = kind_syms_.Intern(u.quantity_kind);
+    if (ks > kind_buckets.size()) kind_buckets.resize(ks);
+    kind_buckets[ks - 1].push_back(uid);
+
+    auto [it, inserted] = dim_class_of.try_emplace(
+        u.dimension.PackedKey(),
+        static_cast<std::uint32_t>(dim_buckets.size()));
+    if (inserted) dim_buckets.emplace_back();
+    unit_class_[i] = it->second;
+    unit_rank_[i] = static_cast<std::uint32_t>(dim_buckets[it->second].size());
+    dim_buckets[it->second].push_back(uid);
   }
-  for (std::size_t k = 0; k < kinds_.size(); ++k) {
-    kind_by_name_[kinds_[k].name] = k;
+
+  by_surface_ = PostingsIndex<SurfaceId, UnitId>::FromBuckets(exact_buckets);
+  by_surface_lower_ =
+      PostingsIndex<SurfaceId, UnitId>::FromBuckets(lower_buckets);
+  by_kind_ = PostingsIndex<KindId, UnitId>::FromBuckets(kind_buckets);
+  by_dimension_ = PostingsIndex<DimClassId, UnitId>::FromBuckets(dim_buckets);
+
+  dim_class_keys_.assign(dim_class_of.begin(), dim_class_of.end());
+  std::sort(dim_class_keys_.begin(), dim_class_keys_.end());
+
+  BuildConversionTables();
+}
+
+void DimUnitKB::BuildConversionTables() {
+  // One k×k factor table per dimension class, filled through the exact
+  // Rational path so memoized factors are bit-identical to on-demand ones.
+  // NaN marks pairs with no single linear factor (affine endpoints); the
+  // lookup falls back to the slow path there to reproduce its exact error.
+  factor_tables_.clear();
+  factor_tables_.resize(by_dimension_.num_keys());
+  std::vector<UnitSemantics> sems;
+  for (std::size_t c = 0; c < factor_tables_.size(); ++c) {
+    std::span<const UnitId> members =
+        by_dimension_[DimClassId::FromIndex(c)];
+    const std::size_t k = members.size();
+    sems.clear();
+    sems.reserve(k);
+    for (UnitId uid : members) sems.push_back(units_[uid.index()].Semantics());
+    std::vector<double>& table = factor_tables_[c];
+    table.assign(k * k, std::numeric_limits<double>::quiet_NaN());
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        Result<double> factor = sems[i].ConversionFactorTo(sems[j]);
+        if (factor.ok()) table[i * k + j] = *factor;
+      }
+    }
   }
+}
+
+UnitId DimUnitKB::IdOf(std::string_view id_string) const {
+  std::uint32_t sym = id_syms_.Lookup(id_string);
+  return sym == 0 ? UnitId() : id_sym_to_unit_[sym - 1];
+}
+
+Result<UnitId> DimUnitKB::ResolveId(std::string_view id_string) const {
+  UnitId id = IdOf(id_string);
+  if (!id.valid()) {
+    return Status::NotFound("no unit with id '" + std::string(id_string) +
+                            "'");
+  }
+  return id;
 }
 
 Result<const UnitRecord*> DimUnitKB::FindById(std::string_view id) const {
-  auto it = by_id_.find(std::string(id));
-  if (it == by_id_.end()) {
-    return Status::NotFound("no unit with id '" + std::string(id) + "'");
-  }
-  return &units_[it->second];
+  DIMQR_ASSIGN_OR_RETURN(UnitId handle, ResolveId(id));
+  return &units_[handle.index()];
 }
 
-std::vector<const UnitRecord*> DimUnitKB::FindBySurface(
+std::span<const UnitId> DimUnitKB::FindBySurface(
     std::string_view surface) const {
-  std::vector<const UnitRecord*> out;
-  auto exact = by_surface_.find(std::string(surface));
-  if (exact != by_surface_.end()) {
-    for (std::size_t i : exact->second) out.push_back(&units_[i]);
-    return out;
-  }
-  auto lower = by_surface_lower_.find(dimqr::text::ToLowerAscii(surface));
-  if (lower != by_surface_lower_.end()) {
-    std::unordered_set<std::size_t> seen;
-    for (std::size_t i : lower->second) {
-      if (seen.insert(i).second) out.push_back(&units_[i]);
-    }
-  }
-  return out;
+  std::span<const UnitId> exact =
+      by_surface_[SurfaceId(surface_syms_.Lookup(surface))];
+  if (!exact.empty()) return exact;
+  return by_surface_lower_[SurfaceId(
+      lower_syms_.Lookup(dimqr::text::ToLowerAscii(surface)))];
 }
 
-std::vector<const UnitRecord*> DimUnitKB::UnitsOfDimension(
+std::span<const UnitId> DimUnitKB::UnitsOfDimension(
     const dimqr::Dimension& dim) const {
-  std::vector<const UnitRecord*> out;
-  auto it = by_dimension_.find(dim.PackedKey());
-  if (it == by_dimension_.end()) return out;
-  for (std::size_t i : it->second) out.push_back(&units_[i]);
-  return out;
+  const std::uint64_t key = dim.PackedKey();
+  auto it = std::lower_bound(
+      dim_class_keys_.begin(), dim_class_keys_.end(), key,
+      [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+  if (it == dim_class_keys_.end() || it->first != key) return {};
+  return by_dimension_[DimClassId::FromIndex(it->second)];
 }
 
-std::vector<const UnitRecord*> DimUnitKB::UnitsOfKind(
-    std::string_view kind) const {
-  std::vector<const UnitRecord*> out;
-  auto it = by_kind_.find(std::string(kind));
-  if (it == by_kind_.end()) return out;
-  for (std::size_t i : it->second) out.push_back(&units_[i]);
-  return out;
+std::span<const UnitId> DimUnitKB::UnitsOfKind(KindId kind) const {
+  return by_kind_[kind];
+}
+
+KindId DimUnitKB::KindIdOf(std::string_view name) const {
+  return KindId(kind_syms_.Lookup(name));
 }
 
 Result<const QuantityKindRecord*> DimUnitKB::FindKind(
     std::string_view name) const {
-  auto it = kind_by_name_.find(std::string(name));
-  if (it == kind_by_name_.end()) {
+  KindId kind = KindIdOf(name);
+  if (!kind.valid() || kind.index() >= kinds_.size()) {
     return Status::NotFound("no quantity kind '" + std::string(name) + "'");
   }
-  return &kinds_[it->second];
+  return &kinds_[kind.index()];
+}
+
+Result<double> DimUnitKB::ConversionFactor(UnitId from, UnitId to) const {
+  if (!from.valid() || from.index() >= units_.size()) {
+    return Status::NotFound("invalid 'from' unit handle");
+  }
+  if (!to.valid() || to.index() >= units_.size()) {
+    return Status::NotFound("invalid 'to' unit handle");
+  }
+  if (unit_class_[from.index()] == unit_class_[to.index()]) {
+    const std::vector<double>& table = factor_tables_[unit_class_[from.index()]];
+    const std::size_t k =
+        by_dimension_[DimClassId::FromIndex(unit_class_[from.index()])].size();
+    double factor = table[unit_rank_[from.index()] * k + unit_rank_[to.index()]];
+    if (!std::isnan(factor)) return factor;
+  }
+  // Cross-class or affine: delegate so callers see the exact same Status
+  // (DimensionMismatch / InvalidArgument) as the unmemoized path.
+  return units_[from.index()].Semantics().ConversionFactorTo(
+      units_[to.index()].Semantics());
 }
 
 Result<double> DimUnitKB::ConversionFactor(std::string_view from_id,
                                            std::string_view to_id) const {
-  DIMQR_ASSIGN_OR_RETURN(const UnitRecord* from, FindById(from_id));
-  DIMQR_ASSIGN_OR_RETURN(const UnitRecord* to, FindById(to_id));
-  return from->Semantics().ConversionFactorTo(to->Semantics());
+  DIMQR_ASSIGN_OR_RETURN(UnitId from, ResolveId(from_id));
+  DIMQR_ASSIGN_OR_RETURN(UnitId to, ResolveId(to_id));
+  return ConversionFactor(from, to);
 }
 
 dimqr::UnitResolver DimUnitKB::Resolver() const {
   return [this](std::string_view name) -> Result<dimqr::UnitSemantics> {
-    std::vector<const UnitRecord*> candidates = FindBySurface(name);
+    std::span<const UnitId> candidates = FindBySurface(name);
     if (candidates.empty()) {
-      Result<const UnitRecord*> by_id = FindById(name);
-      if (by_id.ok()) return (*by_id)->Semantics();
+      Result<UnitId> by_id = ResolveId(name);
+      if (by_id.ok()) return Get(*by_id).Semantics();
       return Status::NotFound("unknown unit '" + std::string(name) + "'");
     }
-    const UnitRecord* best = candidates.front();
-    for (const UnitRecord* c : candidates) {
-      if (c->frequency > best->frequency) best = c;
+    const UnitRecord* best = &Get(candidates.front());
+    for (UnitId c : candidates) {
+      if (Get(c).frequency > best->frequency) best = &Get(c);
     }
     return best->Semantics();
   };
 }
 
-std::vector<const UnitRecord*> DimUnitKB::UnitsByFrequency() const {
-  std::vector<const UnitRecord*> out;
+std::vector<UnitId> DimUnitKB::UnitsByFrequency() const {
+  std::vector<UnitId> out;
   out.reserve(units_.size());
-  for (const UnitRecord& u : units_) out.push_back(&u);
-  std::sort(out.begin(), out.end(),
-            [](const UnitRecord* a, const UnitRecord* b) {
-              if (a->frequency != b->frequency) {
-                return a->frequency > b->frequency;
-              }
-              return a->id < b->id;
-            });
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    out.push_back(UnitId::FromIndex(i));
+  }
+  std::sort(out.begin(), out.end(), [this](UnitId a, UnitId b) {
+    const UnitRecord& ua = Get(a);
+    const UnitRecord& ub = Get(b);
+    if (ua.frequency != ub.frequency) return ua.frequency > ub.frequency;
+    return ua.id < ub.id;
+  });
   return out;
 }
 
-std::vector<std::pair<const QuantityKindRecord*, double>>
-DimUnitKB::KindsByFrequency(std::size_t top_k) const {
-  std::vector<std::pair<const QuantityKindRecord*, double>> out;
-  for (const QuantityKindRecord& kind : kinds_) {
-    std::vector<const UnitRecord*> members = UnitsOfKind(kind.name);
-    if (members.empty()) continue;
+std::vector<std::pair<KindId, double>> DimUnitKB::KindsByFrequency(
+    std::size_t top_k) const {
+  std::vector<std::pair<KindId, double>> out;
+  std::vector<const UnitRecord*> members;
+  for (std::size_t k = 0; k < kinds_.size(); ++k) {
+    const KindId kind = KindId::FromIndex(k);
+    std::span<const UnitId> posting = UnitsOfKind(kind);
+    if (posting.empty()) continue;
+    members.clear();
+    for (UnitId uid : posting) members.push_back(&Get(uid));
     std::sort(members.begin(), members.end(),
               [](const UnitRecord* a, const UnitRecord* b) {
                 return a->frequency > b->frequency;
@@ -172,11 +277,11 @@ DimUnitKB::KindsByFrequency(std::size_t top_k) const {
     std::size_t n = std::min(top_k, members.size());
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) sum += members[i]->frequency;
-    out.emplace_back(&kind, sum / static_cast<double>(n));
+    out.emplace_back(kind, sum / static_cast<double>(n));
   }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+  std::sort(out.begin(), out.end(), [this](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
-    return a.first->name < b.first->name;
+    return GetKind(a.first).name < GetKind(b.first).name;
   });
   return out;
 }

@@ -1,13 +1,16 @@
 #ifndef DIMQR_KB_KB_H_
 #define DIMQR_KB_KB_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/dimension.h"
+#include "core/interner.h"
 #include "core/quantity.h"
 #include "core/status.h"
 #include "core/unit_expr.h"
@@ -21,8 +24,20 @@
 /// surface form, by dimension, by quantity kind. Construction runs the
 /// catalog builder (seeds + prefix expansion + compound rules + Eq. 1-2
 /// frequencies); the result is immutable afterwards.
+///
+/// Identity model: every record is addressed by a dense `UnitId` handle
+/// (catalog position + 1; 0 is invalid) and every index is a flat
+/// interned-key structure — a SymbolTable mapping key strings to dense ids
+/// plus CSR offset+postings arrays (see core/interner.h). Lookups return
+/// `std::span<const UnitId>` views into the postings and never allocate.
+/// String unit IDs exist only at serialization boundaries (TSV, table
+/// output); in between, the system moves handles.
 
 namespace dimqr::kb {
+
+/// Handle of a dimension equivalence class (distinct dimension vector
+/// across the unit catalog), local to one DimUnitKB.
+using DimClassId = Id32<struct DimClassTag>;
 
 /// \brief Aggregate statistics in the shape of Table IV.
 struct KbStats {
@@ -38,6 +53,7 @@ struct KbStats {
 /// \brief The dimensional unit knowledge base.
 ///
 /// Immutable after construction; all lookups are const and thread-safe.
+/// Spans returned by the lookup methods stay valid for the KB's lifetime.
 class DimUnitKB {
  public:
   /// \brief Builds the KB from the built-in catalog. Expensive (~all units
@@ -52,36 +68,89 @@ class DimUnitKB {
   /// lists '|'-joined). Kind records are appended after a `#KINDS` marker.
   dimqr::Status SaveTsv(const std::string& path) const;
 
-  /// All unit records, in catalog order.
+  /// All unit records, in catalog order (`UnitId` i+1 names `units()[i]`).
   const std::vector<UnitRecord>& units() const { return units_; }
 
-  /// All quantity-kind records.
+  /// All quantity-kind records (`KindId` k+1 names `kinds()[k]`).
   const std::vector<QuantityKindRecord>& kinds() const { return kinds_; }
 
-  /// The record with the given UnitID, or NotFound.
-  dimqr::Result<const UnitRecord*> FindById(std::string_view id) const;
+  // ----- Handle-based identity API -----
+
+  std::size_t num_units() const { return units_.size(); }
+
+  /// The record of a valid handle. Undefined for invalid/foreign handles.
+  const UnitRecord& Get(UnitId id) const { return units_[id.index()]; }
+
+  /// The handle of a UnitID string, or the invalid handle when absent.
+  UnitId IdOf(std::string_view id_string) const;
+
+  /// The handle of a UnitID string, or NotFound.
+  dimqr::Result<UnitId> ResolveId(std::string_view id_string) const;
 
   /// \brief All units whose label/symbol/alias equals `surface` exactly
   /// (case-sensitive first; falls back to ASCII-case-insensitive matches).
   /// Multiple units may share a surface form ("M" is both metre-symbol-ish
-  /// and molar) — disambiguation is the linker's job.
-  std::vector<const UnitRecord*> FindBySurface(std::string_view surface) const;
+  /// and molar) — disambiguation is the linker's job. Zero-allocation when
+  /// the exact index hits.
+  std::span<const UnitId> FindBySurface(std::string_view surface) const;
 
   /// All units with exactly this dimension.
-  std::vector<const UnitRecord*> UnitsOfDimension(
-      const dimqr::Dimension& dim) const;
+  std::span<const UnitId> UnitsOfDimension(const dimqr::Dimension& dim) const;
 
-  /// All units of a quantity kind.
-  std::vector<const UnitRecord*> UnitsOfKind(std::string_view kind) const;
+  /// All units of a quantity kind handle.
+  std::span<const UnitId> UnitsOfKind(KindId kind) const;
+
+  /// \brief The kind handle of a kind-name string (invalid when absent).
+  /// Registry kinds occupy handles 1..kinds().size(); kind strings that
+  /// appear only on unit records (including the empty string) get handles
+  /// above that range and have no registry record.
+  KindId KindIdOf(std::string_view name) const;
+
+  /// The registry record of a kind handle; requires
+  /// `kind.index() < kinds().size()`.
+  const QuantityKindRecord& GetKind(KindId kind) const {
+    return kinds_[kind.index()];
+  }
 
   /// The kind record by name, or NotFound.
   dimqr::Result<const QuantityKindRecord*> FindKind(
       std::string_view name) const;
 
   /// \brief The conversion factor beta with u_from * beta = u_to
-  /// (Definition 8), by unit ID. DimensionMismatch when not comparable.
+  /// (Definition 8). DimensionMismatch when not comparable, InvalidArgument
+  /// for affine units. Served from a per-dimension-class memo table
+  /// precomputed at build time through the exact Rational path.
+  dimqr::Result<double> ConversionFactor(UnitId from, UnitId to) const;
+
+  // ----- Surface-table access (linker hot path) -----
+
+  /// The interned ASCII-lowercased surface table; SurfaceId 1..size() are
+  /// valid keys for UnitsOfLowerSurface.
+  const SymbolTable& lower_surfaces() const { return lower_syms_; }
+
+  /// Units carrying the given lowercased surface (deduplicated, first
+  /// catalog occurrence first).
+  std::span<const UnitId> UnitsOfLowerSurface(SurfaceId surface) const {
+    return by_surface_lower_[surface];
+  }
+
+  // ----- Deprecated string-ID shims -----
+
+  /// \deprecated String-ID shim; prefer `ResolveId` + `Get`. The record
+  /// with the given UnitID, or NotFound.
+  dimqr::Result<const UnitRecord*> FindById(std::string_view id) const;
+
+  /// \deprecated String-ID shim; prefer the `UnitId` overload.
   dimqr::Result<double> ConversionFactor(std::string_view from_id,
                                          std::string_view to_id) const;
+
+  /// \deprecated String-name shim; prefer `KindIdOf` + the `KindId`
+  /// overload.
+  std::span<const UnitId> UnitsOfKind(std::string_view kind) const {
+    return UnitsOfKind(KindIdOf(kind));
+  }
+
+  // ----- Derived views -----
 
   /// \brief A UnitResolver over this KB for core::UnitExpr evaluation:
   /// resolves names through FindBySurface (then ID lookup), picking the
@@ -89,12 +158,12 @@ class DimUnitKB {
   dimqr::UnitResolver Resolver() const;
 
   /// Units sorted by descending frequency (Fig. 3).
-  std::vector<const UnitRecord*> UnitsByFrequency() const;
+  std::vector<UnitId> UnitsByFrequency() const;
 
   /// \brief Quantity kinds ranked by the mean frequency of their top-`k`
   /// units (Fig. 4). Kinds with no units are skipped.
-  std::vector<std::pair<const QuantityKindRecord*, double>>
-  KindsByFrequency(std::size_t top_k = 5) const;
+  std::vector<std::pair<KindId, double>> KindsByFrequency(
+      std::size_t top_k = 5) const;
 
   /// Table IV statistics.
   KbStats Stats() const;
@@ -103,15 +172,41 @@ class DimUnitKB {
   DimUnitKB() = default;
 
   void BuildIndexes();
+  void BuildConversionTables();
 
   std::vector<UnitRecord> units_;
   std::vector<QuantityKindRecord> kinds_;
-  std::unordered_map<std::string, std::size_t> by_id_;
-  std::unordered_map<std::string, std::vector<std::size_t>> by_surface_;
-  std::unordered_map<std::string, std::vector<std::size_t>> by_surface_lower_;
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_dimension_;
-  std::unordered_map<std::string, std::vector<std::size_t>> by_kind_;
-  std::unordered_map<std::string, std::size_t> kind_by_name_;
+
+  /// UnitID strings -> handles. Symbol order matches catalog order, but
+  /// duplicates (last wins, matching the old map behavior) make the
+  /// indirection necessary.
+  SymbolTable id_syms_;
+  std::vector<UnitId> id_sym_to_unit_;
+
+  /// Exact surface forms -> postings (un-deduplicated, catalog order).
+  SymbolTable surface_syms_;
+  PostingsIndex<SurfaceId, UnitId> by_surface_;
+
+  /// ASCII-lowercased surfaces -> postings (deduplicated, first catalog
+  /// occurrence kept).
+  SymbolTable lower_syms_;
+  PostingsIndex<SurfaceId, UnitId> by_surface_lower_;
+
+  /// Kind names (registry kinds first) -> member postings.
+  SymbolTable kind_syms_;
+  PostingsIndex<KindId, UnitId> by_kind_;
+
+  /// Sorted (Dimension::PackedKey, dimension-class index) for binary
+  /// search; postings per class in catalog order.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> dim_class_keys_;
+  PostingsIndex<DimClassId, UnitId> by_dimension_;
+
+  /// Conversion memo: per unit its dimension class and rank within the
+  /// class; per class a k×k row-major factor table (NaN = no single linear
+  /// factor, i.e. an affine endpoint — resolved through the slow path).
+  std::vector<std::uint32_t> unit_class_;
+  std::vector<std::uint32_t> unit_rank_;
+  std::vector<std::vector<double>> factor_tables_;
 };
 
 }  // namespace dimqr::kb

@@ -157,8 +157,9 @@ dimqr::Result<TripleStore> BuildSyntheticKg(const kb::DimUnitKB& kb,
       for (const QuantityPredicate& pred : domain.quantities) {
         if (!rng.Bernoulli(0.9)) continue;
         DIMQR_ASSIGN_OR_RETURN(
-            const kb::UnitRecord* unit,
-            kb.FindById(pred.unit_ids[rng.Index(pred.unit_ids.size())]));
+            const UnitId unit_id,
+            kb.ResolveId(pred.unit_ids[rng.Index(pred.unit_ids.size())]));
+        const kb::UnitRecord* unit = &kb.Get(unit_id);
         double si;
         if (pred.log_uniform) {
           si = std::exp(

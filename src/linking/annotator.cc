@@ -26,7 +26,9 @@ bool BreaksUnitSpan(const text::Token& token) {
 
 DimKsAnnotator::DimKsAnnotator(std::shared_ptr<const UnitLinker> linker,
                                AnnotatorOptions options)
-    : linker_(std::move(linker)), options_(options) {}
+    : linker_(std::move(linker)),
+      options_(options),
+      percent_(linker_->knowledge_base().IdOf("PERCENT")) {}
 
 std::vector<QuantityAnnotation> DimKsAnnotator::Annotate(
     std::string_view textv) const {
@@ -42,10 +44,8 @@ std::vector<QuantityAnnotation> DimKsAnnotator::Annotate(
 
     if (number.is_percent) {
       // '%' is the unit; link it directly so downstream sees PERCENT.
-      Result<const kb::UnitRecord*> pct =
-          linker_->knowledge_base().FindById("PERCENT");
-      if (pct.ok()) {
-        ann.unit = *pct;
+      if (percent_.valid()) {
+        ann.unit = percent_;
         ann.unit_text = "%";
         ann.unit_begin = number.end - 1;
         ann.unit_end = number.end;
@@ -127,8 +127,9 @@ Result<dimqr::Quantity> DimKsAnnotator::ToQuantity(
     return dimqr::Quantity(annotation.number.value,
                            dimqr::UnitSemantics::Dimensionless());
   }
-  return dimqr::Quantity(annotation.number.value,
-                         annotation.unit->Semantics());
+  return dimqr::Quantity(
+      annotation.number.value,
+      linker_->knowledge_base().Get(annotation.unit).Semantics());
 }
 
 }  // namespace dimqr::linking

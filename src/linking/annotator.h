@@ -26,10 +26,10 @@ struct QuantityAnnotation {
   std::size_t unit_begin = 0;    ///< Byte span of the unit mention; empty
   std::size_t unit_end = 0;      ///< (begin == end) for bare numbers.
   std::string unit_text;         ///< The unit mention as written.
-  const kb::UnitRecord* unit = nullptr;  ///< Best link; null for bare numbers.
+  UnitId unit;                   ///< Best link; invalid for bare numbers.
   double link_confidence = 0.0;
 
-  bool HasUnit() const { return unit != nullptr; }
+  bool HasUnit() const { return unit.valid(); }
 };
 
 /// \brief Annotator options.
@@ -61,6 +61,7 @@ class DimKsAnnotator {
  private:
   std::shared_ptr<const UnitLinker> linker_;
   AnnotatorOptions options_;
+  UnitId percent_;  ///< Resolved once; '%' mentions link straight to it.
 };
 
 }  // namespace dimqr::linking

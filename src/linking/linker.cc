@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "text/corpus.h"
 #include "text/levenshtein.h"
@@ -39,8 +38,11 @@ Result<text::Embedding> BuildLinkerEmbedding(const kb::DimUnitKB& kb,
   // embedding which context words go with which units.
   std::vector<text::TopicCluster> clusters;
   for (const kb::QuantityKindRecord& kind : kb.kinds()) {
-    std::vector<const kb::UnitRecord*> members = kb.UnitsOfKind(kind.name);
-    if (members.empty()) continue;
+    std::span<const UnitId> posting = kb.UnitsOfKind(kind.name);
+    if (posting.empty()) continue;
+    std::vector<const kb::UnitRecord*> members;
+    members.reserve(posting.size());
+    for (UnitId uid : posting) members.push_back(&kb.Get(uid));
     std::sort(members.begin(), members.end(),
               [](const kb::UnitRecord* a, const kb::UnitRecord* b) {
                 return a->frequency > b->frequency;
@@ -70,11 +72,11 @@ Result<text::Embedding> BuildLinkerEmbedding(const kb::DimUnitKB& kb,
 UnitLinker::UnitLinker(std::shared_ptr<const kb::DimUnitKB> kb,
                        text::Embedding emb, LinkerConfig config)
     : kb_(std::move(kb)), embedding_(std::move(emb)), config_(config) {
-  const std::vector<kb::UnitRecord>& units = kb_->units();
-  for (std::size_t i = 0; i < units.size(); ++i) {
-    for (const std::string& surface : units[i].SurfaceForms()) {
-      if (!surface.empty()) naming_dictionary_.emplace_back(surface, i);
-    }
+  const dimqr::SymbolTable& surfaces = kb_->lower_surfaces();
+  surface_cp_len_.resize(surfaces.size());
+  for (std::uint32_t s = 1; s <= surfaces.size(); ++s) {
+    surface_cp_len_[s - 1] =
+        static_cast<std::uint32_t>(text::Utf8Length(surfaces.Str(s)));
   }
 }
 
@@ -113,18 +115,41 @@ double UnitLinker::ContextScore(
 
 std::vector<LinkCandidate> UnitLinker::Link(std::string_view mention,
                                             std::string_view context) const {
-  // --- Step 1: candidate generation over the naming dictionary ---
-  const std::vector<kb::UnitRecord>& units = kb_->units();
-  std::unordered_map<std::size_t, double> best_similarity;
-  for (const auto& [surface, index] : naming_dictionary_) {
-    double sim = text::LevenshteinSimilarityIgnoreCase(surface, mention);
+  // --- Step 1: candidate generation over the KB's surface table ---
+  // The similarity is ASCII-case-insensitive, so scoring each *distinct
+  // lowercased* surface once and fanning the score out over its posting
+  // list gives the same per-unit best similarity as scanning a flattened
+  // (surface, unit) dictionary — at a fraction of the edit-distance calls.
+  const dimqr::SymbolTable& surfaces = kb_->lower_surfaces();
+  // Levenshtein distance is at least the code-point length difference, so
+  // 1 - diff/max_len upper-bounds the similarity; surfaces whose bound
+  // already misses the threshold skip the DP entirely. ASCII lowercasing
+  // preserves code-point counts, so the mention's length is exact.
+  const std::size_t mention_len = text::Utf8Length(mention);
+  std::vector<double> best_similarity(kb_->num_units(), -1.0);
+  std::vector<UnitId> hits;
+  for (std::uint32_t s = 1; s <= surfaces.size(); ++s) {
+    const std::size_t surface_len = surface_cp_len_[s - 1];
+    const std::size_t longest = std::max(surface_len, mention_len);
+    if (longest > 0) {
+      const std::size_t diff = surface_len > mention_len
+                                   ? surface_len - mention_len
+                                   : mention_len - surface_len;
+      double bound = 1.0 - static_cast<double>(diff) /
+                               static_cast<double>(longest);
+      if (bound < config_.mention_threshold) continue;
+    }
+    double sim =
+        text::LevenshteinSimilarityIgnoreCase(surfaces.Str(s), mention);
     if (sim < config_.mention_threshold) continue;
-    auto it = best_similarity.find(index);
-    if (it == best_similarity.end() || sim > it->second) {
-      best_similarity[index] = sim;
+    for (UnitId uid : kb_->UnitsOfLowerSurface(SurfaceId(s))) {
+      if (best_similarity[uid.index()] < 0.0) hits.push_back(uid);
+      if (sim > best_similarity[uid.index()]) {
+        best_similarity[uid.index()] = sim;
+      }
     }
   }
-  if (best_similarity.empty()) return {};
+  if (hits.empty()) return {};
 
   // --- Step 2: context-based scoring ---
   std::vector<std::string> context_tokens;
@@ -136,12 +161,12 @@ std::vector<LinkCandidate> UnitLinker::Link(std::string_view mention,
   }
 
   std::vector<LinkCandidate> candidates;
-  candidates.reserve(best_similarity.size());
-  for (const auto& [index, sim] : best_similarity) {
-    const kb::UnitRecord& unit = units[index];
+  candidates.reserve(hits.size());
+  for (UnitId uid : hits) {
+    const kb::UnitRecord& unit = kb_->Get(uid);
     LinkCandidate cand;
-    cand.unit = &unit;
-    cand.pr_mention = sim;
+    cand.unit = uid;
+    cand.pr_mention = best_similarity[uid.index()];
     cand.pr_prior = unit.frequency;
     cand.pr_context =
         config_.use_context ? ContextScore(unit, context_tokens) : 1.0;
@@ -154,9 +179,9 @@ std::vector<LinkCandidate> UnitLinker::Link(std::string_view mention,
     candidates.push_back(cand);
   }
   std::sort(candidates.begin(), candidates.end(),
-            [](const LinkCandidate& a, const LinkCandidate& b) {
+            [this](const LinkCandidate& a, const LinkCandidate& b) {
               if (a.score != b.score) return a.score > b.score;
-              return a.unit->id < b.unit->id;
+              return kb_->Get(a.unit).id < kb_->Get(b.unit).id;
             });
   if (candidates.size() > config_.max_candidates) {
     candidates.resize(config_.max_candidates);
@@ -164,8 +189,8 @@ std::vector<LinkCandidate> UnitLinker::Link(std::string_view mention,
   return candidates;
 }
 
-Result<const kb::UnitRecord*> UnitLinker::Best(std::string_view mention,
-                                               std::string_view context) const {
+Result<UnitId> UnitLinker::Best(std::string_view mention,
+                                std::string_view context) const {
   std::vector<LinkCandidate> candidates = Link(mention, context);
   if (candidates.empty()) {
     return Status::NotFound("no unit candidate for mention '" +

@@ -1,6 +1,7 @@
 #ifndef DIMQR_LINKING_LINKER_H_
 #define DIMQR_LINKING_LINKER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -23,9 +24,10 @@
 
 namespace dimqr::linking {
 
-/// \brief One ranked candidate for a unit mention.
+/// \brief One ranked candidate for a unit mention. Carries the interned
+/// unit handle; resolve it with `DimUnitKB::Get`.
 struct LinkCandidate {
-  const kb::UnitRecord* unit = nullptr;
+  UnitId unit;              ///< Handle into the linker's knowledge base.
   double pr_mention = 0.0;  ///< Pr(u|m): surface similarity.
   double pr_prior = 0.0;    ///< Pr(u): frequency prior.
   double pr_context = 0.0;  ///< Pr(u|c): context-keyword similarity.
@@ -73,8 +75,8 @@ class UnitLinker {
                                   std::string_view context) const;
 
   /// The best link, or NotFound when no candidate clears the threshold.
-  dimqr::Result<const kb::UnitRecord*> Best(std::string_view mention,
-                                            std::string_view context) const;
+  dimqr::Result<UnitId> Best(std::string_view mention,
+                             std::string_view context) const;
 
   const kb::DimUnitKB& knowledge_base() const { return *kb_; }
   const text::Embedding& embedding() const { return embedding_; }
@@ -90,8 +92,11 @@ class UnitLinker {
   std::shared_ptr<const kb::DimUnitKB> kb_;
   text::Embedding embedding_;
   LinkerConfig config_;
-  /// Flattened (surface form, unit index) dictionary for candidate scan.
-  std::vector<std::pair<std::string, std::size_t>> naming_dictionary_;
+  /// Code-point length of each lowercased surface (indexed by
+  /// SurfaceId::index()), so candidate generation can reject surfaces on
+  /// the length-difference lower bound of the edit distance without
+  /// running the DP.
+  std::vector<std::uint32_t> surface_cp_len_;
 };
 
 }  // namespace dimqr::linking

@@ -101,22 +101,22 @@ Result<std::string> AlternativeSurface(const kb::UnitRecord& unit,
 
 /// A same-dimension replacement unit whose rescaled display value stays
 /// exact and within a sane magnitude.
-Result<const kb::UnitRecord*> SameDimensionReplacement(
-    const kb::DimUnitKB& kb, const kb::UnitRecord& unit, double display_value,
-    Rng& rng, bool require_exact_display = true) {
-  std::vector<const kb::UnitRecord*> pool =
-      kb.UnitsOfDimension(unit.dimension);
-  std::vector<const kb::UnitRecord*> eligible;
-  for (const kb::UnitRecord* candidate : pool) {
-    if (candidate->id == unit.id) continue;
-    if (candidate->conversion_offset != 0.0) continue;
-    if (candidate->frequency < 0.4) continue;
-    double factor = unit.conversion_value / candidate->conversion_value;
+Result<UnitId> SameDimensionReplacement(const kb::DimUnitKB& kb, UnitId unit_id,
+                                        double display_value, Rng& rng,
+                                        bool require_exact_display = true) {
+  const kb::UnitRecord& unit = kb.Get(unit_id);
+  std::vector<UnitId> eligible;
+  for (UnitId cand_id : kb.UnitsOfDimension(unit.dimension)) {
+    if (cand_id == unit_id) continue;
+    const kb::UnitRecord& candidate = kb.Get(cand_id);
+    if (candidate.conversion_offset != 0.0) continue;
+    if (candidate.frequency < 0.4) continue;
+    double factor = unit.conversion_value / candidate.conversion_value;
     if (factor == 1.0) continue;  // same scale: no dimension-law exercise
     double rescaled = display_value * factor;
     if (rescaled < 1e-4 || rescaled > 1e9) continue;
     if (require_exact_display && !DisplaysExactly(rescaled)) continue;
-    eligible.push_back(candidate);
+    eligible.push_back(cand_id);
   }
   if (eligible.empty()) {
     return Status::NotFound("no same-dimension replacement for " + unit.id);
@@ -129,7 +129,7 @@ std::vector<std::size_t> UnitContextSlots(const MwpProblem& problem) {
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < problem.slots.size(); ++i) {
     const QuantitySlot& slot = problem.slots[i];
-    if (!slot.in_question && !slot.unit_id.empty() && !slot.display_percent) {
+    if (!slot.in_question && slot.unit.valid() && !slot.display_percent) {
       out.push_back(i);
     }
   }
@@ -143,9 +143,9 @@ Status ContextFormat(TemplatedProblem& tp, const kb::DimUnitKB& kb,
   if (sites.empty()) return Status::NotFound("no unit-bearing context slot");
   std::size_t site = sites[rng.Index(sites.size())];
   QuantitySlot& slot = p.slots[site];
-  DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit, kb.FindById(slot.unit_id));
+  const kb::UnitRecord& unit = kb.Get(slot.unit);
   DIMQR_ASSIGN_OR_RETURN(std::string surface,
-                         AlternativeSurface(*unit, slot.surface, rng));
+                         AlternativeSurface(unit, slot.surface, rng));
   std::string old_rendering = SlotRendering(slot);
   slot.surface = surface;
   if (!ReplaceFirst(p.text, old_rendering, SlotRendering(slot))) {
@@ -162,18 +162,19 @@ Status ContextDimension(TemplatedProblem& tp, const kb::DimUnitKB& kb,
   if (sites.empty()) return Status::NotFound("no unit-bearing context slot");
   std::size_t site = sites[rng.Index(sites.size())];
   QuantitySlot& slot = p.slots[site];
-  DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit, kb.FindById(slot.unit_id));
   DIMQR_ASSIGN_OR_RETURN(
-      const kb::UnitRecord* replacement,
-      SameDimensionReplacement(kb, *unit, slot.display_value, rng));
+      UnitId replacement_id,
+      SameDimensionReplacement(kb, slot.unit, slot.display_value, rng));
+  const kb::UnitRecord& unit = kb.Get(slot.unit);
+  const kb::UnitRecord& replacement = kb.Get(replacement_id);
   std::string old_rendering = SlotRendering(slot);
-  double factor = unit->conversion_value / replacement->conversion_value;
+  double factor = unit.conversion_value / replacement.conversion_value;
   // Physical value invariant: rescale the displayed number, track the
   // conversion back into the canonical unit for the gold equation.
   slot.display_value *= factor;
   slot.to_canonical /= factor;
-  slot.unit_id = replacement->id;
-  slot.surface = replacement->label_en;
+  slot.unit = replacement_id;
+  slot.surface = replacement.label_en;
   if (!ReplaceFirst(p.text, old_rendering, SlotRendering(slot))) {
     return Status::Internal("slot rendering not found in text");
   }
@@ -183,13 +184,12 @@ Status ContextDimension(TemplatedProblem& tp, const kb::DimUnitKB& kb,
 Status QuestionFormat(TemplatedProblem& tp, const kb::DimUnitKB& kb,
                       Rng& rng) {
   MwpProblem& p = tp.problem;
-  if (p.question_unit_id.empty()) {
+  if (!p.question_unit.valid()) {
     return Status::NotFound("bare-number question");
   }
-  DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit,
-                         kb.FindById(p.question_unit_id));
+  const kb::UnitRecord& unit = kb.Get(p.question_unit);
   DIMQR_ASSIGN_OR_RETURN(std::string surface,
-                         AlternativeSurface(*unit, p.question_surface, rng));
+                         AlternativeSurface(unit, p.question_surface, rng));
   if (!ReplaceLast(p.text, p.question_surface, surface)) {
     return Status::Internal("question surface not found in text");
   }
@@ -201,23 +201,23 @@ Status QuestionFormat(TemplatedProblem& tp, const kb::DimUnitKB& kb,
 Status QuestionDimension(TemplatedProblem& tp, const kb::DimUnitKB& kb,
                          Rng& rng) {
   MwpProblem& p = tp.problem;
-  if (p.question_unit_id.empty()) {
+  if (!p.question_unit.valid()) {
     return Status::NotFound("bare-number question");
   }
-  DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit,
-                         kb.FindById(p.question_unit_id));
   // The answer value is not rendered in the text, so no exact-display
   // constraint applies — only a sane magnitude.
   DIMQR_ASSIGN_OR_RETURN(
-      const kb::UnitRecord* replacement,
-      SameDimensionReplacement(kb, *unit, p.answer, rng,
+      UnitId replacement_id,
+      SameDimensionReplacement(kb, p.question_unit, p.answer, rng,
                                /*require_exact_display=*/false));
-  double factor = unit->conversion_value / replacement->conversion_value;
-  if (!ReplaceLast(p.text, p.question_surface, replacement->label_en)) {
+  const kb::UnitRecord& unit = kb.Get(p.question_unit);
+  const kb::UnitRecord& replacement = kb.Get(replacement_id);
+  double factor = unit.conversion_value / replacement.conversion_value;
+  if (!ReplaceLast(p.text, p.question_surface, replacement.label_en)) {
     return Status::Internal("question surface not found in text");
   }
-  p.question_unit_id = replacement->id;
-  p.question_surface = replacement->label_en;
+  p.question_unit = replacement_id;
+  p.question_surface = replacement.label_en;
   // "Simultaneous adjustments to the solution equation and answer are
   // necessary" (Section V-B2): the answer converts into the new unit.
   tp.question_factor *= factor;

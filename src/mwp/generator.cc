@@ -13,7 +13,6 @@ using dimqr::Rng;
 using dimqr::Status;
 
 Equation Num(double v) { return Equation::Number(v); }
-Equation Pct(double v) { return Equation::Number(v, true); }
 Equation Bin(char op, Equation l, Equation r) {
   return Equation::Binary(op, std::move(l), std::move(r));
 }
@@ -382,24 +381,24 @@ Result<std::vector<TemplatedProblem>> MwpGenerator::Generate(
       QuantitySlot slot;
       slot.display_value = values[i];
       slot.display_percent = sd.percent;
-      slot.unit_id = sd.unit;
       std::string rendered = FormatValue(values[i], sd.decimals);
       if (sd.percent) {
+        // A "v%" rendering IS the PERCENT unit; carrying its handle keeps
+        // stats honest without a string sentinel.
+        slot.unit = kb_->IdOf("PERCENT");
         rendered += "%";
       } else if (*sd.unit != '\0') {
-        DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit,
-                               kb_->FindById(sd.unit));
-        slot.surface = unit->label_en;
+        DIMQR_ASSIGN_OR_RETURN(slot.unit, kb_->ResolveId(sd.unit));
+        slot.surface = kb_->Get(slot.unit).label_en;
         rendered += " " + slot.surface;
       }
       text = text::ReplaceAll(text, "{" + std::to_string(i) + "}", rendered);
       p.slots.push_back(std::move(slot));
     }
-    p.question_unit_id = tdef.answer_unit;
     if (*tdef.answer_unit != '\0') {
-      DIMQR_ASSIGN_OR_RETURN(const kb::UnitRecord* unit,
-                             kb_->FindById(tdef.answer_unit));
-      p.question_surface = unit->label_en;
+      DIMQR_ASSIGN_OR_RETURN(p.question_unit,
+                             kb_->ResolveId(tdef.answer_unit));
+      p.question_surface = kb_->Get(p.question_unit).label_en;
       text = text::ReplaceAll(text, "{ans}", p.question_surface);
     }
     p.text = std::move(text);

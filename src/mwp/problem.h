@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/interner.h"
 #include "mwp/equation.h"
 
 /// \file problem.h
@@ -20,7 +21,7 @@ namespace dimqr::mwp {
 struct QuantitySlot {
   double display_value = 0.0;   ///< The value as written in the text.
   bool display_percent = false; ///< Rendered as "v%".
-  std::string unit_id;          ///< Displayed unit's DimUnitKB id ("" = bare).
+  UnitId unit;                  ///< Displayed unit's handle (invalid = bare).
   std::string surface;          ///< Rendered unit surface ("千克", "kg"...).
   /// Factor from the displayed unit to the template's canonical unit
   /// (1 when unchanged); enters the gold equation under dimension
@@ -37,7 +38,7 @@ struct MwpProblem {
   std::vector<QuantitySlot> slots;
   Equation gold_equation = Equation::Number(0);  ///< Evaluates to `answer`.
   double answer = 0.0;           ///< In the question unit.
-  std::string question_unit_id;  ///< DimUnitKB id of the answer unit.
+  UnitId question_unit;          ///< Handle of the answer unit (may be invalid).
   std::string question_surface;  ///< Its rendering in the text.
   int op_count = 0;              ///< gold_equation.OperationCount().
   /// Which Table V augmentations were applied ("ctx-format", "ctx-dim",

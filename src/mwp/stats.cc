@@ -1,6 +1,6 @@
 #include "mwp/stats.h"
 
-#include <set>
+#include "core/interner.h"
 
 namespace dimqr::mwp {
 
@@ -22,15 +22,16 @@ DatasetStats ComputeStats(const std::vector<TemplatedProblem>& problems,
   DatasetStats stats;
   stats.dataset = dataset_name;
   stats.num_problems = problems.size();
-  std::set<std::string> units;
+  // Percent slots carry the PERCENT handle, so one flat set over unit
+  // handles covers slots, percent renderings, and question units alike.
+  IdSet<UnitId> units;
   double total_ops = 0.0;
   for (const TemplatedProblem& tp : problems) {
     const MwpProblem& p = tp.problem;
     for (const QuantitySlot& slot : p.slots) {
-      if (!slot.unit_id.empty()) units.insert(slot.unit_id);
-      if (slot.display_percent) units.insert("PERCENT");
+      if (slot.unit.valid()) units.insert(slot.unit);
     }
-    if (!p.question_unit_id.empty()) units.insert(p.question_unit_id);
+    if (p.question_unit.valid()) units.insert(p.question_unit);
     ++stats.op_buckets[OpBucket(p.op_count)];
     total_ops += p.op_count;
   }

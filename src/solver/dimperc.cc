@@ -237,9 +237,10 @@ std::vector<SeqExample> MakeConversionKnowledgeExamples(
   // Group the generator pool (most frequent non-compound units) by
   // dimension; enumerate ordered pairs within each group.
   std::vector<const kb::UnitRecord*> pool;
-  for (const kb::UnitRecord* u : kb.UnitsByFrequency()) {
-    if (u->origin == kb::UnitOrigin::kCompound) continue;
-    pool.push_back(u);
+  for (UnitId uid : kb.UnitsByFrequency()) {
+    const kb::UnitRecord& u = kb.Get(uid);
+    if (u.origin == kb::UnitOrigin::kCompound) continue;
+    pool.push_back(&u);
     if (pool_size != 0 && pool.size() >= pool_size) break;
   }
   std::map<std::uint64_t, std::vector<const kb::UnitRecord*>> by_dim;

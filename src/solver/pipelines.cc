@@ -57,11 +57,11 @@ std::vector<SeqExample> MakeUnitKnowledgeExamples(const kb::DimUnitKB& kb,
                                                   std::size_t pool_size,
                                                   int repeats) {
   std::vector<SeqExample> out;
-  std::vector<const kb::UnitRecord*> all_ranked = kb.UnitsByFrequency();
   std::vector<const kb::UnitRecord*> ranked;
-  for (const kb::UnitRecord* u : all_ranked) {
-    if (u->origin == kb::UnitOrigin::kCompound) continue;  // match the
-    ranked.push_back(u);  // generator pool (see GeneratorOptions)
+  for (UnitId uid : kb.UnitsByFrequency()) {
+    const kb::UnitRecord& u = kb.Get(uid);
+    if (u.origin == kb::UnitOrigin::kCompound) continue;  // match the
+    ranked.push_back(&u);  // generator pool (see GeneratorOptions)
     if (pool_size != 0 && ranked.size() >= pool_size) break;
   }
   for (const kb::UnitRecord* unit_ptr : ranked) {

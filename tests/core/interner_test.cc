@@ -1,0 +1,152 @@
+#include "core/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dimqr {
+namespace {
+
+TEST(Id32Test, ZeroIsInvalidSentinel) {
+  UnitId none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_EQ(none.value, 0u);
+  UnitId first = UnitId::FromIndex(0);
+  EXPECT_TRUE(first.valid());
+  EXPECT_EQ(first.value, 1u);
+  EXPECT_EQ(first.index(), 0u);
+  EXPECT_NE(none, first);
+}
+
+TEST(Id32Test, FromIndexInvertsIndex) {
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{4095}}) {
+    EXPECT_EQ(UnitId::FromIndex(i).index(), i);
+  }
+}
+
+TEST(SymbolTableTest, InternAssignsConsecutiveIdsFromOne) {
+  SymbolTable table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Intern("metre"), 1u);
+  EXPECT_EQ(table.Intern("second"), 2u);
+  EXPECT_EQ(table.Intern("千克"), 3u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(SymbolTableTest, InternDeduplicates) {
+  SymbolTable table;
+  std::uint32_t a = table.Intern("kg");
+  std::uint32_t b = table.Intern("kg");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.size(), 1u);
+  // Case matters: "KG" is a different symbol.
+  EXPECT_NE(table.Intern("KG"), a);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, LookupReturnsZeroForUnknown) {
+  SymbolTable table;
+  EXPECT_EQ(table.Lookup("never-interned"), 0u);
+  table.Intern("known");
+  EXPECT_EQ(table.Lookup("known"), 1u);
+  EXPECT_EQ(table.Lookup("unknown"), 0u);
+  EXPECT_EQ(table.Lookup(""), 0u);
+}
+
+TEST(SymbolTableTest, EmptyStringIsInternableLikeAnyOther) {
+  SymbolTable table;
+  std::uint32_t empty = table.Intern("");
+  EXPECT_NE(empty, 0u);
+  EXPECT_EQ(table.Lookup(""), empty);
+  EXPECT_EQ(table.Str(empty), "");
+}
+
+TEST(SymbolTableTest, StrRoundTripsAndInvalidIdIsEmpty) {
+  SymbolTable table;
+  std::uint32_t id = table.Intern("kilometre");
+  EXPECT_EQ(table.Str(id), "kilometre");
+  EXPECT_EQ(table.Str(0), "");
+  // Out-of-range ids degrade to empty rather than UB.
+  EXPECT_EQ(table.Str(999), "");
+}
+
+TEST(SymbolTableTest, IdsAndViewsStableAcrossGrowth) {
+  // Push the table far past its initial bucket count so it rehashes and the
+  // arena reallocates several times; previously returned ids must keep
+  // resolving to the same strings.
+  SymbolTable table;
+  std::vector<std::uint32_t> ids;
+  std::vector<std::string> strings;
+  for (int i = 0; i < 5000; ++i) {
+    strings.push_back("symbol-" + std::to_string(i));
+    ids.push_back(table.Intern(strings.back()));
+  }
+  EXPECT_EQ(table.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(ids[i], static_cast<std::uint32_t>(i + 1));
+    EXPECT_EQ(table.Str(ids[i]), strings[i]);
+    EXPECT_EQ(table.Lookup(strings[i]), ids[i]);
+  }
+}
+
+TEST(SymbolTableTest, TypedStrOfHelper) {
+  SymbolTable table;
+  SurfaceId id(table.Intern("km"));
+  EXPECT_EQ(StrOf(table, id), "km");
+}
+
+TEST(IdMapTest, MissingKeysReadValueInitialized) {
+  IdMap<UnitId, double> map;
+  EXPECT_EQ(map.Get(UnitId::FromIndex(7)), 0.0);
+  EXPECT_EQ(map.Get(UnitId()), 0.0);  // invalid handle: no crash
+  map[UnitId::FromIndex(7)] = 2.54;
+  EXPECT_EQ(map.Get(UnitId::FromIndex(7)), 2.54);
+  EXPECT_EQ(map.size(), 8u);
+}
+
+TEST(IdSetTest, InsertContainsAndClear) {
+  IdSet<UnitId> set;
+  EXPECT_TRUE(set.insert(UnitId::FromIndex(3)));
+  EXPECT_FALSE(set.insert(UnitId::FromIndex(3)));
+  EXPECT_TRUE(set.insert(UnitId::FromIndex(200)));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(UnitId::FromIndex(3)));
+  EXPECT_FALSE(set.contains(UnitId::FromIndex(4)));
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(UnitId::FromIndex(3)));
+}
+
+TEST(PostingsIndexTest, SpansMirrorBucketsInOrder) {
+  std::vector<std::vector<UnitId>> buckets = {
+      {UnitId(5), UnitId(2)},  // order inside a bucket is preserved
+      {},
+      {UnitId(9)},
+  };
+  auto index = PostingsIndex<SurfaceId, UnitId>::FromBuckets(buckets);
+  EXPECT_EQ(index.num_keys(), 3u);
+  std::span<const UnitId> first = index[SurfaceId::FromIndex(0)];
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0], UnitId(5));
+  EXPECT_EQ(first[1], UnitId(2));
+  EXPECT_TRUE(index[SurfaceId::FromIndex(1)].empty());
+  EXPECT_EQ(index[SurfaceId::FromIndex(2)].size(), 1u);
+}
+
+TEST(PostingsIndexTest, InvalidAndUnknownKeysAreEmpty) {
+  std::vector<std::vector<UnitId>> buckets = {{UnitId(1)}};
+  auto index = PostingsIndex<SurfaceId, UnitId>::FromBuckets(buckets);
+  EXPECT_TRUE(index[SurfaceId()].empty());              // 0 sentinel
+  EXPECT_TRUE(index[SurfaceId::FromIndex(1)].empty());  // past the end
+  EXPECT_TRUE(index[SurfaceId(4000)].empty());          // far past the end
+}
+
+TEST(PostingsIndexTest, EmptyIndexHasNoKeys) {
+  PostingsIndex<SurfaceId, UnitId> index;
+  EXPECT_EQ(index.num_keys(), 0u);
+  EXPECT_TRUE(index[SurfaceId::FromIndex(0)].empty());
+}
+
+}  // namespace
+}  // namespace dimqr

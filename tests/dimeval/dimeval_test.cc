@@ -63,9 +63,6 @@ TEST(GeneratorTest, QuantityKindMatchShape) {
     kind = kind.substr(0, kind.find(" |"));
     const std::string& gold = inst.choices[inst.gold_index];
     bool gold_matches_kind = false;
-    for (const kb::UnitRecord* u : Kb()->UnitsOfKind("")) {
-      (void)u;  // placeholder: kind names are lowercased in prompts
-    }
     // Direct check: find a unit with this label whose lowercased kind is
     // the prompt kind.
     for (const kb::UnitRecord& u : Kb()->units()) {
@@ -90,14 +87,14 @@ TEST(GeneratorTest, ComparableAnalysisGoldSharesDimension) {
     // Resolve probe and gold; dimensions must match, distractors differ.
     auto probe_units = Kb()->FindBySurface(probe);
     ASSERT_FALSE(probe_units.empty()) << probe;
-    Dimension dim = probe_units.front()->dimension;
+    Dimension dim = Kb()->Get(probe_units.front()).dimension;
     for (int i = 0; i < 4; ++i) {
       auto choice_units = Kb()->FindBySurface(inst.choices[i]);
       ASSERT_FALSE(choice_units.empty()) << inst.choices[i];
       if (i == inst.gold_index) {
-        EXPECT_EQ(choice_units.front()->dimension, dim);
+        EXPECT_EQ(Kb()->Get(choice_units.front()).dimension, dim);
       } else {
-        EXPECT_NE(choice_units.front()->dimension, dim);
+        EXPECT_NE(Kb()->Get(choice_units.front()).dimension, dim);
       }
     }
   }
@@ -120,8 +117,9 @@ TEST(GeneratorTest, MagnitudeComparisonGoldIsLargest) {
     for (int i = 0; i < 4; ++i) {
       auto units = Kb()->FindBySurface(inst.choices[i]);
       ASSERT_FALSE(units.empty());
-      scales.push_back(units.front()->conversion_value);
-      if (i == inst.gold_index) gold_scale = units.front()->conversion_value;
+      const kb::UnitRecord& u = Kb()->Get(units.front());
+      scales.push_back(u.conversion_value);
+      if (i == inst.gold_index) gold_scale = u.conversion_value;
     }
     for (double s : scales) {
       EXPECT_LE(s, gold_scale * 1.0001) << inst.prompt;
@@ -146,10 +144,11 @@ TEST(GeneratorTest, UnitConversionGoldFactorIsCorrect) {
     auto to_units = Kb()->FindBySurface(to);
     ASSERT_FALSE(from_units.empty()) << from;
     ASSERT_FALSE(to_units.empty()) << to;
-    double expected = from_units.front()
-                          ->Semantics()
-                          .ConversionFactorTo(to_units.front()->Semantics())
-                          .ValueOrDie();
+    double expected =
+        Kb()->Get(from_units.front())
+            .Semantics()
+            .ConversionFactorTo(Kb()->Get(to_units.front()).Semantics())
+            .ValueOrDie();
     double gold = std::strtod(inst.choices[inst.gold_index].c_str(), nullptr);
     EXPECT_NEAR(gold, expected, std::abs(expected) * 1e-3) << inst.prompt;
   }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <span>
 #include <unordered_set>
 
 namespace dimqr::kb {
@@ -135,47 +136,117 @@ TEST(DimUnitKBTest, ConversionFactorByIds) {
 }
 
 TEST(DimUnitKBTest, FindBySurfaceExactAndCaseFallback) {
-  std::vector<const UnitRecord*> exact = Kb().FindBySurface("km");
+  std::span<const UnitId> exact = Kb().FindBySurface("km");
   ASSERT_FALSE(exact.empty());
-  EXPECT_EQ(exact[0]->id, "KiloM");
+  EXPECT_EQ(Kb().Get(exact.front()).id, "KiloM");
   // Case-insensitive fallback: "KM" has no exact match.
-  std::vector<const UnitRecord*> ci = Kb().FindBySurface("KM");
+  std::span<const UnitId> ci = Kb().FindBySurface("KM");
   ASSERT_FALSE(ci.empty());
-  EXPECT_EQ(ci[0]->id, "KiloM");
+  EXPECT_EQ(Kb().Get(ci.front()).id, "KiloM");
   EXPECT_TRUE(Kb().FindBySurface("no-such-unit-xyz").empty());
 }
 
-TEST(DimUnitKBTest, ChineseSurfaceFormsIndexed) {
-  std::vector<const UnitRecord*> zh = Kb().FindBySurface("千克");
+TEST(DimUnitKBTest, CaseSensitiveMatchWinsOverFoldedFallback) {
+  // Regression pin for the exact-first/ci-fallback contract. "M" is the
+  // molar symbol, "m" the metre symbol: the uppercase query must take the
+  // exact posting list (molar) and never fall through to the folded index,
+  // which would surface metre.
+  std::span<const UnitId> upper = Kb().FindBySurface("M");
+  ASSERT_FALSE(upper.empty());
+  for (UnitId uid : upper) {
+    EXPECT_NE(Kb().Get(uid).id, "M")
+        << "ci fallback leaked metre into an exact-match query";
+  }
+  bool molar = false;
+  for (UnitId uid : upper) molar |= Kb().Get(uid).id == "MOLAR_U";
+  EXPECT_TRUE(molar) << "exact surface 'M' should reach the molar unit";
+  std::span<const UnitId> lower = Kb().FindBySurface("m");
+  ASSERT_FALSE(lower.empty());
+  EXPECT_EQ(Kb().Get(lower.front()).id, "M");
+  // Non-ASCII surfaces have no case folding: exact and "folded" queries
+  // must agree byte-for-byte.
+  std::span<const UnitId> zh = Kb().FindBySurface("千克");
   ASSERT_FALSE(zh.empty());
-  EXPECT_EQ(zh[0]->id, "KiloGM");
-  std::vector<const UnitRecord*> jin = Kb().FindBySurface("斤");
+  EXPECT_EQ(Kb().Get(zh.front()).id, "KiloGM");
+}
+
+TEST(DimUnitKBTest, ChineseSurfaceFormsIndexed) {
+  std::span<const UnitId> zh = Kb().FindBySurface("千克");
+  ASSERT_FALSE(zh.empty());
+  EXPECT_EQ(Kb().Get(zh.front()).id, "KiloGM");
+  std::span<const UnitId> jin = Kb().FindBySurface("斤");
   ASSERT_FALSE(jin.empty());
-  EXPECT_EQ(jin[0]->id, "JIN_CN");
+  EXPECT_EQ(Kb().Get(jin.front()).id, "JIN_CN");
 }
 
 TEST(DimUnitKBTest, AmbiguousSurfaceReturnsAllCandidates) {
   // "degree" is both the angle unit alias and part of temperature labels;
   // at minimum the angle unit must be found, and multiple matches must be
   // supported by the API shape.
-  std::vector<const UnitRecord*> deg = Kb().FindBySurface("degrees");
+  std::span<const UnitId> deg = Kb().FindBySurface("degrees");
   ASSERT_FALSE(deg.empty());
 }
 
+TEST(DimUnitKBTest, IdHandlesRoundTrip) {
+  UnitId m = Kb().IdOf("M");
+  ASSERT_TRUE(m.valid());
+  EXPECT_EQ(Kb().Get(m).id, "M");
+  EXPECT_EQ(Kb().IdOf("NO_SUCH_UNIT"), UnitId());
+  EXPECT_FALSE(Kb().ResolveId("NO_SUCH_UNIT").ok());
+  EXPECT_EQ(*Kb().ResolveId("KiloM"), Kb().IdOf("KiloM"));
+}
+
 TEST(DimUnitKBTest, UnitsOfDimensionForce) {
-  std::vector<const UnitRecord*> force = Kb().UnitsOfDimension(dims::Force());
+  std::span<const UnitId> force = Kb().UnitsOfDimension(dims::Force());
   // newton + dyne + poundal + kgf + lbf + 24 newton prefixes at least.
   EXPECT_GE(force.size(), 25u);
-  for (const UnitRecord* u : force) {
-    EXPECT_EQ(u->dimension, dims::Force()) << u->id;
+  for (UnitId uid : force) {
+    EXPECT_EQ(Kb().Get(uid).dimension, dims::Force()) << Kb().Get(uid).id;
   }
 }
 
 TEST(DimUnitKBTest, UnitsOfKind) {
-  std::vector<const UnitRecord*> vel = Kb().UnitsOfKind("Velocity");
+  std::span<const UnitId> vel = Kb().UnitsOfKind("Velocity");
   EXPECT_GE(vel.size(), 30u);  // 13x5 compounds + knot + mach + c
-  std::vector<const UnitRecord*> none = Kb().UnitsOfKind("NoSuchKind");
-  EXPECT_TRUE(none.empty());
+  EXPECT_TRUE(Kb().UnitsOfKind("NoSuchKind").empty());
+  EXPECT_TRUE(Kb().UnitsOfKind(KindId()).empty());
+  // KindIdOf aligns with the registry record order.
+  KindId velocity = Kb().KindIdOf("Velocity");
+  ASSERT_TRUE(velocity.valid());
+  EXPECT_EQ(Kb().GetKind(velocity).name, "Velocity");
+  EXPECT_EQ(Kb().UnitsOfKind(velocity).size(), vel.size());
+}
+
+TEST(DimUnitKBTest, ConversionFactorByHandleMatchesSemantics) {
+  UnitId in = Kb().IdOf("IN");
+  UnitId cm = Kb().IdOf("CentiM");
+  ASSERT_TRUE(in.valid());
+  ASSERT_TRUE(cm.valid());
+  // The memoized table must be bit-identical to the exact Rational path.
+  EXPECT_DOUBLE_EQ(Kb().ConversionFactor(in, cm).ValueOrDie(), 2.54);
+  EXPECT_DOUBLE_EQ(
+      Kb().ConversionFactor(in, cm).ValueOrDie(),
+      Kb().Get(in).Semantics().ConversionFactorTo(Kb().Get(cm).Semantics())
+          .ValueOrDie());
+  // Mismatched dimensions keep the slow path's status code.
+  EXPECT_EQ(Kb().ConversionFactor(Kb().IdOf("KiloM"), Kb().IdOf("SEC"))
+                .status()
+                .code(),
+            StatusCode::kDimensionMismatch);
+  // Invalid handles are rejected, not dereferenced.
+  EXPECT_EQ(Kb().ConversionFactor(UnitId(), cm).status().code(),
+            StatusCode::kNotFound);
+  // Affine endpoints (NaN in the memo) fall back to the exact slow path.
+  UnitId celsius = Kb().IdOf("DEG_C");
+  UnitId kelvin = Kb().IdOf("K");
+  ASSERT_TRUE(celsius.valid());
+  ASSERT_TRUE(kelvin.valid());
+  EXPECT_EQ(Kb().ConversionFactor(celsius, kelvin).status().code(),
+            Kb().Get(celsius)
+                .Semantics()
+                .ConversionFactorTo(Kb().Get(kelvin).Semantics())
+                .status()
+                .code());
 }
 
 TEST(DimUnitKBTest, ResolverEvaluatesUnitExpressions) {
@@ -190,10 +261,10 @@ TEST(DimUnitKBTest, ResolverEvaluatesUnitExpressions) {
 
 TEST(DimUnitKBTest, FrequencyRankingPutsCommonUnitsFirst) {
   // Fig. 3's shape: metre/second-class units rank far above rarities.
-  std::vector<const UnitRecord*> ranked = Kb().UnitsByFrequency();
+  std::vector<UnitId> ranked = Kb().UnitsByFrequency();
   ASSERT_GT(ranked.size(), 100u);
   std::unordered_set<std::string> top50;
-  for (std::size_t i = 0; i < 50; ++i) top50.insert(ranked[i]->id);
+  for (std::size_t i = 0; i < 50; ++i) top50.insert(Kb().Get(ranked[i]).id);
   EXPECT_TRUE(top50.contains("M") || top50.contains("SEC") ||
               top50.contains("HR"))
       << "everyday units missing from the top of the ranking";
@@ -213,7 +284,7 @@ TEST(DimUnitKBTest, KindsByFrequencyRanked) {
   // Everyday kinds near the top (Fig. 4 shape): Length/Time/Mass in top 14.
   std::unordered_set<std::string> top14;
   for (std::size_t i = 0; i < 14 && i < kinds.size(); ++i) {
-    top14.insert(kinds[i].first->name);
+    top14.insert(Kb().GetKind(kinds[i].first).name);
   }
   EXPECT_TRUE(top14.contains("Length"));
   EXPECT_TRUE(top14.contains("Time"));
@@ -255,6 +326,59 @@ TEST(DimUnitKBTest, TsvRoundTrip) {
     EXPECT_EQ(a.exact_conversion.has_value(), b.exact_conversion.has_value());
     EXPECT_DOUBLE_EQ(a.frequency, b.frequency);
   }
+  std::filesystem::remove(path);
+}
+
+TEST(DimUnitKBTest, TsvRoundTripRebuildsIdenticalInternedIndexes) {
+  // LoadTsv must rebuild the interned identity layer so that every handle
+  // resolves to the same record and every index answers the same queries as
+  // the in-memory original (records are appended in catalog order, so the
+  // handle spaces line up one-to-one).
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "dimqr_kb_interned_roundtrip.tsv")
+                         .string();
+  ASSERT_TRUE(Kb().SaveTsv(path).ok());
+  auto loaded = DimUnitKB::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const DimUnitKB& kb2 = **loaded;
+  ASSERT_EQ(kb2.num_units(), Kb().num_units());
+
+  for (std::size_t i = 0; i < Kb().num_units(); ++i) {
+    const UnitId uid = UnitId::FromIndex(i);
+    const UnitRecord& a = Kb().Get(uid);
+    const UnitRecord& b = kb2.Get(uid);
+    EXPECT_EQ(a.id, b.id);
+    // ID lookup lands on the same handle in both KBs.
+    EXPECT_EQ(kb2.IdOf(a.id), Kb().IdOf(a.id)) << a.id;
+    // Surface postings agree handle-for-handle (same order, same ids).
+    for (const std::string& surface : a.SurfaceForms()) {
+      if (surface.empty()) continue;
+      std::span<const UnitId> sa = Kb().FindBySurface(surface);
+      std::span<const UnitId> sb = kb2.FindBySurface(surface);
+      ASSERT_EQ(sa.size(), sb.size()) << surface;
+      for (std::size_t j = 0; j < sa.size(); ++j) {
+        EXPECT_EQ(sa[j], sb[j]) << surface;
+      }
+    }
+    // Kind handles resolve to the same registry record.
+    KindId ka = Kb().KindIdOf(a.quantity_kind);
+    KindId kb_handle = kb2.KindIdOf(b.quantity_kind);
+    EXPECT_EQ(ka, kb_handle) << a.quantity_kind;
+  }
+  // Dimension and kind indexes return identical posting lists.
+  std::span<const UnitId> da = Kb().UnitsOfDimension(dims::Force());
+  std::span<const UnitId> db = kb2.UnitsOfDimension(dims::Force());
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t j = 0; j < da.size(); ++j) EXPECT_EQ(da[j], db[j]);
+  std::span<const UnitId> va = Kb().UnitsOfKind("Velocity");
+  std::span<const UnitId> vb = kb2.UnitsOfKind("Velocity");
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t j = 0; j < va.size(); ++j) EXPECT_EQ(va[j], vb[j]);
+  // Memoized conversion tables produce identical factors.
+  EXPECT_DOUBLE_EQ(
+      kb2.ConversionFactor(kb2.IdOf("IN"), kb2.IdOf("CentiM")).ValueOrDie(),
+      Kb().ConversionFactor(Kb().IdOf("IN"), Kb().IdOf("CentiM"))
+          .ValueOrDie());
   std::filesystem::remove(path);
 }
 

@@ -5,14 +5,25 @@
 namespace dimqr::linking {
 namespace {
 
-const DimKsAnnotator& Annotator() {
-  static const DimKsAnnotator* const kAnnotator = [] {
+/// KB + annotator pair shared by every test (construction is expensive).
+struct AnnotatorWorld {
+  std::shared_ptr<const kb::DimUnitKB> kb;
+  const DimKsAnnotator* annotator;
+};
+
+const AnnotatorWorld& World() {
+  static const AnnotatorWorld* const kWorld = [] {
     auto kb = kb::DimUnitKB::Build().ValueOrDie();
     auto linker = UnitLinker::Build(kb).ValueOrDie();
-    return new DimKsAnnotator(linker);
+    return new AnnotatorWorld{kb, new DimKsAnnotator(linker)};
   }();
-  return *kAnnotator;
+  return *kWorld;
 }
+
+const DimKsAnnotator& Annotator() { return *World().annotator; }
+
+/// The UnitID string behind an annotation's interned handle.
+const std::string& IdOf(UnitId unit) { return World().kb->Get(unit).id; }
 
 TEST(AnnotatorTest, PaperIntroSentence) {
   // "LeBron James's height is 2.06 meters and Stephen Curry's height is
@@ -22,10 +33,10 @@ TEST(AnnotatorTest, PaperIntroSentence) {
       "188 cm");
   ASSERT_EQ(anns.size(), 2u);
   ASSERT_TRUE(anns[0].HasUnit());
-  EXPECT_EQ(anns[0].unit->id, "M");
+  EXPECT_EQ(IdOf(anns[0].unit), "M");
   EXPECT_DOUBLE_EQ(anns[0].number.value, 2.06);
   ASSERT_TRUE(anns[1].HasUnit());
-  EXPECT_EQ(anns[1].unit->id, "CentiM");
+  EXPECT_EQ(IdOf(anns[1].unit), "CentiM");
   Quantity lebron = Annotator().ToQuantity(anns[0]).ValueOrDie();
   Quantity curry = Annotator().ToQuantity(anns[1]).ValueOrDie();
   EXPECT_EQ(lebron.Compare(curry).ValueOrDie(), 1);
@@ -37,9 +48,9 @@ TEST(AnnotatorTest, Fig1UnitTrapUnits) {
       "surface");
   ASSERT_EQ(anns.size(), 2u);
   ASSERT_TRUE(anns[0].HasUnit());
-  EXPECT_EQ(anns[0].unit->id, "POUNDAL");
+  EXPECT_EQ(IdOf(anns[0].unit), "POUNDAL");
   ASSERT_TRUE(anns[1].HasUnit());
-  EXPECT_EQ(anns[1].unit->id, "DYN-PER-CentiM");
+  EXPECT_EQ(IdOf(anns[1].unit), "DYN-PER-CentiM");
   // The trap: these two are NOT comparable.
   Quantity a = Annotator().ToQuantity(anns[0]).ValueOrDie();
   Quantity b = Annotator().ToQuantity(anns[1]).ValueOrDie();
@@ -50,7 +61,7 @@ TEST(AnnotatorTest, GluedUnit) {
   auto anns = Annotator().Annotate("the bag weighs 5kg today");
   ASSERT_EQ(anns.size(), 1u);
   ASSERT_TRUE(anns[0].HasUnit());
-  EXPECT_EQ(anns[0].unit->id, "KiloGM");
+  EXPECT_EQ(IdOf(anns[0].unit), "KiloGM");
   EXPECT_EQ(anns[0].unit_text, "kg");
 }
 
@@ -58,7 +69,7 @@ TEST(AnnotatorTest, MultiWordUnit) {
   auto anns = Annotator().Annotate("water boils at 100 degrees Celsius");
   ASSERT_EQ(anns.size(), 1u);
   ASSERT_TRUE(anns[0].HasUnit());
-  EXPECT_EQ(anns[0].unit->id, "DEG_C");
+  EXPECT_EQ(IdOf(anns[0].unit), "DEG_C");
   EXPECT_EQ(anns[0].unit_text, "degrees Celsius");
 }
 
@@ -66,7 +77,7 @@ TEST(AnnotatorTest, PercentBecomesPercentUnit) {
   auto anns = Annotator().Annotate("a potion containing 20% of the agent");
   ASSERT_EQ(anns.size(), 1u);
   ASSERT_TRUE(anns[0].HasUnit());
-  EXPECT_EQ(anns[0].unit->id, "PERCENT");
+  EXPECT_EQ(IdOf(anns[0].unit), "PERCENT");
   Quantity q = Annotator().ToQuantity(anns[0]).ValueOrDie();
   EXPECT_DOUBLE_EQ(q.value(), 0.2);
   EXPECT_TRUE(q.dimension().IsDimensionless());
@@ -75,7 +86,7 @@ TEST(AnnotatorTest, PercentBecomesPercentUnit) {
 TEST(AnnotatorTest, BareNumberHasNoUnit) {
   auto anns = Annotator().Annotate("she bought 7 apples at the market");
   ASSERT_EQ(anns.size(), 1u);
-  EXPECT_FALSE(anns[0].HasUnit()) << "linked to " << anns[0].unit->id;
+  EXPECT_FALSE(anns[0].HasUnit());
   Quantity q = Annotator().ToQuantity(anns[0]).ValueOrDie();
   EXPECT_TRUE(q.dimension().IsDimensionless());
   EXPECT_DOUBLE_EQ(q.value(), 7.0);
@@ -86,23 +97,23 @@ TEST(AnnotatorTest, CompoundSymbolUnit) {
                                    "the two cities");
   ASSERT_EQ(anns.size(), 1u);
   ASSERT_TRUE(anns[0].HasUnit());
-  EXPECT_EQ(anns[0].unit->id, "KiloM-PER-HR");
+  EXPECT_EQ(IdOf(anns[0].unit), "KiloM-PER-HR");
 }
 
 TEST(AnnotatorTest, ChineseQuantity) {
   auto anns = Annotator().Annotate("小王要将150千克的农药稀释");
   ASSERT_EQ(anns.size(), 1u);
   ASSERT_TRUE(anns[0].HasUnit());
-  EXPECT_EQ(anns[0].unit->id, "KiloGM");
+  EXPECT_EQ(IdOf(anns[0].unit), "KiloGM");
 }
 
 TEST(AnnotatorTest, MultipleQuantitiesKeepOrder) {
   auto anns = Annotator().Annotate(
       "mix 250 ml of milk with 3 cups of flour and bake for 45 minutes");
   ASSERT_EQ(anns.size(), 3u);
-  EXPECT_EQ(anns[0].unit->id, "MilliLITRE");
-  EXPECT_EQ(anns[1].unit->id, "CUP_US");
-  EXPECT_EQ(anns[2].unit->id, "MIN");
+  EXPECT_EQ(IdOf(anns[0].unit), "MilliLITRE");
+  EXPECT_EQ(IdOf(anns[1].unit), "CUP_US");
+  EXPECT_EQ(IdOf(anns[2].unit), "MIN");
 }
 
 TEST(AnnotatorTest, EmptyAndUnitlessText) {

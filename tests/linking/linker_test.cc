@@ -16,42 +16,40 @@ const UnitLinker& Linker() {
   return *kLinker;
 }
 
+/// Resolves Best()'s UnitId handle against the linker's own KB.
+const kb::UnitRecord& BestUnit(const std::string& mention,
+                               const std::string& context) {
+  return Linker().knowledge_base().Get(
+      Linker().Best(mention, context).ValueOrDie());
+}
+
 TEST(UnitLinkerTest, ExactSymbolLinks) {
-  const kb::UnitRecord* u =
-      Linker().Best("km", "the road is 5 km long").ValueOrDie();
-  EXPECT_EQ(u->id, "KiloM");
+  EXPECT_EQ(BestUnit("km", "the road is 5 km long").id, "KiloM");
 }
 
 TEST(UnitLinkerTest, ExactLabelLinks) {
-  const kb::UnitRecord* u =
-      Linker().Best("kilometre", "distance travelled").ValueOrDie();
-  EXPECT_EQ(u->id, "KiloM");
+  EXPECT_EQ(BestUnit("kilometre", "distance travelled").id, "KiloM");
 }
 
 TEST(UnitLinkerTest, AliasSpellingLinks) {
   // American spelling is an alias.
-  const kb::UnitRecord* u =
-      Linker().Best("kilometers", "the marathon distance").ValueOrDie();
-  EXPECT_EQ(u->id, "KiloM");
+  EXPECT_EQ(BestUnit("kilometers", "the marathon distance").id, "KiloM");
 }
 
 TEST(UnitLinkerTest, PaperFig1DynPerCm) {
   // Fig. 1: "dyne/cm" must link to the force-per-length compound.
-  const kb::UnitRecord* u =
-      Linker().Best("dyn/cm", "surface tension of the liquid").ValueOrDie();
-  EXPECT_EQ(u->id, "DYN-PER-CentiM");
-  EXPECT_EQ(u->dimension.ToFormula(), "MT-2");
+  const kb::UnitRecord& u =
+      BestUnit("dyn/cm", "surface tension of the liquid");
+  EXPECT_EQ(u.id, "DYN-PER-CentiM");
+  EXPECT_EQ(u.dimension.ToFormula(), "MT-2");
 }
 
 TEST(UnitLinkerTest, FuzzyMisspellingLinks) {
-  const kb::UnitRecord* u =
-      Linker().Best("kilometr", "drove a long distance").ValueOrDie();
-  EXPECT_EQ(u->id, "KiloM");
+  EXPECT_EQ(BestUnit("kilometr", "drove a long distance").id, "KiloM");
 }
 
 TEST(UnitLinkerTest, ChineseUnitLinks) {
-  const kb::UnitRecord* u = Linker().Best("千克", "质量").ValueOrDie();
-  EXPECT_EQ(u->id, "KiloGM");
+  EXPECT_EQ(BestUnit("千克", "质量").id, "KiloGM");
 }
 
 TEST(UnitLinkerTest, NoCandidateForGarbage) {
@@ -75,31 +73,24 @@ TEST(UnitLinkerTest, CandidateCountCapped) {
 TEST(UnitLinkerTest, PaperContextExampleDegree) {
   // Section III-B: "degree" in different contexts might correspond to
   // "degrees Celsius" or "diopter" (we check temperature vs angle).
-  const kb::UnitRecord* temp =
-      Linker()
-          .Best("degrees",
-                "the weather was hot, the thermometer showed 30 degrees")
-          .ValueOrDie();
-  const kb::UnitRecord* angle =
-      Linker()
-          .Best("degrees", "rotate the triangle by 30 degrees of turn")
-          .ValueOrDie();
-  EXPECT_EQ(temp->quantity_kind, "ThermodynamicTemperature")
-      << "temperature context should pick " << temp->id;
-  EXPECT_EQ(angle->quantity_kind, "PlaneAngle") << angle->id;
+  const kb::UnitRecord& temp = BestUnit(
+      "degrees", "the weather was hot, the thermometer showed 30 degrees");
+  const kb::UnitRecord& angle =
+      BestUnit("degrees", "rotate the triangle by 30 degrees of turn");
+  EXPECT_EQ(temp.quantity_kind, "ThermodynamicTemperature")
+      << "temperature context should pick " << temp.id;
+  EXPECT_EQ(angle.quantity_kind, "PlaneAngle") << angle.id;
 }
 
 TEST(UnitLinkerTest, ContextDisambiguatesPoundVsPoundForce) {
-  const kb::UnitRecord* mass =
-      Linker().Best("pounds", "the baby weighs seven pounds").ValueOrDie();
-  EXPECT_EQ(mass->dimension, dims::Mass());
+  EXPECT_EQ(BestUnit("pounds", "the baby weighs seven pounds").dimension,
+            dims::Mass());
 }
 
 TEST(UnitLinkerTest, PriorPrefersCommonUnits) {
   // "m" matches metre, mile symbol? no — but also "M" molar and milli-
   // prefixed symbols fuzzily; the frequency prior should keep metre first.
-  const kb::UnitRecord* u = Linker().Best("m", "it is long").ValueOrDie();
-  EXPECT_EQ(u->id, "M");
+  EXPECT_EQ(BestUnit("m", "it is long").id, "M");
 }
 
 TEST(UnitLinkerTest, FactorsExposedOnCandidates) {
@@ -147,9 +138,9 @@ class LinkerSurfaceSweep : public ::testing::TestWithParam<SurfaceCase> {};
 
 TEST_P(LinkerSurfaceSweep, LinksToExpectedUnit) {
   const SurfaceCase& c = GetParam();
-  Result<const kb::UnitRecord*> u = Linker().Best(c.mention, c.context);
+  Result<UnitId> u = Linker().Best(c.mention, c.context);
   ASSERT_TRUE(u.ok()) << c.mention;
-  EXPECT_EQ((*u)->id, c.expected_id) << c.mention;
+  EXPECT_EQ(Linker().knowledge_base().Get(*u).id, c.expected_id) << c.mention;
 }
 
 INSTANTIATE_TEST_SUITE_P(

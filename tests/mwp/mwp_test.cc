@@ -146,14 +146,12 @@ TEST(AugmentTest, QuestionDimensionConvertsAnswer) {
     if (!s.ok()) continue;
     ++applied;
     // Answer converts (Table V: 450 kg -> 0.45 t).
-    const kb::UnitRecord* old_unit =
-        Kb()->FindById(original.problem.question_unit_id).ValueOrDie();
-    const kb::UnitRecord* new_unit =
-        Kb()->FindById(tp.problem.question_unit_id).ValueOrDie();
-    double factor = old_unit->conversion_value / new_unit->conversion_value;
+    const kb::UnitRecord& old_unit = Kb()->Get(original.problem.question_unit);
+    const kb::UnitRecord& new_unit = Kb()->Get(tp.problem.question_unit);
+    double factor = old_unit.conversion_value / new_unit.conversion_value;
     EXPECT_NEAR(tp.problem.answer, original.problem.answer * factor,
                 1e-6 * std::max(1.0, std::abs(tp.problem.answer)));
-    EXPECT_NE(tp.problem.question_unit_id, original.problem.question_unit_id);
+    EXPECT_NE(tp.problem.question_unit, original.problem.question_unit);
     EXPECT_NEAR(tp.problem.gold_equation.Evaluate().ValueOrDie(),
                 tp.problem.answer,
                 1e-9 * std::max(1.0, std::abs(tp.problem.answer)));
@@ -182,9 +180,8 @@ TEST(AugmentTest, TableVDilutionScenario) {
   ASSERT_TRUE(
       ApplyAugmentation(tp, AugmentKind::kQuestionDimension, *Kb(), rng).ok());
   const kb::UnitRecord* old_unit = Kb()->FindById("KiloGM").ValueOrDie();
-  const kb::UnitRecord* new_unit =
-      Kb()->FindById(tp.problem.question_unit_id).ValueOrDie();
-  double factor = old_unit->conversion_value / new_unit->conversion_value;
+  const kb::UnitRecord& new_unit = Kb()->Get(tp.problem.question_unit);
+  double factor = old_unit->conversion_value / new_unit.conversion_value;
   EXPECT_NEAR(tp.problem.answer, dilution->problem.answer * factor, 1e-6);
 }
 
