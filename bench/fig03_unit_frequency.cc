@@ -30,9 +30,10 @@ int main() {
 
   // The paper's motivating contrast (Section III-A4): metre common,
   // decimetre rare.
-  const dimqr::kb::UnitRecord* metre = world.kb->FindById("M").ValueOrDie();
+  const dimqr::kb::UnitRecord* metre =
+      &world.kb->Get(world.kb->IdOf("M"));
   const dimqr::kb::UnitRecord* decimetre =
-      world.kb->FindById("DeciM").ValueOrDie();
+      &world.kb->Get(world.kb->IdOf("DeciM"));
   std::printf("\nShape check: Freq(metre)=%.3f > Freq(decimetre)=%.3f : %s\n",
               metre->frequency, decimetre->frequency,
               metre->frequency > decimetre->frequency ? "PRESERVED"

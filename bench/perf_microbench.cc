@@ -5,11 +5,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bench/common.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "dimeval/generators.h"
+#include "eval/harness.h"
+#include "lm/kernels.h"
+#include "lm/mock_llm.h"
+#include "lm/transformer.h"
 #include "mwp/equation.h"
 #include "text/levenshtein.h"
 #include "text/string_util.h"
@@ -144,7 +152,12 @@ BENCHMARK(BM_KbFindBySurfaceLegacyMap);
 void BM_KbConversionFactor(benchmark::State& state) {
   const auto& world = benchutil::GetWorld();
   for (auto _ : state) {
+    // Intentionally the deprecated string-keyed shim — this bench tracks
+    // the legacy path against BM_ConversionFactorCached.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     benchmark::DoNotOptimize(world.kb->ConversionFactor("MI", "KiloM"));
+#pragma GCC diagnostic pop
   }
 }
 BENCHMARK(BM_KbConversionFactor);
@@ -246,6 +259,107 @@ void BM_EquationParseEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_EquationParseEvaluate);
 
+// ---------------------------------------------------------------------
+// Parallel runtime: blocked-vs-naive kernels and thread sweeps. The sweep
+// benches take the thread count as their range argument; on a single-core
+// host the >1 entries measure pool overhead rather than speedup.
+
+// Sized so the right-hand matrix (2048 x 2048 x 4 B = 16 MiB) blows out
+// L2: this is the regime cache blocking exists for. At transformer-sized
+// operands the kernels fall back to the naive loop order (see
+// lm/kernels.cc), so a small-matrix comparison would measure nothing.
+constexpr std::size_t kMatM = 128, kMatK = 2048, kMatN = 2048;
+
+void BM_MatMulBlocked(benchmark::State& state) {
+  std::vector<float> a(kMatM * kMatK), b(kMatK * kMatN), c(kMatM * kMatN);
+  Rng rng(11);
+  for (float& x : a) x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  for (float& x : b) x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  for (auto _ : state) {
+    lm::kernels::MatMul(a.data(), b.data(), c.data(), kMatM, kMatK, kMatN);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatMulBlocked);
+
+void BM_MatMulNaive(benchmark::State& state) {
+  std::vector<float> a(kMatM * kMatK), b(kMatK * kMatN), c(kMatM * kMatN);
+  Rng rng(11);
+  for (float& x : a) x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  for (float& x : b) x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  for (auto _ : state) {
+    lm::kernels::MatMulNaive(a.data(), b.data(), c.data(), kMatM, kMatK,
+                             kMatN);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatMulNaive);
+
+void BM_TrainBatch(benchmark::State& state) {
+  ScopedParallelism scope(static_cast<int>(state.range(0)));
+  lm::TransformerConfig config;
+  config.vocab_size = 64;
+  config.d_model = 32;
+  config.n_heads = 4;
+  config.n_layers = 2;
+  config.d_ff = 96;
+  config.max_seq = 32;
+  config.seed = 13;
+  lm::Transformer model = lm::Transformer::Create(config).ValueOrDie();
+  Rng rng(17);
+  std::vector<lm::LmExample> batch;
+  for (int i = 0; i < 16; ++i) {
+    lm::LmExample e;
+    int x = static_cast<int>(rng.UniformInt(4, 62));
+    int y = static_cast<int>(rng.UniformInt(4, 62));
+    e.tokens = {1, x, y, 3, x, y, 2};
+    e.loss_mask = {0, 0, 0, 0, 1, 1, 1};
+    batch.push_back(std::move(e));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.TrainBatch(batch, 1e-3).ValueOrDie());
+  }
+}
+BENCHMARK(BM_TrainBatch)->DenseRange(1, 8);
+
+void BM_EvalDimEval(benchmark::State& state) {
+  ScopedParallelism scope(static_cast<int>(state.range(0)));
+  // Self-contained choice-task set: generator instances + calibrated mock,
+  // small enough to re-run per iteration without the full DimEval fixture.
+  static const std::vector<dimeval::TaskInstance>* const kInstances = [] {
+    dimeval::TaskGenerator gen(benchutil::GetWorld().kb);
+    return new std::vector<dimeval::TaskInstance>(
+        gen.UnitConversion(96).ValueOrDie());
+  }();
+  std::vector<const dimeval::TaskInstance*> tests;
+  tests.reserve(kInstances->size());
+  for (const dimeval::TaskInstance& inst : *kInstances) {
+    tests.push_back(&inst);
+  }
+  lm::MockLlm mock("Bench", {{"unit_conversion", {0.6, 0.9}}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::EvaluateChoiceTask(mock, tests));
+  }
+}
+BENCHMARK(BM_EvalDimEval)->DenseRange(1, 8);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Timings from unoptimized trees are not comparable; refuse to produce
+  // them unless explicitly overridden (DIMQR_ALLOW_NON_RELEASE_BENCH=1).
+  if (std::strcmp(DIMQR_BUILD_TYPE, "Release") != 0 &&
+      std::getenv("DIMQR_ALLOW_NON_RELEASE_BENCH") == nullptr) {
+    std::fprintf(stderr,
+                 "perf_microbench: refusing to run a %s build; configure "
+                 "with -DCMAKE_BUILD_TYPE=Release (see run_benches.sh) or "
+                 "set DIMQR_ALLOW_NON_RELEASE_BENCH=1 to override.\n",
+                 DIMQR_BUILD_TYPE);
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

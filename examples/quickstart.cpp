@@ -20,7 +20,7 @@ int main() {
             << stats.num_dimension_vectors << " dimension vectors\n\n";
 
   // 2. Look up a unit and its Table II record.
-  const kb::UnitRecord* km = kb->FindById("KiloM").ValueOrDie();
+  const kb::UnitRecord* km = &kb->Get(kb->ResolveId("KiloM").ValueOrDie());
   std::cout << "KiloM: " << km->label_en << " / " << km->label_zh
             << ", dimension " << km->dimension.ToFormula() << " ("
             << km->dimension.ToVectorForm() << "), Freq=" << km->frequency
@@ -51,11 +51,11 @@ int main() {
             << " is larger -> LeBron James is taller.\n";
 
   // 6. Exact conversion (Definition 8).
-  double factor = kb->ConversionFactor("MI", "KiloM").ValueOrDie();
+  const UnitId mi = kb->ResolveId("MI").ValueOrDie();
+  const UnitId kilom = kb->ResolveId("KiloM").ValueOrDie();
+  double factor = kb->ConversionFactor(mi, kilom).ValueOrDie();
   std::cout << "1 mile = " << factor << " kilometres (exact: "
-            << kb->FindById("MI")
-                   .ValueOrDie()
-                   ->exact_conversion->ToString()
+            << kb->Get(mi).exact_conversion->ToString()
             << " m)\n";
   return 0;
 }

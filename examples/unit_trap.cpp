@@ -29,8 +29,10 @@ int main() {
               << unit.dimension.ToVectorForm() << ")\n";
   }
 
-  const kb::UnitRecord* poundal = kb->FindById("POUNDAL").ValueOrDie();
-  const kb::UnitRecord* dyn_cm = kb->FindById("DYN-PER-CentiM").ValueOrDie();
+  const kb::UnitRecord* poundal =
+      &kb->Get(kb->ResolveId("POUNDAL").ValueOrDie());
+  const kb::UnitRecord* dyn_cm =
+      &kb->Get(kb->ResolveId("DYN-PER-CentiM").ValueOrDie());
   std::cout << "\nDimension check: dim(poundal) = "
             << poundal->dimension.ToFormula() << ", dim(dyn/cm) = "
             << dyn_cm->dimension.ToFormula() << "\n";
@@ -48,7 +50,9 @@ int main() {
   }
 
   // What WOULD be legal: poundal -> dyne (both LMT-2).
-  double to_dyne = kb->ConversionFactor("POUNDAL", "DYN").ValueOrDie();
+  double to_dyne = kb->ConversionFactor(kb->ResolveId("POUNDAL").ValueOrDie(),
+                                       kb->ResolveId("DYN").ValueOrDie())
+                       .ValueOrDie();
   std::cout << "\nA legal conversion instead: 0.1 poundal = "
             << 0.1 * to_dyne << " dyne.\n";
   return 0;

@@ -2,8 +2,19 @@
 # Runs every table/figure reproduction binary plus the micro-benchmarks,
 # in experiment order, writing the combined log to bench_output.txt. The
 # micro-benchmarks additionally dump machine-readable Google-benchmark
-# JSON to BENCH_perf.json (interned vs legacy string-keyed comparisons).
+# JSON to BENCH_perf.json (interned vs legacy string-keyed comparisons,
+# blocked vs naive kernels, and the DIMQR_THREADS sweeps).
+#
+# Timings only mean something from an optimized build, so everything runs
+# out of a dedicated Release tree (build-rel/) — never the default dev
+# tree. perf_microbench itself refuses to start from a non-Release build.
+set -e
 cd "$(dirname "$0")"
+
+cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release \
+      -DDIMQR_BUILD_TESTS=OFF -DDIMQR_BUILD_EXAMPLES=OFF
+cmake --build build-rel -j
+
 {
   for b in table04_kb_stats fig03_unit_frequency fig04_quantity_kinds \
            table06_dataset_stats table07_dimeval table08_dimperc_vs_base \
@@ -13,10 +24,10 @@ cd "$(dirname "$0")"
     echo "### $b"
     echo "############################################################"
     if [ "$b" = perf_microbench ]; then
-      ./build/bench/$b --benchmark_out=BENCH_perf.json \
-                       --benchmark_out_format=json 2>&1
+      ./build-rel/bench/$b --benchmark_out=BENCH_perf.json \
+                           --benchmark_out_format=json 2>&1
     else
-      ./build/bench/$b 2>&1
+      ./build-rel/bench/$b 2>&1
     fi
     echo
   done

@@ -1,0 +1,185 @@
+#ifndef DIMQR_CORE_PARALLEL_H_
+#define DIMQR_CORE_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+/// \file parallel.h
+/// Deterministic data parallelism. A fixed-size thread pool runs index-chunked
+/// loops whose results are bit-for-bit identical at any thread count:
+///
+///  - Chunk boundaries are a pure function of the trip count `n` and the
+///    requested grain — never of the pool size — so the order in which floats
+///    are accumulated inside a chunk, and the order in which per-chunk
+///    partials are folded together, is fixed once `n` is fixed.
+///  - `ParallelMapReduce` folds per-chunk partials sequentially in chunk-index
+///    order after all chunks finish; only the *scheduling* of chunks onto
+///    threads varies between runs, never any arithmetic.
+///  - Randomized chunk bodies derive an independent stream per chunk (or per
+///    item) with `Rng::SplitSeed`, so draws do not depend on which thread ran
+///    which chunk.
+///
+/// Errors follow the repo convention: chunk bodies return `Status`, the pool
+/// never lets an exception escape a worker (it is converted to an Internal
+/// status at the pool boundary), and when several chunks fail the status of
+/// the lowest-indexed failing chunk is returned. All scheduled chunks run to
+/// completion even after a failure, so side effects and error reporting stay
+/// deterministic.
+namespace dimqr {
+
+/// \brief A fixed-size pool of worker threads executing indexed task sets.
+///
+/// A pool of size `t` owns `t - 1` background workers; the thread that calls
+/// Run() participates as the t-th executor, so a pool of size 1 spawns no
+/// threads at all and Run() degenerates to a serial loop on the caller.
+/// Run() may be called repeatedly (the workers persist), but not
+/// concurrently from multiple threads.
+class ThreadPool {
+ public:
+  /// Creates a pool of the given size (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers. Must not be called while a Run() is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executor count (background workers + the calling thread).
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// \brief Invokes `task(i)` for every i in [0, num_tasks), distributing
+  /// indices across the pool; blocks until all of them have run.
+  ///
+  /// Tasks are claimed dynamically (any thread may run any index), so the
+  /// bodies must only write to index-addressed slots. Returns the status of
+  /// the lowest-indexed failing task, or OK.
+  Status Run(int num_tasks, const std::function<Status(int)>& task);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs tasks from the current job until none remain.
+  void DrainTasks(const std::function<Status(int)>& task, int total);
+  /// Runs one task, converting any escaped exception into a Status.
+  static Status RunOneTask(const std::function<Status(int)>& task, int index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Signals workers: new job or shutdown.
+  std::condition_variable done_cv_;  ///< Signals Run(): all tasks completed.
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+
+  // State of the in-flight job. `generation_`, `job_`, and `job_total_` are
+  // guarded by mu_; task claiming and completion counting are lock-free.
+  std::uint64_t generation_ = 0;
+  const std::function<Status(int)>* job_ = nullptr;
+  int job_total_ = 0;
+  std::atomic<int> next_task_{0};
+  std::atomic<int> completed_{0};
+  /// Workers currently inside DrainTasks (guarded by mu_). Run() waits for
+  /// this to reach zero before resetting job state, so no stale worker can
+  /// claim an index from a later job.
+  int active_drainers_ = 0;
+
+  // First (lowest-index) error observed in the current job.
+  std::mutex err_mu_;
+  int err_index_ = 0;
+  Status err_status_;
+};
+
+/// \brief The process-wide pool used by ParallelFor / ParallelMapReduce.
+///
+/// Sized once, lazily, from the `DIMQR_THREADS` environment variable: unset
+/// or "1" means serial execution (today's behavior), "0" means
+/// `std::thread::hardware_concurrency()`, any other positive value is the
+/// pool size. See ScopedParallelism for a per-scope override.
+ThreadPool& GlobalPool();
+
+/// The size of the pool ParallelFor will use (honoring any active override).
+int ParallelThreadCount();
+
+/// \brief RAII override of the global pool size, for tests and benchmarks
+/// that sweep thread counts within one process.
+///
+/// Not thread-safe: construct and destroy only on the main thread, with no
+/// parallel loop in flight. Overrides nest (the previous override is
+/// restored on destruction).
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(int threads);
+  ~ScopedParallelism();
+
+  ScopedParallelism(const ScopedParallelism&) = delete;
+  ScopedParallelism& operator=(const ScopedParallelism&) = delete;
+
+ private:
+  std::optional<ThreadPool> pool_;
+  ThreadPool* previous_;
+};
+
+/// \brief The default chunk grain for a loop of `n` iterations: splits the
+/// range into at most 64 chunks. A pure function of `n` — deliberately
+/// independent of the pool size, so chunk boundaries (and therefore float
+/// accumulation order) never change with `DIMQR_THREADS`.
+std::int64_t DefaultGrain(std::int64_t n);
+
+/// Number of chunks a range of `n` items splits into at the given grain.
+inline int NumChunks(std::int64_t n, std::int64_t grain) {
+  return n <= 0 ? 0 : static_cast<int>((n + grain - 1) / grain);
+}
+
+/// \brief Runs `body(begin, end, chunk)` over disjoint subranges covering
+/// [0, n), in parallel on the global pool.
+///
+/// `grain` is the maximum chunk length; pass 0 for DefaultGrain(n). Chunk
+/// `c` covers [c*grain, min(n, (c+1)*grain)). Returns the status of the
+/// lowest-indexed failing chunk, or OK.
+Status ParallelFor(
+    std::int64_t n,
+    const std::function<Status(std::int64_t begin, std::int64_t end,
+                               int chunk)>& body,
+    std::int64_t grain = 0);
+
+/// \brief Map-reduce with deterministic, index-ordered reduction.
+///
+/// `map(begin, end, chunk) -> Result<T>` computes a partial value per chunk;
+/// after every chunk finishes, `reduce(acc, std::move(partial))` folds the
+/// partials into `init` sequentially in ascending chunk order. Because chunk
+/// boundaries depend only on `n` and `grain`, the full sequence of arithmetic
+/// operations — and hence any floating-point result — is identical at every
+/// thread count. Returns the first (lowest-chunk) error if any map fails.
+template <typename T, typename Map, typename Reduce>
+Result<T> ParallelMapReduce(std::int64_t n, T init, Map&& map, Reduce&& reduce,
+                            std::int64_t grain = 0) {
+  if (n <= 0) return init;
+  if (grain <= 0) grain = DefaultGrain(n);
+  const int chunks = NumChunks(n, grain);
+  std::vector<std::optional<T>> partials(static_cast<std::size_t>(chunks));
+  Status st = ParallelFor(
+      n,
+      [&](std::int64_t begin, std::int64_t end, int chunk) -> Status {
+        Result<T> r = map(begin, end, chunk);
+        if (!r.ok()) return r.status();
+        partials[static_cast<std::size_t>(chunk)].emplace(
+            std::move(r).ValueOrDie());
+        return Status::OK();
+      },
+      grain);
+  if (!st.ok()) return st;
+  T acc = std::move(init);
+  for (auto& partial : partials) reduce(acc, std::move(*partial));
+  return acc;
+}
+
+}  // namespace dimqr
+
+#endif  // DIMQR_CORE_PARALLEL_H_

@@ -18,6 +18,16 @@ std::uint64_t Rng::DeriveSeed(std::uint64_t parent, std::string_view label) {
   return h ^ (h >> 31);
 }
 
+std::uint64_t Rng::SplitSeed(std::uint64_t parent, std::uint64_t stream) {
+  // Golden-ratio sequence keyed by the stream index, mixed with the parent
+  // through the splitmix64 finalizer (same mixer as DeriveSeed).
+  std::uint64_t h = parent ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
   std::uniform_int_distribution<std::int64_t> dist(lo, hi);
   return dist(engine_);

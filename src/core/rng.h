@@ -26,6 +26,19 @@ class Rng {
   /// can fork independent deterministic streams ("dimeval/unit_conversion").
   static std::uint64_t DeriveSeed(std::uint64_t parent, std::string_view label);
 
+  /// \brief Derives a child seed from a parent seed and a numeric stream
+  /// index. This is the split primitive behind deterministic parallelism:
+  /// chunk (or item) `i` of a parallel loop draws from
+  /// `Rng(SplitSeed(seed, i))`, so its stream is a function of the loop index
+  /// only — never of which thread ran it. Distinct indices yield
+  /// decorrelated streams (splitmix64 finalizer).
+  static std::uint64_t SplitSeed(std::uint64_t parent, std::uint64_t stream);
+
+  /// \brief Convenience: an Rng positioned on stream `stream` of `parent`.
+  static Rng ForStream(std::uint64_t parent, std::uint64_t stream) {
+    return Rng(SplitSeed(parent, stream));
+  }
+
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <set>
 
+#include "core/parallel.h"
 #include "kg/realizer.h"
 #include "lm/mock_llm.h"
 #include "text/string_util.h"
@@ -68,6 +70,37 @@ std::string ChoiceDimReasoning(const std::vector<std::string>& choices,
 std::string ScaleWord(const kb::UnitRecord& unit) {
   int k = static_cast<int>(std::lround(std::log10(unit.conversion_value)));
   return "e" + std::to_string(k);
+}
+
+/// \brief Fills `n` task instances in parallel, one RNG stream per slot.
+///
+/// Slot `i` draws from `Rng::ForStream(task_seed, i)` and retries rejected
+/// samples within its own stream (up to `max_attempts`), so every instance
+/// is a pure function of (task_seed, slot index) — independent of thread
+/// count, chunking, and all other slots.
+Result<std::vector<TaskInstance>> GenerateSlots(
+    int n, std::uint64_t task_seed, int max_attempts,
+    const std::function<bool(Rng&, std::size_t, TaskInstance&)>& attempt,
+    const char* what) {
+  std::vector<TaskInstance> out(static_cast<std::size_t>(n));
+  Status st = ParallelFor(
+      n, [&](std::int64_t begin, std::int64_t end, int) -> Status {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const auto slot = static_cast<std::size_t>(i);
+          Rng rng = Rng::ForStream(task_seed, slot);
+          bool filled = false;
+          for (int a = 0; a < max_attempts && !filled; ++a) {
+            filled = attempt(rng, slot, out[slot]);
+          }
+          if (!filled) {
+            return Status::Internal(
+                std::string("could not generate enough ") + what);
+          }
+        }
+        return Status::OK();
+      });
+  DIMQR_RETURN_NOT_OK(st);
+  return out;
 }
 
 /// Shuffles choices, returning the new gold index.
@@ -137,266 +170,242 @@ const kb::UnitRecord* TaskGenerator::SampleUnitNotOfDimension(
 
 Result<std::vector<TaskInstance>> TaskGenerator::QuantityKindMatch(
     int n) const {
-  Rng rng(Rng::DeriveSeed(options_.seed, "quantitykind_match"));
-  std::vector<TaskInstance> out;
-  int guard = 0;
-  while (static_cast<int>(out.size()) < n && guard++ < n * 50) {
-    const kb::UnitRecord* gold = SampleUnit(rng);
-    // Distractors must be of other dimensions so the kind uniquely selects
-    // the gold choice.
-    std::vector<std::string> choices = {gold->label_en};
-    std::set<std::uint64_t> dims = {gold->dimension.PackedKey()};
-    bool ok = true;
-    while (choices.size() < static_cast<std::size_t>(options_.num_choices)) {
-      const kb::UnitRecord* d = SampleUnitNotOfDimension(gold->dimension, rng);
-      if (d == nullptr) {
-        ok = false;
-        break;
-      }
-      if (!dims.insert(d->dimension.PackedKey()).second) continue;
-      choices.push_back(d->label_en);
-    }
-    if (!ok) continue;
-    TaskInstance inst;
-    inst.task = lm::tasks::kQuantityKindMatch;
-    int gold_index = PlaceGold(choices, 0, rng);
-    inst.choices = choices;
-    inst.gold_index = gold_index;
-    inst.prompt = "task: kindmatch | kind: " +
-                  text::ToLowerAscii(gold->quantity_kind) +
-                  RenderChoices(choices);
-    inst.reasoning = text::ToLowerAscii(gold->quantity_kind) + " is " +
-                     DimWord(gold->dimension) +
-                     ChoiceDimReasoning(choices, *kb_);
-    inst.instance_seed = Rng::DeriveSeed(options_.seed,
-                                         "qk" + std::to_string(out.size()));
-    out.push_back(std::move(inst));
-  }
-  if (static_cast<int>(out.size()) < n) {
-    return Status::Internal("could not generate enough kind-match instances");
-  }
-  return out;
+  std::uint64_t task_seed =
+      Rng::DeriveSeed(options_.seed, "quantitykind_match");
+  return GenerateSlots(
+      n, task_seed, /*max_attempts=*/50,
+      [&](Rng& rng, std::size_t slot, TaskInstance& inst) {
+        const kb::UnitRecord* gold = SampleUnit(rng);
+        // Distractors must be of other dimensions so the kind uniquely
+        // selects the gold choice.
+        std::vector<std::string> choices = {gold->label_en};
+        std::set<std::uint64_t> dims = {gold->dimension.PackedKey()};
+        while (choices.size() <
+               static_cast<std::size_t>(options_.num_choices)) {
+          const kb::UnitRecord* d =
+              SampleUnitNotOfDimension(gold->dimension, rng);
+          if (d == nullptr) return false;
+          if (!dims.insert(d->dimension.PackedKey()).second) continue;
+          choices.push_back(d->label_en);
+        }
+        inst.task = lm::tasks::kQuantityKindMatch;
+        int gold_index = PlaceGold(choices, 0, rng);
+        inst.choices = choices;
+        inst.gold_index = gold_index;
+        inst.prompt = "task: kindmatch | kind: " +
+                      text::ToLowerAscii(gold->quantity_kind) +
+                      RenderChoices(choices);
+        inst.reasoning = text::ToLowerAscii(gold->quantity_kind) + " is " +
+                         DimWord(gold->dimension) +
+                         ChoiceDimReasoning(choices, *kb_);
+        inst.instance_seed =
+            Rng::DeriveSeed(options_.seed, "qk" + std::to_string(slot));
+        return true;
+      },
+      "kind-match instances");
 }
 
 Result<std::vector<TaskInstance>> TaskGenerator::ComparableAnalysis(
     int n) const {
-  Rng rng(Rng::DeriveSeed(options_.seed, "comparable_analysis"));
-  std::vector<TaskInstance> out;
-  int guard = 0;
-  while (static_cast<int>(out.size()) < n && guard++ < n * 50) {
-    const kb::UnitRecord* probe = SampleUnit(rng);
-    const kb::UnitRecord* gold =
-        SampleUnitOfDimension(probe->dimension, rng, probe);
-    if (gold == nullptr) continue;
-    std::vector<std::string> choices = {gold->label_en};
-    std::set<std::string> used = {gold->label_en, probe->label_en};
-    bool ok = true;
-    while (choices.size() < static_cast<std::size_t>(options_.num_choices)) {
-      const kb::UnitRecord* d =
-          SampleUnitNotOfDimension(probe->dimension, rng);
-      if (d == nullptr) {
-        ok = false;
-        break;
-      }
-      if (!used.insert(d->label_en).second) continue;
-      choices.push_back(d->label_en);
-    }
-    if (!ok) continue;
-    TaskInstance inst;
-    inst.task = lm::tasks::kComparableAnalysis;
-    int gold_index = PlaceGold(choices, 0, rng);
-    inst.choices = choices;
-    inst.gold_index = gold_index;
-    inst.prompt = "task: comparable | unit: " +
-                  text::ToLowerAscii(probe->label_en) +
-                  RenderChoices(choices);
-    inst.reasoning = text::ToLowerAscii(probe->label_en) + " is " +
-                     DimWord(probe->dimension) +
-                     ChoiceDimReasoning(choices, *kb_);
-    inst.instance_seed = Rng::DeriveSeed(options_.seed,
-                                         "ca" + std::to_string(out.size()));
-    out.push_back(std::move(inst));
-  }
-  if (static_cast<int>(out.size()) < n) {
-    return Status::Internal("could not generate enough comparable instances");
-  }
-  return out;
+  std::uint64_t task_seed =
+      Rng::DeriveSeed(options_.seed, "comparable_analysis");
+  return GenerateSlots(
+      n, task_seed, /*max_attempts=*/50,
+      [&](Rng& rng, std::size_t slot, TaskInstance& inst) {
+        const kb::UnitRecord* probe = SampleUnit(rng);
+        const kb::UnitRecord* gold =
+            SampleUnitOfDimension(probe->dimension, rng, probe);
+        if (gold == nullptr) return false;
+        std::vector<std::string> choices = {gold->label_en};
+        std::set<std::string> used = {gold->label_en, probe->label_en};
+        while (choices.size() <
+               static_cast<std::size_t>(options_.num_choices)) {
+          const kb::UnitRecord* d =
+              SampleUnitNotOfDimension(probe->dimension, rng);
+          if (d == nullptr) return false;
+          if (!used.insert(d->label_en).second) continue;
+          choices.push_back(d->label_en);
+        }
+        inst.task = lm::tasks::kComparableAnalysis;
+        int gold_index = PlaceGold(choices, 0, rng);
+        inst.choices = choices;
+        inst.gold_index = gold_index;
+        inst.prompt = "task: comparable | unit: " +
+                      text::ToLowerAscii(probe->label_en) +
+                      RenderChoices(choices);
+        inst.reasoning = text::ToLowerAscii(probe->label_en) + " is " +
+                         DimWord(probe->dimension) +
+                         ChoiceDimReasoning(choices, *kb_);
+        inst.instance_seed =
+            Rng::DeriveSeed(options_.seed, "ca" + std::to_string(slot));
+        return true;
+      },
+      "comparable instances");
 }
 
 Result<std::vector<TaskInstance>> TaskGenerator::DimensionArithmetic(
     int n) const {
-  Rng rng(Rng::DeriveSeed(options_.seed, "dimension_arithmetic"));
-  std::vector<TaskInstance> out;
-  int guard = 0;
-  while (static_cast<int>(out.size()) < n && guard++ < n * 50) {
-    const kb::UnitRecord* u1 = SampleUnit(rng);
-    const kb::UnitRecord* u2 = SampleUnit(rng);
-    bool multiply = rng.Bernoulli(0.5);
-    Result<dimqr::Dimension> dim_result =
-        multiply ? u1->dimension.Times(u2->dimension)
-                 : u1->dimension.Over(u2->dimension);
-    if (!dim_result.ok()) continue;
-    dimqr::Dimension target = *dim_result;
-    const kb::UnitRecord* gold = SampleUnitOfDimension(target, rng);
-    if (gold == nullptr) continue;
-    std::vector<std::string> choices = {gold->label_en};
-    std::set<std::uint64_t> dims = {target.PackedKey()};
-    bool ok = true;
-    while (choices.size() < static_cast<std::size_t>(options_.num_choices)) {
-      const kb::UnitRecord* d = SampleUnitNotOfDimension(target, rng);
-      if (d == nullptr) {
-        ok = false;
-        break;
-      }
-      if (!dims.insert(d->dimension.PackedKey()).second) continue;
-      choices.push_back(d->label_en);
-    }
-    if (!ok) continue;
-    TaskInstance inst;
-    inst.task = lm::tasks::kDimensionArithmetic;
-    int gold_index = PlaceGold(choices, 0, rng);
-    inst.choices = choices;
-    inst.gold_index = gold_index;
-    const char* op = multiply ? "*" : "/";
-    inst.prompt = "task: dimarith | expr: " +
-                  text::ToLowerAscii(u1->label_en) + " " + op + " " +
-                  text::ToLowerAscii(u2->label_en) + RenderChoices(choices);
-    inst.reasoning = DimWord(u1->dimension) + " " + op + " " +
-                     DimWord(u2->dimension) + " = " + DimWord(target) +
-                     ChoiceDimReasoning(choices, *kb_);
-    inst.instance_seed = Rng::DeriveSeed(options_.seed,
-                                         "da" + std::to_string(out.size()));
-    out.push_back(std::move(inst));
-  }
-  if (static_cast<int>(out.size()) < n) {
-    return Status::Internal("could not generate enough arithmetic instances");
-  }
-  return out;
+  std::uint64_t task_seed =
+      Rng::DeriveSeed(options_.seed, "dimension_arithmetic");
+  return GenerateSlots(
+      n, task_seed, /*max_attempts=*/50,
+      [&](Rng& rng, std::size_t slot, TaskInstance& inst) {
+        const kb::UnitRecord* u1 = SampleUnit(rng);
+        const kb::UnitRecord* u2 = SampleUnit(rng);
+        bool multiply = rng.Bernoulli(0.5);
+        Result<dimqr::Dimension> dim_result =
+            multiply ? u1->dimension.Times(u2->dimension)
+                     : u1->dimension.Over(u2->dimension);
+        if (!dim_result.ok()) return false;
+        dimqr::Dimension target = *dim_result;
+        const kb::UnitRecord* gold = SampleUnitOfDimension(target, rng);
+        if (gold == nullptr) return false;
+        std::vector<std::string> choices = {gold->label_en};
+        std::set<std::uint64_t> dims = {target.PackedKey()};
+        while (choices.size() <
+               static_cast<std::size_t>(options_.num_choices)) {
+          const kb::UnitRecord* d = SampleUnitNotOfDimension(target, rng);
+          if (d == nullptr) return false;
+          if (!dims.insert(d->dimension.PackedKey()).second) continue;
+          choices.push_back(d->label_en);
+        }
+        inst.task = lm::tasks::kDimensionArithmetic;
+        int gold_index = PlaceGold(choices, 0, rng);
+        inst.choices = choices;
+        inst.gold_index = gold_index;
+        const char* op = multiply ? "*" : "/";
+        inst.prompt = "task: dimarith | expr: " +
+                      text::ToLowerAscii(u1->label_en) + " " + op + " " +
+                      text::ToLowerAscii(u2->label_en) +
+                      RenderChoices(choices);
+        inst.reasoning = DimWord(u1->dimension) + " " + op + " " +
+                         DimWord(u2->dimension) + " = " + DimWord(target) +
+                         ChoiceDimReasoning(choices, *kb_);
+        inst.instance_seed =
+            Rng::DeriveSeed(options_.seed, "da" + std::to_string(slot));
+        return true;
+      },
+      "arithmetic instances");
 }
 
 Result<std::vector<TaskInstance>> TaskGenerator::MagnitudeComparison(
     int n) const {
-  Rng rng(Rng::DeriveSeed(options_.seed, "magnitude_comparison"));
-  std::vector<TaskInstance> out;
-  int guard = 0;
-  while (static_cast<int>(out.size()) < n && guard++ < n * 50) {
-    const kb::UnitRecord* anchor = SampleUnit(rng);
-    if (anchor->conversion_offset != 0.0) continue;  // affine excluded
-    // Collect num_choices distinct-magnitude units of one dimension.
-    std::vector<const kb::UnitRecord*> units = {anchor};
-    std::set<std::string> used = {anchor->label_en};
-    int attempts = 0;
-    while (units.size() < static_cast<std::size_t>(options_.num_choices) &&
-           attempts++ < 200) {
-      const kb::UnitRecord* u =
-          SampleUnitOfDimension(anchor->dimension, rng, nullptr);
-      if (u == nullptr) break;
-      if (u->conversion_offset != 0.0) continue;
-      if (!used.insert(u->label_en).second) continue;
-      bool distinct = true;
-      for (const kb::UnitRecord* v : units) {
-        double ratio = u->conversion_value / v->conversion_value;
-        if (ratio > 0.999 && ratio < 1.001) {
-          distinct = false;
-          break;
+  std::uint64_t task_seed =
+      Rng::DeriveSeed(options_.seed, "magnitude_comparison");
+  return GenerateSlots(
+      n, task_seed, /*max_attempts=*/50,
+      [&](Rng& rng, std::size_t slot, TaskInstance& inst) {
+        const kb::UnitRecord* anchor = SampleUnit(rng);
+        if (anchor->conversion_offset != 0.0) return false;  // affine excluded
+        // Collect num_choices distinct-magnitude units of one dimension.
+        std::vector<const kb::UnitRecord*> units = {anchor};
+        std::set<std::string> used = {anchor->label_en};
+        int attempts = 0;
+        while (units.size() < static_cast<std::size_t>(options_.num_choices) &&
+               attempts++ < 200) {
+          const kb::UnitRecord* u =
+              SampleUnitOfDimension(anchor->dimension, rng, nullptr);
+          if (u == nullptr) break;
+          if (u->conversion_offset != 0.0) continue;
+          if (!used.insert(u->label_en).second) continue;
+          bool distinct = true;
+          for (const kb::UnitRecord* v : units) {
+            double ratio = u->conversion_value / v->conversion_value;
+            if (ratio > 0.999 && ratio < 1.001) {
+              distinct = false;
+              break;
+            }
+          }
+          if (distinct) units.push_back(u);
         }
-      }
-      if (distinct) units.push_back(u);
-    }
-    if (units.size() < static_cast<std::size_t>(options_.num_choices)) {
-      continue;
-    }
-    std::size_t gold_at = 0;
-    for (std::size_t i = 1; i < units.size(); ++i) {
-      if (units[i]->conversion_value > units[gold_at]->conversion_value) {
-        gold_at = i;
-      }
-    }
-    std::vector<std::string> choices;
-    choices.reserve(units.size());
-    for (const kb::UnitRecord* u : units) choices.push_back(u->label_en);
-    TaskInstance inst;
-    inst.task = lm::tasks::kMagnitudeComparison;
-    int gold_index = PlaceGold(choices, gold_at, rng);
-    inst.choices = choices;
-    inst.gold_index = gold_index;
-    inst.prompt = "task: magnitude | pick the largest unit" +
-                  RenderChoices(choices);
-    {
-      // Enumerate per-choice scale exponents in shuffled choice order.
-      std::string reasoning = "scales";
-      for (std::size_t ci = 0; ci < inst.choices.size(); ++ci) {
-        for (const kb::UnitRecord* u : units) {
-          if (u->label_en == inst.choices[ci]) {
-            reasoning += std::string(" | ") + kLetters[ci] + ' ' +
-                         ScaleWord(*u);
-            break;
+        if (units.size() < static_cast<std::size_t>(options_.num_choices)) {
+          return false;
+        }
+        std::size_t gold_at = 0;
+        for (std::size_t i = 1; i < units.size(); ++i) {
+          if (units[i]->conversion_value > units[gold_at]->conversion_value) {
+            gold_at = i;
           }
         }
-      }
-      inst.reasoning = reasoning;
-    }
-    inst.instance_seed = Rng::DeriveSeed(options_.seed,
-                                         "mc" + std::to_string(out.size()));
-    out.push_back(std::move(inst));
-  }
-  if (static_cast<int>(out.size()) < n) {
-    return Status::Internal("could not generate enough magnitude instances");
-  }
-  return out;
+        std::vector<std::string> choices;
+        choices.reserve(units.size());
+        for (const kb::UnitRecord* u : units) choices.push_back(u->label_en);
+        inst.task = lm::tasks::kMagnitudeComparison;
+        int gold_index = PlaceGold(choices, gold_at, rng);
+        inst.choices = choices;
+        inst.gold_index = gold_index;
+        inst.prompt = "task: magnitude | pick the largest unit" +
+                      RenderChoices(choices);
+        {
+          // Enumerate per-choice scale exponents in shuffled choice order.
+          std::string reasoning = "scales";
+          for (std::size_t ci = 0; ci < inst.choices.size(); ++ci) {
+            for (const kb::UnitRecord* u : units) {
+              if (u->label_en == inst.choices[ci]) {
+                reasoning += std::string(" | ") + kLetters[ci] + ' ' +
+                             ScaleWord(*u);
+                break;
+              }
+            }
+          }
+          inst.reasoning = reasoning;
+        }
+        inst.instance_seed =
+            Rng::DeriveSeed(options_.seed, "mc" + std::to_string(slot));
+        return true;
+      },
+      "magnitude instances");
 }
 
 Result<std::vector<TaskInstance>> TaskGenerator::UnitConversion(int n) const {
-  Rng rng(Rng::DeriveSeed(options_.seed, "unit_conversion"));
-  std::vector<TaskInstance> out;
-  int guard = 0;
-  while (static_cast<int>(out.size()) < n && guard++ < n * 50) {
-    const kb::UnitRecord* from = SampleUnit(rng);
-    if (from->conversion_offset != 0.0) continue;
-    const kb::UnitRecord* to =
-        SampleUnitOfDimension(from->dimension, rng, from);
-    if (to == nullptr || to->conversion_offset != 0.0) continue;
-    Result<double> factor_result =
-        from->Semantics().ConversionFactorTo(to->Semantics());
-    if (!factor_result.ok()) continue;
-    double factor = *factor_result;
-    if (!std::isfinite(factor) || factor == 0.0) continue;
-    // Distractors: inverse, off-by-10^k, halved — classic confusions.
-    std::string gold_text = FormatFactor(factor);
-    std::vector<std::string> choices = {gold_text};
-    std::vector<double> distractor_pool = {
-        1.0 / factor, factor * 10.0, factor / 10.0, factor * 1000.0,
-        factor / 1000.0, factor * 2.0, factor / 2.0};
-    std::set<std::string> used = {gold_text};
-    std::size_t next = 0;
-    // Deterministic-but-varied distractor subset.
-    rng.Shuffle(distractor_pool);
-    while (choices.size() < static_cast<std::size_t>(options_.num_choices) &&
-           next < distractor_pool.size()) {
-      std::string text_form = FormatFactor(distractor_pool[next++]);
-      if (used.insert(text_form).second) choices.push_back(text_form);
-    }
-    if (choices.size() < static_cast<std::size_t>(options_.num_choices)) {
-      continue;
-    }
-    TaskInstance inst;
-    inst.task = lm::tasks::kUnitConversion;
-    int gold_index = PlaceGold(choices, 0, rng);
-    inst.choices = choices;
-    inst.gold_index = gold_index;
-    inst.prompt = "task: convert | 1 " + text::ToLowerAscii(from->label_en) +
-                  " = ? " + text::ToLowerAscii(to->label_en) +
-                  RenderChoices(choices);
-    inst.reasoning = "1 " + text::ToLowerAscii(from->label_en) + " = " +
-                     gold_text + " " + text::ToLowerAscii(to->label_en);
-    inst.instance_seed = Rng::DeriveSeed(options_.seed,
-                                         "uc" + std::to_string(out.size()));
-    out.push_back(std::move(inst));
-  }
-  if (static_cast<int>(out.size()) < n) {
-    return Status::Internal("could not generate enough conversion instances");
-  }
-  return out;
+  std::uint64_t task_seed = Rng::DeriveSeed(options_.seed, "unit_conversion");
+  return GenerateSlots(
+      n, task_seed, /*max_attempts=*/50,
+      [&](Rng& rng, std::size_t slot, TaskInstance& inst) {
+        const kb::UnitRecord* from = SampleUnit(rng);
+        if (from->conversion_offset != 0.0) return false;
+        const kb::UnitRecord* to =
+            SampleUnitOfDimension(from->dimension, rng, from);
+        if (to == nullptr || to->conversion_offset != 0.0) return false;
+        Result<double> factor_result =
+            from->Semantics().ConversionFactorTo(to->Semantics());
+        if (!factor_result.ok()) return false;
+        double factor = *factor_result;
+        if (!std::isfinite(factor) || factor == 0.0) return false;
+        // Distractors: inverse, off-by-10^k, halved — classic confusions.
+        std::string gold_text = FormatFactor(factor);
+        std::vector<std::string> choices = {gold_text};
+        std::vector<double> distractor_pool = {
+            1.0 / factor, factor * 10.0, factor / 10.0, factor * 1000.0,
+            factor / 1000.0, factor * 2.0, factor / 2.0};
+        std::set<std::string> used = {gold_text};
+        std::size_t next = 0;
+        // Deterministic-but-varied distractor subset.
+        rng.Shuffle(distractor_pool);
+        while (choices.size() <
+                   static_cast<std::size_t>(options_.num_choices) &&
+               next < distractor_pool.size()) {
+          std::string text_form = FormatFactor(distractor_pool[next++]);
+          if (used.insert(text_form).second) choices.push_back(text_form);
+        }
+        if (choices.size() < static_cast<std::size_t>(options_.num_choices)) {
+          return false;
+        }
+        inst.task = lm::tasks::kUnitConversion;
+        int gold_index = PlaceGold(choices, 0, rng);
+        inst.choices = choices;
+        inst.gold_index = gold_index;
+        inst.prompt = "task: convert | 1 " +
+                      text::ToLowerAscii(from->label_en) + " = ? " +
+                      text::ToLowerAscii(to->label_en) +
+                      RenderChoices(choices);
+        inst.reasoning = "1 " + text::ToLowerAscii(from->label_en) + " = " +
+                         gold_text + " " + text::ToLowerAscii(to->label_en);
+        inst.instance_seed =
+            Rng::DeriveSeed(options_.seed, "uc" + std::to_string(slot));
+        return true;
+      },
+      "conversion instances");
 }
 
 Result<std::vector<TaskInstance>> TaskGenerator::DimensionPrediction(
@@ -405,67 +414,61 @@ Result<std::vector<TaskInstance>> TaskGenerator::DimensionPrediction(
     return Status::InvalidArgument(
         "dimension prediction needs bootstrapped triples");
   }
-  Rng rng(Rng::DeriveSeed(options_.seed, "dimension_prediction"));
-  std::vector<TaskInstance> out;
-  int guard = 0;
-  while (static_cast<int>(out.size()) < n && guard++ < n * 80) {
-    const kg::Triple& triple = triples[rng.Index(triples.size())];
-    // The object must be "value unit"; resolve the unit mention to get the
-    // gold dimension.
-    auto space = triple.object.find(' ');
-    std::string unit_mention = space == std::string::npos
-                                   ? std::string()
-                                   : triple.object.substr(space + 1);
-    if (triple.object.size() > 1 && triple.object.back() == '%') {
-      unit_mention = "%";
-    }
-    if (unit_mention.empty()) continue;
-    std::span<const UnitId> matches = kb_->FindBySurface(unit_mention);
-    if (matches.empty()) continue;
-    const kb::UnitRecord& source_unit = kb_->Get(matches.front());
-    const kb::UnitRecord* gold =
-        SampleUnitOfDimension(source_unit.dimension, rng);
-    if (gold == nullptr) continue;
-    std::vector<std::string> choices = {gold->label_en};
-    std::set<std::uint64_t> dims = {gold->dimension.PackedKey()};
-    bool ok = true;
-    while (choices.size() < static_cast<std::size_t>(options_.num_choices)) {
-      const kb::UnitRecord* d = SampleUnitNotOfDimension(gold->dimension, rng);
-      if (d == nullptr) {
-        ok = false;
-        break;
-      }
-      if (!dims.insert(d->dimension.PackedKey()).second) continue;
-      choices.push_back(d->label_en);
-    }
-    if (!ok) continue;
-    kg::RealizedSentence sentence =
-        kg::RealizeTriple(triple, Rng::DeriveSeed(options_.seed,
-                                                  "dp-realize" +
-                                                      std::to_string(guard)));
-    // Mask the unit part of the object (keep the value visible).
-    std::string masked = sentence.text;
-    std::size_t unit_off = sentence.object_begin +
-                           (space == std::string::npos ? 0 : space + 1);
-    masked.replace(unit_off, sentence.object_end - unit_off, "[MASK]");
-    TaskInstance inst;
-    inst.task = lm::tasks::kDimensionPrediction;
-    int gold_index = PlaceGold(choices, 0, rng);
-    inst.choices = choices;
-    inst.gold_index = gold_index;
-    inst.prompt = "task: dimpred | text: " + masked + RenderChoices(choices);
-    inst.reasoning = text::ToLowerAscii(triple.predicate) + " implies " +
-                     DimWord(gold->dimension) +
-                     ChoiceDimReasoning(choices, *kb_);
-    inst.instance_seed = Rng::DeriveSeed(options_.seed,
-                                         "dp" + std::to_string(out.size()));
-    out.push_back(std::move(inst));
-  }
-  if (static_cast<int>(out.size()) < n) {
-    return Status::Internal(
-        "could not generate enough dimension-prediction instances");
-  }
-  return out;
+  std::uint64_t task_seed =
+      Rng::DeriveSeed(options_.seed, "dimension_prediction");
+  return GenerateSlots(
+      n, task_seed, /*max_attempts=*/80,
+      [&](Rng& rng, std::size_t slot, TaskInstance& inst) {
+        const kg::Triple& triple = triples[rng.Index(triples.size())];
+        // The realization seed is drawn from the slot's own stream so the
+        // sentence's surface form varies per instance (and per retry).
+        std::uint64_t realize_seed = rng.engine()();
+        // The object must be "value unit"; resolve the unit mention to get
+        // the gold dimension.
+        auto space = triple.object.find(' ');
+        std::string unit_mention = space == std::string::npos
+                                       ? std::string()
+                                       : triple.object.substr(space + 1);
+        if (triple.object.size() > 1 && triple.object.back() == '%') {
+          unit_mention = "%";
+        }
+        if (unit_mention.empty()) return false;
+        std::span<const UnitId> matches = kb_->FindBySurface(unit_mention);
+        if (matches.empty()) return false;
+        const kb::UnitRecord& source_unit = kb_->Get(matches.front());
+        const kb::UnitRecord* gold =
+            SampleUnitOfDimension(source_unit.dimension, rng);
+        if (gold == nullptr) return false;
+        std::vector<std::string> choices = {gold->label_en};
+        std::set<std::uint64_t> dims = {gold->dimension.PackedKey()};
+        while (choices.size() <
+               static_cast<std::size_t>(options_.num_choices)) {
+          const kb::UnitRecord* d =
+              SampleUnitNotOfDimension(gold->dimension, rng);
+          if (d == nullptr) return false;
+          if (!dims.insert(d->dimension.PackedKey()).second) continue;
+          choices.push_back(d->label_en);
+        }
+        kg::RealizedSentence sentence = kg::RealizeTriple(triple, realize_seed);
+        // Mask the unit part of the object (keep the value visible).
+        std::string masked = sentence.text;
+        std::size_t unit_off = sentence.object_begin +
+                               (space == std::string::npos ? 0 : space + 1);
+        masked.replace(unit_off, sentence.object_end - unit_off, "[MASK]");
+        inst.task = lm::tasks::kDimensionPrediction;
+        int gold_index = PlaceGold(choices, 0, rng);
+        inst.choices = choices;
+        inst.gold_index = gold_index;
+        inst.prompt =
+            "task: dimpred | text: " + masked + RenderChoices(choices);
+        inst.reasoning = text::ToLowerAscii(triple.predicate) + " implies " +
+                         DimWord(gold->dimension) +
+                         ChoiceDimReasoning(choices, *kb_);
+        inst.instance_seed =
+            Rng::DeriveSeed(options_.seed, "dp" + std::to_string(slot));
+        return true;
+      },
+      "dimension-prediction instances");
 }
 
 }  // namespace dimqr::dimeval

@@ -1,5 +1,6 @@
 #include "eval/harness.h"
 
+#include "core/parallel.h"
 #include "lm/mock_llm.h"
 
 namespace dimqr::eval {
@@ -44,26 +45,57 @@ Extractor ModelExtractor(lm::Model& model) {
 ChoiceMetrics EvaluateChoiceTask(
     lm::Model& model,
     const std::vector<const dimeval::TaskInstance*>& tests) {
-  ChoiceMetrics metrics;
-  for (const dimeval::TaskInstance* inst : tests) {
-    ++metrics.total;
-    lm::ChoiceAnswer answer = model.AnswerChoice(inst->ToChoiceQuestion());
-    if (!answer.answered()) continue;
-    ++metrics.answered;
-    if (answer.index == inst->gold_index) ++metrics.correct;
-  }
-  return metrics;
+  const auto n = static_cast<std::int64_t>(tests.size());
+  // A model that is not parallel-safe is evaluated in one chunk, which the
+  // pool runs serially on the calling thread. The metrics are integer counts
+  // merged in chunk-index order, so the row is identical either way.
+  const std::int64_t grain = model.SupportsParallelEval() ? 0 : n;
+  Result<ChoiceMetrics> result = ParallelMapReduce<ChoiceMetrics>(
+      n, ChoiceMetrics{},
+      [&](std::int64_t begin, std::int64_t end, int) -> Result<ChoiceMetrics> {
+        ChoiceMetrics partial;
+        for (std::int64_t i = begin; i < end; ++i) {
+          const dimeval::TaskInstance* inst =
+              tests[static_cast<std::size_t>(i)];
+          ++partial.total;
+          lm::ChoiceAnswer answer =
+              model.AnswerChoice(inst->ToChoiceQuestion());
+          if (!answer.answered()) continue;
+          ++partial.answered;
+          if (answer.index == inst->gold_index) ++partial.correct;
+        }
+        return partial;
+      },
+      [](ChoiceMetrics& acc, ChoiceMetrics&& partial) { acc += partial; },
+      grain);
+  // The chunk body is infallible; only a pool invariant violation can fail.
+  return result.ValueOrDie();
 }
 
 ExtractionMetrics EvaluateExtraction(
     const Extractor& extractor,
-    const std::vector<const dimeval::TaskInstance*>& tests) {
-  ExtractionMetrics metrics;
-  for (const dimeval::TaskInstance* inst : tests) {
-    std::vector<lm::ExtractedQuantity> predicted = (extractor)(*inst);
-    ScoreExtraction(predicted, GoldOf(*inst), metrics);
-  }
-  return metrics;
+    const std::vector<const dimeval::TaskInstance*>& tests,
+    bool parallel_safe) {
+  const auto n = static_cast<std::int64_t>(tests.size());
+  const std::int64_t grain = parallel_safe ? 0 : n;
+  Result<ExtractionMetrics> result = ParallelMapReduce<ExtractionMetrics>(
+      n, ExtractionMetrics{},
+      [&](std::int64_t begin, std::int64_t end,
+          int) -> Result<ExtractionMetrics> {
+        ExtractionMetrics partial;
+        for (std::int64_t i = begin; i < end; ++i) {
+          const dimeval::TaskInstance& inst =
+              *tests[static_cast<std::size_t>(i)];
+          std::vector<lm::ExtractedQuantity> predicted = extractor(inst);
+          ScoreExtraction(predicted, GoldOf(inst), partial);
+        }
+        return partial;
+      },
+      [](ExtractionMetrics& acc, ExtractionMetrics&& partial) {
+        acc += partial;
+      },
+      grain);
+  return result.ValueOrDie();
 }
 
 DimEvalRow EvaluateOnDimEval(lm::Model& model,
@@ -83,7 +115,12 @@ DimEvalRow EvaluateOnDimEval(lm::Model& model,
     Extractor model_extractor = ModelExtractor(model);
     const Extractor& chosen =
         extractor != nullptr ? *extractor : model_extractor;
-    ExtractionMetrics metrics = EvaluateExtraction(chosen, extraction);
+    // A caller-provided extractor must be safe for concurrent invocation
+    // (both in-tree factories are); the model path defers to its own flag.
+    bool parallel_safe =
+        extractor != nullptr || model.SupportsParallelEval();
+    ExtractionMetrics metrics =
+        EvaluateExtraction(chosen, extraction, parallel_safe);
     // "-" rows: a model with no extraction path produced no predictions at
     // all; mark as not evaluated rather than zero.
     if (metrics.qe.true_positive + metrics.qe.false_positive > 0) {

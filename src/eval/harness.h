@@ -32,13 +32,23 @@ Extractor ModelExtractor(lm::Model& model);
 std::vector<lm::ExtractedQuantity> GoldOf(const dimeval::TaskInstance& inst);
 
 /// \brief Evaluates a model on one choice task's instances.
+///
+/// Instances are fanned out over the global parallel pool when the model
+/// reports SupportsParallelEval(); per-chunk counts are merged in index
+/// order, so the metrics are identical at every `DIMQR_THREADS` setting.
 ChoiceMetrics EvaluateChoiceTask(
     lm::Model& model, const std::vector<const dimeval::TaskInstance*>& tests);
 
 /// \brief Evaluates an extractor over extraction instances.
+///
+/// Pass `parallel_safe = true` only if the extractor may be invoked
+/// concurrently from several threads (true for AnnotatorExtractor, and for
+/// ModelExtractor over a model with SupportsParallelEval()); otherwise the
+/// instances run serially on the calling thread.
 ExtractionMetrics EvaluateExtraction(
     const Extractor& extractor,
-    const std::vector<const dimeval::TaskInstance*>& tests);
+    const std::vector<const dimeval::TaskInstance*>& tests,
+    bool parallel_safe = false);
 
 /// \brief One model's full Table VII row.
 struct DimEvalRow {
@@ -51,7 +61,9 @@ struct DimEvalRow {
 
 /// \brief Runs a model over all DimEval test splits. When `extractor` is
 /// provided the extraction row is evaluated through it; otherwise through
-/// Model::ExtractQuantities (which may be empty).
+/// Model::ExtractQuantities (which may be empty). A provided extractor must
+/// be safe for concurrent invocation — the row is evaluated in parallel
+/// when `DIMQR_THREADS` > 1 (results are bit-identical regardless).
 DimEvalRow EvaluateOnDimEval(lm::Model& model,
                              const dimeval::DimEvalBenchmark& bench,
                              const Extractor* extractor = nullptr);

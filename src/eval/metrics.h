@@ -69,6 +69,13 @@ struct PrfCounts {
     double p = Precision(), r = Recall();
     return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
   }
+  /// Element-wise sum, for merging per-chunk partial counts.
+  PrfCounts& operator+=(const PrfCounts& other) {
+    true_positive += other.true_positive;
+    false_positive += other.false_positive;
+    false_negative += other.false_negative;
+    return *this;
+  }
 };
 
 /// \brief The three extraction sub-scores of Table VII: QE (value+unit
@@ -77,6 +84,14 @@ struct ExtractionMetrics {
   PrfCounts qe;
   PrfCounts ve;
   PrfCounts ue;
+
+  /// Element-wise sum, for merging per-chunk partial counts.
+  ExtractionMetrics& operator+=(const ExtractionMetrics& other) {
+    qe += other.qe;
+    ve += other.ve;
+    ue += other.ue;
+    return *this;
+  }
 };
 
 /// \brief Scores one extraction prediction against gold, updating counts.

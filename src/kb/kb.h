@@ -138,14 +138,17 @@ class DimUnitKB {
 
   /// \deprecated String-ID shim; prefer `ResolveId` + `Get`. The record
   /// with the given UnitID, or NotFound.
+  [[deprecated("use ResolveId + Get")]]
   dimqr::Result<const UnitRecord*> FindById(std::string_view id) const;
 
   /// \deprecated String-ID shim; prefer the `UnitId` overload.
+  [[deprecated("use the UnitId overload of ConversionFactor")]]
   dimqr::Result<double> ConversionFactor(std::string_view from_id,
                                          std::string_view to_id) const;
 
   /// \deprecated String-name shim; prefer `KindIdOf` + the `KindId`
   /// overload.
+  [[deprecated("use KindIdOf + the KindId overload of UnitsOfKind")]]
   std::span<const UnitId> UnitsOfKind(std::string_view kind) const {
     return UnitsOfKind(KindIdOf(kind));
   }

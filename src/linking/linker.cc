@@ -37,8 +37,9 @@ Result<text::Embedding> BuildLinkerEmbedding(const kb::DimUnitKB& kb,
   // labels of its most frequent units. In-cluster co-occurrence teaches the
   // embedding which context words go with which units.
   std::vector<text::TopicCluster> clusters;
-  for (const kb::QuantityKindRecord& kind : kb.kinds()) {
-    std::span<const UnitId> posting = kb.UnitsOfKind(kind.name);
+  for (std::size_t ki = 0; ki < kb.kinds().size(); ++ki) {
+    const kb::QuantityKindRecord& kind = kb.kinds()[ki];
+    std::span<const UnitId> posting = kb.UnitsOfKind(KindId::FromIndex(ki));
     if (posting.empty()) continue;
     std::vector<const kb::UnitRecord*> members;
     members.reserve(posting.size());

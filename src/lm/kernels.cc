@@ -1,0 +1,167 @@
+#include "lm/kernels.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+
+namespace dimqr::lm::kernels {
+
+namespace {
+
+/// Tile sizes: a kTileP x kTileJ block of the right-hand matrix is
+/// 128 * 512 * 4 B = 256 KiB — L2-resident, leaving the streaming A rows
+/// and C row segments to move through L1. Measured best among
+/// {32..512} x {128..1024} sweeps at 128 x 2048 x 2048 on this class of
+/// host; larger p-tiles also cut the number of re-read passes over C.
+constexpr int kTileP = 128;
+constexpr int kTileJ = 512;
+
+/// Below this right-hand-matrix footprint the whole working set is
+/// cache-resident and tiling only adds loop overhead and extra passes over
+/// A and C, so the blocked kernels fall back to the naive loop order.
+/// (For MatMul the two orders are bit-identical anyway; for the gradient
+/// kernels the cutover depends only on the shape, never the thread count,
+/// so results stay deterministic.)
+constexpr std::size_t kSmallBytes = 512 * 1024;
+
+bool Small(int k, int n) {
+  return static_cast<std::size_t>(k) * static_cast<std::size_t>(n) *
+             sizeof(float) <=
+         kSmallBytes;
+}
+
+}  // namespace
+
+void MatMulNaive(const float* a, const float* b, float* c, int m, int k,
+                 int n) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::ptrdiff_t>(i) * n;
+    std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
+    const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::ptrdiff_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMul(const float* a, const float* b, float* c, int m, int k, int n) {
+  if (Small(k, n)) {
+    MatMulNaive(a, b, c, m, k, n);
+    return;
+  }
+  std::memset(c, 0,
+              sizeof(float) * static_cast<std::size_t>(m) *
+                  static_cast<std::size_t>(n));
+  // Loop order jt -> pt -> i -> p -> j: the B tile b[pt.., jt..] stays hot
+  // across the whole i sweep. For a fixed (i, j), contributions arrive with
+  // p strictly ascending (pt outer, p inner), which is the naive kernel's
+  // accumulation order — the two kernels agree bit for bit. The av == 0
+  // skip is kept for the same reason (and for the sparsity win on one-hot
+  // rows).
+  for (int jt = 0; jt < n; jt += kTileJ) {
+    const int jend = std::min(n, jt + kTileJ);
+    for (int pt = 0; pt < k; pt += kTileP) {
+      const int pend = std::min(k, pt + kTileP);
+      for (int i = 0; i < m; ++i) {
+        const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
+        float* crow = c + static_cast<std::ptrdiff_t>(i) * n;
+        for (int p = pt; p < pend; ++p) {
+          float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b + static_cast<std::ptrdiff_t>(p) * n;
+          for (int j = jt; j < jend; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void MatMulGradANaive(const float* dc, const float* b, float* da, int m, int k,
+                      int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* dcrow = dc + static_cast<std::ptrdiff_t>(i) * n;
+    float* darow = da + static_cast<std::ptrdiff_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b + static_cast<std::ptrdiff_t>(p) * n;
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
+      darow[p] += acc;
+    }
+  }
+}
+
+void MatMulGradA(const float* dc, const float* b, float* da, int m, int k,
+                 int n) {
+  if (Small(k, n)) {
+    MatMulGradANaive(dc, b, da, m, k, n);
+    return;
+  }
+  // da[i][p] += dot(dc[i][:], b[p][:]). Tiling p keeps a kTileP-row slab of
+  // B resident while every dc row streams past it once; tiling j bounds the
+  // slab width. Each (jt) pass adds a partial dot into da — a fixed, tiled
+  // association (deterministic, though not the naive single-accumulator
+  // order).
+  for (int pt = 0; pt < k; pt += kTileP) {
+    const int pend = std::min(k, pt + kTileP);
+    for (int jt = 0; jt < n; jt += kTileJ) {
+      const int jend = std::min(n, jt + kTileJ);
+      for (int i = 0; i < m; ++i) {
+        const float* dcrow = dc + static_cast<std::ptrdiff_t>(i) * n;
+        float* darow = da + static_cast<std::ptrdiff_t>(i) * k;
+        for (int p = pt; p < pend; ++p) {
+          const float* brow = b + static_cast<std::ptrdiff_t>(p) * n;
+          float acc = 0.0f;
+          for (int j = jt; j < jend; ++j) acc += dcrow[j] * brow[j];
+          darow[p] += acc;
+        }
+      }
+    }
+  }
+}
+
+void MatMulGradBNaive(const float* a, const float* dc, float* db, int m, int k,
+                      int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
+    const float* dcrow = dc + static_cast<std::ptrdiff_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      float* dbrow = db + static_cast<std::ptrdiff_t>(p) * n;
+      for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
+    }
+  }
+}
+
+void MatMulGradB(const float* a, const float* dc, float* db, int m, int k,
+                 int n) {
+  if (Small(k, n)) {
+    MatMulGradBNaive(a, dc, db, m, k, n);
+    return;
+  }
+  // db[p][j] += sum_i a[i][p] * dc[i][j]. The pt x jt tile of db stays hot
+  // across the whole i sweep (the naive loop revisits all k rows of db per
+  // i, evicting them every pass). Per db element, i ascends — same order as
+  // the naive kernel.
+  for (int pt = 0; pt < k; pt += kTileP) {
+    const int pend = std::min(k, pt + kTileP);
+    for (int jt = 0; jt < n; jt += kTileJ) {
+      const int jend = std::min(n, jt + kTileJ);
+      for (int i = 0; i < m; ++i) {
+        const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
+        const float* dcrow = dc + static_cast<std::ptrdiff_t>(i) * n;
+        for (int p = pt; p < pend; ++p) {
+          float av = arow[p];
+          if (av == 0.0f) continue;
+          float* dbrow = db + static_cast<std::ptrdiff_t>(p) * n;
+          for (int j = jt; j < jend; ++j) dbrow[j] += av * dcrow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dimqr::lm::kernels

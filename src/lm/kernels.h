@@ -1,0 +1,45 @@
+#ifndef DIMQR_LM_KERNELS_H_
+#define DIMQR_LM_KERNELS_H_
+
+/// \file kernels.h
+/// Dense float kernels for the micro-transformer (lm/transformer.cc) — the
+/// hot inner loops of every training-step benchmark. The default entry
+/// points are cache-blocked (tiled): they walk B/dB in column tiles small
+/// enough to stay resident in L1 while a full pass of A streams by, instead
+/// of re-streaming the whole right-hand matrix once per output row as the
+/// naive triple loop does.
+///
+/// Determinism: all kernels are bit-for-bit deterministic (fixed loop
+/// structure, no threading inside a kernel). `MatMul` additionally
+/// accumulates each c[i][j] in ascending-p order — exactly the naive
+/// kernel's order — so switching to the blocked forward kernel does not
+/// perturb a single bit of any forward pass. The gradient kernels use tiled
+/// partial sums (a different but fixed association than the naive loops).
+///
+/// The *Naive reference kernels are retained for tests and for the
+/// blocked-vs-naive `BM_MatMul` benchmark in bench/perf_microbench.cc.
+namespace dimqr::lm::kernels {
+
+/// C(MxN) = A(MxK) * B(KxN), all row-major. Cache-blocked; bit-identical
+/// to MatMulNaive.
+void MatMul(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// dA(MxK) += dC(MxN) * B^T (B is KxN). Cache-blocked.
+void MatMulGradA(const float* dc, const float* b, float* da, int m, int k,
+                 int n);
+
+/// dB(KxN) += A^T (A is MxK) * dC(MxN). Cache-blocked.
+void MatMulGradB(const float* a, const float* dc, float* db, int m, int k,
+                 int n);
+
+/// Reference triple-loop kernels (the pre-blocking implementations).
+void MatMulNaive(const float* a, const float* b, float* c, int m, int k,
+                 int n);
+void MatMulGradANaive(const float* dc, const float* b, float* da, int m, int k,
+                      int n);
+void MatMulGradBNaive(const float* a, const float* dc, float* db, int m, int k,
+                      int n);
+
+}  // namespace dimqr::lm::kernels
+
+#endif  // DIMQR_LM_KERNELS_H_

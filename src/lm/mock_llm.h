@@ -56,6 +56,10 @@ class MockLlm : public Model {
   /// The profile used for a task (chance profile when absent).
   SkillProfile ProfileFor(const std::string& task) const;
 
+  /// Answering draws from an Rng derived per call from `instance_seed`, so
+  /// concurrent evaluation is safe and deterministic.
+  bool SupportsParallelEval() const override { return true; }
+
  private:
   std::string name_;
   std::map<std::string, SkillProfile> skills_;

@@ -81,6 +81,14 @@ class Model {
     (void)question;
     return {};
   }
+
+  /// \brief Whether the answering methods may be called concurrently from
+  /// several threads. True for every in-tree model: their answering paths
+  /// are stateless (parameters are only read; any randomness is drawn from
+  /// an Rng derived per call from `instance_seed`). The evaluation harness
+  /// fans out per-instance work only when this returns true, so external
+  /// Model implementations stay safe by default.
+  virtual bool SupportsParallelEval() const { return false; }
 };
 
 }  // namespace dimqr::lm

@@ -4,13 +4,18 @@
 #include <cstring>
 #include <fstream>
 
+#include "core/parallel.h"
 #include "core/rng.h"
+#include "lm/kernels.h"
 
 namespace dimqr::lm {
 namespace {
 
 using dimqr::Result;
 using dimqr::Status;
+using kernels::MatMul;
+using kernels::MatMulGradA;
+using kernels::MatMulGradB;
 
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 
@@ -26,51 +31,6 @@ float GeluGrad(float x) {
   float sech2 = 1.0f - t * t;
   return 0.5f * (1.0f + t) +
          0.5f * x * sech2 * kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
-}
-
-/// C(MxN) = A(MxK) * B(KxN), all row-major.
-void MatMul(const float* a, const float* b, float* c, int m, int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    float* crow = c + static_cast<std::ptrdiff_t>(i) * n;
-    std::memset(crow, 0, sizeof(float) * static_cast<std::size_t>(n));
-    const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
-    for (int p = 0; p < k; ++p) {
-      float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<std::ptrdiff_t>(p) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-/// dA(MxK) += dC(MxN) * B^T (B is KxN).
-void MatMulGradA(const float* dc, const float* b, float* da, int m, int k,
-                 int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* dcrow = dc + static_cast<std::ptrdiff_t>(i) * n;
-    float* darow = da + static_cast<std::ptrdiff_t>(i) * k;
-    for (int p = 0; p < k; ++p) {
-      const float* brow = b + static_cast<std::ptrdiff_t>(p) * n;
-      float acc = 0.0f;
-      for (int j = 0; j < n; ++j) acc += dcrow[j] * brow[j];
-      darow[p] += acc;
-    }
-  }
-}
-
-/// dB(KxN) += A^T (A is MxK) * dC(MxN).
-void MatMulGradB(const float* a, const float* dc, float* db, int m, int k,
-                 int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::ptrdiff_t>(i) * k;
-    const float* dcrow = dc + static_cast<std::ptrdiff_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      float av = arow[p];
-      if (av == 0.0f) continue;
-      float* dbrow = db + static_cast<std::ptrdiff_t>(p) * n;
-      for (int j = 0; j < n; ++j) dbrow[j] += av * dcrow[j];
-    }
-  }
 }
 
 /// LayerNorm forward for one row. Returns (mean, rstd).
@@ -560,27 +520,69 @@ Result<double> Transformer::TrainBatch(const std::vector<LmExample>& batch,
   if (batch.empty()) {
     return Status::InvalidArgument("empty training batch");
   }
-  std::vector<float> grads(params_.size(), 0.0f);
-  double total_loss = 0.0;
-  for (const LmExample& example : batch) {
-    DIMQR_ASSIGN_OR_RETURN(double loss, ForwardBackward(example, &grads));
-    total_loss += loss;
-  }
+  const auto n = static_cast<std::int64_t>(batch.size());
+  // Examples are grouped into at most 8 chunks; each chunk accumulates its
+  // examples (in index order) into its own gradient buffer, and the chunk
+  // buffers are folded together in chunk order afterwards. The grouping is a
+  // function of the batch size only, so the gradient — and the loss below —
+  // is bit-for-bit identical at every DIMQR_THREADS setting.
+  const std::int64_t grain = (n + 7) / 8;
+  struct Partial {
+    std::vector<float> grads;
+    double loss = 0.0;
+  };
+  DIMQR_ASSIGN_OR_RETURN(
+      Partial total,
+      (ParallelMapReduce<Partial>(
+          n, Partial{},
+          [&](std::int64_t begin, std::int64_t end, int) -> Result<Partial> {
+            Partial p;
+            p.grads.assign(params_.size(), 0.0f);
+            for (std::int64_t i = begin; i < end; ++i) {
+              DIMQR_ASSIGN_OR_RETURN(
+                  double loss,
+                  ForwardBackward(batch[static_cast<std::size_t>(i)],
+                                  &p.grads));
+              p.loss += loss;
+            }
+            return p;
+          },
+          [](Partial& acc, Partial&& p) {
+            if (acc.grads.empty()) {
+              acc = std::move(p);
+              return;
+            }
+            for (std::size_t i = 0; i < acc.grads.size(); ++i) {
+              acc.grads[i] += p.grads[i];
+            }
+            acc.loss += p.loss;
+          },
+          grain)));
+  const std::vector<float>& grads = total.grads;
+
   float inv_n = 1.0f / static_cast<float>(batch.size());
   ++adam_step_;
   const float beta1 = 0.9f, beta2 = 0.999f, eps = 1e-8f;
   float bc1 = 1.0f - std::pow(beta1, static_cast<float>(adam_step_));
   float bc2 = 1.0f - std::pow(beta2, static_cast<float>(adam_step_));
   auto lr = static_cast<float>(learning_rate);
-  for (std::size_t i = 0; i < params_.size(); ++i) {
-    float g = grads[i] * inv_n;
-    adam_m_[i] = beta1 * adam_m_[i] + (1.0f - beta1) * g;
-    adam_v_[i] = beta2 * adam_v_[i] + (1.0f - beta2) * g * g;
-    float mhat = adam_m_[i] / bc1;
-    float vhat = adam_v_[i] / bc2;
-    params_[i] -= lr * mhat / (std::sqrt(vhat) + eps);
-  }
-  return total_loss / static_cast<double>(batch.size());
+  // The Adam update is elementwise — no cross-index accumulation — so it can
+  // run at any chunking without touching the numbers.
+  DIMQR_RETURN_NOT_OK(ParallelFor(
+      static_cast<std::int64_t>(params_.size()),
+      [&](std::int64_t begin, std::int64_t end, int) {
+        for (std::int64_t idx = begin; idx < end; ++idx) {
+          auto i = static_cast<std::size_t>(idx);
+          float g = grads[i] * inv_n;
+          adam_m_[i] = beta1 * adam_m_[i] + (1.0f - beta1) * g;
+          adam_v_[i] = beta2 * adam_v_[i] + (1.0f - beta2) * g * g;
+          float mhat = adam_m_[i] / bc1;
+          float vhat = adam_v_[i] / bc2;
+          params_[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+        }
+        return Status::OK();
+      }));
+  return total.loss / static_cast<double>(batch.size());
 }
 
 Result<std::vector<float>> Transformer::NextLogits(

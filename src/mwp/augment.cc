@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/parallel.h"
 #include "text/string_util.h"
 
 namespace dimqr::mwp {
@@ -274,32 +275,42 @@ Result<std::vector<TemplatedProblem>> BuildQMwp(
       options.max_substitutions < options.min_substitutions) {
     return Status::InvalidArgument("bad Q-MWP options");
   }
-  Rng rng(Rng::DeriveSeed(options.seed, "qmwp-" + dataset));
-  std::vector<TemplatedProblem> out;
-  out.reserve(numeric.size());
+  std::uint64_t task_seed = Rng::DeriveSeed(options.seed, "qmwp-" + dataset);
   const AugmentKind kKinds[] = {
       AugmentKind::kContextFormat, AugmentKind::kContextDimension,
       AugmentKind::kQuestionFormat, AugmentKind::kQuestionDimension};
-  for (std::size_t i = 0; i < numeric.size(); ++i) {
-    TemplatedProblem tp = numeric[i];
-    tp.problem.dataset = dataset;
-    tp.problem.id = dataset + "-" + std::to_string(i);
-    if (rng.Bernoulli(options.augmentation_rate)) {
-      int n_subs = static_cast<int>(rng.UniformInt(
-          options.min_substitutions, options.max_substitutions));
-      int applied = 0;
-      for (int attempt = 0; attempt < 12 && applied < n_subs; ++attempt) {
-        AugmentKind kind = kKinds[rng.Index(4)];
-        Status status = ApplyAugmentation(tp, kind, kb, rng);
-        if (status.ok()) {
-          ++applied;
-        } else if (status.code() != dimqr::StatusCode::kNotFound) {
-          return status;
+  // Each problem is augmented from its own RNG stream, so the Q-MWP set is
+  // a pure function of (seed, dataset, index) at every thread count.
+  std::vector<TemplatedProblem> out(numeric.size());
+  Status st = ParallelFor(
+      static_cast<std::int64_t>(numeric.size()),
+      [&](std::int64_t begin, std::int64_t end, int) -> Status {
+        for (std::int64_t idx = begin; idx < end; ++idx) {
+          const auto i = static_cast<std::size_t>(idx);
+          Rng rng = Rng::ForStream(task_seed, i);
+          TemplatedProblem tp = numeric[i];
+          tp.problem.dataset = dataset;
+          tp.problem.id = dataset + "-" + std::to_string(i);
+          if (rng.Bernoulli(options.augmentation_rate)) {
+            int n_subs = static_cast<int>(rng.UniformInt(
+                options.min_substitutions, options.max_substitutions));
+            int applied = 0;
+            for (int attempt = 0; attempt < 12 && applied < n_subs;
+                 ++attempt) {
+              AugmentKind kind = kKinds[rng.Index(4)];
+              Status status = ApplyAugmentation(tp, kind, kb, rng);
+              if (status.ok()) {
+                ++applied;
+              } else if (status.code() != dimqr::StatusCode::kNotFound) {
+                return status;
+              }
+            }
+          }
+          out[i] = std::move(tp);
         }
-      }
-    }
-    out.push_back(std::move(tp));
-  }
+        return Status::OK();
+      });
+  DIMQR_RETURN_NOT_OK(st);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/parallel.h"
 #include "text/string_util.h"
 
 namespace dimqr::mwp {
@@ -345,14 +346,16 @@ std::size_t MwpGenerator::TemplateFamilyCount() { return Templates().size(); }
 Result<std::vector<TemplatedProblem>> MwpGenerator::Generate(
     const std::string& dataset, int count, double multi_step_bias) const {
   if (count <= 0) return Status::InvalidArgument("count must be positive");
-  Rng rng(Rng::DeriveSeed(seed_, "mwp-" + dataset));
+  std::uint64_t task_seed = Rng::DeriveSeed(seed_, "mwp-" + dataset);
   std::vector<const TemplateDef*> simple, multi;
   for (const TemplateDef& tdef : Templates()) {
     (tdef.multi_step ? multi : simple).push_back(&tdef);
   }
-  std::vector<TemplatedProblem> out;
-  int guard = 0;
-  while (static_cast<int>(out.size()) < count && guard++ < count * 200) {
+  // One attempt from a slot's stream: Result<true> when the slot is filled,
+  // Result<false> when the sample was rejected (retry in-stream), error
+  // status for genuine failures (bad template unit references).
+  auto try_once = [&](Rng& rng, std::size_t slot,
+                      TemplatedProblem& out_tp) -> Result<bool> {
     const TemplateDef& tdef =
         rng.Bernoulli(multi_step_bias)
             ? *multi[rng.Index(multi.size())]
@@ -366,34 +369,34 @@ Result<std::vector<TemplatedProblem>> MwpGenerator::Generate(
       v = std::round(v * scale) / scale;
       values.push_back(v);
     }
-    if (tdef.valid && !tdef.valid(values)) continue;
+    if (tdef.valid && !tdef.valid(values)) return false;
 
     TemplatedProblem tp;
     tp.formula = tdef.formula;
     tp.question_factor = 1.0;
     MwpProblem& p = tp.problem;
     p.dataset = dataset;
-    p.id = dataset + "-" + std::to_string(out.size());
+    p.id = dataset + "-" + std::to_string(slot);
 
     std::string text = tdef.text;
     for (std::size_t i = 0; i < tdef.slots.size(); ++i) {
       const SlotDef& sd = tdef.slots[i];
-      QuantitySlot slot;
-      slot.display_value = values[i];
-      slot.display_percent = sd.percent;
+      QuantitySlot slot_q;
+      slot_q.display_value = values[i];
+      slot_q.display_percent = sd.percent;
       std::string rendered = FormatValue(values[i], sd.decimals);
       if (sd.percent) {
         // A "v%" rendering IS the PERCENT unit; carrying its handle keeps
         // stats honest without a string sentinel.
-        slot.unit = kb_->IdOf("PERCENT");
+        slot_q.unit = kb_->IdOf("PERCENT");
         rendered += "%";
       } else if (*sd.unit != '\0') {
-        DIMQR_ASSIGN_OR_RETURN(slot.unit, kb_->ResolveId(sd.unit));
-        slot.surface = kb_->Get(slot.unit).label_en;
-        rendered += " " + slot.surface;
+        DIMQR_ASSIGN_OR_RETURN(slot_q.unit, kb_->ResolveId(sd.unit));
+        slot_q.surface = kb_->Get(slot_q.unit).label_en;
+        rendered += " " + slot_q.surface;
       }
       text = text::ReplaceAll(text, "{" + std::to_string(i) + "}", rendered);
-      p.slots.push_back(std::move(slot));
+      p.slots.push_back(std::move(slot_q));
     }
     if (*tdef.answer_unit != '\0') {
       DIMQR_ASSIGN_OR_RETURN(p.question_unit,
@@ -403,13 +406,31 @@ Result<std::vector<TemplatedProblem>> MwpGenerator::Generate(
     }
     p.text = std::move(text);
     Status recompute = Recompute(tp);
-    if (!recompute.ok()) continue;
-    if (!std::isfinite(p.answer) || p.answer <= 0.0) continue;
-    out.push_back(std::move(tp));
-  }
-  if (static_cast<int>(out.size()) < count) {
-    return Status::Internal("could not generate enough MWP problems");
-  }
+    if (!recompute.ok()) return false;
+    if (!std::isfinite(p.answer) || p.answer <= 0.0) return false;
+    out_tp = std::move(tp);
+    return true;
+  };
+
+  // Each problem slot draws from its own stream, so the dataset is a pure
+  // function of (seed, dataset, slot) and identical at every thread count.
+  std::vector<TemplatedProblem> out(static_cast<std::size_t>(count));
+  Status st = ParallelFor(
+      count, [&](std::int64_t begin, std::int64_t end, int) -> Status {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const auto slot = static_cast<std::size_t>(i);
+          Rng rng = Rng::ForStream(task_seed, slot);
+          bool filled = false;
+          for (int attempt = 0; attempt < 200 && !filled; ++attempt) {
+            DIMQR_ASSIGN_OR_RETURN(filled, try_once(rng, slot, out[slot]));
+          }
+          if (!filled) {
+            return Status::Internal("could not generate enough MWP problems");
+          }
+        }
+        return Status::OK();
+      });
+  DIMQR_RETURN_NOT_OK(st);
   return out;
 }
 

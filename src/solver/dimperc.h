@@ -41,6 +41,9 @@ class DimPercPipeline : public lm::Model {
   const std::string& name() const override { return name_; }
   lm::ChoiceAnswer AnswerChoice(const lm::ChoiceQuestion& question) override;
   std::string AnswerText(const lm::TextQuestion& question) override;
+  /// Delegates to the knowledge model's const generation path plus pure
+  /// dimension-law arithmetic, so concurrent evaluation is safe.
+  bool SupportsParallelEval() const override { return true; }
 
   /// The underlying fine-tuned model.
   Seq2SeqModel& knowledge_model() { return *knowledge_; }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
 #include "lm/mock_llm.h"
 #include "mwp/equation.h"
 #include "mwp/slotting.h"
@@ -140,24 +141,41 @@ Result<std::unique_ptr<Seq2SeqModel>> TrainDimPerc(
 double EvaluateMwpAccuracy(
     lm::Model& model, const std::vector<mwp::TemplatedProblem>& problems) {
   if (problems.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (const mwp::TemplatedProblem& tp : problems) {
-    dimqr::Result<mwp::SlottedProblem> slotted =
-        mwp::SlotNumbers(tp.problem);
-    if (!slotted.ok()) continue;
-    lm::TextQuestion question;
-    question.task = tp.problem.dataset;
-    question.prompt = slotted->input_text;
-    question.gold = slotted->equation;
-    question.instance_seed =
-        Rng::DeriveSeed(20240131, "mwp-eval-" + tp.problem.id);
-    std::string response = model.AnswerText(question);
-    if (response.empty()) continue;
-    std::string unslotted =
-        mwp::UnslotEquation(response, slotted->slot_literals);
-    if (mwp::EquationAnswersMatch(unslotted, tp.problem.answer)) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(problems.size());
+  const auto n = static_cast<std::int64_t>(problems.size());
+  // Per-problem evaluation fans out over the pool when the model allows it;
+  // correctness counts are integers merged in chunk order, so the accuracy
+  // is identical at every thread count.
+  const std::int64_t grain = model.SupportsParallelEval() ? 0 : n;
+  dimqr::Result<std::size_t> correct = dimqr::ParallelMapReduce<std::size_t>(
+      n, std::size_t{0},
+      [&](std::int64_t begin, std::int64_t end,
+          int) -> dimqr::Result<std::size_t> {
+        std::size_t partial = 0;
+        for (std::int64_t i = begin; i < end; ++i) {
+          const mwp::TemplatedProblem& tp =
+              problems[static_cast<std::size_t>(i)];
+          dimqr::Result<mwp::SlottedProblem> slotted =
+              mwp::SlotNumbers(tp.problem);
+          if (!slotted.ok()) continue;
+          lm::TextQuestion question;
+          question.task = tp.problem.dataset;
+          question.prompt = slotted->input_text;
+          question.gold = slotted->equation;
+          question.instance_seed =
+              Rng::DeriveSeed(20240131, "mwp-eval-" + tp.problem.id);
+          std::string response = model.AnswerText(question);
+          if (response.empty()) continue;
+          std::string unslotted =
+              mwp::UnslotEquation(response, slotted->slot_literals);
+          if (mwp::EquationAnswersMatch(unslotted, tp.problem.answer)) {
+            ++partial;
+          }
+        }
+        return partial;
+      },
+      [](std::size_t& acc, std::size_t&& partial) { acc += partial; }, grain);
+  return static_cast<double>(correct.ValueOrDie()) /
+         static_cast<double>(problems.size());
 }
 
 }  // namespace dimqr::solver

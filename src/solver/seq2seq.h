@@ -92,6 +92,9 @@ class Seq2SeqModel : public lm::Model {
   /// Greedy-decodes and returns the middle part (the equation for MWP
   /// tasks); empty on failure.
   std::string AnswerText(const lm::TextQuestion& question) override;
+  /// Answering only calls the const Generate path (mutable state is touched
+  /// solely by the Train* methods), so concurrent evaluation is safe.
+  bool SupportsParallelEval() const override { return true; }
 
   const lm::Vocab& vocab() const { return vocab_; }
   std::size_t train_size() const { return train_.size(); }

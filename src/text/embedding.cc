@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "text/levenshtein.h"
 
 namespace dimqr::text {
@@ -81,52 +82,122 @@ Result<Embedding> Embedding::Train(
     return Status::InvalidArgument("no trainable sentence pairs in corpus");
   }
 
-  // Count total positions for the learning-rate schedule.
-  std::size_t total_positions = 0;
-  for (const auto& ids : encoded) total_positions += ids.size();
-  total_positions *= static_cast<std::size_t>(config.epochs);
-  std::size_t seen = 0;
+  // Position prefix sums: sentence s starts at global position prefix[s]
+  // within an epoch, which drives the linear learning-rate decay exactly as
+  // the sequential single-counter schedule did.
+  std::vector<std::size_t> prefix(encoded.size() + 1, 0);
+  for (std::size_t s = 0; s < encoded.size(); ++s) {
+    prefix[s + 1] = prefix[s] + encoded[s].size();
+  }
+  const std::size_t positions_per_epoch = prefix.back();
+  const std::size_t total_positions =
+      positions_per_epoch * static_cast<std::size_t>(config.epochs);
 
-  std::vector<float> grad_center(d);
+  // Deterministic parallel SGNS: sentences are processed in fixed
+  // mini-batches of kBatch. Within a batch, per-sentence gradients are
+  // computed in parallel against the parameters frozen at batch start (the
+  // map phase writes only per-sentence buffers), then applied serially in
+  // sentence order. Batch boundaries and each sentence's RNG stream are
+  // functions of the corpus alone, so the trained vectors are bit-for-bit
+  // identical at every thread count.
+  constexpr std::size_t kBatch = 8;
+
+  /// Recorded deltas of one sentence: `d` floats per entry in `rows`; the
+  /// low bit of a row tags the table (0 = center/emb, 1 = context).
+  struct SentenceGrad {
+    std::vector<std::size_t> rows;
+    std::vector<float> deltas;
+  };
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    for (const auto& ids : encoded) {
-      for (std::size_t pos = 0; pos < ids.size(); ++pos) {
-        ++seen;
-        double progress = static_cast<double>(seen) / total_positions;
-        auto lr = static_cast<float>(config.learning_rate *
-                                     std::max(0.05, 1.0 - progress));
-        std::size_t center = ids[pos];
-        auto win = static_cast<std::size_t>(
-            rng.UniformInt(1, config.window));
-        std::size_t lo = pos >= win ? pos - win : 0;
-        std::size_t hi = std::min(ids.size() - 1, pos + win);
-        for (std::size_t cpos = lo; cpos <= hi; ++cpos) {
-          if (cpos == pos) continue;
-          std::size_t ctx = ids[cpos];
-          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
-          float* vec_c = &emb.vectors_[center * d];
-          // One positive pair + `negatives` sampled negatives.
-          for (int n = -1; n < config.negatives; ++n) {
-            std::size_t target;
-            float label;
-            if (n < 0) {
-              target = ctx;
-              label = 1.0f;
-            } else {
-              target = rng.WeightedIndex(neg_weights);
-              if (target == ctx) continue;
-              label = 0.0f;
+    const std::size_t epoch_seen =
+        positions_per_epoch * static_cast<std::size_t>(epoch);
+    for (std::size_t batch_start = 0; batch_start < encoded.size();
+         batch_start += kBatch) {
+      const std::size_t batch_end =
+          std::min(encoded.size(), batch_start + kBatch);
+      const auto bn = static_cast<std::int64_t>(batch_end - batch_start);
+      std::vector<SentenceGrad> grads(static_cast<std::size_t>(bn));
+      Status st = ParallelFor(
+          bn,
+          [&](std::int64_t begin, std::int64_t end, int) {
+            for (std::int64_t b = begin; b < end; ++b) {
+              const std::size_t si = batch_start + static_cast<std::size_t>(b);
+              const std::vector<std::size_t>& ids = encoded[si];
+              SentenceGrad& sg = grads[static_cast<std::size_t>(b)];
+              // Stream index: epoch-major, so every (epoch, sentence) pair
+              // draws from its own decorrelated stream.
+              Rng rng = Rng::ForStream(
+                  config.seed,
+                  static_cast<std::uint64_t>(epoch) * encoded.size() + si);
+              // NOTE: each record() may reallocate sg.deltas, so a returned
+              // pointer is only valid until the next call.
+              auto record = [&sg, d](std::size_t row,
+                                     bool is_context) -> float* {
+                sg.rows.push_back((row << 1) |
+                                  static_cast<std::size_t>(is_context));
+                sg.deltas.resize(sg.deltas.size() + d, 0.0f);
+                return sg.deltas.data() + (sg.deltas.size() - d);
+              };
+              std::vector<float> grad_center(d);
+              for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+                const std::size_t seen = epoch_seen + prefix[si] + pos + 1;
+                double progress =
+                    static_cast<double>(seen) / total_positions;
+                auto lr = static_cast<float>(config.learning_rate *
+                                             std::max(0.05, 1.0 - progress));
+                std::size_t center = ids[pos];
+                auto win =
+                    static_cast<std::size_t>(rng.UniformInt(1, config.window));
+                std::size_t lo = pos >= win ? pos - win : 0;
+                std::size_t hi = std::min(ids.size() - 1, pos + win);
+                const float* vec_c = &emb.vectors_[center * d];
+                for (std::size_t cpos = lo; cpos <= hi; ++cpos) {
+                  if (cpos == pos) continue;
+                  std::size_t ctx = ids[cpos];
+                  std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+                  // One positive pair + `negatives` sampled negatives, all
+                  // scored against the batch-start parameters.
+                  for (int neg = -1; neg < config.negatives; ++neg) {
+                    std::size_t target;
+                    float label;
+                    if (neg < 0) {
+                      target = ctx;
+                      label = 1.0f;
+                    } else {
+                      target = rng.WeightedIndex(neg_weights);
+                      if (target == ctx) continue;
+                      label = 0.0f;
+                    }
+                    const float* vec_t = &context[target * d];
+                    float dot = 0.0f;
+                    for (std::size_t k = 0; k < d; ++k) {
+                      dot += vec_c[k] * vec_t[k];
+                    }
+                    float g = (label - Sigmoid(dot)) * lr;
+                    float* grad_t = record(target, /*is_context=*/true);
+                    for (std::size_t k = 0; k < d; ++k) {
+                      grad_center[k] += g * vec_t[k];
+                      grad_t[k] += g * vec_c[k];
+                    }
+                  }
+                  float* rec_c = record(center, /*is_context=*/false);
+                  std::copy(grad_center.begin(), grad_center.end(), rec_c);
+                }
+              }
             }
-            float* vec_t = &context[target * d];
-            float dot = 0.0f;
-            for (std::size_t k = 0; k < d; ++k) dot += vec_c[k] * vec_t[k];
-            float g = (label - Sigmoid(dot)) * lr;
-            for (std::size_t k = 0; k < d; ++k) {
-              grad_center[k] += g * vec_t[k];
-              vec_t[k] += g * vec_c[k];
-            }
-          }
-          for (std::size_t k = 0; k < d; ++k) vec_c[k] += grad_center[k];
+            return Status::OK();
+          },
+          /*grain=*/1);
+      DIMQR_RETURN_NOT_OK(st);
+      // Apply phase: serial, in sentence order, entries in recording order.
+      for (const SentenceGrad& sg : grads) {
+        for (std::size_t e = 0; e < sg.rows.size(); ++e) {
+          const std::size_t row = sg.rows[e] >> 1;
+          float* dst = (sg.rows[e] & 1) ? &context[row * d]
+                                        : &emb.vectors_[row * d];
+          const float* delta = &sg.deltas[e * d];
+          for (std::size_t k = 0; k < d; ++k) dst[k] += delta[k];
         }
       }
     }

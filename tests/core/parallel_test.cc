@@ -1,0 +1,294 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace dimqr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, SizeOneRunsSeriallyOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<int> order;
+  Status st = pool.Run(5, [&](int i) {
+    order.push_back(i);  // safe: single executor, no races
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  constexpr int kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  Status st = pool.Run(kTasks, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyRuns) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    Status st = pool.Run(round + 1, [&](int i) {
+      sum.fetch_add(i + 1);
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(sum.load(), (round + 1) * (round + 2) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  Status st = pool.Run(0, [&](int) {
+    called = true;
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ConstructDestructWithoutRunning) {
+  for (int i = 0; i < 10; ++i) {
+    ThreadPool pool(4);  // start + immediate shutdown must not hang
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Status propagation
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, LowestIndexedFailureWins) {
+  ThreadPool pool(4);
+  Status st = pool.Run(100, [&](int i) {
+    if (i == 7) return Status::InvalidArgument("chunk 7");
+    if (i == 3) return Status::Internal("chunk 3");
+    if (i == 42) return Status::NotFound("chunk 42");
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.message(), "chunk 3");
+}
+
+TEST(ThreadPoolTest, AllTasksRunEvenWhenOneFails) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  Status st = pool.Run(64, [&](int i) {
+    ran.fetch_add(1);
+    return i == 0 ? Status::Internal("first") : Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ErrorStateResetsBetweenRuns) {
+  ThreadPool pool(2);
+  ASSERT_FALSE(pool.Run(4, [](int) {
+                     return Status::Internal("boom");
+                   }).ok());
+  EXPECT_TRUE(pool.Run(4, [](int) { return Status::OK(); }).ok());
+}
+
+TEST(ThreadPoolTest, ExceptionsBecomeInternalStatus) {
+  ThreadPool pool(2);
+  Status st = pool.Run(8, [&](int i) -> Status {
+    if (i == 5) throw std::runtime_error("kaboom");
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("kaboom"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SplitSeed / SplitRng streams
+// ---------------------------------------------------------------------------
+
+TEST(SplitSeedTest, DistinctStreamsGetDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 10000; ++s) {
+    seeds.insert(Rng::SplitSeed(20240131, s));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(SplitSeedTest, DistinctParentsGetDistinctSeeds) {
+  EXPECT_NE(Rng::SplitSeed(1, 0), Rng::SplitSeed(2, 0));
+  EXPECT_NE(Rng::SplitSeed(1, 1), Rng::SplitSeed(2, 1));
+}
+
+TEST(SplitSeedTest, StreamsAreDecorrelated) {
+  // Adjacent streams should not produce correlated first draws: the mean of
+  // the first uniform from each of 4096 adjacent streams must look uniform.
+  double sum = 0.0;
+  constexpr int kStreams = 4096;
+  for (int s = 0; s < kStreams; ++s) {
+    Rng rng = Rng::ForStream(99, static_cast<std::uint64_t>(s));
+    sum += rng.UniformReal(0.0, 1.0);
+  }
+  double mean = sum / kStreams;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(SplitSeedTest, ForStreamReproducesExactly) {
+  Rng a = Rng::ForStream(7, 13);
+  Rng b = Rng::ForStream(7, 13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelFor / ParallelMapReduce determinism across thread counts
+// ---------------------------------------------------------------------------
+
+/// Runs a float accumulation at a given pool size and returns the result.
+double SumOfSinesAt(int threads) {
+  ScopedParallelism scope(threads);
+  constexpr std::int64_t kN = 10000;
+  Result<double> r = ParallelMapReduce<double>(
+      kN, 0.0,
+      [](std::int64_t begin, std::int64_t end, int chunk) -> Result<double> {
+        // Per-chunk RNG stream: draws depend on the chunk index only.
+        Rng rng = Rng::ForStream(123, static_cast<std::uint64_t>(chunk));
+        double partial = 0.0;
+        for (std::int64_t i = begin; i < end; ++i) {
+          partial += rng.UniformReal(0.0, 1.0) / static_cast<double>(i + 1);
+        }
+        return partial;
+      },
+      [](double& acc, double&& partial) { acc += partial; });
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+TEST(ParallelForTest, ChunkBoundariesDependOnlyOnN) {
+  // Record (begin, end, chunk) triples at 1, 2, and 8 threads; they must be
+  // identical because chunking is a function of n alone.
+  auto chunks_at = [](int threads) {
+    ScopedParallelism scope(threads);
+    std::vector<std::vector<std::int64_t>> triples(1000);
+    std::atomic<int> seen{0};
+    Status st = ParallelFor(777, [&](std::int64_t b, std::int64_t e, int c) {
+      triples[static_cast<std::size_t>(c)] = {b, e, c};
+      seen.fetch_add(1);
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok());
+    triples.resize(static_cast<std::size_t>(seen.load()));
+    return triples;
+  };
+  auto t1 = chunks_at(1);
+  auto t2 = chunks_at(2);
+  auto t8 = chunks_at(8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(ParallelForTest, CoversExactlyTheRange) {
+  ScopedParallelism scope(4);
+  constexpr std::int64_t kN = 12345;
+  std::vector<std::atomic<int>> hits(kN);
+  Status st = ParallelFor(kN, [&](std::int64_t b, std::int64_t e, int) {
+    for (std::int64_t i = b; i < e; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, HonoursExplicitGrain) {
+  ScopedParallelism scope(2);
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges(100);
+  std::atomic<int> chunks{0};
+  Status st = ParallelFor(
+      100,
+      [&](std::int64_t b, std::int64_t e, int c) {
+        ranges[static_cast<std::size_t>(c)] = {b, e};
+        chunks.fetch_add(1);
+        return Status::OK();
+      },
+      /*grain=*/30);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(chunks.load(), 4);  // 30 + 30 + 30 + 10
+  EXPECT_EQ(ranges[3], (std::pair<std::int64_t, std::int64_t>{90, 100}));
+}
+
+TEST(ParallelMapReduceTest, BitForBitIdenticalAcross1_2_8Threads) {
+  double at1 = SumOfSinesAt(1);
+  double at2 = SumOfSinesAt(2);
+  double at8 = SumOfSinesAt(8);
+  // Exact equality is the whole point: not NEAR, EQ.
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+}
+
+TEST(ParallelMapReduceTest, ReducesInChunkIndexOrder) {
+  ScopedParallelism scope(8);
+  // Concatenate chunk indices; ordered reduction must yield 0,1,2,...
+  Result<std::vector<int>> r = ParallelMapReduce<std::vector<int>>(
+      640, {},
+      [](std::int64_t, std::int64_t, int chunk) -> Result<std::vector<int>> {
+        return std::vector<int>{chunk};
+      },
+      [](std::vector<int>& acc, std::vector<int>&& partial) {
+        acc.insert(acc.end(), partial.begin(), partial.end());
+      },
+      /*grain=*/10);
+  ASSERT_TRUE(r.ok());
+  std::vector<int> expected(64);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(*r, expected);
+}
+
+TEST(ParallelMapReduceTest, PropagatesFirstChunkError) {
+  ScopedParallelism scope(4);
+  Result<int> r = ParallelMapReduce<int>(
+      100, 0,
+      [](std::int64_t, std::int64_t, int chunk) -> Result<int> {
+        if (chunk >= 2) return Status::OutOfRange("chunk " + std::to_string(chunk));
+        return chunk;
+      },
+      [](int& acc, int&& v) { acc += v; },
+      /*grain=*/10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.status().message(), "chunk 2");
+}
+
+TEST(ScopedParallelismTest, OverridesNestAndRestore) {
+  int base = ParallelThreadCount();
+  {
+    ScopedParallelism outer(3);
+    EXPECT_EQ(ParallelThreadCount(), 3);
+    {
+      ScopedParallelism inner(5);
+      EXPECT_EQ(ParallelThreadCount(), 5);
+    }
+    EXPECT_EQ(ParallelThreadCount(), 3);
+  }
+  EXPECT_EQ(ParallelThreadCount(), base);
+}
+
+}  // namespace
+}  // namespace dimqr

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "core/parallel.h"
 #include "dimeval/benchmark.h"
 #include "dimeval/bootstrap_retrieval.h"
 #include "dimeval/generators.h"
@@ -163,6 +164,37 @@ TEST(GeneratorTest, DeterministicAcrossRuns) {
     EXPECT_EQ(a[i].prompt, b[i].prompt);
     EXPECT_EQ(a[i].gold_index, b[i].gold_index);
   }
+}
+
+TEST(GeneratorTest, BitForBitIdenticalAcrossThreadCounts) {
+  // Every instance slot draws from its own RNG stream, so generated datasets
+  // must be identical at any pool size.
+  auto generate_at = [](int threads) {
+    dimqr::ScopedParallelism scope(threads);
+    TaskGenerator g(Kb());
+    struct Out {
+      std::vector<TaskInstance> kind, conv, magnitude;
+    } out;
+    out.kind = g.QuantityKindMatch(40).ValueOrDie();
+    out.conv = g.UnitConversion(40).ValueOrDie();
+    out.magnitude = g.MagnitudeComparison(40).ValueOrDie();
+    return out;
+  };
+  auto at1 = generate_at(1);
+  auto at8 = generate_at(8);
+  auto expect_same = [](const std::vector<TaskInstance>& a,
+                        const std::vector<TaskInstance>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].prompt, b[i].prompt);
+      EXPECT_EQ(a[i].reasoning, b[i].reasoning);
+      EXPECT_EQ(a[i].gold_index, b[i].gold_index);
+      EXPECT_EQ(a[i].instance_seed, b[i].instance_seed);
+    }
+  };
+  expect_same(at1.kind, at8.kind);
+  expect_same(at1.conv, at8.conv);
+  expect_same(at1.magnitude, at8.magnitude);
 }
 
 TEST(TaskTest, CategoriesMatchPaper) {

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/parallel.h"
 #include "eval/harness.h"
 #include "eval/table.h"
 #include "lm/mock_llm.h"
@@ -166,6 +167,39 @@ TEST(HarnessTest, ModelWithoutExtractionMarkedNotEvaluated) {
   lm::MockLlm no_extraction("NoExtract", {});
   DimEvalRow row = EvaluateOnDimEval(no_extraction, Bench());
   EXPECT_LT(row.qe_f1, 0.0);
+}
+
+TEST(HarnessTest, DimEvalRowBitForBitAcrossThreadCounts) {
+  // The headline determinism claim: the full Table VII row — choice counts
+  // and extraction F1 — is identical at 1, 2, and 8 threads.
+  auto row_at = [](int threads) {
+    ScopedParallelism scope(threads);
+    lm::MockLlm mock("Sweep",
+                     {{"quantitykind_match", {0.7, 0.9}},
+                      {"unit_conversion", {0.5, 0.8}},
+                      {"quantity_extraction", {0.6, 0.9}},
+                      {"value_extraction", {0.8, 0.9}},
+                      {"unit_extraction", {0.7, 0.9}}});
+    Extractor extractor = AnnotatorExtractor(Annotator());
+    return EvaluateOnDimEval(mock, Bench(), &extractor);
+  };
+  DimEvalRow at1 = row_at(1);
+  DimEvalRow at2 = row_at(2);
+  DimEvalRow at8 = row_at(8);
+  auto expect_rows_equal = [](const DimEvalRow& a, const DimEvalRow& b) {
+    ASSERT_EQ(a.choice.size(), b.choice.size());
+    for (const auto& [task, metrics] : a.choice) {
+      const ChoiceMetrics& other = b.choice.at(task);
+      EXPECT_EQ(metrics.total, other.total) << task;
+      EXPECT_EQ(metrics.answered, other.answered) << task;
+      EXPECT_EQ(metrics.correct, other.correct) << task;
+    }
+    EXPECT_EQ(a.qe_f1, b.qe_f1);
+    EXPECT_EQ(a.ve_f1, b.ve_f1);
+    EXPECT_EQ(a.ue_f1, b.ue_f1);
+  };
+  expect_rows_equal(at1, at2);
+  expect_rows_equal(at1, at8);
 }
 
 TEST(HarnessTest, CategoryAggregation) {

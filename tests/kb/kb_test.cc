@@ -6,6 +6,11 @@
 #include <span>
 #include <unordered_set>
 
+// This file deliberately keeps exercising the deprecated string-keyed
+// shims (FindById, string ConversionFactor/UnitsOfKind) until they are
+// removed, so their behaviour stays pinned.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace dimqr::kb {
 namespace {
 

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <filesystem>
 
+#include "core/parallel.h"
 #include "core/rng.h"
+#include "lm/kernels.h"
 
 namespace dimqr::lm {
 namespace {
@@ -199,6 +201,100 @@ TEST(TransformerTest, CachedDecoderMatchesFullForward) {
     slow_sequence.push_back(best);
   }
   EXPECT_EQ(generated, slow_generated);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked kernels vs reference kernels
+// ---------------------------------------------------------------------------
+
+std::vector<float> RandomMatrix(Rng& rng, int rows, int cols,
+                                double zero_rate = 0.1) {
+  std::vector<float> m(static_cast<std::size_t>(rows) * cols);
+  for (float& v : m) {
+    v = rng.Bernoulli(zero_rate) ? 0.0f
+                                 : static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  return m;
+}
+
+TEST(KernelsTest, BlockedMatMulBitIdenticalToNaive) {
+  Rng rng(11);
+  // Deliberately awkward sizes: not multiples of the tile dimensions.
+  for (auto [m, k, n] : {std::tuple{1, 1, 1}, std::tuple{7, 33, 129},
+                         std::tuple{160, 192, 500}, std::tuple{31, 127, 65}}) {
+    std::vector<float> a = RandomMatrix(rng, m, k);
+    std::vector<float> b = RandomMatrix(rng, k, n);
+    std::vector<float> c_blocked(static_cast<std::size_t>(m) * n, -1.0f);
+    std::vector<float> c_naive(static_cast<std::size_t>(m) * n, -1.0f);
+    kernels::MatMul(a.data(), b.data(), c_blocked.data(), m, k, n);
+    kernels::MatMulNaive(a.data(), b.data(), c_naive.data(), m, k, n);
+    ASSERT_EQ(c_blocked, c_naive) << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(KernelsTest, BlockedGradKernelsMatchNaiveNumerically) {
+  // The tiled gradient kernels use partial sums, so only near-equality with
+  // the reference association is expected (each is individually
+  // deterministic).
+  Rng rng(12);
+  const int m = 37, k = 130, n = 131;
+  std::vector<float> a = RandomMatrix(rng, m, k);
+  std::vector<float> dc = RandomMatrix(rng, m, n);
+  std::vector<float> b = RandomMatrix(rng, k, n);
+  std::vector<float> da_blocked(static_cast<std::size_t>(m) * k, 0.5f);
+  std::vector<float> da_naive = da_blocked;
+  kernels::MatMulGradA(dc.data(), b.data(), da_blocked.data(), m, k, n);
+  kernels::MatMulGradANaive(dc.data(), b.data(), da_naive.data(), m, k, n);
+  for (std::size_t i = 0; i < da_blocked.size(); ++i) {
+    ASSERT_NEAR(da_blocked[i], da_naive[i], 1e-4f) << "dA index " << i;
+  }
+  std::vector<float> db_blocked(static_cast<std::size_t>(k) * n, -0.5f);
+  std::vector<float> db_naive = db_blocked;
+  kernels::MatMulGradB(a.data(), dc.data(), db_blocked.data(), m, k, n);
+  kernels::MatMulGradBNaive(a.data(), dc.data(), db_naive.data(), m, k, n);
+  for (std::size_t i = 0; i < db_blocked.size(); ++i) {
+    ASSERT_NEAR(db_blocked[i], db_naive[i], 1e-4f) << "dB index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread-count training determinism
+// ---------------------------------------------------------------------------
+
+/// Trains a fresh model for a few batches at the given pool size and returns
+/// (losses..., final parameter checksum bits).
+std::vector<double> TrainRunAt(int threads) {
+  ScopedParallelism scope(threads);
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  Rng rng(31);
+  std::vector<LmExample> pool;
+  for (int i = 0; i < 24; ++i) {
+    int x = static_cast<int>(rng.UniformInt(6, 23));
+    int y = static_cast<int>(rng.UniformInt(6, 23));
+    LmExample e;
+    e.tokens = {1, x, y, 3, x, y, 2};
+    e.loss_mask = {0, 0, 0, 0, 1, 1, 1};
+    pool.push_back(e);
+  }
+  std::vector<double> out;
+  for (int step = 0; step < 6; ++step) {
+    std::vector<LmExample> batch(pool.begin() + step * 4,
+                                 pool.begin() + step * 4 + 4);
+    out.push_back(m.TrainBatch(batch, 2e-3).ValueOrDie());
+  }
+  LmExample probe = pool.front();
+  out.push_back(m.Loss(probe).ValueOrDie());
+  return out;
+}
+
+TEST(TransformerTest, TrainBatchBitForBitAcrossThreadCounts) {
+  std::vector<double> at1 = TrainRunAt(1);
+  std::vector<double> at2 = TrainRunAt(2);
+  std::vector<double> at8 = TrainRunAt(8);
+  // Exact equality of every per-step loss and the post-training probe loss:
+  // chunked gradient accumulation must not depend on the pool size.
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
 }
 
 }  // namespace

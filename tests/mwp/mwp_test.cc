@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "core/parallel.h"
 #include "mwp/augment.h"
 #include "mwp/generator.h"
 #include "mwp/stats.h"
@@ -62,6 +63,28 @@ TEST(MwpGeneratorTest, DeterministicForSeed) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].problem.text, b[i].problem.text);
     EXPECT_DOUBLE_EQ(a[i].problem.answer, b[i].problem.answer);
+  }
+}
+
+TEST(MwpGeneratorTest, BitForBitIdenticalAcrossThreadCounts) {
+  // N-MWP generation and Q-MWP augmentation both use per-index RNG streams,
+  // so the datasets must match exactly at any pool size.
+  auto generate_at = [](int threads) {
+    dimqr::ScopedParallelism scope(threads);
+    MwpGenerator gen(Kb(), 7);
+    std::vector<TemplatedProblem> numeric =
+        gen.Generate("d", 60, 0.4).ValueOrDie();
+    QMwpOptions options;
+    options.augmentation_rate = 0.8;
+    return BuildQMwp(numeric, "q", *Kb(), options).ValueOrDie();
+  };
+  auto at1 = generate_at(1);
+  auto at8 = generate_at(8);
+  ASSERT_EQ(at1.size(), at8.size());
+  for (std::size_t i = 0; i < at1.size(); ++i) {
+    EXPECT_EQ(at1[i].problem.text, at8[i].problem.text);
+    EXPECT_EQ(at1[i].problem.answer, at8[i].problem.answer);
+    EXPECT_EQ(at1[i].problem.augmentations, at8[i].problem.augmentations);
   }
 }
 
@@ -179,7 +202,8 @@ TEST(AugmentTest, TableVDilutionScenario) {
   // different unit (tonne, gram, pound...).
   ASSERT_TRUE(
       ApplyAugmentation(tp, AugmentKind::kQuestionDimension, *Kb(), rng).ok());
-  const kb::UnitRecord* old_unit = Kb()->FindById("KiloGM").ValueOrDie();
+  const kb::UnitRecord* old_unit =
+      &Kb()->Get(Kb()->ResolveId("KiloGM").ValueOrDie());
   const kb::UnitRecord& new_unit = Kb()->Get(tp.problem.question_unit);
   double factor = old_unit->conversion_value / new_unit.conversion_value;
   EXPECT_NEAR(tp.problem.answer, dilution->problem.answer * factor, 1e-6);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/parallel.h"
 #include "text/corpus.h"
 
 namespace dimqr::text {
@@ -55,6 +56,35 @@ TEST(EmbeddingTest, DeterministicForFixedSeed) {
   ASSERT_EQ(a.vocab_size(), b.vocab_size());
   EXPECT_DOUBLE_EQ(a.CosineSimilarity("celsius", "kelvin"),
                    b.CosineSimilarity("celsius", "kelvin"));
+}
+
+TEST(EmbeddingTest, BitForBitIdenticalAcrossThreadCounts) {
+  // SGNS gradients map in parallel against batch-start parameters and apply
+  // in sentence order, so the vectors must match exactly at any pool size.
+  auto corpus = TwoTopicCorpus();
+  EmbeddingConfig cfg;
+  cfg.epochs = 1;
+  auto train_at = [&](int threads) {
+    ScopedParallelism scope(threads);
+    return Embedding::Train(corpus, cfg).ValueOrDie();
+  };
+  Embedding at1 = train_at(1);
+  Embedding at2 = train_at(2);
+  Embedding at8 = train_at(8);
+  ASSERT_EQ(at1.vocab_size(), at2.vocab_size());
+  ASSERT_EQ(at1.vocab_size(), at8.vocab_size());
+  const auto d = static_cast<std::size_t>(at1.dimension());
+  for (const std::string& word : at1.words()) {
+    const float* a = at1.VectorOf(word);
+    const float* b = at2.VectorOf(word);
+    const float* c = at8.VectorOf(word);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    for (std::size_t k = 0; k < d; ++k) {
+      ASSERT_EQ(a[k], b[k]) << word << " dim " << k;
+      ASSERT_EQ(a[k], c[k]) << word << " dim " << k;
+    }
+  }
 }
 
 TEST(EmbeddingTest, InTopicSimilarityBeatsCrossTopic) {
