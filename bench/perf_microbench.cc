@@ -11,12 +11,14 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "core/fault.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "dimeval/generators.h"
 #include "eval/harness.h"
 #include "lm/kernels.h"
 #include "lm/mock_llm.h"
+#include "lm/resilient_model.h"
 #include "lm/transformer.h"
 #include "mwp/equation.h"
 #include "text/levenshtein.h"
@@ -342,6 +344,42 @@ void BM_EvalDimEval(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvalDimEval)->DenseRange(1, 8);
+
+void BM_EvalDimEvalFaulty(benchmark::State& state) {
+  // Overhead of the resilience layer on the same choice-task evaluation:
+  // Arg(0) measures the clean fast path (no faults configured — the wrapper
+  // must cost <3% over BM_EvalDimEval/4), Arg(20) measures 20% transient
+  // faults with retries (every fault recovers; the row stays identical).
+  ScopedParallelism scope(4);
+  const int fault_pct = static_cast<int>(state.range(0));
+  if (fault_pct > 0) {
+    std::string spec = "lm.answer_choice:0." +
+                       std::to_string(fault_pct / 10) + ":transient";
+    if (!FaultRegistry::Global().Configure(spec).ok()) {
+      state.SkipWithError("bad fault spec");
+      return;
+    }
+  } else {
+    FaultRegistry::Global().Clear();
+  }
+  static const std::vector<dimeval::TaskInstance>* const kInstances = [] {
+    dimeval::TaskGenerator gen(benchutil::GetWorld().kb);
+    return new std::vector<dimeval::TaskInstance>(
+        gen.UnitConversion(96).ValueOrDie());
+  }();
+  std::vector<const dimeval::TaskInstance*> tests;
+  tests.reserve(kInstances->size());
+  for (const dimeval::TaskInstance& inst : *kInstances) {
+    tests.push_back(&inst);
+  }
+  lm::MockLlm mock("Bench", {{"unit_conversion", {0.6, 0.9}}});
+  lm::ResilientModel resilient(mock);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::EvaluateChoiceTask(resilient, tests));
+  }
+  FaultRegistry::Global().Clear();
+}
+BENCHMARK(BM_EvalDimEvalFaulty)->Arg(0)->Arg(20);
 
 }  // namespace
 

@@ -5,16 +5,42 @@
 // shape: DimPerc dominates dimension- and scale-perception tasks.
 
 #include <iostream>
+#include <string_view>
 
 #include "bench/common.h"
 #include "eval/harness.h"
+#include "eval/journal.h"
 #include "eval/table.h"
 #include "lm/mock_llm.h"
 #include "solver/dimperc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dimqr;
   using eval::TablePrinter;
+
+  // --journal=<path>: checkpoint each completed (model, task) evaluation;
+  // rerunning with the same path resumes, replaying journaled counts.
+  std::unique_ptr<eval::EvalJournal> journal;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--journal=", 0) == 0) {
+      auto opened = eval::EvalJournal::Open(std::string(arg.substr(10)));
+      if (!opened.ok()) {
+        std::cerr << "table07: " << opened.status().ToString() << "\n";
+        return 1;
+      }
+      journal = std::move(opened).ValueOrDie();
+      if (journal->loaded_records() > 0) {
+        std::cerr << "[table07] resuming: " << journal->loaded_records()
+                  << " journaled task(s) will be replayed\n";
+      }
+    } else {
+      std::cerr << "table07: unknown argument '" << arg
+                << "' (supported: --journal=<path>)\n";
+      return 1;
+    }
+  }
+
   const dimeval::DimEvalBenchmark& bench = benchutil::GetDimEval();
 
   std::cout << "=== Table VII: DimEval results ===\n"
@@ -24,7 +50,20 @@ int main() {
   TablePrinter table({"Model", "QE", "VE", "UE", "QK P", "QK F1", "Comp P",
                       "Comp F1", "DPred P", "DPred F1", "DArith P",
                       "DArith F1", "Mag P", "Mag F1", "Conv P", "Conv F1"});
-  auto add_row = [&table](const eval::DimEvalRow& row) {
+  // Incomplete tasks (permanent backend failure under fault injection)
+  // print an explicit "inc" marker: their partial counts are diagnostics,
+  // not results.
+  auto p_cell = [](const eval::ChoiceMetrics& m) {
+    return m.incomplete ? std::string("inc") : TablePrinter::Pct(m.Precision());
+  };
+  auto f1_cell = [](const eval::ChoiceMetrics& m) {
+    return m.incomplete ? std::string("inc") : TablePrinter::Pct(m.F1());
+  };
+  auto qe_cell = [](const eval::DimEvalRow& row, double value) {
+    return row.extraction_incomplete ? std::string("inc")
+                                     : TablePrinter::Pct(value);
+  };
+  auto add_row = [&](const eval::DimEvalRow& row) {
     using namespace lm::tasks;
     auto& qk = row.choice.at(kQuantityKindMatch);
     auto& comp = row.choice.at(kComparableAnalysis);
@@ -32,18 +71,12 @@ int main() {
     auto& darith = row.choice.at(kDimensionArithmetic);
     auto& mag = row.choice.at(kMagnitudeComparison);
     auto& conv = row.choice.at(kUnitConversion);
-    table.AddRow({row.model, TablePrinter::Pct(row.qe_f1),
-                  TablePrinter::Pct(row.ve_f1), TablePrinter::Pct(row.ue_f1),
-                  TablePrinter::Pct(qk.Precision()), TablePrinter::Pct(qk.F1()),
-                  TablePrinter::Pct(comp.Precision()),
-                  TablePrinter::Pct(comp.F1()),
-                  TablePrinter::Pct(dpred.Precision()),
-                  TablePrinter::Pct(dpred.F1()),
-                  TablePrinter::Pct(darith.Precision()),
-                  TablePrinter::Pct(darith.F1()),
-                  TablePrinter::Pct(mag.Precision()), TablePrinter::Pct(mag.F1()),
-                  TablePrinter::Pct(conv.Precision()),
-                  TablePrinter::Pct(conv.F1())});
+    table.AddRow({row.model, qe_cell(row, row.qe_f1),
+                  qe_cell(row, row.ve_f1), qe_cell(row, row.ue_f1),
+                  p_cell(qk), f1_cell(qk), p_cell(comp), f1_cell(comp),
+                  p_cell(dpred), f1_cell(dpred), p_cell(darith),
+                  f1_cell(darith), p_cell(mag), f1_cell(mag), p_cell(conv),
+                  f1_cell(conv)});
   };
 
   std::vector<eval::DimEvalRow> baseline_rows;
@@ -51,7 +84,8 @@ int main() {
     // Skip the Table IX-only supervised models (no DimEval profiles).
     if (model->name() == "BertGen" || model->name() == "LLaMa") continue;
     std::cerr << "[table07] evaluating " << model->name() << "...\n";
-    baseline_rows.push_back(eval::EvaluateOnDimEval(*model, bench));
+    baseline_rows.push_back(
+        eval::EvaluateOnDimEval(*model, bench, nullptr, journal.get()));
     add_row(baseline_rows.back());
   }
 
@@ -65,7 +99,7 @@ int main() {
   eval::Extractor extractor =
       eval::AnnotatorExtractor(*benchutil::GetWorld().annotator);
   eval::DimEvalRow dimperc_row =
-      eval::EvaluateOnDimEval(dimperc, bench, &extractor);
+      eval::EvaluateOnDimEval(dimperc, bench, &extractor, journal.get());
   table.AddSeparator();
   add_row(dimperc_row);
   table.Print(std::cout);

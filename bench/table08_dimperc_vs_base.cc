@@ -5,17 +5,43 @@
 // (Section IV-D). The expected shape: large gains in every category.
 
 #include <iostream>
+#include <string_view>
 
 #include "bench/common.h"
 #include "solver/dimperc.h"
 #include "eval/harness.h"
+#include "eval/journal.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dimqr;
   using benchutil::GetDimEval;
   using benchutil::GetWorld;
   using eval::TablePrinter;
+
+  // --journal=<path>: checkpoint/resume per completed (model, task); see
+  // eval/journal.h. (Training itself is fast here; the journal covers the
+  // evaluation passes.)
+  std::unique_ptr<eval::EvalJournal> journal;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--journal=", 0) == 0) {
+      auto opened = eval::EvalJournal::Open(std::string(arg.substr(10)));
+      if (!opened.ok()) {
+        std::cerr << "table08: " << opened.status().ToString() << "\n";
+        return 1;
+      }
+      journal = std::move(opened).ValueOrDie();
+      if (journal->loaded_records() > 0) {
+        std::cerr << "[table08] resuming: " << journal->loaded_records()
+                  << " journaled task(s) will be replayed\n";
+      }
+    } else {
+      std::cerr << "table08: unknown argument '" << arg
+                << "' (supported: --journal=<path>)\n";
+      return 1;
+    }
+  }
 
   const dimeval::DimEvalBenchmark& bench = GetDimEval();
   solver::Seq2SeqConfig config = benchutil::BenchModelConfig();
@@ -49,9 +75,10 @@ int main() {
   solver::DimPercPipeline dimperc("DimPerc", dimperc_seq);
   eval::Extractor annotator_extractor =
       eval::AnnotatorExtractor(*GetWorld().annotator);
-  eval::DimEvalRow base_row = eval::EvaluateOnDimEval(base, bench);
-  eval::DimEvalRow dimperc_row =
-      eval::EvaluateOnDimEval(dimperc, bench, &annotator_extractor);
+  eval::DimEvalRow base_row =
+      eval::EvaluateOnDimEval(base, bench, nullptr, journal.get());
+  eval::DimEvalRow dimperc_row = eval::EvaluateOnDimEval(
+      dimperc, bench, &annotator_extractor, journal.get());
 
   auto base_cats = eval::AggregateByCategory(base_row);
   auto dimperc_cats = eval::AggregateByCategory(dimperc_row);

@@ -61,16 +61,33 @@ Status ThreadPool::RunOneTask(const std::function<Status(int)>& task,
   }
 }
 
-void ThreadPool::DrainTasks(const std::function<Status(int)>& task, int total) {
+void ThreadPool::DrainTasks(const std::function<Status(int)>& task, int total,
+                            CancelMode cancel_mode) {
   for (;;) {
     int i = next_task_.fetch_add(1, std::memory_order_relaxed);
     if (i >= total) return;
-    Status st = RunOneTask(task, i);
-    if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(err_mu_);
-      if (err_status_.ok() || i < err_index_) {
-        err_index_ = i;
-        err_status_ = std::move(st);
+    // Cooperative cancellation: once some lower index has failed
+    // non-retryably, running this task can neither change the reported
+    // status (lowest index wins) nor produce output anyone will read, so
+    // skip straight to completion accounting.
+    const bool skip =
+        cancel_mode == CancelMode::kCancelOnPermanentError &&
+        i > cancel_above_.load(std::memory_order_acquire);
+    if (!skip) {
+      Status st = RunOneTask(task, i);
+      if (!st.ok()) {
+        if (cancel_mode == CancelMode::kCancelOnPermanentError &&
+            !IsRetryable(st.code())) {
+          int current = cancel_above_.load(std::memory_order_relaxed);
+          while (i < current && !cancel_above_.compare_exchange_weak(
+                                    current, i, std::memory_order_acq_rel)) {
+          }
+        }
+        std::lock_guard<std::mutex> lock(err_mu_);
+        if (err_status_.ok() || i < err_index_) {
+          err_index_ = i;
+          err_status_ = std::move(st);
+        }
       }
     }
     if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
@@ -85,6 +102,7 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     const std::function<Status(int)>* job = nullptr;
     int total = 0;
+    CancelMode cancel_mode = CancelMode::kRunAll;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
@@ -94,6 +112,7 @@ void ThreadPool::WorkerLoop() {
       seen_generation = generation_;
       job = job_;
       total = job_total_;
+      cancel_mode = job_cancel_mode_;
       // Registering as an active drainer under mu_ is what makes it safe for
       // Run() to reset the job state: Run() returns only once every drainer
       // has deregistered, so no stale worker can touch next_task_ afterwards.
@@ -102,26 +121,35 @@ void ThreadPool::WorkerLoop() {
     // job_ is cleared once a job completes; a worker that wakes late for an
     // already-finished generation simply goes back to waiting.
     if (job != nullptr) {
-      DrainTasks(*job, total);
+      DrainTasks(*job, total, cancel_mode);
       std::lock_guard<std::mutex> lock(mu_);
       if (--active_drainers_ == 0) done_cv_.notify_all();
     }
   }
 }
 
-Status ThreadPool::Run(int num_tasks, const std::function<Status(int)>& task) {
+Status ThreadPool::Run(int num_tasks, const std::function<Status(int)>& task,
+                       CancelMode cancel_mode) {
   if (num_tasks <= 0) return Status::OK();
   // Serial path: no workers to wake (or nothing worth waking them for).
-  // Runs every task — like the parallel path — so error reporting and side
-  // effects do not depend on the pool size.
+  // Runs tasks in index order, so the first non-retryable failure is
+  // already the lowest-indexed one and cancellation can stop immediately.
   if (workers_.empty() || num_tasks == 1) {
     int first_err_index = num_tasks;
     Status first_err;
     for (int i = 0; i < num_tasks; ++i) {
       Status st = RunOneTask(task, i);
-      if (!st.ok() && i < first_err_index) {
-        first_err_index = i;
-        first_err = std::move(st);
+      if (!st.ok()) {
+        const bool cancels =
+            cancel_mode == CancelMode::kCancelOnPermanentError &&
+            !IsRetryable(st.code());
+        if (i < first_err_index) {
+          first_err_index = i;
+          first_err = std::move(st);
+        }
+        // Every remaining index is higher, so none can win the
+        // lowest-indexed-failure rule: stop here.
+        if (cancels) break;
       }
     }
     return first_err;
@@ -131,8 +159,10 @@ Status ThreadPool::Run(int num_tasks, const std::function<Status(int)>& task) {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &task;
     job_total_ = num_tasks;
+    job_cancel_mode_ = cancel_mode;
     next_task_.store(0, std::memory_order_relaxed);
     completed_.store(0, std::memory_order_relaxed);
+    cancel_above_.store(num_tasks, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> err_lock(err_mu_);
       err_index_ = num_tasks;
@@ -143,7 +173,7 @@ Status ThreadPool::Run(int num_tasks, const std::function<Status(int)>& task) {
   work_cv_.notify_all();
 
   // The calling thread is an executor too.
-  DrainTasks(task, num_tasks);
+  DrainTasks(task, num_tasks, cancel_mode);
 
   Status result;
   {
@@ -186,15 +216,18 @@ std::int64_t DefaultGrain(std::int64_t n) {
 Status ParallelFor(
     std::int64_t n,
     const std::function<Status(std::int64_t, std::int64_t, int)>& body,
-    std::int64_t grain) {
+    std::int64_t grain, CancelMode cancel_mode) {
   if (n <= 0) return Status::OK();
   if (grain <= 0) grain = DefaultGrain(n);
   const int chunks = NumChunks(n, grain);
-  return GlobalPool().Run(chunks, [&](int chunk) -> Status {
-    const std::int64_t begin = static_cast<std::int64_t>(chunk) * grain;
-    const std::int64_t end = std::min(n, begin + grain);
-    return body(begin, end, chunk);
-  });
+  return GlobalPool().Run(
+      chunks,
+      [&](int chunk) -> Status {
+        const std::int64_t begin = static_cast<std::int64_t>(chunk) * grain;
+        const std::int64_t end = std::min(n, begin + grain);
+        return body(begin, end, chunk);
+      },
+      cancel_mode);
 }
 
 }  // namespace dimqr

@@ -31,10 +31,29 @@
 /// Errors follow the repo convention: chunk bodies return `Status`, the pool
 /// never lets an exception escape a worker (it is converted to an Internal
 /// status at the pool boundary), and when several chunks fail the status of
-/// the lowest-indexed failing chunk is returned. All scheduled chunks run to
-/// completion even after a failure, so side effects and error reporting stay
-/// deterministic.
+/// the lowest-indexed failing chunk is returned. By default all scheduled
+/// chunks run to completion even after a failure, so side effects and error
+/// reporting stay deterministic; `CancelMode::kCancelOnPermanentError` opts
+/// a loop into cooperative cancellation instead (see below).
 namespace dimqr {
+
+/// \brief What a parallel loop does with not-yet-started chunks once a
+/// chunk has failed.
+///
+/// kRunAll (the default) runs everything: side effects and error reporting
+/// are identical at every thread count. kCancelOnPermanentError skips any
+/// chunk whose index is *greater* than the lowest-indexed chunk that failed
+/// with a non-retryable status (`!IsRetryable(code)`); retryable failures
+/// (kUnavailable, kDeadlineExceeded) never cancel. Because only
+/// higher-indexed chunks are skipped, the lowest-indexed-failure rule is
+/// preserved exactly — cancellation can change *which side effects happen*
+/// (skipped chunks never run, and that set depends on scheduling), never
+/// which status is returned. Use it only where the loop's output is
+/// discarded on failure anyway (e.g. a doomed evaluation task).
+enum class CancelMode : std::uint8_t {
+  kRunAll = 0,
+  kCancelOnPermanentError,
+};
 
 /// \brief A fixed-size pool of worker threads executing indexed task sets.
 ///
@@ -62,13 +81,16 @@ class ThreadPool {
   ///
   /// Tasks are claimed dynamically (any thread may run any index), so the
   /// bodies must only write to index-addressed slots. Returns the status of
-  /// the lowest-indexed failing task, or OK.
-  Status Run(int num_tasks, const std::function<Status(int)>& task);
+  /// the lowest-indexed failing task, or OK. In kCancelOnPermanentError
+  /// mode, tasks above the lowest non-retryable failure are skipped.
+  Status Run(int num_tasks, const std::function<Status(int)>& task,
+             CancelMode cancel_mode = CancelMode::kRunAll);
 
  private:
   void WorkerLoop();
   /// Claims and runs tasks from the current job until none remain.
-  void DrainTasks(const std::function<Status(int)>& task, int total);
+  void DrainTasks(const std::function<Status(int)>& task, int total,
+                  CancelMode cancel_mode);
   /// Runs one task, converting any escaped exception into a Status.
   static Status RunOneTask(const std::function<Status(int)>& task, int index);
 
@@ -83,8 +105,12 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   const std::function<Status(int)>* job_ = nullptr;
   int job_total_ = 0;
+  CancelMode job_cancel_mode_ = CancelMode::kRunAll;
   std::atomic<int> next_task_{0};
   std::atomic<int> completed_{0};
+  /// Lowest index that failed non-retryably in the current job; tasks above
+  /// it are skipped when the job runs in kCancelOnPermanentError mode.
+  std::atomic<int> cancel_above_{0};
   /// Workers currently inside DrainTasks (guarded by mu_). Run() waits for
   /// this to reach zero before resetting job state, so no stale worker can
   /// claim an index from a later job.
@@ -142,12 +168,14 @@ inline int NumChunks(std::int64_t n, std::int64_t grain) {
 ///
 /// `grain` is the maximum chunk length; pass 0 for DefaultGrain(n). Chunk
 /// `c` covers [c*grain, min(n, (c+1)*grain)). Returns the status of the
-/// lowest-indexed failing chunk, or OK.
+/// lowest-indexed failing chunk, or OK. `cancel_mode` controls whether
+/// chunks above a permanent (non-retryable) failure still run; see
+/// CancelMode.
 Status ParallelFor(
     std::int64_t n,
     const std::function<Status(std::int64_t begin, std::int64_t end,
                                int chunk)>& body,
-    std::int64_t grain = 0);
+    std::int64_t grain = 0, CancelMode cancel_mode = CancelMode::kRunAll);
 
 /// \brief Map-reduce with deterministic, index-ordered reduction.
 ///

@@ -30,16 +30,29 @@ enum class StatusCode : std::uint8_t {
   kDimensionMismatch, ///< A dimension-law violation (add/compare across dims).
   kIOError,           ///< Filesystem or serialization failure.
   kInternal,          ///< Invariant violation inside the library.
+  kUnavailable,       ///< Transient backend failure; safe to retry.
+  kDeadlineExceeded,  ///< A (simulated) deadline elapsed; safe to retry.
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
 std::string_view StatusCodeToString(StatusCode code);
 
+/// \brief True for the codes a resilient caller may retry (the failure is a
+/// property of the attempt, not of the request): kUnavailable and
+/// kDeadlineExceeded. Everything else — including kInternal — is permanent:
+/// retrying the same request can only fail the same way.
+constexpr bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
 /// \brief The outcome of a fallible operation with no payload.
 ///
 /// A default-constructed Status is OK. Error statuses carry a code and a
 /// message. Statuses are value types: copyable, movable, comparable on code.
-class Status {
+/// Marked [[nodiscard]]: silently dropping a Status return hides failures,
+/// so every call site must consume (or explicitly void-cast) it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -74,6 +87,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -103,7 +122,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// Mirrors arrow::Result. Accessing the value of an errored Result aborts,
 /// so callers must check `ok()` first (or use `ValueOr`).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -158,6 +177,11 @@ class Result {
 
   std::variant<Status, T> payload_;
 };
+
+/// \brief Familiar spelling for a Status-or-value return (absl/grpc idiom);
+/// exactly Result<T>.
+template <typename T>
+using StatusOr = Result<T>;
 
 namespace internal {
 [[noreturn]] void AbortWithMessage(const std::string& why);

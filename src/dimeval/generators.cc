@@ -83,6 +83,10 @@ Result<std::vector<TaskInstance>> GenerateSlots(
     const std::function<bool(Rng&, std::size_t, TaskInstance&)>& attempt,
     const char* what) {
   std::vector<TaskInstance> out(static_cast<std::size_t>(n));
+  // Exhausted slots are recorded, not failed mid-loop: every slot runs, so
+  // the error (if any) reports exactly how many instances were lost rather
+  // than aborting at the first casualty with no count.
+  std::vector<std::uint8_t> exhausted(static_cast<std::size_t>(n), 0);
   Status st = ParallelFor(
       n, [&](std::int64_t begin, std::int64_t end, int) -> Status {
         for (std::int64_t i = begin; i < end; ++i) {
@@ -92,14 +96,23 @@ Result<std::vector<TaskInstance>> GenerateSlots(
           for (int a = 0; a < max_attempts && !filled; ++a) {
             filled = attempt(rng, slot, out[slot]);
           }
-          if (!filled) {
-            return Status::Internal(
-                std::string("could not generate enough ") + what);
-          }
+          if (!filled) exhausted[slot] = 1;
         }
         return Status::OK();
       });
   DIMQR_RETURN_NOT_OK(st);
+  int lost = 0;
+  for (std::uint8_t e : exhausted) lost += e;
+  if (lost > 0) {
+    std::fprintf(stderr,
+                 "dimqr: %s generator: %d of %d slots exhausted the "
+                 "sampling retry budget (max_attempts=%d)\n",
+                 what, lost, n, max_attempts);
+    return Status::Internal(std::string("could not generate enough ") +
+                            what + ": " + std::to_string(lost) + " of " +
+                            std::to_string(n) +
+                            " slots exhausted the sampling retry budget");
+  }
   return out;
 }
 

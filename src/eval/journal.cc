@@ -1,0 +1,142 @@
+#include "eval/journal.h"
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace dimqr::eval {
+
+namespace {
+
+/// Record type tags (first field of every line).
+constexpr std::string_view kChoiceTag = "choice";
+constexpr std::string_view kExtractionTag = "extraction";
+
+/// Splits a journal line on tabs. Model names may contain spaces but never
+/// tabs, which is why the format is tab-separated.
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '\t') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+/// Strict non-negative integer parse; false on any stray character, so a
+/// record torn mid-number is rejected as a whole.
+bool ParseCount(std::string_view text, std::size_t* out) {
+  if (text.empty()) return false;
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EvalJournal>> EvalJournal::Open(
+    const std::string& path) {
+  auto journal = std::unique_ptr<EvalJournal>(new EvalJournal());
+  {
+    std::ifstream in(path);
+    if (in.is_open()) {
+      std::string line;
+      while (std::getline(in, line)) journal->LoadLine(line);
+    }
+  }
+  journal->out_.open(path, std::ios::out | std::ios::app);
+  if (!journal->out_.is_open()) {
+    return Status::IOError("cannot open journal file for append: " + path);
+  }
+  return journal;
+}
+
+void EvalJournal::LoadLine(const std::string& line) {
+  std::vector<std::string_view> fields = SplitFields(line);
+  if (fields.size() < 3) return;
+  Key key{std::string(fields[1]), std::string(fields[2])};
+  if (fields[0] == kChoiceTag && fields.size() == 8) {
+    ChoiceMetrics m;
+    if (ParseCount(fields[3], &m.total) &&
+        ParseCount(fields[4], &m.answered) &&
+        ParseCount(fields[5], &m.correct) &&
+        ParseCount(fields[6], &m.declined_after_retry) &&
+        ParseCount(fields[7], &m.failed)) {
+      choice_[std::move(key)] = m;  // Duplicate key: latest record wins.
+      ++loaded_records_;
+    }
+  } else if (fields[0] == kExtractionTag && fields.size() == 12) {
+    ExtractionMetrics m;
+    if (ParseCount(fields[3], &m.qe.true_positive) &&
+        ParseCount(fields[4], &m.qe.false_positive) &&
+        ParseCount(fields[5], &m.qe.false_negative) &&
+        ParseCount(fields[6], &m.ve.true_positive) &&
+        ParseCount(fields[7], &m.ve.false_positive) &&
+        ParseCount(fields[8], &m.ve.false_negative) &&
+        ParseCount(fields[9], &m.ue.true_positive) &&
+        ParseCount(fields[10], &m.ue.false_positive) &&
+        ParseCount(fields[11], &m.ue.false_negative)) {
+      extraction_[std::move(key)] = m;
+      ++loaded_records_;
+    }
+  }
+}
+
+bool EvalJournal::LookupChoice(const std::string& model,
+                               const std::string& task,
+                               ChoiceMetrics* out) const {
+  auto it = choice_.find(Key{model, task});
+  if (it == choice_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool EvalJournal::LookupExtraction(const std::string& model,
+                                   const std::string& task,
+                                   ExtractionMetrics* out) const {
+  auto it = extraction_.find(Key{model, task});
+  if (it == extraction_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+Status EvalJournal::RecordChoice(const std::string& model,
+                                 const std::string& task,
+                                 const ChoiceMetrics& metrics) {
+  if (metrics.incomplete) {
+    return Status::InvalidArgument(
+        "refusing to journal an incomplete task: " + task);
+  }
+  out_ << kChoiceTag << '\t' << model << '\t' << task << '\t' << metrics.total
+       << '\t' << metrics.answered << '\t' << metrics.correct << '\t'
+       << metrics.declined_after_retry << '\t' << metrics.failed << '\n';
+  out_.flush();
+  if (!out_.good()) return Status::IOError("journal write failed: " + task);
+  choice_[Key{model, task}] = metrics;
+  return Status::OK();
+}
+
+Status EvalJournal::RecordExtraction(const std::string& model,
+                                     const std::string& task,
+                                     const ExtractionMetrics& metrics) {
+  out_ << kExtractionTag << '\t' << model << '\t' << task << '\t'
+       << metrics.qe.true_positive << '\t' << metrics.qe.false_positive
+       << '\t' << metrics.qe.false_negative << '\t'
+       << metrics.ve.true_positive << '\t' << metrics.ve.false_positive
+       << '\t' << metrics.ve.false_negative << '\t'
+       << metrics.ue.true_positive << '\t' << metrics.ue.false_positive
+       << '\t' << metrics.ue.false_negative << '\n';
+  out_.flush();
+  if (!out_.good()) return Status::IOError("journal write failed: " + task);
+  extraction_[Key{model, task}] = metrics;
+  return Status::OK();
+}
+
+}  // namespace dimqr::eval

@@ -1,0 +1,74 @@
+#ifndef DIMQR_EVAL_JOURNAL_H_
+#define DIMQR_EVAL_JOURNAL_H_
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/status.h"
+#include "eval/metrics.h"
+
+/// \file journal.h
+/// Checkpoint/resume for the long-running table binaries. The journal is an
+/// append-only text file with one record per *completed* evaluation task,
+/// keyed by (model name, task key). A rerun pointed at the same file skips
+/// every journaled task and replays its stored counts instead, so a run
+/// killed halfway resumes where it stopped — and because the records are
+/// exact integer counts (derived percentages are recomputed, never stored),
+/// the resumed run's final table is byte-identical to an uninterrupted one.
+///
+/// Only complete tasks are journaled: a task marked incomplete by a
+/// permanent backend failure is retried from scratch on resume. Each record
+/// is flushed as soon as its task finishes; a record torn mid-write by a
+/// kill (at most the last line) fails to parse and is ignored on load.
+
+namespace dimqr::eval {
+
+/// \brief The journal file: loaded on open, appended as tasks complete.
+class EvalJournal {
+ public:
+  /// \brief Opens `path` for append, first loading any records a previous
+  /// (possibly killed) run left behind. Unparseable lines — a torn trailing
+  /// record — are skipped. Fails only if the file cannot be opened for
+  /// writing.
+  static Result<std::unique_ptr<EvalJournal>> Open(const std::string& path);
+
+  /// \brief Replays a journaled choice-task record into `*out`. Returns
+  /// false (leaving `*out` untouched) when no record exists.
+  bool LookupChoice(const std::string& model, const std::string& task,
+                    ChoiceMetrics* out) const;
+
+  /// Same for the extraction task's component counts.
+  bool LookupExtraction(const std::string& model, const std::string& task,
+                        ExtractionMetrics* out) const;
+
+  /// \brief Appends one completed choice task and flushes, so the record
+  /// survives a kill immediately after. Incomplete tasks must not be
+  /// recorded (their counts are scheduling-dependent diagnostics).
+  Status RecordChoice(const std::string& model, const std::string& task,
+                      const ChoiceMetrics& metrics);
+
+  /// Same for the extraction task.
+  Status RecordExtraction(const std::string& model, const std::string& task,
+                          const ExtractionMetrics& metrics);
+
+  /// Records loaded from a pre-existing file (resume diagnostics).
+  std::size_t loaded_records() const { return loaded_records_; }
+
+ private:
+  using Key = std::pair<std::string, std::string>;  ///< (model, task).
+
+  EvalJournal() = default;
+  void LoadLine(const std::string& line);
+
+  std::map<Key, ChoiceMetrics> choice_;
+  std::map<Key, ExtractionMetrics> extraction_;
+  std::ofstream out_;
+  std::size_t loaded_records_ = 0;
+};
+
+}  // namespace dimqr::eval
+
+#endif  // DIMQR_EVAL_JOURNAL_H_

@@ -19,10 +19,23 @@
 namespace dimqr::eval {
 
 /// \brief Counts and derived metrics for a choice task.
+///
+/// Failure accounting (PR: resilience layer): `declined_after_retry` is the
+/// subset of unanswered instances where the resilience layer exhausted its
+/// retry budget against transient backend faults and degraded to a decline
+/// — scored exactly like a model decline (outside precision, inside
+/// recall). `failed` counts instances whose backend failed *permanently*;
+/// any such instance sets `incomplete`, and an incomplete task's counts are
+/// diagnostics only (evaluation cancels cooperatively, so how many
+/// instances ran before the failure depends on scheduling — the tables
+/// print an "inc" marker instead of numbers).
 struct ChoiceMetrics {
   std::size_t total = 0;
   std::size_t answered = 0;
   std::size_t correct = 0;
+  std::size_t declined_after_retry = 0;
+  std::size_t failed = 0;
+  bool incomplete = false;
 
   double Precision() const {
     return answered == 0 ? 0.0
@@ -43,6 +56,9 @@ struct ChoiceMetrics {
     total += other.total;
     answered += other.answered;
     correct += other.correct;
+    declined_after_retry += other.declined_after_retry;
+    failed += other.failed;
+    incomplete = incomplete || other.incomplete;
     return *this;
   }
 };

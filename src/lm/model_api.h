@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
+
 /// \file model_api.h
 /// The model-under-evaluation interface shared by the DimEval and Q-MWP
 /// harnesses. Two shapes cover every experiment: multiple-choice questions
@@ -39,10 +41,19 @@ struct TextQuestion {
 
 /// \brief The answer to a choice question; index -1 means the model
 /// declined ("LLMs still tend to refrain from providing responses",
-/// Section VI-E1) — scored as answered-wrong for precision but missing for
-/// recall/F1.
+/// Section VI-E1). Declines are excluded from the precision denominator
+/// (correct/answered) but count against recall (correct/total), so they
+/// depress F1 without depressing precision — the Table VII phenomenon.
+///
+/// `failure` distinguishes *why* nothing came back: kOk means the model
+/// itself declined; a retryable code (kUnavailable/kDeadlineExceeded) means
+/// the resilience layer exhausted its retry budget against transient
+/// backend faults and degraded to a decline; any other code (kInternal)
+/// means the backend failed permanently — the harness marks the task
+/// incomplete instead of folding the instance into metrics.
 struct ChoiceAnswer {
   int index = -1;
+  StatusCode failure = StatusCode::kOk;
   bool answered() const { return index >= 0; }
 };
 

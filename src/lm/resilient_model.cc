@@ -1,0 +1,222 @@
+#include "lm/resilient_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/rng.h"
+
+namespace dimqr::lm {
+
+namespace {
+
+/// Backoff before retry `attempt` (0-based): initial * multiplier^attempt,
+/// capped. Pure arithmetic on the simulated clock.
+std::uint64_t BackoffTicks(const RetryPolicy& retry, int attempt) {
+  double ticks = static_cast<double>(retry.initial_backoff_ticks) *
+                 std::pow(retry.backoff_multiplier, attempt);
+  double cap = static_cast<double>(retry.max_backoff_ticks);
+  return static_cast<std::uint64_t>(std::min(std::max(ticks, 0.0), cap));
+}
+
+}  // namespace
+
+ResilientModel::ResilientModel(Model& inner, RetryPolicy retry,
+                               CircuitBreakerPolicy breaker)
+    : inner_(inner), retry_(retry), breaker_(breaker) {}
+
+bool ResilientModel::BreakerOpen(const std::string& task) {
+  if (!breaker_.enabled ||
+      !breaker_active_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  auto it = breakers_.find(task);
+  return it != breakers_.end() && it->second.open;
+}
+
+void ResilientModel::BreakerRecordFailure(const std::string& task) {
+  if (!breaker_.enabled) return;
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  breaker_active_.store(true, std::memory_order_release);
+  BreakerState& state = breakers_[task];
+  if (++state.consecutive_failures >= breaker_.trip_after) state.open = true;
+}
+
+void ResilientModel::BreakerRecordSuccess(const std::string& task) {
+  if (!breaker_.enabled ||
+      !breaker_active_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  auto it = breakers_.find(task);
+  if (it != breakers_.end()) {
+    it->second.consecutive_failures = 0;
+    it->second.open = false;
+  }
+}
+
+ResilientModel::TransportOutcome ResilientModel::Transport(
+    const FaultSite& site, const std::string& task,
+    std::uint64_t instance_seed) {
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+
+  // Fast path: nothing configured, nothing tripped — one virtual call away
+  // from the bare model.
+  if (!FaultRegistry::Global().Active() &&
+      !breaker_active_.load(std::memory_order_acquire)) {
+    stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+
+  if (BreakerOpen(task)) {
+    stats_.short_circuits.fetch_add(1, std::memory_order_relaxed);
+    return {.failure = StatusCode::kInternal, .garbled = false};
+  }
+
+  // Ticks are accumulated locally per call and summed into the atomics at
+  // the end, so totals are order-independent across threads.
+  std::uint64_t local_latency = 0;
+  std::uint64_t local_backoff = 0;
+  TransportOutcome outcome;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    FaultDecision decision = site.Evaluate(instance_seed, attempt);
+    switch (decision.kind) {
+      case FaultKind::kNone:
+        outcome.failure = StatusCode::kOk;
+        goto done;
+      case FaultKind::kLatency:
+        local_latency += static_cast<std::uint64_t>(decision.latency_ticks);
+        if (retry_.deadline_ticks > 0 &&
+            static_cast<std::uint64_t>(decision.latency_ticks) >=
+                retry_.deadline_ticks) {
+          // The attempt timed out: retryable, like a transient fault.
+          stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+          outcome.failure = StatusCode::kDeadlineExceeded;
+          break;
+        }
+        outcome.failure = StatusCode::kOk;
+        goto done;
+      case FaultKind::kGarbled:
+        stats_.garbled.fetch_add(1, std::memory_order_relaxed);
+        outcome.failure = StatusCode::kOk;
+        outcome.garbled = true;
+        goto done;
+      case FaultKind::kTransient:
+        outcome.failure = StatusCode::kUnavailable;
+        break;
+      case FaultKind::kPermanent:
+        stats_.permanent_failures.fetch_add(1, std::memory_order_relaxed);
+        BreakerRecordFailure(task);
+        outcome.failure = StatusCode::kInternal;
+        goto done;
+    }
+    // Retryable failure: back off (on the simulated clock) and loop.
+    if (attempt + 1 < retry_.max_attempts) {
+      stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      local_backoff += BackoffTicks(retry_, attempt);
+    }
+  }
+  // Retry budget exhausted on a retryable failure: degrade to a decline.
+  stats_.declines.fetch_add(1, std::memory_order_relaxed);
+
+done:
+  if (outcome.failure == StatusCode::kOk) BreakerRecordSuccess(task);
+  if (local_latency > 0) {
+    stats_.latency_ticks.fetch_add(local_latency, std::memory_order_relaxed);
+  }
+  if (local_backoff > 0) {
+    stats_.backoff_ticks.fetch_add(local_backoff, std::memory_order_relaxed);
+  }
+  return outcome;
+}
+
+ChoiceAnswer ResilientModel::AnswerChoice(const ChoiceQuestion& question) {
+  TransportOutcome outcome = Transport(FAULT_POINT("lm.answer_choice"),
+                                       question.task, question.instance_seed);
+  if (outcome.failure != StatusCode::kOk) {
+    ChoiceAnswer declined;
+    declined.failure = outcome.failure;
+    return declined;
+  }
+  ChoiceAnswer answer = inner_.AnswerChoice(question);
+  if (outcome.garbled && !question.choices.empty()) {
+    // Corrupted payload: the parsed answer is a uniformly random choice,
+    // drawn deterministically from the instance seed.
+    Rng rng(Rng::DeriveSeed(question.instance_seed, "fault.garble"));
+    answer.index = static_cast<int>(rng.Index(question.choices.size()));
+    answer.failure = StatusCode::kOk;
+  }
+  return answer;
+}
+
+std::string ResilientModel::AnswerText(const TextQuestion& question) {
+  TransportOutcome outcome = Transport(FAULT_POINT("lm.answer_text"),
+                                       question.task, question.instance_seed);
+  if (outcome.failure != StatusCode::kOk) return "";
+  std::string text = inner_.AnswerText(question);
+  if (outcome.garbled && !text.empty()) {
+    // Corrupted payload: deterministically shuffle the characters, which
+    // reliably breaks equation parsing downstream without changing length.
+    Rng rng(Rng::DeriveSeed(question.instance_seed, "fault.garble"));
+    std::vector<char> chars(text.begin(), text.end());
+    rng.Shuffle(chars);
+    text.assign(chars.begin(), chars.end());
+  }
+  return text;
+}
+
+std::vector<ExtractedQuantity> ResilientModel::ExtractQuantities(
+    const ExtractionQuestion& question) {
+  TransportOutcome outcome =
+      Transport(FAULT_POINT("lm.extract_quantities"), "quantity_extraction",
+                question.instance_seed);
+  if (outcome.failure != StatusCode::kOk) return {};
+  std::vector<ExtractedQuantity> predictions =
+      inner_.ExtractQuantities(question);
+  if (outcome.garbled && !predictions.empty()) {
+    // Corrupted payload: drop a deterministic prediction and swap a
+    // value/unit pair so both precision and recall see the damage.
+    Rng rng(Rng::DeriveSeed(question.instance_seed, "fault.garble"));
+    predictions.erase(predictions.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          rng.Index(predictions.size())));
+    if (!predictions.empty()) {
+      ExtractedQuantity& victim =
+          predictions[rng.Index(predictions.size())];
+      std::swap(victim.value, victim.unit);
+    }
+  }
+  return predictions;
+}
+
+std::string ResilientModel::StatsSummary() const {
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "calls=%llu attempts=%llu retries=%llu declines=%llu permanent=%llu "
+      "garbled=%llu short_circuits=%llu latency_ticks=%llu "
+      "backoff_ticks=%llu",
+      static_cast<unsigned long long>(
+          stats_.calls.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats_.attempts.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats_.retries.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats_.declines.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats_.permanent_failures.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats_.garbled.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats_.short_circuits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats_.latency_ticks.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats_.backoff_ticks.load(std::memory_order_relaxed)));
+  return buffer;
+}
+
+}  // namespace dimqr::lm

@@ -1,0 +1,141 @@
+#ifndef DIMQR_LM_RESILIENT_MODEL_H_
+#define DIMQR_LM_RESILIENT_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "lm/model_api.h"
+
+/// \file resilient_model.h
+/// A Model decorator that makes the evaluation harness survive a flaky
+/// backend: bounded retry with exponential backoff on a *simulated* clock,
+/// a per-task circuit breaker, and graceful degradation (decline / empty
+/// text) when the retry budget runs out.
+///
+/// The "transport" between this wrapper and the wrapped model is where the
+/// fault points live (`lm.answer_choice`, `lm.answer_text`,
+/// `lm.extract_quantities`): every attempt first consults the global
+/// FaultRegistry, so chaos runs exercise exactly the code paths a real
+/// remote backend would. With no faults configured the wrapper is a thin
+/// passthrough (one counter increment and one virtual call of overhead;
+/// BM_EvalDimEvalFaulty pins this below 3%).
+///
+/// Determinism: fault decisions are pure in (site, instance_seed, attempt),
+/// backoff advances a per-call tick counter rather than sleeping, and all
+/// shared statistics are order-independent sums — so evaluation through
+/// this wrapper stays bit-for-bit identical at every DIMQR_THREADS setting.
+
+namespace dimqr::lm {
+
+/// \brief Retry/backoff knobs. Backoff is measured in simulated clock
+/// ticks: attempt k waits min(initial * multiplier^k, max) ticks. Ticks are
+/// accounted (ResilienceStats::backoff_ticks), never slept.
+struct RetryPolicy {
+  int max_attempts = 4;  ///< Total attempts per call (1 = no retries).
+  std::uint64_t initial_backoff_ticks = 1;
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_ticks = 64;
+  /// When > 0, an attempt whose injected latency reaches this budget fails
+  /// with kDeadlineExceeded (retryable). 0 disables the deadline.
+  std::uint64_t deadline_ticks = 0;
+};
+
+/// \brief Per-task circuit breaker: after `trip_after` consecutive
+/// permanent failures on one task key, further calls for that task are
+/// short-circuited to an immediate permanent failure (no attempts, no
+/// backoff) until a success on that task resets it.
+///
+/// Note the breaker trades work for fidelity: short-circuited calls never
+/// reach the backend, so *which* calls it rejects depends on scheduling.
+/// That is safe here because the breaker only opens under permanent
+/// failures, and the harness already discards per-instance results for a
+/// task once any instance fails permanently (the task is incomplete).
+struct CircuitBreakerPolicy {
+  bool enabled = true;
+  int trip_after = 8;
+};
+
+/// \brief Monotonic counters describing what the resilience layer did.
+/// All sums, so concurrent evaluation order cannot change the totals.
+struct ResilienceStats {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> attempts{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> declines{0};  ///< Retry budget exhausted.
+  std::atomic<std::uint64_t> permanent_failures{0};
+  std::atomic<std::uint64_t> garbled{0};
+  std::atomic<std::uint64_t> latency_ticks{0};
+  std::atomic<std::uint64_t> backoff_ticks{0};
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  std::atomic<std::uint64_t> short_circuits{0};  ///< Breaker rejections.
+};
+
+/// \brief The decorator. Does not own the wrapped model.
+class ResilientModel : public Model {
+ public:
+  explicit ResilientModel(Model& inner, RetryPolicy retry = {},
+                          CircuitBreakerPolicy breaker = {});
+
+  const std::string& name() const override { return inner_.name(); }
+
+  /// Answers through the faultable transport. On transient exhaustion
+  /// returns a decline with failure = kUnavailable (or kDeadlineExceeded);
+  /// on a permanent fault returns a decline with failure = kInternal.
+  ChoiceAnswer AnswerChoice(const ChoiceQuestion& question) override;
+
+  /// Same policy for free text; any failure degrades to "" (declined).
+  std::string AnswerText(const TextQuestion& question) override;
+
+  /// Same policy for extraction; any failure degrades to no predictions.
+  std::vector<ExtractedQuantity> ExtractQuantities(
+      const ExtractionQuestion& question) override;
+
+  /// Thread-safety is the wrapped model's: the wrapper itself only touches
+  /// atomics and a mutex-guarded breaker map.
+  bool SupportsParallelEval() const override {
+    return inner_.SupportsParallelEval();
+  }
+
+  const ResilienceStats& stats() const { return stats_; }
+
+  /// One-line human-readable counter dump for diagnostics.
+  std::string StatsSummary() const;
+
+ private:
+  /// The simulated transport: evaluates `site` per attempt, applies
+  /// retry/backoff/breaker policy, and reports how the call ended.
+  struct TransportOutcome {
+    StatusCode failure = StatusCode::kOk;
+    bool garbled = false;
+  };
+  TransportOutcome Transport(const FaultSite& site, const std::string& task,
+                             std::uint64_t instance_seed);
+
+  bool BreakerOpen(const std::string& task);
+  void BreakerRecordFailure(const std::string& task);
+  void BreakerRecordSuccess(const std::string& task);
+
+  Model& inner_;
+  RetryPolicy retry_;
+  CircuitBreakerPolicy breaker_;
+  ResilienceStats stats_;
+
+  struct BreakerState {
+    int consecutive_failures = 0;
+    bool open = false;
+  };
+  std::mutex breaker_mu_;
+  std::map<std::string, BreakerState, std::less<>> breakers_;
+  /// Fast-path guard: true once any breaker entry exists, so clean calls
+  /// never take breaker_mu_.
+  std::atomic<bool> breaker_active_{false};
+};
+
+}  // namespace dimqr::lm
+
+#endif  // DIMQR_LM_RESILIENT_MODEL_H_

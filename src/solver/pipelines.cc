@@ -1,9 +1,11 @@
 #include "solver/pipelines.h"
 
 #include <cmath>
+#include <optional>
 
 #include "core/parallel.h"
 #include "lm/mock_llm.h"
+#include "lm/resilient_model.h"
 #include "mwp/equation.h"
 #include "mwp/slotting.h"
 #include "solver/dimperc.h"
@@ -141,6 +143,16 @@ Result<std::unique_ptr<Seq2SeqModel>> TrainDimPerc(
 double EvaluateMwpAccuracy(
     lm::Model& model, const std::vector<mwp::TemplatedProblem>& problems) {
   if (problems.empty()) return 0.0;
+  // Run behind the resilience layer (same contract as EvaluateOnDimEval):
+  // transient faults on "lm.answer_text" are retried; a permanent failure
+  // degrades that problem to an empty response, scored incorrect — a
+  // deterministic per-instance decision, so the accuracy stays exact.
+  auto* shield = dynamic_cast<lm::ResilientModel*>(&model);
+  std::optional<lm::ResilientModel> local_shield;
+  if (shield == nullptr) {
+    local_shield.emplace(model);
+    shield = &*local_shield;
+  }
   const auto n = static_cast<std::int64_t>(problems.size());
   // Per-problem evaluation fans out over the pool when the model allows it;
   // correctness counts are integers merged in chunk order, so the accuracy
@@ -163,7 +175,7 @@ double EvaluateMwpAccuracy(
           question.gold = slotted->equation;
           question.instance_seed =
               Rng::DeriveSeed(20240131, "mwp-eval-" + tp.problem.id);
-          std::string response = model.AnswerText(question);
+          std::string response = shield->AnswerText(question);
           if (response.empty()) continue;
           std::string unslotted =
               mwp::UnslotEquation(response, slotted->slot_literals);

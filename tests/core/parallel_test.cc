@@ -119,6 +119,91 @@ TEST(ThreadPoolTest, ExceptionsBecomeInternalStatus) {
 }
 
 // ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+TEST(CancelModeTest, SerialRunStopsAfterPermanentFailure) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  Status st = pool.Run(
+      100,
+      [&](int i) {
+        ran.fetch_add(1);
+        return i == 10 ? Status::Internal("dead") : Status::OK();
+      },
+      CancelMode::kCancelOnPermanentError);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(ran.load(), 11);  // 0..10 inclusive, nothing after.
+}
+
+TEST(CancelModeTest, RetryableFailuresNeverCancel) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  Status st = pool.Run(
+      64,
+      [&](int i) {
+        ran.fetch_add(1);
+        return i % 5 == 0 ? Status::Unavailable("flaky") : Status::OK();
+      },
+      CancelMode::kCancelOnPermanentError);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(CancelModeTest, ParallelCancelSkipsOnlyHigherIndexes) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(256);
+  Status st = pool.Run(
+      256,
+      [&](int i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+        return i == 3 ? Status::Internal("early") : Status::OK();
+      },
+      CancelMode::kCancelOnPermanentError);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.message(), "early");
+  // Indexes at or below the failure always run; skipped ones never ran at
+  // all (no double runs either way).
+  for (int i = 0; i <= 3; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  for (const auto& h : hits) EXPECT_LE(h.load(), 1);
+}
+
+TEST(CancelModeTest, LowestIndexedFailureStillWinsUnderCancellation) {
+  // A retryable failure at a low index must not mask (or be masked by) a
+  // permanent one at a higher index: the lowest-indexed failure is
+  // reported, exactly as in kRunAll mode.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    Status st = pool.Run(
+        64,
+        [&](int i) {
+          if (i == 2) return Status::Unavailable("flaky 2");
+          if (i == 40) return Status::Internal("dead 40");
+          return Status::OK();
+        },
+        CancelMode::kCancelOnPermanentError);
+    ASSERT_EQ(st.code(), StatusCode::kUnavailable) << round;
+    ASSERT_EQ(st.message(), "flaky 2") << round;
+  }
+}
+
+TEST(CancelModeTest, ParallelForForwardsCancelMode) {
+  // Pin the pool to one thread so the stop point is exact regardless of the
+  // ambient DIMQR_THREADS setting.
+  ScopedParallelism serial(1);
+  std::atomic<int> ran{0};
+  Status st = ParallelFor(
+      50,
+      [&](std::int64_t begin, std::int64_t, int) {
+        ran.fetch_add(1);
+        return begin == 5 ? Status::Internal("stop") : Status::OK();
+      },
+      /*grain=*/1, CancelMode::kCancelOnPermanentError);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(ran.load(), 6);
+}
+
+// ---------------------------------------------------------------------------
 // SplitSeed / SplitRng streams
 // ---------------------------------------------------------------------------
 

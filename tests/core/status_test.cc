@@ -38,6 +38,38 @@ TEST(StatusTest, AllCodesHaveNames) {
             "DimensionMismatch");
   EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+}
+
+TEST(StatusTest, RetryableCodesRoundTrip) {
+  Status unavailable = Status::Unavailable("backend flaked");
+  EXPECT_FALSE(unavailable.ok());
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: backend flaked");
+
+  Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: too slow");
+}
+
+TEST(StatusTest, IsRetryableClassifiesCodes) {
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kIOError));
+}
+
+TEST(StatusTest, StatusOrAliasesResult) {
+  StatusOr<int> ok = 7;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), 7);
+  StatusOr<int> err = Status::Unavailable("retry me");
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(IsRetryable(err.status().code()));
 }
 
 TEST(ResultTest, HoldsValue) {

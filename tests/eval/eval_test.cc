@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
+#include "core/fault.h"
 #include "core/parallel.h"
 #include "eval/harness.h"
+#include "eval/journal.h"
 #include "eval/table.h"
 #include "lm/mock_llm.h"
+#include "lm/resilient_model.h"
 
 namespace dimqr::eval {
 namespace {
@@ -200,6 +206,337 @@ TEST(HarnessTest, DimEvalRowBitForBitAcrossThreadCounts) {
   };
   expect_rows_equal(at1, at2);
   expect_rows_equal(at1, at8);
+}
+
+// ------------------------------------------------- decline scoring
+
+/// Declines every instance whose seed satisfies `decline`, with the given
+/// failure code; answers gold otherwise. Safe for parallel evaluation.
+class DecliningModel : public lm::Model {
+ public:
+  DecliningModel(std::function<bool(std::uint64_t)> decline,
+                 StatusCode failure)
+      : decline_(std::move(decline)), failure_(failure) {}
+
+  const std::string& name() const override { return name_; }
+
+  lm::ChoiceAnswer AnswerChoice(const lm::ChoiceQuestion& q) override {
+    lm::ChoiceAnswer a;
+    if (decline_(q.instance_seed)) {
+      a.failure = failure_;
+      return a;
+    }
+    a.index = q.gold_index;
+    return a;
+  }
+
+  std::string AnswerText(const lm::TextQuestion&) override { return ""; }
+
+  bool SupportsParallelEval() const override { return true; }
+
+ private:
+  std::function<bool(std::uint64_t)> decline_;
+  StatusCode failure_;
+  std::string name_ = "Decliner";
+};
+
+TEST(HarnessTest, DeclinesExcludedFromPrecisionCountedInRecall) {
+  // Half the instances decline (model's own choice, failure = kOk), the
+  // rest answer gold: precision stays perfect, recall takes the hit.
+  DecliningModel model([](std::uint64_t seed) { return seed % 2 == 0; },
+                       StatusCode::kOk);
+  ChoiceMetrics m = EvaluateChoiceTask(model, Bench().TestOf("unit_conversion"));
+  EXPECT_EQ(m.total, 30u);
+  EXPECT_LT(m.answered, m.total);
+  EXPECT_GT(m.answered, 0u);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_LT(m.Recall(), 1.0);
+  EXPECT_LT(m.F1(), 1.0);
+  EXPECT_EQ(m.declined_after_retry, 0u);
+  EXPECT_FALSE(m.incomplete);
+}
+
+TEST(HarnessTest, RetryableDeclinesScoredLikeDeclinesButCounted) {
+  // A retryable failure code marks "the resilience layer gave up": scored
+  // as a decline (outside precision, inside recall) and counted apart.
+  DecliningModel model([](std::uint64_t seed) { return seed % 3 == 0; },
+                       StatusCode::kUnavailable);
+  ChoiceMetrics m = EvaluateChoiceTask(model, Bench().TestOf("unit_conversion"));
+  EXPECT_EQ(m.total, 30u);
+  EXPECT_GT(m.declined_after_retry, 0u);
+  EXPECT_EQ(m.declined_after_retry, m.total - m.answered);
+  EXPECT_DOUBLE_EQ(m.Precision(), 1.0);
+  EXPECT_LT(m.Recall(), 1.0);
+  EXPECT_FALSE(m.incomplete);
+}
+
+TEST(HarnessTest, PermanentFailureMarksTaskIncomplete) {
+  DecliningModel model([](std::uint64_t seed) { return seed % 7 == 0; },
+                       StatusCode::kInternal);
+  ChoiceMetrics m = EvaluateChoiceTask(model, Bench().TestOf("unit_conversion"));
+  EXPECT_TRUE(m.incomplete);
+  // Incomplete tasks are excluded from category aggregation.
+  DimEvalRow row;
+  row.model = "x";
+  row.choice["unit_conversion"] = m;
+  EXPECT_TRUE(AggregateByCategory(row).empty());
+}
+
+// ------------------------------------------------------ chaos suite
+
+/// Clears fault configuration around each test: the registry is global and
+/// the other suites expect a clean run.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().Clear(); }
+  void TearDown() override { FaultRegistry::Global().Clear(); }
+
+  static DimEvalRow SweepRow(int threads) {
+    ScopedParallelism scope(threads);
+    lm::MockLlm mock("Sweep",
+                     {{"quantitykind_match", {0.7, 0.9}},
+                      {"unit_conversion", {0.5, 0.8}},
+                      {"quantity_extraction", {0.6, 0.9}},
+                      {"value_extraction", {0.8, 0.9}},
+                      {"unit_extraction", {0.7, 0.9}}});
+    return EvaluateOnDimEval(mock, Bench());
+  }
+
+  static void ExpectRowsEqual(const DimEvalRow& a, const DimEvalRow& b) {
+    ASSERT_EQ(a.choice.size(), b.choice.size());
+    for (const auto& [task, metrics] : a.choice) {
+      const ChoiceMetrics& other = b.choice.at(task);
+      EXPECT_EQ(metrics.total, other.total) << task;
+      EXPECT_EQ(metrics.answered, other.answered) << task;
+      EXPECT_EQ(metrics.correct, other.correct) << task;
+      EXPECT_EQ(metrics.declined_after_retry, other.declined_after_retry)
+          << task;
+      EXPECT_EQ(metrics.incomplete, other.incomplete) << task;
+    }
+    EXPECT_EQ(a.qe_f1, b.qe_f1);
+    EXPECT_EQ(a.ve_f1, b.ve_f1);
+    EXPECT_EQ(a.ue_f1, b.ue_f1);
+    EXPECT_EQ(a.extraction_incomplete, b.extraction_incomplete);
+  }
+};
+
+TEST_F(ChaosTest, TransientFaultsLeaveRowByteIdenticalAtAnyThreadCount) {
+  // The headline chaos property: 20% transient faults + retries produce the
+  // exact row a clean run produces, at every thread count — every fault
+  // recovers within the retry budget, and recovery is a pure function of
+  // the instance.
+  DimEvalRow clean = SweepRow(1);
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:0.2:transient,"
+                             "lm.extract_quantities:0.2:transient")
+                  .ok());
+  DimEvalRow faulted1 = SweepRow(1);
+  DimEvalRow faulted2 = SweepRow(2);
+  DimEvalRow faulted8 = SweepRow(8);
+  ExpectRowsEqual(clean, faulted1);
+  ExpectRowsEqual(clean, faulted2);
+  ExpectRowsEqual(clean, faulted8);
+}
+
+TEST_F(ChaosTest, PermanentFaultsMarkTasksIncompleteDeterministically) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:0.1:permanent")
+                  .ok());
+  DimEvalRow at1 = SweepRow(1);
+  DimEvalRow at8 = SweepRow(8);
+  int incomplete = 0;
+  for (const auto& [task, metrics] : at1.choice) {
+    // Which tasks are incomplete is deterministic (per-instance fault
+    // decisions are), even though partial counts under cancellation vary.
+    EXPECT_EQ(metrics.incomplete, at8.choice.at(task).incomplete) << task;
+    if (metrics.incomplete) ++incomplete;
+  }
+  // 10% of 30 instances per task: overwhelmingly likely every task has at
+  // least one affected instance (checked: this seed configuration does).
+  EXPECT_GT(incomplete, 0);
+}
+
+TEST_F(ChaosTest, EverythingFailingStillTerminatesWithIncompleteRow) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:1:permanent,"
+                             "lm.extract_quantities:1:permanent")
+                  .ok());
+  DimEvalRow row = SweepRow(4);
+  for (const auto& [task, metrics] : row.choice) {
+    EXPECT_TRUE(metrics.incomplete) << task;
+  }
+  EXPECT_TRUE(row.extraction_incomplete);
+  EXPECT_LT(row.qe_f1, 0.0);
+  EXPECT_TRUE(AggregateByCategory(row).empty());
+}
+
+// --------------------------------------------------------- journal
+
+/// Counts how often the wrapped model is actually consulted, to prove
+/// journal replay skips evaluation entirely.
+class CountingModel : public lm::Model {
+ public:
+  explicit CountingModel(lm::Model& inner) : inner_(inner) {}
+  const std::string& name() const override { return inner_.name(); }
+  lm::ChoiceAnswer AnswerChoice(const lm::ChoiceQuestion& q) override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return inner_.AnswerChoice(q);
+  }
+  std::string AnswerText(const lm::TextQuestion& q) override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return inner_.AnswerText(q);
+  }
+  std::vector<lm::ExtractedQuantity> ExtractQuantities(
+      const lm::ExtractionQuestion& q) override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return inner_.ExtractQuantities(q);
+  }
+  bool SupportsParallelEval() const override {
+    return inner_.SupportsParallelEval();
+  }
+  std::atomic<int> calls{0};
+
+ private:
+  lm::Model& inner_;
+};
+
+std::string TempJournalPath(const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST_F(ChaosTest, JournalRoundTripsRecordsAcrossReopen) {
+  std::string path = TempJournalPath("journal_roundtrip.tsv");
+  ChoiceMetrics m;
+  m.total = 30;
+  m.answered = 25;
+  m.correct = 20;
+  m.declined_after_retry = 3;
+  ExtractionMetrics e;
+  e.qe = {10, 2, 3};
+  e.ve = {11, 1, 2};
+  e.ue = {9, 3, 4};
+  {
+    auto journal = EvalJournal::Open(path).ValueOrDie();
+    ASSERT_TRUE(journal->RecordChoice("M (sim)", "unit_conversion", m).ok());
+    ASSERT_TRUE(
+        journal->RecordExtraction("M (sim)", "quantity_extraction", e).ok());
+  }
+  auto reopened = EvalJournal::Open(path).ValueOrDie();
+  EXPECT_EQ(reopened->loaded_records(), 2u);
+  ChoiceMetrics m2;
+  ASSERT_TRUE(reopened->LookupChoice("M (sim)", "unit_conversion", &m2));
+  EXPECT_EQ(m2.total, m.total);
+  EXPECT_EQ(m2.answered, m.answered);
+  EXPECT_EQ(m2.correct, m.correct);
+  EXPECT_EQ(m2.declined_after_retry, m.declined_after_retry);
+  ExtractionMetrics e2;
+  ASSERT_TRUE(
+      reopened->LookupExtraction("M (sim)", "quantity_extraction", &e2));
+  EXPECT_EQ(e2.qe.true_positive, e.qe.true_positive);
+  EXPECT_EQ(e2.ue.false_negative, e.ue.false_negative);
+  EXPECT_FALSE(reopened->LookupChoice("Other", "unit_conversion", &m2));
+  // Incomplete tasks are rejected outright: their counts are diagnostics.
+  ChoiceMetrics incomplete;
+  incomplete.incomplete = true;
+  Status refused = reopened->RecordChoice("M (sim)", "inc", incomplete);
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ChaosTest, JournalIgnoresTornTrailingRecord) {
+  std::string path = TempJournalPath("journal_torn.tsv");
+  {
+    auto journal = EvalJournal::Open(path).ValueOrDie();
+    ChoiceMetrics m;
+    m.total = 30;
+    m.answered = 30;
+    m.correct = 15;
+    ASSERT_TRUE(journal->RecordChoice("M", "unit_conversion", m).ok());
+  }
+  {
+    // Simulate a kill mid-write: a truncated record with no newline.
+    std::ofstream torn(path, std::ios::app);
+    torn << "choice\tM\tmagnitude_comparison\t30\t2";
+  }
+  auto reopened = EvalJournal::Open(path).ValueOrDie();
+  EXPECT_EQ(reopened->loaded_records(), 1u);
+  ChoiceMetrics m;
+  EXPECT_TRUE(reopened->LookupChoice("M", "unit_conversion", &m));
+  EXPECT_FALSE(reopened->LookupChoice("M", "magnitude_comparison", &m));
+}
+
+TEST_F(ChaosTest, JournalResumeSkipsModelAndReproducesRow) {
+  std::string path = TempJournalPath("journal_resume.tsv");
+  lm::MockLlm mock("Journaled",
+                   {{"quantitykind_match", {0.7, 0.9}},
+                    {"unit_conversion", {0.5, 0.8}},
+                    {"quantity_extraction", {0.6, 0.9}},
+                    {"value_extraction", {0.8, 0.9}},
+                    {"unit_extraction", {0.7, 0.9}}});
+  DimEvalRow first;
+  {
+    auto journal = EvalJournal::Open(path).ValueOrDie();
+    first = EvaluateOnDimEval(mock, Bench(), nullptr, journal.get());
+  }
+  // Resume against the same file: the model must never be consulted, and
+  // the row must replay byte-identically from journaled integer counts.
+  CountingModel counted(mock);
+  auto journal = EvalJournal::Open(path).ValueOrDie();
+  EXPECT_EQ(journal->loaded_records(), 7u);  // 6 choice tasks + extraction.
+  DimEvalRow resumed = EvaluateOnDimEval(counted, Bench(), nullptr,
+                                         journal.get());
+  EXPECT_EQ(counted.calls.load(), 0);
+  ExpectRowsEqual(first, resumed);
+}
+
+TEST_F(ChaosTest, JournalResumeAfterPartialRunCompletesTheRest) {
+  std::string path = TempJournalPath("journal_partial.tsv");
+  lm::MockLlm mock("Partial", {{"unit_conversion", {0.5, 0.8}}});
+  // A full uninterrupted run, for reference.
+  DimEvalRow reference = EvaluateOnDimEval(mock, Bench());
+  // Simulate a run killed after two tasks: journal only those.
+  {
+    auto journal = EvalJournal::Open(path).ValueOrDie();
+    ASSERT_TRUE(journal
+                    ->RecordChoice("Partial", "quantitykind_match",
+                                   reference.choice.at("quantitykind_match"))
+                    .ok());
+    ASSERT_TRUE(journal
+                    ->RecordChoice("Partial", "unit_conversion",
+                                   reference.choice.at("unit_conversion"))
+                    .ok());
+  }
+  auto journal = EvalJournal::Open(path).ValueOrDie();
+  DimEvalRow resumed =
+      EvaluateOnDimEval(mock, Bench(), nullptr, journal.get());
+  ExpectRowsEqual(reference, resumed);
+  // The resumed run journaled the remaining tasks: a second resume now
+  // replays everything.
+  auto final_journal = EvalJournal::Open(path).ValueOrDie();
+  EXPECT_EQ(final_journal->loaded_records(), 7u);
+}
+
+TEST_F(ChaosTest, IncompleteTasksAreRetriedOnResume) {
+  std::string path = TempJournalPath("journal_incomplete.tsv");
+  lm::MockLlm mock("Healing", {{"unit_conversion", {0.5, 0.8}}});
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:1:permanent")
+                  .ok());
+  {
+    auto journal = EvalJournal::Open(path).ValueOrDie();
+    DimEvalRow row = EvaluateOnDimEval(mock, Bench(), nullptr, journal.get());
+    EXPECT_TRUE(row.choice.at("unit_conversion").incomplete);
+  }
+  // The six incomplete choice tasks were not journaled; only extraction
+  // (whose fault point stayed clean) completed and checkpointed.
+  EXPECT_EQ(EvalJournal::Open(path).ValueOrDie()->loaded_records(), 1u);
+  // ...so once the backend heals, a resume re-evaluates them for real.
+  FaultRegistry::Global().Clear();
+  auto journal = EvalJournal::Open(path).ValueOrDie();
+  DimEvalRow healed = EvaluateOnDimEval(mock, Bench(), nullptr, journal.get());
+  EXPECT_FALSE(healed.choice.at("unit_conversion").incomplete);
+  ExpectRowsEqual(healed, EvaluateOnDimEval(mock, Bench()));
 }
 
 TEST(HarnessTest, CategoryAggregation) {

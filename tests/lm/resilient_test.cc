@@ -1,0 +1,260 @@
+#include "lm/resilient_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+
+namespace dimqr::lm {
+namespace {
+
+/// A perfectly reliable inner model: always answers gold, counts calls.
+/// Everything that goes wrong in these tests is injected by the fault
+/// registry between the wrapper and this model.
+class GoldModel : public Model {
+ public:
+  const std::string& name() const override { return name_; }
+
+  ChoiceAnswer AnswerChoice(const ChoiceQuestion& question) override {
+    ++choice_calls;
+    ChoiceAnswer answer;
+    answer.index = question.gold_index;
+    return answer;
+  }
+
+  std::string AnswerText(const TextQuestion& question) override {
+    ++text_calls;
+    return question.gold;
+  }
+
+  std::vector<ExtractedQuantity> ExtractQuantities(
+      const ExtractionQuestion& question) override {
+    ++extract_calls;
+    return question.gold;
+  }
+
+  bool SupportsParallelEval() const override { return true; }
+
+  int choice_calls = 0;
+  int text_calls = 0;
+  int extract_calls = 0;
+
+ private:
+  std::string name_ = "Gold";
+};
+
+ChoiceQuestion MakeQuestion(std::uint64_t seed) {
+  ChoiceQuestion q;
+  q.task = "unit_conversion";
+  q.prompt = "convert";
+  q.choices = {"a", "b", "c", "d"};
+  q.gold_index = 2;
+  q.instance_seed = seed;
+  return q;
+}
+
+class ResilientModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().Clear(); }
+  void TearDown() override { FaultRegistry::Global().Clear(); }
+};
+
+TEST_F(ResilientModelTest, PassesThroughWhenNoFaultsConfigured) {
+  GoldModel gold;
+  ResilientModel model(gold);
+  EXPECT_EQ(model.name(), "Gold");
+  EXPECT_TRUE(model.SupportsParallelEval());
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    ChoiceAnswer answer = model.AnswerChoice(MakeQuestion(seed));
+    EXPECT_EQ(answer.index, 2);
+    EXPECT_EQ(answer.failure, StatusCode::kOk);
+  }
+  EXPECT_EQ(gold.choice_calls, 10);
+  EXPECT_EQ(model.stats().calls.load(), 10u);
+  EXPECT_EQ(model.stats().attempts.load(), 10u);
+  EXPECT_EQ(model.stats().retries.load(), 0u);
+  EXPECT_EQ(model.stats().declines.load(), 0u);
+}
+
+TEST_F(ResilientModelTest, TransientFaultsRecoverWithinRetryBudget) {
+  // Every instance affected; the first two attempts fail, the third works.
+  // With the default budget of 4 attempts, every call must succeed.
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:1:transient")
+                  .ok());
+  GoldModel gold;
+  ResilientModel model(gold);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    ChoiceAnswer answer = model.AnswerChoice(MakeQuestion(seed));
+    EXPECT_EQ(answer.index, 2) << seed;
+    EXPECT_EQ(answer.failure, StatusCode::kOk) << seed;
+  }
+  EXPECT_EQ(gold.choice_calls, 10);
+  // Two failed attempts + one success per call.
+  EXPECT_EQ(model.stats().attempts.load(), 30u);
+  EXPECT_EQ(model.stats().retries.load(), 20u);
+  EXPECT_EQ(model.stats().declines.load(), 0u);
+  EXPECT_GT(model.stats().backoff_ticks.load(), 0u);
+}
+
+TEST_F(ResilientModelTest, ExhaustedRetriesDegradeToDecline) {
+  // after_n = 10 > max_attempts = 4: the budget can never outlast the
+  // fault, so the wrapper declines with a retryable failure code.
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:1:transient:10")
+                  .ok());
+  GoldModel gold;
+  ResilientModel model(gold);
+  ChoiceAnswer answer = model.AnswerChoice(MakeQuestion(1));
+  EXPECT_EQ(answer.index, -1);
+  EXPECT_FALSE(answer.answered());
+  EXPECT_EQ(answer.failure, StatusCode::kUnavailable);
+  EXPECT_EQ(gold.choice_calls, 0);
+  EXPECT_EQ(model.stats().attempts.load(), 4u);
+  EXPECT_EQ(model.stats().declines.load(), 1u);
+}
+
+TEST_F(ResilientModelTest, PermanentFaultFailsWithoutRetry) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:1:permanent")
+                  .ok());
+  GoldModel gold;
+  ResilientModel model(gold);
+  ChoiceAnswer answer = model.AnswerChoice(MakeQuestion(1));
+  EXPECT_EQ(answer.index, -1);
+  EXPECT_EQ(answer.failure, StatusCode::kInternal);
+  EXPECT_FALSE(IsRetryable(answer.failure));
+  EXPECT_EQ(gold.choice_calls, 0);
+  EXPECT_EQ(model.stats().attempts.load(), 1u);
+  EXPECT_EQ(model.stats().retries.load(), 0u);
+  EXPECT_EQ(model.stats().permanent_failures.load(), 1u);
+}
+
+TEST_F(ResilientModelTest, GarbledAnswersAreDeterministic) {
+  ASSERT_TRUE(
+      FaultRegistry::Global().Configure("lm.answer_choice:1:garbled").ok());
+  GoldModel gold;
+  ResilientModel model(gold);
+  ChoiceAnswer first = model.AnswerChoice(MakeQuestion(5));
+  ChoiceAnswer again = model.AnswerChoice(MakeQuestion(5));
+  EXPECT_TRUE(first.answered());
+  EXPECT_EQ(first.index, again.index);
+  EXPECT_EQ(model.stats().garbled.load(), 2u);
+  // The garble replaces the parsed answer *after* the inner model ran.
+  EXPECT_EQ(gold.choice_calls, 2);
+}
+
+TEST_F(ResilientModelTest, LatencyWithinDeadlineSucceeds) {
+  ASSERT_TRUE(
+      FaultRegistry::Global().Configure("lm.answer_choice:1:latency:3").ok());
+  GoldModel gold;
+  ResilientModel model(gold);  // Default policy: no deadline.
+  ChoiceAnswer answer = model.AnswerChoice(MakeQuestion(1));
+  EXPECT_EQ(answer.index, 2);
+  EXPECT_GT(model.stats().latency_ticks.load(), 0u);
+  EXPECT_EQ(model.stats().deadline_exceeded.load(), 0u);
+}
+
+TEST_F(ResilientModelTest, LatencyPastDeadlineIsRetryableFailure) {
+  // Ticks are always >= 1, so a 1-tick deadline times out every attempt.
+  ASSERT_TRUE(
+      FaultRegistry::Global().Configure("lm.answer_choice:1:latency:4").ok());
+  RetryPolicy retry;
+  retry.deadline_ticks = 1;
+  retry.max_attempts = 3;
+  GoldModel gold;
+  ResilientModel model(gold, retry);
+  ChoiceAnswer answer = model.AnswerChoice(MakeQuestion(1));
+  EXPECT_EQ(answer.index, -1);
+  EXPECT_EQ(answer.failure, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(IsRetryable(answer.failure));
+  EXPECT_EQ(model.stats().deadline_exceeded.load(), 3u);
+  EXPECT_EQ(model.stats().declines.load(), 1u);
+  EXPECT_EQ(gold.choice_calls, 0);
+}
+
+TEST_F(ResilientModelTest, BreakerShortCircuitsAfterConsecutiveFailures) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:1:permanent")
+                  .ok());
+  CircuitBreakerPolicy breaker;
+  breaker.trip_after = 3;
+  GoldModel gold;
+  ResilientModel model(gold, RetryPolicy{}, breaker);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    ChoiceAnswer answer = model.AnswerChoice(MakeQuestion(seed));
+    EXPECT_EQ(answer.failure, StatusCode::kInternal) << seed;
+  }
+  // Calls 1-3 reach the (faulted) transport; calls 4-5 are rejected by the
+  // open breaker without an attempt.
+  EXPECT_EQ(model.stats().permanent_failures.load(), 3u);
+  EXPECT_EQ(model.stats().short_circuits.load(), 2u);
+  EXPECT_EQ(model.stats().attempts.load(), 3u);
+}
+
+TEST_F(ResilientModelTest, BreakerResetsOnSuccess) {
+  // 20% of instances fail permanently: successes between failures must keep
+  // the consecutive-failure count below the trip threshold.
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:0.2:permanent")
+                  .ok());
+  CircuitBreakerPolicy breaker;
+  breaker.trip_after = 1000;  // Effectively never trips...
+  GoldModel gold;
+  ResilientModel model(gold, RetryPolicy{}, breaker);
+  int failed = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    if (!model.AnswerChoice(MakeQuestion(seed)).answered()) ++failed;
+  }
+  EXPECT_GT(failed, 0);
+  EXPECT_LT(failed, 100);
+  // ...so no call may be short-circuited.
+  EXPECT_EQ(model.stats().short_circuits.load(), 0u);
+}
+
+TEST_F(ResilientModelTest, TextAndExtractionDegradeGracefully) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_text:1:permanent,"
+                             "lm.extract_quantities:1:transient:10")
+                  .ok());
+  GoldModel gold;
+  ResilientModel model(gold);
+  TextQuestion text;
+  text.task = "n_math23k";
+  text.gold = "x=1+2";
+  text.instance_seed = 3;
+  EXPECT_EQ(model.AnswerText(text), "");
+  ExtractionQuestion extraction;
+  extraction.gold = {{"3", "km"}};
+  extraction.instance_seed = 4;
+  EXPECT_TRUE(model.ExtractQuantities(extraction).empty());
+  EXPECT_EQ(gold.text_calls, 0);
+  EXPECT_EQ(gold.extract_calls, 0);
+  EXPECT_FALSE(model.StatsSummary().empty());
+}
+
+TEST_F(ResilientModelTest, GarbledTextIsDeterministicShuffle) {
+  ASSERT_TRUE(
+      FaultRegistry::Global().Configure("lm.answer_text:1:garbled").ok());
+  GoldModel gold;
+  ResilientModel model(gold);
+  TextQuestion text;
+  text.task = "n_math23k";
+  text.gold = "x=12+34";
+  text.instance_seed = 9;
+  std::string first = model.AnswerText(text);
+  std::string again = model.AnswerText(text);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first.size(), text.gold.size());
+  // Same multiset of characters, permuted.
+  std::string sorted_first = first, sorted_gold = text.gold;
+  std::sort(sorted_first.begin(), sorted_first.end());
+  std::sort(sorted_gold.begin(), sorted_gold.end());
+  EXPECT_EQ(sorted_first, sorted_gold);
+}
+
+}  // namespace
+}  // namespace dimqr::lm
