@@ -21,6 +21,8 @@
 #include "lm/resilient_model.h"
 #include "lm/transformer.h"
 #include "mwp/equation.h"
+#include "solver/pipelines.h"
+#include "solver/seq2seq.h"
 #include "text/levenshtein.h"
 #include "text/string_util.h"
 
@@ -380,6 +382,143 @@ void BM_EvalDimEvalFaulty(benchmark::State& state) {
   FaultRegistry::Global().Clear();
 }
 BENCHMARK(BM_EvalDimEvalFaulty)->Arg(0)->Arg(20);
+
+// ---------------------------------------------------------------------
+// Inference fast path: batched prefill vs the retired per-token prompt
+// loop, and the prompt-prefix KV cache under the real eval harness.
+
+// A realistic output head (D x V) dominates per-token cost: the old path
+// paid it for every prompt token and threw the logits away; batched
+// Prefill pays it once per prompt. The vocabulary is sized like the LLaMA
+// tokenizer of the paper's reference model (32k) so the head/body cost
+// ratio matches the deployment regime the optimization targets.
+lm::TransformerConfig DecodeBenchConfig() {
+  lm::TransformerConfig c;
+  c.vocab_size = 32768;
+  c.d_model = 64;
+  c.n_heads = 2;
+  c.n_layers = 2;
+  c.d_ff = 256;
+  c.max_seq = 96;
+  c.seed = 29;
+  return c;
+}
+
+const lm::Transformer& DecodeBenchModel() {
+  static const lm::Transformer* const kModel = new lm::Transformer(
+      lm::Transformer::Create(DecodeBenchConfig()).ValueOrDie());
+  return *kModel;
+}
+
+std::vector<int> DecodeBenchPrompt(int len) {
+  Rng rng(101);
+  std::vector<int> prompt;
+  prompt.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    prompt.push_back(static_cast<int>(rng.UniformInt(6, 32767)));
+  }
+  return prompt;
+}
+
+constexpr int kDecodeNewTokens = 16;
+constexpr int kDecodeNeverEos = -1;  // argmax is >= 0, so decode runs full
+
+void BM_GreedyDecode(benchmark::State& state) {
+  // The fast path as shipped: one batched Prefill of the prompt (range(0)
+  // tokens), then 16 incremental Steps, all through a reused arena.
+  const lm::Transformer& model = DecodeBenchModel();
+  std::vector<int> prompt =
+      DecodeBenchPrompt(static_cast<int>(state.range(0)));
+  lm::DecodeState arena;
+  arena.Bind(model.config());
+  for (auto _ : state) {
+    auto out = model.Greedy(prompt, kDecodeNewTokens, kDecodeNeverEos, arena,
+                            nullptr);
+    if (!out.ok()) {
+      state.SkipWithError("greedy failed");
+      return;
+    }
+    benchmark::DoNotOptimize(out.ValueOrDie().data());
+  }
+}
+BENCHMARK(BM_GreedyDecode)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GreedyDecodePerToken(benchmark::State& state) {
+  // Replica of the pre-PR decode loop: every prompt token went through a
+  // full Step — including the D x V output head whose logits were then
+  // discarded. (This replica even reuses the arena; the retired code also
+  // reallocated its caches per call, so the measured gap is conservative.)
+  const lm::Transformer& model = DecodeBenchModel();
+  std::vector<int> prompt =
+      DecodeBenchPrompt(static_cast<int>(state.range(0)));
+  lm::DecodeState arena;
+  arena.Bind(model.config());
+  for (auto _ : state) {
+    arena.Rewind();
+    bool ok = true;
+    for (int tok : prompt) ok = ok && model.Step(arena, tok).ok();
+    for (int g = 0; ok && g < kDecodeNewTokens; ++g) {
+      ok = model.Step(arena, lm::ArgmaxLowest(arena.logits())).ok();
+    }
+    if (!ok) {
+      state.SkipWithError("step failed");
+      return;
+    }
+    benchmark::DoNotOptimize(arena.logits().data());
+  }
+}
+BENCHMARK(BM_GreedyDecodePerToken)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_PrefillBatched(benchmark::State& state) {
+  // Prefill alone (no generation): one multi-row forward pass per
+  // iteration into a warm arena — zero allocations in the timed region.
+  const lm::Transformer& model = DecodeBenchModel();
+  std::vector<int> prompt =
+      DecodeBenchPrompt(static_cast<int>(state.range(0)));
+  lm::DecodeState arena;
+  arena.Bind(model.config());
+  for (auto _ : state) {
+    arena.Rewind();
+    if (!model.Prefill(prompt, arena).ok()) {
+      state.SkipWithError("prefill failed");
+      return;
+    }
+    benchmark::DoNotOptimize(arena.logits().data());
+  }
+}
+BENCHMARK(BM_PrefillBatched)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EvalDimEvalPrefixCache(benchmark::State& state) {
+  // End-to-end choice evaluation through the trainable Seq2SeqModel (real
+  // greedy decoding, 4 eval threads) with the prompt-prefix KV cache off
+  // (Arg 0) vs on (Arg 1). DimEval prompts share instruction stems, so
+  // with the cache on only each prompt's unshared tail is prefilled.
+  ScopedParallelism scope(4);
+  static const std::vector<dimeval::TaskInstance>* const kInstances = [] {
+    dimeval::TaskGenerator gen(benchutil::GetWorld().kb);
+    return new std::vector<dimeval::TaskInstance>(
+        gen.UnitConversion(64).ValueOrDie());
+  }();
+  static solver::Seq2SeqModel* const kModel = [] {
+    solver::Seq2SeqConfig config;
+    config.max_generated_tokens = 24;
+    return solver::Seq2SeqModel::Create(
+               "BenchSeq2Seq", solver::MakeDimEvalExamples(*kInstances),
+               config)
+        .ValueOrDie()
+        .release();
+  }();
+  std::vector<const dimeval::TaskInstance*> tests;
+  tests.reserve(kInstances->size());
+  for (const dimeval::TaskInstance& inst : *kInstances) {
+    tests.push_back(&inst);
+  }
+  kModel->set_prefix_cache_enabled(state.range(0) == 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::EvaluateChoiceTask(*kModel, tests));
+  }
+}
+BENCHMARK(BM_EvalDimEvalPrefixCache)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -3,7 +3,9 @@
 # in experiment order, writing the combined log to bench_output.txt. The
 # micro-benchmarks additionally dump machine-readable Google-benchmark
 # JSON to BENCH_perf.json (interned vs legacy string-keyed comparisons,
-# blocked vs naive kernels, and the DIMQR_THREADS sweeps).
+# blocked vs naive kernels, the DIMQR_THREADS sweeps, and the inference
+# fast path: batched prefill vs per-token decode plus the prompt-prefix
+# KV cache on/off under the eval harness).
 #
 # Timings only mean something from an optimized build, so everything runs
 # out of a dedicated Release tree (build-rel/) — never the default dev

@@ -1,0 +1,158 @@
+#include "lm/prefix_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace dimqr::lm {
+namespace {
+
+/// FNV-1a over the routing prefix: prompts sharing at least kRouteTokens
+/// leading tokens always land in the same stripe, so their snapshots can
+/// see each other.
+constexpr std::size_t kRouteTokens = 4;
+
+std::uint64_t RouteHash(const std::vector<int>& tokens) {
+  std::uint64_t h = 1469598103934665603ull;
+  const std::size_t n = std::min(tokens.size(), kRouteTokens);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(tokens[i]));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::size_t CommonPrefix(const std::vector<int>& a, const std::vector<int>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+PrefixCache::PrefixCache(const Config& config) : config_(config) {
+  if (config_.stripes < 1) config_.stripes = 1;
+  if (config_.entries_per_stripe < 1) config_.entries_per_stripe = 1;
+  if (config_.min_fork_tokens < 1) config_.min_fork_tokens = 1;
+  stripes_ = std::vector<Stripe>(static_cast<std::size_t>(config_.stripes));
+}
+
+bool PrefixCache::Enabled() {
+  static const bool kEnabled = [] {
+    const char* env = std::getenv("DIMQR_PREFIX_CACHE");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }();
+  return kEnabled;
+}
+
+std::size_t PrefixCache::StripeOf(const std::vector<int>& tokens) const {
+  return static_cast<std::size_t>(RouteHash(tokens) %
+                                  static_cast<std::uint64_t>(config_.stripes));
+}
+
+int PrefixCache::Seed(const std::vector<int>& tokens,
+                      DecodeState& state) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (tokens.size() < 2 || state.n_layers_ == 0 || state.position_ != 0) {
+    return 0;
+  }
+  Stripe& stripe = stripes_[StripeOf(tokens)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  // Always leave at least one token for the caller to prefill: the fork
+  // copies KV rows but not logits, and the trailing prefill recomputes
+  // them.
+  const std::size_t fork_cap = tokens.size() - 1;
+  std::size_t best_len = 0;
+  Entry* best = nullptr;
+  for (Entry& entry : stripe.entries) {
+    std::size_t lcp = std::min(CommonPrefix(entry.tokens, tokens), fork_cap);
+    if (lcp > best_len) {
+      best_len = lcp;
+      best = &entry;
+    }
+  }
+  if (best == nullptr ||
+      best_len < static_cast<std::size_t>(config_.min_fork_tokens)) {
+    return 0;
+  }
+  const auto d = static_cast<std::size_t>(state.d_model_);
+  const std::size_t entry_rows = best->tokens.size();
+  const float* src = best->kv.data();
+  for (int l = 0; l < state.n_layers_; ++l) {
+    const float* keys = src + static_cast<std::size_t>(l) * 2 * entry_rows * d;
+    const float* values = keys + entry_rows * d;
+    std::copy(keys, keys + best_len * d,
+              state.keys_[static_cast<std::size_t>(l)].begin());
+    std::copy(values, values + best_len * d,
+              state.values_[static_cast<std::size_t>(l)].begin());
+  }
+  state.position_ = static_cast<int>(best_len);
+  best->stamp = ++stripe.clock;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  hit_tokens_.fetch_add(best_len, std::memory_order_relaxed);
+  return static_cast<int>(best_len);
+}
+
+void PrefixCache::Insert(const std::vector<int>& tokens,
+                         const DecodeState& state) {
+  const std::size_t rows = tokens.size();
+  if (rows == 0 || state.n_layers_ == 0 ||
+      state.position_ < static_cast<int>(rows)) {
+    return;
+  }
+  Stripe& stripe = stripes_[StripeOf(tokens)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  for (Entry& entry : stripe.entries) {
+    if (entry.tokens == tokens) {
+      entry.stamp = ++stripe.clock;
+      return;
+    }
+  }
+  Entry entry;
+  entry.tokens = tokens;
+  const auto d = static_cast<std::size_t>(state.d_model_);
+  entry.kv.resize(static_cast<std::size_t>(state.n_layers_) * 2 * rows * d);
+  float* dst = entry.kv.data();
+  for (int l = 0; l < state.n_layers_; ++l) {
+    const auto& keys = state.keys_[static_cast<std::size_t>(l)];
+    const auto& values = state.values_[static_cast<std::size_t>(l)];
+    dst = std::copy(keys.begin(),
+                    keys.begin() + static_cast<std::ptrdiff_t>(rows * d), dst);
+    dst = std::copy(values.begin(),
+                    values.begin() + static_cast<std::ptrdiff_t>(rows * d),
+                    dst);
+  }
+  entry.stamp = ++stripe.clock;
+  if (stripe.entries.size() >=
+      static_cast<std::size_t>(config_.entries_per_stripe)) {
+    auto victim = std::min_element(
+        stripe.entries.begin(), stripe.entries.end(),
+        [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+    *victim = std::move(entry);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stripe.entries.push_back(std::move(entry));
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PrefixCache::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.entries.clear();
+    stripe.clock = 0;
+  }
+}
+
+PrefixCache::Stats PrefixCache::stats() const {
+  Stats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.hit_tokens = hit_tokens_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dimqr::lm

@@ -1,0 +1,116 @@
+#ifndef DIMQR_LM_PREFIX_CACHE_H_
+#define DIMQR_LM_PREFIX_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "lm/transformer.h"
+
+/// \file prefix_cache.h
+/// Cross-instance prompt-prefix KV cache for the inference fast path.
+///
+/// DimEval/Q-MWP prompts within one task share a long instruction stem and
+/// differ only in the instance-specific tail, so `Transformer` prefills the
+/// same stem hundreds of times per table row. A PrefixCache remembers
+/// frozen KV snapshots of recently prefilled prompts; a new prompt looks up
+/// the snapshot with the longest common *token* prefix and forks it —
+/// copying the shared rows into the caller's DecodeState — so only the
+/// unshared tail goes through the transformer.
+///
+/// Correctness: a forked row is byte-for-byte the row a cold prefill would
+/// produce (row t of the KV cache is a pure function of tokens[0..t] and
+/// the weights, and Prefill/Step compute it in one fixed FP order), so
+/// cache hits never change a single generated token — the escape hatch
+/// `DIMQR_PREFIX_CACHE=0` exists for measurement, not for safety.
+///
+/// Concurrency: entries live in `stripes` independently-locked shards;
+/// prompts are routed by a hash of their first few tokens, so prompts that
+/// share a stem contend on one stripe while unrelated tasks proceed in
+/// parallel. Safe for concurrent Seed/Insert from the eval harness fan-out
+/// (exercised under TSan). Memory is bounded by
+/// stripes * entries_per_stripe snapshots with deterministic
+/// least-recently-touched eviction (a per-stripe logical clock, no wall
+/// time involved).
+///
+/// Staleness: snapshots are only valid for the weights that produced them
+/// — owners must Clear() after any training step (Seq2SeqModel does).
+
+namespace dimqr::lm {
+
+class PrefixCache {
+ public:
+  struct Config {
+    int stripes = 4;             ///< Independently-locked shards.
+    int entries_per_stripe = 8;  ///< Snapshot capacity per shard.
+    /// Forks shorter than this are not worth the row copy; lookups below
+    /// it miss outright.
+    int min_fork_tokens = 4;
+  };
+
+  /// Counters are cumulative and approximate under concurrency (relaxed
+  /// atomics); `hit_tokens` is the number of prompt tokens served from
+  /// snapshots instead of the transformer.
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t hit_tokens = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  PrefixCache() : PrefixCache(Config{}) {}
+  explicit PrefixCache(const Config& config);
+
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
+  /// Process-wide escape hatch: false iff DIMQR_PREFIX_CACHE=0 was set at
+  /// startup (read once; see README). Callers that thread a cache through
+  /// `Transformer::Greedy` are expected to honour it (Seq2SeqModel does).
+  static bool Enabled();
+
+  /// \brief Longest-common-prefix lookup. Copies the best snapshot's first
+  /// L rows of per-layer K/V into `state` (which must be bound and
+  /// rewound) and advances its position to L; returns L, or 0 on a miss
+  /// (state untouched). L is capped at tokens.size() - 1 so the caller
+  /// always prefills at least one token and thereby owns fresh logits.
+  int Seed(const std::vector<int>& tokens, DecodeState& state) const;
+
+  /// \brief Freezes rows [0, tokens.size()) of `state` as a snapshot.
+  /// `state.position()` must be at least tokens.size(). An entry with the
+  /// identical token sequence is touched, not duplicated; a full stripe
+  /// evicts its least-recently-touched entry.
+  void Insert(const std::vector<int>& tokens, const DecodeState& state);
+
+  /// Drops every snapshot (mandatory after weight updates).
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::vector<int> tokens;
+    /// Packed per-layer rows: layer-major, keys then values, each
+    /// tokens.size() x d_model.
+    std::vector<float> kv;
+    std::uint64_t stamp = 0;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<Entry> entries;
+    std::uint64_t clock = 0;
+  };
+
+  std::size_t StripeOf(const std::vector<int>& tokens) const;
+
+  Config config_;
+  mutable std::vector<Stripe> stripes_;
+  mutable std::atomic<std::uint64_t> lookups_{0}, hits_{0}, hit_tokens_{0},
+      inserts_{0}, evictions_{0};
+};
+
+}  // namespace dimqr::lm
+
+#endif  // DIMQR_LM_PREFIX_CACHE_H_

@@ -2,6 +2,7 @@
 #define DIMQR_LM_TRANSFORMER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,10 +20,19 @@
 /// paper's central effect (RQ2): dimensional knowledge is learnable from
 /// the constructed datasets and transfers to held-out instances.
 ///
-/// The implementation is deterministic (seeded init, no dropout) and
-/// single-threaded.
+/// Inference fast path (DESIGN.md "Inference fast path"): prompts are
+/// prefilled as one multi-row forward pass (`Prefill`) into a reusable
+/// `DecodeState` arena, then extended one token at a time (`Step`). Both
+/// paths produce bit-identical logits, so every downstream table is
+/// byte-identical whichever path filled the KV cache.
+///
+/// The implementation is deterministic (seeded init, no dropout).
 
 namespace dimqr::lm {
+
+class PrefixCache;
+class Transformer;
+class TransformerLayout;
 
 /// \brief Architecture and optimization sizes.
 struct TransformerConfig {
@@ -44,7 +54,64 @@ struct LmExample {
   std::vector<std::uint8_t> loss_mask;
 };
 
-/// \brief The model. Copyable (parameters are plain vectors).
+/// \brief Reusable incremental-decoding arena: the per-layer KV cache plus
+/// every scratch buffer `Prefill`/`Step` need, all preallocated to the
+/// model's `max_seq` capacity by `Bind`. Steady-state decoding through a
+/// bound state performs zero heap allocations per token (pinned by
+/// tests/lm/decode_alloc_test.cc).
+///
+/// Lifecycle: `Bind(config)` shapes the buffers (a no-op when already
+/// shaped for an identical geometry), `Rewind()` restarts at position 0
+/// without releasing capacity. One state serves any number of sequential
+/// generations; it is not safe for concurrent use — use one per thread
+/// (`ThreadLocalDecodeState()`).
+class DecodeState {
+ public:
+  DecodeState() = default;
+
+  /// Preallocates all buffers for `config` and rewinds to position 0.
+  /// Keeps existing allocations when the geometry is unchanged (the
+  /// position is rewound either way).
+  void Bind(const TransformerConfig& config);
+
+  /// Restarts decoding at position 0; capacity is retained.
+  void Rewind() { position_ = 0; }
+
+  /// Tokens consumed so far (== the next absolute position).
+  int position() const { return position_; }
+
+  /// Next-token logits produced by the most recent Step/Prefill. Size
+  /// vocab_size; unspecified before the first call.
+  const std::vector<float>& logits() const { return logits_; }
+
+ private:
+  friend class Transformer;
+  friend class PrefixCache;
+
+  bool BoundTo(const TransformerConfig& c) const;
+
+  int position_ = 0;
+  // Bound geometry (all zero while unbound).
+  int max_seq_ = 0, d_model_ = 0, n_layers_ = 0, d_ff_ = 0, vocab_ = 0;
+  /// Per layer: max_seq rows of d_model-wide K and V; rows [0, position_)
+  /// are valid.
+  std::vector<std::vector<float>> keys_;
+  std::vector<std::vector<float>> values_;
+  // Single-row scratch (Step).
+  std::vector<float> x_, ln_, qkv_, ctx_, proj_, ff_, att_, h_, logits_;
+  // Multi-row scratch (Prefill), max_seq rows each.
+  std::vector<float> rows_x_, rows_ln_, rows_qkv_, rows_ctx_, rows_proj_,
+      rows_ff_;
+};
+
+/// \brief A per-thread DecodeState arena (bound lazily by its user). The
+/// convenience entry points (`Greedy` without an explicit state,
+/// `NextLogits`) decode through this, so repeated generations on one
+/// thread reuse one allocation.
+DecodeState& ThreadLocalDecodeState();
+
+/// \brief The model. Copyable (parameters are plain vectors; the cached
+/// layout is immutable and shared).
 class Transformer {
  public:
   /// Creates a randomly initialized model. InvalidArgument on bad config.
@@ -62,14 +129,45 @@ class Transformer {
                                    double learning_rate);
 
   /// \brief Next-token logits after the given prefix (length >= 1).
+  /// Prefixes longer than max_seq are left-truncated. Runs one batched
+  /// Prefill through the calling thread's arena.
   dimqr::Result<std::vector<float>> NextLogits(
       const std::vector<int>& prefix) const;
 
+  /// \brief Batched prefill: consumes `n` tokens as one n-row forward
+  /// pass, appending their K/V rows to `state`'s cache and leaving the
+  /// next-token logits (after the last token) in `state.logits()`.
+  /// Bit-identical to n successive `Step` calls, but only computes the
+  /// output head once. Binds `state` to this model's config if needed;
+  /// OutOfRange when position + n exceeds max_seq.
+  dimqr::Status Prefill(const int* tokens, int n, DecodeState& state) const;
+  dimqr::Status Prefill(const std::vector<int>& tokens,
+                        DecodeState& state) const {
+    return Prefill(tokens.data(), static_cast<int>(tokens.size()), state);
+  }
+
+  /// \brief One incremental decode step: appends `token`'s K/V rows to the
+  /// cache and leaves the next-token logits in `state.logits()`. The
+  /// per-token reference path Prefill must match bit for bit.
+  dimqr::Status Step(DecodeState& state, int token) const;
+
   /// \brief Greedy decoding: appends tokens until `eos` or `max_new`.
-  /// Returns only the newly generated ids (without `eos`). Uses an
-  /// incremental KV-cache decoder (O(T) per new token instead of O(T^2)).
+  /// Returns only the newly generated ids (without `eos`). The prompt is
+  /// left-truncated to max_seq - max_new, batch-prefilled, then extended
+  /// token by token through the thread-local arena.
   dimqr::Result<std::vector<int>> Greedy(const std::vector<int>& prefix,
                                          int max_new, int eos) const;
+
+  /// \brief Greedy decoding through an explicit arena, optionally seeded
+  /// from (and feeding) a PrefixCache: the longest cached common token
+  /// prefix is forked into `state` instead of being recomputed, the
+  /// remainder is batch-prefilled, and the full prompt snapshot is
+  /// inserted back. Forked and cold decodes are bit-identical, so results
+  /// do not depend on cache contents. `cache` may be null.
+  dimqr::Result<std::vector<int>> Greedy(const std::vector<int>& prefix,
+                                         int max_new, int eos,
+                                         DecodeState& state,
+                                         PrefixCache* cache) const;
 
   /// Binary weight persistence.
   dimqr::Status Save(const std::string& path) const;
@@ -87,17 +185,12 @@ class Transformer {
   dimqr::Result<double> ForwardBackward(const LmExample& example,
                                         std::vector<float>* grads) const;
 
-  /// Forward-only pass returning the logits at the last prefix position of
-  /// a probe whose final token is a dummy.
-  dimqr::Result<std::vector<float>> LogitsAtLast(const LmExample& probe) const;
-
-  /// One incremental decode step (appends to the KV cache); returns the
-  /// next-token logits.
-  dimqr::Result<std::vector<float>> StepDecode(struct DecodeState& state,
-                                               int token) const;
-
   TransformerConfig config_;
   std::vector<float> params_;
+  /// Parameter offsets — a pure function of config_, computed once at
+  /// Create/Load and shared by copies (the old code rebuilt it on every
+  /// forward pass and decode step).
+  std::shared_ptr<const TransformerLayout> layout_;
   // Adam state (moments + step counter); mutable across TrainBatch calls.
   std::vector<float> adam_m_;
   std::vector<float> adam_v_;
@@ -105,6 +198,17 @@ class Transformer {
 
   friend class TransformerLayout;
 };
+
+/// \brief The greedy tie-break rule used by `Greedy`: the lowest index
+/// among the maxima (strict `>` scan from index 0). Exposed so tests can
+/// pin the tie-break independently of any trained model.
+inline int ArgmaxLowest(const std::vector<float>& logits) {
+  int best = 0;
+  for (int v = 1; v < static_cast<int>(logits.size()); ++v) {
+    if (logits[v] > logits[best]) best = v;
+  }
+  return best;
+}
 
 }  // namespace dimqr::lm
 

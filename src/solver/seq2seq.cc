@@ -137,6 +137,8 @@ Result<double> Seq2SeqModel::TrainSteps(int n_batches) {
     total += loss;
     ++steps_;
   }
+  // Weights moved: every frozen KV snapshot is stale.
+  prefix_cache_.Clear();
   return total / n_batches;
 }
 
@@ -161,7 +163,8 @@ Result<SeqOutput> Seq2SeqModel::Generate(const std::string& input,
   DIMQR_ASSIGN_OR_RETURN(
       std::vector<int> generated,
       model_->Greedy(prefix, config_.max_generated_tokens,
-                     SpecialTokens::kEos));
+                     SpecialTokens::kEos, lm::ThreadLocalDecodeState(),
+                     use_prefix_cache_ ? &prefix_cache_ : nullptr));
   // Split on the LAST <sep>.
   std::size_t sep_at = generated.size();
   for (std::size_t i = generated.size(); i > 0; --i) {

@@ -8,6 +8,7 @@
 #include "core/rng.h"
 #include "core/status.h"
 #include "lm/model_api.h"
+#include "lm/prefix_cache.h"
 #include "lm/transformer.h"
 #include "lm/vocab.h"
 #include "mwp/tokenization.h"
@@ -81,9 +82,26 @@ class Seq2SeqModel : public lm::Model {
   /// across calls (for the Fig. 7 training-step curves). Returns mean loss.
   dimqr::Result<double> TrainSteps(int n_batches);
 
-  /// \brief Generates middle/answer for an input text.
+  /// \brief Generates middle/answer for an input text. Decodes through the
+  /// inference fast path: the prompt is batch-prefilled into the calling
+  /// thread's DecodeState arena, seeded from this model's prompt-prefix KV
+  /// cache when an evaluated instance shares its instruction stem with a
+  /// recent one. Cache hits are bit-identical to cold decodes, so results
+  /// never depend on evaluation order or thread count.
   dimqr::Result<SeqOutput> Generate(const std::string& input,
                                     bool middle_is_equation) const;
+
+  /// \brief Toggles the prompt-prefix KV cache for this model (defaults to
+  /// lm::PrefixCache::Enabled(), i.e. on unless DIMQR_PREFIX_CACHE=0).
+  /// Exists for A/B benchmarks and equivalence tests.
+  void set_prefix_cache_enabled(bool enabled) {
+    use_prefix_cache_ = enabled;
+  }
+
+  /// Cumulative prefix-cache counters (lookups/hits/forked tokens).
+  lm::PrefixCache::Stats prefix_cache_stats() const {
+    return prefix_cache_.stats();
+  }
 
   // lm::Model interface -----------------------------------------------
   const std::string& name() const override { return name_; }
@@ -112,6 +130,11 @@ class Seq2SeqModel : public lm::Model {
   Seq2SeqConfig config_;
   lm::Vocab vocab_;
   std::unique_ptr<lm::Transformer> model_;
+  /// Prompt-prefix KV snapshots, shared across the eval fan-out threads
+  /// (lock-striped internally). Cleared by every Train* call — snapshots
+  /// are only valid for the weights that produced them.
+  mutable lm::PrefixCache prefix_cache_;
+  bool use_prefix_cache_ = lm::PrefixCache::Enabled();
   std::vector<SeqExample> train_;
   std::vector<std::size_t> order_;   ///< Shuffled training order.
   std::size_t cursor_ = 0;           ///< Position in `order_`.

@@ -1,0 +1,409 @@
+// Equivalence suite for the inference fast path: batched Prefill, the
+// reusable DecodeState arena, and PrefixCache forking must all be
+// *bit-identical* to the per-token Step reference — every table binary's
+// byte-identity across DIMQR_THREADS and cache settings rests on it, so
+// the assertions here are EXPECT_EQ on raw float vectors, never NEAR.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "lm/prefix_cache.h"
+#include "lm/transformer.h"
+#include "solver/seq2seq.h"
+
+namespace dimqr::lm {
+namespace {
+
+TransformerConfig TinyConfig() {
+  TransformerConfig c;
+  c.vocab_size = 24;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_layers = 2;
+  c.d_ff = 32;
+  c.max_seq = 16;
+  c.seed = 7;
+  return c;
+}
+
+/// A briefly-trained model: random-init logits are near-uniform, which
+/// would make bit-identity checks trivially easy to pass by accident.
+Transformer TrainedTiny() {
+  Transformer m = Transformer::Create(TinyConfig()).ValueOrDie();
+  LmExample e;
+  e.tokens = {1, 7, 8, 9, 10, 2};
+  e.loss_mask = {0, 0, 1, 1, 1, 1};
+  for (int step = 0; step < 30; ++step) {
+    EXPECT_TRUE(m.TrainBatch({e}, 3e-3).ok());
+  }
+  return m;
+}
+
+/// Per-token reference: Step over every token, collecting the logits after
+/// each position.
+std::vector<std::vector<float>> StepwiseLogits(const Transformer& m,
+                                               const std::vector<int>& tokens) {
+  DecodeState state;
+  state.Bind(m.config());
+  std::vector<std::vector<float>> out;
+  for (int tok : tokens) {
+    EXPECT_TRUE(m.Step(state, tok).ok());
+    out.push_back(state.logits());
+  }
+  return out;
+}
+
+TEST(DecodeFastPathTest, PrefillBitIdenticalToStepAtEverySplit) {
+  Transformer m = TrainedTiny();
+  std::vector<int> tokens = {1, 7, 8, 9, 10, 3, 11, 12, 9, 7};
+  std::vector<std::vector<float>> reference = StepwiseLogits(m, tokens);
+  for (std::size_t cut = 1; cut <= tokens.size(); ++cut) {
+    DecodeState state;
+    ASSERT_TRUE(
+        m.Prefill(tokens.data(), static_cast<int>(cut), state).ok());
+    EXPECT_EQ(state.logits(), reference[cut - 1]) << "prefill len " << cut;
+    EXPECT_EQ(state.position(), static_cast<int>(cut));
+  }
+}
+
+TEST(DecodeFastPathTest, ChunkedPrefillMatchesWholePrefill) {
+  Transformer m = TrainedTiny();
+  std::vector<int> tokens = {1, 7, 8, 9, 10, 3, 11, 12};
+  DecodeState whole;
+  ASSERT_TRUE(m.Prefill(tokens, whole).ok());
+  for (std::size_t cut = 1; cut < tokens.size(); ++cut) {
+    DecodeState chunked;
+    ASSERT_TRUE(
+        m.Prefill(tokens.data(), static_cast<int>(cut), chunked).ok());
+    ASSERT_TRUE(m.Prefill(tokens.data() + cut,
+                          static_cast<int>(tokens.size() - cut), chunked)
+                    .ok());
+    EXPECT_EQ(chunked.logits(), whole.logits()) << "chunk at " << cut;
+  }
+}
+
+TEST(DecodeFastPathTest, PrefillThenStepContinuesSeamlessly) {
+  Transformer m = TrainedTiny();
+  std::vector<int> tokens = {1, 7, 8, 9, 10, 3};
+  std::vector<std::vector<float>> reference = StepwiseLogits(m, tokens);
+  DecodeState state;
+  ASSERT_TRUE(m.Prefill(tokens.data(), 3, state).ok());
+  for (std::size_t i = 3; i < tokens.size(); ++i) {
+    ASSERT_TRUE(m.Step(state, tokens[i]).ok());
+    EXPECT_EQ(state.logits(), reference[i]) << "step at " << i;
+  }
+}
+
+TEST(DecodeFastPathTest, PrefillValidatesInput) {
+  Transformer m = TrainedTiny();
+  DecodeState state;
+  EXPECT_FALSE(m.Prefill(nullptr, 0, state).ok());
+  std::vector<int> bad = {1, 99};
+  EXPECT_FALSE(m.Prefill(bad, state).ok());
+  std::vector<int> too_long(static_cast<std::size_t>(m.config().max_seq) + 1,
+                            7);
+  EXPECT_FALSE(m.Prefill(too_long, state).ok());
+}
+
+TEST(DecodeFastPathTest, ArenaReuseAcrossGenerationsIsStateless) {
+  // One arena, rewound between prompts, must reproduce fresh-state results
+  // even when the second prompt is shorter (stale rows beyond the rewind
+  // point must be unreachable).
+  Transformer m = TrainedTiny();
+  std::vector<int> long_prompt = {1, 7, 8, 9, 10, 3, 11, 12};
+  std::vector<int> short_prompt = {1, 9, 7};
+  DecodeState fresh;
+  ASSERT_TRUE(m.Prefill(short_prompt, fresh).ok());
+  DecodeState reused;
+  ASSERT_TRUE(m.Prefill(long_prompt, reused).ok());
+  reused.Rewind();
+  ASSERT_TRUE(m.Prefill(short_prompt, reused).ok());
+  EXPECT_EQ(reused.logits(), fresh.logits());
+}
+
+TEST(DecodeFastPathTest, GreedyMatchesPerTokenReferenceDecode) {
+  Transformer m = TrainedTiny();
+  std::vector<int> prefix = {1, 7, 8};
+  const int max_new = 6, eos = 2;
+  // Replica of the pre-PR Greedy: per-token prefill, then argmax/step.
+  DecodeState state;
+  state.Bind(m.config());
+  for (int tok : prefix) ASSERT_TRUE(m.Step(state, tok).ok());
+  std::vector<int> reference;
+  for (int step = 0; step < max_new; ++step) {
+    int best = ArgmaxLowest(state.logits());
+    if (best == eos) break;
+    reference.push_back(best);
+    if (state.position() >= m.config().max_seq) break;
+    ASSERT_TRUE(m.Step(state, best).ok());
+  }
+  EXPECT_EQ(m.Greedy(prefix, max_new, eos).ValueOrDie(), reference);
+}
+
+TEST(DecodeFastPathTest, ArgmaxTieBreakPicksLowestIndex) {
+  // Greedy's tie-break must be the first maximum: a later bit-equal logit
+  // never wins, so generation cannot depend on scan direction or epsilon.
+  EXPECT_EQ(ArgmaxLowest({0.5f, 2.0f, 2.0f, 1.0f}), 1);
+  EXPECT_EQ(ArgmaxLowest({3.0f, 3.0f, 3.0f}), 0);
+  EXPECT_EQ(ArgmaxLowest({-1.0f}), 0);
+  EXPECT_EQ(ArgmaxLowest({-2.0f, -1.0f, -1.0f}), 1);
+}
+
+// ---------------------------------------------------------------------------
+// PrefixCache
+// ---------------------------------------------------------------------------
+
+TEST(PrefixCacheTest, ForkedDecodeBitIdenticalToCold) {
+  Transformer m = TrainedTiny();
+  std::vector<int> stem = {1, 7, 8, 9, 10, 3};
+  std::vector<int> prompt_a = stem, prompt_b = stem;
+  prompt_a.insert(prompt_a.end(), {11, 12});
+  prompt_b.insert(prompt_b.end(), {12, 9, 7});
+
+  PrefixCache cache;
+  DecodeState state;
+  state.Bind(m.config());
+  ASSERT_TRUE(m.Prefill(prompt_a, state).ok());
+  cache.Insert(prompt_a, state);
+
+  DecodeState forked;
+  forked.Bind(m.config());
+  int seeded = cache.Seed(prompt_b, forked);
+  ASSERT_EQ(seeded, static_cast<int>(stem.size()));
+  ASSERT_TRUE(m.Prefill(prompt_b.data() + seeded,
+                        static_cast<int>(prompt_b.size()) - seeded, forked)
+                  .ok());
+
+  DecodeState cold;
+  ASSERT_TRUE(m.Prefill(prompt_b, cold).ok());
+  EXPECT_EQ(forked.logits(), cold.logits());
+  EXPECT_EQ(forked.position(), cold.position());
+
+  PrefixCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.hit_tokens, stem.size());
+}
+
+TEST(PrefixCacheTest, SeedAlwaysLeavesAtLeastOneTokenToPrefill) {
+  Transformer m = TrainedTiny();
+  std::vector<int> prompt = {1, 7, 8, 9, 10, 3};
+  PrefixCache cache;
+  DecodeState state;
+  state.Bind(m.config());
+  ASSERT_TRUE(m.Prefill(prompt, state).ok());
+  cache.Insert(prompt, state);
+  // Identical prompt: the fork must stop one token short so the caller's
+  // trailing Prefill recomputes the logits.
+  DecodeState again;
+  again.Bind(m.config());
+  int seeded = cache.Seed(prompt, again);
+  EXPECT_EQ(seeded, static_cast<int>(prompt.size()) - 1);
+}
+
+TEST(PrefixCacheTest, MissesBelowMinForkAndOnForeignStems) {
+  Transformer m = TrainedTiny();
+  PrefixCache cache;
+  DecodeState state;
+  state.Bind(m.config());
+  std::vector<int> prompt = {1, 7, 8, 9, 10, 3};
+  ASSERT_TRUE(m.Prefill(prompt, state).ok());
+  cache.Insert(prompt, state);
+  DecodeState probe;
+  probe.Bind(m.config());
+  // Shares only 2 leading tokens (< min_fork_tokens).
+  std::vector<int> shallow = {1, 7, 9, 9, 9, 9};
+  EXPECT_EQ(cache.Seed(shallow, probe), 0);
+  EXPECT_EQ(probe.position(), 0);
+  // Entirely different stem.
+  std::vector<int> foreign = {3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(cache.Seed(foreign, probe), 0);
+}
+
+TEST(PrefixCacheTest, EvictionKeepsMemoryBounded) {
+  Transformer m = TrainedTiny();
+  PrefixCache::Config config;
+  config.stripes = 1;
+  config.entries_per_stripe = 2;
+  config.min_fork_tokens = 2;
+  PrefixCache cache(config);
+  DecodeState state;
+  state.Bind(m.config());
+  // Prompts share a 4-token routing stem so they all land in the stripe.
+  for (int tail = 6; tail < 12; ++tail) {
+    std::vector<int> prompt = {1, 7, 8, 9, tail, tail};
+    state.Rewind();
+    ASSERT_TRUE(m.Prefill(prompt, state).ok());
+    cache.Insert(prompt, state);
+  }
+  PrefixCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 6u);
+  EXPECT_EQ(stats.evictions, 4u);  // capacity 2, six distinct prompts
+  // The survivors are the two most recently inserted.
+  DecodeState probe;
+  probe.Bind(m.config());
+  std::vector<int> last = {1, 7, 8, 9, 11, 11, 5};
+  EXPECT_GT(cache.Seed(last, probe), 0);
+}
+
+TEST(PrefixCacheTest, GreedyWithCacheMatchesColdGreedy) {
+  Transformer m = TrainedTiny();
+  PrefixCache cache;
+  std::vector<int> stem = {1, 7, 8, 9, 10};
+  std::vector<std::vector<int>> prompts;
+  for (int tail : {11, 12, 9, 11}) {
+    std::vector<int> p = stem;
+    p.push_back(3);
+    p.push_back(tail);
+    prompts.push_back(p);
+  }
+  for (const std::vector<int>& p : prompts) {
+    std::vector<int> cold = m.Greedy(p, 5, /*eos=*/2).ValueOrDie();
+    DecodeState state;
+    std::vector<int> cached =
+        m.Greedy(p, 5, /*eos=*/2, state, &cache).ValueOrDie();
+    EXPECT_EQ(cached, cold);
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(PrefixCacheTest, LeftTruncatedPromptsForkCorrectly) {
+  // Prompt longer than max_seq - max_new: Greedy truncates before any
+  // cache interaction, so snapshots are keyed by what was actually
+  // prefilled and forks stay position-aligned.
+  Transformer m = TrainedTiny();
+  const int max_new = 6;
+  const int budget = m.config().max_seq - max_new;  // 10
+  std::vector<int> long_prompt;
+  for (int i = 0; i < budget + 5; ++i) {
+    long_prompt.push_back(6 + (i % 7));
+  }
+  PrefixCache cache;
+  std::vector<int> cold = m.Greedy(long_prompt, max_new, 2).ValueOrDie();
+  DecodeState s1, s2;
+  EXPECT_EQ(m.Greedy(long_prompt, max_new, 2, s1, &cache).ValueOrDie(), cold);
+  // Second call forks the truncated snapshot and must agree bit for bit.
+  EXPECT_EQ(m.Greedy(long_prompt, max_new, 2, s2, &cache).ValueOrDie(), cold);
+  EXPECT_GT(cache.stats().hit_tokens, 0u);
+}
+
+TEST(PrefixCacheTest, ConcurrentSeedInsertIsRaceFreeAndExact) {
+  // The eval-harness shape: many instances sharing a few stems, decoded
+  // concurrently against one striped cache. Every result must equal its
+  // cold decode regardless of interleaving (also exercised under TSan).
+  Transformer m = TrainedTiny();
+  PrefixCache cache;
+  std::vector<std::vector<int>> prompts;
+  for (int i = 0; i < 48; ++i) {
+    std::vector<int> p = {1, 7, 8, static_cast<int>(6 + (i % 3))};
+    p.push_back(3);
+    p.push_back(6 + (i % 11));
+    prompts.push_back(p);
+  }
+  std::vector<std::vector<int>> cold(prompts.size());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    cold[i] = m.Greedy(prompts[i], 5, 2).ValueOrDie();
+  }
+  ScopedParallelism scope(4);
+  std::vector<std::vector<int>> hot(prompts.size());
+  Status status = ParallelFor(
+      static_cast<std::int64_t>(prompts.size()),
+      [&](std::int64_t begin, std::int64_t end, int) -> Status {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const auto slot = static_cast<std::size_t>(i);
+          DIMQR_ASSIGN_OR_RETURN(
+              hot[slot], m.Greedy(prompts[slot], 5, 2,
+                                  ThreadLocalDecodeState(), &cache));
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    EXPECT_EQ(hot[i], cold[i]) << "prompt " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seq2SeqModel wiring
+// ---------------------------------------------------------------------------
+
+TEST(Seq2SeqFastPathTest, GenerateIdenticalWithCacheOnAndOff) {
+  using solver::SeqExample;
+  using solver::Seq2SeqConfig;
+  using solver::Seq2SeqModel;
+  std::vector<SeqExample> train;
+  const char* stems[] = {"convert five km to m", "convert two kg to g",
+                         "compare one mile with one km"};
+  for (const char* stem : stems) {
+    SeqExample ex;
+    ex.input = stem;
+    ex.middle = "scale the value";
+    ex.answer = "b";
+    train.push_back(ex);
+  }
+  Seq2SeqConfig config;
+  config.arch.d_model = 16;
+  config.arch.n_heads = 2;
+  config.arch.n_layers = 2;
+  config.arch.d_ff = 32;
+  config.arch.max_seq = 48;
+  config.max_generated_tokens = 12;
+  auto build = [&] {
+    auto model =
+        Seq2SeqModel::Create("FastPath", train, config).ValueOrDie();
+    EXPECT_TRUE(model->TrainSteps(2).ok());
+    return model;
+  };
+  auto cached = build();
+  auto cold = build();
+  cached->set_prefix_cache_enabled(true);
+  cold->set_prefix_cache_enabled(false);
+  // Same stem twice: the second generation forks the first's snapshot.
+  for (const char* prompt :
+       {"convert five km to m now", "convert five km to mm now",
+        "compare one mile with one km quickly"}) {
+    solver::SeqOutput a = cached->Generate(prompt, false).ValueOrDie();
+    solver::SeqOutput b = cold->Generate(prompt, false).ValueOrDie();
+    EXPECT_EQ(a.middle, b.middle) << prompt;
+    EXPECT_EQ(a.answer, b.answer) << prompt;
+  }
+  EXPECT_GT(cached->prefix_cache_stats().hits, 0u);
+  EXPECT_EQ(cold->prefix_cache_stats().lookups, 0u);
+}
+
+TEST(Seq2SeqFastPathTest, TrainingInvalidatesSnapshots) {
+  using solver::SeqExample;
+  using solver::Seq2SeqConfig;
+  using solver::Seq2SeqModel;
+  std::vector<SeqExample> train;
+  SeqExample ex;
+  ex.input = "convert five km to m";
+  ex.middle = "scale";
+  ex.answer = "b";
+  train.push_back(ex);
+  Seq2SeqConfig config;
+  config.arch.d_model = 16;
+  config.arch.n_heads = 2;
+  config.arch.n_layers = 2;
+  config.arch.d_ff = 32;
+  config.arch.max_seq = 48;
+  config.max_generated_tokens = 8;
+  auto model = Seq2SeqModel::Create("Stale", train, config).ValueOrDie();
+  model->set_prefix_cache_enabled(true);
+  ASSERT_TRUE(model->Generate("convert five km to m", false).ok());
+  ASSERT_TRUE(model->TrainSteps(2).ok());
+  // Post-training generation must match a cache-disabled twin: any stale
+  // snapshot surviving Clear() would fork pre-training K/V rows here.
+  solver::SeqOutput with_cache =
+      model->Generate("convert five km to m", false).ValueOrDie();
+  model->set_prefix_cache_enabled(false);
+  solver::SeqOutput without =
+      model->Generate("convert five km to m", false).ValueOrDie();
+  EXPECT_EQ(with_cache.middle, without.middle);
+  EXPECT_EQ(with_cache.answer, without.answer);
+}
+
+}  // namespace
+}  // namespace dimqr::lm
