@@ -21,6 +21,9 @@
 #include "lm/resilient_model.h"
 #include "lm/transformer.h"
 #include "mwp/equation.h"
+#include "serve/loadgen.h"
+#include "serve/report.h"
+#include "serve/server.h"
 #include "solver/pipelines.h"
 #include "solver/seq2seq.h"
 #include "text/levenshtein.h"
@@ -519,6 +522,99 @@ void BM_EvalDimEvalPrefixCache(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvalDimEvalPrefixCache)->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------
+// Serving layer: continuous batching over the decode bench model. The
+// trace is generated once (seeded, outside the timed region); each
+// iteration replays it through a fresh Server. Wall time measures the
+// scheduler + batched decode; the counters surface the simulated-clock
+// service metrics (latency percentiles, shed/deadline rates) that
+// BENCH_perf.json publishes.
+
+constexpr int kServeNeverEos = -1;  // argmax is >= 0, so decodes run full
+
+void BM_ServeThroughput(benchmark::State& state) {
+  // Steady offered load, roomy queue: measures batched decode throughput
+  // as the batch width (slots) grows.
+  const lm::Transformer& model = DecodeBenchModel();
+  serve::LoadGenConfig load;
+  load.num_requests = 48;
+  load.seed = 7;
+  load.vocab_size = model.config().vocab_size;
+  load.stem_tokens = 24;
+  load.max_tail_tokens = 8;
+  load.max_new_tokens = 12;
+  load.max_burst = 4;
+  load.max_gap_ticks = 4;
+  const std::vector<serve::ServeRequest> trace = serve::GenerateLoad(load);
+  serve::ServerConfig config;
+  config.slots = static_cast<int>(state.range(0));
+  config.eos_token = kServeNeverEos;
+  config.admission.queue_capacity = 128;
+  serve::ServeReport report;
+  for (auto _ : state) {
+    serve::Server server(model, config);
+    auto outcomes = server.Run(trace);
+    if (!outcomes.ok()) {
+      state.SkipWithError("serve run failed");
+      return;
+    }
+    report = serve::BuildReport(outcomes.ValueOrDie());
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(report.generated_tokens));
+  state.counters["sim_tokens_per_tick"] = report.TokensPerTick();
+  state.counters["sim_p50_ticks"] =
+      static_cast<double>(report.p50_latency_ticks);
+  state.counters["sim_p99_ticks"] =
+      static_cast<double>(report.p99_latency_ticks);
+}
+BENCHMARK(BM_ServeThroughput)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ServeP99UnderBurst(benchmark::State& state) {
+  // Oversubscribed bursts against a tight queue with deadlines: the
+  // degradation ladder (rejection, hysteresis shedding, cancellation) is
+  // live, and the tail of the completed-request latency distribution plus
+  // the shed/miss rates are the published result.
+  const lm::Transformer& model = DecodeBenchModel();
+  serve::LoadGenConfig load;
+  load.num_requests = 64;
+  load.seed = 11;
+  load.vocab_size = model.config().vocab_size;
+  load.stem_tokens = 24;
+  load.max_tail_tokens = 8;
+  load.max_new_tokens = 12;
+  load.max_burst = 12;
+  load.max_gap_ticks = 3;
+  load.deadline_min_ticks = 24;
+  load.deadline_max_ticks = 96;
+  const std::vector<serve::ServeRequest> trace = serve::GenerateLoad(load);
+  serve::ServerConfig config;
+  config.slots = 4;
+  config.eos_token = kServeNeverEos;
+  config.admission.queue_capacity = 12;
+  serve::ServeReport report;
+  for (auto _ : state) {
+    serve::Server server(model, config);
+    auto outcomes = server.Run(trace);
+    if (!outcomes.ok()) {
+      state.SkipWithError("serve run failed");
+      return;
+    }
+    report = serve::BuildReport(outcomes.ValueOrDie());
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["sim_p50_ticks"] =
+      static_cast<double>(report.p50_latency_ticks);
+  state.counters["sim_p95_ticks"] =
+      static_cast<double>(report.p95_latency_ticks);
+  state.counters["sim_p99_ticks"] =
+      static_cast<double>(report.p99_latency_ticks);
+  state.counters["shed_rate"] = report.ShedRate();
+  state.counters["deadline_miss_rate"] = report.DeadlineMissRate();
+}
+BENCHMARK(BM_ServeP99UnderBurst);
 
 }  // namespace
 

@@ -1,0 +1,155 @@
+// Deterministic load-generator driver for the serving layer — the binary
+// the serve-chaos CI job runs. It trains a tiny fixed-seed Transformer,
+// generates a seeded bursty trace, plays it through serve::Server, prints
+// the aggregate report, and (with --journal) writes the canonical
+// per-request outcome journal. Fault injection comes from the DIMQR_FAULTS
+// environment variable and the worker count from DIMQR_THREADS, so the
+// same invocation must produce a byte-identical journal at any thread
+// count — that is the property CI diffs.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lm/transformer.h"
+#include "serve/loadgen.h"
+#include "serve/report.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace dimqr;
+
+struct Options {
+  int requests = 64;
+  std::uint64_t seed = 1;
+  int slots = 4;
+  int queue_capacity = 16;
+  int max_new_tokens = 6;
+  std::uint64_t deadline_min = 0;
+  std::uint64_t deadline_max = 0;
+  std::string journal_path;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--requests N] [--seed S] [--slots N]\n"
+      "          [--queue-capacity N] [--max-new N]\n"
+      "          [--deadline-min T] [--deadline-max T] [--journal PATH]\n"
+      "Fault injection: set DIMQR_FAULTS (e.g. "
+      "\"serve.backend_transient:0.2:transient\").\n"
+      "Worker threads: set DIMQR_THREADS.\n",
+      argv0);
+}
+
+bool ParseUint(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+bool ParseOptions(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&](std::uint64_t& out) {
+      return ++i < argc && ParseUint(argv[i], out);
+    };
+    std::uint64_t value = 0;
+    if (std::strcmp(arg, "--requests") == 0 && next(value)) {
+      options.requests = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--seed") == 0 && next(value)) {
+      options.seed = value;
+    } else if (std::strcmp(arg, "--slots") == 0 && next(value)) {
+      options.slots = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--queue-capacity") == 0 && next(value)) {
+      options.queue_capacity = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--max-new") == 0 && next(value)) {
+      options.max_new_tokens = static_cast<int>(value);
+    } else if (std::strcmp(arg, "--deadline-min") == 0 && next(value)) {
+      options.deadline_min = value;
+    } else if (std::strcmp(arg, "--deadline-max") == 0 && next(value)) {
+      options.deadline_max = value;
+    } else if (std::strcmp(arg, "--journal") == 0 && ++i < argc) {
+      options.journal_path = argv[i];
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The fixed-seed model every invocation shares: training is fully
+/// deterministic, so two runs (on any machine) serve identical logits.
+lm::Transformer BuildModel() {
+  lm::TransformerConfig config;
+  config.vocab_size = 24;
+  config.d_model = 16;
+  config.n_heads = 2;
+  config.n_layers = 2;
+  config.d_ff = 32;
+  config.max_seq = 32;
+  config.seed = 13;
+  lm::Transformer model = lm::Transformer::Create(config).ValueOrDie();
+  lm::LmExample example;
+  example.tokens = {1, 7, 8, 9, 10, 2};
+  example.loss_mask = {0, 0, 1, 1, 1, 1};
+  for (int step = 0; step < 30; ++step) {
+    if (!model.TrainBatch({example}, 3e-3).ok()) {
+      std::fprintf(stderr, "serve_loadgen: model training failed\n");
+      std::exit(1);
+    }
+  }
+  return model;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseOptions(argc, argv, options)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  lm::Transformer model = BuildModel();
+
+  serve::LoadGenConfig load;
+  load.num_requests = options.requests;
+  load.seed = options.seed;
+  load.vocab_size = model.config().vocab_size;
+  load.max_new_tokens = options.max_new_tokens;
+  load.deadline_min_ticks = options.deadline_min;
+  load.deadline_max_ticks = options.deadline_max;
+  std::vector<serve::ServeRequest> trace = serve::GenerateLoad(load);
+
+  serve::ServerConfig config;
+  config.slots = options.slots;
+  config.admission.queue_capacity = options.queue_capacity;
+  serve::Server server(model, config);
+  auto outcomes = server.Run(std::move(trace));
+  if (!outcomes.ok()) {
+    std::fprintf(stderr, "serve_loadgen: run failed: %s\n",
+                 outcomes.status().message().c_str());
+    return 1;
+  }
+
+  const serve::ServeReport report = serve::BuildReport(outcomes.ValueOrDie());
+  std::fputs(serve::FormatReport(report).c_str(), stdout);
+  if (!options.journal_path.empty()) {
+    std::ofstream out(options.journal_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "serve_loadgen: cannot open %s\n",
+                   options.journal_path.c_str());
+      return 1;
+    }
+    out << serve::FormatJournal(outcomes.ValueOrDie());
+  }
+  return 0;
+}

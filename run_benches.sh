@@ -3,9 +3,12 @@
 # in experiment order, writing the combined log to bench_output.txt. The
 # micro-benchmarks additionally dump machine-readable Google-benchmark
 # JSON to BENCH_perf.json (interned vs legacy string-keyed comparisons,
-# blocked vs naive kernels, the DIMQR_THREADS sweeps, and the inference
+# blocked vs naive kernels, the DIMQR_THREADS sweeps, the inference
 # fast path: batched prefill vs per-token decode plus the prompt-prefix
-# KV cache on/off under the eval harness).
+# KV cache on/off under the eval harness, and the serving layer:
+# BM_ServeThroughput's batch-width sweep and BM_ServeP99UnderBurst's
+# tail latency / shed rate / deadline-miss rate under oversubscribed
+# bursts, all on the simulated tick clock).
 #
 # Timings only mean something from an optimized build, so everything runs
 # out of a dedicated Release tree (build-rel/) — never the default dev

@@ -67,16 +67,22 @@ FaultRegistry& FaultRegistry::Global() {
   static FaultRegistry* const kRegistry = [] {
     auto* registry = new FaultRegistry();
     if (const char* env = std::getenv("DIMQR_FAULTS")) {
-      Status st = registry->Configure(env);
-      if (!st.ok()) {
-        std::fprintf(stderr,
-                     "dimqr: ignoring invalid DIMQR_FAULTS: %s\n",
-                     st.ToString().c_str());
-      }
+      registry->ApplyEnvSpecOrDie(env);
     }
     return registry;
   }();
   return *kRegistry;
+}
+
+void FaultRegistry::ApplyEnvSpecOrDie(const char* spec) {
+  Status st = Configure(spec == nullptr ? "" : spec);
+  if (!st.ok()) {
+    // Fatal by design: silently dropping a chaos spec would let a faulted
+    // run masquerade as a clean one.
+    std::fprintf(stderr, "dimqr: fatal: invalid DIMQR_FAULTS spec: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
 }
 
 Status FaultRegistry::Configure(std::string_view spec) {

@@ -27,7 +27,7 @@
 ///
 /// Configuration comes from the `DIMQR_FAULTS` environment variable (or
 /// `FaultRegistry::Configure` in tests): a comma-separated list of
-/// `site:prob:kind[:after_n]` entries, e.g.
+/// `site:prob:kind[:after_n]` entries, e.g.:
 ///
 ///   DIMQR_FAULTS="lm.answer_choice:0.2:transient,lm.answer_text:1:permanent"
 ///
@@ -81,9 +81,16 @@ struct FaultDecision {
 /// against concurrent Configure via a swapped immutable snapshot.
 class FaultRegistry {
  public:
-  /// The singleton, configured from `DIMQR_FAULTS` on first access (a parse
-  /// failure is reported on stderr and leaves the registry empty).
+  /// The singleton, configured from `DIMQR_FAULTS` on first access. A parse
+  /// failure is fatal (see ApplyEnvSpecOrDie): a chaos run whose fault spec
+  /// was silently dropped would pass as a clean run, which is exactly the
+  /// false confidence fault injection exists to prevent.
   static FaultRegistry& Global();
+
+  /// \brief Applies an environment-provided spec to this registry, aborting
+  /// the process with the parse error on stderr when the spec is malformed.
+  /// Factored out of Global() so the fatal path stays testable.
+  void ApplyEnvSpecOrDie(const char* spec);
 
   /// \brief Replaces the configuration with the parsed `spec`
   /// ("site:prob:kind[:after_n][,...]"). An empty spec clears. Strict: any

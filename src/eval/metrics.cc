@@ -1,5 +1,6 @@
 #include "eval/metrics.h"
 
+#include <cmath>
 #include <vector>
 
 namespace dimqr::eval {
@@ -62,6 +63,18 @@ void ScoreExtraction(const std::vector<lm::ExtractedQuantity>& predicted,
         return p.unit == g.unit;
       },
       metrics.ue);
+}
+
+std::uint64_t NearestRankPercentile(const std::vector<std::uint64_t>& sorted,
+                                    double percentile) {
+  if (sorted.empty()) return 0;
+  if (percentile <= 0.0) percentile = 1e-9;
+  if (percentile > 100.0) percentile = 100.0;
+  const double n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(percentile / 100.0 * n));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
 }
 
 }  // namespace dimqr::eval

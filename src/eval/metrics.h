@@ -1,6 +1,7 @@
 #ifndef DIMQR_EVAL_METRICS_H_
 #define DIMQR_EVAL_METRICS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "lm/model_api.h"
@@ -115,6 +116,15 @@ struct ExtractionMetrics {
 void ScoreExtraction(const std::vector<lm::ExtractedQuantity>& predicted,
                      const std::vector<lm::ExtractedQuantity>& gold,
                      ExtractionMetrics& metrics);
+
+/// \brief Nearest-rank percentile over ascending-sorted samples: the
+/// smallest sample such that at least `percentile` percent of samples are
+/// <= it (ceil(p/100 * n), 1-based). Integer and exact — two runs with the
+/// same samples report the same tick, which latency reporting (serve/)
+/// requires. Returns 0 for an empty sample set; `percentile` is clamped to
+/// (0, 100].
+std::uint64_t NearestRankPercentile(const std::vector<std::uint64_t>& sorted,
+                                    double percentile);
 
 }  // namespace dimqr::eval
 

@@ -145,6 +145,20 @@ void PrefixCache::Clear() {
   }
 }
 
+std::size_t PrefixCache::EvictAll() {
+  std::size_t dropped = 0;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    dropped += stripe.entries.size();
+    stripe.entries.clear();
+    stripe.clock = 0;
+  }
+  if (dropped > 0) {
+    evictions_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
 PrefixCache::Stats PrefixCache::stats() const {
   Stats s;
   s.lookups = lookups_.load(std::memory_order_relaxed);

@@ -87,6 +87,13 @@ class PrefixCache {
   /// Drops every snapshot (mandatory after weight updates).
   void Clear();
 
+  /// \brief The load-shedding hook (serve/): drops every snapshot like
+  /// Clear(), but counts the dropped entries into `Stats::evictions` and
+  /// returns how many were released. Subsequent decodes are bit-identical
+  /// to cold-start decodes — forks never change bytes, so evicting merely
+  /// re-pays the prefill the snapshots were saving.
+  std::size_t EvictAll();
+
   Stats stats() const;
 
  private:

@@ -25,22 +25,56 @@ ResilientModel::ResilientModel(Model& inner, RetryPolicy retry,
                                CircuitBreakerPolicy breaker)
     : inner_(inner), retry_(retry), breaker_(breaker) {}
 
-bool ResilientModel::BreakerOpen(const std::string& task) {
+ResilientModel::BreakerAdmission ResilientModel::BreakerAdmit(
+    const std::string& task, std::uint64_t now) {
   if (!breaker_.enabled ||
       !breaker_active_.load(std::memory_order_acquire)) {
-    return false;
+    return BreakerAdmission::kPass;
   }
   std::lock_guard<std::mutex> lock(breaker_mu_);
   auto it = breakers_.find(task);
-  return it != breakers_.end() && it->second.open;
+  if (it == breakers_.end()) return BreakerAdmission::kPass;
+  BreakerState& state = it->second;
+  switch (state.state) {
+    case BreakerState::State::kClosed:
+      return BreakerAdmission::kPass;
+    case BreakerState::State::kOpen:
+      if (now >= state.opened_at + breaker_.cooldown_ticks) {
+        // Cooldown elapsed: this call becomes the single recovery probe.
+        state.state = BreakerState::State::kHalfOpen;
+        state.probe_in_flight = true;
+        stats_.half_open_probes.fetch_add(1, std::memory_order_relaxed);
+        return BreakerAdmission::kProbe;
+      }
+      return BreakerAdmission::kShortCircuit;
+    case BreakerState::State::kHalfOpen:
+      if (!state.probe_in_flight) {
+        state.probe_in_flight = true;
+        stats_.half_open_probes.fetch_add(1, std::memory_order_relaxed);
+        return BreakerAdmission::kProbe;
+      }
+      return BreakerAdmission::kShortCircuit;
+  }
+  return BreakerAdmission::kPass;
 }
 
-void ResilientModel::BreakerRecordFailure(const std::string& task) {
+void ResilientModel::BreakerRecordFailure(const std::string& task,
+                                          bool was_probe, std::uint64_t now) {
   if (!breaker_.enabled) return;
   std::lock_guard<std::mutex> lock(breaker_mu_);
   breaker_active_.store(true, std::memory_order_release);
   BreakerState& state = breakers_[task];
-  if (++state.consecutive_failures >= breaker_.trip_after) state.open = true;
+  state.probe_in_flight = false;
+  if (was_probe || state.state == BreakerState::State::kHalfOpen) {
+    // Failed probe: the backend is still down, restart the cooldown.
+    state.state = BreakerState::State::kOpen;
+    state.opened_at = now;
+    return;
+  }
+  if (++state.consecutive_failures >= breaker_.trip_after) {
+    state.state = BreakerState::State::kOpen;
+    state.opened_at = now;
+  }
 }
 
 void ResilientModel::BreakerRecordSuccess(const std::string& task) {
@@ -51,8 +85,9 @@ void ResilientModel::BreakerRecordSuccess(const std::string& task) {
   std::lock_guard<std::mutex> lock(breaker_mu_);
   auto it = breakers_.find(task);
   if (it != breakers_.end()) {
+    it->second.state = BreakerState::State::kClosed;
     it->second.consecutive_failures = 0;
-    it->second.open = false;
+    it->second.probe_in_flight = false;
   }
 }
 
@@ -69,7 +104,12 @@ ResilientModel::TransportOutcome ResilientModel::Transport(
     return {};
   }
 
-  if (BreakerOpen(task)) {
+  // Every transport call costs one simulated tick; injected latency and
+  // backoff are added below. Breaker cooldowns measure against this clock.
+  const std::uint64_t now = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  BreakerAdmission admission = BreakerAdmit(task, now);
+  if (admission == BreakerAdmission::kShortCircuit) {
     stats_.short_circuits.fetch_add(1, std::memory_order_relaxed);
     return {.failure = StatusCode::kInternal, .garbled = false};
   }
@@ -78,6 +118,7 @@ ResilientModel::TransportOutcome ResilientModel::Transport(
   // the end, so totals are order-independent across threads.
   std::uint64_t local_latency = 0;
   std::uint64_t local_backoff = 0;
+  bool permanent = false;
   TransportOutcome outcome;
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     stats_.attempts.fetch_add(1, std::memory_order_relaxed);
@@ -108,7 +149,7 @@ ResilientModel::TransportOutcome ResilientModel::Transport(
         break;
       case FaultKind::kPermanent:
         stats_.permanent_failures.fetch_add(1, std::memory_order_relaxed);
-        BreakerRecordFailure(task);
+        permanent = true;
         outcome.failure = StatusCode::kInternal;
         goto done;
     }
@@ -122,12 +163,22 @@ ResilientModel::TransportOutcome ResilientModel::Transport(
   stats_.declines.fetch_add(1, std::memory_order_relaxed);
 
 done:
-  if (outcome.failure == StatusCode::kOk) BreakerRecordSuccess(task);
   if (local_latency > 0) {
     stats_.latency_ticks.fetch_add(local_latency, std::memory_order_relaxed);
   }
   if (local_backoff > 0) {
     stats_.backoff_ticks.fetch_add(local_backoff, std::memory_order_relaxed);
+  }
+  const std::uint64_t spent = local_latency + local_backoff;
+  const std::uint64_t end =
+      spent > 0 ? clock_.fetch_add(spent, std::memory_order_relaxed) + spent
+                : now;
+  if (outcome.failure == StatusCode::kOk) {
+    BreakerRecordSuccess(task);
+  } else if (permanent || admission == BreakerAdmission::kProbe) {
+    // Permanent failures feed the trip counter; a failed probe (even a
+    // retryable one) re-opens the breaker and restarts the cooldown.
+    BreakerRecordFailure(task, admission == BreakerAdmission::kProbe, end);
   }
   return outcome;
 }
@@ -192,12 +243,12 @@ std::vector<ExtractedQuantity> ResilientModel::ExtractQuantities(
 }
 
 std::string ResilientModel::StatsSummary() const {
-  char buffer[256];
+  char buffer[320];
   std::snprintf(
       buffer, sizeof(buffer),
       "calls=%llu attempts=%llu retries=%llu declines=%llu permanent=%llu "
-      "garbled=%llu short_circuits=%llu latency_ticks=%llu "
-      "backoff_ticks=%llu",
+      "garbled=%llu short_circuits=%llu half_open_probes=%llu "
+      "latency_ticks=%llu backoff_ticks=%llu",
       static_cast<unsigned long long>(
           stats_.calls.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
@@ -212,6 +263,8 @@ std::string ResilientModel::StatsSummary() const {
           stats_.garbled.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           stats_.short_circuits.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats_.half_open_probes.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
           stats_.latency_ticks.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(

@@ -48,16 +48,29 @@ struct RetryPolicy {
 /// \brief Per-task circuit breaker: after `trip_after` consecutive
 /// permanent failures on one task key, further calls for that task are
 /// short-circuited to an immediate permanent failure (no attempts, no
-/// backoff) until a success on that task resets it.
+/// backoff).
+///
+/// An open breaker does not stay open forever: once `cooldown_ticks` have
+/// elapsed on the wrapper's simulated clock (which advances one tick per
+/// transport call plus any injected latency and backoff), the breaker
+/// moves to *half-open* and admits exactly one probe call to the backend.
+/// A successful probe closes the breaker (the task recovers); a failed
+/// probe — permanent or retry-exhausted — re-opens it and restarts the
+/// cooldown. Calls arriving while a probe is in flight are still
+/// short-circuited, so a recovering backend sees one request, not a
+/// thundering herd.
 ///
 /// Note the breaker trades work for fidelity: short-circuited calls never
-/// reach the backend, so *which* calls it rejects depends on scheduling.
-/// That is safe here because the breaker only opens under permanent
-/// failures, and the harness already discards per-instance results for a
-/// task once any instance fails permanently (the task is incomplete).
+/// reach the backend, so *which* calls it rejects (and which call becomes
+/// the probe) depends on scheduling. That is safe here because the breaker
+/// only opens under permanent failures, and the harness already discards
+/// per-instance results for a task once any instance fails permanently
+/// (the task is incomplete).
 struct CircuitBreakerPolicy {
   bool enabled = true;
   int trip_after = 8;
+  /// Simulated ticks an open breaker waits before admitting a probe.
+  std::uint64_t cooldown_ticks = 32;
 };
 
 /// \brief Monotonic counters describing what the resilience layer did.
@@ -73,6 +86,7 @@ struct ResilienceStats {
   std::atomic<std::uint64_t> backoff_ticks{0};
   std::atomic<std::uint64_t> deadline_exceeded{0};
   std::atomic<std::uint64_t> short_circuits{0};  ///< Breaker rejections.
+  std::atomic<std::uint64_t> half_open_probes{0};  ///< Probe admissions.
 };
 
 /// \brief The decorator. Does not own the wrapped model.
@@ -106,6 +120,19 @@ class ResilientModel : public Model {
   /// One-line human-readable counter dump for diagnostics.
   std::string StatsSummary() const;
 
+  /// \brief The wrapper's simulated clock: one tick per transport call plus
+  /// all injected latency and backoff ticks. Breaker cooldowns are measured
+  /// against this clock.
+  std::uint64_t clock_ticks() const {
+    return clock_.load(std::memory_order_relaxed);
+  }
+
+  /// Advances the simulated clock, e.g. to model idle time between calls
+  /// (tests use this to step through a breaker cooldown directly).
+  void AdvanceClock(std::uint64_t ticks) {
+    clock_.fetch_add(ticks, std::memory_order_relaxed);
+  }
+
  private:
   /// The simulated transport: evaluates `site` per attempt, applies
   /// retry/backoff/breaker policy, and reports how the call ended.
@@ -116,18 +143,32 @@ class ResilientModel : public Model {
   TransportOutcome Transport(const FaultSite& site, const std::string& task,
                              std::uint64_t instance_seed);
 
-  bool BreakerOpen(const std::string& task);
-  void BreakerRecordFailure(const std::string& task);
+  /// What the breaker does with an arriving call.
+  enum class BreakerAdmission : std::uint8_t {
+    kPass,          ///< Breaker closed (or no entry): normal call.
+    kProbe,         ///< Half-open: this call is the single recovery probe.
+    kShortCircuit,  ///< Open (or probe already in flight): reject.
+  };
+  BreakerAdmission BreakerAdmit(const std::string& task, std::uint64_t now);
+  /// `was_probe` re-opens immediately (a failed probe restarts the
+  /// cooldown); otherwise only permanent failures count toward the trip.
+  void BreakerRecordFailure(const std::string& task, bool was_probe,
+                            std::uint64_t now);
   void BreakerRecordSuccess(const std::string& task);
 
   Model& inner_;
   RetryPolicy retry_;
   CircuitBreakerPolicy breaker_;
   ResilienceStats stats_;
+  /// Simulated ticks; see clock_ticks().
+  std::atomic<std::uint64_t> clock_{0};
 
   struct BreakerState {
+    enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+    State state = State::kClosed;
     int consecutive_failures = 0;
-    bool open = false;
+    std::uint64_t opened_at = 0;    ///< Clock tick of the last open.
+    bool probe_in_flight = false;   ///< Half-open: one probe at a time.
   };
   std::mutex breaker_mu_;
   std::map<std::string, BreakerState, std::less<>> breakers_;

@@ -888,14 +888,7 @@ Result<std::vector<int>> Transformer::Greedy(const std::vector<int>& prefix,
     start.erase(start.begin(),
                 start.end() - static_cast<std::ptrdiff_t>(budget));
   }
-  state.Bind(config_);
-  // Fork the longest cached snapshot of this prompt, then prefill only the
-  // unshared tail (Seed always leaves >= 1 token so the logits are fresh).
-  int seeded = 0;
-  if (cache != nullptr) seeded = cache->Seed(start, state);
-  DIMQR_RETURN_NOT_OK(Prefill(start.data() + seeded,
-                              static_cast<int>(start.size()) - seeded, state));
-  if (cache != nullptr) cache->Insert(start, state);
+  DIMQR_RETURN_NOT_OK(PrefillWithCache(start, state, cache).status());
   const std::vector<float>& logits = state.logits();
   std::vector<int> generated;
   for (int step = 0; step < max_new; ++step) {
@@ -906,6 +899,25 @@ Result<std::vector<int>> Transformer::Greedy(const std::vector<int>& prefix,
     DIMQR_RETURN_NOT_OK(Step(state, best));
   }
   return generated;
+}
+
+Result<int> Transformer::PrefillWithCache(const std::vector<int>& tokens,
+                                          DecodeState& state,
+                                          PrefixCache* cache) const {
+  if (tokens.empty()) return Status::InvalidArgument("empty prompt");
+  if (static_cast<int>(tokens.size()) > config_.max_seq) {
+    return Status::OutOfRange("prompt exceeds max_seq");
+  }
+  state.Bind(config_);
+  // Fork the longest cached snapshot of this prompt, then prefill only the
+  // unshared tail (Seed always leaves >= 1 token so the logits are fresh).
+  int seeded = 0;
+  if (cache != nullptr) seeded = cache->Seed(tokens, state);
+  DIMQR_RETURN_NOT_OK(Prefill(tokens.data() + seeded,
+                              static_cast<int>(tokens.size()) - seeded,
+                              state));
+  if (cache != nullptr) cache->Insert(tokens, state);
+  return seeded;
 }
 
 Status Transformer::Save(const std::string& path) const {

@@ -169,6 +169,19 @@ class Transformer {
                                          DecodeState& state,
                                          PrefixCache* cache) const;
 
+  /// \brief The batch-join hook: binds and rewinds `state`, forks the
+  /// longest cached common prefix of `tokens` out of `cache` (when non
+  /// null), batch-prefills the unshared tail, and inserts the full prompt
+  /// snapshot back. On return `state` holds the whole prompt's KV rows and
+  /// fresh next-token logits, exactly as a cold `Prefill` would have left
+  /// them. Returns the number of tokens served from the cache. This is the
+  /// prompt-consumption step of `Greedy`, exposed so a scheduler admitting
+  /// a request into a running decode batch (serve/) shares one code path
+  /// with single-request decoding.
+  dimqr::Result<int> PrefillWithCache(const std::vector<int>& tokens,
+                                      DecodeState& state,
+                                      PrefixCache* cache) const;
+
   /// Binary weight persistence.
   dimqr::Status Save(const std::string& path) const;
   static dimqr::Result<Transformer> Load(const std::string& path);

@@ -1,0 +1,95 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace dimqr::serve {
+
+AdmissionQueue::AdmissionQueue(const AdmissionConfig& config)
+    : config_(config) {
+  if (config_.queue_capacity < 1) config_.queue_capacity = 1;
+  if (config_.max_join_per_round < 1) config_.max_join_per_round = 1;
+  if (config_.shed_join_per_round < 1) config_.shed_join_per_round = 1;
+  config_.shed_enter_occupancy =
+      std::clamp(config_.shed_enter_occupancy, 0.0, 1.0);
+  config_.shed_exit_occupancy = std::clamp(config_.shed_exit_occupancy, 0.0,
+                                           config_.shed_enter_occupancy);
+}
+
+Status AdmissionQueue::Offer(const ServeRequest& request) {
+  ++stats_.offered;
+  if (full()) {
+    ++stats_.rejected_full;
+    return Status::Unavailable("serve queue full");
+  }
+  pending_.push_back(Pending{request, next_sequence_++});
+  return Status::OK();
+}
+
+bool AdmissionQueue::PopNext(ServeRequest* out) {
+  if (pending_.empty()) return false;
+  auto best = pending_.begin();
+  for (auto it = std::next(best); it != pending_.end(); ++it) {
+    if (it->request.priority > best->request.priority) best = it;
+    // Sequence numbers are monotonic, so the first entry seen at a
+    // priority level is already the oldest one.
+  }
+  *out = std::move(best->request);
+  pending_.erase(best);
+  return true;
+}
+
+std::vector<ServeRequest> AdmissionQueue::DrainExpired(std::uint64_t now) {
+  std::vector<ServeRequest> expired;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->request.DeadlineTick() <= now) {
+      expired.push_back(std::move(it->request));
+      it = pending_.erase(it);
+      ++stats_.expired;
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+bool AdmissionQueue::UpdateShedding() {
+  const double occupancy =
+      static_cast<double>(pending_.size()) /
+      static_cast<double>(config_.queue_capacity);
+  if (!shedding_ && occupancy >= config_.shed_enter_occupancy) {
+    shedding_ = true;
+    ++stats_.shed_entries;
+    return true;
+  }
+  if (shedding_ && occupancy <= config_.shed_exit_occupancy) {
+    shedding_ = false;
+    ++stats_.shed_exits;
+  }
+  return false;
+}
+
+std::vector<ServeRequest> AdmissionQueue::ShedToExitWatermark() {
+  std::vector<ServeRequest> shed;
+  if (!shedding_) return shed;
+  const auto watermark = static_cast<std::size_t>(
+      config_.shed_exit_occupancy *
+      static_cast<double>(config_.queue_capacity));
+  while (pending_.size() > watermark) {
+    // Victim: lowest priority; newest (highest sequence) within it — the
+    // entry that would have waited longest for the least important work.
+    auto victim = pending_.begin();
+    for (auto it = std::next(victim); it != pending_.end(); ++it) {
+      if (it->request.priority < victim->request.priority ||
+          (it->request.priority == victim->request.priority &&
+           it->sequence > victim->sequence)) {
+        victim = it;
+      }
+    }
+    shed.push_back(std::move(victim->request));
+    pending_.erase(victim);
+    ++stats_.shed;
+  }
+  return shed;
+}
+
+}  // namespace dimqr::serve

@@ -1,0 +1,116 @@
+#ifndef DIMQR_SERVE_ADMISSION_H_
+#define DIMQR_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/status.h"
+#include "serve/request.h"
+
+/// \file admission.h
+/// Bounded admission queue with hysteresis load shedding.
+///
+/// Admission control is the first line of defence: `Offer` rejects with
+/// kUnavailable the moment the queue is full, so memory is bounded by
+/// `queue_capacity` no matter how bursty the arrival process is — the
+/// server never buffers unbounded work.
+///
+/// Load shedding is the second line. Occupancy crossing
+/// `shed_enter_occupancy` flips the queue into shedding mode; it stays
+/// there until occupancy falls below `shed_exit_occupancy` (hysteresis, so
+/// a load level hovering at one threshold cannot make the server flap
+/// between modes every round). While shedding, `join_budget()` shrinks the
+/// number of requests admitted into the decode batch per token boundary,
+/// and `ShedToExitWatermark` declines queued requests — lowest priority
+/// first, newest first within a priority — until the queue is back at the
+/// exit watermark.
+///
+/// Threading: the queue is scheduler-phase state, mutated only from the
+/// server's sequential phases (never from decode workers), so it needs no
+/// lock and its behaviour is identical at every DIMQR_THREADS setting.
+
+namespace dimqr::serve {
+
+/// \brief Capacity and shedding knobs.
+struct AdmissionConfig {
+  std::size_t queue_capacity = 64;
+  /// Requests admitted into the running batch per token boundary.
+  int max_join_per_round = 4;
+  /// The shrunken join budget while shedding.
+  int shed_join_per_round = 1;
+  /// Enter shedding at or above this occupancy (fraction of capacity)...
+  double shed_enter_occupancy = 0.75;
+  /// ...and leave it only at or below this one.
+  double shed_exit_occupancy = 0.25;
+};
+
+/// \brief Monotonic counters for the admission layer.
+struct AdmissionStats {
+  std::uint64_t offered = 0;
+  std::uint64_t rejected_full = 0;  ///< Offer on a full queue.
+  std::uint64_t shed = 0;           ///< Declined by ShedToExitWatermark.
+  std::uint64_t expired = 0;        ///< Deadline passed while queued.
+  std::uint64_t shed_entries = 0;   ///< Transitions into shedding mode.
+  std::uint64_t shed_exits = 0;     ///< Transitions out of it.
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const AdmissionConfig& config);
+
+  /// \brief Admission control: enqueues, or rejects with kUnavailable when
+  /// the queue is at capacity (the request is not consumed on rejection —
+  /// the caller still owns it for outcome accounting).
+  Status Offer(const ServeRequest& request);
+
+  std::size_t size() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+  bool full() const { return pending_.size() >= config_.queue_capacity; }
+  std::size_t capacity() const { return config_.queue_capacity; }
+
+  /// \brief Pops the next request to join the batch: highest priority
+  /// first, FIFO within a priority. Returns false when empty.
+  bool PopNext(ServeRequest* out);
+
+  /// \brief Removes every queued request whose deadline has passed at
+  /// `now` (they could only miss it harder by joining the batch).
+  std::vector<ServeRequest> DrainExpired(std::uint64_t now);
+
+  /// \brief Applies the hysteresis rule to the current occupancy. Returns
+  /// true exactly when this call *entered* shedding mode, so the server
+  /// can run its one-shot degradation actions (prefix-cache eviction).
+  bool UpdateShedding();
+
+  bool shedding() const { return shedding_; }
+
+  /// The per-round join budget under the current mode.
+  int join_budget() const {
+    return shedding_ ? config_.shed_join_per_round
+                     : config_.max_join_per_round;
+  }
+
+  /// \brief While shedding: declines queued requests — lowest priority
+  /// first, newest arrival first within a priority — until occupancy is at
+  /// or below the exit watermark. No-op when not shedding.
+  std::vector<ServeRequest> ShedToExitWatermark();
+
+  const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  /// Queued entry with its admission sequence number (FIFO tie-break).
+  struct Pending {
+    ServeRequest request;
+    std::uint64_t sequence = 0;
+  };
+
+  AdmissionConfig config_;
+  std::deque<Pending> pending_;
+  std::uint64_t next_sequence_ = 0;
+  bool shedding_ = false;
+  AdmissionStats stats_;
+};
+
+}  // namespace dimqr::serve
+
+#endif  // DIMQR_SERVE_ADMISSION_H_

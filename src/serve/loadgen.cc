@@ -1,0 +1,80 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "lm/vocab.h"
+
+namespace dimqr::serve {
+namespace {
+
+/// A non-special token id drawn uniformly from [kCount, vocab).
+int DrawToken(Rng& rng, int vocab) {
+  return static_cast<int>(
+      rng.UniformInt(lm::SpecialTokens::kCount, vocab - 1));
+}
+
+}  // namespace
+
+std::vector<ServeRequest> GenerateLoad(const LoadGenConfig& config) {
+  LoadGenConfig c = config;
+  c.num_requests = std::max(c.num_requests, 0);
+  c.vocab_size = std::max(c.vocab_size, lm::SpecialTokens::kCount + 1);
+  c.num_stems = std::max(c.num_stems, 1);
+  c.stem_tokens = std::max(c.stem_tokens, 2);
+  c.max_tail_tokens = std::max(c.max_tail_tokens, 1);
+  c.max_burst = std::max(c.max_burst, 1);
+  c.max_gap_ticks = std::max(c.max_gap_ticks, 1);
+
+  // Shared prompt stems: one stream for the pool, fixed before any
+  // per-request draw so trace shape and stem content are independent.
+  Rng stem_rng(Rng::DeriveSeed(c.seed, "serve.loadgen.stems"));
+  std::vector<std::vector<int>> stems(static_cast<std::size_t>(c.num_stems));
+  for (std::vector<int>& stem : stems) {
+    stem.push_back(lm::SpecialTokens::kBos);
+    for (int t = 1; t < c.stem_tokens; ++t) {
+      stem.push_back(DrawToken(stem_rng, c.vocab_size));
+    }
+  }
+
+  // Bursty arrival process: its own stream, advanced burst by burst.
+  Rng arrival_rng(Rng::DeriveSeed(c.seed, "serve.loadgen.arrivals"));
+  std::vector<ServeRequest> trace;
+  trace.reserve(static_cast<std::size_t>(c.num_requests));
+  std::uint64_t tick = 0;
+  std::uint64_t id = 0;
+  while (id < static_cast<std::uint64_t>(c.num_requests)) {
+    const auto burst = static_cast<std::uint64_t>(
+        arrival_rng.UniformInt(1, c.max_burst));
+    for (std::uint64_t b = 0;
+         b < burst && id < static_cast<std::uint64_t>(c.num_requests);
+         ++b, ++id) {
+      // Per-request stream: fields depend only on (seed, id), never on
+      // how earlier requests consumed randomness.
+      Rng rng = Rng::ForStream(c.seed, id);
+      ServeRequest request;
+      request.id = id;
+      request.arrival_tick = tick;
+      request.seed = Rng::SplitSeed(c.seed, id);
+      request.prompt = stems[rng.Index(stems.size())];
+      const auto tail = static_cast<int>(rng.UniformInt(1, c.max_tail_tokens));
+      for (int t = 0; t < tail; ++t) {
+        request.prompt.push_back(DrawToken(rng, c.vocab_size));
+      }
+      request.max_new_tokens = c.max_new_tokens;
+      request.priority = static_cast<Priority>(rng.UniformInt(0, 2));
+      if (c.deadline_max_ticks > 0) {
+        request.deadline_ticks = static_cast<std::uint64_t>(rng.UniformInt(
+            static_cast<std::int64_t>(
+                std::min(c.deadline_min_ticks, c.deadline_max_ticks)),
+            static_cast<std::int64_t>(c.deadline_max_ticks)));
+      }
+      trace.push_back(std::move(request));
+    }
+    tick += static_cast<std::uint64_t>(
+        arrival_rng.UniformInt(1, c.max_gap_ticks));
+  }
+  return trace;
+}
+
+}  // namespace dimqr::serve

@@ -1,0 +1,52 @@
+#ifndef DIMQR_SERVE_LOADGEN_H_
+#define DIMQR_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+
+/// \file loadgen.h
+/// Deterministic synthetic load generator for the serving layer: bursty
+/// arrivals (a burst of requests lands on one tick, then an idle gap), a
+/// small pool of shared prompt stems with per-request tails — the shape
+/// that makes the PrefixCache earn its keep — and a seeded mix of
+/// priorities and deadlines.
+///
+/// Everything is derived from `seed` via Rng::DeriveSeed /
+/// Rng::SplitSeed(seed, request id), so one config produces the identical
+/// trace on every run, machine, and thread count. The chaos CI job leans
+/// on this: same trace + same DIMQR_FAULTS must give a byte-identical
+/// outcome journal.
+
+namespace dimqr::serve {
+
+/// \brief Trace-shape knobs. Defaults produce a short bursty trace that
+/// oversubscribes a small server without being degenerate.
+struct LoadGenConfig {
+  int num_requests = 64;
+  std::uint64_t seed = 1;
+  /// Token vocabulary for synthetic prompts (use the model's vocab_size);
+  /// ids are drawn from [SpecialTokens::kCount, vocab_size).
+  int vocab_size = 32;
+  int num_stems = 3;        ///< Distinct shared prompt stems.
+  int stem_tokens = 12;     ///< Tokens per stem (incl. leading bos).
+  int max_tail_tokens = 6;  ///< Per-request unique suffix, 1..max.
+  int max_new_tokens = 8;
+  /// Burst geometry: each burst puts 1..max_burst requests on one tick,
+  /// then the clock idles 1..max_gap_ticks before the next burst.
+  int max_burst = 6;
+  int max_gap_ticks = 16;
+  /// Per-request deadline drawn uniformly from [deadline_min_ticks,
+  /// deadline_max_ticks]; 0 max disables deadlines entirely.
+  std::uint64_t deadline_min_ticks = 0;
+  std::uint64_t deadline_max_ticks = 0;
+};
+
+/// \brief Generates the trace: requests with ids 0..num_requests-1 in
+/// arrival order. Pure in `config` (no global state, no wall clock).
+std::vector<ServeRequest> GenerateLoad(const LoadGenConfig& config);
+
+}  // namespace dimqr::serve
+
+#endif  // DIMQR_SERVE_LOADGEN_H_

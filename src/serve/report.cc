@@ -1,0 +1,128 @@
+#include "serve/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "eval/metrics.h"
+
+namespace dimqr::serve {
+
+std::string_view PriorityToString(Priority priority) {
+  switch (priority) {
+    case Priority::kLow:
+      return "low";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
+std::string_view OutcomeKindToString(OutcomeKind kind) {
+  switch (kind) {
+    case OutcomeKind::kCompleted:
+      return "completed";
+    case OutcomeKind::kRejected:
+      return "rejected";
+    case OutcomeKind::kShed:
+      return "shed";
+    case OutcomeKind::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case OutcomeKind::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+ServeReport BuildReport(const std::vector<ServeOutcome>& outcomes) {
+  ServeReport report;
+  report.total = outcomes.size();
+  std::vector<std::uint64_t> latencies;
+  std::uint64_t first_arrival = ~std::uint64_t{0};
+  std::uint64_t last_finish = 0;
+  for (const ServeOutcome& outcome : outcomes) {
+    first_arrival = std::min(first_arrival, outcome.arrival_tick);
+    last_finish = std::max(last_finish, outcome.finish_tick);
+    report.generated_tokens += outcome.tokens.size();
+    switch (outcome.kind) {
+      case OutcomeKind::kCompleted:
+        ++report.completed;
+        latencies.push_back(outcome.LatencyTicks());
+        break;
+      case OutcomeKind::kRejected:
+        ++report.rejected;
+        break;
+      case OutcomeKind::kShed:
+        ++report.shed;
+        break;
+      case OutcomeKind::kDeadlineExceeded:
+        ++report.deadline_missed;
+        break;
+      case OutcomeKind::kFailed:
+        ++report.failed;
+        break;
+    }
+  }
+  if (!outcomes.empty() && last_finish > first_arrival) {
+    report.span_ticks = last_finish - first_arrival;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_latency_ticks = eval::NearestRankPercentile(latencies, 50.0);
+  report.p95_latency_ticks = eval::NearestRankPercentile(latencies, 95.0);
+  report.p99_latency_ticks = eval::NearestRankPercentile(latencies, 99.0);
+  return report;
+}
+
+std::string FormatJournal(const std::vector<ServeOutcome>& outcomes) {
+  std::vector<const ServeOutcome*> ordered;
+  ordered.reserve(outcomes.size());
+  for (const ServeOutcome& outcome : outcomes) ordered.push_back(&outcome);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ServeOutcome* a, const ServeOutcome* b) {
+              return a->id < b->id;
+            });
+  std::string journal;
+  char line[192];
+  for (const ServeOutcome* outcome : ordered) {
+    std::snprintf(
+        line, sizeof(line),
+        "id=%llu kind=%s code=%s prio=%s arrival=%llu admit=%llu "
+        "finish=%llu cached=%d tokens=",
+        static_cast<unsigned long long>(outcome->id),
+        std::string(OutcomeKindToString(outcome->kind)).c_str(),
+        std::string(StatusCodeToString(outcome->code)).c_str(),
+        std::string(PriorityToString(outcome->priority)).c_str(),
+        static_cast<unsigned long long>(outcome->arrival_tick),
+        static_cast<unsigned long long>(outcome->admit_tick),
+        static_cast<unsigned long long>(outcome->finish_tick),
+        outcome->cached_prompt_tokens);
+    journal += line;
+    for (std::size_t t = 0; t < outcome->tokens.size(); ++t) {
+      if (t > 0) journal += ',';
+      journal += std::to_string(outcome->tokens[t]);
+    }
+    journal += '\n';
+  }
+  return journal;
+}
+
+std::string FormatReport(const ServeReport& report) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "requests=%zu completed=%zu rejected=%zu shed=%zu deadline_missed=%zu "
+      "failed=%zu tokens=%zu span_ticks=%llu tokens_per_tick=%.4f "
+      "p50=%llu p95=%llu p99=%llu shed_rate=%.4f deadline_miss_rate=%.4f",
+      report.total, report.completed, report.rejected, report.shed,
+      report.deadline_missed, report.failed, report.generated_tokens,
+      static_cast<unsigned long long>(report.span_ticks),
+      report.TokensPerTick(),
+      static_cast<unsigned long long>(report.p50_latency_ticks),
+      static_cast<unsigned long long>(report.p95_latency_ticks),
+      static_cast<unsigned long long>(report.p99_latency_ticks),
+      report.ShedRate(), report.DeadlineMissRate());
+  return std::string(buffer) + '\n';
+}
+
+}  // namespace dimqr::serve

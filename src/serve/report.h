@@ -1,0 +1,66 @@
+#ifndef DIMQR_SERVE_REPORT_H_
+#define DIMQR_SERVE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+/// \file report.h
+/// Outcome accounting for serve runs: the per-request journal (one
+/// canonical line per request, sorted by id — the artifact the chaos CI
+/// job diffs across thread counts and reruns) and the aggregate report
+/// (latency percentiles on the simulated clock, throughput, shed and
+/// deadline-miss rates — the numbers BENCH_perf.json publishes).
+
+namespace dimqr::serve {
+
+/// \brief Aggregates over one trace's outcomes. Latency percentiles are
+/// nearest-rank over *completed* requests; rates are per offered request.
+struct ServeReport {
+  std::size_t total = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t deadline_missed = 0;
+  std::size_t failed = 0;
+  std::size_t generated_tokens = 0;  ///< Completed + partial decodes.
+  std::uint64_t p50_latency_ticks = 0;
+  std::uint64_t p95_latency_ticks = 0;
+  std::uint64_t p99_latency_ticks = 0;
+  std::uint64_t span_ticks = 0;  ///< First arrival to last finish.
+
+  double TokensPerTick() const {
+    return span_ticks == 0 ? 0.0
+                           : static_cast<double>(generated_tokens) /
+                                 static_cast<double>(span_ticks);
+  }
+  double ShedRate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(rejected + shed) /
+                            static_cast<double>(total);
+  }
+  double DeadlineMissRate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(deadline_missed) /
+                            static_cast<double>(total);
+  }
+};
+
+/// \brief Builds the aggregate report from a trace's outcomes.
+ServeReport BuildReport(const std::vector<ServeOutcome>& outcomes);
+
+/// \brief The canonical per-request journal: one line per outcome, sorted
+/// by id, every field that distinguishes two runs included (kind, code,
+/// ticks, cached tokens, and the generated token ids themselves). Two runs
+/// with equal traces and fault specs must produce byte-identical journals
+/// at any DIMQR_THREADS setting — the serve-chaos CI assertion.
+std::string FormatJournal(const std::vector<ServeOutcome>& outcomes);
+
+/// \brief Human-readable one-line-per-metric summary of a report.
+std::string FormatReport(const ServeReport& report);
+
+}  // namespace dimqr::serve
+
+#endif  // DIMQR_SERVE_REPORT_H_

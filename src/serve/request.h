@@ -1,0 +1,83 @@
+#ifndef DIMQR_SERVE_REQUEST_H_
+#define DIMQR_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+/// \file request.h
+/// The serving layer's request/outcome vocabulary. A ServeRequest is one
+/// generation job on the simulated tick clock (arrival, optional deadline,
+/// priority); a ServeOutcome is the complete, journal-ready record of what
+/// the server did with it. Both are plain data: everything the scheduler
+/// decides about a request is a pure function of these fields plus the
+/// global fault configuration, which is what makes per-request outcomes
+/// byte-identical across DIMQR_THREADS settings and reruns.
+
+namespace dimqr::serve {
+
+/// \brief Admission priority. Load shedding declines lower priorities
+/// first; the queue pops higher priorities first (FIFO within a level).
+enum class Priority : std::uint8_t {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+std::string_view PriorityToString(Priority priority);
+
+/// \brief One generation request on the simulated clock.
+struct ServeRequest {
+  std::uint64_t id = 0;
+  std::vector<int> prompt;    ///< Token ids (vocab.h conventions).
+  int max_new_tokens = 8;
+  std::uint64_t arrival_tick = 0;
+  /// Latency budget relative to arrival; once the clock passes
+  /// arrival_tick + deadline_ticks the request is cancelled at the next
+  /// token boundary. 0 disables the deadline.
+  std::uint64_t deadline_ticks = 0;
+  Priority priority = Priority::kNormal;
+  /// Instance seed for fault decisions (serve.* sites), analogous to
+  /// ChoiceQuestion::instance_seed.
+  std::uint64_t seed = 0;
+
+  std::uint64_t DeadlineTick() const {
+    return deadline_ticks == 0 ? ~std::uint64_t{0}
+                               : arrival_tick + deadline_ticks;
+  }
+};
+
+/// \brief How a request left the server.
+enum class OutcomeKind : std::uint8_t {
+  kCompleted,         ///< Decoded to eos / token budget.
+  kRejected,          ///< Admission control: queue full (kUnavailable).
+  kShed,              ///< Declined by load shedding (kUnavailable).
+  kDeadlineExceeded,  ///< Cancelled at a token boundary (partial tokens).
+  kFailed,            ///< Backend failure (transient budget or permanent).
+};
+
+std::string_view OutcomeKindToString(OutcomeKind kind);
+
+/// \brief The journal record for one request. `tokens` holds whatever was
+/// generated before the request finished or was cancelled — partial-decode
+/// work is accounted, not discarded silently.
+struct ServeOutcome {
+  std::uint64_t id = 0;
+  OutcomeKind kind = OutcomeKind::kCompleted;
+  StatusCode code = StatusCode::kOk;
+  Priority priority = Priority::kNormal;
+  std::vector<int> tokens;
+  int cached_prompt_tokens = 0;  ///< Prompt tokens forked from the cache.
+  std::uint64_t arrival_tick = 0;
+  std::uint64_t admit_tick = 0;  ///< Tick the request joined the batch; 0
+                                 ///< when it never left the queue.
+  std::uint64_t finish_tick = 0;
+
+  std::uint64_t LatencyTicks() const { return finish_tick - arrival_tick; }
+};
+
+}  // namespace dimqr::serve
+
+#endif  // DIMQR_SERVE_REQUEST_H_

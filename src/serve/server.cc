@@ -1,0 +1,320 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/fault.h"
+#include "core/parallel.h"
+
+namespace dimqr::serve {
+namespace {
+
+/// Prefill cost in simulated ticks for `uncached` prompt tokens.
+std::uint64_t PrefillTicks(int uncached, int tokens_per_tick) {
+  if (uncached <= 0) return 0;
+  return static_cast<std::uint64_t>((uncached + tokens_per_tick - 1) /
+                                    tokens_per_tick);
+}
+
+}  // namespace
+
+Server::Server(const lm::Transformer& model, const ServerConfig& config)
+    : model_(model), config_(config), queue_(config.admission),
+      cache_(config.cache) {
+  if (config_.slots < 1) config_.slots = 1;
+  if (config_.prefill_tokens_per_tick < 1) config_.prefill_tokens_per_tick = 1;
+  if (config_.transient_attempt_limit < 1) config_.transient_attempt_limit = 1;
+  slots_.resize(static_cast<std::size_t>(config_.slots));
+}
+
+bool Server::AnyActive() const {
+  for (const Slot& slot : slots_) {
+    if (slot.active) return true;
+  }
+  return false;
+}
+
+ServeOutcome Server::DropOutcome(const ServeRequest& request,
+                                 OutcomeKind kind, StatusCode code) const {
+  ServeOutcome outcome;
+  outcome.id = request.id;
+  outcome.kind = kind;
+  outcome.code = code;
+  outcome.priority = request.priority;
+  outcome.arrival_tick = request.arrival_tick;
+  outcome.finish_tick = clock_;
+  return outcome;
+}
+
+void Server::Retire(Slot& slot, OutcomeKind kind, StatusCode code,
+                    std::vector<ServeOutcome>& outcomes) {
+  ServeOutcome outcome;
+  outcome.id = slot.request.id;
+  outcome.kind = kind;
+  outcome.code = code;
+  outcome.priority = slot.request.priority;
+  outcome.tokens = std::move(slot.generated);
+  outcome.cached_prompt_tokens = slot.cached_tokens;
+  outcome.arrival_tick = slot.request.arrival_tick;
+  outcome.admit_tick = slot.admit_tick;
+  outcome.finish_tick = clock_;
+  outcomes.push_back(std::move(outcome));
+  slot.generated.clear();
+  slot.active = false;
+  slot.prefilled = false;
+  slot.finished = false;
+  slot.cached_tokens = 0;
+  slot.transient_attempts = 0;
+  slot.stall_ticks = 0;
+  switch (kind) {
+    case OutcomeKind::kCompleted:
+      ++stats_.completed;
+      break;
+    case OutcomeKind::kDeadlineExceeded:
+      ++stats_.deadline_missed;
+      break;
+    case OutcomeKind::kFailed:
+      ++stats_.failed;
+      break;
+    default:
+      break;
+  }
+}
+
+Result<std::vector<ServeOutcome>> Server::Run(
+    std::vector<ServeRequest> requests) {
+  // Canonical event order: arrival tick, then id. Duplicate ids would make
+  // the journal ambiguous, so they are an input error.
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const ServeRequest& a, const ServeRequest& b) {
+                     return a.arrival_tick != b.arrival_tick
+                                ? a.arrival_tick < b.arrival_tick
+                                : a.id < b.id;
+                   });
+  {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(requests.size());
+    for (const ServeRequest& r : requests) ids.push_back(r.id);
+    std::sort(ids.begin(), ids.end());
+    if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+      return Status::InvalidArgument("duplicate request id in trace");
+    }
+  }
+
+  lm::PrefixCache* cache =
+      config_.use_prefix_cache && lm::PrefixCache::Enabled() ? &cache_
+                                                             : nullptr;
+  const int max_seq = model_.config().max_seq;
+  std::vector<ServeOutcome> outcomes;
+  outcomes.reserve(requests.size());
+  std::size_t next = 0;
+  clock_ = 0;
+
+  while (next < requests.size() || !queue_.empty() || AnyActive()) {
+    // Idle gap in the trace: jump straight to the next arrival.
+    if (!AnyActive() && queue_.empty() &&
+        requests[next].arrival_tick > clock_) {
+      clock_ = requests[next].arrival_tick;
+    }
+    std::uint64_t round_cost = 1;
+
+    // Phase 1 — arrivals and admission control. The serve.queue_full site
+    // forces rejections for affected requests, simulating an ingress that
+    // drops before the queue ever sees the request.
+    while (next < requests.size() &&
+           requests[next].arrival_tick <= clock_) {
+      ServeRequest& request = requests[next++];
+      if (FAULT_POINT("serve.queue_full")
+              .Evaluate(request.seed, /*attempt=*/0)
+              .Fires()) {
+        ++stats_.rejected;
+        ++stats_.fault_rejections;
+        outcomes.push_back(DropOutcome(request, OutcomeKind::kRejected,
+                                       StatusCode::kUnavailable));
+        continue;
+      }
+      if (queue_.full()) {
+        (void)queue_.Offer(request);  // Counts the rejection.
+        ++stats_.rejected;
+        outcomes.push_back(DropOutcome(request, OutcomeKind::kRejected,
+                                       StatusCode::kUnavailable));
+        continue;
+      }
+      DIMQR_RETURN_NOT_OK(queue_.Offer(request));
+    }
+    stats_.peak_queue_depth = std::max(
+        stats_.peak_queue_depth, static_cast<std::uint64_t>(queue_.size()));
+
+    // Phase 2 — queued requests whose deadline already passed can only
+    // miss harder by joining; decline them now.
+    for (ServeRequest& expired : queue_.DrainExpired(clock_)) {
+      ++stats_.deadline_missed;
+      outcomes.push_back(DropOutcome(expired, OutcomeKind::kDeadlineExceeded,
+                                     StatusCode::kDeadlineExceeded));
+    }
+
+    // Phase 3 — load shedding with hysteresis. Entering shedding evicts
+    // every prefix-cache snapshot (memory headroom now, re-paid prefill
+    // later); while shedding, low-priority queued work is declined.
+    if (queue_.UpdateShedding() && cache != nullptr) {
+      stats_.shed_cache_evictions += cache->EvictAll();
+    }
+    for (ServeRequest& victim : queue_.ShedToExitWatermark()) {
+      ++stats_.shed;
+      outcomes.push_back(DropOutcome(victim, OutcomeKind::kShed,
+                                     StatusCode::kUnavailable));
+    }
+
+    // Phase 4 — continuous batching: waiting requests join free slots at
+    // this token boundary, up to the (possibly shed-shrunken) budget.
+    int join_budget = queue_.join_budget();
+    for (Slot& slot : slots_) {
+      if (join_budget == 0) break;
+      if (slot.active) continue;
+      ServeRequest request;
+      if (!queue_.PopNext(&request)) break;
+      --join_budget;
+      // Clamp the generation budget so prompt + new tokens fit max_seq.
+      request.max_new_tokens =
+          std::min(request.max_new_tokens, max_seq - 1);
+      slot.request = std::move(request);
+      slot.active = true;
+      slot.admit_tick = clock_;
+    }
+
+    // Phase 5 — prefill newly joined (or transiently stalled) slots,
+    // sequentially: PrefillWithCache mutates the shared cache, and a fixed
+    // slot order keeps its contents identical at every thread count.
+    for (Slot& slot : slots_) {
+      if (!slot.active || slot.prefilled) continue;
+      FaultDecision fault = FAULT_POINT("serve.backend_transient")
+                                .Evaluate(slot.request.seed,
+                                          slot.transient_attempts);
+      ++slot.transient_attempts;
+      if (fault.kind == FaultKind::kPermanent) {
+        Retire(slot, OutcomeKind::kFailed, StatusCode::kInternal, outcomes);
+        continue;
+      }
+      if (fault.kind == FaultKind::kTransient) {
+        // The backend refused this round's prefill; the slot waits a
+        // token boundary and retries until the attempt budget runs out.
+        if (slot.transient_attempts >= config_.transient_attempt_limit) {
+          Retire(slot, OutcomeKind::kFailed, StatusCode::kUnavailable,
+                 outcomes);
+        } else {
+          ++stats_.transient_retries;
+        }
+        continue;
+      }
+      if (fault.kind == FaultKind::kLatency) {
+        round_cost += static_cast<std::uint64_t>(fault.latency_ticks);
+      }
+      // Left-truncate like Greedy so the generation budget always fits.
+      const int budget = std::max(1, max_seq - slot.request.max_new_tokens);
+      const std::vector<int>& prompt = slot.request.prompt;
+      std::vector<int> truncated;
+      const std::vector<int>* effective = &prompt;
+      if (static_cast<int>(prompt.size()) > budget) {
+        truncated.assign(prompt.end() - budget, prompt.end());
+        effective = &truncated;
+      }
+      Result<int> seeded =
+          model_.PrefillWithCache(*effective, slot.state, cache);
+      if (!seeded.ok()) {
+        Retire(slot, OutcomeKind::kFailed, seeded.status().code(), outcomes);
+        continue;
+      }
+      slot.prefilled = true;
+      slot.cached_tokens = seeded.ValueOrDie();
+      const int uncached =
+          static_cast<int>(effective->size()) - slot.cached_tokens;
+      stats_.prefill_tokens += static_cast<std::uint64_t>(uncached);
+      stats_.cached_tokens +=
+          static_cast<std::uint64_t>(slot.cached_tokens);
+      round_cost += PrefillTicks(uncached, config_.prefill_tokens_per_tick);
+      if (slot.request.max_new_tokens <= 0) slot.finished = true;
+    }
+
+    // Phase 6 — cooperative deadline cancellation at the token boundary:
+    // partial decodes are kept and accounted, not discarded.
+    for (Slot& slot : slots_) {
+      if (slot.active && !slot.finished &&
+          slot.request.DeadlineTick() <= clock_) {
+        Retire(slot, OutcomeKind::kDeadlineExceeded,
+               StatusCode::kDeadlineExceeded, outcomes);
+      }
+    }
+
+    // Phase 7 — decode one token on every live slot. Slot state is
+    // slot-local, so the fan-out cannot reorder anything observable; the
+    // batch then waits for its slowest member (worst injected stall).
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (!slot.active || !slot.prefilled || slot.finished) continue;
+      FaultDecision stall =
+          FAULT_POINT("serve.slot_stall")
+              .Evaluate(slot.request.seed,
+                        static_cast<int>(slot.generated.size()));
+      slot.stall_ticks = stall.kind == FaultKind::kLatency
+                             ? static_cast<std::uint64_t>(stall.latency_ticks)
+                             : 0;
+      live.push_back(i);
+    }
+    if (!live.empty()) {
+      std::vector<std::size_t> before(live.size());
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        before[k] = slots_[live[k]].generated.size();
+      }
+      Status decode = ParallelFor(
+          static_cast<std::int64_t>(live.size()),
+          [&](std::int64_t begin, std::int64_t end, int) -> Status {
+            for (std::int64_t k = begin; k < end; ++k) {
+              Slot& slot = slots_[live[static_cast<std::size_t>(k)]];
+              const int token = lm::ArgmaxLowest(slot.state.logits());
+              if (token == config_.eos_token) {
+                slot.finished = true;
+                continue;
+              }
+              slot.generated.push_back(token);
+              if (static_cast<int>(slot.generated.size()) >=
+                      slot.request.max_new_tokens ||
+                  slot.state.position() >= max_seq) {
+                slot.finished = true;
+                continue;
+              }
+              DIMQR_RETURN_NOT_OK(model_.Step(slot.state, token));
+            }
+            return Status::OK();
+          });
+      DIMQR_RETURN_NOT_OK(decode);
+      std::uint64_t worst_stall = 0;
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        Slot& slot = slots_[live[k]];
+        stats_.decode_tokens += slot.generated.size() - before[k];
+        worst_stall = std::max(worst_stall, slot.stall_ticks);
+        slot.stall_ticks = 0;
+      }
+      round_cost += worst_stall;
+      stats_.stall_ticks += worst_stall;
+    }
+
+    // Phase 8 — advance the clock past this round's work, then retire
+    // finished slots at the new boundary.
+    clock_ += round_cost;
+    ++stats_.rounds;
+    for (Slot& slot : slots_) {
+      if (slot.active && slot.finished) {
+        Retire(slot, OutcomeKind::kCompleted, StatusCode::kOk, outcomes);
+      }
+    }
+  }
+
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const ServeOutcome& a, const ServeOutcome& b) {
+              return a.id < b.id;
+            });
+  return outcomes;
+}
+
+}  // namespace dimqr::serve

@@ -1,0 +1,136 @@
+#ifndef DIMQR_SERVE_SERVER_H_
+#define DIMQR_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "lm/prefix_cache.h"
+#include "lm/transformer.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+
+/// \file server.h
+/// Continuous-batching inference server over `Transformer`, driven entirely
+/// by the simulated tick clock (no wall time, no real network).
+///
+/// The scheduler runs a discrete-event loop with one iteration per *token
+/// boundary*: arrivals are admitted (or rejected) into the bounded queue,
+/// waiting requests join the running decode batch into free slots — no
+/// drain barrier, request A keeps decoding while request B prefills in the
+/// same round — every active slot advances one token, and finished or
+/// past-deadline slots retire. Prompt consumption goes through
+/// `Transformer::PrefillWithCache`, so concurrent streams share prompt
+/// stems via the PrefixCache exactly like single-request decoding does.
+///
+/// Cost model (simulated ticks per round): 1 base tick per token boundary
+/// — the whole batch advances together, which is what makes batching pay —
+/// plus ceil(uncached_prompt_tokens / prefill_tokens_per_tick) for each
+/// prefill in the round, plus the worst injected `serve.slot_stall`
+/// latency among active slots (the batch waits for its slowest member).
+///
+/// Degradation ladder under load: (1) admission control rejects with
+/// kUnavailable when the queue is full; (2) hysteresis shedding (see
+/// admission.h) shrinks the per-round join budget and declines queued
+/// low-priority work; (3) on *entering* shedding the server evicts every
+/// PrefixCache snapshot — trading steady-state latency (prompts re-pay
+/// prefill) for immediate memory headroom, and bit-for-bit identical
+/// tokens (prefix forks never change bytes).
+///
+/// Determinism: all queue/join/retire/cache mutations happen in sequential
+/// scheduler phases; the per-slot decode step may fan out through
+/// ParallelFor but touches only slot-local state; fault decisions
+/// (serve.queue_full, serve.backend_transient, serve.slot_stall) are pure
+/// in (site, request seed, attempt). Per-request outcomes are therefore
+/// byte-identical at every DIMQR_THREADS setting and across reruns — the
+/// property the serve-chaos CI job diffs for.
+
+namespace dimqr::serve {
+
+/// \brief Server shape and cost-model knobs.
+struct ServerConfig {
+  /// Concurrent decode streams (the running batch's width). Each slot owns
+  /// a DecodeState arena, so steady-state memory is slots * arena size.
+  int slots = 4;
+  int eos_token = 2;  ///< lm::SpecialTokens::kEos.
+  /// Prompt tokens one simulated tick of prefill consumes; cached prefix
+  /// tokens are free, which is how shedding's cache eviction shows up as
+  /// measurably worse latency.
+  int prefill_tokens_per_tick = 8;
+  /// Total prefill attempts per request against serve.backend_transient
+  /// faults (one per round) before the request fails with kUnavailable.
+  int transient_attempt_limit = 4;
+  bool use_prefix_cache = true;
+  AdmissionConfig admission;
+  lm::PrefixCache::Config cache;
+};
+
+/// \brief Scheduler counters (sequential phases only — plain integers).
+struct ServerStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;        ///< Queue-full + forced-fault rejects.
+  std::uint64_t fault_rejections = 0;  ///< serve.queue_full forced subset.
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_missed = 0;  ///< Queued expiries + cancellations.
+  std::uint64_t failed = 0;
+  std::uint64_t transient_retries = 0;
+  std::uint64_t decode_tokens = 0;    ///< Including partial decodes.
+  std::uint64_t prefill_tokens = 0;   ///< Uncached tokens actually run.
+  std::uint64_t cached_tokens = 0;    ///< Prompt tokens served by the cache.
+  std::uint64_t shed_cache_evictions = 0;
+  std::uint64_t stall_ticks = 0;
+  std::uint64_t peak_queue_depth = 0;
+};
+
+/// \brief The server. Owns its queue, slots and prefix cache; borrows the
+/// model. One Run call simulates one complete trace.
+class Server {
+ public:
+  Server(const lm::Transformer& model, const ServerConfig& config);
+
+  /// \brief Runs the discrete-event loop over `requests` (any order;
+  /// sorted internally by arrival tick) until every request has an
+  /// outcome. Returns the outcomes sorted by request id — the canonical
+  /// journal order. InvalidArgument on duplicate ids.
+  Result<std::vector<ServeOutcome>> Run(std::vector<ServeRequest> requests);
+
+  const ServerStats& stats() const { return stats_; }
+  const AdmissionStats& admission_stats() const { return queue_.stats(); }
+  lm::PrefixCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Final simulated clock of the last Run (the trace's makespan).
+  std::uint64_t clock() const { return clock_; }
+
+ private:
+  /// One decode stream of the running batch.
+  struct Slot {
+    lm::DecodeState state;
+    ServeRequest request;
+    std::vector<int> generated;
+    bool active = false;
+    bool prefilled = false;
+    bool finished = false;
+    int cached_tokens = 0;
+    int transient_attempts = 0;
+    std::uint64_t admit_tick = 0;
+    std::uint64_t stall_ticks = 0;  ///< This round's injected stall.
+  };
+
+  bool AnyActive() const;
+  ServeOutcome DropOutcome(const ServeRequest& request, OutcomeKind kind,
+                           StatusCode code) const;
+  void Retire(Slot& slot, OutcomeKind kind, StatusCode code,
+              std::vector<ServeOutcome>& outcomes);
+
+  const lm::Transformer& model_;
+  ServerConfig config_;
+  AdmissionQueue queue_;
+  lm::PrefixCache cache_;
+  std::vector<Slot> slots_;
+  ServerStats stats_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace dimqr::serve
+
+#endif  // DIMQR_SERVE_SERVER_H_

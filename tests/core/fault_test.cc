@@ -55,6 +55,23 @@ TEST_F(FaultTest, ConfigureRejectsMalformedSpecsAtomically) {
   }
 }
 
+TEST_F(FaultTest, EnvSpecParseErrorIsFatal) {
+  // The environment path must not degrade to a warning: a chaos run whose
+  // DIMQR_FAULTS was silently dropped would pass as a clean run.
+  EXPECT_DEATH(
+      FaultRegistry::Global().ApplyEnvSpecOrDie("lm.answer_choice:0.2"),
+      "invalid DIMQR_FAULTS");
+  EXPECT_DEATH(FaultRegistry::Global().ApplyEnvSpecOrDie("a:1:flaky"),
+               "unknown fault kind");
+}
+
+TEST_F(FaultTest, EnvSpecAppliesValidSpecs) {
+  FaultRegistry::Global().ApplyEnvSpecOrDie("a:0.5:transient");
+  EXPECT_TRUE(FaultRegistry::Global().Active());
+  FaultRegistry::Global().ApplyEnvSpecOrDie(nullptr);
+  EXPECT_FALSE(FaultRegistry::Global().Active());
+}
+
 TEST_F(FaultTest, EmptySpecClears) {
   ASSERT_TRUE(FaultRegistry::Global().Configure("a:1:permanent").ok());
   ASSERT_TRUE(FaultRegistry::Global().Configure("").ok());

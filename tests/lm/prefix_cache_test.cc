@@ -1,0 +1,225 @@
+// Eviction-focused PrefixCache suite: least-recently-touched order,
+// EvictAll (the serve-layer load-shedding hook), and the invariant that
+// eviction churn never changes a decoded byte at any thread count — it
+// only re-pays prefill work.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/parallel.h"
+#include "lm/prefix_cache.h"
+#include "lm/transformer.h"
+
+namespace dimqr::lm {
+namespace {
+
+TransformerConfig EvictTinyConfig() {
+  TransformerConfig c;
+  c.vocab_size = 24;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_layers = 2;
+  c.d_ff = 32;
+  c.max_seq = 16;
+  c.seed = 11;
+  return c;
+}
+
+/// Briefly trained so logits are peaked: near-uniform random-init logits
+/// would let bit-identity assertions pass by accident.
+Transformer EvictTrainedTiny() {
+  Transformer m = Transformer::Create(EvictTinyConfig()).ValueOrDie();
+  LmExample e;
+  e.tokens = {1, 7, 8, 9, 10, 2};
+  e.loss_mask = {0, 0, 1, 1, 1, 1};
+  for (int step = 0; step < 30; ++step) {
+    EXPECT_TRUE(m.TrainBatch({e}, 3e-3).ok());
+  }
+  return m;
+}
+
+/// One stripe, capacity 2: the smallest cache where "which entry gets
+/// evicted" is observable.
+PrefixCache::Config TwoEntryConfig() {
+  PrefixCache::Config config;
+  config.stripes = 1;
+  config.entries_per_stripe = 2;
+  config.min_fork_tokens = 2;
+  return config;
+}
+
+TEST(PrefixCacheEvictionTest, LeastRecentlyTouchedGoesFirst) {
+  Transformer m = EvictTrainedTiny();
+  PrefixCache cache(TwoEntryConfig());
+  // Three prompts sharing the 4-token routing stem, distinct tails.
+  std::vector<int> a = {1, 7, 8, 9, 10, 10};
+  std::vector<int> b = {1, 7, 8, 9, 11, 11};
+  std::vector<int> c = {1, 7, 8, 9, 12, 12};
+  DecodeState state;
+  state.Bind(m.config());
+  ASSERT_TRUE(m.Prefill(a, state).ok());
+  cache.Insert(a, state);
+  state.Rewind();
+  ASSERT_TRUE(m.Prefill(b, state).ok());
+  cache.Insert(b, state);
+
+  // Touch `a` (a Seed hit refreshes its stamp), then insert `c` into the
+  // full stripe: `b` is now the least-recently-touched entry and must be
+  // the one evicted.
+  DecodeState probe;
+  probe.Bind(m.config());
+  std::vector<int> a_variant = {1, 7, 8, 9, 10, 10, 5};
+  ASSERT_EQ(cache.Seed(a_variant, probe), 6);
+  state.Rewind();
+  ASSERT_TRUE(m.Prefill(c, state).ok());
+  cache.Insert(c, state);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // b's 6-row snapshot is gone: its variant now forks only the 4-token
+  // stem shared with the survivors. The touched `a` and fresh `c` still
+  // serve their full 6-token prefixes.
+  probe.Rewind();
+  std::vector<int> b_variant = {1, 7, 8, 9, 11, 11, 5};
+  EXPECT_EQ(cache.Seed(b_variant, probe), 4) << "b should have been evicted";
+  probe.Rewind();
+  EXPECT_EQ(cache.Seed(a_variant, probe), 6) << "a was touched, must survive";
+  probe.Rewind();
+  std::vector<int> c_variant = {1, 7, 8, 9, 12, 12, 5};
+  EXPECT_EQ(cache.Seed(c_variant, probe), 6) << "c was just inserted";
+}
+
+TEST(PrefixCacheEvictionTest, ReinsertTouchesInsteadOfDuplicating) {
+  Transformer m = EvictTrainedTiny();
+  PrefixCache cache(TwoEntryConfig());
+  std::vector<int> a = {1, 7, 8, 9, 10, 10};
+  std::vector<int> b = {1, 7, 8, 9, 11, 11};
+  std::vector<int> c = {1, 7, 8, 9, 12, 12};
+  DecodeState state;
+  state.Bind(m.config());
+  ASSERT_TRUE(m.Prefill(a, state).ok());
+  cache.Insert(a, state);
+  state.Rewind();
+  ASSERT_TRUE(m.Prefill(b, state).ok());
+  cache.Insert(b, state);
+  // Re-inserting `a` must not evict anything (identical tokens touch the
+  // existing entry), and the refreshed stamp makes `b` the next victim.
+  state.Rewind();
+  ASSERT_TRUE(m.Prefill(a, state).ok());
+  cache.Insert(a, state);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  state.Rewind();
+  ASSERT_TRUE(m.Prefill(c, state).ok());
+  cache.Insert(c, state);
+  DecodeState probe;
+  probe.Bind(m.config());
+  std::vector<int> b_variant = {1, 7, 8, 9, 11, 11, 5};
+  EXPECT_EQ(cache.Seed(b_variant, probe), 4);
+  std::vector<int> a_variant = {1, 7, 8, 9, 10, 10, 5};
+  probe.Rewind();
+  EXPECT_EQ(cache.Seed(a_variant, probe), 6);
+}
+
+TEST(PrefixCacheEvictionTest, EvictAllDropsEverythingAndCounts) {
+  Transformer m = EvictTrainedTiny();
+  // All five prompts share the routing stem (one stripe), so capacity must
+  // exceed five for EvictAll to be the only source of evictions here.
+  PrefixCache::Config config;
+  config.stripes = 2;
+  config.entries_per_stripe = 8;
+  config.min_fork_tokens = 2;
+  PrefixCache cache(config);
+  DecodeState state;
+  state.Bind(m.config());
+  std::vector<std::vector<int>> prompts;
+  for (int tail = 6; tail < 11; ++tail) {
+    prompts.push_back({1, 7, 8, 9, tail, tail});
+  }
+  for (const std::vector<int>& p : prompts) {
+    state.Rewind();
+    ASSERT_TRUE(m.Prefill(p, state).ok());
+    cache.Insert(p, state);
+  }
+  const std::uint64_t before = cache.stats().evictions;
+  std::size_t dropped = cache.EvictAll();
+  EXPECT_EQ(dropped, prompts.size());
+  EXPECT_EQ(cache.stats().evictions, before + dropped);
+  // Every lookup must now miss, and a second sweep has nothing to drop.
+  DecodeState probe;
+  probe.Bind(m.config());
+  for (const std::vector<int>& p : prompts) {
+    std::vector<int> variant = p;
+    variant.push_back(5);
+    probe.Rewind();
+    EXPECT_EQ(cache.Seed(variant, probe), 0);
+  }
+  EXPECT_EQ(cache.EvictAll(), 0u);
+}
+
+TEST(PrefixCacheEvictionTest, EvictAllLeavesDecodesBitIdenticalToColdStart) {
+  Transformer m = EvictTrainedTiny();
+  PrefixCache cache;
+  std::vector<std::vector<int>> prompts;
+  for (int tail : {11, 12, 9}) {
+    prompts.push_back({1, 7, 8, 9, 10, 3, tail});
+  }
+  std::vector<std::vector<int>> cold;
+  for (const std::vector<int>& p : prompts) {
+    cold.push_back(m.Greedy(p, 5, /*eos=*/2).ValueOrDie());
+  }
+  // Warm the cache, shed it, decode again: the post-eviction decode must
+  // be byte-identical to cold start (it re-pays prefill, nothing else).
+  for (const std::vector<int>& p : prompts) {
+    DecodeState s;
+    ASSERT_TRUE(m.Greedy(p, 5, 2, s, &cache).ok());
+  }
+  ASSERT_GT(cache.EvictAll(), 0u);
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    DecodeState s;
+    EXPECT_EQ(m.Greedy(prompts[i], 5, 2, s, &cache).ValueOrDie(), cold[i])
+        << "prompt " << i;
+  }
+}
+
+TEST(PrefixCacheEvictionTest, ChurnNeverChangesBytesAtAnyThreadCount) {
+  // Capacity 1 per stripe forces an eviction on nearly every insert; the
+  // decode results must still equal cold decodes at every thread count.
+  Transformer m = EvictTrainedTiny();
+  std::vector<std::vector<int>> prompts;
+  for (int i = 0; i < 24; ++i) {
+    prompts.push_back(
+        {1, 7, 8, static_cast<int>(6 + (i % 3)), 3, 6 + (i % 11)});
+  }
+  std::vector<std::vector<int>> cold(prompts.size());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    cold[i] = m.Greedy(prompts[i], 5, 2).ValueOrDie();
+  }
+  for (int threads : {1, 2, 4}) {
+    PrefixCache::Config config;
+    config.stripes = 2;
+    config.entries_per_stripe = 1;
+    config.min_fork_tokens = 2;
+    PrefixCache cache(config);
+    ScopedParallelism scope(threads);
+    std::vector<std::vector<int>> hot(prompts.size());
+    Status status = ParallelFor(
+        static_cast<std::int64_t>(prompts.size()),
+        [&](std::int64_t begin, std::int64_t end, int) -> Status {
+          for (std::int64_t i = begin; i < end; ++i) {
+            const auto slot = static_cast<std::size_t>(i);
+            DIMQR_ASSIGN_OR_RETURN(
+                hot[slot], m.Greedy(prompts[slot], 5, 2,
+                                    ThreadLocalDecodeState(), &cache));
+          }
+          return Status::OK();
+        });
+    ASSERT_TRUE(status.ok()) << "threads=" << threads;
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+      EXPECT_EQ(hot[i], cold[i]) << "threads=" << threads << " prompt " << i;
+    }
+    EXPECT_GT(cache.stats().evictions, 0u) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dimqr::lm

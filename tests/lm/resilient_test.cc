@@ -195,6 +195,81 @@ TEST_F(ResilientModelTest, BreakerShortCircuitsAfterConsecutiveFailures) {
   EXPECT_EQ(model.stats().attempts.load(), 3u);
 }
 
+TEST_F(ResilientModelTest, BreakerHalfOpenProbeClosesAfterRecovery) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:1:permanent")
+                  .ok());
+  CircuitBreakerPolicy breaker;
+  breaker.trip_after = 2;
+  breaker.cooldown_ticks = 10;
+  GoldModel gold;
+  ResilientModel model(gold, RetryPolicy{}, breaker);
+
+  // Two permanent failures trip the breaker (opened_at = tick 2)...
+  for (std::uint64_t seed = 0; seed < 2; ++seed) {
+    EXPECT_EQ(model.AnswerChoice(MakeQuestion(seed)).failure,
+              StatusCode::kInternal);
+  }
+  // ...so the next call inside the cooldown is short-circuited.
+  EXPECT_EQ(model.AnswerChoice(MakeQuestion(2)).failure,
+            StatusCode::kInternal);
+  EXPECT_EQ(model.stats().short_circuits.load(), 1u);
+  EXPECT_EQ(model.stats().half_open_probes.load(), 0u);
+
+  // The backend recovers while the breaker waits out its cooldown.
+  FaultRegistry::Global().Clear();
+  model.AdvanceClock(breaker.cooldown_ticks);
+
+  // First call after the cooldown is the half-open probe; it succeeds and
+  // closes the breaker, so the task answers normally again.
+  ChoiceAnswer probe = model.AnswerChoice(MakeQuestion(3));
+  EXPECT_EQ(probe.failure, StatusCode::kOk);
+  EXPECT_EQ(probe.index, 2);
+  EXPECT_EQ(model.stats().half_open_probes.load(), 1u);
+  ChoiceAnswer after = model.AnswerChoice(MakeQuestion(4));
+  EXPECT_EQ(after.failure, StatusCode::kOk);
+  EXPECT_EQ(model.stats().short_circuits.load(), 1u);  // No new rejections.
+  EXPECT_EQ(gold.choice_calls, 2);
+}
+
+TEST_F(ResilientModelTest, BreakerFailedProbeReopensAndRestartsCooldown) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("lm.answer_choice:1:permanent")
+                  .ok());
+  CircuitBreakerPolicy breaker;
+  breaker.trip_after = 1;
+  breaker.cooldown_ticks = 5;
+  GoldModel gold;
+  ResilientModel model(gold, RetryPolicy{}, breaker);
+
+  // Trip (opened_at = 1), then confirm the open breaker rejects.
+  EXPECT_EQ(model.AnswerChoice(MakeQuestion(0)).failure,
+            StatusCode::kInternal);
+  EXPECT_EQ(model.AnswerChoice(MakeQuestion(1)).failure,
+            StatusCode::kInternal);
+  EXPECT_EQ(model.stats().short_circuits.load(), 1u);
+
+  // Cooldown elapses but the backend is still down: the probe fails and
+  // the breaker re-opens, restarting the cooldown from the probe's tick.
+  model.AdvanceClock(breaker.cooldown_ticks);
+  EXPECT_EQ(model.AnswerChoice(MakeQuestion(2)).failure,
+            StatusCode::kInternal);
+  EXPECT_EQ(model.stats().half_open_probes.load(), 1u);
+  EXPECT_EQ(model.stats().permanent_failures.load(), 2u);
+  EXPECT_EQ(model.AnswerChoice(MakeQuestion(3)).failure,
+            StatusCode::kInternal);
+  EXPECT_EQ(model.stats().short_circuits.load(), 2u);
+
+  // Second cooldown against a recovered backend: probe succeeds, closes.
+  FaultRegistry::Global().Clear();
+  model.AdvanceClock(breaker.cooldown_ticks);
+  EXPECT_EQ(model.AnswerChoice(MakeQuestion(4)).failure, StatusCode::kOk);
+  EXPECT_EQ(model.stats().half_open_probes.load(), 2u);
+  EXPECT_EQ(model.AnswerChoice(MakeQuestion(5)).failure, StatusCode::kOk);
+  EXPECT_EQ(gold.choice_calls, 2);
+  EXPECT_GT(model.clock_ticks(), 2 * breaker.cooldown_ticks);
+}
+
 TEST_F(ResilientModelTest, BreakerResetsOnSuccess) {
   // 20% of instances fail permanently: successes between failures must keep
   // the consecutive-failure count below the trip threshold.

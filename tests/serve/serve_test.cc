@@ -1,0 +1,399 @@
+// Serving-layer suite: continuous batching must never change a decoded
+// byte (every completed request equals its single-request Greedy decode),
+// admission control must bound memory, deadlines must cancel cooperatively
+// with partial-decode accounting, shedding must engage and disengage with
+// hysteresis, and the per-request outcome journal must be byte-identical
+// across DIMQR_THREADS settings and reruns — with and without chaos.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "lm/vocab.h"
+#include "serve/loadgen.h"
+#include "serve/report.h"
+#include "serve/server.h"
+
+namespace dimqr::serve {
+namespace {
+
+using lm::SpecialTokens;
+
+/// One briefly-trained model shared by the whole suite (training is the
+/// expensive part; the server only borrows it const).
+const lm::Transformer& ServeModel() {
+  static const lm::Transformer* const kModel = [] {
+    lm::TransformerConfig config;
+    config.vocab_size = 24;
+    config.d_model = 16;
+    config.n_heads = 2;
+    config.n_layers = 2;
+    config.d_ff = 32;
+    config.max_seq = 32;
+    config.seed = 13;
+    auto* model = new lm::Transformer(
+        lm::Transformer::Create(config).ValueOrDie());
+    lm::LmExample example;
+    example.tokens = {1, 7, 8, 9, 10, 2};
+    example.loss_mask = {0, 0, 1, 1, 1, 1};
+    for (int step = 0; step < 30; ++step) {
+      EXPECT_TRUE(model->TrainBatch({example}, 3e-3).ok());
+    }
+    return model;
+  }();
+  return *kModel;
+}
+
+/// A request with the suite's defaults; prompts share the {1,7,8,9} stem
+/// so the prefix cache participates.
+ServeRequest MakeRequest(std::uint64_t id, std::uint64_t arrival,
+                         int tail_token, int max_new = 5) {
+  ServeRequest request;
+  request.id = id;
+  request.prompt = {1, 7, 8, 9, tail_token, tail_token};
+  request.max_new_tokens = max_new;
+  request.arrival_tick = arrival;
+  request.seed = Rng::SplitSeed(99, id);
+  return request;
+}
+
+/// The reference decode the server must reproduce byte for byte.
+std::vector<int> ReferenceDecode(const ServeRequest& request) {
+  return ServeModel()
+      .Greedy(request.prompt, request.max_new_tokens, SpecialTokens::kEos)
+      .ValueOrDie();
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().Clear(); }
+  void TearDown() override { FaultRegistry::Global().Clear(); }
+};
+
+TEST_F(ServeTest, CompletedRequestsMatchSingleRequestGreedy) {
+  ServerConfig config;
+  config.slots = 3;
+  Server server(ServeModel(), config);
+  std::vector<ServeRequest> trace;
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    trace.push_back(MakeRequest(id, id / 3, static_cast<int>(7 + id % 5)));
+  }
+  std::vector<ServeOutcome> outcomes = server.Run(trace).ValueOrDie();
+  ASSERT_EQ(outcomes.size(), trace.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].id, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(outcomes[i].kind, OutcomeKind::kCompleted) << i;
+    EXPECT_EQ(outcomes[i].code, StatusCode::kOk) << i;
+    EXPECT_EQ(outcomes[i].tokens, ReferenceDecode(trace[i]))
+        << "batched decode diverged from single-request Greedy, id " << i;
+    EXPECT_GE(outcomes[i].finish_tick, outcomes[i].arrival_tick) << i;
+  }
+  EXPECT_EQ(server.stats().completed, trace.size());
+  // Stem sharing: later prompts must have forked cached prefix rows.
+  EXPECT_GT(server.stats().cached_tokens, 0u);
+}
+
+TEST_F(ServeTest, ContinuousBatchingJoinsARunningBatch) {
+  ServerConfig config;
+  config.slots = 2;
+  Server server(ServeModel(), config);
+  // Request 0 decodes for many rounds; request 1 arrives after it started
+  // and must join at a token boundary, not wait for the batch to drain.
+  std::vector<ServeRequest> trace = {MakeRequest(0, 0, 7, /*max_new=*/12),
+                                     MakeRequest(1, 2, 8, /*max_new=*/4)};
+  std::vector<ServeOutcome> outcomes = server.Run(trace).ValueOrDie();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[1].kind, OutcomeKind::kCompleted);
+  EXPECT_GT(outcomes[1].admit_tick, 0u);
+  EXPECT_LT(outcomes[1].admit_tick, outcomes[0].finish_tick)
+      << "request 1 should have joined while request 0 was still decoding";
+  EXPECT_EQ(outcomes[0].tokens, ReferenceDecode(trace[0]));
+  EXPECT_EQ(outcomes[1].tokens, ReferenceDecode(trace[1]));
+}
+
+TEST_F(ServeTest, AdmissionControlBoundsTheQueue) {
+  ServerConfig config;
+  config.slots = 1;
+  config.admission.queue_capacity = 4;
+  config.admission.max_join_per_round = 1;
+  Server server(ServeModel(), config);
+  // 16 same-tick arrivals against capacity 4: the overflow must be
+  // rejected with kUnavailable, and the queue must never exceed capacity.
+  std::vector<ServeRequest> trace;
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    trace.push_back(MakeRequest(id, 0, static_cast<int>(7 + id % 5)));
+  }
+  std::vector<ServeOutcome> outcomes = server.Run(trace).ValueOrDie();
+  std::size_t rejected = 0;
+  for (const ServeOutcome& outcome : outcomes) {
+    if (outcome.kind == OutcomeKind::kRejected) {
+      ++rejected;
+      EXPECT_EQ(outcome.code, StatusCode::kUnavailable);
+      EXPECT_TRUE(outcome.tokens.empty());
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_LE(server.stats().peak_queue_depth,
+            config.admission.queue_capacity);
+  EXPECT_EQ(server.admission_stats().rejected_full, rejected);
+  EXPECT_EQ(rejected + server.stats().completed +
+                server.stats().shed + server.stats().deadline_missed,
+            trace.size());
+}
+
+TEST_F(ServeTest, DeadlinesCancelCooperativelyWithPartialTokens) {
+  ServerConfig config;
+  config.slots = 1;
+  config.admission.max_join_per_round = 1;
+  Server server(ServeModel(), config);
+  std::vector<ServeRequest> trace;
+  for (std::uint64_t id = 0; id < 6; ++id) {
+    ServeRequest request = MakeRequest(id, 0, static_cast<int>(7 + id % 5),
+                                       /*max_new=*/10);
+    request.deadline_ticks = 3;  // Tight: one slot serializes the queue.
+    trace.push_back(request);
+  }
+  std::vector<ServeOutcome> outcomes = server.Run(trace).ValueOrDie();
+  std::size_t missed = 0, partial_tokens = 0;
+  for (const ServeOutcome& outcome : outcomes) {
+    if (outcome.kind == OutcomeKind::kDeadlineExceeded) {
+      ++missed;
+      EXPECT_EQ(outcome.code, StatusCode::kDeadlineExceeded);
+      // Cancelled at a token boundary: whatever was generated is kept.
+      EXPECT_LT(outcome.tokens.size(), 10u);
+      partial_tokens += outcome.tokens.size();
+      EXPECT_GE(outcome.finish_tick,
+                outcome.arrival_tick + outcome.tokens.size());
+    }
+  }
+  EXPECT_GT(missed, 0u);
+  EXPECT_GT(partial_tokens, 0u)
+      << "at least one cancellation should land mid-decode";
+  EXPECT_EQ(server.stats().deadline_missed, missed);
+}
+
+TEST_F(ServeTest, SheddingEngagesWithHysteresisAndShedsLowPriorityFirst) {
+  ServerConfig config;
+  config.slots = 1;
+  config.admission.queue_capacity = 8;
+  config.admission.max_join_per_round = 1;
+  config.admission.shed_enter_occupancy = 0.75;
+  config.admission.shed_exit_occupancy = 0.25;
+  Server server(ServeModel(), config);
+  // Warm-up request fills the cache, then a big burst triggers shedding.
+  // Burst sizing: 6 arrivals on an 8-slot queue is exactly the 0.75 enter
+  // threshold, and shedding back to the 0.25 watermark removes four
+  // entries — precisely the four low-priority ones.
+  std::vector<ServeRequest> trace;
+  trace.push_back(MakeRequest(0, 0, 7));
+  for (std::uint64_t id = 1; id < 7; ++id) {
+    ServeRequest request =
+        MakeRequest(id, 40, static_cast<int>(7 + id % 5));
+    request.priority = id < 5 ? Priority::kLow : Priority::kHigh;
+    trace.push_back(request);
+  }
+  std::vector<ServeOutcome> outcomes = server.Run(trace).ValueOrDie();
+  EXPECT_GE(server.admission_stats().shed_entries, 1u);
+  EXPECT_GE(server.admission_stats().shed_exits, 1u)
+      << "hysteresis must disengage once the queue drains";
+  EXPECT_GT(server.stats().shed, 0u);
+  EXPECT_GT(server.stats().shed_cache_evictions, 0u)
+      << "entering shedding must evict the warm prefix cache";
+  for (const ServeOutcome& outcome : outcomes) {
+    if (outcome.kind == OutcomeKind::kShed) {
+      EXPECT_EQ(outcome.priority, Priority::kLow)
+          << "high-priority work shed while low-priority work survived";
+      EXPECT_EQ(outcome.code, StatusCode::kUnavailable);
+    }
+  }
+  for (const ServeOutcome& outcome : outcomes) {
+    if (outcome.priority == Priority::kHigh) {
+      EXPECT_EQ(outcome.kind, OutcomeKind::kCompleted);
+    }
+  }
+}
+
+TEST_F(ServeTest, QueueFullFaultForcesDeterministicRejections) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("serve.queue_full:0.5:transient")
+                  .ok());
+  ServerConfig config;
+  Server server(ServeModel(), config);
+  std::vector<ServeRequest> trace;
+  for (std::uint64_t id = 0; id < 12; ++id) {
+    trace.push_back(MakeRequest(id, id, static_cast<int>(7 + id % 5)));
+  }
+  std::vector<ServeOutcome> first = server.Run(trace).ValueOrDie();
+  EXPECT_GT(server.stats().fault_rejections, 0u);
+  EXPECT_LT(server.stats().fault_rejections, trace.size());
+  // Same trace, fresh server: the same requests must be rejected.
+  Server again(ServeModel(), config);
+  std::vector<ServeOutcome> second = again.Run(trace).ValueOrDie();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].kind, second[i].kind) << i;
+  }
+}
+
+TEST_F(ServeTest, BackendTransientFaultsRetryAcrossTokenBoundaries) {
+  // Default after_n = 2: attempts 0 and 1 fail, attempt 2 succeeds —
+  // within the default attempt limit, so every request still completes.
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("serve.backend_transient:1:transient")
+                  .ok());
+  ServerConfig config;
+  Server server(ServeModel(), config);
+  std::vector<ServeRequest> trace;
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    trace.push_back(MakeRequest(id, 0, static_cast<int>(7 + id % 5)));
+  }
+  std::vector<ServeOutcome> outcomes = server.Run(trace).ValueOrDie();
+  for (const ServeOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.kind, OutcomeKind::kCompleted);
+  }
+  EXPECT_GT(server.stats().transient_retries, 0u);
+
+  // An attempt budget smaller than the fault's horizon degrades to a
+  // retryable failure instead of hanging the slot.
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("serve.backend_transient:1:transient:10")
+                  .ok());
+  Server exhausted(ServeModel(), config);
+  std::vector<ServeOutcome> failed = exhausted.Run(trace).ValueOrDie();
+  for (const ServeOutcome& outcome : failed) {
+    EXPECT_EQ(outcome.kind, OutcomeKind::kFailed);
+    EXPECT_EQ(outcome.code, StatusCode::kUnavailable);
+  }
+}
+
+TEST_F(ServeTest, JournalByteIdenticalAcrossThreadCountsUnderChaos) {
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .Configure("serve.queue_full:0.2:transient,"
+                             "serve.backend_transient:0.3:transient,"
+                             "serve.slot_stall:0.3:latency:4")
+                  .ok());
+  LoadGenConfig load;
+  load.num_requests = 40;
+  load.seed = 7;
+  load.vocab_size = ServeModel().config().vocab_size;
+  load.stem_tokens = 8;
+  load.max_tail_tokens = 4;
+  load.max_new_tokens = 6;
+  load.deadline_max_ticks = 60;
+  load.deadline_min_ticks = 10;
+  std::vector<ServeRequest> trace = GenerateLoad(load);
+  ServerConfig config;
+  config.slots = 4;
+  config.admission.queue_capacity = 12;
+  std::string reference;
+  for (int threads : {1, 2, 8}) {
+    ScopedParallelism scope(threads);
+    Server server(ServeModel(), config);
+    std::vector<ServeOutcome> outcomes = server.Run(trace).ValueOrDie();
+    std::string journal = FormatJournal(outcomes);
+    if (reference.empty()) {
+      reference = journal;
+      // The chaos spec must actually bite, or the diff proves nothing.
+      EXPECT_GT(server.stats().fault_rejections +
+                    server.stats().transient_retries +
+                    server.stats().stall_ticks,
+                0u);
+    } else {
+      EXPECT_EQ(journal, reference)
+          << "outcome journal diverged at DIMQR_THREADS=" << threads;
+    }
+    // Rerun on the same thread count: byte-identical again.
+    Server rerun(ServeModel(), config);
+    EXPECT_EQ(FormatJournal(rerun.Run(trace).ValueOrDie()), reference);
+  }
+}
+
+TEST_F(ServeTest, LoadGeneratorIsDeterministicAndBursty) {
+  LoadGenConfig load;
+  load.num_requests = 50;
+  load.seed = 21;
+  load.vocab_size = 24;
+  std::vector<ServeRequest> a = GenerateLoad(load);
+  std::vector<ServeRequest> b = GenerateLoad(load);
+  ASSERT_EQ(a.size(), 50u);
+  ASSERT_EQ(b.size(), 50u);
+  bool any_shared_tick = false;
+  std::size_t stems_seen = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].prompt, b[i].prompt);
+    EXPECT_EQ(a[i].arrival_tick, b[i].arrival_tick);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].priority, b[i].priority);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_tick, a[i - 1].arrival_tick);
+      any_shared_tick =
+          any_shared_tick || a[i].arrival_tick == a[i - 1].arrival_tick;
+    }
+    EXPECT_EQ(a[i].prompt[0], SpecialTokens::kBos);
+    for (int token : a[i].prompt) {
+      EXPECT_GE(token, token == SpecialTokens::kBos
+                           ? SpecialTokens::kBos
+                           : SpecialTokens::kCount);
+      EXPECT_LT(token, load.vocab_size);
+    }
+  }
+  (void)stems_seen;
+  EXPECT_TRUE(any_shared_tick) << "no burst put two requests on one tick";
+  // A different seed produces a different trace.
+  load.seed = 22;
+  std::vector<ServeRequest> other = GenerateLoad(load);
+  bool differs = false;
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    differs = differs || other[i].prompt != a[i].prompt ||
+              other[i].arrival_tick != a[i].arrival_tick;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(ServeTest, ReportAggregatesAndPercentilesAreExact) {
+  std::vector<ServeOutcome> outcomes;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ServeOutcome outcome;
+    outcome.id = i;
+    outcome.kind = OutcomeKind::kCompleted;
+    outcome.arrival_tick = 0;
+    outcome.finish_tick = (i + 1) * 10;  // Latencies 10, 20, ..., 100.
+    outcome.tokens = {1, 2};
+    outcomes.push_back(outcome);
+  }
+  ServeOutcome shed;
+  shed.id = 10;
+  shed.kind = OutcomeKind::kShed;
+  shed.code = StatusCode::kUnavailable;
+  outcomes.push_back(shed);
+  ServeReport report = BuildReport(outcomes);
+  EXPECT_EQ(report.total, 11u);
+  EXPECT_EQ(report.completed, 10u);
+  EXPECT_EQ(report.shed, 1u);
+  EXPECT_EQ(report.p50_latency_ticks, 50u);
+  EXPECT_EQ(report.p95_latency_ticks, 100u);
+  EXPECT_EQ(report.p99_latency_ticks, 100u);
+  EXPECT_EQ(report.generated_tokens, 20u);
+  EXPECT_NEAR(report.ShedRate(), 1.0 / 11.0, 1e-12);
+  std::string journal = FormatJournal(outcomes);
+  EXPECT_NE(journal.find("id=0 kind=completed"), std::string::npos);
+  EXPECT_NE(journal.find("kind=shed code=Unavailable"), std::string::npos);
+  std::string summary = FormatReport(report);
+  EXPECT_NE(summary.find("p95=100"), std::string::npos);
+}
+
+TEST_F(ServeTest, DuplicateRequestIdsAreAnInputError) {
+  Server server(ServeModel(), ServerConfig{});
+  std::vector<ServeRequest> trace = {MakeRequest(3, 0, 7),
+                                     MakeRequest(3, 1, 8)};
+  EXPECT_EQ(server.Run(trace).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dimqr::serve
