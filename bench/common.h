@@ -3,8 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 
+#include "core/snapshot.h"
 #include "dimeval/benchmark.h"
 #include "linking/annotator.h"
 #include "mwp/augment.h"
@@ -19,6 +22,53 @@
 
 namespace dimqr::benchutil {
 
+/// \brief Path of the artifact snapshot the benches load from, when set:
+/// the `--snapshot=<path>` flag (see InitFromArgs) or the DIMQR_SNAPSHOT
+/// environment variable. Empty = build everything in-process.
+inline std::string& SnapshotPathRef() {
+  static std::string* const kPath = [] {
+    const char* env = std::getenv("DIMQR_SNAPSHOT");
+    return new std::string(env == nullptr ? "" : env);
+  }();
+  return *kPath;
+}
+
+/// \brief Consumes `--snapshot=<path>` from argv (compacting the array and
+/// decrementing argc) so each bench's own flag loop never sees it. Call
+/// first in main, before anything touches GetWorld().
+inline void InitFromArgs(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--snapshot=", 11) == 0) {
+      SnapshotPathRef() = argv[i] + 11;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
+
+/// \brief The mapped snapshot, or null when no path was configured. A bad
+/// path is fatal: a bench asked to measure the snapshot path must never
+/// silently fall back to building.
+inline std::shared_ptr<const snapshot::Snapshot> GetSnapshot() {
+  static const std::shared_ptr<const snapshot::Snapshot>* const kSnap = [] {
+    auto* snap = new std::shared_ptr<const snapshot::Snapshot>();
+    const std::string& path = SnapshotPathRef();
+    if (!path.empty()) {
+      auto mapped = snapshot::Snapshot::Map(path);
+      if (!mapped.ok()) {
+        std::fprintf(stderr, "cannot map snapshot %s: %s\n", path.c_str(),
+                     mapped.status().ToString().c_str());
+        std::exit(1);
+      }
+      *snap = std::move(mapped).ValueOrDie();
+    }
+    return snap;
+  }();
+  return *kSnap;
+}
+
 /// \brief The shared knowledge system.
 struct World {
   std::shared_ptr<const kb::DimUnitKB> kb;
@@ -29,7 +79,12 @@ struct World {
 inline const World& GetWorld() {
   static const World* const kWorld = [] {
     auto* world = new World();
-    world->kb = kb::DimUnitKB::Build().ValueOrDie();
+    std::shared_ptr<const snapshot::Snapshot> snap = GetSnapshot();
+    if (snap != nullptr && snap->Has("kb")) {
+      world->kb = kb::DimUnitKB::FromSnapshot(snap).ValueOrDie();
+    } else {
+      world->kb = kb::DimUnitKB::Build().ValueOrDie();
+    }
     world->linker = linking::UnitLinker::Build(world->kb).ValueOrDie();
     world->annotator =
         std::make_unique<linking::DimKsAnnotator>(world->linker);

@@ -8,7 +8,8 @@
 #include "bench/common.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dimqr::benchutil::InitFromArgs(argc, argv);
   const dimqr::benchutil::World& world = dimqr::benchutil::GetWorld();
   std::vector<dimqr::UnitId> ranked = world.kb->UnitsByFrequency();
 
@@ -18,14 +19,15 @@ int main() {
   for (int i = 0; i < kTop && i < static_cast<int>(ranked.size()); ++i) {
     const dimqr::kb::UnitRecord& u = world.kb->Get(ranked[i]);
     int bar = static_cast<int>(u.frequency * 48.0);
-    std::printf("%2d. %-22s %5.3f |%s\n", i + 1, u.label_en.c_str(),
-                u.frequency, std::string(bar, '#').c_str());
+    std::printf("%2d. %-22s %5.3f |%s\n", i + 1,
+                std::string(u.label_en).c_str(), u.frequency,
+                std::string(bar, '#').c_str());
   }
   std::cout << "\n... tail of the ranking ...\n";
   for (std::size_t i = ranked.size() - 3; i < ranked.size(); ++i) {
     const dimqr::kb::UnitRecord& u = world.kb->Get(ranked[i]);
-    std::printf("%4zu. %-40s %5.3f\n", i + 1, u.label_en.c_str(),
-                u.frequency);
+    std::printf("%4zu. %-40s %5.3f\n", i + 1,
+                std::string(u.label_en).c_str(), u.frequency);
   }
 
   // The paper's motivating contrast (Section III-A4): metre common,

@@ -7,7 +7,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dimqr::benchutil::InitFromArgs(argc, argv);
   const dimqr::benchutil::World& world = dimqr::benchutil::GetWorld();
   auto kinds = world.kb->KindsByFrequency(/*top_k=*/5);
 
@@ -17,7 +18,7 @@ int main() {
   for (std::size_t i = 0; i < kTop && i < kinds.size(); ++i) {
     const auto& [kind, freq] = kinds[i];
     std::printf("%2zu. %-28s %5.3f\n", i + 1,
-                world.kb->GetKind(kind).name.c_str(), freq);
+                std::string(world.kb->GetKind(kind).name).c_str(), freq);
     std::span<const dimqr::UnitId> member_ids = world.kb->UnitsOfKind(kind);
     std::vector<const dimqr::kb::UnitRecord*> members;
     members.reserve(member_ids.size());
@@ -30,7 +31,8 @@ int main() {
                 return a->frequency > b->frequency;
               });
     for (std::size_t j = 0; j < 5 && j < members.size(); ++j) {
-      std::printf("       %-26s %5.3f\n", members[j]->label_en.c_str(),
+      std::printf("       %-26s %5.3f\n",
+                  std::string(members[j]->label_en).c_str(),
                   members[j]->frequency);
     }
   }
@@ -38,7 +40,7 @@ int main() {
   // Shape check: everyday kinds (Length, Time, Mass) rank in the top 14.
   bool length = false, time = false, mass = false;
   for (std::size_t i = 0; i < kTop && i < kinds.size(); ++i) {
-    const std::string& name = world.kb->GetKind(kinds[i].first).name;
+    std::string_view name = world.kb->GetKind(kinds[i].first).name;
     if (name == "Length") length = true;
     if (name == "Time") time = true;
     if (name == "Mass") mass = true;

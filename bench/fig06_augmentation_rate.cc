@@ -7,7 +7,8 @@
 #include "bench/common.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dimqr::benchutil::InitFromArgs(argc, argv);
   using namespace dimqr;
   const benchutil::MwpDatasets& d = benchutil::GetMwpDatasets();
   solver::Seq2SeqConfig config = benchutil::BenchModelConfig();

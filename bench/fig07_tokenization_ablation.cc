@@ -18,7 +18,8 @@ struct Curve {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dimqr::benchutil::InitFromArgs(argc, argv);
   using namespace dimqr;
   const benchutil::MwpDatasets& d = benchutil::GetMwpDatasets();
 

@@ -52,12 +52,12 @@ const LegacyKbIndex& GetLegacyIndex() {
     auto* idx = new LegacyKbIndex();
     const std::vector<kb::UnitRecord>& units = benchutil::GetWorld().kb->units();
     for (std::size_t i = 0; i < units.size(); ++i) {
-      idx->by_id[units[i].id] = i;
-      for (const std::string& surface : units[i].SurfaceForms()) {
+      idx->by_id[std::string(units[i].id)] = i;
+      for (std::string_view surface : units[i].SurfaceForms()) {
         if (surface.empty()) continue;
-        idx->by_surface[surface].push_back(i);
+        idx->by_surface[std::string(surface)].push_back(i);
         idx->by_surface_lower[text::ToLowerAscii(surface)].push_back(i);
-        idx->naming_dictionary.emplace_back(surface, i);
+        idx->naming_dictionary.emplace_back(std::string(surface), i);
       }
     }
     return idx;
@@ -157,14 +157,12 @@ void BM_KbFindBySurfaceLegacyMap(benchmark::State& state) {
 BENCHMARK(BM_KbFindBySurfaceLegacyMap);
 
 void BM_KbConversionFactor(benchmark::State& state) {
+  // Resolve-by-string then convert: what a caller starting from UnitID
+  // strings pays per call (compare against BM_ConversionFactorCached).
   const auto& world = benchutil::GetWorld();
   for (auto _ : state) {
-    // Intentionally the deprecated string-keyed shim — this bench tracks
-    // the legacy path against BM_ConversionFactorCached.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    benchmark::DoNotOptimize(world.kb->ConversionFactor("MI", "KiloM"));
-#pragma GCC diagnostic pop
+    benchmark::DoNotOptimize(world.kb->ConversionFactor(
+        world.kb->IdOf("MI"), world.kb->IdOf("KiloM")));
   }
 }
 BENCHMARK(BM_KbConversionFactor);
@@ -522,6 +520,75 @@ void BM_EvalDimEvalPrefixCache(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvalDimEvalPrefixCache)->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------
+// Cold start: the startup cost the snapshot layer exists to delete.
+// BM_ColdStartBuild pays the full build (parse the seed tables, assign
+// frequencies, intern, index); BM_ColdStartSnapshot maps a packed file
+// and aliases it zero-copy. The file is packed once, outside any timed
+// region.
+
+const std::string& ColdStartSnapshotPath() {
+  static const std::string* const kPath = [] {
+    const char* tmp = std::getenv("TMPDIR");
+    auto* path = new std::string(std::string(tmp != nullptr ? tmp : "/tmp") +
+                                 "/dimqr_coldstart_bench.dqs");
+    snapshot::SnapshotWriter writer;
+    std::shared_ptr<const kb::DimUnitKB> kb =
+        kb::DimUnitKB::Build().ValueOrDie();
+    if (!kb->WriteSnapshot(writer).ok() || !writer.WriteFile(*path).ok()) {
+      std::fprintf(stderr, "cold-start pack failed: %s\n", path->c_str());
+      std::exit(1);
+    }
+    return path;
+  }();
+  return *kPath;
+}
+
+void BM_ColdStartBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto kb = kb::DimUnitKB::Build();
+    if (!kb.ok()) {
+      state.SkipWithError("build failed");
+      return;
+    }
+    benchmark::DoNotOptimize(kb.ValueOrDie()->units().size());
+  }
+}
+BENCHMARK(BM_ColdStartBuild);
+
+void BM_ColdStartMapOnly(benchmark::State& state) {
+  // Container cost alone: mmap + header/section-table parse + whole-file
+  // CRC-32C. The gap to BM_ColdStartSnapshot is the KB loader proper.
+  const std::string& path = ColdStartSnapshotPath();
+  for (auto _ : state) {
+    auto snap = snapshot::Snapshot::Map(path);
+    if (!snap.ok()) {
+      state.SkipWithError("map failed");
+      return;
+    }
+    benchmark::DoNotOptimize(snap.ValueOrDie()->view().size_bytes());
+  }
+}
+BENCHMARK(BM_ColdStartMapOnly);
+
+void BM_ColdStartSnapshot(benchmark::State& state) {
+  const std::string& path = ColdStartSnapshotPath();
+  for (auto _ : state) {
+    auto snap = snapshot::Snapshot::Map(path);
+    if (!snap.ok()) {
+      state.SkipWithError("map failed");
+      return;
+    }
+    auto kb = kb::DimUnitKB::FromSnapshot(snap.ValueOrDie());
+    if (!kb.ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(kb.ValueOrDie()->units().size());
+  }
+}
+BENCHMARK(BM_ColdStartSnapshot);
 
 // ---------------------------------------------------------------------
 // Serving layer: continuous batching over the decode bench model. The

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/snapshot.h"
 #include "lm/transformer.h"
 #include "serve/loadgen.h"
 #include "serve/report.h"
@@ -33,6 +34,7 @@ struct Options {
   std::uint64_t deadline_min = 0;
   std::uint64_t deadline_max = 0;
   std::string journal_path;
+  std::string snapshot_path;  ///< Map the model instead of retraining.
 };
 
 void Usage(const char* argv0) {
@@ -41,6 +43,7 @@ void Usage(const char* argv0) {
       "usage: %s [--requests N] [--seed S] [--slots N]\n"
       "          [--queue-capacity N] [--max-new N]\n"
       "          [--deadline-min T] [--deadline-max T] [--journal PATH]\n"
+      "          [--snapshot PATH]\n"
       "Fault injection: set DIMQR_FAULTS (e.g. "
       "\"serve.backend_transient:0.2:transient\").\n"
       "Worker threads: set DIMQR_THREADS.\n",
@@ -78,6 +81,10 @@ bool ParseOptions(int argc, char** argv, Options& options) {
       options.deadline_max = value;
     } else if (std::strcmp(arg, "--journal") == 0 && ++i < argc) {
       options.journal_path = argv[i];
+    } else if (std::strcmp(arg, "--snapshot") == 0 && ++i < argc) {
+      options.snapshot_path = argv[i];
+    } else if (std::strncmp(arg, "--snapshot=", 11) == 0) {
+      options.snapshot_path = arg + 11;
     } else {
       return false;
     }
@@ -85,28 +92,41 @@ bool ParseOptions(int argc, char** argv, Options& options) {
   return true;
 }
 
-/// The fixed-seed model every invocation shares: training is fully
-/// deterministic, so two runs (on any machine) serve identical logits.
-lm::Transformer BuildModel() {
-  lm::TransformerConfig config;
-  config.vocab_size = 24;
-  config.d_model = 16;
-  config.n_heads = 2;
-  config.n_layers = 2;
-  config.d_ff = 32;
-  config.max_seq = 32;
-  config.seed = 13;
-  lm::Transformer model = lm::Transformer::Create(config).ValueOrDie();
-  lm::LmExample example;
-  example.tokens = {1, 7, 8, 9, 10, 2};
-  example.loss_mask = {0, 0, 1, 1, 1, 1};
-  for (int step = 0; step < 30; ++step) {
-    if (!model.TrainBatch({example}, 3e-3).ok()) {
-      std::fprintf(stderr, "serve_loadgen: model training failed\n");
+/// The model under load: mapped zero-copy from a snapshot's "serve"
+/// section when --snapshot is given, otherwise trained in-process. Both
+/// paths hold the same canonical fixed-seed weights (dimqr_snapshot pack
+/// stores BuildCanonicalServeModel()), so the journal is byte-identical
+/// either way.
+lm::Transformer BuildModel(const Options& options) {
+  if (!options.snapshot_path.empty()) {
+    auto snap = snapshot::Snapshot::Map(options.snapshot_path);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "serve_loadgen: cannot map snapshot: %s\n",
+                   snap.status().ToString().c_str());
       std::exit(1);
     }
+    auto section = snap.ValueOrDie()->Section("serve");
+    if (!section.ok()) {
+      std::fprintf(stderr, "serve_loadgen: snapshot has no \"serve\" "
+                           "section\n");
+      std::exit(1);
+    }
+    snapshot::ArenaReader reader(section.ValueOrDie());
+    auto model = lm::Transformer::FromArena(reader, snap.ValueOrDie());
+    if (!model.ok()) {
+      std::fprintf(stderr, "serve_loadgen: bad serve section: %s\n",
+                   model.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(model).ValueOrDie();
   }
-  return model;
+  auto model = serve::BuildCanonicalServeModel();
+  if (!model.ok()) {
+    std::fprintf(stderr, "serve_loadgen: model training failed: %s\n",
+                 model.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(model).ValueOrDie();
 }
 
 }  // namespace
@@ -118,7 +138,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  lm::Transformer model = BuildModel();
+  lm::Transformer model = BuildModel(options);
 
   serve::LoadGenConfig load;
   load.num_requests = options.requests;

@@ -9,7 +9,8 @@
 #include "bench/common.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dimqr::benchutil::InitFromArgs(argc, argv);
   using dimqr::eval::TablePrinter;
   const dimqr::benchutil::World& world = dimqr::benchutil::GetWorld();
   dimqr::kb::KbStats stats = world.kb->Stats();

@@ -25,7 +25,8 @@ void AddStatsRow(dimqr::eval::TablePrinter& table,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dimqr::benchutil::InitFromArgs(argc, argv);
   using dimqr::eval::TablePrinter;
   using dimqr::mwp::ComputeStats;
   const dimqr::benchutil::MwpDatasets& d = dimqr::benchutil::GetMwpDatasets();

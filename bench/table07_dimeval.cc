@@ -16,6 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace dimqr;
+  benchutil::InitFromArgs(argc, argv);
   using eval::TablePrinter;
 
   // --journal=<path>: checkpoint each completed (model, task) evaluation;

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace dimqr;
+  benchutil::InitFromArgs(argc, argv);
   using benchutil::GetDimEval;
   using benchutil::GetWorld;
   using eval::TablePrinter;

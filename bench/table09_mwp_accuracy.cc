@@ -12,7 +12,8 @@
 #include "eval/table.h"
 #include "lm/mock_llm.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dimqr::benchutil::InitFromArgs(argc, argv);
   using namespace dimqr;
   using eval::TablePrinter;
   const benchutil::MwpDatasets& d = benchutil::GetMwpDatasets();

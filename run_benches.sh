@@ -13,12 +13,39 @@
 # Timings only mean something from an optimized build, so everything runs
 # out of a dedicated Release tree (build-rel/) — never the default dev
 # tree. perf_microbench itself refuses to start from a non-Release build.
+# All scratch output (combined log, packed snapshot, smaps samples) lands
+# under build-rel/bench-out/, never in the source tree; only the
+# machine-readable BENCH_perf.json is written at the repo root, because
+# EXPERIMENTS.md links to it as a published artifact.
 set -e
 cd "$(dirname "$0")"
 
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release \
       -DDIMQR_BUILD_TESTS=OFF -DDIMQR_BUILD_EXAMPLES=OFF
 cmake --build build-rel -j
+
+OUT=build-rel/bench-out
+mkdir -p "$OUT"
+SNAP="$OUT/artifacts.dqs"
+
+# Pack + verify the artifact snapshot once, then smoke-check page sharing:
+# four concurrent processes map the same file with overlapping holds, and
+# at least one must observe the pages as Shared_* (one physical copy).
+./build-rel/bench/dimqr_snapshot pack "$SNAP"
+./build-rel/bench/dimqr_snapshot verify "$SNAP"
+for i in 1 2 3 4; do
+  ./build-rel/bench/dimqr_snapshot resident "$SNAP" 800 \
+      > "$OUT/resident.$i.txt" &
+done
+wait
+if grep -hE '^Shared_(Clean|Dirty):' "$OUT"/resident.*.txt \
+    | grep -vq ' 0 kB'; then
+  echo "snapshot page sharing: OK (Shared_* pages observed across processes)"
+else
+  echo "snapshot page sharing: FAILED — no process saw shared pages" >&2
+  cat "$OUT"/resident.*.txt >&2
+  exit 1
+fi
 
 {
   for b in table04_kb_stats fig03_unit_frequency fig04_quantity_kinds \
@@ -32,8 +59,8 @@ cmake --build build-rel -j
       ./build-rel/bench/$b --benchmark_out=BENCH_perf.json \
                            --benchmark_out_format=json 2>&1
     else
-      ./build-rel/bench/$b 2>&1
+      ./build-rel/bench/$b --snapshot="$SNAP" 2>&1
     fi
     echo
   done
-} | tee bench_output.txt
+} | tee "$OUT/bench_output.txt"

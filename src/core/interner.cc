@@ -9,11 +9,46 @@ constexpr std::size_t kInitialBuckets = 64;  // Power of two.
 
 }  // namespace
 
-SymbolTable::SymbolTable() : buckets_(kInitialBuckets, 0) {}
+SymbolTable::SymbolTable() : buckets_(kInitialBuckets, 0) { Reseat(); }
+
+SymbolTable& SymbolTable::operator=(const SymbolTable& other) {
+  if (this == &other) return *this;
+  arena_ = other.arena_;
+  spans_ = other.spans_;
+  buckets_ = other.buckets_;
+  if (other.borrowed()) {
+    // Share the external backing; owned copies above are the detach seeds.
+    arena_v_ = other.arena_v_;
+    spans_v_ = other.spans_v_;
+    buckets_v_ = other.buckets_v_;
+  } else {
+    Reseat();
+  }
+  return *this;
+}
+
+SymbolTable& SymbolTable::operator=(SymbolTable&& other) noexcept {
+  if (this == &other) return *this;
+  bool was_borrowed = other.borrowed();
+  arena_v_ = other.arena_v_;
+  spans_v_ = other.spans_v_;
+  buckets_v_ = other.buckets_v_;
+  arena_ = std::move(other.arena_);
+  spans_ = std::move(other.spans_);
+  buckets_ = std::move(other.buckets_);
+  if (!was_borrowed) Reseat();
+  other.arena_.clear();
+  other.spans_.clear();
+  other.buckets_.assign(kInitialBuckets, 0);
+  other.Reseat();
+  return *this;
+}
 
 std::uint64_t SymbolTable::Hash(std::string_view s) {
   // FNV-1a: tiny, deterministic across platforms, good enough for short
-  // symbol keys behind a power-of-two table.
+  // symbol keys behind a power-of-two table. Part of the serialized
+  // layout contract: buckets are persisted, so this function must never
+  // change without bumping kSnapshotVersion.
   std::uint64_t h = 1469598103934665603ull;
   for (unsigned char c : s) {
     h ^= c;
@@ -24,6 +59,7 @@ std::uint64_t SymbolTable::Hash(std::string_view s) {
 
 void SymbolTable::Rehash(std::size_t min_buckets) {
   std::size_t n = buckets_.size();
+  if (n == 0) n = kInitialBuckets;
   while (n < min_buckets) n *= 2;
   std::vector<std::uint32_t> fresh(n, 0);
   for (std::uint32_t id = 1; id <= spans_.size(); ++id) {
@@ -34,9 +70,20 @@ void SymbolTable::Rehash(std::size_t min_buckets) {
     fresh[bucket] = id;
   }
   buckets_ = std::move(fresh);
+  Reseat();
+}
+
+void SymbolTable::Detach() {
+  if (!borrowed()) return;
+  arena_.assign(arena_v_.begin(), arena_v_.end());
+  spans_.assign(spans_v_.begin(), spans_v_.end());
+  buckets_.assign(buckets_v_.begin(), buckets_v_.end());
+  if (buckets_.empty()) buckets_.assign(kInitialBuckets, 0);
+  Reseat();
 }
 
 std::uint32_t SymbolTable::Intern(std::string_view s) {
+  Detach();
   // Keep load factor under 0.7 so probe chains stay short.
   if ((spans_.size() + 1) * 10 >= buckets_.size() * 7) {
     Rehash(buckets_.size() * 2);
@@ -54,23 +101,56 @@ std::uint32_t SymbolTable::Intern(std::string_view s) {
   spans_.push_back(span);
   std::uint32_t id = static_cast<std::uint32_t>(spans_.size());
   buckets_[bucket] = id;
+  Reseat();
   return id;
 }
 
 std::uint32_t SymbolTable::Lookup(std::string_view s) const {
-  std::size_t mask = buckets_.size() - 1;
+  if (buckets_v_.empty()) return 0;
+  std::size_t mask = buckets_v_.size() - 1;
   std::size_t bucket = Hash(s) & mask;
-  while (buckets_[bucket] != 0) {
-    if (Str(buckets_[bucket]) == s) return buckets_[bucket];
+  while (buckets_v_[bucket] != 0) {
+    if (Str(buckets_v_[bucket]) == s) return buckets_v_[bucket];
     bucket = (bucket + 1) & mask;
   }
   return 0;
 }
 
-std::string_view SymbolTable::Str(std::uint32_t id) const {
-  if (id == 0 || id > spans_.size()) return {};
-  const Span& span = spans_[id - 1];
-  return std::string_view(arena_.data() + span.offset, span.length);
+void SymbolTable::WriteTo(snapshot::ArenaWriter& writer) const {
+  writer.PutArray(arena_v_);
+  writer.PutArray(spans_v_);
+  writer.PutArray(buckets_v_);
+}
+
+dimqr::Result<SymbolTable> SymbolTable::FromArena(
+    snapshot::ArenaReader& reader) {
+  SymbolTable table;
+  table.arena_.clear();
+  table.spans_.clear();
+  table.buckets_.clear();
+  DIMQR_ASSIGN_OR_RETURN(table.arena_v_, reader.GetArray<char>());
+  DIMQR_ASSIGN_OR_RETURN(table.spans_v_, reader.GetArray<Span>());
+  DIMQR_ASSIGN_OR_RETURN(table.buckets_v_,
+                         reader.GetArray<std::uint32_t>());
+  // Bucket count must be a power of two (the probe mask assumes it) and
+  // every span must lie inside the arena; reject corrupt tables up front
+  // so lookups can skip per-probe bounds checks.
+  if (table.buckets_v_.empty() ||
+      (table.buckets_v_.size() & (table.buckets_v_.size() - 1)) != 0) {
+    return Status::IOError("symbol-table bucket count not a power of two");
+  }
+  for (const Span& span : table.spans_v_) {
+    if (span.offset > table.arena_v_.size() ||
+        table.arena_v_.size() - span.offset < span.length) {
+      return Status::IOError("symbol span out of arena bounds in snapshot");
+    }
+  }
+  for (std::uint32_t id : table.buckets_v_) {
+    if (id > table.spans_v_.size()) {
+      return Status::IOError("symbol bucket points past symbol count");
+    }
+  }
+  return table;
 }
 
 }  // namespace dimqr

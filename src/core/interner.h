@@ -8,6 +8,9 @@
 #include <string_view>
 #include <vector>
 
+#include "core/snapshot.h"
+#include "core/status.h"
+
 /// \file interner.h
 /// The identity layer: dense 32-bit handles for the entities the hot
 /// annotate → link → evaluate path keeps re-identifying by string.
@@ -19,9 +22,13 @@
 /// time; `IdMap`/`IdSet` are the flat-vector replacements for
 /// `unordered_map<std::string, …>` keyed containers.
 ///
-/// Strings remain the representation at serialization boundaries only
-/// (TSV files, bench table output, LM prompts); everything in between
-/// moves handles.
+/// Zero-copy persistence: SymbolTable and PostingsIndex are flat by
+/// construction (one char arena + POD span/offset arrays), so both can be
+/// dumped into a snapshot arena (`WriteTo`) and re-materialized as *views
+/// over the mapping* (`FromArena`) without copying or re-hashing a single
+/// byte. A view-backed table answers lookups through the serialized
+/// buckets; mutating it (Intern of a new symbol) first detaches into owned
+/// storage. See core/snapshot.h.
 
 namespace dimqr {
 
@@ -66,37 +73,76 @@ using SurfaceId = Id32<SurfaceIdTag>;
 /// \brief Interns strings into dense ids (1..N, 0 invalid). Append-only;
 /// lookups are allocation-free and safe from concurrent readers once no
 /// writer is active (DimUnitKB freezes its tables after construction).
+///
+/// Storage model: reads always go through spans. For a table built by
+/// Intern the spans alias this object's own vectors; for a table loaded
+/// from a snapshot they alias the mapping (zero-copy). Copying a table
+/// deep-copies owned storage but shares a borrowed backing.
 class SymbolTable {
  public:
-  SymbolTable();
-
-  /// The id of `s`, interning it first if new. Ids are assigned in first-
-  /// insertion order and never change.
-  std::uint32_t Intern(std::string_view s);
-
-  /// The id of `s`, or 0 when it was never interned. Never allocates.
-  std::uint32_t Lookup(std::string_view s) const;
-
-  /// The string of a valid id (arena-backed view, stable for the table's
-  /// lifetime). The invalid id 0 yields an empty view.
-  std::string_view Str(std::uint32_t id) const;
-
-  /// Number of interned symbols (valid ids are 1..size()).
-  std::size_t size() const { return spans_.size(); }
-
- private:
+  /// \brief One symbol's location in the arena (fixed-width POD — part of
+  /// the serialized layout).
   struct Span {
     std::uint32_t offset = 0;
     std::uint32_t length = 0;
   };
 
+  SymbolTable();
+  SymbolTable(const SymbolTable& other) { *this = other; }
+  SymbolTable& operator=(const SymbolTable& other);
+  SymbolTable(SymbolTable&& other) noexcept { *this = std::move(other); }
+  SymbolTable& operator=(SymbolTable&& other) noexcept;
+
+  /// The id of `s`, interning it first if new. Ids are assigned in first-
+  /// insertion order and never change. Detaches a borrowed table.
+  std::uint32_t Intern(std::string_view s);
+
+  /// The id of `s`, or 0 when it was never interned. Never allocates.
+  std::uint32_t Lookup(std::string_view s) const;
+
+  /// The string of a valid id (arena- or mapping-backed view, stable for
+  /// the backing's lifetime). The invalid id 0 yields an empty view.
+  std::string_view Str(std::uint32_t id) const {
+    if (id == 0 || id > spans_v_.size()) return {};
+    const Span& span = spans_v_[id - 1];
+    return std::string_view(arena_v_.data() + span.offset, span.length);
+  }
+
+  /// Number of interned symbols (valid ids are 1..size()).
+  std::size_t size() const { return spans_v_.size(); }
+
+  /// True when reads alias external bytes (a snapshot mapping) rather than
+  /// this object's own vectors.
+  bool borrowed() const { return spans_v_.data() != spans_.data(); }
+
+  /// Appends arena, span, and bucket arrays to a snapshot arena.
+  void WriteTo(snapshot::ArenaWriter& writer) const;
+
+  /// \brief Re-materializes a table whose reads alias `reader`'s bytes.
+  /// The backing mapping must outlive the returned table.
+  static dimqr::Result<SymbolTable> FromArena(snapshot::ArenaReader& reader);
+
+ private:
   static std::uint64_t Hash(std::string_view s);
   void Rehash(std::size_t min_buckets);
+  /// Copies a borrowed backing into owned vectors (before mutation).
+  void Detach();
+  void Reseat() {
+    arena_v_ = arena_;
+    spans_v_ = spans_;
+    buckets_v_ = buckets_;
+  }
 
+  // Owned storage (empty while borrowed from a snapshot mapping).
   std::vector<char> arena_;   ///< All symbol bytes, concatenated.
   std::vector<Span> spans_;   ///< spans_[id-1] locates symbol `id`.
   /// Open-addressing index over spans_: bucket -> symbol id (0 = empty).
   std::vector<std::uint32_t> buckets_;
+
+  // Read-side views; alias the vectors above or a snapshot mapping.
+  std::span<const char> arena_v_;
+  std::span<const Span> spans_v_;
+  std::span<const std::uint32_t> buckets_v_;
 };
 
 /// \brief Typed overloads so call sites read as `table.Str(surface_id)`.
@@ -165,11 +211,42 @@ class IdSet {
 
 /// \brief A CSR-style postings index: for each key handle, a contiguous
 /// span of value handles. Built once from (key, value) pairs; lookups are
-/// one offset subtraction and never allocate.
+/// one offset subtraction and never allocate. Like SymbolTable, reads go
+/// through spans that alias either owned vectors or a snapshot mapping.
 template <typename Key, typename Value>
 class PostingsIndex {
  public:
+  static_assert(std::is_trivially_copyable_v<Value>,
+                "postings must be flat PODs (snapshot-aliasable)");
+
   PostingsIndex() = default;
+  PostingsIndex(const PostingsIndex& other) { *this = other; }
+  PostingsIndex& operator=(const PostingsIndex& other) {
+    if (this == &other) return *this;
+    offsets_ = other.offsets_;
+    postings_ = other.postings_;
+    if (other.borrowed()) {
+      offsets_v_ = other.offsets_v_;
+      postings_v_ = other.postings_v_;
+    } else {
+      Reseat();
+    }
+    return *this;
+  }
+  PostingsIndex(PostingsIndex&& other) noexcept { *this = std::move(other); }
+  PostingsIndex& operator=(PostingsIndex&& other) noexcept {
+    if (this == &other) return *this;
+    bool was_borrowed = other.borrowed();
+    offsets_v_ = other.offsets_v_;
+    postings_v_ = other.postings_v_;
+    offsets_ = std::move(other.offsets_);
+    postings_ = std::move(other.postings_);
+    if (!was_borrowed) Reseat();  // vector move keeps heap buffers, but be explicit
+    other.offsets_.clear();
+    other.postings_.clear();
+    other.Reseat();
+    return *this;
+  }
 
   /// Builds from per-key buckets: `buckets[i]` holds the postings of the
   /// key with dense index `i`, already in the desired order.
@@ -187,24 +264,65 @@ class PostingsIndex {
       index.offsets_.push_back(
           static_cast<std::uint32_t>(index.postings_.size()));
     }
+    index.Reseat();
     return index;
   }
 
   /// The postings of `key`; empty for invalid/unknown keys.
   std::span<const Value> operator[](Key key) const {
-    if (!key.valid() || key.index() + 1 >= offsets_.size()) return {};
-    return std::span<const Value>(postings_.data() + offsets_[key.index()],
-                                  offsets_[key.index() + 1] -
-                                      offsets_[key.index()]);
+    if (!key.valid() || key.index() + 1 >= offsets_v_.size()) return {};
+    return std::span<const Value>(
+        postings_v_.data() + offsets_v_[key.index()],
+        offsets_v_[key.index() + 1] - offsets_v_[key.index()]);
   }
 
   std::size_t num_keys() const {
-    return offsets_.empty() ? 0 : offsets_.size() - 1;
+    return offsets_v_.empty() ? 0 : offsets_v_.size() - 1;
+  }
+
+  bool borrowed() const { return offsets_v_.data() != offsets_.data(); }
+
+  /// Appends offset and posting arrays to a snapshot arena.
+  void WriteTo(snapshot::ArenaWriter& writer) const {
+    writer.PutArray(offsets_v_);
+    writer.PutArray(postings_v_);
+  }
+
+  /// Re-materializes an index whose reads alias `reader`'s bytes.
+  static dimqr::Result<PostingsIndex> FromArena(
+      snapshot::ArenaReader& reader) {
+    PostingsIndex index;
+    DIMQR_ASSIGN_OR_RETURN(index.offsets_v_,
+                           reader.template GetArray<std::uint32_t>());
+    DIMQR_ASSIGN_OR_RETURN(index.postings_v_,
+                           reader.template GetArray<Value>());
+    // Structural sanity: offsets must be monotone and end at postings size,
+    // so a corrupt file cannot index out of the postings span.
+    const auto& offs = index.offsets_v_;
+    for (std::size_t i = 0; i + 1 < offs.size(); ++i) {
+      if (offs[i] > offs[i + 1]) {
+        return Status::IOError("postings offsets not monotone in snapshot");
+      }
+    }
+    if (!offs.empty() && offs.back() != index.postings_v_.size()) {
+      return Status::IOError("postings offsets inconsistent with postings");
+    }
+    if (!offs.empty() && offs.front() != 0) {
+      return Status::IOError("postings offsets must start at 0");
+    }
+    return index;
   }
 
  private:
+  void Reseat() {
+    offsets_v_ = offsets_;
+    postings_v_ = postings_;
+  }
+
   std::vector<std::uint32_t> offsets_;  ///< num_keys + 1 boundaries.
   std::vector<Value> postings_;         ///< Concatenated posting lists.
+  std::span<const std::uint32_t> offsets_v_;
+  std::span<const Value> postings_v_;
 };
 
 }  // namespace dimqr

@@ -1,0 +1,370 @@
+#include "core/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace dimqr::snapshot {
+namespace {
+
+using dimqr::Result;
+using dimqr::Status;
+
+// The format checksum is CRC-32C (Castagnoli, polynomial 0x1EDC6A41
+// reflected): x86-64 computes it in hardware (SSE4.2), which matters
+// because Snapshot::Map pays this over the whole file — it must not
+// dominate the cold-start win the format exists for. The software
+// fallback is slicing-by-8 over the same polynomial, so files are
+// byte-compatible across both paths.
+std::array<std::array<std::uint32_t, 256>, 8> MakeCrc32cTables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (int t = 1; t < 8; ++t) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
+}
+
+std::uint32_t Crc32cSoftware(std::uint32_t crc,
+                             std::span<const std::byte> bytes) {
+  static const std::array<std::array<std::uint32_t, 256>, 8> kTables =
+      MakeCrc32cTables();
+  const std::byte* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: crc folds into the low 4 bytes
+    crc = kTables[7][word & 0xFFu] ^ kTables[6][(word >> 8) & 0xFFu] ^
+          kTables[5][(word >> 16) & 0xFFu] ^
+          kTables[4][(word >> 24) & 0xFFu] ^
+          kTables[3][(word >> 32) & 0xFFu] ^
+          kTables[2][(word >> 40) & 0xFFu] ^
+          kTables[1][(word >> 48) & 0xFFu] ^ kTables[0][word >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = kTables[0][(crc ^ static_cast<std::uint8_t>(*p)) & 0xFFu] ^
+          (crc >> 8);
+    ++p;
+    --n;
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DIMQR_CRC32C_HW 1
+__attribute__((target("sse4.2"))) std::uint32_t Crc32cHardware(
+    std::uint32_t crc, std::span<const std::byte> bytes) {
+  const std::byte* p = bytes.data();
+  std::size_t n = bytes.size();
+  std::uint64_t crc64 = crc;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, static_cast<std::uint8_t>(*p));
+    ++p;
+    --n;
+  }
+  return crc;
+}
+#endif
+
+std::size_t AlignUp(std::size_t n, std::size_t alignment) {
+  return (n + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::byte> bytes) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+#if DIMQR_CRC32C_HW
+  static const bool kHaveSse42 = __builtin_cpu_supports("sse4.2");
+  if (kHaveSse42) {
+    crc = Crc32cHardware(crc, bytes);
+  } else {
+    crc = Crc32cSoftware(crc, bytes);
+  }
+#else
+  crc = Crc32cSoftware(crc, bytes);
+#endif
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status SnapshotWriter::AddSection(std::string name,
+                                  std::vector<std::byte> payload) {
+  if (name.empty()) {
+    return Status::InvalidArgument("snapshot section name must be non-empty");
+  }
+  for (const PendingSection& s : sections_) {
+    if (s.name == name) {
+      return Status::AlreadyExists("duplicate snapshot section: " + name);
+    }
+  }
+  sections_.push_back({std::move(name), std::move(payload)});
+  return Status::OK();
+}
+
+std::vector<std::byte> SnapshotWriter::Serialize() const {
+  const std::size_t table_offset = sizeof(SnapshotHeader);
+  const std::size_t names_offset =
+      table_offset + sections_.size() * sizeof(SectionEntry);
+  std::size_t names_size = 0;
+  for (const PendingSection& s : sections_) names_size += s.name.size();
+
+  std::vector<SectionEntry> entries(sections_.size());
+  std::size_t name_cursor = names_offset;
+  std::size_t payload_cursor = AlignUp(names_offset + names_size,
+                                       kSectionAlign);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    entries[i].name_offset = name_cursor;
+    entries[i].name_length =
+        static_cast<std::uint32_t>(sections_[i].name.size());
+    entries[i].reserved = 0;
+    entries[i].payload_offset = payload_cursor;
+    entries[i].payload_size = sections_[i].payload.size();
+    name_cursor += sections_[i].name.size();
+    payload_cursor = AlignUp(payload_cursor + sections_[i].payload.size(),
+                             kSectionAlign);
+  }
+  // The file ends right after the last payload (no trailing pad needed,
+  // but payload_cursor already rounded up; trim back to the true end).
+  std::size_t file_size =
+      sections_.empty()
+          ? names_offset + names_size
+          : entries.back().payload_offset + entries.back().payload_size;
+
+  std::vector<std::byte> out(file_size, std::byte{0});
+  auto put = [&out](std::size_t offset, const void* data, std::size_t n) {
+    std::memcpy(out.data() + offset, data, n);
+  };
+  put(table_offset, entries.data(), entries.size() * sizeof(SectionEntry));
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    put(entries[i].name_offset, sections_[i].name.data(),
+        sections_[i].name.size());
+    put(entries[i].payload_offset, sections_[i].payload.data(),
+        sections_[i].payload.size());
+  }
+
+  SnapshotHeader header{};
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(header.magic));
+  header.version = kSnapshotVersion;
+  header.section_count = static_cast<std::uint32_t>(sections_.size());
+  header.file_size = file_size;
+  header.flags = 0;
+  header.crc32 = Crc32(std::span<const std::byte>(out).subspan(
+      sizeof(SnapshotHeader)));
+  put(0, &header, sizeof(header));
+  return out;
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path) const {
+  std::vector<std::byte> bytes = Serialize();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + tmp);
+  }
+  std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("snapshot write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename snapshot into place: " + path);
+  }
+  return Status::OK();
+}
+
+Result<SnapshotView> SnapshotView::Parse(std::span<const std::byte> bytes) {
+  if (bytes.size() < sizeof(SnapshotHeader)) {
+    return Status::IOError("snapshot smaller than its header (" +
+                           std::to_string(bytes.size()) + " bytes)");
+  }
+  SnapshotHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (std::memcmp(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    return Status::ParseError("bad snapshot magic (not a dimqr snapshot)");
+  }
+  if (header.version != kSnapshotVersion) {
+    return Status::ParseError(
+        "unsupported snapshot version " + std::to_string(header.version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        "); regenerate with dimqr_snapshot pack");
+  }
+  if (header.file_size != bytes.size()) {
+    return Status::IOError("snapshot size mismatch: header says " +
+                           std::to_string(header.file_size) + ", mapping is " +
+                           std::to_string(bytes.size()) + " bytes");
+  }
+  if (Crc32(bytes.subspan(sizeof(SnapshotHeader))) != header.crc32) {
+    return Status::IOError("snapshot CRC mismatch (corrupt or torn file)");
+  }
+  const std::size_t table_bytes =
+      static_cast<std::size_t>(header.section_count) * sizeof(SectionEntry);
+  if (bytes.size() - sizeof(SnapshotHeader) < table_bytes) {
+    return Status::IOError("snapshot section table out of bounds");
+  }
+  std::span<const SectionEntry> entries(
+      reinterpret_cast<const SectionEntry*>(bytes.data() +
+                                            sizeof(SnapshotHeader)),
+      header.section_count);
+  for (const SectionEntry& e : entries) {
+    if (e.name_offset > bytes.size() ||
+        bytes.size() - e.name_offset < e.name_length) {
+      return Status::IOError("snapshot section name out of bounds");
+    }
+    if (e.payload_offset % kSectionAlign != 0) {
+      return Status::IOError("snapshot section payload misaligned (offset " +
+                             std::to_string(e.payload_offset) + ")");
+    }
+    if (e.payload_offset > bytes.size() ||
+        bytes.size() - e.payload_offset < e.payload_size) {
+      return Status::IOError("snapshot section payload out of bounds");
+    }
+  }
+  SnapshotView view;
+  view.bytes_ = bytes;
+  view.entries_ = entries;
+  return view;
+}
+
+bool SnapshotView::Has(std::string_view name) const {
+  for (const SectionEntry& e : entries_) {
+    std::string_view entry_name(
+        reinterpret_cast<const char*>(bytes_.data() + e.name_offset),
+        e.name_length);
+    if (entry_name == name) return true;
+  }
+  return false;
+}
+
+Result<std::span<const std::byte>> SnapshotView::Section(
+    std::string_view name) const {
+  for (const SectionEntry& e : entries_) {
+    std::string_view entry_name(
+        reinterpret_cast<const char*>(bytes_.data() + e.name_offset),
+        e.name_length);
+    if (entry_name == name) {
+      return bytes_.subspan(e.payload_offset, e.payload_size);
+    }
+  }
+  return Status::NotFound("snapshot has no section '" + std::string(name) +
+                          "'");
+}
+
+std::vector<std::string_view> SnapshotView::SectionNames() const {
+  std::vector<std::string_view> names;
+  names.reserve(entries_.size());
+  for (const SectionEntry& e : entries_) {
+    names.emplace_back(
+        reinterpret_cast<const char*>(bytes_.data() + e.name_offset),
+        e.name_length);
+  }
+  return names;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+Result<MappedFile> MappedFile::Map(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    return Status::IOError("empty file: " + path);
+  }
+  // MAP_SHARED read-only: concurrently launched processes mapping the same
+  // snapshot share one set of physical pages (the multi-process cold-start
+  // story); MAP_PRIVATE would still share until a write, but the mapping is
+  // PROT_READ so there is nothing to CoW — SHARED states the intent.
+  int flags = MAP_SHARED;
+#ifdef MAP_POPULATE
+  // Prefault the whole file in one kernel pass: the CRC check walks every
+  // page anyway, and batched population is far cheaper than ~file_size/4K
+  // individual soft faults.
+  flags |= MAP_POPULATE;
+#endif
+  void* data = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                      PROT_READ, flags, fd, 0);
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    return Status::IOError("mmap failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  MappedFile file;
+  file.data_ = data;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  return file;
+}
+
+Result<std::shared_ptr<const Snapshot>> Snapshot::Map(
+    const std::string& path) {
+  DIMQR_ASSIGN_OR_RETURN(MappedFile mapping, MappedFile::Map(path));
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->path_ = path;
+  snap->mapping_ = std::move(mapping);
+  DIMQR_ASSIGN_OR_RETURN(snap->view_,
+                         SnapshotView::Parse(snap->mapping_.bytes()));
+  return std::shared_ptr<const Snapshot>(snap);
+}
+
+Result<std::shared_ptr<const Snapshot>> Snapshot::FromBytes(
+    std::vector<std::byte> bytes) {
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->owned_ = std::move(bytes);
+  DIMQR_ASSIGN_OR_RETURN(
+      snap->view_, SnapshotView::Parse(std::span<const std::byte>(
+                       snap->owned_)));
+  return std::shared_ptr<const Snapshot>(snap);
+}
+
+}  // namespace dimqr::snapshot

@@ -58,9 +58,9 @@ Result<BootstrapResult> BootstrapRetrieve(const kg::TripleStore& store,
   for (UnitId uid : kb.UnitsByFrequency()) {
     if (mentions.size() >= options.seed_mentions) break;
     const kb::UnitRecord& unit = kb.Get(uid);
-    mentions.insert(unit.symbols.empty() ? unit.label_en
-                                         : unit.symbols.front());
-    mentions.insert(unit.label_en);
+    mentions.insert(std::string(
+        unit.symbols.empty() ? unit.label_en : unit.symbols.front()));
+    mentions.insert(std::string(unit.label_en));
   }
 
   std::set<std::string> predicates;

@@ -191,7 +191,7 @@ Result<std::vector<TaskInstance>> TaskGenerator::QuantityKindMatch(
         const kb::UnitRecord* gold = SampleUnit(rng);
         // Distractors must be of other dimensions so the kind uniquely
         // selects the gold choice.
-        std::vector<std::string> choices = {gold->label_en};
+        std::vector<std::string> choices = {std::string(gold->label_en)};
         std::set<std::uint64_t> dims = {gold->dimension.PackedKey()};
         while (choices.size() <
                static_cast<std::size_t>(options_.num_choices)) {
@@ -199,7 +199,7 @@ Result<std::vector<TaskInstance>> TaskGenerator::QuantityKindMatch(
               SampleUnitNotOfDimension(gold->dimension, rng);
           if (d == nullptr) return false;
           if (!dims.insert(d->dimension.PackedKey()).second) continue;
-          choices.push_back(d->label_en);
+          choices.emplace_back(d->label_en);
         }
         inst.task = lm::tasks::kQuantityKindMatch;
         int gold_index = PlaceGold(choices, 0, rng);
@@ -229,15 +229,16 @@ Result<std::vector<TaskInstance>> TaskGenerator::ComparableAnalysis(
         const kb::UnitRecord* gold =
             SampleUnitOfDimension(probe->dimension, rng, probe);
         if (gold == nullptr) return false;
-        std::vector<std::string> choices = {gold->label_en};
-        std::set<std::string> used = {gold->label_en, probe->label_en};
+        std::vector<std::string> choices = {std::string(gold->label_en)};
+        std::set<std::string> used = {std::string(gold->label_en),
+                                      std::string(probe->label_en)};
         while (choices.size() <
                static_cast<std::size_t>(options_.num_choices)) {
           const kb::UnitRecord* d =
               SampleUnitNotOfDimension(probe->dimension, rng);
           if (d == nullptr) return false;
-          if (!used.insert(d->label_en).second) continue;
-          choices.push_back(d->label_en);
+          if (!used.insert(std::string(d->label_en)).second) continue;
+          choices.emplace_back(d->label_en);
         }
         inst.task = lm::tasks::kComparableAnalysis;
         int gold_index = PlaceGold(choices, 0, rng);
@@ -273,14 +274,14 @@ Result<std::vector<TaskInstance>> TaskGenerator::DimensionArithmetic(
         dimqr::Dimension target = *dim_result;
         const kb::UnitRecord* gold = SampleUnitOfDimension(target, rng);
         if (gold == nullptr) return false;
-        std::vector<std::string> choices = {gold->label_en};
+        std::vector<std::string> choices = {std::string(gold->label_en)};
         std::set<std::uint64_t> dims = {target.PackedKey()};
         while (choices.size() <
                static_cast<std::size_t>(options_.num_choices)) {
           const kb::UnitRecord* d = SampleUnitNotOfDimension(target, rng);
           if (d == nullptr) return false;
           if (!dims.insert(d->dimension.PackedKey()).second) continue;
-          choices.push_back(d->label_en);
+          choices.emplace_back(d->label_en);
         }
         inst.task = lm::tasks::kDimensionArithmetic;
         int gold_index = PlaceGold(choices, 0, rng);
@@ -312,7 +313,7 @@ Result<std::vector<TaskInstance>> TaskGenerator::MagnitudeComparison(
         if (anchor->conversion_offset != 0.0) return false;  // affine excluded
         // Collect num_choices distinct-magnitude units of one dimension.
         std::vector<const kb::UnitRecord*> units = {anchor};
-        std::set<std::string> used = {anchor->label_en};
+        std::set<std::string> used = {std::string(anchor->label_en)};
         int attempts = 0;
         while (units.size() < static_cast<std::size_t>(options_.num_choices) &&
                attempts++ < 200) {
@@ -320,7 +321,7 @@ Result<std::vector<TaskInstance>> TaskGenerator::MagnitudeComparison(
               SampleUnitOfDimension(anchor->dimension, rng, nullptr);
           if (u == nullptr) break;
           if (u->conversion_offset != 0.0) continue;
-          if (!used.insert(u->label_en).second) continue;
+          if (!used.insert(std::string(u->label_en)).second) continue;
           bool distinct = true;
           for (const kb::UnitRecord* v : units) {
             double ratio = u->conversion_value / v->conversion_value;
@@ -342,7 +343,9 @@ Result<std::vector<TaskInstance>> TaskGenerator::MagnitudeComparison(
         }
         std::vector<std::string> choices;
         choices.reserve(units.size());
-        for (const kb::UnitRecord* u : units) choices.push_back(u->label_en);
+        for (const kb::UnitRecord* u : units) {
+          choices.emplace_back(u->label_en);
+        }
         inst.task = lm::tasks::kMagnitudeComparison;
         int gold_index = PlaceGold(choices, gold_at, rng);
         inst.choices = choices;
@@ -452,7 +455,7 @@ Result<std::vector<TaskInstance>> TaskGenerator::DimensionPrediction(
         const kb::UnitRecord* gold =
             SampleUnitOfDimension(source_unit.dimension, rng);
         if (gold == nullptr) return false;
-        std::vector<std::string> choices = {gold->label_en};
+        std::vector<std::string> choices = {std::string(gold->label_en)};
         std::set<std::uint64_t> dims = {gold->dimension.PackedKey()};
         while (choices.size() <
                static_cast<std::size_t>(options_.num_choices)) {
@@ -460,7 +463,7 @@ Result<std::vector<TaskInstance>> TaskGenerator::DimensionPrediction(
               SampleUnitNotOfDimension(gold->dimension, rng);
           if (d == nullptr) return false;
           if (!dims.insert(d->dimension.PackedKey()).second) continue;
-          choices.push_back(d->label_en);
+          choices.emplace_back(d->label_en);
         }
         kg::RealizedSentence sentence = kg::RealizeTriple(triple, realize_seed);
         // Mask the unit part of the object (keep the value visible).

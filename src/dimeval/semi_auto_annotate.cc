@@ -179,9 +179,9 @@ std::vector<CorpusSentence> GenerateQuantityCorpus(const kb::DimUnitKB& kb,
       } else {
         std::snprintf(value_text, sizeof(value_text), "%.1f", value);
       }
-      std::string surface = rng.Bernoulli(0.5) && !unit.symbols.empty()
-                                ? unit.symbols.front()
-                                : unit.label_en;
+      std::string surface(rng.Bernoulli(0.5) && !unit.symbols.empty()
+                              ? unit.symbols.front()
+                              : unit.label_en);
       sentence.text = text::ReplaceAll(
           tmpl, "{q}", std::string(value_text) + " " + surface);
       GoldQuantity gold;

@@ -101,12 +101,12 @@ class CatalogBuilder {
     return Status::OK();
   }
 
-  std::vector<UnitRecord> TakeUnits() { return std::move(units_); }
+  std::vector<UnitDraft> TakeUnits() { return std::move(units_); }
 
  private:
   Status LoadKinds() {
     for (const KindSeed& seed : KindSeeds()) {
-      QuantityKindRecord rec;
+      QuantityKindDraft rec;
       rec.name = seed.name;
       rec.label_zh = seed.label_zh;
       DIMQR_ASSIGN_OR_RETURN(rec.dimension, Dimension::ParseFormula(seed.dim));
@@ -119,7 +119,7 @@ class CatalogBuilder {
     return Status::OK();
   }
 
-  Result<const QuantityKindRecord*> KindOf(const std::string& name,
+  Result<const QuantityKindDraft*> KindOf(const std::string& name,
                                            const Dimension& dim) {
     auto it = kinds_.find(name);
     if (it == kinds_.end()) {
@@ -133,7 +133,7 @@ class CatalogBuilder {
     return &it->second;
   }
 
-  Status AddUnit(UnitRecord rec) {
+  Status AddUnit(UnitDraft rec) {
     if (index_.contains(rec.id)) {
       return Status::Internal("duplicate unit id: " + rec.id);
     }
@@ -142,7 +142,7 @@ class CatalogBuilder {
     return Status::OK();
   }
 
-  Result<const UnitRecord*> FindUnit(const std::string& id) const {
+  Result<const UnitDraft*> FindUnit(const std::string& id) const {
     auto it = index_.find(id);
     if (it == index_.end()) {
       return Status::Internal("compound rule references missing unit: " + id);
@@ -152,7 +152,7 @@ class CatalogBuilder {
 
   Status LoadSeeds() {
     for (const UnitSeed& seed : UnitSeeds()) {
-      UnitRecord rec;
+      UnitDraft rec;
       rec.id = seed.id;
       rec.label_en = seed.label_en;
       rec.label_zh = seed.label_zh;
@@ -162,7 +162,7 @@ class CatalogBuilder {
       rec.keywords = SplitList(seed.keywords);
       rec.quantity_kind = seed.kind;
       DIMQR_ASSIGN_OR_RETURN(rec.dimension, Dimension::ParseFormula(seed.dim));
-      DIMQR_ASSIGN_OR_RETURN(const QuantityKindRecord* kind,
+      DIMQR_ASSIGN_OR_RETURN(const QuantityKindDraft* kind,
                              KindOf(rec.quantity_kind, rec.dimension));
       MergeKeywords(rec.keywords, kind->keywords);
       DIMQR_ASSIGN_OR_RETURN(ParsedScale scale, ParseScale(seed.scale));
@@ -192,9 +192,9 @@ class CatalogBuilder {
       if (seed.prefix == PrefixPolicy::kNone) continue;
       const std::vector<PrefixSpec>& prefixes =
           seed.prefix == PrefixPolicy::kAll ? AllPrefixes() : CommonPrefixes();
-      const UnitRecord base = units_[i];  // copy: units_ may reallocate
+      const UnitDraft base = units_[i];  // copy: units_ may reallocate
       for (const PrefixSpec& prefix : prefixes) {
-        UnitRecord rec;
+        UnitDraft rec;
         rec.id = PascalCase(prefix.name) + base.id;
         if (index_.contains(rec.id)) continue;  // hand-seeded override
         rec.label_en = prefix.name + base.label_en;
@@ -242,7 +242,7 @@ class CatalogBuilder {
       std::vector<std::string> rights = SplitList(rule.right_ids);
       if (rule.op == 'p') {
         for (const std::string& lid : lefts) {
-          DIMQR_ASSIGN_OR_RETURN(const UnitRecord* l, FindUnit(lid));
+          DIMQR_ASSIGN_OR_RETURN(const UnitDraft* l, FindUnit(lid));
           DIMQR_RETURN_NOT_OK(
               AddPowerUnit(*l, rule, extra_keywords));
         }
@@ -250,10 +250,10 @@ class CatalogBuilder {
       }
       for (const std::string& lid : lefts) {
         for (const std::string& rid : rights) {
-          DIMQR_ASSIGN_OR_RETURN(const UnitRecord* l, FindUnit(lid));
-          DIMQR_ASSIGN_OR_RETURN(const UnitRecord* r, FindUnit(rid));
+          DIMQR_ASSIGN_OR_RETURN(const UnitDraft* l, FindUnit(lid));
+          DIMQR_ASSIGN_OR_RETURN(const UnitDraft* r, FindUnit(rid));
           // Copy before AddUnit: the vector may reallocate.
-          UnitRecord left = *l, right = *r;
+          UnitDraft left = *l, right = *r;
           DIMQR_RETURN_NOT_OK(
               AddBinaryUnit(left, right, rule, extra_keywords));
         }
@@ -262,12 +262,12 @@ class CatalogBuilder {
     return Status::OK();
   }
 
-  Status AddPowerUnit(const UnitRecord& base, const CompoundRule& rule,
+  Status AddPowerUnit(const UnitDraft& base, const CompoundRule& rule,
                       const std::vector<std::string>& extra_keywords) {
     if (rule.power != 2 && rule.power != 3) {
       return Status::Internal("power rules support exponents 2 and 3 only");
     }
-    UnitRecord rec;
+    UnitDraft rec;
     rec.id = base.id + std::to_string(rule.power);
     if (index_.contains(rec.id)) return Status::OK();  // seeded override
     const char* en_prefix = rule.power == 2 ? "square " : "cubic ";
@@ -284,7 +284,7 @@ class CatalogBuilder {
     DIMQR_ASSIGN_OR_RETURN(dimqr::Dimension dim,
                            base.dimension.Power(rule.power));
     rec.dimension = dim;
-    DIMQR_ASSIGN_OR_RETURN(const QuantityKindRecord* kind,
+    DIMQR_ASSIGN_OR_RETURN(const QuantityKindDraft* kind,
                            KindOf(rec.quantity_kind, rec.dimension));
     rec.conversion_value = std::pow(base.conversion_value, rule.power);
     if (base.exact_conversion) {
@@ -306,10 +306,10 @@ class CatalogBuilder {
     return AddUnit(std::move(rec));
   }
 
-  Status AddBinaryUnit(const UnitRecord& left, const UnitRecord& right,
+  Status AddBinaryUnit(const UnitDraft& left, const UnitDraft& right,
                        const CompoundRule& rule,
                        const std::vector<std::string>& extra_keywords) {
-    UnitRecord rec;
+    UnitDraft rec;
     bool divide = rule.op == '/';
     rec.id = left.id + (divide ? "-PER-" : "-") + right.id;
     if (index_.contains(rec.id)) return Status::OK();
@@ -335,7 +335,7 @@ class CatalogBuilder {
         dimqr::UnitSemantics sem,
         divide ? lsem.Over(rsem) : lsem.Times(rsem));
     rec.dimension = sem.dimension;
-    DIMQR_ASSIGN_OR_RETURN(const QuantityKindRecord* kind,
+    DIMQR_ASSIGN_OR_RETURN(const QuantityKindDraft* kind,
                            KindOf(rec.quantity_kind, rec.dimension));
     rec.conversion_value = sem.scale;
     rec.exact_conversion = sem.exact_scale;
@@ -367,24 +367,24 @@ class CatalogBuilder {
     return Status::OK();
   }
 
-  std::unordered_map<std::string, QuantityKindRecord> kinds_;
+  std::unordered_map<std::string, QuantityKindDraft> kinds_;
   std::unordered_map<std::string, std::size_t> index_;
-  std::vector<UnitRecord> units_;
+  std::vector<UnitDraft> units_;
 };
 
 }  // namespace
 
-Result<std::vector<UnitRecord>> BuildUnitCatalog() {
+Result<std::vector<UnitDraft>> BuildUnitCatalog() {
   CatalogBuilder builder;
   DIMQR_RETURN_NOT_OK(builder.Build());
   return builder.TakeUnits();
 }
 
-Result<std::vector<QuantityKindRecord>> BuildKindCatalog() {
-  std::vector<QuantityKindRecord> out;
+Result<std::vector<QuantityKindDraft>> BuildKindCatalog() {
+  std::vector<QuantityKindDraft> out;
   std::unordered_set<std::string> seen;
   for (const KindSeed& seed : KindSeeds()) {
-    QuantityKindRecord rec;
+    QuantityKindDraft rec;
     rec.name = seed.name;
     rec.label_zh = seed.label_zh;
     DIMQR_ASSIGN_OR_RETURN(rec.dimension, Dimension::ParseFormula(seed.dim));

@@ -84,10 +84,10 @@ const std::vector<std::pair<const char*, const char*>>& ExtraCompoundAliases();
 /// then compound rules, then frequency assignment (Eq. 1-2). Fails with
 /// Internal if seed data is inconsistent (bad dimension formula, unknown
 /// kind, duplicate ID, rule referencing a missing unit).
-dimqr::Result<std::vector<UnitRecord>> BuildUnitCatalog();
+dimqr::Result<std::vector<UnitDraft>> BuildUnitCatalog();
 
 /// \brief Builds the quantity-kind records from the registry.
-dimqr::Result<std::vector<QuantityKindRecord>> BuildKindCatalog();
+dimqr::Result<std::vector<QuantityKindDraft>> BuildKindCatalog();
 
 }  // namespace dimqr::kb
 

@@ -19,7 +19,7 @@ double FrequencyScore(const PopularitySignals& signals,
          weights.alpha_cf * std::log(cf);
 }
 
-dimqr::Status AssignFrequencies(std::vector<UnitRecord>& units,
+dimqr::Status AssignFrequencies(std::vector<UnitDraft>& units,
                                 const FrequencyWeights& weights) {
   if (units.empty()) {
     return dimqr::Status::InvalidArgument(

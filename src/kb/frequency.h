@@ -36,7 +36,7 @@ double FrequencyScore(const PopularitySignals& signals,
 ///
 /// Returns InvalidArgument for an empty collection. When all scores are
 /// equal (degenerate min == max), every unit gets frequency 1.0.
-dimqr::Status AssignFrequencies(std::vector<UnitRecord>& units,
+dimqr::Status AssignFrequencies(std::vector<UnitDraft>& units,
                                 const FrequencyWeights& weights = {});
 
 }  // namespace dimqr::kb

@@ -1,7 +1,9 @@
 #include "kb/kb.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -17,8 +19,17 @@ namespace {
 using dimqr::Result;
 using dimqr::Status;
 
-std::string JoinList(const std::vector<std::string>& parts) {
-  return dimqr::text::Join(parts, "|");
+using SurfacePostings = PostingsIndex<SurfaceId, UnitId>;
+using KindPostings = PostingsIndex<KindId, UnitId>;
+using DimPostings = PostingsIndex<DimClassId, UnitId>;
+
+std::string JoinList(std::span<const std::string_view> parts) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += '|';
+    out += parts[i];
+  }
+  return out;
 }
 
 std::vector<std::string> SplitPipe(const std::string& field) {
@@ -45,48 +56,169 @@ Result<UnitOrigin> ParseOrigin(const std::string& name) {
   return Status::ParseError("unknown unit origin: " + name);
 }
 
-}  // namespace
+// ----- Snapshot pods (fixed-width, hole-free — part of the "kb" section
+// layout; any change bumps snapshot::kSnapshotVersion) -----
 
-Result<std::shared_ptr<const DimUnitKB>> DimUnitKB::Build() {
-  auto kb = std::shared_ptr<DimUnitKB>(new DimUnitKB());
-  DIMQR_ASSIGN_OR_RETURN(kb->units_, BuildUnitCatalog());
-  DIMQR_ASSIGN_OR_RETURN(kb->kinds_, BuildKindCatalog());
-  kb->BuildIndexes();
-  return std::shared_ptr<const DimUnitKB>(kb);
+struct UnitPod {
+  snapshot::StrRef id;
+  snapshot::StrRef label_en;
+  snapshot::StrRef label_zh;
+  snapshot::StrRef description;
+  snapshot::StrRef quantity_kind;
+  std::uint32_t symbols_begin, symbols_count;    ///< Into the list-ref pool.
+  std::uint32_t aliases_begin, aliases_count;
+  std::uint32_t keywords_begin, keywords_count;
+  double frequency;
+  double conversion_value;
+  double conversion_offset;
+  std::int64_t exact_num;
+  std::int64_t exact_den;  ///< 0 encodes "no exact rational".
+  double pop_gt, pop_hs, pop_cf;
+  std::int8_t dim[dimqr::kNumBaseDims];
+  std::uint8_t origin;
+};
+static_assert(sizeof(UnitPod) == 136, "UnitPod must stay hole-free");
+static_assert(std::is_trivially_copyable_v<UnitPod>);
+
+struct KindPod {
+  snapshot::StrRef name;
+  snapshot::StrRef label_zh;
+  std::uint32_t keywords_begin, keywords_count;
+  std::int8_t dim[dimqr::kNumBaseDims];
+  std::uint8_t pad;  ///< Zero.
+};
+static_assert(sizeof(KindPod) == 32, "KindPod must stay hole-free");
+static_assert(std::is_trivially_copyable_v<KindPod>);
+
+void EncodeDim(const dimqr::Dimension& d,
+               std::int8_t (&out)[dimqr::kNumBaseDims]) {
+  for (int i = 0; i < dimqr::kNumBaseDims; ++i) {
+    out[i] = static_cast<std::int8_t>(
+        d.exponent(static_cast<dimqr::BaseDim>(i)));
+  }
 }
 
-void DimUnitKB::BuildIndexes() {
-  const std::size_t n = units_.size();
-  unit_class_.assign(n, 0);
-  unit_rank_.assign(n, 0);
+Result<dimqr::Dimension> DecodeDim(
+    const std::int8_t (&in)[dimqr::kNumBaseDims]) {
+  std::array<int, dimqr::kNumBaseDims> e{};
+  for (int i = 0; i < dimqr::kNumBaseDims; ++i) e[i] = in[i];
+  return dimqr::Dimension::FromExponents(e);
+}
 
-  // Registry kinds first so KindId 1..kinds_.size() mirror kinds_ order;
+std::vector<std::string_view> DraftSurfaceForms(const UnitDraft& u) {
+  std::vector<std::string_view> out;
+  out.push_back(u.label_en);
+  if (!u.label_zh.empty()) out.push_back(u.label_zh);
+  for (const std::string& s : u.symbols) out.push_back(s);
+  for (const std::string& a : u.aliases) out.push_back(a);
+  return out;
+}
+
+/// Packs a finished draft collection — records, every lookup index, and the
+/// memoized conversion tables — into one arena blob: the exact bytes of the
+/// snapshot "kb" section. All iteration below is over vectors/insertion
+/// order (never unordered containers), so identical drafts produce
+/// byte-identical blobs across runs.
+Result<std::vector<std::byte>> PackKbArena(
+    const std::vector<UnitDraft>& units,
+    const std::vector<QuantityKindDraft>& kinds) {
+  const std::size_t n = units.size();
+
+  // ---- String pool and record pods ----
+  std::string chars;
+  auto AddStr = [&chars](std::string_view s) -> Result<snapshot::StrRef> {
+    if (chars.size() + s.size() >
+        std::numeric_limits<std::uint32_t>::max()) {
+      return Status::Internal("kb string pool exceeds 4 GiB");
+    }
+    snapshot::StrRef ref{static_cast<std::uint32_t>(chars.size()),
+                         static_cast<std::uint32_t>(s.size())};
+    chars.append(s);
+    return ref;
+  };
+  std::vector<snapshot::StrRef> list_refs;
+  auto AddList = [&](const std::vector<std::string>& list,
+                     std::uint32_t& begin, std::uint32_t& count) -> Status {
+    begin = static_cast<std::uint32_t>(list_refs.size());
+    count = static_cast<std::uint32_t>(list.size());
+    for (const std::string& s : list) {
+      DIMQR_ASSIGN_OR_RETURN(snapshot::StrRef ref, AddStr(s));
+      list_refs.push_back(ref);
+    }
+    return Status::OK();
+  };
+
+  std::vector<UnitPod> pods(n, UnitPod{});
+  for (std::size_t i = 0; i < n; ++i) {
+    const UnitDraft& u = units[i];
+    UnitPod& p = pods[i];
+    DIMQR_ASSIGN_OR_RETURN(p.id, AddStr(u.id));
+    DIMQR_ASSIGN_OR_RETURN(p.label_en, AddStr(u.label_en));
+    DIMQR_ASSIGN_OR_RETURN(p.label_zh, AddStr(u.label_zh));
+    DIMQR_ASSIGN_OR_RETURN(p.description, AddStr(u.description));
+    DIMQR_ASSIGN_OR_RETURN(p.quantity_kind, AddStr(u.quantity_kind));
+    DIMQR_RETURN_NOT_OK(AddList(u.symbols, p.symbols_begin, p.symbols_count));
+    DIMQR_RETURN_NOT_OK(AddList(u.aliases, p.aliases_begin, p.aliases_count));
+    DIMQR_RETURN_NOT_OK(
+        AddList(u.keywords, p.keywords_begin, p.keywords_count));
+    p.frequency = u.frequency;
+    p.conversion_value = u.conversion_value;
+    p.conversion_offset = u.conversion_offset;
+    p.exact_num = u.exact_conversion ? u.exact_conversion->numerator() : 0;
+    p.exact_den = u.exact_conversion ? u.exact_conversion->denominator() : 0;
+    p.pop_gt = u.popularity.google_trends;
+    p.pop_hs = u.popularity.human_score;
+    p.pop_cf = u.popularity.corpus_freq;
+    EncodeDim(u.dimension, p.dim);
+    p.origin = static_cast<std::uint8_t>(u.origin);
+  }
+
+  std::vector<KindPod> kind_pods(kinds.size(), KindPod{});
+  for (std::size_t k = 0; k < kinds.size(); ++k) {
+    const QuantityKindDraft& kd = kinds[k];
+    KindPod& p = kind_pods[k];
+    DIMQR_ASSIGN_OR_RETURN(p.name, AddStr(kd.name));
+    DIMQR_ASSIGN_OR_RETURN(p.label_zh, AddStr(kd.label_zh));
+    DIMQR_RETURN_NOT_OK(
+        AddList(kd.keywords, p.keywords_begin, p.keywords_count));
+    EncodeDim(kd.dimension, p.dim);
+    p.pad = 0;
+  }
+
+  // ---- Lookup indexes (one pass, catalog order) ----
+  SymbolTable id_syms, surface_syms, lower_syms, kind_syms;
+  std::vector<UnitId> id_sym_to_unit;
+
+  // Registry kinds first so KindId 1..kinds.size() mirror registry order;
   // kind strings seen only on unit records (possibly "") follow.
-  for (const QuantityKindRecord& k : kinds_) kind_syms_.Intern(k.name);
+  for (const QuantityKindDraft& k : kinds) kind_syms.Intern(k.name);
 
   std::vector<std::vector<UnitId>> exact_buckets;
   std::vector<std::vector<UnitId>> lower_buckets;
-  std::vector<std::vector<UnitId>> kind_buckets(kind_syms_.size());
+  std::vector<std::vector<UnitId>> kind_buckets(kind_syms.size());
   std::vector<std::vector<UnitId>> dim_buckets;
   std::unordered_map<std::uint64_t, std::uint32_t> dim_class_of;
+  std::vector<std::uint32_t> unit_class(n, 0);
+  std::vector<std::uint32_t> unit_rank(n, 0);
 
   for (std::size_t i = 0; i < n; ++i) {
-    const UnitRecord& u = units_[i];
+    const UnitDraft& u = units[i];
     const UnitId uid = UnitId::FromIndex(i);
 
-    std::uint32_t sym = id_syms_.Intern(u.id);
-    if (sym > id_sym_to_unit_.size()) {
-      id_sym_to_unit_.push_back(uid);
+    std::uint32_t sym = id_syms.Intern(u.id);
+    if (sym > id_sym_to_unit.size()) {
+      id_sym_to_unit.push_back(uid);
     } else {
-      id_sym_to_unit_[sym - 1] = uid;  // duplicate UnitID: last wins
+      id_sym_to_unit[sym - 1] = uid;  // duplicate UnitID: last wins
     }
 
-    for (const std::string& surface : u.SurfaceForms()) {
+    for (std::string_view surface : DraftSurfaceForms(u)) {
       if (surface.empty()) continue;
-      std::uint32_t es = surface_syms_.Intern(surface);
+      std::uint32_t es = surface_syms.Intern(surface);
       if (es > exact_buckets.size()) exact_buckets.emplace_back();
       exact_buckets[es - 1].push_back(uid);
-      std::uint32_t ls = lower_syms_.Intern(dimqr::text::ToLowerAscii(surface));
+      std::uint32_t ls = lower_syms.Intern(dimqr::text::ToLowerAscii(
+          std::string(surface)));
       if (ls > lower_buckets.size()) lower_buckets.emplace_back();
       std::vector<UnitId>& bucket = lower_buckets[ls - 1];
       // Deduplicate per lowercased surface, keeping the first occurrence
@@ -96,7 +228,7 @@ void DimUnitKB::BuildIndexes() {
       }
     }
 
-    std::uint32_t ks = kind_syms_.Intern(u.quantity_kind);
+    std::uint32_t ks = kind_syms.Intern(u.quantity_kind);
     if (ks > kind_buckets.size()) kind_buckets.resize(ks);
     kind_buckets[ks - 1].push_back(uid);
 
@@ -104,47 +236,246 @@ void DimUnitKB::BuildIndexes() {
         u.dimension.PackedKey(),
         static_cast<std::uint32_t>(dim_buckets.size()));
     if (inserted) dim_buckets.emplace_back();
-    unit_class_[i] = it->second;
-    unit_rank_[i] = static_cast<std::uint32_t>(dim_buckets[it->second].size());
+    unit_class[i] = it->second;
+    unit_rank[i] = static_cast<std::uint32_t>(dim_buckets[it->second].size());
     dim_buckets[it->second].push_back(uid);
   }
 
-  by_surface_ = PostingsIndex<SurfaceId, UnitId>::FromBuckets(exact_buckets);
-  by_surface_lower_ =
-      PostingsIndex<SurfaceId, UnitId>::FromBuckets(lower_buckets);
-  by_kind_ = PostingsIndex<KindId, UnitId>::FromBuckets(kind_buckets);
-  by_dimension_ = PostingsIndex<DimClassId, UnitId>::FromBuckets(dim_buckets);
+  SurfacePostings by_surface = SurfacePostings::FromBuckets(exact_buckets);
+  SurfacePostings by_surface_lower =
+      SurfacePostings::FromBuckets(lower_buckets);
+  KindPostings by_kind = KindPostings::FromBuckets(kind_buckets);
+  DimPostings by_dimension = DimPostings::FromBuckets(dim_buckets);
 
-  dim_class_keys_.assign(dim_class_of.begin(), dim_class_of.end());
-  std::sort(dim_class_keys_.begin(), dim_class_keys_.end());
+  std::vector<DimClassKey> dim_class_keys;
+  dim_class_keys.reserve(dim_class_of.size());
+  for (const auto& [key, cls] : dim_class_of) {
+    dim_class_keys.push_back(DimClassKey{key, cls, 0});
+  }
+  // Canonical order: packed keys are unique, so sorting by key alone makes
+  // the serialized table independent of unordered_map iteration order.
+  std::sort(dim_class_keys.begin(), dim_class_keys.end(),
+            [](const DimClassKey& a, const DimClassKey& b) {
+              return a.packed_key < b.packed_key;
+            });
 
-  BuildConversionTables();
-}
-
-void DimUnitKB::BuildConversionTables() {
-  // One k×k factor table per dimension class, filled through the exact
-  // Rational path so memoized factors are bit-identical to on-demand ones.
-  // NaN marks pairs with no single linear factor (affine endpoints); the
-  // lookup falls back to the slow path there to reproduce its exact error.
-  factor_tables_.clear();
-  factor_tables_.resize(by_dimension_.num_keys());
+  // ---- Conversion memo tables (CSR-flat, one k×k block per class) ----
+  // Filled through the exact Rational path so memoized factors are
+  // bit-identical to on-demand ones. NaN marks pairs with no single linear
+  // factor (affine endpoints); lookups fall back to the slow path there.
+  std::vector<std::uint64_t> factor_offsets;
+  factor_offsets.reserve(dim_buckets.size() + 1);
+  factor_offsets.push_back(0);
+  std::vector<double> factor_data;
   std::vector<UnitSemantics> sems;
-  for (std::size_t c = 0; c < factor_tables_.size(); ++c) {
-    std::span<const UnitId> members =
-        by_dimension_[DimClassId::FromIndex(c)];
+  for (const std::vector<UnitId>& members : dim_buckets) {
     const std::size_t k = members.size();
     sems.clear();
     sems.reserve(k);
-    for (UnitId uid : members) sems.push_back(units_[uid.index()].Semantics());
-    std::vector<double>& table = factor_tables_[c];
-    table.assign(k * k, std::numeric_limits<double>::quiet_NaN());
+    for (UnitId uid : members) sems.push_back(units[uid.index()].Semantics());
     for (std::size_t i = 0; i < k; ++i) {
       for (std::size_t j = 0; j < k; ++j) {
         Result<double> factor = sems[i].ConversionFactorTo(sems[j]);
-        if (factor.ok()) table[i * k + j] = *factor;
+        factor_data.push_back(
+            factor.ok() ? *factor : std::numeric_limits<double>::quiet_NaN());
       }
     }
+    factor_offsets.push_back(factor_data.size());
   }
+
+  // ---- Serialize (read back in this exact order by InitFromArena) ----
+  snapshot::ArenaWriter w;
+  w.PutString(chars);
+  w.PutArray(list_refs);
+  w.PutArray(pods);
+  w.PutArray(kind_pods);
+  id_syms.WriteTo(w);
+  w.PutArray(id_sym_to_unit);
+  surface_syms.WriteTo(w);
+  by_surface.WriteTo(w);
+  lower_syms.WriteTo(w);
+  by_surface_lower.WriteTo(w);
+  kind_syms.WriteTo(w);
+  by_kind.WriteTo(w);
+  w.PutArray(dim_class_keys);
+  by_dimension.WriteTo(w);
+  w.PutArray(unit_class);
+  w.PutArray(unit_rank);
+  w.PutArray(factor_offsets);
+  w.PutArray(factor_data);
+  return w.Take();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const DimUnitKB>> DimUnitKB::Build() {
+  DIMQR_ASSIGN_OR_RETURN(std::vector<UnitDraft> units, BuildUnitCatalog());
+  DIMQR_ASSIGN_OR_RETURN(std::vector<QuantityKindDraft> kinds,
+                         BuildKindCatalog());
+  return FromDrafts(units, kinds);
+}
+
+Result<std::shared_ptr<const DimUnitKB>> DimUnitKB::FromDrafts(
+    const std::vector<UnitDraft>& units,
+    const std::vector<QuantityKindDraft>& kinds) {
+  auto kb = std::shared_ptr<DimUnitKB>(new DimUnitKB());
+  DIMQR_ASSIGN_OR_RETURN(kb->owned_blob_, PackKbArena(units, kinds));
+  DIMQR_RETURN_NOT_OK(
+      kb->InitFromArena(std::span<const std::byte>(kb->owned_blob_)));
+  return std::shared_ptr<const DimUnitKB>(kb);
+}
+
+Result<std::shared_ptr<const DimUnitKB>> DimUnitKB::FromSnapshot(
+    std::shared_ptr<const snapshot::Snapshot> snap) {
+  auto kb = std::shared_ptr<DimUnitKB>(new DimUnitKB());
+  DIMQR_ASSIGN_OR_RETURN(std::span<const std::byte> section,
+                         snap->Section("kb"));
+  kb->snapshot_ = std::move(snap);
+  DIMQR_RETURN_NOT_OK(kb->InitFromArena(section));
+  return std::shared_ptr<const DimUnitKB>(kb);
+}
+
+Status DimUnitKB::WriteSnapshot(snapshot::SnapshotWriter& writer) const {
+  return writer.AddSection(
+      "kb", std::vector<std::byte>(arena_.begin(), arena_.end()));
+}
+
+Status DimUnitKB::InitFromArena(std::span<const std::byte> arena) {
+  arena_ = arena;
+  snapshot::ArenaReader r(arena);
+  DIMQR_ASSIGN_OR_RETURN(std::string_view chars, r.GetString());
+  const std::span<const char> char_pool(chars.data(), chars.size());
+  DIMQR_ASSIGN_OR_RETURN(std::span<const snapshot::StrRef> list_refs,
+                         r.GetArray<snapshot::StrRef>());
+  DIMQR_ASSIGN_OR_RETURN(std::span<const UnitPod> pods,
+                         r.GetArray<UnitPod>());
+  DIMQR_ASSIGN_OR_RETURN(std::span<const KindPod> kind_pods,
+                         r.GetArray<KindPod>());
+
+  list_pool_.clear();
+  list_pool_.reserve(list_refs.size());
+  for (snapshot::StrRef ref : list_refs) {
+    DIMQR_ASSIGN_OR_RETURN(std::string_view s,
+                           snapshot::ArenaReader::View(char_pool, ref));
+    list_pool_.push_back(s);
+  }
+  auto ListView = [this](std::uint32_t begin, std::uint32_t count)
+      -> Result<std::span<const std::string_view>> {
+    if (begin > list_pool_.size() || list_pool_.size() - begin < count) {
+      return Status::IOError("kb record list range out of snapshot bounds");
+    }
+    return std::span<const std::string_view>(list_pool_.data() + begin,
+                                             count);
+  };
+
+  units_.clear();
+  units_.reserve(pods.size());
+  for (const UnitPod& p : pods) {
+    UnitRecord u;
+    DIMQR_ASSIGN_OR_RETURN(u.id, snapshot::ArenaReader::View(char_pool, p.id));
+    DIMQR_ASSIGN_OR_RETURN(u.label_en,
+                           snapshot::ArenaReader::View(char_pool, p.label_en));
+    DIMQR_ASSIGN_OR_RETURN(u.label_zh,
+                           snapshot::ArenaReader::View(char_pool, p.label_zh));
+    DIMQR_ASSIGN_OR_RETURN(
+        u.description, snapshot::ArenaReader::View(char_pool, p.description));
+    DIMQR_ASSIGN_OR_RETURN(
+        u.quantity_kind,
+        snapshot::ArenaReader::View(char_pool, p.quantity_kind));
+    DIMQR_ASSIGN_OR_RETURN(u.symbols,
+                           ListView(p.symbols_begin, p.symbols_count));
+    DIMQR_ASSIGN_OR_RETURN(u.aliases,
+                           ListView(p.aliases_begin, p.aliases_count));
+    DIMQR_ASSIGN_OR_RETURN(u.keywords,
+                           ListView(p.keywords_begin, p.keywords_count));
+    u.frequency = p.frequency;
+    u.conversion_value = p.conversion_value;
+    u.conversion_offset = p.conversion_offset;
+    if (p.exact_den == 0) {
+      u.exact_conversion.reset();
+    } else {
+      DIMQR_ASSIGN_OR_RETURN(dimqr::Rational exact,
+                             dimqr::Rational::Of(p.exact_num, p.exact_den));
+      u.exact_conversion = exact;
+    }
+    DIMQR_ASSIGN_OR_RETURN(u.dimension, DecodeDim(p.dim));
+    u.popularity.google_trends = p.pop_gt;
+    u.popularity.human_score = p.pop_hs;
+    u.popularity.corpus_freq = p.pop_cf;
+    if (p.origin > static_cast<std::uint8_t>(UnitOrigin::kCompound)) {
+      return Status::IOError("unknown unit origin code in snapshot");
+    }
+    u.origin = static_cast<UnitOrigin>(p.origin);
+    units_.push_back(u);
+  }
+
+  kinds_.clear();
+  kinds_.reserve(kind_pods.size());
+  for (const KindPod& p : kind_pods) {
+    QuantityKindRecord k;
+    DIMQR_ASSIGN_OR_RETURN(k.name,
+                           snapshot::ArenaReader::View(char_pool, p.name));
+    DIMQR_ASSIGN_OR_RETURN(k.label_zh,
+                           snapshot::ArenaReader::View(char_pool, p.label_zh));
+    DIMQR_ASSIGN_OR_RETURN(k.keywords,
+                           ListView(p.keywords_begin, p.keywords_count));
+    DIMQR_ASSIGN_OR_RETURN(k.dimension, DecodeDim(p.dim));
+    kinds_.push_back(k);
+  }
+
+  DIMQR_ASSIGN_OR_RETURN(id_syms_, SymbolTable::FromArena(r));
+  DIMQR_ASSIGN_OR_RETURN(id_sym_to_unit_, r.GetArray<UnitId>());
+  if (id_sym_to_unit_.size() != id_syms_.size()) {
+    return Status::IOError("kb id map size mismatch in snapshot");
+  }
+  for (UnitId uid : id_sym_to_unit_) {
+    if (!uid.valid() || uid.index() >= units_.size()) {
+      return Status::IOError("kb id map points past unit count in snapshot");
+    }
+  }
+  DIMQR_ASSIGN_OR_RETURN(surface_syms_, SymbolTable::FromArena(r));
+  DIMQR_ASSIGN_OR_RETURN(by_surface_, SurfacePostings::FromArena(r));
+  DIMQR_ASSIGN_OR_RETURN(lower_syms_, SymbolTable::FromArena(r));
+  DIMQR_ASSIGN_OR_RETURN(by_surface_lower_, SurfacePostings::FromArena(r));
+  DIMQR_ASSIGN_OR_RETURN(kind_syms_, SymbolTable::FromArena(r));
+  DIMQR_ASSIGN_OR_RETURN(by_kind_, KindPostings::FromArena(r));
+  DIMQR_ASSIGN_OR_RETURN(dim_class_keys_, r.GetArray<DimClassKey>());
+  DIMQR_ASSIGN_OR_RETURN(by_dimension_, DimPostings::FromArena(r));
+  DIMQR_ASSIGN_OR_RETURN(unit_class_, r.GetArray<std::uint32_t>());
+  DIMQR_ASSIGN_OR_RETURN(unit_rank_, r.GetArray<std::uint32_t>());
+  DIMQR_ASSIGN_OR_RETURN(factor_offsets_, r.GetArray<std::uint64_t>());
+  DIMQR_ASSIGN_OR_RETURN(factor_data_, r.GetArray<double>());
+
+  if (unit_class_.size() != units_.size() ||
+      unit_rank_.size() != units_.size()) {
+    return Status::IOError("kb class/rank arrays mismatch unit count");
+  }
+  const std::size_t num_classes = by_dimension_.num_keys();
+  if (factor_offsets_.size() != num_classes + 1 ||
+      factor_offsets_.front() != 0 ||
+      factor_offsets_.back() != factor_data_.size()) {
+    return Status::IOError("kb factor-table offsets corrupt in snapshot");
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const std::uint64_t k = by_dimension_[DimClassId::FromIndex(c)].size();
+    if (factor_offsets_[c] > factor_offsets_[c + 1] ||
+        factor_offsets_[c + 1] - factor_offsets_[c] != k * k) {
+      return Status::IOError("kb factor-table block size corrupt");
+    }
+  }
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    if (unit_class_[i] >= num_classes ||
+        unit_rank_[i] >=
+            by_dimension_[DimClassId::FromIndex(unit_class_[i])].size()) {
+      return Status::IOError("kb unit class/rank out of bounds in snapshot");
+    }
+  }
+  for (const DimClassKey& key : dim_class_keys_) {
+    if (key.dim_class >= num_classes) {
+      return Status::IOError("kb dimension key class out of bounds");
+    }
+  }
+  return Status::OK();
 }
 
 UnitId DimUnitKB::IdOf(std::string_view id_string) const {
@@ -161,11 +492,6 @@ Result<UnitId> DimUnitKB::ResolveId(std::string_view id_string) const {
   return id;
 }
 
-Result<const UnitRecord*> DimUnitKB::FindById(std::string_view id) const {
-  DIMQR_ASSIGN_OR_RETURN(UnitId handle, ResolveId(id));
-  return &units_[handle.index()];
-}
-
 std::span<const UnitId> DimUnitKB::FindBySurface(
     std::string_view surface) const {
   std::span<const UnitId> exact =
@@ -180,9 +506,11 @@ std::span<const UnitId> DimUnitKB::UnitsOfDimension(
   const std::uint64_t key = dim.PackedKey();
   auto it = std::lower_bound(
       dim_class_keys_.begin(), dim_class_keys_.end(), key,
-      [](const auto& entry, std::uint64_t k) { return entry.first < k; });
-  if (it == dim_class_keys_.end() || it->first != key) return {};
-  return by_dimension_[DimClassId::FromIndex(it->second)];
+      [](const DimClassKey& entry, std::uint64_t k) {
+        return entry.packed_key < k;
+      });
+  if (it == dim_class_keys_.end() || it->packed_key != key) return {};
+  return by_dimension_[DimClassId::FromIndex(it->dim_class)];
 }
 
 std::span<const UnitId> DimUnitKB::UnitsOfKind(KindId kind) const {
@@ -210,23 +538,17 @@ Result<double> DimUnitKB::ConversionFactor(UnitId from, UnitId to) const {
     return Status::NotFound("invalid 'to' unit handle");
   }
   if (unit_class_[from.index()] == unit_class_[to.index()]) {
-    const std::vector<double>& table = factor_tables_[unit_class_[from.index()]];
-    const std::size_t k =
-        by_dimension_[DimClassId::FromIndex(unit_class_[from.index()])].size();
-    double factor = table[unit_rank_[from.index()] * k + unit_rank_[to.index()]];
+    const std::size_t c = unit_class_[from.index()];
+    const std::size_t k = by_dimension_[DimClassId::FromIndex(c)].size();
+    double factor =
+        factor_data_[factor_offsets_[c] + unit_rank_[from.index()] * k +
+                     unit_rank_[to.index()]];
     if (!std::isnan(factor)) return factor;
   }
   // Cross-class or affine: delegate so callers see the exact same Status
   // (DimensionMismatch / InvalidArgument) as the unmemoized path.
   return units_[from.index()].Semantics().ConversionFactorTo(
       units_[to.index()].Semantics());
-}
-
-Result<double> DimUnitKB::ConversionFactor(std::string_view from_id,
-                                           std::string_view to_id) const {
-  DIMQR_ASSIGN_OR_RETURN(UnitId from, ResolveId(from_id));
-  DIMQR_ASSIGN_OR_RETURN(UnitId to, ResolveId(to_id));
-  return ConversionFactor(from, to);
 }
 
 dimqr::UnitResolver DimUnitKB::Resolver() const {
@@ -351,7 +673,8 @@ Result<std::shared_ptr<const DimUnitKB>> DimUnitKB::LoadTsv(
     const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for reading: " + path);
-  auto kb = std::shared_ptr<DimUnitKB>(new DimUnitKB());
+  std::vector<UnitDraft> units;
+  std::vector<QuantityKindDraft> kinds;
   std::string line;
   bool in_kinds = false;
   bool header_skipped = false;
@@ -370,26 +693,27 @@ Result<std::shared_ptr<const DimUnitKB>> DimUnitKB::LoadTsv(
       if (f.size() != 4) {
         return Status::ParseError("malformed kind row: " + line);
       }
-      QuantityKindRecord k;
+      QuantityKindDraft k;
       k.name = f[0];
       k.label_zh = f[1];
       DIMQR_ASSIGN_OR_RETURN(k.dimension,
                              dimqr::Dimension::ParseVectorForm(f[2]));
       k.keywords = SplitPipe(f[3]);
-      kb->kinds_.push_back(std::move(k));
+      kinds.push_back(std::move(k));
       continue;
     }
     if (f.size() != 17) {
       return Status::ParseError("malformed unit row: " + line);
     }
-    UnitRecord u;
+    UnitDraft u;
     u.id = f[0];
     u.label_en = f[1];
     u.label_zh = f[2];
     u.symbols = SplitPipe(f[3]);
     u.aliases = SplitPipe(f[4]);
     u.quantity_kind = f[5];
-    DIMQR_ASSIGN_OR_RETURN(u.dimension, dimqr::Dimension::ParseVectorForm(f[6]));
+    DIMQR_ASSIGN_OR_RETURN(u.dimension,
+                           dimqr::Dimension::ParseVectorForm(f[6]));
     u.conversion_value = std::strtod(f[7].c_str(), nullptr);
     if (f[8].empty()) {
       u.exact_conversion.reset();
@@ -406,13 +730,12 @@ Result<std::shared_ptr<const DimUnitKB>> DimUnitKB::LoadTsv(
     DIMQR_ASSIGN_OR_RETURN(u.origin, ParseOrigin(f[14]));
     u.keywords = SplitPipe(f[15]);
     u.description = f[16];
-    kb->units_.push_back(std::move(u));
+    units.push_back(std::move(u));
   }
-  if (kb->units_.empty()) {
+  if (units.empty()) {
     return Status::ParseError("no unit rows in " + path);
   }
-  kb->BuildIndexes();
-  return std::shared_ptr<const DimUnitKB>(kb);
+  return FromDrafts(units, kinds);
 }
 
 }  // namespace dimqr::kb

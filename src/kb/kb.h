@@ -12,6 +12,7 @@
 #include "core/dimension.h"
 #include "core/interner.h"
 #include "core/quantity.h"
+#include "core/snapshot.h"
 #include "core/status.h"
 #include "core/unit_expr.h"
 #include "kb/unit_record.h"
@@ -32,12 +33,30 @@
 /// `std::span<const UnitId>` views into the postings and never allocate.
 /// String unit IDs exist only at serialization boundaries (TSV, table
 /// output); in between, the system moves handles.
+///
+/// Storage model: regardless of how a KB is created (Build(), LoadTsv(),
+/// FromSnapshot()), all records and indexes live in ONE packed arena blob
+/// — the exact bytes of the snapshot "kb" section. Build paths produce the
+/// blob in memory; FromSnapshot aliases a read-only mapping. Every index
+/// and record string is a view into that arena, so a built KB and a
+/// snapshot-loaded KB are bit-identical in behavior by construction, and
+/// WriteSnapshot is a plain byte copy.
 
 namespace dimqr::kb {
 
 /// Handle of a dimension equivalence class (distinct dimension vector
 /// across the unit catalog), local to one DimUnitKB.
 using DimClassId = Id32<struct DimClassTag>;
+
+/// \brief One sorted (Dimension::PackedKey, dimension-class index) row of
+/// the dimension lookup table. Fixed-width POD — part of the snapshot
+/// layout.
+struct DimClassKey {
+  std::uint64_t packed_key = 0;
+  std::uint32_t dim_class = 0;
+  std::uint32_t pad = 0;  ///< Zero (keeps the serialized bytes deterministic).
+};
+static_assert(sizeof(DimClassKey) == 16);
 
 /// \brief Aggregate statistics in the shape of Table IV.
 struct KbStats {
@@ -57,12 +76,23 @@ struct KbStats {
 class DimUnitKB {
  public:
   /// \brief Builds the KB from the built-in catalog. Expensive (~all units
-  /// are generated and indexed); call once and share.
+  /// are generated and indexed); call once and share — or pack once with
+  /// `dimqr_snapshot` and FromSnapshot() at startup instead.
   static dimqr::Result<std::shared_ptr<const DimUnitKB>> Build();
 
-  /// \brief Loads a KB previously saved with SaveTsv.
+  /// \brief Loads a KB previously saved with SaveTsv (slow interchange
+  /// path; the fast path is FromSnapshot).
   static dimqr::Result<std::shared_ptr<const DimUnitKB>> LoadTsv(
       const std::string& path);
+
+  /// \brief Loads a KB from a snapshot's "kb" section, zero-copy: records
+  /// and indexes alias the mapping; the snapshot is kept alive by the KB.
+  static dimqr::Result<std::shared_ptr<const DimUnitKB>> FromSnapshot(
+      std::shared_ptr<const snapshot::Snapshot> snap);
+
+  /// \brief Adds this KB's packed arena to a snapshot under section "kb"
+  /// (the exact bytes FromSnapshot will alias).
+  dimqr::Status WriteSnapshot(snapshot::SnapshotWriter& writer) const;
 
   /// \brief Serializes all unit records to a TSV file (one row per unit,
   /// lists '|'-joined). Kind records are appended after a `#KINDS` marker.
@@ -119,7 +149,7 @@ class DimUnitKB {
   /// \brief The conversion factor beta with u_from * beta = u_to
   /// (Definition 8). DimensionMismatch when not comparable, InvalidArgument
   /// for affine units. Served from a per-dimension-class memo table
-  /// precomputed at build time through the exact Rational path.
+  /// precomputed at pack time through the exact Rational path.
   dimqr::Result<double> ConversionFactor(UnitId from, UnitId to) const;
 
   // ----- Surface-table access (linker hot path) -----
@@ -132,25 +162,6 @@ class DimUnitKB {
   /// catalog occurrence first).
   std::span<const UnitId> UnitsOfLowerSurface(SurfaceId surface) const {
     return by_surface_lower_[surface];
-  }
-
-  // ----- Deprecated string-ID shims -----
-
-  /// \deprecated String-ID shim; prefer `ResolveId` + `Get`. The record
-  /// with the given UnitID, or NotFound.
-  [[deprecated("use ResolveId + Get")]]
-  dimqr::Result<const UnitRecord*> FindById(std::string_view id) const;
-
-  /// \deprecated String-ID shim; prefer the `UnitId` overload.
-  [[deprecated("use the UnitId overload of ConversionFactor")]]
-  dimqr::Result<double> ConversionFactor(std::string_view from_id,
-                                         std::string_view to_id) const;
-
-  /// \deprecated String-name shim; prefer `KindIdOf` + the `KindId`
-  /// overload.
-  [[deprecated("use KindIdOf + the KindId overload of UnitsOfKind")]]
-  std::span<const UnitId> UnitsOfKind(std::string_view kind) const {
-    return UnitsOfKind(KindIdOf(kind));
   }
 
   // ----- Derived views -----
@@ -171,20 +182,41 @@ class DimUnitKB {
   /// Table IV statistics.
   KbStats Stats() const;
 
+  /// True when this KB aliases a memory-mapped snapshot (vs an in-memory
+  /// blob it packed itself).
+  bool from_snapshot() const { return snapshot_ != nullptr; }
+
+  DimUnitKB(const DimUnitKB&) = delete;
+  DimUnitKB& operator=(const DimUnitKB&) = delete;
+
  private:
   DimUnitKB() = default;
 
-  void BuildIndexes();
-  void BuildConversionTables();
+  /// Packs drafts into an arena blob and initializes views over it.
+  static dimqr::Result<std::shared_ptr<const DimUnitKB>> FromDrafts(
+      const std::vector<UnitDraft>& units,
+      const std::vector<QuantityKindDraft>& kinds);
 
+  /// Seats every record, table, and index as a view over `arena` (which
+  /// must outlive this object: owned_blob_ or the kept-alive snapshot).
+  dimqr::Status InitFromArena(std::span<const std::byte> arena);
+
+  // ----- Arena backing (exactly one is active) -----
+  std::vector<std::byte> owned_blob_;  ///< Build()/LoadTsv() paths.
+  std::shared_ptr<const snapshot::Snapshot> snapshot_;  ///< Mapped path.
+  std::span<const std::byte> arena_;   ///< The active backing's bytes.
+
+  // ----- Views over the arena (materialized flat, no per-record heap) ----
   std::vector<UnitRecord> units_;
   std::vector<QuantityKindRecord> kinds_;
+  /// Flat pool backing every record's symbols/aliases/keywords span.
+  std::vector<std::string_view> list_pool_;
 
   /// UnitID strings -> handles. Symbol order matches catalog order, but
   /// duplicates (last wins, matching the old map behavior) make the
   /// indirection necessary.
   SymbolTable id_syms_;
-  std::vector<UnitId> id_sym_to_unit_;
+  std::span<const UnitId> id_sym_to_unit_;
 
   /// Exact surface forms -> postings (un-deduplicated, catalog order).
   SymbolTable surface_syms_;
@@ -201,15 +233,17 @@ class DimUnitKB {
 
   /// Sorted (Dimension::PackedKey, dimension-class index) for binary
   /// search; postings per class in catalog order.
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> dim_class_keys_;
+  std::span<const DimClassKey> dim_class_keys_;
   PostingsIndex<DimClassId, UnitId> by_dimension_;
 
   /// Conversion memo: per unit its dimension class and rank within the
-  /// class; per class a k×k row-major factor table (NaN = no single linear
-  /// factor, i.e. an affine endpoint — resolved through the slow path).
-  std::vector<std::uint32_t> unit_class_;
-  std::vector<std::uint32_t> unit_rank_;
-  std::vector<std::vector<double>> factor_tables_;
+  /// class; per class a k×k row-major factor table stored CSR-flat
+  /// (factor_offsets_[c] .. factor_offsets_[c+1]). NaN = no single linear
+  /// factor (an affine endpoint) — resolved through the slow path.
+  std::span<const std::uint32_t> unit_class_;
+  std::span<const std::uint32_t> unit_rank_;
+  std::span<const std::uint64_t> factor_offsets_;
+  std::span<const double> factor_data_;
 };
 
 }  // namespace dimqr::kb

@@ -1,23 +1,31 @@
 #include "kb/unit_record.h"
 
 namespace dimqr::kb {
+namespace {
 
-dimqr::UnitSemantics UnitRecord::Semantics() const {
+template <typename Record>
+dimqr::UnitSemantics SemanticsOf(const Record& u) {
   dimqr::UnitSemantics sem;
-  sem.dimension = dimension;
-  sem.scale = conversion_value;
-  sem.exact_scale = exact_conversion;
-  sem.offset = conversion_offset;
-  sem.label = symbols.empty() ? label_en : symbols.front();
+  sem.dimension = u.dimension;
+  sem.scale = u.conversion_value;
+  sem.exact_scale = u.exact_conversion;
+  sem.offset = u.conversion_offset;
+  sem.label = u.symbols.empty() ? u.label_en : u.symbols.front();
   return sem;
 }
 
-std::vector<std::string> UnitRecord::SurfaceForms() const {
-  std::vector<std::string> out;
+}  // namespace
+
+dimqr::UnitSemantics UnitDraft::Semantics() const { return SemanticsOf(*this); }
+
+dimqr::UnitSemantics UnitRecord::Semantics() const { return SemanticsOf(*this); }
+
+std::vector<std::string_view> UnitRecord::SurfaceForms() const {
+  std::vector<std::string_view> out;
   out.push_back(label_en);
   if (!label_zh.empty()) out.push_back(label_zh);
-  for (const std::string& s : symbols) out.push_back(s);
-  for (const std::string& a : aliases) out.push_back(a);
+  for (std::string_view s : symbols) out.push_back(s);
+  for (std::string_view a : aliases) out.push_back(a);
   return out;
 }
 

@@ -123,15 +123,15 @@ std::string PickSurface(const kb::UnitRecord& unit, double alias_rate,
                         Rng& rng) {
   double roll = rng.UniformReal(0.0, 1.0);
   if (roll < alias_rate && !unit.aliases.empty()) {
-    return unit.aliases[rng.Index(unit.aliases.size())];
+    return std::string(unit.aliases[rng.Index(unit.aliases.size())]);
   }
   if (roll < alias_rate + 0.12 && !unit.label_zh.empty()) {
-    return unit.label_zh;
+    return std::string(unit.label_zh);
   }
   if (roll < alias_rate + 0.45 || unit.symbols.empty()) {
-    return unit.label_en;
+    return std::string(unit.label_en);
   }
-  return unit.symbols.front();
+  return std::string(unit.symbols.front());
 }
 
 }  // namespace

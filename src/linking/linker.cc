@@ -25,7 +25,7 @@ std::vector<std::string> UnitTerms(const kb::UnitRecord& unit) {
     }
   };
   add_words(unit.label_en);
-  for (const std::string& alias : unit.aliases) add_words(alias);
+  for (std::string_view alias : unit.aliases) add_words(alias);
   return terms;
 }
 
@@ -50,14 +50,16 @@ Result<text::Embedding> BuildLinkerEmbedding(const kb::DimUnitKB& kb,
               });
     text::TopicCluster cluster;
     cluster.name = kind.name;
-    for (const std::string& k : kind.keywords) cluster.terms.push_back(k);
+    for (std::string_view k : kind.keywords) {
+      cluster.terms.emplace_back(k);
+    }
     std::size_t take = std::min<std::size_t>(members.size(), 8);
     for (std::size_t i = 0; i < take; ++i) {
       for (const std::string& term : UnitTerms(*members[i])) {
         cluster.terms.push_back(term);
       }
-      for (const std::string& k : members[i]->keywords) {
-        cluster.terms.push_back(k);
+      for (std::string_view k : members[i]->keywords) {
+        cluster.terms.emplace_back(k);
       }
     }
     clusters.push_back(std::move(cluster));
@@ -102,7 +104,7 @@ double UnitLinker::ContextScore(
   double sum = 0.0;
   for (const std::string& token : context_tokens) {
     double best = 0.0;
-    for (const std::string& keyword : unit.keywords) {
+    for (std::string_view keyword : unit.keywords) {
       best = std::max(best, embedding_.CosineSimilarity(token, keyword));
     }
     sum += best;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <utility>
 
 #include "text/number_scanner.h"
 
@@ -12,8 +14,12 @@ bool IsNumericToken(const std::string& token) {
   return text::ParseNumber(token).has_value();
 }
 
-std::string Normalize(const std::string& token) {
+const std::string& Normalize(const std::string& token) {
   return IsNumericToken(token) ? NgramMaskedLm::NumToken() : token;
+}
+
+std::uint64_t PairKey(std::uint32_t first, std::uint32_t second) {
+  return (static_cast<std::uint64_t>(first) << 32) | second;
 }
 
 }  // namespace
@@ -33,42 +39,79 @@ dimqr::Result<NgramMaskedLm> NgramMaskedLm::Train(
   }
   NgramMaskedLm lm;
   lm.add_k_ = add_k;
+  auto backing = std::make_shared<Backing>();
+  std::unordered_map<std::uint64_t, std::uint64_t> left_counts;
+  std::unordered_map<std::uint64_t, std::uint64_t> right_counts;
   for (const auto& sentence : sentences) {
+    std::uint32_t prev_id = 0;
     for (std::size_t i = 0; i < sentence.size(); ++i) {
-      std::string tok = Normalize(sentence[i]);
-      if (!lm.unigram_.contains(tok)) lm.vocab_.push_back(tok);
-      ++lm.unigram_[tok];
+      std::uint32_t id = lm.tokens_.Intern(Normalize(sentence[i]));
+      if (id > backing->unigram.size()) backing->unigram.push_back(0);
+      ++backing->unigram[id - 1];
       ++lm.total_tokens_;
-      if (i > 0) {
-        ++lm.left_bigram_[Normalize(sentence[i - 1]) + "|" + tok];
-      }
+      if (i > 0) ++left_counts[PairKey(prev_id, id)];
       if (i + 1 < sentence.size()) {
-        ++lm.right_bigram_[tok + "|" + Normalize(sentence[i + 1])];
+        ++right_counts[PairKey(id, lm.tokens_.Intern(Normalize(sentence[i + 1])))];
       }
+      prev_id = id;
     }
   }
-  std::sort(lm.vocab_.begin(), lm.vocab_.end());
+  // Freeze: scan order sorted by token string (the old std::sort of the
+  // vocab), bigram rows sorted by packed key for binary search.
+  backing->vocab_order.resize(lm.tokens_.size());
+  for (std::size_t i = 0; i < backing->vocab_order.size(); ++i) {
+    backing->vocab_order[i] = static_cast<std::uint32_t>(i) + 1;
+  }
+  std::sort(backing->vocab_order.begin(), backing->vocab_order.end(),
+            [&lm](std::uint32_t a, std::uint32_t b) {
+              return lm.tokens_.Str(a) < lm.tokens_.Str(b);
+            });
+  auto flatten = [](const std::unordered_map<std::uint64_t, std::uint64_t>& m,
+                    std::vector<PairCount>& out) {
+    out.reserve(m.size());
+    for (const auto& [key, count] : m) out.push_back({key, count});
+    std::sort(out.begin(), out.end(),
+              [](const PairCount& a, const PairCount& b) {
+                return a.key < b.key;
+              });
+  };
+  flatten(left_counts, backing->left_bigram);
+  flatten(right_counts, backing->right_bigram);
+  lm.unigram_ = backing->unigram;
+  lm.vocab_order_ = backing->vocab_order;
+  lm.left_bigram_ = backing->left_bigram;
+  lm.right_bigram_ = backing->right_bigram;
+  lm.backing_ = std::move(backing);
   return lm;
 }
 
-double NgramMaskedLm::Score(const std::string& token, const std::string& left,
-                            const std::string& right) const {
-  auto count_of = [](const std::unordered_map<std::string, std::size_t>& map,
-                     const std::string& key) -> double {
-    auto it = map.find(key);
-    return it == map.end() ? 0.0 : static_cast<double>(it->second);
-  };
-  double uni = count_of(unigram_, token);
-  double v = static_cast<double>(vocab_.size());
-  double p = (uni + add_k_) / (static_cast<double>(total_tokens_) + add_k_ * v);
-  if (!left.empty()) {
-    double left_count = count_of(unigram_, Normalize(left));
-    double pair = count_of(left_bigram_, Normalize(left) + "|" + token);
+std::uint64_t NgramMaskedLm::CountOf(std::span<const PairCount> rows,
+                                     std::uint64_t key) {
+  auto it = std::lower_bound(rows.begin(), rows.end(), key,
+                             [](const PairCount& row, std::uint64_t k) {
+                               return row.key < k;
+                             });
+  return it != rows.end() && it->key == key ? it->count : 0;
+}
+
+double NgramMaskedLm::Score(std::uint32_t token_id, std::uint32_t left_id,
+                            bool has_left, std::uint32_t right_id,
+                            bool has_right) const {
+  double uni = static_cast<double>(unigram_[token_id - 1]);
+  double v = static_cast<double>(tokens_.size());
+  double p = (uni + add_k_) /
+             (static_cast<double>(total_tokens_) + add_k_ * v);
+  if (has_left) {
+    double left_count =
+        left_id == 0 ? 0.0 : static_cast<double>(unigram_[left_id - 1]);
+    double pair =
+        static_cast<double>(CountOf(left_bigram_, PairKey(left_id, token_id)));
     p *= (pair + add_k_) / (left_count + add_k_ * v) / ((uni + add_k_) /
          (static_cast<double>(total_tokens_) + add_k_ * v));
   }
-  if (!right.empty()) {
-    double pair = count_of(right_bigram_, token + "|" + Normalize(right));
+  if (has_right) {
+    double pair = static_cast<double>(
+        CountOf(right_bigram_, PairKey(token_id, right_id)));
     p *= (pair + add_k_) / (uni + add_k_ * v) * v;
   }
   return p;
@@ -76,12 +119,15 @@ double NgramMaskedLm::Score(const std::string& token, const std::string& left,
 
 std::vector<std::pair<std::string, double>> NgramMaskedLm::PredictMasked(
     const std::string& left, const std::string& right, std::size_t k) const {
+  bool has_left = !left.empty(), has_right = !right.empty();
+  std::uint32_t left_id = has_left ? tokens_.Lookup(Normalize(left)) : 0;
+  std::uint32_t right_id = has_right ? tokens_.Lookup(Normalize(right)) : 0;
   std::vector<std::pair<std::string, double>> scored;
-  scored.reserve(vocab_.size());
+  scored.reserve(vocab_order_.size());
   double total = 0.0;
-  for (const std::string& token : vocab_) {
-    double s = Score(token, left, right);
-    scored.emplace_back(token, s);
+  for (std::uint32_t id : vocab_order_) {
+    double s = Score(id, left_id, has_left, right_id, has_right);
+    scored.emplace_back(std::string(tokens_.Str(id)), s);
     total += s;
   }
   if (total > 0.0) {
@@ -103,6 +149,69 @@ double NgramMaskedLm::NumericLikelihood(const std::string& left,
     if (token == NumToken()) return p;
   }
   return 0.0;
+}
+
+namespace {
+
+/// Fixed-width serialized scalar state of the n-gram model.
+struct NgramMetaPod {
+  std::uint64_t total_tokens = 0;
+  double add_k = 0.1;
+};
+static_assert(sizeof(NgramMetaPod) == 16);
+
+}  // namespace
+
+void NgramMaskedLm::WriteTo(snapshot::ArenaWriter& writer) const {
+  tokens_.WriteTo(writer);
+  writer.PutPod(NgramMetaPod{total_tokens_, add_k_});
+  writer.PutArray(unigram_);
+  writer.PutArray(vocab_order_);
+  writer.PutArray(left_bigram_);
+  writer.PutArray(right_bigram_);
+}
+
+dimqr::Result<NgramMaskedLm> NgramMaskedLm::FromArena(
+    snapshot::ArenaReader& reader,
+    std::shared_ptr<const snapshot::Snapshot> keepalive) {
+  NgramMaskedLm lm;
+  DIMQR_ASSIGN_OR_RETURN(lm.tokens_, SymbolTable::FromArena(reader));
+  DIMQR_ASSIGN_OR_RETURN(NgramMetaPod meta, reader.GetPod<NgramMetaPod>());
+  lm.total_tokens_ = meta.total_tokens;
+  lm.add_k_ = meta.add_k;
+  if (!(lm.add_k_ > 0.0)) {
+    return dimqr::Status::IOError("ngram snapshot add_k not positive");
+  }
+  DIMQR_ASSIGN_OR_RETURN(lm.unigram_, reader.GetArray<std::uint64_t>());
+  DIMQR_ASSIGN_OR_RETURN(lm.vocab_order_, reader.GetArray<std::uint32_t>());
+  DIMQR_ASSIGN_OR_RETURN(lm.left_bigram_, reader.GetArray<PairCount>());
+  DIMQR_ASSIGN_OR_RETURN(lm.right_bigram_, reader.GetArray<PairCount>());
+  const std::size_t n = lm.tokens_.size();
+  if (lm.unigram_.size() != n || lm.vocab_order_.size() != n) {
+    return dimqr::Status::IOError("ngram snapshot tables do not match vocab");
+  }
+  for (std::uint32_t id : lm.vocab_order_) {
+    if (id == 0 || id > n) {
+      return dimqr::Status::IOError("ngram snapshot vocab order out of range");
+    }
+  }
+  auto check_rows = [n](std::span<const PairCount> rows) -> dimqr::Status {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0 && rows[i - 1].key >= rows[i].key) {
+        return dimqr::Status::IOError("ngram snapshot bigrams not sorted");
+      }
+      std::uint32_t hi = static_cast<std::uint32_t>(rows[i].key >> 32);
+      std::uint32_t lo = static_cast<std::uint32_t>(rows[i].key);
+      if (hi == 0 || hi > n || lo == 0 || lo > n) {
+        return dimqr::Status::IOError("ngram snapshot bigram id out of range");
+      }
+    }
+    return dimqr::Status::OK();
+  };
+  DIMQR_RETURN_NOT_OK(check_rows(lm.left_bigram_));
+  DIMQR_RETURN_NOT_OK(check_rows(lm.right_bigram_));
+  lm.keepalive_ = std::move(keepalive);
+  return lm;
 }
 
 }  // namespace dimqr::lm

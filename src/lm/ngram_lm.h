@@ -1,10 +1,14 @@
 #ifndef DIMQR_LM_NGRAM_LM_H_
 #define DIMQR_LM_NGRAM_LM_H_
 
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/interner.h"
+#include "core/snapshot.h"
 #include "core/status.h"
 
 /// \file ngram_lm.h
@@ -16,10 +20,17 @@
 /// capability that step needs is "predict the masked token from its left
 /// and right neighbours", which a smoothed n-gram model supplies. The model
 /// trains on the same synthetic corpus as everything else.
+///
+/// Storage: frozen at the end of Train into flat arrays — an interned
+/// token table, per-token unigram counts, and sorted (id-pair, count)
+/// bigram rows probed by binary search. Flat by construction, the model
+/// serializes into a snapshot arena and loads back as views over the
+/// mapping (zero-copy); scoring allocates nothing either way.
 
 namespace dimqr::lm {
 
 /// \brief Masked-token predictor from (left, right) neighbour words.
+/// Immutable after Train; cheap to copy (copies share the frozen backing).
 class NgramMaskedLm {
  public:
   /// \brief Trains from tokenized sentences. Counts (left, token),
@@ -39,23 +50,60 @@ class NgramMaskedLm {
   double NumericLikelihood(const std::string& left,
                            const std::string& right) const;
 
-  std::size_t vocab_size() const { return vocab_.size(); }
+  std::size_t vocab_size() const { return tokens_.size(); }
 
   /// The pseudo-token standing for any number.
   static const std::string& NumToken();
 
+  /// Appends the frozen model to a snapshot arena.
+  void WriteTo(snapshot::ArenaWriter& writer) const;
+
+  /// \brief Re-materializes a model whose tables alias `reader`'s bytes.
+  /// `keepalive` (optional) pins the backing snapshot; without it the
+  /// caller must keep the mapping alive.
+  static dimqr::Result<NgramMaskedLm> FromArena(
+      snapshot::ArenaReader& reader,
+      std::shared_ptr<const snapshot::Snapshot> keepalive = nullptr);
+
  private:
+  /// One bigram row: key packs the two token ids, high word first.
+  struct PairCount {
+    std::uint64_t key = 0;  ///< (first id << 32) | second id.
+    std::uint64_t count = 0;
+  };
+  static_assert(sizeof(PairCount) == 16);
+
+  /// Owned backing of a trained model (copies share it; empty when the
+  /// model aliases a snapshot mapping instead).
+  struct Backing {
+    std::vector<std::uint64_t> unigram;
+    std::vector<std::uint32_t> vocab_order;
+    std::vector<PairCount> left_bigram;
+    std::vector<PairCount> right_bigram;
+  };
+
   NgramMaskedLm() = default;
 
-  double Score(const std::string& token, const std::string& left,
-               const std::string& right) const;
+  double Score(std::uint32_t token_id, std::uint32_t left_id, bool has_left,
+               std::uint32_t right_id, bool has_right) const;
 
-  std::vector<std::string> vocab_;
-  std::unordered_map<std::string, std::size_t> unigram_;
-  std::unordered_map<std::string, std::size_t> left_bigram_;   // "l|t"
-  std::unordered_map<std::string, std::size_t> right_bigram_;  // "t|r"
-  std::size_t total_tokens_ = 0;
+  static std::uint64_t CountOf(std::span<const PairCount> rows,
+                               std::uint64_t key);
+
+  SymbolTable tokens_;  ///< Normalized tokens; ids 1..vocab_size().
+  /// Per-token occurrence count, indexed by id-1.
+  std::span<const std::uint64_t> unigram_;
+  /// Token ids sorted by token string — the scan order of PredictMasked
+  /// (also its floating-point accumulation order, hence serialized).
+  std::span<const std::uint32_t> vocab_order_;
+  /// Sorted by key: (left id, token id) and (token id, right id) counts.
+  std::span<const PairCount> left_bigram_;
+  std::span<const PairCount> right_bigram_;
+  std::uint64_t total_tokens_ = 0;
   double add_k_ = 0.1;
+
+  std::shared_ptr<const Backing> backing_;  ///< Trained models.
+  std::shared_ptr<const snapshot::Snapshot> keepalive_;  ///< Mapped models.
 };
 
 }  // namespace dimqr::lm

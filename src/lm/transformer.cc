@@ -122,7 +122,7 @@ class TransformerLayout {
   TransformerConfig c_;
 };
 
-Result<Transformer> Transformer::Create(const TransformerConfig& config) {
+Result<Transformer> Transformer::Shell(const TransformerConfig& config) {
   if (config.vocab_size <= SpecialTokensGuard()) {
     return Status::InvalidArgument("vocab_size too small");
   }
@@ -134,6 +134,11 @@ Result<Transformer> Transformer::Create(const TransformerConfig& config) {
   Transformer model;
   model.config_ = config;
   model.layout_ = std::make_shared<const TransformerLayout>(config);
+  return model;
+}
+
+Result<Transformer> Transformer::Create(const TransformerConfig& config) {
+  DIMQR_ASSIGN_OR_RETURN(Transformer model, Shell(config));
   const TransformerLayout& layout = *model.layout_;
   model.params_.assign(layout.total, 0.0f);
   dimqr::Rng rng(config.seed);
@@ -168,7 +173,60 @@ Result<Transformer> Transformer::Create(const TransformerConfig& config) {
        static_cast<std::size_t>(config.d_model) * config.vocab_size, scale);
   model.adam_m_.assign(layout.total, 0.0f);
   model.adam_v_.assign(layout.total, 0.0f);
+  model.Reseat();
   return model;
+}
+
+Transformer& Transformer::operator=(const Transformer& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  layout_ = other.layout_;
+  adam_step_ = other.adam_step_;
+  params_ = other.params_;
+  adam_m_ = other.adam_m_;
+  adam_v_ = other.adam_v_;
+  if (other.borrowed()) {
+    // Copies of a snapshot-backed model share the mapped backing.
+    params_v_ = other.params_v_;
+    adam_m_v_ = other.adam_m_v_;
+    adam_v_v_ = other.adam_v_v_;
+    keepalive_ = other.keepalive_;
+  } else {
+    keepalive_ = nullptr;
+    Reseat();
+  }
+  return *this;
+}
+
+Transformer& Transformer::operator=(Transformer&& other) noexcept {
+  if (this == &other) return *this;
+  bool was_borrowed = other.borrowed();
+  config_ = other.config_;
+  layout_ = std::move(other.layout_);
+  adam_step_ = other.adam_step_;
+  params_v_ = other.params_v_;
+  adam_m_v_ = other.adam_m_v_;
+  adam_v_v_ = other.adam_v_v_;
+  params_ = std::move(other.params_);
+  adam_m_ = std::move(other.adam_m_);
+  adam_v_ = std::move(other.adam_v_);
+  keepalive_ = std::move(other.keepalive_);
+  if (!was_borrowed) Reseat();
+  other.params_.clear();
+  other.adam_m_.clear();
+  other.adam_v_.clear();
+  other.Reseat();
+  other.keepalive_ = nullptr;
+  return *this;
+}
+
+void Transformer::Detach() {
+  if (!borrowed()) return;
+  params_.assign(params_v_.begin(), params_v_.end());
+  adam_m_.assign(adam_m_v_.begin(), adam_m_v_.end());
+  adam_v_.assign(adam_v_v_.begin(), adam_v_v_.end());
+  keepalive_ = nullptr;
+  Reseat();
 }
 
 int Transformer::SpecialTokensGuard() { return 6; }
@@ -177,7 +235,7 @@ Result<double> Transformer::ForwardBackward(const LmExample& example,
                                             std::vector<float>* grads) const {
   const TransformerConfig& c = config_;
   const TransformerLayout& lay = *layout_;
-  const float* P = params_.data();
+  const float* P = params_v_.data();
 
   // Left-truncate to max_seq (answers live at the end of the sequence).
   std::vector<int> tokens = example.tokens;
@@ -520,6 +578,7 @@ Result<double> Transformer::Loss(const LmExample& example) const {
 
 Result<double> Transformer::TrainBatch(const std::vector<LmExample>& batch,
                                        double learning_rate) {
+  Detach();  // snapshot-backed weights become owned before mutation
   if (batch.empty()) {
     return Status::InvalidArgument("empty training batch");
   }
@@ -540,7 +599,7 @@ Result<double> Transformer::TrainBatch(const std::vector<LmExample>& batch,
           n, Partial{},
           [&](std::int64_t begin, std::int64_t end, int) -> Result<Partial> {
             Partial p;
-            p.grads.assign(params_.size(), 0.0f);
+            p.grads.assign(params_v_.size(), 0.0f);
             for (std::int64_t i = begin; i < end; ++i) {
               DIMQR_ASSIGN_OR_RETURN(
                   double loss,
@@ -647,7 +706,7 @@ Status Transformer::Step(DecodeState& state, int token) const {
   const TransformerConfig& c = config_;
   if (!state.BoundTo(c)) state.Bind(c);
   const TransformerLayout& lay = *layout_;
-  const float* P = params_.data();
+  const float* P = params_v_.data();
   const int D = c.d_model, H = c.n_heads, Dh = D / H, F = c.d_ff,
             V = c.vocab_size, L = c.n_layers;
   if (token < 0 || token >= V) {
@@ -735,7 +794,7 @@ Status Transformer::Prefill(const int* tokens, int n,
   }
   if (!state.BoundTo(c)) state.Bind(c);
   const TransformerLayout& lay = *layout_;
-  const float* P = params_.data();
+  const float* P = params_v_.data();
   const int D = c.d_model, H = c.n_heads, Dh = D / H, F = c.d_ff,
             V = c.vocab_size, L = c.n_layers;
   const int p0 = state.position_;
@@ -921,47 +980,69 @@ Result<int> Transformer::PrefillWithCache(const std::vector<int>& tokens,
 }
 
 Status Transformer::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot write model: " + path);
-  std::int32_t header[7] = {
-      config_.vocab_size, config_.d_model,  config_.n_heads,
-      config_.n_layers,   config_.d_ff,     config_.max_seq,
-      static_cast<std::int32_t>(adam_step_)};
-  out.write(reinterpret_cast<const char*>(header), sizeof(header));
-  auto write_vec = [&out](const std::vector<float>& v) {
-    out.write(reinterpret_cast<const char*>(v.data()),
-              static_cast<std::streamsize>(v.size() * sizeof(float)));
-  };
-  write_vec(params_);
-  write_vec(adam_m_);
-  write_vec(adam_v_);
-  if (!out) return Status::IOError("model write failed: " + path);
-  return Status::OK();
+  snapshot::SnapshotWriter writer;
+  snapshot::ArenaWriter arena;
+  WriteTo(arena);
+  DIMQR_RETURN_NOT_OK(writer.AddSection("transformer", std::move(arena)));
+  return writer.WriteFile(path);
 }
 
 Result<Transformer> Transformer::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot read model: " + path);
-  std::int32_t header[7];
-  in.read(reinterpret_cast<char*>(header), sizeof(header));
-  if (!in) return Status::ParseError("truncated model header: " + path);
+  DIMQR_ASSIGN_OR_RETURN(std::shared_ptr<const snapshot::Snapshot> snap,
+                         snapshot::Snapshot::Map(path));
+  DIMQR_ASSIGN_OR_RETURN(std::span<const std::byte> section,
+                         snap->Section("transformer"));
+  snapshot::ArenaReader reader(section);
+  return FromArena(reader, snap);
+}
+
+namespace {
+
+/// Fixed-width serialized form of TransformerConfig + optimizer step.
+struct TransformerConfigPod {
+  std::int32_t vocab_size, d_model, n_heads, n_layers, d_ff, max_seq;
+  std::uint64_t seed;
+  std::int64_t adam_step;
+};
+static_assert(sizeof(TransformerConfigPod) == 40);
+
+}  // namespace
+
+void Transformer::WriteTo(snapshot::ArenaWriter& writer) const {
+  TransformerConfigPod pod{config_.vocab_size, config_.d_model,
+                           config_.n_heads,    config_.n_layers,
+                           config_.d_ff,       config_.max_seq,
+                           config_.seed,       adam_step_};
+  writer.PutPod(pod);
+  writer.PutArray(params_v_);
+  writer.PutArray(adam_m_v_);
+  writer.PutArray(adam_v_v_);
+}
+
+Result<Transformer> Transformer::FromArena(
+    snapshot::ArenaReader& reader,
+    std::shared_ptr<const snapshot::Snapshot> keepalive) {
+  DIMQR_ASSIGN_OR_RETURN(TransformerConfigPod pod,
+                         reader.GetPod<TransformerConfigPod>());
   TransformerConfig config;
-  config.vocab_size = header[0];
-  config.d_model = header[1];
-  config.n_heads = header[2];
-  config.n_layers = header[3];
-  config.d_ff = header[4];
-  config.max_seq = header[5];
-  DIMQR_ASSIGN_OR_RETURN(Transformer model, Create(config));
-  model.adam_step_ = header[6];
-  auto read_vec = [&in](std::vector<float>& v) {
-    in.read(reinterpret_cast<char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(float)));
-  };
-  read_vec(model.params_);
-  read_vec(model.adam_m_);
-  read_vec(model.adam_v_);
-  if (!in) return Status::ParseError("truncated model body: " + path);
+  config.vocab_size = pod.vocab_size;
+  config.d_model = pod.d_model;
+  config.n_heads = pod.n_heads;
+  config.n_layers = pod.n_layers;
+  config.d_ff = pod.d_ff;
+  config.max_seq = pod.max_seq;
+  config.seed = pod.seed;
+  DIMQR_ASSIGN_OR_RETURN(Transformer model, Shell(config));
+  model.adam_step_ = pod.adam_step;
+  DIMQR_ASSIGN_OR_RETURN(model.params_v_, reader.GetArray<float>());
+  DIMQR_ASSIGN_OR_RETURN(model.adam_m_v_, reader.GetArray<float>());
+  DIMQR_ASSIGN_OR_RETURN(model.adam_v_v_, reader.GetArray<float>());
+  const std::size_t total = model.layout_->total;
+  if (model.params_v_.size() != total || model.adam_m_v_.size() != total ||
+      model.adam_v_v_.size() != total) {
+    return Status::IOError("transformer snapshot arrays do not match config");
+  }
+  model.keepalive_ = std::move(keepalive);
   return model;
 }
 

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/snapshot.h"
 #include "core/status.h"
 
 /// \file transformer.h
@@ -112,13 +114,28 @@ DecodeState& ThreadLocalDecodeState();
 
 /// \brief The model. Copyable (parameters are plain vectors; the cached
 /// layout is immutable and shared).
+///
+/// Storage model: all reads (forward passes, decoding) go through spans
+/// that alias either this object's own parameter vectors or a snapshot
+/// mapping (`FromArena`) — weights load zero-copy, shared page-cache-wise
+/// across processes. Training a snapshot-backed model first detaches the
+/// parameters into owned storage.
 class Transformer {
  public:
   /// Creates a randomly initialized model. InvalidArgument on bad config.
   static dimqr::Result<Transformer> Create(const TransformerConfig& config);
 
+  Transformer(const Transformer& other) { *this = other; }
+  Transformer& operator=(const Transformer& other);
+  Transformer(Transformer&& other) noexcept { *this = std::move(other); }
+  Transformer& operator=(Transformer&& other) noexcept;
+
   const TransformerConfig& config() const { return config_; }
-  std::size_t num_parameters() const { return params_.size(); }
+  std::size_t num_parameters() const { return params_v_.size(); }
+
+  /// True when the weights alias a snapshot mapping rather than this
+  /// object's own vectors.
+  bool borrowed() const { return params_v_.data() != params_.data(); }
 
   /// \brief Mean masked cross-entropy of one example (no gradient).
   dimqr::Result<double> Loss(const LmExample& example) const;
@@ -182,15 +199,38 @@ class Transformer {
                                       DecodeState& state,
                                       PrefixCache* cache) const;
 
-  /// Binary weight persistence.
+  /// Weight persistence: a single-section snapshot container (see
+  /// core/snapshot.h). Load memory-maps and aliases the weights zero-copy.
   dimqr::Status Save(const std::string& path) const;
   static dimqr::Result<Transformer> Load(const std::string& path);
+
+  /// Appends config, weights, and optimizer state to a snapshot arena.
+  void WriteTo(snapshot::ArenaWriter& writer) const;
+
+  /// \brief Re-materializes a model whose weights alias `reader`'s bytes.
+  /// `keepalive` (optional) pins the backing snapshot; without it the
+  /// caller must keep the mapping alive.
+  static dimqr::Result<Transformer> FromArena(
+      snapshot::ArenaReader& reader,
+      std::shared_ptr<const snapshot::Snapshot> keepalive = nullptr);
 
  private:
   Transformer() = default;
 
   /// Minimum sensible vocabulary (the special tokens).
   static int SpecialTokensGuard();
+
+  /// Validates `config` and builds an empty model with its layout (no
+  /// parameter storage yet); shared by Create and FromArena.
+  static dimqr::Result<Transformer> Shell(const TransformerConfig& config);
+
+  /// Copies a borrowed backing into owned vectors (before mutation).
+  void Detach();
+  void Reseat() {
+    params_v_ = params_;
+    adam_m_v_ = adam_m_;
+    adam_v_v_ = adam_v_;
+  }
 
   /// Forward pass; when `grads` is non-null also runs backward, adding
   /// parameter gradients into it. Returns the mean masked CE loss, or an
@@ -199,15 +239,23 @@ class Transformer {
                                         std::vector<float>* grads) const;
 
   TransformerConfig config_;
-  std::vector<float> params_;
   /// Parameter offsets — a pure function of config_, computed once at
   /// Create/Load and shared by copies (the old code rebuilt it on every
   /// forward pass and decode step).
   std::shared_ptr<const TransformerLayout> layout_;
+
+  // Owned storage (empty while borrowed from a snapshot mapping).
+  std::vector<float> params_;
   // Adam state (moments + step counter); mutable across TrainBatch calls.
   std::vector<float> adam_m_;
   std::vector<float> adam_v_;
   std::int64_t adam_step_ = 0;
+
+  // Read-side views; alias the vectors above or a snapshot mapping.
+  std::span<const float> params_v_;
+  std::span<const float> adam_m_v_;
+  std::span<const float> adam_v_v_;
+  std::shared_ptr<const snapshot::Snapshot> keepalive_;
 
   friend class TransformerLayout;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <fstream>
+#include <unordered_map>
+#include <utility>
 
 #include "text/tokenizer.h"
 
@@ -11,14 +13,26 @@ namespace {
 const char* kSpecialNames[SpecialTokens::kCount] = {
     "<pad>", "<bos>", "<eos>", "<sep>", "<unk>", "[MASK]"};
 
+/// The special tokens must occupy ids 0..kCount-1 exactly.
+dimqr::Status CheckSpecials(const Vocab& v) {
+  if (v.size() < SpecialTokens::kCount) {
+    return dimqr::Status::ParseError("vocab missing special tokens");
+  }
+  for (int i = 0; i < SpecialTokens::kCount; ++i) {
+    if (v.TokenOf(i) != kSpecialNames[i]) {
+      return dimqr::Status::ParseError("vocab special tokens corrupted");
+    }
+  }
+  return dimqr::Status::OK();
+}
+
 }  // namespace
 
 Vocab Vocab::Build(const std::vector<std::vector<std::string>>& texts,
                    int min_count, std::size_t max_size) {
   Vocab v;
   for (int i = 0; i < SpecialTokens::kCount; ++i) {
-    v.tokens_.emplace_back(kSpecialNames[i]);
-    v.ids_[kSpecialNames[i]] = i;
+    v.syms_.Intern(kSpecialNames[i]);
   }
   std::unordered_map<std::string, std::size_t> counts;
   for (const auto& text : texts) {
@@ -32,18 +46,10 @@ Vocab Vocab::Build(const std::vector<std::vector<std::string>>& texts,
   });
   for (const auto& [token, count] : sorted) {
     if (count < static_cast<std::size_t>(min_count)) break;
-    if (v.tokens_.size() >= max_size) break;
-    if (v.ids_.contains(token)) continue;
-    v.ids_[token] = static_cast<int>(v.tokens_.size());
-    v.tokens_.push_back(token);
+    if (v.syms_.size() >= max_size) break;
+    v.syms_.Intern(token);  // no-op (keeps its id) for special-name clashes
   }
   return v;
-}
-
-int Vocab::Id(std::string_view token) const {
-  auto it = ids_.find(std::string(token));
-  if (it == ids_.end()) return SpecialTokens::kUnk;
-  return it->second;
 }
 
 std::vector<int> Vocab::Encode(std::string_view text) const {
@@ -61,11 +67,11 @@ std::vector<int> Vocab::EncodeTokens(
 std::string Vocab::Decode(const std::vector<int>& ids) const {
   std::string out;
   for (int id : ids) {
-    if (id < SpecialTokens::kCount || id >= static_cast<int>(tokens_.size())) {
+    if (id < SpecialTokens::kCount || id >= static_cast<int>(size())) {
       continue;
     }
     if (!out.empty()) out += ' ';
-    out += tokens_[id];
+    out += TokenOf(id);
   }
   return out;
 }
@@ -73,7 +79,9 @@ std::string Vocab::Decode(const std::vector<int>& ids) const {
 dimqr::Status Vocab::Save(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return dimqr::Status::IOError("cannot write vocab: " + path);
-  for (const std::string& token : tokens_) out << token << '\n';
+  for (std::size_t i = 0; i < size(); ++i) {
+    out << TokenOf(static_cast<int>(i)) << '\n';
+  }
   if (!out) return dimqr::Status::IOError("vocab write failed: " + path);
   return dimqr::Status::OK();
 }
@@ -85,17 +93,19 @@ dimqr::Result<Vocab> Vocab::Load(const std::string& path) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    v.ids_[line] = static_cast<int>(v.tokens_.size());
-    v.tokens_.push_back(line);
+    v.syms_.Intern(line);
   }
-  if (v.tokens_.size() < SpecialTokens::kCount) {
-    return dimqr::Status::ParseError("vocab file missing special tokens");
-  }
-  for (int i = 0; i < SpecialTokens::kCount; ++i) {
-    if (v.tokens_[i] != kSpecialNames[i]) {
-      return dimqr::Status::ParseError("vocab special tokens corrupted");
-    }
-  }
+  DIMQR_RETURN_NOT_OK(CheckSpecials(v));
+  return v;
+}
+
+dimqr::Result<Vocab> Vocab::FromArena(
+    snapshot::ArenaReader& reader,
+    std::shared_ptr<const snapshot::Snapshot> keepalive) {
+  Vocab v;
+  DIMQR_ASSIGN_OR_RETURN(v.syms_, SymbolTable::FromArena(reader));
+  DIMQR_RETURN_NOT_OK(CheckSpecials(v));
+  v.keepalive_ = std::move(keepalive);
   return v;
 }
 

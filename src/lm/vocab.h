@@ -1,11 +1,13 @@
 #ifndef DIMQR_LM_VOCAB_H_
 #define DIMQR_LM_VOCAB_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "core/interner.h"
+#include "core/snapshot.h"
 #include "core/status.h"
 
 /// \file vocab.h
@@ -13,6 +15,10 @@
 /// dimqr tokenizer, with the special tokens the paper's output format
 /// needs: y = "<bos> R <sep> A <eos>" (Section IV-D), plus [MASK] for the
 /// Algorithm 1 masked-prediction filter and <unk>/<pad>.
+///
+/// Storage: one SymbolTable (token id = symbol id - 1), so the vocabulary
+/// serializes into a snapshot arena and loads back as views over the
+/// mapping — zero-copy, no per-token allocation or re-hashing.
 
 namespace dimqr::lm {
 
@@ -36,13 +42,19 @@ class Vocab {
   static Vocab Build(const std::vector<std::vector<std::string>>& texts,
                      int min_count = 1, std::size_t max_size = 20000);
 
-  std::size_t size() const { return tokens_.size(); }
+  std::size_t size() const { return syms_.size(); }
 
-  /// The id of a token; kUnk when absent.
-  int Id(std::string_view token) const;
+  /// The id of a token; kUnk when absent. Never allocates.
+  int Id(std::string_view token) const {
+    std::uint32_t sym = syms_.Lookup(token);
+    return sym == 0 ? SpecialTokens::kUnk : static_cast<int>(sym - 1);
+  }
 
-  /// The token of an id ("<unk>" etc. for specials). Requires valid id.
-  const std::string& TokenOf(int id) const { return tokens_[id]; }
+  /// The token of an id ("<unk>" etc. for specials); a view into the
+  /// vocabulary's arena (or snapshot mapping). Requires valid id.
+  std::string_view TokenOf(int id) const {
+    return syms_.Str(static_cast<std::uint32_t>(id) + 1);
+  }
 
   /// \brief Encodes a raw text through the dimqr tokenizer (lowercased).
   std::vector<int> Encode(std::string_view text) const;
@@ -53,13 +65,23 @@ class Vocab {
   /// \brief Decodes ids to a space-joined string, dropping special tokens.
   std::string Decode(const std::vector<int>& ids) const;
 
-  /// TSV-ish persistence (one token per line).
+  /// TSV-ish persistence (one token per line; slow interchange path).
   dimqr::Status Save(const std::string& path) const;
   static dimqr::Result<Vocab> Load(const std::string& path);
 
+  /// Appends the token table to a snapshot arena.
+  void WriteTo(snapshot::ArenaWriter& writer) const { syms_.WriteTo(writer); }
+
+  /// \brief Re-materializes a vocabulary whose reads alias `reader`'s
+  /// bytes. `keepalive` (optional) pins the backing snapshot for this
+  /// object's lifetime; without it the caller must keep the mapping alive.
+  static dimqr::Result<Vocab> FromArena(
+      snapshot::ArenaReader& reader,
+      std::shared_ptr<const snapshot::Snapshot> keepalive = nullptr);
+
  private:
-  std::vector<std::string> tokens_;
-  std::unordered_map<std::string, int> ids_;
+  SymbolTable syms_;  ///< Token i <-> symbol id i+1.
+  std::shared_ptr<const snapshot::Snapshot> keepalive_;
 };
 
 }  // namespace dimqr::lm

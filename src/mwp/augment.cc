@@ -91,11 +91,12 @@ std::string SlotRendering(const QuantitySlot& slot) {
 Result<std::string> AlternativeSurface(const kb::UnitRecord& unit,
                                        const std::string& current, Rng& rng) {
   std::vector<std::string> options;
-  for (const std::string& s : unit.SurfaceForms()) {
-    if (!s.empty() && s != current) options.push_back(s);
+  for (std::string_view s : unit.SurfaceForms()) {
+    if (!s.empty() && s != current) options.emplace_back(s);
   }
   if (options.empty()) {
-    return Status::NotFound("unit has a single surface form: " + unit.id);
+    return Status::NotFound("unit has a single surface form: " +
+                            std::string(unit.id));
   }
   return options[rng.Index(options.size())];
 }
@@ -120,7 +121,8 @@ Result<UnitId> SameDimensionReplacement(const kb::DimUnitKB& kb, UnitId unit_id,
     eligible.push_back(cand_id);
   }
   if (eligible.empty()) {
-    return Status::NotFound("no same-dimension replacement for " + unit.id);
+    return Status::NotFound("no same-dimension replacement for " +
+                            std::string(unit.id));
   }
   return eligible[rng.Index(eligible.size())];
 }
@@ -214,7 +216,8 @@ Status QuestionDimension(TemplatedProblem& tp, const kb::DimUnitKB& kb,
   const kb::UnitRecord& unit = kb.Get(p.question_unit);
   const kb::UnitRecord& replacement = kb.Get(replacement_id);
   double factor = unit.conversion_value / replacement.conversion_value;
-  if (!ReplaceLast(p.text, p.question_surface, replacement.label_en)) {
+  if (!ReplaceLast(p.text, p.question_surface,
+                   std::string(replacement.label_en))) {
     return Status::Internal("question surface not found in text");
   }
   p.question_unit = replacement_id;

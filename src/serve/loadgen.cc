@@ -77,4 +77,24 @@ std::vector<ServeRequest> GenerateLoad(const LoadGenConfig& config) {
   return trace;
 }
 
+dimqr::Result<lm::Transformer> BuildCanonicalServeModel() {
+  lm::TransformerConfig config;
+  config.vocab_size = 24;
+  config.d_model = 16;
+  config.n_heads = 2;
+  config.n_layers = 2;
+  config.d_ff = 32;
+  config.max_seq = 32;
+  config.seed = 13;
+  DIMQR_ASSIGN_OR_RETURN(lm::Transformer model,
+                         lm::Transformer::Create(config));
+  lm::LmExample example;
+  example.tokens = {1, 7, 8, 9, 10, 2};
+  example.loss_mask = {0, 0, 1, 1, 1, 1};
+  for (int step = 0; step < 30; ++step) {
+    DIMQR_RETURN_NOT_OK(model.TrainBatch({example}, 3e-3).status());
+  }
+  return model;
+}
+
 }  // namespace dimqr::serve

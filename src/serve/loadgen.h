@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/status.h"
+#include "lm/transformer.h"
 #include "serve/request.h"
 
 /// \file loadgen.h
@@ -46,6 +48,13 @@ struct LoadGenConfig {
 /// \brief Generates the trace: requests with ids 0..num_requests-1 in
 /// arrival order. Pure in `config` (no global state, no wall clock).
 std::vector<ServeRequest> GenerateLoad(const LoadGenConfig& config);
+
+/// \brief The fixed-seed model every serve_loadgen invocation shares:
+/// creation and the short training run are fully deterministic, so two
+/// runs (on any machine) serve identical logits. `dimqr_snapshot pack`
+/// stores exactly this model under section "serve", and serve_loadgen
+/// `--snapshot` maps it back instead of retraining.
+dimqr::Result<lm::Transformer> BuildCanonicalServeModel();
 
 }  // namespace dimqr::serve
 

@@ -122,6 +122,10 @@ Result<double> Seq2SeqModel::TrainSteps(int n_batches) {
   if (n_batches <= 0) {
     return Status::InvalidArgument("n_batches must be positive");
   }
+  if (train_.empty()) {
+    return Status::InvalidArgument(
+        "no training set (snapshot-loaded model: call ReplaceTrainingSet)");
+  }
   double total = 0.0;
   for (int b = 0; b < n_batches; ++b) {
     std::vector<lm::LmExample> batch;
@@ -179,14 +183,102 @@ Result<SeqOutput> Seq2SeqModel::Generate(const std::string& input,
     int id = generated[i];
     if (id < SpecialTokens::kCount) continue;
     if (i < sep_at) {
-      middle_tokens.push_back(vocab_.TokenOf(id));
+      middle_tokens.emplace_back(vocab_.TokenOf(id));
     } else {
-      answer_tokens.push_back(vocab_.TokenOf(id));
+      answer_tokens.emplace_back(vocab_.TokenOf(id));
     }
   }
   out.middle = JoinTokens(middle_tokens, middle_is_equation);
   out.answer = JoinTokens(answer_tokens, middle_is_equation);
   return out;
+}
+
+namespace {
+
+/// Fixed-width serialized form of the non-arch Seq2SeqConfig knobs plus
+/// training progress (the transformer section carries the arch).
+struct Seq2SeqMetaPod {
+  std::int32_t tokenization = 0;
+  std::int32_t batch_size = 0;
+  std::int32_t max_generated_tokens = 0;
+  std::int32_t vocab_min_count = 0;
+  double learning_rate = 0.0;
+  std::uint64_t vocab_max_size = 0;
+  std::uint64_t seed = 0;
+  std::int64_t steps = 0;
+};
+static_assert(sizeof(Seq2SeqMetaPod) == 48);
+
+std::string SectionName(std::string_view prefix, std::string_view leaf) {
+  return std::string(prefix) + "/" + std::string(leaf);
+}
+
+}  // namespace
+
+dimqr::Status Seq2SeqModel::WriteSnapshot(snapshot::SnapshotWriter& writer,
+                                          std::string_view prefix) const {
+  snapshot::ArenaWriter meta;
+  meta.PutString(name_);
+  Seq2SeqMetaPod pod;
+  pod.tokenization = static_cast<std::int32_t>(config_.tokenization);
+  pod.batch_size = config_.batch_size;
+  pod.max_generated_tokens = config_.max_generated_tokens;
+  pod.vocab_min_count = config_.vocab_min_count;
+  pod.learning_rate = config_.learning_rate;
+  pod.vocab_max_size = config_.vocab_max_size;
+  pod.seed = config_.seed;
+  pod.steps = steps_;
+  meta.PutPod(pod);
+  DIMQR_RETURN_NOT_OK(
+      writer.AddSection(SectionName(prefix, "meta"), std::move(meta)));
+  snapshot::ArenaWriter vocab;
+  vocab_.WriteTo(vocab);
+  DIMQR_RETURN_NOT_OK(
+      writer.AddSection(SectionName(prefix, "vocab"), std::move(vocab)));
+  snapshot::ArenaWriter weights;
+  model_->WriteTo(weights);
+  return writer.AddSection(SectionName(prefix, "transformer"),
+                           std::move(weights));
+}
+
+Result<std::unique_ptr<Seq2SeqModel>> Seq2SeqModel::FromSnapshot(
+    std::shared_ptr<const snapshot::Snapshot> snap, std::string_view prefix) {
+  if (snap == nullptr) return Status::InvalidArgument("null snapshot");
+  auto model = std::unique_ptr<Seq2SeqModel>(new Seq2SeqModel());
+  DIMQR_ASSIGN_OR_RETURN(std::span<const std::byte> meta_bytes,
+                         snap->Section(SectionName(prefix, "meta")));
+  snapshot::ArenaReader meta(meta_bytes);
+  DIMQR_ASSIGN_OR_RETURN(std::string_view name, meta.GetString());
+  model->name_ = std::string(name);
+  DIMQR_ASSIGN_OR_RETURN(Seq2SeqMetaPod pod, meta.GetPod<Seq2SeqMetaPod>());
+  model->config_.tokenization =
+      static_cast<mwp::TokenizationMode>(pod.tokenization);
+  model->config_.batch_size = pod.batch_size;
+  model->config_.max_generated_tokens = pod.max_generated_tokens;
+  model->config_.vocab_min_count = pod.vocab_min_count;
+  model->config_.learning_rate = pod.learning_rate;
+  model->config_.vocab_max_size = pod.vocab_max_size;
+  model->config_.seed = pod.seed;
+  model->steps_ = pod.steps;
+  DIMQR_ASSIGN_OR_RETURN(std::span<const std::byte> vocab_bytes,
+                         snap->Section(SectionName(prefix, "vocab")));
+  snapshot::ArenaReader vocab(vocab_bytes);
+  DIMQR_ASSIGN_OR_RETURN(model->vocab_, lm::Vocab::FromArena(vocab, snap));
+  DIMQR_ASSIGN_OR_RETURN(
+      std::span<const std::byte> weight_bytes,
+      snap->Section(SectionName(prefix, "transformer")));
+  snapshot::ArenaReader weights(weight_bytes);
+  DIMQR_ASSIGN_OR_RETURN(lm::Transformer transformer,
+                         lm::Transformer::FromArena(weights, snap));
+  if (transformer.config().vocab_size !=
+      static_cast<int>(model->vocab_.size())) {
+    return Status::IOError("snapshot transformer/vocab size mismatch");
+  }
+  model->config_.arch = transformer.config();
+  model->model_ = std::make_unique<lm::Transformer>(std::move(transformer));
+  model->shuffle_rng_ = dimqr::Rng(
+      dimqr::Rng::DeriveSeed(model->config_.seed, "seq2seq-shuffle"));
+  return model;
 }
 
 lm::ChoiceAnswer Seq2SeqModel::AnswerChoice(

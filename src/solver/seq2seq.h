@@ -69,6 +69,19 @@ class Seq2SeqModel : public lm::Model {
       const Seq2SeqConfig& config,
       const std::vector<SeqExample>& vocab_extra = {});
 
+  /// \brief Adds this model to a snapshot as sections "<prefix>/meta",
+  /// "<prefix>/vocab", "<prefix>/transformer" (name, config, vocabulary,
+  /// weights + optimizer state; the retained training set is NOT packed).
+  dimqr::Status WriteSnapshot(snapshot::SnapshotWriter& writer,
+                              std::string_view prefix) const;
+
+  /// \brief Loads a model packed by WriteSnapshot under `prefix`. The
+  /// vocabulary and weights alias the mapping zero-copy (the snapshot is
+  /// kept alive by both). The training set is empty — call
+  /// ReplaceTrainingSet before any Train* method.
+  static dimqr::Result<std::unique_ptr<Seq2SeqModel>> FromSnapshot(
+      std::shared_ptr<const snapshot::Snapshot> snap, std::string_view prefix);
+
   /// \brief Swaps the retained training set (vocabulary and weights are
   /// kept) — the continued-fine-tuning path: train on DimEval, then
   /// ReplaceTrainingSet(MWP pairs) and keep training (Section V-B1).

@@ -1,0 +1,237 @@
+// The snapshot container contract: sections round-trip byte-exactly, read
+// paths alias the mapped bytes (zero-copy), serialization is deterministic,
+// and every corruption mode — truncation, bad magic, wrong version, flipped
+// CRC, out-of-bounds or misaligned section offsets — comes back as a clean
+// Status, never UB (the CI corruption job reruns this suite under
+// ASan/UBSan).
+
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dimqr::snapshot {
+namespace {
+
+struct PodRecord {
+  std::uint32_t a;
+  std::uint32_t b;
+  double weight;
+};
+static_assert(sizeof(PodRecord) == 16);
+
+std::vector<std::byte> MakeTestSnapshot() {
+  ArenaWriter arena;
+  PodRecord rec{7, 9, 2.5};
+  arena.PutPod(rec);
+  std::vector<std::uint64_t> values{10, 20, 30, 40, 50};
+  arena.PutArray(std::span<const std::uint64_t>(values));
+  arena.PutString("hello snapshot");
+
+  SnapshotWriter writer;
+  EXPECT_TRUE(writer.AddSection("alpha", std::move(arena)).ok());
+  EXPECT_TRUE(
+      writer
+          .AddSection("beta", std::vector<std::byte>(96, std::byte{0x5A}))
+          .ok());
+  return writer.Serialize();
+}
+
+TEST(SnapshotTest, RoundTripSections) {
+  std::vector<std::byte> bytes = MakeTestSnapshot();
+  auto snap = Snapshot::FromBytes(std::move(bytes));
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  const Snapshot& s = *snap.ValueOrDie();
+  EXPECT_TRUE(s.Has("alpha"));
+  EXPECT_TRUE(s.Has("beta"));
+  EXPECT_FALSE(s.Has("gamma"));
+
+  auto alpha = s.Section("alpha");
+  ASSERT_TRUE(alpha.ok());
+  ArenaReader reader(alpha.ValueOrDie());
+  auto rec = reader.GetPod<PodRecord>();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.ValueOrDie().a, 7u);
+  EXPECT_EQ(rec.ValueOrDie().b, 9u);
+  EXPECT_EQ(rec.ValueOrDie().weight, 2.5);
+  auto arr = reader.GetArray<std::uint64_t>();
+  ASSERT_TRUE(arr.ok());
+  ASSERT_EQ(arr.ValueOrDie().size(), 5u);
+  EXPECT_EQ(arr.ValueOrDie()[4], 50u);
+  auto str = reader.GetString();
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(str.ValueOrDie(), "hello snapshot");
+
+  auto beta = s.Section("beta");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(beta.ValueOrDie().size(), 96u);
+  EXPECT_EQ(beta.ValueOrDie()[0], std::byte{0x5A});
+}
+
+TEST(SnapshotTest, ReadsAliasTheMappedBytesZeroCopy) {
+  auto snap = Snapshot::FromBytes(MakeTestSnapshot());
+  ASSERT_TRUE(snap.ok());
+  const Snapshot& s = *snap.ValueOrDie();
+  std::span<const std::byte> whole = s.view().bytes();
+  auto alpha = s.Section("alpha");
+  ASSERT_TRUE(alpha.ok());
+  ArenaReader reader(alpha.ValueOrDie());
+  ASSERT_TRUE(reader.GetPod<PodRecord>().ok());
+  auto arr = reader.GetArray<std::uint64_t>();
+  ASSERT_TRUE(arr.ok());
+  // The span must point INTO the snapshot buffer: no copy was made.
+  const std::byte* lo = whole.data();
+  const std::byte* hi = whole.data() + whole.size();
+  const std::byte* p =
+      reinterpret_cast<const std::byte*>(arr.ValueOrDie().data());
+  EXPECT_GE(p, lo);
+  EXPECT_LT(p, hi);
+  // And it must satisfy the element type's alignment.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::uint64_t),
+            0u);
+}
+
+TEST(SnapshotTest, SerializeIsDeterministic) {
+  EXPECT_EQ(MakeTestSnapshot(), MakeTestSnapshot());
+}
+
+TEST(SnapshotTest, SectionsAre64ByteAligned) {
+  auto snap = Snapshot::FromBytes(MakeTestSnapshot());
+  ASSERT_TRUE(snap.ok());
+  const Snapshot& s = *snap.ValueOrDie();
+  const std::byte* base = s.view().bytes().data();
+  for (std::string_view name : s.view().SectionNames()) {
+    auto section = s.view().Section(name);
+    ASSERT_TRUE(section.ok());
+    EXPECT_EQ(static_cast<std::size_t>(section.ValueOrDie().data() - base) %
+                  kSectionAlign,
+              0u)
+        << "section " << name << " not 64-byte aligned";
+  }
+}
+
+TEST(SnapshotTest, RejectsTruncatedFile) {
+  std::vector<std::byte> bytes = MakeTestSnapshot();
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, sizeof(SnapshotHeader) - 1,
+        sizeof(SnapshotHeader), bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::byte> cut(bytes.begin(),
+                               bytes.begin() + static_cast<long>(keep));
+    auto snap = Snapshot::FromBytes(std::move(cut));
+    EXPECT_FALSE(snap.ok()) << "accepted a file truncated to " << keep;
+  }
+}
+
+TEST(SnapshotTest, RejectsBadMagic) {
+  std::vector<std::byte> bytes = MakeTestSnapshot();
+  bytes[0] = std::byte{'X'};
+  EXPECT_FALSE(Snapshot::FromBytes(std::move(bytes)).ok());
+}
+
+TEST(SnapshotTest, RejectsWrongVersion) {
+  std::vector<std::byte> bytes = MakeTestSnapshot();
+  SnapshotHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  header.version = kSnapshotVersion + 1;
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  EXPECT_FALSE(Snapshot::FromBytes(std::move(bytes)).ok());
+}
+
+TEST(SnapshotTest, RejectsFlippedPayloadByte) {
+  // Any single flipped bit in the payload must fail the CRC.
+  std::vector<std::byte> bytes = MakeTestSnapshot();
+  for (std::size_t pos : {sizeof(SnapshotHeader) + 3, bytes.size() - 2}) {
+    std::vector<std::byte> bad = bytes;
+    bad[pos] ^= std::byte{0x10};
+    EXPECT_FALSE(Snapshot::FromBytes(std::move(bad)).ok())
+        << "accepted a payload flip at byte " << pos;
+  }
+}
+
+TEST(SnapshotTest, RejectsTamperedSectionOffset) {
+  // Rewrite a section entry to point out of bounds / misaligned, then
+  // re-stamp the CRC so only the structural validation can catch it.
+  std::vector<std::byte> bytes = MakeTestSnapshot();
+  for (std::uint64_t evil_offset :
+       {std::uint64_t{1u << 30}, std::uint64_t{sizeof(SnapshotHeader) + 1}}) {
+    std::vector<std::byte> bad = bytes;
+    SectionEntry entry;
+    std::byte* entry_at = bad.data() + sizeof(SnapshotHeader);
+    std::memcpy(&entry, entry_at, sizeof(entry));
+    entry.payload_offset = evil_offset;
+    std::memcpy(entry_at, &entry, sizeof(entry));
+    SnapshotHeader header;
+    std::memcpy(&header, bad.data(), sizeof(header));
+    header.crc32 = Crc32(std::span<const std::byte>(bad).subspan(
+        sizeof(SnapshotHeader)));
+    std::memcpy(bad.data(), &header, sizeof(header));
+    EXPECT_FALSE(Snapshot::FromBytes(std::move(bad)).ok())
+        << "accepted section offset " << evil_offset;
+  }
+}
+
+TEST(SnapshotTest, ArenaReaderRejectsOverrunAndMisalignment) {
+  ArenaWriter arena;
+  arena.PutString("abc");
+  std::vector<std::byte> blob = std::move(arena).Take();
+  // Read past the declared contents.
+  ArenaReader reader{std::span<const std::byte>(blob)};
+  ASSERT_TRUE(reader.GetString().ok());
+  EXPECT_FALSE(reader.GetArray<std::uint64_t>().ok());
+  EXPECT_FALSE(reader.GetPod<PodRecord>().ok());
+  // A reader over a buffer too small for its own count prefix.
+  ArenaReader empty{std::span<const std::byte>(blob.data(), 3)};
+  EXPECT_FALSE(empty.GetArray<std::uint32_t>().ok());
+}
+
+TEST(SnapshotTest, MapRoundTripsThroughDisk) {
+  std::string path = ::testing::TempDir() + "snapshot_test_roundtrip.dqs";
+  std::vector<std::byte> bytes = MakeTestSnapshot();
+  SnapshotWriter writer;
+  ArenaWriter arena;
+  arena.PutString("on disk");
+  ASSERT_TRUE(writer.AddSection("alpha", std::move(arena)).ok());
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  auto snap = Snapshot::Map(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  auto alpha = snap.ValueOrDie()->Section("alpha");
+  ASSERT_TRUE(alpha.ok());
+  ArenaReader reader(alpha.ValueOrDie());
+  auto str = reader.GetString();
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(str.ValueOrDie(), "on disk");
+  EXPECT_EQ(snap.ValueOrDie()->path(), path);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MapRejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(Snapshot::Map("/nonexistent/dir/nope.dqs").ok());
+  std::string path = ::testing::TempDir() + "snapshot_test_corrupt.dqs";
+  std::vector<std::byte> bytes = MakeTestSnapshot();
+  bytes[sizeof(SnapshotHeader) + 1] ^= std::byte{0x01};
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(Snapshot::Map(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DuplicateSectionNameRejected) {
+  SnapshotWriter writer;
+  ASSERT_TRUE(
+      writer.AddSection("dup", std::vector<std::byte>(8, std::byte{1})).ok());
+  EXPECT_FALSE(
+      writer.AddSection("dup", std::vector<std::byte>(8, std::byte{2})).ok());
+  EXPECT_FALSE(writer.AddSection("", std::vector<std::byte>{}).ok());
+}
+
+}  // namespace
+}  // namespace dimqr::snapshot

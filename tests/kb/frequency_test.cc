@@ -7,8 +7,8 @@
 namespace dimqr::kb {
 namespace {
 
-UnitRecord UnitWithSignals(double gt, double hs, double cf) {
-  UnitRecord u;
+UnitDraft UnitWithSignals(double gt, double hs, double cf) {
+  UnitDraft u;
   u.popularity = {gt, hs, cf};
   return u;
 }
@@ -35,7 +35,7 @@ TEST(FrequencyTest, ZeroSignalsClampedNotInfinite) {
 }
 
 TEST(FrequencyTest, AssignNormalizesToDeltaOneRange) {
-  std::vector<UnitRecord> units = {UnitWithSignals(100, 100, 100),
+  std::vector<UnitDraft> units = {UnitWithSignals(100, 100, 100),
                                    UnitWithSignals(10, 10, 10),
                                    UnitWithSignals(1, 1, 1)};
   ASSERT_TRUE(AssignFrequencies(units).ok());
@@ -47,7 +47,7 @@ TEST(FrequencyTest, AssignNormalizesToDeltaOneRange) {
 }
 
 TEST(FrequencyTest, MonotoneInSignals) {
-  std::vector<UnitRecord> units;
+  std::vector<UnitDraft> units;
   for (double p : {1.0, 5.0, 25.0, 50.0, 100.0}) {
     units.push_back(UnitWithSignals(p, p, p));
   }
@@ -60,7 +60,7 @@ TEST(FrequencyTest, MonotoneInSignals) {
 TEST(FrequencyTest, LogIntermediateLandsBetweenByGeometry) {
   // With log scoring, the geometric midpoint maps to the arithmetic middle
   // of the normalized range: Freq = (1-d)*0.5 + d.
-  std::vector<UnitRecord> units = {UnitWithSignals(1, 1, 1),
+  std::vector<UnitDraft> units = {UnitWithSignals(1, 1, 1),
                                    UnitWithSignals(10, 10, 10),
                                    UnitWithSignals(100, 100, 100)};
   ASSERT_TRUE(AssignFrequencies(units).ok());
@@ -68,12 +68,12 @@ TEST(FrequencyTest, LogIntermediateLandsBetweenByGeometry) {
 }
 
 TEST(FrequencyTest, EmptyCollectionRejected) {
-  std::vector<UnitRecord> none;
+  std::vector<UnitDraft> none;
   EXPECT_EQ(AssignFrequencies(none).code(), StatusCode::kInvalidArgument);
 }
 
 TEST(FrequencyTest, DegenerateEqualScoresAllOne) {
-  std::vector<UnitRecord> units = {UnitWithSignals(5, 5, 5),
+  std::vector<UnitDraft> units = {UnitWithSignals(5, 5, 5),
                                    UnitWithSignals(5, 5, 5)};
   ASSERT_TRUE(AssignFrequencies(units).ok());
   EXPECT_DOUBLE_EQ(units[0].frequency, 1.0);
@@ -81,7 +81,7 @@ TEST(FrequencyTest, DegenerateEqualScoresAllOne) {
 }
 
 TEST(FrequencyTest, CustomDelta) {
-  std::vector<UnitRecord> units = {UnitWithSignals(1, 1, 1),
+  std::vector<UnitDraft> units = {UnitWithSignals(1, 1, 1),
                                    UnitWithSignals(100, 100, 100)};
   FrequencyWeights w;
   w.delta = 0.25;

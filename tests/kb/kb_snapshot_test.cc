@@ -1,0 +1,149 @@
+// Snapshot equivalence for the KB: a packed-and-reloaded DimUnitKB must be
+// observationally identical to the built one. Because Build(), LoadTsv()
+// and FromSnapshot() all route through one arena representation, this is
+// byte-identical by construction — these tests pin that construction.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/snapshot.h"
+#include "kb/kb.h"
+
+namespace dimqr::kb {
+namespace {
+
+const std::shared_ptr<const DimUnitKB>& BuiltKb() {
+  static const std::shared_ptr<const DimUnitKB> kKb =
+      DimUnitKB::Build().ValueOrDie();
+  return kKb;
+}
+
+std::shared_ptr<const DimUnitKB> SnapshotKb() {
+  static const std::shared_ptr<const DimUnitKB> kKb = [] {
+    snapshot::SnapshotWriter writer;
+    EXPECT_TRUE(BuiltKb()->WriteSnapshot(writer).ok());
+    auto snap = snapshot::Snapshot::FromBytes(writer.Serialize());
+    EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+    auto kb = DimUnitKB::FromSnapshot(snap.ValueOrDie());
+    EXPECT_TRUE(kb.ok()) << kb.status().ToString();
+    return kb.ValueOrDie();
+  }();
+  return kKb;
+}
+
+std::string SlurpTsv(const DimUnitKB& kb) {
+  std::string path = ::testing::TempDir() + "kb_snapshot_test.tsv";
+  EXPECT_TRUE(kb.SaveTsv(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  std::remove(path.c_str());
+  return out.str();
+}
+
+TEST(KbSnapshotTest, TsvExportIsByteIdentical) {
+  std::string built = SlurpTsv(*BuiltKb());
+  std::string loaded = SlurpTsv(*SnapshotKb());
+  ASSERT_FALSE(built.empty());
+  EXPECT_EQ(built, loaded);
+}
+
+TEST(KbSnapshotTest, StatsAndCatalogMatch) {
+  const DimUnitKB& a = *BuiltKb();
+  const DimUnitKB& b = *SnapshotKb();
+  KbStats sa = a.Stats();
+  KbStats sb = b.Stats();
+  EXPECT_EQ(sa.num_units, sb.num_units);
+  EXPECT_EQ(sa.num_quantity_kinds, sb.num_quantity_kinds);
+  EXPECT_EQ(sa.num_dimension_vectors, sb.num_dimension_vectors);
+  ASSERT_EQ(a.units().size(), b.units().size());
+  for (std::size_t i = 0; i < a.units().size(); ++i) {
+    EXPECT_EQ(a.units()[i].id, b.units()[i].id);
+    EXPECT_EQ(a.units()[i].conversion_value, b.units()[i].conversion_value);
+    EXPECT_EQ(a.units()[i].frequency, b.units()[i].frequency);
+  }
+}
+
+TEST(KbSnapshotTest, LookupsAndConversionsMatch) {
+  const DimUnitKB& a = *BuiltKb();
+  const DimUnitKB& b = *SnapshotKb();
+  for (const char* id : {"M", "KiloM", "MI", "SEC", "KiloGM", "W"}) {
+    UnitId ua = a.IdOf(id);
+    UnitId ub = b.IdOf(id);
+    ASSERT_TRUE(ua.valid()) << id;
+    EXPECT_EQ(ua.index(), ub.index()) << id;
+  }
+  auto fa = a.ConversionFactor(a.IdOf("MI"), a.IdOf("KiloM"));
+  auto fb = b.ConversionFactor(b.IdOf("MI"), b.IdOf("KiloM"));
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(fa.ValueOrDie(), fb.ValueOrDie());
+  for (const char* surface : {"km", "kilometers", "千克", "mph"}) {
+    auto sa = a.FindBySurface(surface);
+    auto sb = b.FindBySurface(surface);
+    ASSERT_EQ(sa.size(), sb.size()) << surface;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].index(), sb[i].index()) << surface;
+    }
+  }
+}
+
+TEST(KbSnapshotTest, SnapshotKbRecordsAliasTheMapping) {
+  // Proof of zero-copy: the snapshot-loaded KB's record strings point into
+  // the snapshot buffer, not into per-record allocations.
+  snapshot::SnapshotWriter writer;
+  ASSERT_TRUE(BuiltKb()->WriteSnapshot(writer).ok());
+  auto snap = snapshot::Snapshot::FromBytes(writer.Serialize());
+  ASSERT_TRUE(snap.ok());
+  std::span<const std::byte> bytes = snap.ValueOrDie()->view().bytes();
+  auto kb = DimUnitKB::FromSnapshot(snap.ValueOrDie());
+  ASSERT_TRUE(kb.ok());
+  const char* lo = reinterpret_cast<const char*>(bytes.data());
+  const char* hi = lo + bytes.size();
+  for (const UnitRecord& u : kb.ValueOrDie()->units()) {
+    ASSERT_GE(u.id.data(), lo);
+    ASSERT_LT(u.id.data(), hi);
+  }
+}
+
+TEST(KbSnapshotTest, FromSnapshotRejectsMissingSection) {
+  snapshot::SnapshotWriter writer;
+  ASSERT_TRUE(
+      writer
+          .AddSection("not-kb", std::vector<std::byte>(64, std::byte{0}))
+          .ok());
+  auto snap = snapshot::Snapshot::FromBytes(writer.Serialize());
+  ASSERT_TRUE(snap.ok());
+  EXPECT_FALSE(DimUnitKB::FromSnapshot(snap.ValueOrDie()).ok());
+}
+
+TEST(KbSnapshotTest, FromSnapshotRejectsTruncatedKbSection) {
+  // A structurally valid container whose "kb" payload is cut short must be
+  // rejected by the KB loader's own validation, with no UB.
+  snapshot::SnapshotWriter full;
+  ASSERT_TRUE(BuiltKb()->WriteSnapshot(full).ok());
+  auto good = snapshot::Snapshot::FromBytes(full.Serialize());
+  ASSERT_TRUE(good.ok());
+  auto section = good.ValueOrDie()->Section("kb");
+  ASSERT_TRUE(section.ok());
+  std::span<const std::byte> payload = section.ValueOrDie();
+  snapshot::SnapshotWriter clipped;
+  ASSERT_TRUE(clipped
+                  .AddSection("kb", std::vector<std::byte>(
+                                        payload.begin(),
+                                        payload.begin() +
+                                            static_cast<long>(
+                                                payload.size() / 2)))
+                  .ok());
+  auto snap = snapshot::Snapshot::FromBytes(clipped.Serialize());
+  ASSERT_TRUE(snap.ok());
+  EXPECT_FALSE(DimUnitKB::FromSnapshot(snap.ValueOrDie()).ok());
+}
+
+}  // namespace
+}  // namespace dimqr::kb

@@ -6,11 +6,6 @@
 #include <span>
 #include <unordered_set>
 
-// This file deliberately keeps exercising the deprecated string-keyed
-// shims (FindById, string ConversionFactor/UnitsOfKind) until they are
-// removed, so their behaviour stays pinned.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace dimqr::kb {
 namespace {
 
@@ -19,6 +14,11 @@ const DimUnitKB& Kb() {
   static const std::shared_ptr<const DimUnitKB> kKb =
       DimUnitKB::Build().ValueOrDie();
   return *kKb;
+}
+
+/// The record of a UnitID that must exist.
+const UnitRecord& Rec(std::string_view id) {
+  return Kb().Get(Kb().ResolveId(id).ValueOrDie());
 }
 
 TEST(DimUnitKBTest, BuildsWithoutErrors) {
@@ -39,7 +39,7 @@ TEST(DimUnitKBTest, ReachesTableIvScale) {
 TEST(DimUnitKBTest, UniqueIds) {
   std::unordered_set<std::string> ids;
   for (const UnitRecord& u : Kb().units()) {
-    EXPECT_TRUE(ids.insert(u.id).second) << "duplicate id " << u.id;
+    EXPECT_TRUE(ids.insert(std::string(u.id)).second) << "duplicate id " << u.id;
   }
 }
 
@@ -78,28 +78,28 @@ TEST(DimUnitKBTest, FrequenciesInPaperRange) {
   }
 }
 
-TEST(DimUnitKBTest, FindById) {
-  const UnitRecord* m = Kb().FindById("M").ValueOrDie();
-  EXPECT_EQ(m->label_en, "metre");
-  EXPECT_EQ(m->label_zh, "米");
-  EXPECT_EQ(m->dimension, dims::Length());
-  EXPECT_FALSE(Kb().FindById("NO_SUCH_UNIT").ok());
+TEST(DimUnitKBTest, ResolveIdAndGet) {
+  const UnitRecord& m = Rec("M");
+  EXPECT_EQ(m.label_en, "metre");
+  EXPECT_EQ(m.label_zh, "米");
+  EXPECT_EQ(m.dimension, dims::Length());
+  EXPECT_FALSE(Kb().ResolveId("NO_SUCH_UNIT").ok());
 }
 
 TEST(DimUnitKBTest, PrefixExpansionProducesKilometre) {
-  const UnitRecord* km = Kb().FindById("KiloM").ValueOrDie();
-  EXPECT_EQ(km->label_en, "kilometre");
-  EXPECT_EQ(km->label_zh, "千米");
-  EXPECT_EQ(km->origin, UnitOrigin::kPrefixExpanded);
-  EXPECT_DOUBLE_EQ(km->conversion_value, 1000.0);
-  ASSERT_TRUE(km->exact_conversion.has_value());
-  EXPECT_EQ(*km->exact_conversion, Rational(1000));
+  const UnitRecord& km = Rec("KiloM");
+  EXPECT_EQ(km.label_en, "kilometre");
+  EXPECT_EQ(km.label_zh, "千米");
+  EXPECT_EQ(km.origin, UnitOrigin::kPrefixExpanded);
+  EXPECT_DOUBLE_EQ(km.conversion_value, 1000.0);
+  ASSERT_TRUE(km.exact_conversion.has_value());
+  EXPECT_EQ(*km.exact_conversion, Rational(1000));
   // Symbol composition: "k" + "m".
-  ASSERT_FALSE(km->symbols.empty());
-  EXPECT_EQ(km->symbols[0], "km");
+  ASSERT_FALSE(km.symbols.empty());
+  EXPECT_EQ(km.symbols[0], "km");
   // Alias composition: "kilo" + "meter".
   bool has_kilometer = false;
-  for (const std::string& a : km->aliases) {
+  for (std::string_view a : km.aliases) {
     if (a == "kilometer") has_kilometer = true;
   }
   EXPECT_TRUE(has_kilometer);
@@ -107,36 +107,41 @@ TEST(DimUnitKBTest, PrefixExpansionProducesKilometre) {
 
 TEST(DimUnitKBTest, PaperFig1UnitsPresent) {
   // Fig. 1 hinges on poundal (LMT-2) vs dyn/cm (MT-2).
-  const UnitRecord* poundal = Kb().FindById("POUNDAL").ValueOrDie();
-  EXPECT_EQ(poundal->dimension.ToFormula(), "LMT-2");
-  const UnitRecord* dyn_cm = Kb().FindById("DYN-PER-CentiM").ValueOrDie();
-  EXPECT_EQ(dyn_cm->dimension.ToFormula(), "MT-2");
-  EXPECT_EQ(dyn_cm->dimension.ToVectorForm(), "A0E0L0I0M1H0T-2D0");
-  EXPECT_FALSE(poundal->dimension.ComparableWith(dyn_cm->dimension));
+  const UnitRecord& poundal = Rec("POUNDAL");
+  EXPECT_EQ(poundal.dimension.ToFormula(), "LMT-2");
+  const UnitRecord& dyn_cm = Rec("DYN-PER-CentiM");
+  EXPECT_EQ(dyn_cm.dimension.ToFormula(), "MT-2");
+  EXPECT_EQ(dyn_cm.dimension.ToVectorForm(), "A0E0L0I0M1H0T-2D0");
+  EXPECT_FALSE(poundal.dimension.ComparableWith(dyn_cm.dimension));
 }
 
 TEST(DimUnitKBTest, PaperTableIGillPerHourPresent) {
-  const UnitRecord* gill_h = Kb().FindById("GILL_US-PER-HR").ValueOrDie();
-  EXPECT_EQ(gill_h->dimension.ToFormula(), "L3T-1");
-  EXPECT_EQ(gill_h->quantity_kind, "VolumeFlowRate");
+  const UnitRecord& gill_h = Rec("GILL_US-PER-HR");
+  EXPECT_EQ(gill_h.dimension.ToFormula(), "L3T-1");
+  EXPECT_EQ(gill_h.quantity_kind, "VolumeFlowRate");
 }
 
 TEST(DimUnitKBTest, CompoundConversionIsExact) {
   // km/h -> m/s is exactly 5/18.
-  const UnitRecord* kmh = Kb().FindById("KiloM-PER-HR").ValueOrDie();
-  const UnitRecord* ms = Kb().FindById("M-PER-SEC").ValueOrDie();
-  double factor = kmh->Semantics()
-                      .ConversionFactorTo(ms->Semantics())
-                      .ValueOrDie();
+  const UnitRecord& kmh = Rec("KiloM-PER-HR");
+  const UnitRecord& ms = Rec("M-PER-SEC");
+  double factor =
+      kmh.Semantics().ConversionFactorTo(ms.Semantics()).ValueOrDie();
   EXPECT_DOUBLE_EQ(factor, 5.0 / 18.0);
-  ASSERT_TRUE(kmh->exact_conversion.has_value());
-  EXPECT_EQ(*kmh->exact_conversion, Rational::Of(5, 18).ValueOrDie());
+  ASSERT_TRUE(kmh.exact_conversion.has_value());
+  EXPECT_EQ(*kmh.exact_conversion, Rational::Of(5, 18).ValueOrDie());
 }
 
-TEST(DimUnitKBTest, ConversionFactorByIds) {
-  EXPECT_DOUBLE_EQ(Kb().ConversionFactor("KiloM", "M").ValueOrDie(), 1000.0);
-  EXPECT_DOUBLE_EQ(Kb().ConversionFactor("IN", "CentiM").ValueOrDie(), 2.54);
-  EXPECT_EQ(Kb().ConversionFactor("KiloM", "SEC").status().code(),
+TEST(DimUnitKBTest, ConversionFactorByResolvedIds) {
+  EXPECT_DOUBLE_EQ(
+      Kb().ConversionFactor(Kb().IdOf("KiloM"), Kb().IdOf("M")).ValueOrDie(),
+      1000.0);
+  EXPECT_DOUBLE_EQ(
+      Kb().ConversionFactor(Kb().IdOf("IN"), Kb().IdOf("CentiM")).ValueOrDie(),
+      2.54);
+  EXPECT_EQ(Kb().ConversionFactor(Kb().IdOf("KiloM"), Kb().IdOf("SEC"))
+                .status()
+                .code(),
             StatusCode::kDimensionMismatch);
 }
 
@@ -211,9 +216,10 @@ TEST(DimUnitKBTest, UnitsOfDimensionForce) {
 }
 
 TEST(DimUnitKBTest, UnitsOfKind) {
-  std::span<const UnitId> vel = Kb().UnitsOfKind("Velocity");
+  std::span<const UnitId> vel = Kb().UnitsOfKind(Kb().KindIdOf("Velocity"));
   EXPECT_GE(vel.size(), 30u);  // 13x5 compounds + knot + mach + c
-  EXPECT_TRUE(Kb().UnitsOfKind("NoSuchKind").empty());
+  EXPECT_FALSE(Kb().KindIdOf("NoSuchKind").valid());
+  EXPECT_TRUE(Kb().UnitsOfKind(Kb().KindIdOf("NoSuchKind")).empty());
   EXPECT_TRUE(Kb().UnitsOfKind(KindId()).empty());
   // KindIdOf aligns with the registry record order.
   KindId velocity = Kb().KindIdOf("Velocity");
@@ -269,14 +275,14 @@ TEST(DimUnitKBTest, FrequencyRankingPutsCommonUnitsFirst) {
   std::vector<UnitId> ranked = Kb().UnitsByFrequency();
   ASSERT_GT(ranked.size(), 100u);
   std::unordered_set<std::string> top50;
-  for (std::size_t i = 0; i < 50; ++i) top50.insert(Kb().Get(ranked[i]).id);
+  for (std::size_t i = 0; i < 50; ++i) {
+    top50.insert(std::string(Kb().Get(ranked[i]).id));
+  }
   EXPECT_TRUE(top50.contains("M") || top50.contains("SEC") ||
               top50.contains("HR"))
       << "everyday units missing from the top of the ranking";
   // The paper's motivating contrast: metre is frequent, decimetre rare.
-  const UnitRecord* metre = Kb().FindById("M").ValueOrDie();
-  const UnitRecord* decimetre = Kb().FindById("DeciM").ValueOrDie();
-  EXPECT_GT(metre->frequency, decimetre->frequency);
+  EXPECT_GT(Rec("M").frequency, Rec("DeciM").frequency);
 }
 
 TEST(DimUnitKBTest, KindsByFrequencyRanked) {
@@ -289,7 +295,7 @@ TEST(DimUnitKBTest, KindsByFrequencyRanked) {
   // Everyday kinds near the top (Fig. 4 shape): Length/Time/Mass in top 14.
   std::unordered_set<std::string> top14;
   for (std::size_t i = 0; i < 14 && i < kinds.size(); ++i) {
-    top14.insert(Kb().GetKind(kinds[i].first).name);
+    top14.insert(std::string(Kb().GetKind(kinds[i].first).name));
   }
   EXPECT_TRUE(top14.contains("Length"));
   EXPECT_TRUE(top14.contains("Time"));
@@ -302,12 +308,11 @@ TEST(DimUnitKBTest, BilingualCoverage) {
 }
 
 TEST(DimUnitKBTest, AffineTemperatureUnits) {
-  const UnitRecord* celsius = Kb().FindById("DEG_C").ValueOrDie();
-  EXPECT_DOUBLE_EQ(celsius->conversion_offset, 273.15);
-  Quantity q(25.0, celsius->Semantics());
+  const UnitRecord& celsius = Rec("DEG_C");
+  EXPECT_DOUBLE_EQ(celsius.conversion_offset, 273.15);
+  Quantity q(25.0, celsius.Semantics());
   EXPECT_DOUBLE_EQ(q.SiValue(), 298.15);
-  const UnitRecord* fahrenheit = Kb().FindById("DEG_F").ValueOrDie();
-  Quantity f(212.0, fahrenheit->Semantics());
+  Quantity f(212.0, Rec("DEG_F").Semantics());
   EXPECT_NEAR(f.SiValue(), 373.15, 1e-9);
 }
 
@@ -325,7 +330,10 @@ TEST(DimUnitKBTest, TsvRoundTrip) {
     const UnitRecord& b = kb2.units()[i];
     EXPECT_EQ(a.id, b.id);
     EXPECT_EQ(a.label_zh, b.label_zh);
-    EXPECT_EQ(a.symbols, b.symbols);
+    ASSERT_EQ(a.symbols.size(), b.symbols.size());
+    for (std::size_t j = 0; j < a.symbols.size(); ++j) {
+      EXPECT_EQ(a.symbols[j], b.symbols[j]);
+    }
     EXPECT_EQ(a.dimension, b.dimension);
     EXPECT_DOUBLE_EQ(a.conversion_value, b.conversion_value);
     EXPECT_EQ(a.exact_conversion.has_value(), b.exact_conversion.has_value());
@@ -356,7 +364,7 @@ TEST(DimUnitKBTest, TsvRoundTripRebuildsIdenticalInternedIndexes) {
     // ID lookup lands on the same handle in both KBs.
     EXPECT_EQ(kb2.IdOf(a.id), Kb().IdOf(a.id)) << a.id;
     // Surface postings agree handle-for-handle (same order, same ids).
-    for (const std::string& surface : a.SurfaceForms()) {
+    for (std::string_view surface : a.SurfaceForms()) {
       if (surface.empty()) continue;
       std::span<const UnitId> sa = Kb().FindBySurface(surface);
       std::span<const UnitId> sb = kb2.FindBySurface(surface);
@@ -375,8 +383,8 @@ TEST(DimUnitKBTest, TsvRoundTripRebuildsIdenticalInternedIndexes) {
   std::span<const UnitId> db = kb2.UnitsOfDimension(dims::Force());
   ASSERT_EQ(da.size(), db.size());
   for (std::size_t j = 0; j < da.size(); ++j) EXPECT_EQ(da[j], db[j]);
-  std::span<const UnitId> va = Kb().UnitsOfKind("Velocity");
-  std::span<const UnitId> vb = kb2.UnitsOfKind("Velocity");
+  std::span<const UnitId> va = Kb().UnitsOfKind(Kb().KindIdOf("Velocity"));
+  std::span<const UnitId> vb = kb2.UnitsOfKind(kb2.KindIdOf("Velocity"));
   ASSERT_EQ(va.size(), vb.size());
   for (std::size_t j = 0; j < va.size(); ++j) EXPECT_EQ(va[j], vb[j]);
   // Memoized conversion tables produce identical factors.
@@ -403,7 +411,8 @@ class KbConversionSweep : public ::testing::TestWithParam<ConvCase> {};
 
 TEST_P(KbConversionSweep, FactorMatches) {
   const ConvCase& c = GetParam();
-  double f = Kb().ConversionFactor(c.from, c.to).ValueOrDie();
+  double f =
+      Kb().ConversionFactor(Kb().IdOf(c.from), Kb().IdOf(c.to)).ValueOrDie();
   EXPECT_NEAR(f, c.factor, 1e-6 * c.factor) << c.from << " -> " << c.to;
 }
 

@@ -23,7 +23,7 @@ const AnnotatorWorld& World() {
 const DimKsAnnotator& Annotator() { return *World().annotator; }
 
 /// The UnitID string behind an annotation's interned handle.
-const std::string& IdOf(UnitId unit) { return World().kb->Get(unit).id; }
+std::string_view IdOf(UnitId unit) { return World().kb->Get(unit).id; }
 
 TEST(AnnotatorTest, PaperIntroSentence) {
   // "LeBron James's height is 2.06 meters and Stephen Curry's height is

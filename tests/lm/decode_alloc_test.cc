@@ -17,6 +17,7 @@
 #include <new>
 #include <vector>
 
+#include "core/snapshot.h"
 #include "lm/transformer.h"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
@@ -130,6 +131,35 @@ TEST(DecodeAllocTest, RebindSameGeometryKeepsBuffers) {
   state.Bind(model.config());  // identical geometry: must be a no-op
   const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u);
+#endif
+}
+
+TEST(DecodeAllocTest, SnapshotWeightLoadAllocatesConstant) {
+#if !DIMQR_COUNTING_ALLOCATOR
+  GTEST_SKIP() << "counting allocator disabled under sanitizers";
+#else
+  // Zero-copy claim, measured: loading a Transformer from an arena must
+  // alias the weights, so the allocation count is a small constant (layout
+  // bookkeeping) regardless of parameter count — never O(parameters).
+  Transformer model = Transformer::Create(AllocTestConfig()).ValueOrDie();
+  snapshot::ArenaWriter arena;
+  model.WriteTo(arena);
+  const std::vector<std::byte> blob = std::move(arena).Take();
+  // Warm-up load so any lazy one-time work is behind us.
+  {
+    snapshot::ArenaReader reader{std::span<const std::byte>(blob)};
+    ASSERT_TRUE(Transformer::FromArena(reader).ok());
+  }
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  snapshot::ArenaReader reader{std::span<const std::byte>(blob)};
+  auto loaded = Transformer::FromArena(reader);
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.ValueOrDie().borrowed());
+  EXPECT_GT(loaded.ValueOrDie().num_parameters(), 1000u);
+  EXPECT_LT(after - before, 32u)
+      << (after - before)
+      << " allocations loading snapshot weights (expected a small constant)";
 #endif
 }
 

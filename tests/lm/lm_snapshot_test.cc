@@ -1,0 +1,219 @@
+// Snapshot equivalence for the LM artifacts: a Vocab, Transformer or
+// NgramMaskedLm written to an arena and read back (through the container,
+// so CRC and section plumbing are in the loop) must behave bit-for-bit
+// like the original — same ids, same logits, same masked predictions —
+// while the read side aliases the snapshot bytes instead of copying them.
+// Also pins the mutate-after-load contract: training a snapshot-backed
+// Transformer detaches it onto owned storage first.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "lm/ngram_lm.h"
+#include "lm/transformer.h"
+#include "lm/vocab.h"
+
+namespace dimqr::lm {
+namespace {
+
+/// Packs one WriteTo-style payload into a single-section container and
+/// reopens it, so every round trip exercises the real file format.
+template <typename WriteFn>
+std::shared_ptr<const snapshot::Snapshot> RoundTrip(WriteFn&& write) {
+  snapshot::ArenaWriter arena;
+  write(arena);
+  snapshot::SnapshotWriter writer;
+  EXPECT_TRUE(writer.AddSection("payload", std::move(arena)).ok());
+  auto snap = snapshot::Snapshot::FromBytes(writer.Serialize());
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  return snap.ValueOrDie();
+}
+
+snapshot::ArenaReader PayloadReader(
+    const std::shared_ptr<const snapshot::Snapshot>& snap) {
+  auto section = snap->Section("payload");
+  EXPECT_TRUE(section.ok());
+  return snapshot::ArenaReader(section.ValueOrDie());
+}
+
+TEST(LmSnapshotTest, VocabRoundTripPreservesIdsBothWays) {
+  std::vector<std::vector<std::string>> texts = {
+      {"convert", "12", "km", "to", "miles"},
+      {"km", "per", "hour", "km", "speed"},
+  };
+  Vocab original = Vocab::Build(texts, /*min_count=*/1, /*max_size=*/100);
+  auto snap = RoundTrip([&](snapshot::ArenaWriter& w) { original.WriteTo(w); });
+  snapshot::ArenaReader reader = PayloadReader(snap);
+  auto loaded = Vocab::FromArena(reader, snap);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Vocab& v = loaded.ValueOrDie();
+  ASSERT_EQ(v.size(), original.size());
+  for (std::size_t id = 0; id < original.size(); ++id) {
+    EXPECT_EQ(v.TokenOf(static_cast<int>(id)),
+              original.TokenOf(static_cast<int>(id)));
+  }
+  for (const auto& sentence : texts) {
+    for (const std::string& token : sentence) {
+      EXPECT_EQ(v.Id(token), original.Id(token)) << token;
+    }
+  }
+  EXPECT_EQ(v.Id("never-seen-token"), SpecialTokens::kUnk);
+}
+
+TEST(LmSnapshotTest, VocabFromArenaRejectsMissingSpecials) {
+  // An arena holding a symbol table WITHOUT the special tokens at the
+  // front is not a vocab; FromArena must say so, not misbehave later.
+  SymbolTable syms;
+  syms.Intern("just");
+  syms.Intern("words");
+  auto snap = RoundTrip([&](snapshot::ArenaWriter& w) { syms.WriteTo(w); });
+  snapshot::ArenaReader reader = PayloadReader(snap);
+  EXPECT_FALSE(Vocab::FromArena(reader, snap).ok());
+}
+
+TransformerConfig SmallConfig() {
+  TransformerConfig c;
+  c.vocab_size = 32;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_layers = 2;
+  c.d_ff = 32;
+  c.max_seq = 24;
+  c.seed = 5;
+  return c;
+}
+
+std::vector<float> LogitsOf(const Transformer& model,
+                            const std::vector<int>& prompt) {
+  DecodeState state;
+  state.Bind(model.config());
+  EXPECT_TRUE(model.Prefill(prompt, state).ok());
+  return std::vector<float>(state.logits().begin(), state.logits().end());
+}
+
+TEST(LmSnapshotTest, TransformerRoundTripIsBitIdentical) {
+  Transformer original = Transformer::Create(SmallConfig()).ValueOrDie();
+  LmExample example;
+  example.tokens = {1, 7, 8, 9, 2};
+  example.loss_mask = {0, 1, 1, 1, 1};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(original.TrainBatch({example}, 1e-3).ok());
+  }
+
+  auto snap =
+      RoundTrip([&](snapshot::ArenaWriter& w) { original.WriteTo(w); });
+  snapshot::ArenaReader reader = PayloadReader(snap);
+  auto loaded = Transformer::FromArena(reader, snap);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Transformer& model = loaded.ValueOrDie();
+  EXPECT_TRUE(model.borrowed());
+  EXPECT_EQ(model.num_parameters(), original.num_parameters());
+
+  const std::vector<int> prompt = {1, 7, 8};
+  std::vector<float> want = LogitsOf(original, prompt);
+  std::vector<float> got = LogitsOf(model, prompt);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i]) << "logit " << i << " differs";
+  }
+}
+
+TEST(LmSnapshotTest, TransformerWeightsAliasSnapshotUntilTrained) {
+  Transformer original = Transformer::Create(SmallConfig()).ValueOrDie();
+  auto snap =
+      RoundTrip([&](snapshot::ArenaWriter& w) { original.WriteTo(w); });
+  snapshot::ArenaReader reader = PayloadReader(snap);
+  Transformer model =
+      Transformer::FromArena(reader, snap).ValueOrDie();
+  ASSERT_TRUE(model.borrowed());
+
+  // Training must transparently detach onto owned storage and still match
+  // the same training step applied to the always-owned original.
+  LmExample example;
+  example.tokens = {1, 10, 11, 2};
+  example.loss_mask = {0, 1, 1, 1};
+  auto loss_owned = original.TrainBatch({example}, 1e-3);
+  auto loss_snap = model.TrainBatch({example}, 1e-3);
+  ASSERT_TRUE(loss_owned.ok());
+  ASSERT_TRUE(loss_snap.ok());
+  EXPECT_FALSE(model.borrowed());
+  EXPECT_EQ(loss_owned.ValueOrDie(), loss_snap.ValueOrDie());
+
+  const std::vector<int> prompt = {1, 10};
+  std::vector<float> want = LogitsOf(original, prompt);
+  std::vector<float> got = LogitsOf(model, prompt);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << "post-train logit " << i << " differs";
+  }
+}
+
+TEST(LmSnapshotTest, TransformerFromArenaRejectsShortWeights) {
+  Transformer original = Transformer::Create(SmallConfig()).ValueOrDie();
+  snapshot::ArenaWriter arena;
+  original.WriteTo(arena);
+  std::vector<std::byte> blob = std::move(arena).Take();
+  // Clip the arena so the last weight array runs off the end.
+  std::span<const std::byte> clipped(blob.data(), blob.size() - 64);
+  snapshot::ArenaReader reader(clipped);
+  EXPECT_FALSE(Transformer::FromArena(reader).ok());
+}
+
+TEST(LmSnapshotTest, NgramRoundTripPredictsIdentically) {
+  std::vector<std::vector<std::string>> sentences = {
+      {"the", "car", "drove", "12", "km", "north"},
+      {"the", "train", "covered", "300", "km", "today"},
+      {"a", "car", "needs", "40", "litres", "of", "fuel"},
+  };
+  NgramMaskedLm original = NgramMaskedLm::Train(sentences).ValueOrDie();
+  auto snap =
+      RoundTrip([&](snapshot::ArenaWriter& w) { original.WriteTo(w); });
+  snapshot::ArenaReader reader = PayloadReader(snap);
+  auto loaded = NgramMaskedLm::FromArena(reader, snap);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const NgramMaskedLm& lm = loaded.ValueOrDie();
+  EXPECT_EQ(lm.vocab_size(), original.vocab_size());
+
+  for (const auto& [left, right] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"the", "drove"}, {"car", ""}, {"", "km"}, {"40", "of"}}) {
+    auto want = original.PredictMasked(left, right, /*top_k=*/5);
+    auto got = lm.PredictMasked(left, right, /*top_k=*/5);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].first, got[i].first);
+      EXPECT_EQ(want[i].second, got[i].second)
+          << "score for '" << want[i].first << "' differs";
+    }
+  }
+  EXPECT_EQ(original.NumericLikelihood("drove", "km"),
+            lm.NumericLikelihood("drove", "km"));
+}
+
+TEST(LmSnapshotTest, NgramFromArenaRejectsCorruptBigrams) {
+  std::vector<std::vector<std::string>> sentences = {
+      {"one", "two", "three", "two", "one"}};
+  NgramMaskedLm original = NgramMaskedLm::Train(sentences).ValueOrDie();
+  snapshot::ArenaWriter arena;
+  original.WriteTo(arena);
+  std::vector<std::byte> blob = std::move(arena).Take();
+  // Flip a byte in the tail of the arena (bigram key region): the loader's
+  // monotonicity / id-range validation must reject it cleanly.
+  bool rejected = false;
+  for (std::size_t back = 8; back <= 128 && !rejected; back += 8) {
+    if (back > blob.size()) break;
+    std::vector<std::byte> bad = blob;
+    bad[bad.size() - back] ^= std::byte{0xFF};
+    snapshot::ArenaReader reader{std::span<const std::byte>(bad)};
+    rejected = !NgramMaskedLm::FromArena(reader).ok();
+  }
+  EXPECT_TRUE(rejected)
+      << "no tail-byte corruption was caught by FromArena validation";
+}
+
+}  // namespace
+}  // namespace dimqr::lm

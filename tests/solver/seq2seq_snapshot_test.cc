@@ -1,0 +1,109 @@
+// Snapshot round trip for the full Seq2SeqModel (vocab + transformer +
+// training meta, three prefixed sections): a reloaded model must decode
+// bit-for-bit like the original, refuse to train without a training set,
+// and train normally once one is supplied.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "solver/seq2seq.h"
+
+namespace dimqr::solver {
+namespace {
+
+Seq2SeqConfig SnapTestConfig() {
+  Seq2SeqConfig config;
+  config.arch.d_model = 32;
+  config.arch.n_heads = 2;
+  config.arch.n_layers = 2;
+  config.arch.d_ff = 96;
+  config.arch.max_seq = 96;
+  config.batch_size = 4;
+  config.learning_rate = 2e-3;
+  config.max_generated_tokens = 16;
+  return config;
+}
+
+std::vector<SeqExample> TinyTrainingSet() {
+  std::vector<SeqExample> train;
+  for (int i = 0; i < 12; ++i) {
+    SeqExample ex;
+    ex.input = "convert " + std::to_string(i) + " km to m";
+    ex.middle = "multiply by 1000";
+    ex.answer = std::to_string(i * 1000);
+    train.push_back(ex);
+  }
+  return train;
+}
+
+std::unique_ptr<Seq2SeqModel> TrainedModel() {
+  auto model =
+      Seq2SeqModel::Create("SnapTest", TinyTrainingSet(), SnapTestConfig())
+          .ValueOrDie();
+  EXPECT_TRUE(model->TrainEpochs(1).ok());
+  return model;
+}
+
+std::shared_ptr<const snapshot::Snapshot> PackModel(
+    const Seq2SeqModel& model) {
+  snapshot::SnapshotWriter writer;
+  EXPECT_TRUE(model.WriteSnapshot(writer, "solver").ok());
+  auto snap = snapshot::Snapshot::FromBytes(writer.Serialize());
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  return snap.ValueOrDie();
+}
+
+TEST(Seq2SeqSnapshotTest, RoundTripGeneratesIdentically) {
+  std::unique_ptr<Seq2SeqModel> original = TrainedModel();
+  auto snap = PackModel(*original);
+  auto loaded = Seq2SeqModel::FromSnapshot(snap, "solver");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const char* prompt :
+       {"convert 3 km to m", "convert 7 km to m", "what is 5 km"}) {
+    auto want = original->Generate(std::string(prompt), false);
+    auto got = loaded.ValueOrDie()->Generate(std::string(prompt), false);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(want.ValueOrDie().middle, got.ValueOrDie().middle) << prompt;
+    EXPECT_EQ(want.ValueOrDie().answer, got.ValueOrDie().answer) << prompt;
+  }
+}
+
+TEST(Seq2SeqSnapshotTest, LoadedModelRefusesToTrainWithoutData) {
+  auto snap = PackModel(*TrainedModel());
+  auto loaded = Seq2SeqModel::FromSnapshot(snap, "solver");
+  ASSERT_TRUE(loaded.ok());
+  // The training set is deliberately not packed; training must fail with a
+  // clean status until ReplaceTrainingSet supplies one.
+  EXPECT_FALSE(loaded.ValueOrDie()->TrainSteps(1).ok());
+  ASSERT_TRUE(
+      loaded.ValueOrDie()->ReplaceTrainingSet(TinyTrainingSet()).ok());
+  EXPECT_TRUE(loaded.ValueOrDie()->TrainSteps(1).ok());
+}
+
+TEST(Seq2SeqSnapshotTest, FromSnapshotRejectsWrongPrefixAndMissingParts) {
+  auto snap = PackModel(*TrainedModel());
+  EXPECT_FALSE(Seq2SeqModel::FromSnapshot(snap, "other").ok());
+
+  // A container with the meta section only (vocab/transformer missing).
+  auto meta = snap->Section("solver/meta");
+  ASSERT_TRUE(meta.ok());
+  snapshot::SnapshotWriter partial;
+  ASSERT_TRUE(partial
+                  .AddSection("solver/meta",
+                              std::vector<std::byte>(
+                                  meta.ValueOrDie().begin(),
+                                  meta.ValueOrDie().end()))
+                  .ok());
+  auto partial_snap = snapshot::Snapshot::FromBytes(partial.Serialize());
+  ASSERT_TRUE(partial_snap.ok());
+  EXPECT_FALSE(
+      Seq2SeqModel::FromSnapshot(partial_snap.ValueOrDie(), "solver").ok());
+}
+
+}  // namespace
+}  // namespace dimqr::solver
