@@ -38,10 +38,27 @@ namespace {
 
 using namespace dimqr;
 
+// Exit codes are part of the CLI contract so wrapper scripts can branch on
+// the failure class (run_benches.sh does): 1 = other failure (bad magic,
+// unsupported version, build error), 2 = usage, 3 = filesystem I/O error
+// (missing/unreadable file), 4 = corruption (CRC mismatch, truncation,
+// out-of-bounds sections — anything kDataLoss).
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIOError = 3;
+constexpr int kExitCorrupt = 4;
+
 int Fail(const Status& status, const char* what) {
   std::fprintf(stderr, "dimqr_snapshot: %s: %s\n", what,
                status.ToString().c_str());
-  return 1;
+  switch (status.code()) {
+    case StatusCode::kIOError:
+      return kExitIOError;
+    case StatusCode::kDataLoss:
+      return kExitCorrupt;
+    default:
+      return kExitFailure;
+  }
 }
 
 int Pack(const std::string& out_path) {
@@ -166,7 +183,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: %s pack|verify|info <snapshot.dqs>\n"
-               "       %s resident <snapshot.dqs> [hold_ms]\n",
+               "       %s resident <snapshot.dqs> [hold_ms]\n"
+               "exit codes: 0 ok, 1 other failure, 2 usage, 3 I/O error, "
+               "4 corrupt snapshot\n",
                argv[0], argv[0]);
-  return 2;
+  return kExitUsage;
 }

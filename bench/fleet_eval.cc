@@ -1,0 +1,81 @@
+// Crash-tolerant multi-process table reproduction: builds the Table VII or
+// Table VIII models once in the parent, then fans the (model, task) grid
+// out over a supervised fleet of forked workers (eval/fleet.h). Workers
+// inherit the trained models — and any mmap-ed snapshot — copy-on-write,
+// so N workers share one physical model image; a worker killed mid-shard
+// (or by injected chaos, DIMQR_FAULTS="fleet.worker:<p>:sigkill") is
+// restarted with backoff and its shard resumes from the per-shard journal.
+//
+//   fleet_eval --table=07|08 [--workers=N] [--journal-dir=DIR]
+//              [--snapshot=FILE.dqs]
+//
+// --workers defaults to DIMQR_WORKERS (1 when unset). The printed table is
+// byte-identical to the corresponding single-process binary at any worker
+// count and crash pattern — the fleet-chaos CI job diffs exactly that. The
+// supervision counters go to stderr as "[fleet] workers=... crashes=..."
+// so chaos runs can assert the injected faults actually bit.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "bench/common.h"
+#include "bench/dimeval_tables.h"
+#include "eval/fleet.h"
+
+int main(int argc, char** argv) {
+  using namespace dimqr;
+  benchutil::InitFromArgs(argc, argv);
+
+  std::string table;
+  eval::FleetEvalOptions options;
+  options.workers = eval::WorkersFromEnv();
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--table=", 0) == 0) {
+      table = std::string(arg.substr(8));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options.workers = std::atoi(std::string(arg.substr(10)).c_str());
+    } else if (arg.rfind("--journal-dir=", 0) == 0) {
+      options.journal_dir = std::string(arg.substr(14));
+    } else if (arg.rfind("--heartbeat-timeout-ms=", 0) == 0) {
+      options.supervisor.heartbeat_timeout_ms =
+          std::atoi(std::string(arg.substr(23)).c_str());
+    } else {
+      std::cerr << "fleet_eval: unknown argument '" << arg
+                << "' (supported: --table=07|08 --workers=N "
+                   "--journal-dir=DIR --heartbeat-timeout-ms=MS)\n";
+      return 1;
+    }
+  }
+  if (table != "07" && table != "08") {
+    std::cerr << "fleet_eval: --table=07 or --table=08 is required\n";
+    return 1;
+  }
+  if (options.workers < 1) {
+    std::cerr << "fleet_eval: --workers must be >= 1\n";
+    return 1;
+  }
+
+  const dimeval::DimEvalBenchmark& bench = benchutil::GetDimEval();
+  benchtables::DimEvalTableModels models =
+      table == "07" ? benchtables::BuildTable07Models(bench, "fleet_eval")
+                    : benchtables::BuildTable08Models(bench, "fleet_eval");
+
+  std::cerr << "[fleet_eval] evaluating " << models.specs.size()
+            << " model(s) across " << options.workers << " worker(s)...\n";
+  proc::FleetReport report;
+  auto rows = eval::RunFleetDimEval(models.specs, bench, options, &report);
+  if (!rows.ok()) {
+    std::cerr << "fleet_eval: " << rows.status().ToString() << "\n";
+    return 1;
+  }
+  if (table == "07") {
+    benchtables::PrintTable07(rows.ValueOrDie(), std::cout);
+  } else {
+    benchtables::PrintTable08(rows.ValueOrDie(), std::cout);
+  }
+  std::cerr << "[fleet] " << report.Summary() << "\n";
+  return 0;
+}

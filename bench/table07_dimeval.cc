@@ -3,21 +3,21 @@
 // see DESIGN.md) plus DimPerc, trained in-process on the DimEval training
 // split and evaluated through the knowledge-recall pipeline. The expected
 // shape: DimPerc dominates dimension- and scale-perception tasks.
+//
+// Model building and printing live in bench/dimeval_tables.h, shared with
+// fleet_eval: this binary is the single-process reference whose stdout the
+// fleet-chaos CI job byte-diffs against the multi-process run.
 
 #include <iostream>
 #include <string_view>
 
 #include "bench/common.h"
-#include "eval/harness.h"
+#include "bench/dimeval_tables.h"
 #include "eval/journal.h"
-#include "eval/table.h"
-#include "lm/mock_llm.h"
-#include "solver/dimperc.h"
 
 int main(int argc, char** argv) {
   using namespace dimqr;
   benchutil::InitFromArgs(argc, argv);
-  using eval::TablePrinter;
 
   // --journal=<path>: checkpoint each completed (model, task) evaluation;
   // rerunning with the same path resumes, replaying journaled counts.
@@ -43,87 +43,11 @@ int main(int argc, char** argv) {
   }
 
   const dimeval::DimEvalBenchmark& bench = benchutil::GetDimEval();
-
-  std::cout << "=== Table VII: DimEval results ===\n"
-            << "(baseline rows: calibrated simulators of the published "
-               "numbers; DimPerc row: measured)\n\n";
-
-  TablePrinter table({"Model", "QE", "VE", "UE", "QK P", "QK F1", "Comp P",
-                      "Comp F1", "DPred P", "DPred F1", "DArith P",
-                      "DArith F1", "Mag P", "Mag F1", "Conv P", "Conv F1"});
-  // Incomplete tasks (permanent backend failure under fault injection)
-  // print an explicit "inc" marker: their partial counts are diagnostics,
-  // not results.
-  auto p_cell = [](const eval::ChoiceMetrics& m) {
-    return m.incomplete ? std::string("inc") : TablePrinter::Pct(m.Precision());
-  };
-  auto f1_cell = [](const eval::ChoiceMetrics& m) {
-    return m.incomplete ? std::string("inc") : TablePrinter::Pct(m.F1());
-  };
-  auto qe_cell = [](const eval::DimEvalRow& row, double value) {
-    return row.extraction_incomplete ? std::string("inc")
-                                     : TablePrinter::Pct(value);
-  };
-  auto add_row = [&](const eval::DimEvalRow& row) {
-    using namespace lm::tasks;
-    auto& qk = row.choice.at(kQuantityKindMatch);
-    auto& comp = row.choice.at(kComparableAnalysis);
-    auto& dpred = row.choice.at(kDimensionPrediction);
-    auto& darith = row.choice.at(kDimensionArithmetic);
-    auto& mag = row.choice.at(kMagnitudeComparison);
-    auto& conv = row.choice.at(kUnitConversion);
-    table.AddRow({row.model, qe_cell(row, row.qe_f1),
-                  qe_cell(row, row.ve_f1), qe_cell(row, row.ue_f1),
-                  p_cell(qk), f1_cell(qk), p_cell(comp), f1_cell(comp),
-                  p_cell(dpred), f1_cell(dpred), p_cell(darith),
-                  f1_cell(darith), p_cell(mag), f1_cell(mag), p_cell(conv),
-                  f1_cell(conv)});
-  };
-
-  std::vector<eval::DimEvalRow> baseline_rows;
-  for (const std::shared_ptr<lm::Model>& model : lm::BuildPaperBaselines()) {
-    // Skip the Table IX-only supervised models (no DimEval profiles).
-    if (model->name() == "BertGen" || model->name() == "LLaMa") continue;
-    std::cerr << "[table07] evaluating " << model->name() << "...\n";
-    baseline_rows.push_back(
-        eval::EvaluateOnDimEval(*model, bench, nullptr, journal.get()));
-    add_row(baseline_rows.back());
-  }
-
-  std::cerr << "[table07] training DimPerc...\n";
-  auto dimperc_seq = std::shared_ptr<solver::Seq2SeqModel>(
-      solver::TrainDimPerc(bench, *benchutil::GetWorld().kb,
-                           benchutil::BenchModelConfig(),
-                           benchutil::DimEvalEpochs())
-          .ValueOrDie());
-  solver::DimPercPipeline dimperc("DimPerc (ours)", dimperc_seq);
-  eval::Extractor extractor =
-      eval::AnnotatorExtractor(*benchutil::GetWorld().annotator);
-  eval::DimEvalRow dimperc_row =
-      eval::EvaluateOnDimEval(dimperc, bench, &extractor, journal.get());
-  table.AddSeparator();
-  add_row(dimperc_row);
-  table.Print(std::cout);
-
-  // Shape check: DimPerc beats the best baseline on the dimension- and
-  // scale-perception F1 macro average (the paper's headline RQ1/RQ2 gap).
-  auto macro = [](const eval::DimEvalRow& row) {
-    auto cats = eval::AggregateByCategory(row);
-    return (cats[dimeval::TaskCategory::kDimensionPerception].f1 +
-            cats[dimeval::TaskCategory::kScalePerception].f1) /
-           2.0;
-  };
-  double best_baseline = 0.0;
-  for (const eval::DimEvalRow& row : baseline_rows) {
-    auto copy = row;
-    best_baseline = std::max(best_baseline, macro(copy));
-  }
-  auto dimperc_copy = dimperc_row;
-  std::cout << "\nShape check (DimPerc dimension+scale macro F1 "
-            << TablePrinter::Pct(macro(dimperc_copy)) << " > best baseline "
-            << TablePrinter::Pct(best_baseline) << "): "
-            << (macro(dimperc_copy) > best_baseline ? "PRESERVED"
-                                                    : "VIOLATED")
-            << "\n";
+  benchtables::DimEvalTableModels models =
+      benchtables::BuildTable07Models(bench, "table07");
+  std::vector<eval::DimEvalRow> rows =
+      benchtables::EvaluateDimEvalRows(models, bench, journal.get(),
+                                       "table07");
+  benchtables::PrintTable07(rows, std::cout);
   return 0;
 }

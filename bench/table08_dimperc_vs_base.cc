@@ -3,22 +3,20 @@
 // instruction data (answer format, no dimensional knowledge); DimPerc is
 // the same architecture fine-tuned on the DimEval training split
 // (Section IV-D). The expected shape: large gains in every category.
+//
+// Model building and printing live in bench/dimeval_tables.h, shared with
+// fleet_eval (same byte-diff contract as table07).
 
 #include <iostream>
 #include <string_view>
 
 #include "bench/common.h"
-#include "solver/dimperc.h"
-#include "eval/harness.h"
+#include "bench/dimeval_tables.h"
 #include "eval/journal.h"
-#include "eval/table.h"
 
 int main(int argc, char** argv) {
   using namespace dimqr;
   benchutil::InitFromArgs(argc, argv);
-  using benchutil::GetDimEval;
-  using benchutil::GetWorld;
-  using eval::TablePrinter;
 
   // --journal=<path>: checkpoint/resume per completed (model, task); see
   // eval/journal.h. (Training itself is fast here; the journal covers the
@@ -44,80 +42,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  const dimeval::DimEvalBenchmark& bench = GetDimEval();
-  solver::Seq2SeqConfig config = benchutil::BenchModelConfig();
-
-  std::cout << "=== Table VIII: DimPerc vs base model on DimEval ===\n\n";
-  std::cerr << "[table08] training LLaMA_IFT substitute (generic "
-               "instructions only)...\n";
-  // The base model shares DimPerc's vocabulary (via vocab_extra) so its
-  // deficit is knowledge, not token coverage.
-  std::vector<solver::SeqExample> dimeval_pairs =
-      solver::MakeDimEvalExamples(bench.train);
-  std::vector<solver::SeqExample> generic =
-      solver::MakeGenericInstructionExamples(
-          static_cast<int>(dimeval_pairs.size()), 42);
-  auto base_seq = std::shared_ptr<solver::Seq2SeqModel>(
-      solver::Seq2SeqModel::Create("LLaMA_IFT", generic, config,
-                                   dimeval_pairs)
-          .ValueOrDie());
-  base_seq->TrainEpochs(std::max(1, benchutil::DimEvalEpochs() / 2))
-      .ValueOrDie();
-
-  std::cerr << "[table08] fine-tuning DimPerc on DimEval...\n";
-  auto dimperc_seq = std::shared_ptr<solver::Seq2SeqModel>(
-      solver::TrainDimPerc(bench, *GetWorld().kb, config,
-                           benchutil::DimEvalEpochs())
-          .ValueOrDie());
-
-  // Both models run through the SAME pipeline: the only difference is the
-  // dimensional knowledge in their weights (Table VIII's contrast).
-  solver::DimPercPipeline base("LLaMA_IFT", base_seq);
-  solver::DimPercPipeline dimperc("DimPerc", dimperc_seq);
-  eval::Extractor annotator_extractor =
-      eval::AnnotatorExtractor(*GetWorld().annotator);
-  eval::DimEvalRow base_row =
-      eval::EvaluateOnDimEval(base, bench, nullptr, journal.get());
-  eval::DimEvalRow dimperc_row = eval::EvaluateOnDimEval(
-      dimperc, bench, &annotator_extractor, journal.get());
-
-  auto base_cats = eval::AggregateByCategory(base_row);
-  auto dimperc_cats = eval::AggregateByCategory(dimperc_row);
-
-  std::cout << "Paper reference (precision / F1, %):\n"
-            << "  LLaMA_IFT: basic 29.65/24.01  dimension 20.38/16.64  "
-               "scale 8.94/6.70\n"
-            << "  DimPerc:   basic 71.69/63.13  dimension 82.82/77.30  "
-               "scale 89.74/81.31\n\n"
-            << "Measured from this build:\n";
-  TablePrinter table({"Model", "Basic P", "Basic F1", "Dim P", "Dim F1",
-                      "Scale P", "Scale F1"});
-  auto row_of = [](const std::string& name,
-                   std::map<dimeval::TaskCategory, eval::CategoryMetrics>&
-                       cats) {
-    using dimeval::TaskCategory;
-    return std::vector<std::string>{
-        name,
-        TablePrinter::Pct(cats[TaskCategory::kBasicPerception].precision),
-        TablePrinter::Pct(cats[TaskCategory::kBasicPerception].f1),
-        TablePrinter::Pct(cats[TaskCategory::kDimensionPerception].precision),
-        TablePrinter::Pct(cats[TaskCategory::kDimensionPerception].f1),
-        TablePrinter::Pct(cats[TaskCategory::kScalePerception].precision),
-        TablePrinter::Pct(cats[TaskCategory::kScalePerception].f1)};
-  };
-  table.AddRow(row_of("LLaMA_IFT", base_cats));
-  table.AddRow(row_of("DimPerc", dimperc_cats));
-  table.Print(std::cout);
-
-  using dimeval::TaskCategory;
-  bool all_gain =
-      dimperc_cats[TaskCategory::kBasicPerception].precision >
-          base_cats[TaskCategory::kBasicPerception].precision &&
-      dimperc_cats[TaskCategory::kDimensionPerception].precision >
-          base_cats[TaskCategory::kDimensionPerception].precision &&
-      dimperc_cats[TaskCategory::kScalePerception].precision >
-          base_cats[TaskCategory::kScalePerception].precision;
-  std::cout << "\nShape check (DimPerc > base in every category): "
-            << (all_gain ? "PRESERVED" : "VIOLATED") << "\n";
+  const dimeval::DimEvalBenchmark& bench = benchutil::GetDimEval();
+  benchtables::DimEvalTableModels models =
+      benchtables::BuildTable08Models(bench, "table08");
+  std::vector<eval::DimEvalRow> rows =
+      benchtables::EvaluateDimEvalRows(models, bench, journal.get(),
+                                       "table08");
+  benchtables::PrintTable08(rows, std::cout);
   return 0;
 }

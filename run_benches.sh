@@ -20,6 +20,12 @@
 set -e
 cd "$(dirname "$0")"
 
+# An interrupted run must not leave strays behind: the resident smoke test
+# backgrounds probe processes, and fleet_eval forks worker processes (which
+# die with their supervisor via PDEATHSIG, so reaping our direct children
+# is enough to take the whole tree down).
+trap 'pkill -P $$ 2>/dev/null || true' EXIT INT TERM
+
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release \
       -DDIMQR_BUILD_TESTS=OFF -DDIMQR_BUILD_EXAMPLES=OFF
 cmake --build build-rel -j
@@ -33,6 +39,31 @@ SNAP="$OUT/artifacts.dqs"
 # at least one must observe the pages as Shared_* (one physical copy).
 ./build-rel/bench/dimqr_snapshot pack "$SNAP"
 ./build-rel/bench/dimqr_snapshot verify "$SNAP"
+
+# Exit-code contract (scripted health checks branch on these): 3 for an
+# I/O problem, 4 for corruption. Probe each class live so a regression in
+# the mapping fails the bench run, not a production health check.
+set +e
+./build-rel/bench/dimqr_snapshot verify "$OUT/does_not_exist.dqs" 2>/dev/null
+rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "snapshot exit codes: FAILED — missing file returned $rc, want 3" >&2
+  exit 1
+fi
+cp "$SNAP" "$OUT/corrupt.dqs"
+size=$(stat -c%s "$OUT/corrupt.dqs")
+printf '\xde\xad\xbe\xef' \
+  | dd of="$OUT/corrupt.dqs" bs=1 seek=$((size - 8)) conv=notrunc \
+       status=none
+./build-rel/bench/dimqr_snapshot verify "$OUT/corrupt.dqs" 2>/dev/null
+rc=$?
+if [ "$rc" -ne 4 ]; then
+  echo "snapshot exit codes: FAILED — corrupt file returned $rc, want 4" >&2
+  exit 1
+fi
+set -e
+rm -f "$OUT/corrupt.dqs"
+echo "snapshot exit codes: OK (3 = I/O error, 4 = corruption)"
 for i in 1 2 3 4; do
   ./build-rel/bench/dimqr_snapshot resident "$SNAP" 800 \
       > "$OUT/resident.$i.txt" &

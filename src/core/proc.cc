@@ -1,0 +1,498 @@
+#include "core/proc.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <optional>
+
+#include "core/parallel.h"
+
+namespace dimqr::proc {
+namespace {
+
+/// Wall-clock milliseconds on a monotonic clock. Worker death and hangs
+/// are wall-clock phenomena; the simulated tick clock the serving layer
+/// uses cannot observe them.
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Upper bound on a frame payload; anything larger is a protocol bug, not
+/// a legitimate shard result.
+constexpr std::uint64_t kMaxPayloadBytes = std::uint64_t{1} << 30;
+
+Status WriteAll(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(data);
+  while (size > 0) {
+    ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("fleet pipe write failed: ") +
+                             std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Everything the child does between fork() and _exit(). Never returns:
+/// returning would unwind into the parent's (duplicated) call stack —
+/// gtest bookkeeping, atexit handlers — none of which belongs to this
+/// process.
+[[noreturn]] void RunChild(int write_fd, int shard, int attempt,
+                           int heartbeat_interval_ms, const ShardBody& body) {
+#ifdef __linux__
+  // Die with the supervisor: an orphaned worker grinding on after its
+  // parent is gone is exactly the stray process run_benches.sh traps for.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  // The parent's global thread pool did not survive the fork (its worker
+  // threads are not cloned); a fresh serial override guarantees the body's
+  // ParallelFor loops never touch it. The child stays single-threaded,
+  // which is also what keeps forking legal under TSan.
+  ScopedParallelism serial(1);
+  WorkerChannel channel(write_fd, static_cast<std::uint32_t>(shard),
+                        static_cast<std::uint32_t>(attempt),
+                        heartbeat_interval_ms);
+  (void)channel.SendHello();
+  ShardContext ctx;
+  ctx.shard = shard;
+  ctx.attempt = attempt;
+  ctx.channel = &channel;
+  Result<std::vector<std::byte>> result = body(ctx);
+  if (result.ok()) {
+    (void)channel.SendDone(*result);
+  } else {
+    (void)channel.SendFailed(result.status());
+  }
+  ::_exit(0);
+}
+
+/// Decodes a kShardFailed payload (u32 status code + message bytes) back
+/// into the body's original Status.
+Status DecodeFailure(std::span<const std::byte> payload) {
+  if (payload.size() < sizeof(std::uint32_t)) {
+    return Status::Internal("fleet worker reported an unreadable failure");
+  }
+  std::uint32_t code = 0;
+  std::memcpy(&code, payload.data(), sizeof(code));
+  std::string message(
+      reinterpret_cast<const char*>(payload.data()) + sizeof(code),
+      payload.size() - sizeof(code));
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+/// One worker slot's supervision state.
+struct Slot {
+  pid_t pid = -1;
+  int fd = -1;            ///< Read end of the worker's pipe.
+  int shard = -1;
+  bool done = false;      ///< kShardDone received.
+  bool killed = false;    ///< Supervisor SIGKILLed it (hang).
+  std::vector<std::byte> payload;
+  /// Set when the worker reported a permanent failure (kShardFailed).
+  std::optional<Status> failed;
+  std::int64_t last_seen_ms = 0;
+  FrameBuffer frames;
+
+  bool running() const { return pid >= 0; }
+};
+
+}  // namespace
+
+void FrameBuffer::Append(std::span<const std::byte> bytes) {
+  // Compact lazily so long streams of heartbeats do not grow the buffer.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+Result<bool> FrameBuffer::Next(Frame* out) {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < sizeof(FrameHeader)) return false;
+  FrameHeader header;
+  std::memcpy(&header, buffer_.data() + consumed_, sizeof(header));
+  if (header.magic != kFrameMagic) {
+    return Status::Internal("fleet protocol error: bad frame magic");
+  }
+  if (header.payload_size > kMaxPayloadBytes) {
+    return Status::Internal("fleet protocol error: implausible payload of " +
+                            std::to_string(header.payload_size) + " bytes");
+  }
+  if (available - sizeof(header) < header.payload_size) return false;
+  out->type = static_cast<FrameType>(header.type);
+  out->shard = header.shard;
+  out->attempt = header.attempt;
+  const std::byte* begin = buffer_.data() + consumed_ + sizeof(header);
+  out->payload.assign(begin, begin + header.payload_size);
+  consumed_ += sizeof(header) + header.payload_size;
+  return true;
+}
+
+Status WriteFrame(int fd, FrameType type, std::uint32_t shard,
+                  std::uint32_t attempt, std::span<const std::byte> payload) {
+  FrameHeader header;
+  header.magic = kFrameMagic;
+  header.type = static_cast<std::uint32_t>(type);
+  header.shard = shard;
+  header.attempt = attempt;
+  header.payload_size = payload.size();
+  DIMQR_RETURN_NOT_OK(WriteAll(fd, &header, sizeof(header)));
+  if (!payload.empty()) {
+    DIMQR_RETURN_NOT_OK(WriteAll(fd, payload.data(), payload.size()));
+  }
+  return Status::OK();
+}
+
+WorkerChannel::WorkerChannel(int fd, std::uint32_t shard,
+                             std::uint32_t attempt,
+                             int heartbeat_interval_ms)
+    : fd_(fd),
+      shard_(shard),
+      attempt_(attempt),
+      heartbeat_interval_ms_(std::max(1, heartbeat_interval_ms)) {}
+
+void WorkerChannel::Beat() {
+  std::int64_t now = NowMs();
+  if (last_beat_ms_ >= 0 && now - last_beat_ms_ < heartbeat_interval_ms_) {
+    return;
+  }
+  last_beat_ms_ = now;
+  // Best-effort: a dead supervisor means this process is moments from
+  // SIGKILL (PDEATHSIG) anyway.
+  (void)WriteFrame(fd_, FrameType::kHeartbeat, shard_, attempt_, {});
+}
+
+Status WorkerChannel::SendHello() {
+  last_beat_ms_ = NowMs();
+  return WriteFrame(fd_, FrameType::kHello, shard_, attempt_, {});
+}
+
+Status WorkerChannel::SendDone(std::span<const std::byte> payload) {
+  return WriteFrame(fd_, FrameType::kShardDone, shard_, attempt_, payload);
+}
+
+Status WorkerChannel::SendFailed(const Status& status) {
+  std::vector<std::byte> payload(sizeof(std::uint32_t) +
+                                 status.message().size());
+  const auto code = static_cast<std::uint32_t>(status.code());
+  std::memcpy(payload.data(), &code, sizeof(code));
+  std::memcpy(payload.data() + sizeof(code), status.message().data(),
+              status.message().size());
+  return WriteFrame(fd_, FrameType::kShardFailed, shard_, attempt_, payload);
+}
+
+int BackoffDelayMs(int crashes, const SupervisorOptions& options) {
+  std::int64_t delay = std::max(1, options.backoff_initial_ms);
+  for (int i = 1; i < crashes && delay < options.backoff_max_ms; ++i) {
+    delay *= 2;
+  }
+  return static_cast<int>(
+      std::min<std::int64_t>(delay, std::max(1, options.backoff_max_ms)));
+}
+
+std::string FleetReport::Summary() const {
+  std::string out = "workers=" + std::to_string(num_workers);
+  out += " shards=" + std::to_string(num_shards);
+  out += " crashes=" + std::to_string(crashes);
+  out += " restarts=" + std::to_string(restarts);
+  out += " reassignments=" + std::to_string(reassignments);
+  out += " heartbeat_timeouts=" + std::to_string(heartbeat_timeouts);
+  return out;
+}
+
+Result<FleetReport> RunShards(int num_shards, const ShardBody& body,
+                              const SupervisorOptions& options) {
+  if (num_shards < 0) {
+    return Status::InvalidArgument("num_shards must be >= 0");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (!body) {
+    return Status::InvalidArgument("shard body must be callable");
+  }
+  const int num_workers = options.num_workers;
+  const int crash_budget = std::max(1, options.crash_budget_per_worker);
+
+  FleetReport report;
+  report.num_shards = num_shards;
+  report.num_workers = num_workers;
+  report.outcomes.resize(static_cast<std::size_t>(num_shards));
+  if (num_shards == 0) return report;
+
+  std::vector<Slot> slots(static_cast<std::size_t>(num_workers));
+  std::deque<int> pending;
+  for (int s = 0; s < num_shards; ++s) pending.push_back(s);
+  // Per-shard supervision state. `attempts[s]` counts crashes so far: it is
+  // the `attempt` index handed to the child, which the crash fault kinds
+  // gate on — the source of deterministic, terminating chaos.
+  std::vector<int> attempts(static_cast<std::size_t>(num_shards), 0);
+  std::vector<std::int64_t> not_before_ms(static_cast<std::size_t>(num_shards),
+                                          0);
+  std::vector<int> last_slot(static_cast<std::size_t>(num_shards), -1);
+  // crashes_on[s][w]: how often shard s crashed while assigned to slot w.
+  std::vector<std::vector<int>> crashes_on(
+      static_cast<std::size_t>(num_shards),
+      std::vector<int>(static_cast<std::size_t>(num_workers), 0));
+  int completed = 0;
+
+  auto reap_all = [&slots]() {
+    for (Slot& slot : slots) {
+      if (!slot.running()) continue;
+      ::kill(slot.pid, SIGKILL);
+      int wstatus = 0;
+      while (::waitpid(slot.pid, &wstatus, 0) < 0 && errno == EINTR) {
+      }
+      ::close(slot.fd);
+      slot.pid = -1;
+      slot.fd = -1;
+    }
+  };
+
+  auto spawn = [&](int slot_index, int shard) -> Status {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      return Status::IOError(std::string("fleet pipe failed: ") +
+                             std::strerror(errno));
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      return Status::IOError(std::string("fleet fork failed: ") +
+                             std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: drop every inherited supervision fd except our write end,
+      // so a sibling's EOF is delivered the moment that sibling dies.
+      ::close(pipe_fds[0]);
+      for (const Slot& other : slots) {
+        if (other.fd >= 0) ::close(other.fd);
+      }
+      RunChild(pipe_fds[1], shard, attempts[static_cast<std::size_t>(shard)],
+               options.heartbeat_interval_ms, body);
+    }
+    ::close(pipe_fds[1]);
+    int flags = ::fcntl(pipe_fds[0], F_GETFL, 0);
+    (void)::fcntl(pipe_fds[0], F_SETFL, flags | O_NONBLOCK);
+    Slot& slot = slots[static_cast<std::size_t>(slot_index)];
+    slot = Slot{};
+    slot.pid = pid;
+    slot.fd = pipe_fds[0];
+    slot.shard = shard;
+    slot.last_seen_ms = NowMs();
+    if (attempts[static_cast<std::size_t>(shard)] > 0) {
+      ++report.restarts;
+      int prev = last_slot[static_cast<std::size_t>(shard)];
+      if (prev >= 0 && prev != slot_index) ++report.reassignments;
+    }
+    last_slot[static_cast<std::size_t>(shard)] = slot_index;
+    return Status::OK();
+  };
+
+  // Reaps one exited worker and classifies the exit: result received =
+  // success; permanent failure reported = run error; anything else = crash
+  // (including supervisor-initiated hang kills).
+  auto handle_exit = [&](int slot_index) -> Status {
+    Slot& slot = slots[static_cast<std::size_t>(slot_index)];
+    int wstatus = 0;
+    while (::waitpid(slot.pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    ::close(slot.fd);
+    const int shard = slot.shard;
+    const bool done = slot.done;
+    const bool permanent = slot.failed.has_value();
+    Status failure = permanent ? *slot.failed : Status::OK();
+    std::vector<std::byte> payload = std::move(slot.payload);
+    slot = Slot{};
+
+    if (permanent) return failure;
+    const auto shard_index = static_cast<std::size_t>(shard);
+    if (done) {
+      ShardOutcome& outcome = report.outcomes[shard_index];
+      outcome.shard = shard;
+      outcome.attempts = attempts[shard_index] + 1;
+      outcome.payload = std::move(payload);
+      ++completed;
+      return Status::OK();
+    }
+    // Crash. Schedule the retry with exponential backoff; the per-slot
+    // budget below decides whether the same slot may host it again.
+    ++report.crashes;
+    if (report.crashes > static_cast<std::uint64_t>(
+                             std::max(1, options.max_total_crashes))) {
+      return Status::Internal(
+          "fleet exceeded max_total_crashes (" +
+          std::to_string(options.max_total_crashes) +
+          "): shard " + std::to_string(shard) + " crashed last");
+    }
+    ++attempts[shard_index];
+    ++crashes_on[shard_index][static_cast<std::size_t>(slot_index)];
+    not_before_ms[shard_index] =
+        NowMs() + BackoffDelayMs(attempts[shard_index], options);
+    pending.push_back(shard);
+    return Status::OK();
+  };
+
+  auto fail_run = [&](Status status) -> Result<FleetReport> {
+    reap_all();
+    return status;
+  };
+
+  while (completed < num_shards) {
+    std::int64_t now = NowMs();
+
+    // Assign pending shards to idle slots. A slot may host a shard only
+    // while the shard's crash count on that slot is under budget; a shard
+    // under budget on *no* slot has exhausted the fleet.
+    for (int w = 0; w < num_workers && !pending.empty(); ++w) {
+      Slot& slot = slots[static_cast<std::size_t>(w)];
+      if (slot.running()) continue;
+      for (auto it = pending.begin(); it != pending.end(); ++it) {
+        const auto shard_index = static_cast<std::size_t>(*it);
+        if (now < not_before_ms[shard_index]) continue;
+        if (crashes_on[shard_index][static_cast<std::size_t>(w)] >=
+            crash_budget) {
+          continue;
+        }
+        int shard = *it;
+        pending.erase(it);
+        Status spawned = spawn(w, shard);
+        if (!spawned.ok()) return fail_run(spawned);
+        break;
+      }
+    }
+
+    // A pending shard with no admissible slot anywhere (not merely busy or
+    // backing off) can never run again: fail fast instead of spinning.
+    for (int shard : pending) {
+      const auto shard_index = static_cast<std::size_t>(shard);
+      bool admissible = false;
+      for (int w = 0; w < num_workers; ++w) {
+        if (crashes_on[shard_index][static_cast<std::size_t>(w)] <
+            crash_budget) {
+          admissible = true;
+          break;
+        }
+      }
+      if (!admissible) {
+        return fail_run(Status::Internal(
+            "shard " + std::to_string(shard) +
+            " exhausted its crash budget on every worker (" +
+            std::to_string(attempts[shard_index]) + " crashes)"));
+      }
+    }
+
+    // Poll every live pipe, bounded so backoff releases and heartbeat
+    // deadlines are honored promptly.
+    std::vector<struct pollfd> fds;
+    std::vector<int> fd_slot;
+    for (int w = 0; w < num_workers; ++w) {
+      const Slot& slot = slots[static_cast<std::size_t>(w)];
+      if (!slot.running()) continue;
+      fds.push_back({slot.fd, POLLIN, 0});
+      fd_slot.push_back(w);
+    }
+    int timeout_ms = 50;
+    for (int shard : pending) {
+      const std::int64_t release = not_before_ms[static_cast<std::size_t>(
+          shard)];
+      if (release > now) {
+        timeout_ms = std::min<int>(
+            timeout_ms, static_cast<int>(std::max<std::int64_t>(
+                            1, release - now)));
+      } else {
+        timeout_ms = 1;  // Assignable right now; come back immediately.
+      }
+    }
+    int ready = ::poll(fds.empty() ? nullptr : fds.data(),
+                       static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      return fail_run(Status::IOError(std::string("fleet poll failed: ") +
+                                      std::strerror(errno)));
+    }
+
+    now = NowMs();
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int w = fd_slot[i];
+      Slot& slot = slots[static_cast<std::size_t>(w)];
+      if (!slot.running()) continue;
+      bool eof = false;
+      std::byte buffer[4096];
+      while (true) {
+        ssize_t n = ::read(slot.fd, buffer, sizeof(buffer));
+        if (n > 0) {
+          slot.last_seen_ms = now;
+          slot.frames.Append(std::span<const std::byte>(
+              buffer, static_cast<std::size_t>(n)));
+          continue;
+        }
+        if (n == 0) {
+          eof = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        eof = true;  // Unexpected pipe error: treat as worker death.
+        break;
+      }
+      Frame frame;
+      while (true) {
+        Result<bool> next = slot.frames.Next(&frame);
+        if (!next.ok()) return fail_run(next.status());
+        if (!*next) break;
+        switch (frame.type) {
+          case FrameType::kHello:
+          case FrameType::kHeartbeat:
+            break;  // Liveness was refreshed by the read above.
+          case FrameType::kShardDone:
+            slot.done = true;
+            slot.payload = std::move(frame.payload);
+            break;
+          case FrameType::kShardFailed:
+            slot.failed = DecodeFailure(frame.payload);
+            break;
+        }
+      }
+      if (eof) {
+        Status handled = handle_exit(w);
+        if (!handled.ok()) return fail_run(handled);
+      }
+    }
+
+    // Hang detection: a worker silent past the deadline is SIGKILLed here;
+    // the EOF that follows takes the normal crash path above.
+    for (int w = 0; w < num_workers; ++w) {
+      Slot& slot = slots[static_cast<std::size_t>(w)];
+      if (!slot.running() || slot.killed) continue;
+      if (now - slot.last_seen_ms > options.heartbeat_timeout_ms) {
+        ::kill(slot.pid, SIGKILL);
+        slot.killed = true;
+        ++report.heartbeat_timeouts;
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace dimqr::proc

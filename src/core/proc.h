@@ -1,0 +1,198 @@
+#ifndef DIMQR_CORE_PROC_H_
+#define DIMQR_CORE_PROC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+/// \file proc.h
+/// The process fleet: a supervisor that forks N worker processes, assigns
+/// each a shard of work, and monitors them over a pipe-based frame
+/// protocol. fork() without exec: children inherit every built/trained
+/// artifact (and any mmap-ed snapshot pages) copy-on-write, so N workers
+/// share one physical copy of the model image — the multi-process half of
+/// the zero-copy snapshot story (DESIGN.md §11/§12).
+///
+/// Robustness contract (DESIGN.md §12):
+///   - A worker that dies (SIGKILL, _exit, crash) is detected by pipe EOF
+///     + waitpid; a worker that *hangs* is detected by a missed-heartbeat
+///     timeout and SIGKILLed by the supervisor.
+///   - A crashed shard is retried with exponential backoff; its `attempt`
+///     counter increments per crash, so deterministic crash faults
+///     (`sigkill`/`exit` kinds in core/fault.h) stop firing once the
+///     configured crash count is reached.
+///   - Each (worker slot, shard) pair has a crash budget; once a shard
+///     exhausts its budget on one slot it is reassigned to another. A
+///     shard that exhausts every slot's budget — or a fleet that exceeds
+///     `max_total_crashes` — fails the run with a clean Status.
+///   - A shard body that *returns* an error Status is a permanent failure
+///     (reported over the pipe, never retried): crashes are properties of
+///     the attempt, error Statuses are properties of the work.
+///
+/// Fork safety: the supervisor must be driven from the main thread between
+/// parallel regions. The child never touches the parent's thread pool —
+/// RunShards installs a serial ScopedParallelism(1) in the child before the
+/// body runs — creates no threads of its own, and leaves via _exit (no
+/// atexit handlers, no static destructors). The pipe is written only by the
+/// child's single thread, so frames are never interleaved; the supervisor
+/// tolerates a torn trailing frame from a mid-write kill by simply never
+/// seeing a complete header for it.
+
+namespace dimqr::proc {
+
+/// \brief Frame types on the worker->supervisor pipe.
+enum class FrameType : std::uint32_t {
+  kHello = 1,     ///< First frame after fork: "shard S attempt A is live".
+  kHeartbeat = 2, ///< Liveness; sent by ShardContext::Beat (rate-limited).
+  kShardDone = 3, ///< Success; payload = the body's result bytes.
+  kShardFailed = 4,  ///< Permanent failure; payload = status message text.
+};
+
+/// \brief Fixed little-endian frame header; payload bytes follow.
+struct FrameHeader {
+  std::uint32_t magic = 0;  ///< kFrameMagic.
+  std::uint32_t type = 0;   ///< FrameType.
+  std::uint32_t shard = 0;
+  std::uint32_t attempt = 0;
+  std::uint64_t payload_size = 0;
+};
+static_assert(sizeof(FrameHeader) == 24);
+
+inline constexpr std::uint32_t kFrameMagic = 0x44515046u;  // "DQPF"
+
+/// \brief One parsed frame (payload copied out of the stream buffer).
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::uint32_t shard = 0;
+  std::uint32_t attempt = 0;
+  std::vector<std::byte> payload;
+};
+
+/// \brief Incremental parser over one worker's pipe stream. Append() raw
+/// read() bytes, then Next() yields complete frames; a torn trailing frame
+/// (the worker was killed mid-write) simply never completes and is
+/// discarded with the buffer. A corrupt header (bad magic) is an error:
+/// single-writer pipes cannot reorder bytes, so bad magic means a protocol
+/// bug, not a crash artifact.
+class FrameBuffer {
+ public:
+  void Append(std::span<const std::byte> bytes);
+
+  /// True when a complete frame was popped into `*out`. Returns an error
+  /// only on bad magic or an implausible payload size.
+  Result<bool> Next(Frame* out);
+
+ private:
+  std::vector<std::byte> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+/// \brief Serializes one frame onto `fd` (handles EINTR and short writes).
+Status WriteFrame(int fd, FrameType type, std::uint32_t shard,
+                  std::uint32_t attempt, std::span<const std::byte> payload);
+
+/// \brief The worker-side channel handed to a shard body via ShardContext.
+/// Single-threaded writer by contract (the worker is serial).
+class WorkerChannel {
+ public:
+  WorkerChannel(int fd, std::uint32_t shard, std::uint32_t attempt,
+                int heartbeat_interval_ms);
+
+  /// \brief Sends a heartbeat, rate-limited to the configured interval so
+  /// callers can Beat() per work item without flooding the pipe. Write
+  /// errors are ignored: if the supervisor is gone the worker is about to
+  /// die anyway (parent-death signal / SIGPIPE).
+  void Beat();
+
+  Status SendHello();
+  Status SendDone(std::span<const std::byte> payload);
+  Status SendFailed(const Status& status);
+
+ private:
+  int fd_;
+  std::uint32_t shard_;
+  std::uint32_t attempt_;
+  std::int64_t heartbeat_interval_ms_;
+  std::int64_t last_beat_ms_ = -1;
+};
+
+/// \brief What a shard body sees: which shard it is running, how many times
+/// this shard has crashed before (the fault-gating attempt index), and the
+/// heartbeat channel.
+struct ShardContext {
+  int shard = 0;
+  int attempt = 0;
+  WorkerChannel* channel = nullptr;
+
+  /// Rate-limited liveness signal; call once per work item.
+  void Beat() {
+    if (channel != nullptr) channel->Beat();
+  }
+};
+
+/// \brief The work of one shard, run inside a forked child. Returns the
+/// shard's result payload (merged by the caller of RunShards) or an error
+/// Status for a *permanent* failure — errors are reported to the
+/// supervisor and never retried.
+using ShardBody = std::function<Result<std::vector<std::byte>>(ShardContext&)>;
+
+/// \brief Supervisor tuning knobs. The defaults suit tests and the
+/// fleet_eval CLI; every timeout is wall-clock (worker death is a
+/// wall-clock phenomenon — the simulated tick clock cannot see it).
+struct SupervisorOptions {
+  int num_workers = 1;             ///< Worker slots (>= 1).
+  int heartbeat_interval_ms = 50;  ///< Worker-side Beat() rate limit.
+  /// A worker silent for longer than this is declared hung and SIGKILLed.
+  int heartbeat_timeout_ms = 30'000;
+  /// Crashes of one shard tolerated per worker slot before the shard is
+  /// reassigned to a different slot.
+  int crash_budget_per_worker = 3;
+  /// Global crash ceiling across the whole run (runaway-chaos backstop).
+  int max_total_crashes = 64;
+  int backoff_initial_ms = 10;   ///< Delay before a crashed shard's retry.
+  int backoff_max_ms = 2'000;    ///< Cap on the exponential backoff.
+};
+
+/// \brief Pure backoff schedule: initial * 2^(crashes-1), capped. Exposed
+/// for unit tests; `crashes` is the shard's crash count (>= 1).
+int BackoffDelayMs(int crashes, const SupervisorOptions& options);
+
+/// \brief One shard's result after the fleet completes.
+struct ShardOutcome {
+  int shard = 0;
+  int attempts = 1;  ///< 1 + number of crashes this shard survived.
+  std::vector<std::byte> payload;
+};
+
+/// \brief What happened across the whole run. Crash/restart counts are
+/// deterministic under injected faults; heartbeat_timeouts is inherently
+/// timing-dependent (it only fires for genuinely hung workers).
+struct FleetReport {
+  int num_shards = 0;
+  int num_workers = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;        ///< Crashed-shard relaunches.
+  std::uint64_t reassignments = 0;   ///< Shard moved to a different slot.
+  std::uint64_t heartbeat_timeouts = 0;
+  std::vector<ShardOutcome> outcomes;  ///< Indexed by shard.
+
+  /// One-line summary for logs ("workers=4 shards=4 crashes=2 ...").
+  std::string Summary() const;
+};
+
+/// \brief Forks workers, runs `body` once per shard in [0, num_shards),
+/// and supervises until every shard has reported a result. Must be called
+/// from the main thread with no parallel loop in flight (fork safety; see
+/// the file comment). The body runs only in children — side effects on
+/// parent memory do not propagate back; results travel in the payload.
+Result<FleetReport> RunShards(int num_shards, const ShardBody& body,
+                              const SupervisorOptions& options);
+
+}  // namespace dimqr::proc
+
+#endif  // DIMQR_CORE_PROC_H_

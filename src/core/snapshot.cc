@@ -205,7 +205,7 @@ Status SnapshotWriter::WriteFile(const std::string& path) const {
 
 Result<SnapshotView> SnapshotView::Parse(std::span<const std::byte> bytes) {
   if (bytes.size() < sizeof(SnapshotHeader)) {
-    return Status::IOError("snapshot smaller than its header (" +
+    return Status::DataLoss("snapshot smaller than its header (" +
                            std::to_string(bytes.size()) + " bytes)");
   }
   SnapshotHeader header;
@@ -221,17 +221,17 @@ Result<SnapshotView> SnapshotView::Parse(std::span<const std::byte> bytes) {
         "); regenerate with dimqr_snapshot pack");
   }
   if (header.file_size != bytes.size()) {
-    return Status::IOError("snapshot size mismatch: header says " +
+    return Status::DataLoss("snapshot size mismatch: header says " +
                            std::to_string(header.file_size) + ", mapping is " +
                            std::to_string(bytes.size()) + " bytes");
   }
   if (Crc32(bytes.subspan(sizeof(SnapshotHeader))) != header.crc32) {
-    return Status::IOError("snapshot CRC mismatch (corrupt or torn file)");
+    return Status::DataLoss("snapshot CRC mismatch (corrupt or torn file)");
   }
   const std::size_t table_bytes =
       static_cast<std::size_t>(header.section_count) * sizeof(SectionEntry);
   if (bytes.size() - sizeof(SnapshotHeader) < table_bytes) {
-    return Status::IOError("snapshot section table out of bounds");
+    return Status::DataLoss("snapshot section table out of bounds");
   }
   std::span<const SectionEntry> entries(
       reinterpret_cast<const SectionEntry*>(bytes.data() +
@@ -240,15 +240,15 @@ Result<SnapshotView> SnapshotView::Parse(std::span<const std::byte> bytes) {
   for (const SectionEntry& e : entries) {
     if (e.name_offset > bytes.size() ||
         bytes.size() - e.name_offset < e.name_length) {
-      return Status::IOError("snapshot section name out of bounds");
+      return Status::DataLoss("snapshot section name out of bounds");
     }
     if (e.payload_offset % kSectionAlign != 0) {
-      return Status::IOError("snapshot section payload misaligned (offset " +
+      return Status::DataLoss("snapshot section payload misaligned (offset " +
                              std::to_string(e.payload_offset) + ")");
     }
     if (e.payload_offset > bytes.size() ||
         bytes.size() - e.payload_offset < e.payload_size) {
-      return Status::IOError("snapshot section payload out of bounds");
+      return Status::DataLoss("snapshot section payload out of bounds");
     }
   }
   SnapshotView view;
@@ -320,7 +320,7 @@ Result<MappedFile> MappedFile::Map(const std::string& path) {
   }
   if (st.st_size == 0) {
     ::close(fd);
-    return Status::IOError("empty file: " + path);
+    return Status::DataLoss("empty file (truncated snapshot?): " + path);
   }
   // MAP_SHARED read-only: concurrently launched processes mapping the same
   // snapshot share one set of physical pages (the multi-process cold-start

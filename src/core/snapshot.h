@@ -158,7 +158,7 @@ class ArenaReader {
     static_assert(std::is_trivially_copyable_v<T>);
     DIMQR_RETURN_NOT_OK(AlignTo(alignof(T)));
     if (bytes_.size() - pos_ < sizeof(T)) {
-      return dimqr::Status::IOError("snapshot arena truncated reading pod");
+      return dimqr::Status::DataLoss("snapshot arena truncated reading pod");
     }
     T value;
     std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
@@ -172,13 +172,13 @@ class ArenaReader {
     DIMQR_ASSIGN_OR_RETURN(std::uint64_t count, GetPod<std::uint64_t>());
     DIMQR_RETURN_NOT_OK(AlignTo(kSectionAlign));
     if (count > (bytes_.size() - pos_) / sizeof(T)) {
-      return dimqr::Status::IOError(
+      return dimqr::Status::DataLoss(
           "snapshot arena truncated reading array of " +
           std::to_string(count) + " elements");
     }
     if (reinterpret_cast<std::uintptr_t>(bytes_.data() + pos_) %
             alignof(T) != 0) {
-      return dimqr::Status::IOError("snapshot array misaligned in mapping");
+      return dimqr::Status::DataLoss("snapshot array misaligned in mapping");
     }
     std::span<const T> out(
         reinterpret_cast<const T*>(bytes_.data() + pos_), count);
@@ -195,7 +195,7 @@ class ArenaReader {
   static dimqr::Result<std::string_view> View(std::span<const char> arena,
                                               StrRef ref) {
     if (ref.offset > arena.size() || arena.size() - ref.offset < ref.length) {
-      return dimqr::Status::IOError("snapshot StrRef out of arena bounds");
+      return dimqr::Status::DataLoss("snapshot StrRef out of arena bounds");
     }
     return std::string_view(arena.data() + ref.offset, ref.length);
   }
@@ -206,7 +206,7 @@ class ArenaReader {
   dimqr::Status AlignTo(std::size_t alignment) {
     std::size_t aligned = (pos_ + alignment - 1) / alignment * alignment;
     if (aligned > bytes_.size()) {
-      return dimqr::Status::IOError("snapshot arena truncated at padding");
+      return dimqr::Status::DataLoss("snapshot arena truncated at padding");
     }
     pos_ = aligned;
     return dimqr::Status::OK();
@@ -250,7 +250,12 @@ class SnapshotView {
   SnapshotView() = default;
 
   /// Validates header, CRC, and section table. The returned view (and
-  /// everything loaded through it) aliases `bytes`.
+  /// everything loaded through it) aliases `bytes`. Error classification:
+  /// content-validation failures (bad CRC, truncation, out-of-bounds
+  /// table entries) are kDataLoss — the file exists but its bytes are
+  /// wrong; wrong magic/version are kParseError (not our file / not our
+  /// version); real filesystem failures (in Map) are kIOError. Callers
+  /// like `dimqr_snapshot verify` script on the difference.
   static dimqr::Result<SnapshotView> Parse(std::span<const std::byte> bytes);
 
   bool Has(std::string_view name) const;

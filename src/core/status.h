@@ -32,6 +32,7 @@ enum class StatusCode : std::uint8_t {
   kInternal,          ///< Invariant violation inside the library.
   kUnavailable,       ///< Transient backend failure; safe to retry.
   kDeadlineExceeded,  ///< A (simulated) deadline elapsed; safe to retry.
+  kDataLoss,          ///< Stored data is corrupt (bad CRC, torn record).
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -92,6 +93,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -1,0 +1,329 @@
+#include "eval/fleet.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/fault.h"
+#include "core/rng.h"
+#include "core/snapshot.h"
+#include "lm/mock_llm.h"
+#include "lm/resilient_model.h"
+
+namespace dimqr::eval {
+namespace {
+
+using namespace lm::tasks;
+
+/// One cell of the flattened (model, task) grid.
+struct FleetItem {
+  int model_index = 0;
+  const char* task = nullptr;
+  bool is_extraction = false;
+};
+
+/// One item's result on the wire (SHARD_DONE payload element). Exact
+/// integer counts only — derived percentages are recomputed at merge, the
+/// same byte-identity rule the journal follows. For choice items counts
+/// [0..4] are total/answered/correct/declined_after_retry/failed; for
+/// extraction items counts[0..8] are the qe/ve/ue tp/fp/fn triples.
+struct WireItemResult {
+  std::uint32_t item = 0;
+  std::uint8_t is_extraction = 0;
+  std::uint8_t incomplete = 0;
+  std::uint8_t pad[2] = {0, 0};
+  std::uint64_t counts[9] = {0};
+};
+static_assert(std::is_trivially_copyable_v<WireItemResult>);
+
+std::vector<FleetItem> PlanItems(const std::vector<FleetModelSpec>& models,
+                                 const dimeval::DimEvalBenchmark& bench) {
+  std::vector<FleetItem> items;
+  const bool have_extraction = !bench.TestOf(kQuantityExtraction).empty();
+  for (int mi = 0; mi < static_cast<int>(models.size()); ++mi) {
+    for (const char* task : DimEvalChoiceTasks()) {
+      items.push_back({mi, task, false});
+    }
+    if (have_extraction) items.push_back({mi, kQuantityExtraction, true});
+  }
+  return items;
+}
+
+/// The item's fault-instance seed: pure in (model name, task), independent
+/// of shard boundaries and worker count, so a crash fault hits the same
+/// items at every DIMQR_WORKERS setting.
+std::uint64_t ItemSeed(const std::string& model_name, const char* task) {
+  return Rng::DeriveSeed(Rng::DeriveSeed(Rng::DeriveSeed(20240131, "fleet"),
+                                         model_name),
+                         task);
+}
+
+/// Forwards every model call through a rate-limited heartbeat, so a worker
+/// evaluating a long task still proves liveness per instance — without a
+/// heartbeat thread (the worker stays single-threaded, which keeps fork
+/// legal under TSan and pipe writes uninterleaved).
+class BeatingModel : public lm::Model {
+ public:
+  BeatingModel(lm::Model& inner, proc::ShardContext& ctx)
+      : inner_(inner), ctx_(ctx) {}
+
+  const std::string& name() const override { return inner_.name(); }
+  lm::ChoiceAnswer AnswerChoice(const lm::ChoiceQuestion& question) override {
+    ctx_.Beat();
+    return inner_.AnswerChoice(question);
+  }
+  std::string AnswerText(const lm::TextQuestion& question) override {
+    ctx_.Beat();
+    return inner_.AnswerText(question);
+  }
+  std::vector<lm::ExtractedQuantity> ExtractQuantities(
+      const lm::ExtractionQuestion& question) override {
+    ctx_.Beat();
+    return inner_.ExtractQuantities(question);
+  }
+  bool SupportsParallelEval() const override {
+    return inner_.SupportsParallelEval();
+  }
+
+ private:
+  lm::Model& inner_;
+  proc::ShardContext& ctx_;
+};
+
+/// Evaluates the deterministic crash fault for one item. Never returns
+/// when the fault fires: the whole point is that the supervisor sees a
+/// process death, not an error return.
+void MaybeCrash(std::uint64_t item_seed, int attempt) {
+  FaultDecision decision =
+      FAULT_POINT("fleet.worker").Evaluate(item_seed, attempt);
+  if (decision.kind == FaultKind::kSigkill) {
+    (void)::raise(SIGKILL);
+  } else if (decision.kind == FaultKind::kExit) {
+    ::_exit(13);
+  }
+}
+
+void WarnJournal(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "dimqr: fleet journal write failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+WireItemResult PackChoice(std::uint32_t item, const ChoiceMetrics& m) {
+  WireItemResult out;
+  out.item = item;
+  out.is_extraction = 0;
+  out.incomplete = m.incomplete ? 1 : 0;
+  out.counts[0] = m.total;
+  out.counts[1] = m.answered;
+  out.counts[2] = m.correct;
+  out.counts[3] = m.declined_after_retry;
+  out.counts[4] = m.failed;
+  return out;
+}
+
+ChoiceMetrics UnpackChoice(const WireItemResult& wire) {
+  ChoiceMetrics m;
+  m.total = static_cast<std::size_t>(wire.counts[0]);
+  m.answered = static_cast<std::size_t>(wire.counts[1]);
+  m.correct = static_cast<std::size_t>(wire.counts[2]);
+  m.declined_after_retry = static_cast<std::size_t>(wire.counts[3]);
+  m.failed = static_cast<std::size_t>(wire.counts[4]);
+  m.incomplete = wire.incomplete != 0;
+  return m;
+}
+
+WireItemResult PackExtraction(std::uint32_t item, const ExtractionMetrics& m,
+                              bool incomplete) {
+  WireItemResult out;
+  out.item = item;
+  out.is_extraction = 1;
+  out.incomplete = incomplete ? 1 : 0;
+  const std::size_t counts[9] = {
+      m.qe.true_positive, m.qe.false_positive, m.qe.false_negative,
+      m.ve.true_positive, m.ve.false_positive, m.ve.false_negative,
+      m.ue.true_positive, m.ue.false_positive, m.ue.false_negative};
+  for (int i = 0; i < 9; ++i) out.counts[i] = counts[i];
+  return out;
+}
+
+ExtractionMetrics UnpackExtraction(const WireItemResult& wire) {
+  ExtractionMetrics m;
+  m.qe.true_positive = static_cast<std::size_t>(wire.counts[0]);
+  m.qe.false_positive = static_cast<std::size_t>(wire.counts[1]);
+  m.qe.false_negative = static_cast<std::size_t>(wire.counts[2]);
+  m.ve.true_positive = static_cast<std::size_t>(wire.counts[3]);
+  m.ve.false_positive = static_cast<std::size_t>(wire.counts[4]);
+  m.ve.false_negative = static_cast<std::size_t>(wire.counts[5]);
+  m.ue.true_positive = static_cast<std::size_t>(wire.counts[6]);
+  m.ue.false_positive = static_cast<std::size_t>(wire.counts[7]);
+  m.ue.false_negative = static_cast<std::size_t>(wire.counts[8]);
+  return m;
+}
+
+/// Runs one item inside a worker, honoring the shard journal. The
+/// per-instance logic is EvaluateChoiceTask / EvaluateExtraction — the
+/// same functions the single-process harness calls — behind a fresh
+/// resilience shield per item (state cannot span processes; equivalent
+/// for clean and crash-fault runs, see fleet.h).
+WireItemResult RunItem(const FleetItem& item, std::uint32_t item_index,
+                       const FleetModelSpec& spec,
+                       const dimeval::DimEvalBenchmark& bench,
+                       EvalJournal* journal, proc::ShardContext& ctx) {
+  const std::string& model_name = spec.model->name();
+  if (!item.is_extraction) {
+    ChoiceMetrics metrics;
+    if (journal != nullptr &&
+        journal->LookupChoice(model_name, item.task, &metrics)) {
+      return PackChoice(item_index, metrics);
+    }
+    lm::ResilientModel shield(*spec.model);
+    BeatingModel beating(shield, ctx);
+    metrics = EvaluateChoiceTask(beating, bench.TestOf(item.task));
+    if (journal != nullptr && !metrics.incomplete) {
+      WarnJournal(journal->RecordChoice(model_name, item.task, metrics));
+    }
+    return PackChoice(item_index, metrics);
+  }
+
+  ExtractionMetrics metrics;
+  if (journal != nullptr &&
+      journal->LookupExtraction(model_name, item.task, &metrics)) {
+    return PackExtraction(item_index, metrics, /*incomplete=*/false);
+  }
+  lm::ResilientModel shield(*spec.model);
+  BeatingModel beating(shield, ctx);
+  Extractor model_extractor = ModelExtractor(beating);
+  const Extractor& chosen =
+      spec.extractor != nullptr ? *spec.extractor : model_extractor;
+  const bool parallel_safe =
+      spec.extractor != nullptr || spec.model->SupportsParallelEval();
+  const std::uint64_t permanent_before =
+      shield.stats().permanent_failures.load(std::memory_order_relaxed);
+  metrics = EvaluateExtraction(chosen, bench.TestOf(item.task), parallel_safe);
+  const bool incomplete =
+      spec.extractor == nullptr &&
+      shield.stats().permanent_failures.load(std::memory_order_relaxed) >
+          permanent_before;
+  if (journal != nullptr && !incomplete) {
+    WarnJournal(journal->RecordExtraction(model_name, item.task, metrics));
+  }
+  return PackExtraction(item_index, metrics, incomplete);
+}
+
+}  // namespace
+
+int WorkersFromEnv() {
+  const char* env = std::getenv("DIMQR_WORKERS");
+  if (env == nullptr || env[0] == '\0') return 1;
+  int value = std::atoi(env);
+  return std::clamp(value, 1, 256);
+}
+
+Result<std::vector<DimEvalRow>> RunFleetDimEval(
+    const std::vector<FleetModelSpec>& models,
+    const dimeval::DimEvalBenchmark& bench, const FleetEvalOptions& options,
+    proc::FleetReport* report) {
+  for (const FleetModelSpec& spec : models) {
+    if (spec.model == nullptr) {
+      return Status::InvalidArgument("fleet model spec without a model");
+    }
+  }
+  std::vector<DimEvalRow> rows(models.size());
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    rows[mi].model = models[mi].model->name();
+  }
+  const std::vector<FleetItem> items = PlanItems(models, bench);
+  if (items.empty()) {
+    if (report != nullptr) *report = proc::FleetReport{};
+    return rows;
+  }
+
+  const int num_shards = std::clamp(options.workers, 1,
+                                    static_cast<int>(items.size()));
+  proc::SupervisorOptions supervisor = options.supervisor;
+  supervisor.num_workers = num_shards;
+
+  // Contiguous even split: shard s covers [s*n/k, (s+1)*n/k) — a pure
+  // function of (n, k), like core/parallel's chunking.
+  const auto n = static_cast<std::int64_t>(items.size());
+  auto shard_begin = [&](int s) {
+    return static_cast<std::size_t>(s * n / num_shards);
+  };
+
+  proc::ShardBody body =
+      [&](proc::ShardContext& ctx) -> Result<std::vector<std::byte>> {
+    std::unique_ptr<EvalJournal> journal;
+    if (!options.journal_dir.empty()) {
+      auto opened = EvalJournal::Open(options.journal_dir + "/shard_" +
+                                      std::to_string(ctx.shard) + ".journal");
+      // A corrupt journal is a permanent failure: retrying the shard would
+      // hit the same bytes. The supervisor aborts the run with this status.
+      if (!opened.ok()) return opened.status();
+      journal = std::move(opened).ValueOrDie();
+    }
+    std::vector<WireItemResult> results;
+    const std::size_t begin = shard_begin(ctx.shard);
+    const std::size_t end = shard_begin(ctx.shard + 1);
+    results.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const FleetItem& item = items[i];
+      const FleetModelSpec& spec = models[static_cast<std::size_t>(
+          item.model_index)];
+      // Chaos first, journal second: the crash must fire mid-shard even on
+      // a resumed attempt, or `after_n > 1` could never kill twice.
+      MaybeCrash(ItemSeed(spec.model->name(), item.task), ctx.attempt);
+      ctx.Beat();
+      results.push_back(RunItem(item, static_cast<std::uint32_t>(i), spec,
+                                bench, journal.get(), ctx));
+    }
+    snapshot::ArenaWriter arena;
+    arena.PutArray(std::span<const WireItemResult>(results));
+    return arena.Take();
+  };
+
+  DIMQR_ASSIGN_OR_RETURN(proc::FleetReport fleet_report,
+                         proc::RunShards(num_shards, body, supervisor));
+
+  // Merge in shard order = item order (shards are contiguous ranges), so
+  // the fill sequence is identical to a single-process row walk.
+  for (const proc::ShardOutcome& outcome : fleet_report.outcomes) {
+    snapshot::ArenaReader reader(outcome.payload);
+    DIMQR_ASSIGN_OR_RETURN(std::span<const WireItemResult> wire_results,
+                           reader.GetArray<WireItemResult>());
+    for (const WireItemResult& wire : wire_results) {
+      if (wire.item >= items.size()) {
+        return Status::Internal("fleet merge: item index out of range");
+      }
+      const FleetItem& item = items[wire.item];
+      DimEvalRow& row = rows[static_cast<std::size_t>(item.model_index)];
+      if (wire.is_extraction != 0) {
+        if (wire.incomplete != 0) {
+          row.extraction_incomplete = true;
+        } else {
+          ApplyExtractionToRow(UnpackExtraction(wire), row);
+        }
+      } else {
+        row.choice[item.task] = UnpackChoice(wire);
+      }
+    }
+  }
+  // Every row must have every choice task: a shard payload is only
+  // accepted by the supervisor as a complete result.
+  for (const DimEvalRow& row : rows) {
+    if (row.choice.size() != DimEvalChoiceTasks().size()) {
+      return Status::Internal("fleet merge: row '" + row.model +
+                              "' is missing choice tasks");
+    }
+  }
+  if (report != nullptr) *report = std::move(fleet_report);
+  return rows;
+}
+
+}  // namespace dimqr::eval

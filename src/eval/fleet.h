@@ -1,0 +1,80 @@
+#ifndef DIMQR_EVAL_FLEET_H_
+#define DIMQR_EVAL_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/proc.h"
+#include "dimeval/benchmark.h"
+#include "eval/harness.h"
+
+/// \file fleet.h
+/// Crash-tolerant multi-process DimEval evaluation: the eval-layer driver
+/// over core/proc's shard supervisor. The (model, task) grid is flattened
+/// into a fixed item order — each model's six choice tasks then its
+/// extraction task, models in caller order, exactly the order
+/// EvaluateOnDimEval walks a row — and split into contiguous shards, one
+/// forked worker per shard. Workers inherit the caller's built models, KB
+/// and any mmap-ed snapshot copy-on-write, so N workers share one physical
+/// model image.
+///
+/// Determinism/merge argument (DESIGN.md §12): each item's metrics are
+/// exact integer counts computed by the same per-instance logic as the
+/// single-process harness, and every per-instance decision (answers,
+/// fault draws) is a pure function of the instance seed. Item results are
+/// merged in fixed item order. Hence the merged rows — and any table
+/// printed from them — are byte-identical across worker counts and crash
+/// patterns, including none.
+///
+/// Crash injection: before each item the worker evaluates the
+/// `fleet.worker` fault site with the item's seed and the shard's crash
+/// count as the attempt index, so `DIMQR_FAULTS="fleet.worker:0.2:sigkill"`
+/// kills workers mid-shard deterministically — and deterministically stops
+/// killing once the shard has crashed `after_n` times (fault.h).
+///
+/// Per-shard journals: with a journal directory configured, each shard
+/// appends completed items to `<dir>/shard_<s>.journal` (eval/journal.h,
+/// CRC-protected records). A relaunched or reassigned shard replays the
+/// dead worker's records and resumes mid-shard instead of recomputing. A
+/// corrupt journal fails the shard permanently with kDataLoss.
+
+namespace dimqr::eval {
+
+/// \brief One table row's model under fleet evaluation.
+struct FleetModelSpec {
+  std::shared_ptr<lm::Model> model;
+  /// Extraction path: a concurrent-safe extractor (e.g. AnnotatorExtractor)
+  /// or nullptr for the model-backed Model::ExtractQuantities path. The
+  /// pointee must outlive the fleet run.
+  const Extractor* extractor = nullptr;
+};
+
+struct FleetEvalOptions {
+  /// Worker process count (clamped to [1, item count]). Shards are
+  /// contiguous item ranges, one per worker slot.
+  int workers = 1;
+  /// Directory for per-shard crash-resume journals; empty disables
+  /// journaling (crashed shards recompute from their start).
+  std::string journal_dir;
+  /// Supervisor tuning; `num_workers` is overwritten from `workers`.
+  proc::SupervisorOptions supervisor;
+};
+
+/// \brief Worker count from the DIMQR_WORKERS environment variable
+/// (clamped to [1, 256]); 1 when unset or unparseable.
+int WorkersFromEnv();
+
+/// \brief Evaluates every model over the benchmark across a supervised
+/// worker fleet and merges per-item results into rows (same shape as
+/// EvaluateOnDimEval per model, in `models` order). On success `*report`
+/// (when non-null) receives the supervision counters — the chaos CI greps
+/// its Summary() to prove injected crashes actually bit.
+Result<std::vector<DimEvalRow>> RunFleetDimEval(
+    const std::vector<FleetModelSpec>& models,
+    const dimeval::DimEvalBenchmark& bench, const FleetEvalOptions& options,
+    proc::FleetReport* report = nullptr);
+
+}  // namespace dimqr::eval
+
+#endif  // DIMQR_EVAL_FLEET_H_

@@ -157,18 +157,22 @@ ExtractionMetrics EvaluateExtraction(
   return result.ValueOrDie();
 }
 
-namespace {
-
-/// Applies journaled or freshly-measured extraction counts to the row's
-/// QE/VE/UE cells. "-" rows: a model with no extraction path produced no
-/// predictions at all; mark as not evaluated rather than zero.
-void ApplyExtraction(const ExtractionMetrics& metrics, DimEvalRow& row) {
+void ApplyExtractionToRow(const ExtractionMetrics& metrics, DimEvalRow& row) {
   if (metrics.qe.true_positive + metrics.qe.false_positive > 0) {
     row.qe_f1 = metrics.qe.F1();
     row.ve_f1 = metrics.ve.F1();
     row.ue_f1 = metrics.ue.F1();
   }
 }
+
+std::span<const char* const> DimEvalChoiceTasks() {
+  static const char* const kTasks[] = {
+      kQuantityKindMatch,   kComparableAnalysis, kDimensionPrediction,
+      kDimensionArithmetic, kMagnitudeComparison, kUnitConversion};
+  return kTasks;
+}
+
+namespace {
 
 /// Journal write failures are warnings, not fatal: the evaluation result
 /// in hand is still good, only resumability degrades.
@@ -198,10 +202,7 @@ DimEvalRow EvaluateOnDimEval(lm::Model& model,
 
   DimEvalRow row;
   row.model = model.name();
-  const char* choice_tasks[] = {kQuantityKindMatch,   kComparableAnalysis,
-                                kDimensionPrediction, kDimensionArithmetic,
-                                kMagnitudeComparison, kUnitConversion};
-  for (const char* task : choice_tasks) {
+  for (const char* task : DimEvalChoiceTasks()) {
     ChoiceMetrics metrics;
     if (journal != nullptr &&
         journal->LookupChoice(row.model, task, &metrics)) {
@@ -221,7 +222,7 @@ DimEvalRow EvaluateOnDimEval(lm::Model& model,
     ExtractionMetrics metrics;
     if (journal != nullptr &&
         journal->LookupExtraction(row.model, kQuantityExtraction, &metrics)) {
-      ApplyExtraction(metrics, row);
+      ApplyExtractionToRow(metrics, row);
       return row;
     }
     Extractor model_extractor = ModelExtractor(*shield);
@@ -245,7 +246,7 @@ DimEvalRow EvaluateOnDimEval(lm::Model& model,
             permanent_before) {
       row.extraction_incomplete = true;
     } else {
-      ApplyExtraction(measured, row);
+      ApplyExtractionToRow(measured, row);
       if (journal != nullptr) {
         WarnJournal(journal->RecordExtraction(row.model, kQuantityExtraction,
                                               measured));

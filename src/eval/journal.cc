@@ -1,8 +1,12 @@
 #include "eval/journal.h"
 
 #include <cstddef>
+#include <cstdio>
+#include <span>
 #include <string_view>
 #include <vector>
+
+#include "core/snapshot.h"
 
 namespace dimqr::eval {
 
@@ -39,6 +43,39 @@ bool ParseCount(std::string_view text, std::size_t* out) {
   return true;
 }
 
+/// The trailing checksum field: CRC-32C (core/snapshot's hardware-
+/// dispatched CRC) of every line byte before the field's own tab, as eight
+/// lowercase hex digits. Catches single-bit rot and mid-file truncation
+/// that still parses as digits — count fields are all digits, so a flipped
+/// digit is otherwise a silently wrong table.
+std::string CrcField(std::string_view payload) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x",
+                snapshot::Crc32(std::as_bytes(
+                    std::span<const char>(payload.data(), payload.size()))));
+  return std::string(buf);
+}
+
+bool IsHex8(std::string_view text) {
+  if (text.size() != 8) return false;
+  for (char c : text) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+/// True when the line's final field is a structurally valid CRC field that
+/// matches the preceding bytes. `well_formed` distinguishes "no/garbled CRC
+/// field" (a torn record) from "valid field, wrong value" (corruption).
+bool CheckCrc(std::string_view line, std::string_view crc_text,
+              bool* well_formed) {
+  *well_formed = IsHex8(crc_text);
+  if (!*well_formed) return false;
+  // The CRC field is always the last 9 bytes: '\t' + 8 hex digits.
+  std::string_view payload = line.substr(0, line.size() - 9);
+  return CrcField(payload) == crc_text;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<EvalJournal>> EvalJournal::Open(
@@ -48,7 +85,30 @@ Result<std::unique_ptr<EvalJournal>> EvalJournal::Open(
     std::ifstream in(path);
     if (in.is_open()) {
       std::string line;
-      while (std::getline(in, line)) journal->LoadLine(line);
+      std::size_t line_no = 0;
+      std::size_t torn_line = 0;
+      while (std::getline(in, line)) {
+        ++line_no;
+        switch (journal->LoadLine(line)) {
+          case LineParse::kOk:
+            if (torn_line != 0) {
+              // A structurally broken record can only be the final line (a
+              // record torn by a kill mid-write). Valid data after one
+              // means the file was damaged in the middle: refuse to merge.
+              return Status::DataLoss(
+                  "journal " + path + " has a torn record at line " +
+                  std::to_string(torn_line) + " followed by valid records");
+            }
+            break;
+          case LineParse::kTorn:
+            if (torn_line == 0) torn_line = line_no;
+            break;
+          case LineParse::kCorrupt:
+            return Status::DataLoss("journal " + path +
+                                    " failed its record CRC check at line " +
+                                    std::to_string(line_no));
+        }
+      }
     }
   }
   journal->out_.open(path, std::ios::out | std::ios::app);
@@ -58,35 +118,47 @@ Result<std::unique_ptr<EvalJournal>> EvalJournal::Open(
   return journal;
 }
 
-void EvalJournal::LoadLine(const std::string& line) {
+EvalJournal::LineParse EvalJournal::LoadLine(const std::string& line) {
   std::vector<std::string_view> fields = SplitFields(line);
-  if (fields.size() < 3) return;
+  if (fields.size() < 4) return LineParse::kTorn;
+  bool crc_well_formed = false;
+  const bool crc_ok = CheckCrc(line, fields.back(), &crc_well_formed);
   Key key{std::string(fields[1]), std::string(fields[2])};
-  if (fields[0] == kChoiceTag && fields.size() == 8) {
+  if (fields[0] == kChoiceTag && fields.size() == 9) {
     ChoiceMetrics m;
-    if (ParseCount(fields[3], &m.total) &&
-        ParseCount(fields[4], &m.answered) &&
-        ParseCount(fields[5], &m.correct) &&
-        ParseCount(fields[6], &m.declined_after_retry) &&
-        ParseCount(fields[7], &m.failed)) {
-      choice_[std::move(key)] = m;  // Duplicate key: latest record wins.
-      ++loaded_records_;
+    if (!(ParseCount(fields[3], &m.total) &&
+          ParseCount(fields[4], &m.answered) &&
+          ParseCount(fields[5], &m.correct) &&
+          ParseCount(fields[6], &m.declined_after_retry) &&
+          ParseCount(fields[7], &m.failed))) {
+      return LineParse::kTorn;
     }
-  } else if (fields[0] == kExtractionTag && fields.size() == 12) {
-    ExtractionMetrics m;
-    if (ParseCount(fields[3], &m.qe.true_positive) &&
-        ParseCount(fields[4], &m.qe.false_positive) &&
-        ParseCount(fields[5], &m.qe.false_negative) &&
-        ParseCount(fields[6], &m.ve.true_positive) &&
-        ParseCount(fields[7], &m.ve.false_positive) &&
-        ParseCount(fields[8], &m.ve.false_negative) &&
-        ParseCount(fields[9], &m.ue.true_positive) &&
-        ParseCount(fields[10], &m.ue.false_positive) &&
-        ParseCount(fields[11], &m.ue.false_negative)) {
-      extraction_[std::move(key)] = m;
-      ++loaded_records_;
-    }
+    if (!crc_well_formed) return LineParse::kTorn;
+    if (!crc_ok) return LineParse::kCorrupt;
+    choice_[std::move(key)] = m;  // Duplicate key: latest record wins.
+    ++loaded_records_;
+    return LineParse::kOk;
   }
+  if (fields[0] == kExtractionTag && fields.size() == 13) {
+    ExtractionMetrics m;
+    if (!(ParseCount(fields[3], &m.qe.true_positive) &&
+          ParseCount(fields[4], &m.qe.false_positive) &&
+          ParseCount(fields[5], &m.qe.false_negative) &&
+          ParseCount(fields[6], &m.ve.true_positive) &&
+          ParseCount(fields[7], &m.ve.false_positive) &&
+          ParseCount(fields[8], &m.ve.false_negative) &&
+          ParseCount(fields[9], &m.ue.true_positive) &&
+          ParseCount(fields[10], &m.ue.false_positive) &&
+          ParseCount(fields[11], &m.ue.false_negative))) {
+      return LineParse::kTorn;
+    }
+    if (!crc_well_formed) return LineParse::kTorn;
+    if (!crc_ok) return LineParse::kCorrupt;
+    extraction_[std::move(key)] = m;
+    ++loaded_records_;
+    return LineParse::kOk;
+  }
+  return LineParse::kTorn;
 }
 
 bool EvalJournal::LookupChoice(const std::string& model,
@@ -114,9 +186,18 @@ Status EvalJournal::RecordChoice(const std::string& model,
     return Status::InvalidArgument(
         "refusing to journal an incomplete task: " + task);
   }
-  out_ << kChoiceTag << '\t' << model << '\t' << task << '\t' << metrics.total
-       << '\t' << metrics.answered << '\t' << metrics.correct << '\t'
-       << metrics.declined_after_retry << '\t' << metrics.failed << '\n';
+  std::string payload;
+  payload.append(kChoiceTag);
+  payload += '\t';
+  payload += model;
+  payload += '\t';
+  payload += task;
+  for (std::size_t count : {metrics.total, metrics.answered, metrics.correct,
+                            metrics.declined_after_retry, metrics.failed}) {
+    payload += '\t';
+    payload += std::to_string(count);
+  }
+  out_ << payload << '\t' << CrcField(payload) << '\n';
   out_.flush();
   if (!out_.good()) return Status::IOError("journal write failed: " + task);
   choice_[Key{model, task}] = metrics;
@@ -126,13 +207,22 @@ Status EvalJournal::RecordChoice(const std::string& model,
 Status EvalJournal::RecordExtraction(const std::string& model,
                                      const std::string& task,
                                      const ExtractionMetrics& metrics) {
-  out_ << kExtractionTag << '\t' << model << '\t' << task << '\t'
-       << metrics.qe.true_positive << '\t' << metrics.qe.false_positive
-       << '\t' << metrics.qe.false_negative << '\t'
-       << metrics.ve.true_positive << '\t' << metrics.ve.false_positive
-       << '\t' << metrics.ve.false_negative << '\t'
-       << metrics.ue.true_positive << '\t' << metrics.ue.false_positive
-       << '\t' << metrics.ue.false_negative << '\n';
+  std::string payload;
+  payload.append(kExtractionTag);
+  payload += '\t';
+  payload += model;
+  payload += '\t';
+  payload += task;
+  for (std::size_t count :
+       {metrics.qe.true_positive, metrics.qe.false_positive,
+        metrics.qe.false_negative, metrics.ve.true_positive,
+        metrics.ve.false_positive, metrics.ve.false_negative,
+        metrics.ue.true_positive, metrics.ue.false_positive,
+        metrics.ue.false_negative}) {
+    payload += '\t';
+    payload += std::to_string(count);
+  }
+  out_ << payload << '\t' << CrcField(payload) << '\n';
   out_.flush();
   if (!out_.good()) return Status::IOError("journal write failed: " + task);
   extraction_[Key{model, task}] = metrics;

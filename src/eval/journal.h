@@ -23,6 +23,13 @@
 /// permanent backend failure is retried from scratch on resume. Each record
 /// is flushed as soon as its task finishes; a record torn mid-write by a
 /// kill (at most the last line) fails to parse and is ignored on load.
+///
+/// Integrity: every record ends in a CRC-32C field (core/snapshot's
+/// hardware-dispatched CRC) over the rest of the line. A structurally
+/// broken record is tolerated only as the final line (the torn-tail case
+/// above); a record whose CRC field is present but wrong, or a torn record
+/// followed by valid ones, means the file was corrupted — Open rejects it
+/// with kDataLoss instead of silently merging damaged counts into a table.
 
 namespace dimqr::eval {
 
@@ -30,9 +37,10 @@ namespace dimqr::eval {
 class EvalJournal {
  public:
   /// \brief Opens `path` for append, first loading any records a previous
-  /// (possibly killed) run left behind. Unparseable lines — a torn trailing
-  /// record — are skipped. Fails only if the file cannot be opened for
-  /// writing.
+  /// (possibly killed) run left behind. A torn trailing record is skipped;
+  /// a record failing its CRC check (or a torn record that is not the last
+  /// line) fails with kDataLoss; a file that cannot be opened for writing
+  /// fails with kIOError.
   static Result<std::unique_ptr<EvalJournal>> Open(const std::string& path);
 
   /// \brief Replays a journaled choice-task record into `*out`. Returns
@@ -60,8 +68,13 @@ class EvalJournal {
  private:
   using Key = std::pair<std::string, std::string>;  ///< (model, task).
 
+  /// How one loaded line classified: a valid record, a structurally torn
+  /// line (only legal as the final line), or a well-formed record whose
+  /// CRC does not match its bytes.
+  enum class LineParse { kOk, kTorn, kCorrupt };
+
   EvalJournal() = default;
-  void LoadLine(const std::string& line);
+  LineParse LoadLine(const std::string& line);
 
   std::map<Key, ChoiceMetrics> choice_;
   std::map<Key, ExtractionMetrics> extraction_;

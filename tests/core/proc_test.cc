@@ -1,0 +1,313 @@
+#include "core/proc.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dimqr::proc {
+namespace {
+
+// The fork-based tests must not run under TSan: forking a multi-threaded
+// instrumented process trips the runtime even though the children here are
+// single-threaded by construction.
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
+
+#define SKIP_IF_TSAN() \
+  if (kTsan) GTEST_SKIP() << "fork-based test skipped under TSan"
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string Text(const std::vector<std::byte>& bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+TEST(BackoffDelayMsTest, DoublesFromInitialAndCaps) {
+  SupervisorOptions options;
+  options.backoff_initial_ms = 10;
+  options.backoff_max_ms = 75;
+  EXPECT_EQ(BackoffDelayMs(1, options), 10);
+  EXPECT_EQ(BackoffDelayMs(2, options), 20);
+  EXPECT_EQ(BackoffDelayMs(3, options), 40);
+  EXPECT_EQ(BackoffDelayMs(4, options), 75);   // capped, not 80
+  EXPECT_EQ(BackoffDelayMs(30, options), 75);  // no overflow at high counts
+}
+
+TEST(FrameBufferTest, ReassemblesFramesFromArbitrarySplits) {
+  std::vector<std::byte> wire;
+  {
+    // Serialize two frames through a pipe to reuse the writer.
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    ASSERT_TRUE(WriteFrame(fds[1], FrameType::kHello, 3, 1, {}).ok());
+    std::vector<std::byte> payload = Bytes("result");
+    ASSERT_TRUE(WriteFrame(fds[1], FrameType::kShardDone, 3, 1, payload).ok());
+    close(fds[1]);
+    std::byte buf[4096];
+    ssize_t n;
+    while ((n = read(fds[0], buf, sizeof(buf))) > 0) {
+      wire.insert(wire.end(), buf, buf + n);
+    }
+    close(fds[0]);
+  }
+  // Feed the stream one byte at a time: frames must reassemble regardless
+  // of read() boundaries.
+  FrameBuffer buffer;
+  std::vector<Frame> frames;
+  for (std::byte b : wire) {
+    buffer.Append(std::span<const std::byte>(&b, 1));
+    Frame frame;
+    auto got = buffer.Next(&frame);
+    ASSERT_TRUE(got.ok());
+    if (got.ValueOrDie()) frames.push_back(std::move(frame));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  EXPECT_EQ(frames[0].shard, 3u);
+  EXPECT_EQ(frames[1].type, FrameType::kShardDone);
+  EXPECT_EQ(Text(frames[1].payload), "result");
+}
+
+TEST(FrameBufferTest, TornTrailingFrameNeverCompletes) {
+  // A worker killed mid-write leaves a prefix of a frame; the buffer must
+  // simply never yield it (no error, no garbage frame).
+  FrameBuffer buffer;
+  FrameHeader header;
+  header.magic = kFrameMagic;
+  header.type = static_cast<std::uint32_t>(FrameType::kShardDone);
+  header.shard = 0;
+  header.attempt = 0;
+  header.payload_size = 100;  // promised but never delivered
+  std::byte raw[sizeof(header)];
+  std::memcpy(raw, &header, sizeof(header));
+  buffer.Append(std::span<const std::byte>(raw, sizeof(raw)));
+  buffer.Append(std::span<const std::byte>(raw, 4));  // partial payload
+  Frame frame;
+  auto got = buffer.Next(&frame);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got.ValueOrDie());
+}
+
+TEST(FrameBufferTest, BadMagicIsAnError) {
+  FrameBuffer buffer;
+  FrameHeader header;
+  header.magic = 0xdeadbeef;
+  header.type = static_cast<std::uint32_t>(FrameType::kHello);
+  std::byte raw[sizeof(header)];
+  std::memcpy(raw, &header, sizeof(header));
+  buffer.Append(std::span<const std::byte>(raw, sizeof(raw)));
+  Frame frame;
+  auto got = buffer.Next(&frame);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInternal);
+}
+
+TEST(RunShardsTest, CollectsEveryShardPayloadInOrder) {
+  SKIP_IF_TSAN();
+  SupervisorOptions options;
+  options.num_workers = 2;
+  auto result = RunShards(
+      5,
+      [](ShardContext& ctx) -> Result<std::vector<std::byte>> {
+        return Bytes("shard " + std::to_string(ctx.shard));
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const FleetReport& report = result.ValueOrDie();
+  EXPECT_EQ(report.num_shards, 5);
+  EXPECT_EQ(report.crashes, 0u);
+  ASSERT_EQ(report.outcomes.size(), 5u);
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_EQ(report.outcomes[s].shard, s);
+    EXPECT_EQ(report.outcomes[s].attempts, 1);
+    EXPECT_EQ(Text(report.outcomes[s].payload),
+              "shard " + std::to_string(s));
+  }
+}
+
+TEST(RunShardsTest, RestartsCrashedShardWithIncrementedAttempt) {
+  SKIP_IF_TSAN();
+  SupervisorOptions options;
+  options.num_workers = 2;
+  auto result = RunShards(
+      4,
+      [](ShardContext& ctx) -> Result<std::vector<std::byte>> {
+        // Odd shards die by SIGKILL on their first attempt.
+        if (ctx.shard % 2 == 1 && ctx.attempt == 0) {
+          (void)::raise(SIGKILL);
+        }
+        return Bytes("attempt " + std::to_string(ctx.attempt));
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const FleetReport& report = result.ValueOrDie();
+  EXPECT_EQ(report.crashes, 2u);
+  EXPECT_EQ(report.restarts, 2u);
+  ASSERT_EQ(report.outcomes.size(), 4u);
+  EXPECT_EQ(Text(report.outcomes[0].payload), "attempt 0");
+  EXPECT_EQ(Text(report.outcomes[1].payload), "attempt 1");
+  EXPECT_EQ(report.outcomes[1].attempts, 2);
+  EXPECT_EQ(Text(report.outcomes[3].payload), "attempt 1");
+}
+
+TEST(RunShardsTest, UncleanExitCountsAsCrash) {
+  SKIP_IF_TSAN();
+  SupervisorOptions options;
+  options.num_workers = 1;
+  auto result = RunShards(
+      1,
+      [](ShardContext& ctx) -> Result<std::vector<std::byte>> {
+        if (ctx.attempt == 0) ::_exit(13);
+        return Bytes("ok");
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().crashes, 1u);
+  EXPECT_EQ(Text(result.ValueOrDie().outcomes[0].payload), "ok");
+}
+
+TEST(RunShardsTest, SurvivesRepeatedCrashesViaReassignment) {
+  SKIP_IF_TSAN();
+  // The acceptance scenario: one shard crashes 3 consecutive times with a
+  // per-slot budget of 2 — it must exhaust slot A's budget, move to slot
+  // B, and complete there rather than failing the run.
+  SupervisorOptions options;
+  options.num_workers = 2;
+  options.crash_budget_per_worker = 2;
+  options.backoff_initial_ms = 1;
+  auto result = RunShards(
+      2,
+      [](ShardContext& ctx) -> Result<std::vector<std::byte>> {
+        if (ctx.shard == 0 && ctx.attempt < 3) (void)::raise(SIGKILL);
+        return Bytes("done " + std::to_string(ctx.attempt));
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const FleetReport& report = result.ValueOrDie();
+  EXPECT_EQ(report.crashes, 3u);
+  EXPECT_GE(report.reassignments, 1u);
+  EXPECT_EQ(Text(report.outcomes[0].payload), "done 3");
+  EXPECT_EQ(report.outcomes[0].attempts, 4);
+  EXPECT_EQ(Text(report.outcomes[1].payload), "done 0");
+}
+
+TEST(RunShardsTest, ShardExhaustingEverySlotFailsTheRun) {
+  SKIP_IF_TSAN();
+  SupervisorOptions options;
+  options.num_workers = 2;
+  options.crash_budget_per_worker = 1;
+  options.backoff_initial_ms = 1;
+  auto result = RunShards(
+      1,
+      [](ShardContext&) -> Result<std::vector<std::byte>> {
+        (void)::raise(SIGKILL);  // crashes on every attempt, every slot
+        return Bytes("unreachable");
+      },
+      options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(RunShardsTest, GlobalCrashCeilingFailsTheRun) {
+  SKIP_IF_TSAN();
+  SupervisorOptions options;
+  options.num_workers = 1;
+  options.crash_budget_per_worker = 100;
+  options.max_total_crashes = 3;
+  options.backoff_initial_ms = 1;
+  auto result = RunShards(
+      1,
+      [](ShardContext&) -> Result<std::vector<std::byte>> {
+        (void)::raise(SIGKILL);
+        return Bytes("unreachable");
+      },
+      options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(RunShardsTest, BodyErrorStatusIsPermanentAndPropagates) {
+  SKIP_IF_TSAN();
+  SupervisorOptions options;
+  options.num_workers = 2;
+  auto result = RunShards(
+      3,
+      [](ShardContext& ctx) -> Result<std::vector<std::byte>> {
+        if (ctx.shard == 1) {
+          return Status::DataLoss("shard 1 hit corrupt data");
+        }
+        return Bytes("ok");
+      },
+      options);
+  ASSERT_FALSE(result.ok());
+  // The body's Status crosses the process boundary intact: same code,
+  // same message — and no retry (crashes stay 0).
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(result.status().message().find("shard 1 hit corrupt data"),
+            std::string::npos);
+}
+
+TEST(RunShardsTest, HungWorkerIsKilledAndShardRetried) {
+  SKIP_IF_TSAN();
+  SupervisorOptions options;
+  options.num_workers = 1;
+  options.heartbeat_interval_ms = 10;
+  options.heartbeat_timeout_ms = 250;
+  options.backoff_initial_ms = 1;
+  auto result = RunShards(
+      1,
+      [](ShardContext& ctx) -> Result<std::vector<std::byte>> {
+        if (ctx.attempt == 0) {
+          // Hang without beating: the supervisor must declare this worker
+          // dead and SIGKILL it well before the sleep finishes.
+          ::sleep(30);
+        }
+        return Bytes("recovered");
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const FleetReport& report = result.ValueOrDie();
+  EXPECT_GE(report.heartbeat_timeouts, 1u);
+  EXPECT_EQ(report.crashes, 1u);
+  EXPECT_EQ(Text(report.outcomes[0].payload), "recovered");
+}
+
+TEST(RunShardsTest, RejectsInvalidArguments) {
+  auto body = [](ShardContext&) -> Result<std::vector<std::byte>> {
+    return std::vector<std::byte>{};
+  };
+  SupervisorOptions options;
+  options.num_workers = 0;
+  EXPECT_EQ(RunShards(1, body, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.num_workers = 1;
+  EXPECT_EQ(RunShards(-1, body, options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunShards(1, ShardBody{}, options).status().code(),
+            StatusCode::kInvalidArgument);
+  // Zero shards is a legal no-op, not an error.
+  auto empty = RunShards(0, body, options);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.ValueOrDie().outcomes.empty());
+}
+
+}  // namespace
+}  // namespace dimqr::proc

@@ -124,6 +124,9 @@ TEST(SnapshotTest, RejectsTruncatedFile) {
                                bytes.begin() + static_cast<long>(keep));
     auto snap = Snapshot::FromBytes(std::move(cut));
     EXPECT_FALSE(snap.ok()) << "accepted a file truncated to " << keep;
+    // Truncation is corruption, not an I/O problem — the snapshot CLI maps
+    // kDataLoss to its distinct "corrupt" exit code.
+    EXPECT_EQ(snap.status().code(), StatusCode::kDataLoss) << keep;
   }
 }
 
@@ -148,8 +151,9 @@ TEST(SnapshotTest, RejectsFlippedPayloadByte) {
   for (std::size_t pos : {sizeof(SnapshotHeader) + 3, bytes.size() - 2}) {
     std::vector<std::byte> bad = bytes;
     bad[pos] ^= std::byte{0x10};
-    EXPECT_FALSE(Snapshot::FromBytes(std::move(bad)).ok())
-        << "accepted a payload flip at byte " << pos;
+    auto snap = Snapshot::FromBytes(std::move(bad));
+    EXPECT_FALSE(snap.ok()) << "accepted a payload flip at byte " << pos;
+    EXPECT_EQ(snap.status().code(), StatusCode::kDataLoss) << pos;
   }
 }
 
@@ -209,8 +213,13 @@ TEST(SnapshotTest, MapRoundTripsThroughDisk) {
   std::remove(path.c_str());
 }
 
-TEST(SnapshotTest, MapRejectsMissingAndCorruptFiles) {
-  EXPECT_FALSE(Snapshot::Map("/nonexistent/dir/nope.dqs").ok());
+TEST(SnapshotTest, MapRejectsMissingAndCorruptFilesDistinctly) {
+  // The two failure classes must stay distinguishable: a missing/unreadable
+  // file is kIOError, a damaged one is kDataLoss — the snapshot CLI turns
+  // them into different exit codes (3 vs 4) for scripted health checks.
+  auto missing = Snapshot::Map("/nonexistent/dir/nope.dqs");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIOError);
   std::string path = ::testing::TempDir() + "snapshot_test_corrupt.dqs";
   std::vector<std::byte> bytes = MakeTestSnapshot();
   bytes[sizeof(SnapshotHeader) + 1] ^= std::byte{0x01};
@@ -220,7 +229,9 @@ TEST(SnapshotTest, MapRejectsMissingAndCorruptFiles) {
     std::fwrite(bytes.data(), 1, bytes.size(), f);
     std::fclose(f);
   }
-  EXPECT_FALSE(Snapshot::Map(path).ok());
+  auto corrupt = Snapshot::Map(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 

@@ -466,6 +466,68 @@ TEST_F(ChaosTest, JournalIgnoresTornTrailingRecord) {
   EXPECT_FALSE(reopened->LookupChoice("M", "magnitude_comparison", &m));
 }
 
+TEST_F(ChaosTest, JournalRejectsFlippedByteWithDataLoss) {
+  // The CRC regression: flip one payload byte of a structurally valid
+  // record (same length, still parseable) and Open must refuse the file
+  // with kDataLoss instead of replaying damaged counts into a table.
+  std::string path = TempJournalPath("journal_flipped.tsv");
+  {
+    auto journal = EvalJournal::Open(path).ValueOrDie();
+    ChoiceMetrics m;
+    m.total = 30;
+    m.answered = 30;
+    m.correct = 15;
+    ASSERT_TRUE(journal->RecordChoice("M", "unit_conversion", m).ok());
+  }
+  std::string content;
+  {
+    std::ifstream in(path);
+    std::getline(in, content);
+  }
+  // Same-length substitution inside the task field: the line still parses,
+  // only its bytes no longer match the stored CRC.
+  std::size_t at = content.find("unit_conversion");
+  ASSERT_NE(at, std::string::npos);
+  content[at] = 'x';
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << content << "\n";
+  }
+  auto reopened = EvalJournal::Open(path);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(ChaosTest, JournalRejectsTornRecordFollowedByValidOnes) {
+  // A torn record is only legal as the *final* line (kill mid-write); one
+  // in the middle means the file was damaged after the fact.
+  std::string path = TempJournalPath("journal_torn_middle.tsv");
+  {
+    auto journal = EvalJournal::Open(path).ValueOrDie();
+    ChoiceMetrics m;
+    m.total = 30;
+    m.answered = 30;
+    m.correct = 15;
+    ASSERT_TRUE(journal->RecordChoice("M", "unit_conversion", m).ok());
+    ASSERT_TRUE(journal->RecordChoice("M", "magnitude_comparison", m).ok());
+  }
+  std::string line1, line2;
+  {
+    std::ifstream in(path);
+    std::getline(in, line1);
+    std::getline(in, line2);
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << line1 << "\n"
+        << "choice\tM\tdimension_prediction\t30\t2\n"
+        << line2 << "\n";
+  }
+  auto reopened = EvalJournal::Open(path);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
 TEST_F(ChaosTest, JournalResumeSkipsModelAndReproducesRow) {
   std::string path = TempJournalPath("journal_resume.tsv");
   lm::MockLlm mock("Journaled",

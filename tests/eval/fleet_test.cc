@@ -1,0 +1,327 @@
+// Tests for the crash-tolerant multi-process DimEval fleet (eval/fleet.h):
+// merged rows must be identical to the single-process harness at every
+// worker count and under injected worker crashes, shards must resume from
+// their journals, and corrupt journals must fail the run cleanly.
+
+#include "eval/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "eval/harness.h"
+#include "eval/journal.h"
+#include "lm/mock_llm.h"
+
+namespace dimqr::eval {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
+
+#define SKIP_IF_TSAN() \
+  if (kTsan) GTEST_SKIP() << "fork-based test skipped under TSan"
+
+std::shared_ptr<const kb::DimUnitKB> Kb() {
+  static const std::shared_ptr<const kb::DimUnitKB> kKb =
+      kb::DimUnitKB::Build().ValueOrDie();
+  return kKb;
+}
+
+const linking::DimKsAnnotator& Annotator() {
+  static const linking::DimKsAnnotator* const kAnnotator = [] {
+    auto linker = linking::UnitLinker::Build(Kb()).ValueOrDie();
+    return new linking::DimKsAnnotator(linker);
+  }();
+  return *kAnnotator;
+}
+
+const dimeval::DimEvalBenchmark& Bench() {
+  static const dimeval::DimEvalBenchmark* const kBench = [] {
+    dimeval::BenchmarkOptions options;
+    options.train_per_task = 8;
+    options.test_per_task = 24;
+    options.extraction_corpus_sentences = 160;
+    return new dimeval::DimEvalBenchmark(
+        dimeval::BuildDimEval(Kb(), Annotator(), options).ValueOrDie());
+  }();
+  return *kBench;
+}
+
+/// Two calibrated mocks with distinct profiles, so a merge that crossed
+/// rows or tasks would be visible in the counts.
+std::vector<FleetModelSpec> Specs() {
+  using Skills = std::map<std::string, lm::SkillProfile>;
+  static const std::vector<FleetModelSpec>* const kSpecs = [] {
+    auto* specs = new std::vector<FleetModelSpec>();
+    specs->push_back({std::make_shared<lm::MockLlm>(
+                          "A (sim)",
+                          Skills{{"quantitykind_match", {0.7, 0.9}},
+                                 {"unit_conversion", {0.5, 0.8}},
+                                 {"quantity_extraction", {0.6, 0.9}},
+                                 {"value_extraction", {0.8, 0.9}},
+                                 {"unit_extraction", {0.7, 0.9}}}),
+                      nullptr});
+    specs->push_back({std::make_shared<lm::MockLlm>(
+                          "B (sim)",
+                          Skills{{"quantitykind_match", {0.9, 0.95}},
+                                 {"magnitude_comparison", {0.8, 0.9}},
+                                 {"quantity_extraction", {0.4, 0.7}},
+                                 {"value_extraction", {0.5, 0.8}},
+                                 {"unit_extraction", {0.45, 0.75}}}),
+                      nullptr});
+    return specs;
+  }();
+  return *kSpecs;
+}
+
+/// The single-process reference rows for Specs().
+std::vector<DimEvalRow> ReferenceRows() {
+  std::vector<DimEvalRow> rows;
+  for (const FleetModelSpec& spec : Specs()) {
+    rows.push_back(
+        EvaluateOnDimEval(*spec.model, Bench(), spec.extractor, nullptr));
+  }
+  return rows;
+}
+
+void ExpectRowsEqual(const std::vector<DimEvalRow>& expected,
+                     const std::vector<DimEvalRow>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const DimEvalRow& a = expected[i];
+    const DimEvalRow& b = actual[i];
+    EXPECT_EQ(a.model, b.model);
+    ASSERT_EQ(a.choice.size(), b.choice.size()) << a.model;
+    for (const auto& [task, metrics] : a.choice) {
+      const ChoiceMetrics& other = b.choice.at(task);
+      EXPECT_EQ(metrics.total, other.total) << a.model << "/" << task;
+      EXPECT_EQ(metrics.answered, other.answered) << a.model << "/" << task;
+      EXPECT_EQ(metrics.correct, other.correct) << a.model << "/" << task;
+      EXPECT_EQ(metrics.declined_after_retry, other.declined_after_retry)
+          << a.model << "/" << task;
+      EXPECT_EQ(metrics.failed, other.failed) << a.model << "/" << task;
+      EXPECT_EQ(metrics.incomplete, other.incomplete)
+          << a.model << "/" << task;
+    }
+    EXPECT_EQ(a.qe_f1, b.qe_f1) << a.model;
+    EXPECT_EQ(a.ve_f1, b.ve_f1) << a.model;
+    EXPECT_EQ(a.ue_f1, b.ue_f1) << a.model;
+    EXPECT_EQ(a.extraction_incomplete, b.extraction_incomplete) << a.model;
+  }
+}
+
+std::string TempDirFor(const char* name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Clears fault configuration around each test (global registry).
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().Clear(); }
+  void TearDown() override { FaultRegistry::Global().Clear(); }
+};
+
+TEST_F(FleetTest, RowsMatchSingleProcessAtEveryWorkerCount) {
+  SKIP_IF_TSAN();
+  std::vector<DimEvalRow> reference = ReferenceRows();
+  for (int workers : {1, 2, 8}) {
+    FleetEvalOptions options;
+    options.workers = workers;
+    proc::FleetReport report;
+    auto rows = RunFleetDimEval(Specs(), Bench(), options, &report);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    ExpectRowsEqual(reference, rows.ValueOrDie());
+    EXPECT_EQ(report.crashes, 0u) << workers;
+    EXPECT_EQ(report.num_workers, workers);
+  }
+}
+
+TEST_F(FleetTest, WorkerCountIsClampedToItemCount) {
+  SKIP_IF_TSAN();
+  FleetEvalOptions options;
+  options.workers = 64;  // far more than the 14 (model, task) items
+  proc::FleetReport report;
+  auto rows = RunFleetDimEval(Specs(), Bench(), options, &report);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(report.num_shards, 14);
+  ExpectRowsEqual(ReferenceRows(), rows.ValueOrDie());
+}
+
+TEST_F(FleetTest, SigkillChaosBitesAndRowsStayIdentical) {
+  SKIP_IF_TSAN();
+  // Probability 1: every shard's first item kills its worker on attempt 0;
+  // the restarted shard (attempt 1) runs clean — so the chaos must bite
+  // exactly once per shard, and the merged rows must not move a byte.
+  ASSERT_TRUE(FaultRegistry::Global().Configure("fleet.worker:1:sigkill")
+                  .ok());
+  FleetEvalOptions options;
+  options.workers = 4;
+  proc::FleetReport report;
+  auto rows = RunFleetDimEval(Specs(), Bench(), options, &report);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(report.crashes, 4u);
+  EXPECT_EQ(report.restarts, 4u);
+  ExpectRowsEqual(ReferenceRows(), rows.ValueOrDie());
+}
+
+TEST_F(FleetTest, ExitChaosBitesAndRowsStayIdentical) {
+  SKIP_IF_TSAN();
+  ASSERT_TRUE(
+      FaultRegistry::Global().Configure("fleet.worker:0.9:exit").ok());
+  FleetEvalOptions options;
+  options.workers = 2;
+  proc::FleetReport report;
+  auto rows = RunFleetDimEval(Specs(), Bench(), options, &report);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // With p=0.9 over 14 items, some item fires with near-certainty; the
+  // exact count is deterministic (decisions are pure in the item seed).
+  EXPECT_GT(report.crashes, 0u);
+  ExpectRowsEqual(ReferenceRows(), rows.ValueOrDie());
+}
+
+TEST_F(FleetTest, ChaosReportIsDeterministicAcrossRuns) {
+  SKIP_IF_TSAN();
+  ASSERT_TRUE(
+      FaultRegistry::Global().Configure("fleet.worker:0.5:sigkill").ok());
+  FleetEvalOptions options;
+  options.workers = 4;
+  proc::FleetReport first;
+  ASSERT_TRUE(RunFleetDimEval(Specs(), Bench(), options, &first).ok());
+  proc::FleetReport second;
+  ASSERT_TRUE(RunFleetDimEval(Specs(), Bench(), options, &second).ok());
+  EXPECT_EQ(first.crashes, second.crashes);
+  EXPECT_EQ(first.restarts, second.restarts);
+}
+
+TEST_F(FleetTest, SurvivesThreeConsecutiveCrashesViaReassignment) {
+  SKIP_IF_TSAN();
+  // after_n=3: every shard's first item kills attempts 0, 1 and 2. With a
+  // per-slot budget of 2 the shard must move to the other slot to complete
+  // — the supervisor's reassignment path, exercised end-to-end.
+  ASSERT_TRUE(FaultRegistry::Global().Configure("fleet.worker:1:sigkill:3")
+                  .ok());
+  FleetEvalOptions options;
+  options.workers = 2;
+  options.supervisor.crash_budget_per_worker = 2;
+  options.supervisor.backoff_initial_ms = 1;
+  proc::FleetReport report;
+  auto rows = RunFleetDimEval(Specs(), Bench(), options, &report);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(report.crashes, 6u);  // 3 per shard, 2 shards
+  EXPECT_GE(report.reassignments, 2u);
+  ExpectRowsEqual(ReferenceRows(), rows.ValueOrDie());
+}
+
+TEST_F(FleetTest, CrashedShardResumesFromItsJournal) {
+  SKIP_IF_TSAN();
+  // Pre-seed shard 0's journal with deliberately wrong counts for the
+  // first (model, task) item: if the relaunched shard REPLAYS the journal
+  // the wrong counts surface in the merged row; if it recomputed, they
+  // would be silently corrected and this test would catch the regression.
+  std::string dir = TempDirFor("fleet_journal_replay");
+  ChoiceMetrics fake;
+  fake.total = 999;
+  fake.answered = 500;
+  fake.correct = 123;
+  {
+    auto journal = EvalJournal::Open(dir + "/shard_0.journal").ValueOrDie();
+    ASSERT_TRUE(journal
+                    ->RecordChoice(Specs()[0].model->name(),
+                                   std::string(DimEvalChoiceTasks()[0]), fake)
+                    .ok());
+  }
+  FleetEvalOptions options;
+  options.workers = 1;
+  options.journal_dir = dir;
+  auto rows = RunFleetDimEval(Specs(), Bench(), options);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  const ChoiceMetrics& replayed =
+      rows.ValueOrDie()[0].choice.at(DimEvalChoiceTasks()[0]);
+  EXPECT_EQ(replayed.total, 999u);
+  EXPECT_EQ(replayed.answered, 500u);
+  EXPECT_EQ(replayed.correct, 123u);
+}
+
+TEST_F(FleetTest, JournaledChaosRunMatchesCleanRows) {
+  SKIP_IF_TSAN();
+  // The full robustness loop: workers journal completed items, chaos kills
+  // each shard once, relaunched shards replay their journals mid-shard —
+  // and the merged rows still match the single-process reference.
+  std::string dir = TempDirFor("fleet_journal_chaos");
+  ASSERT_TRUE(FaultRegistry::Global().Configure("fleet.worker:1:sigkill")
+                  .ok());
+  FleetEvalOptions options;
+  options.workers = 2;
+  options.journal_dir = dir;
+  proc::FleetReport report;
+  auto rows = RunFleetDimEval(Specs(), Bench(), options, &report);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(report.crashes, 2u);
+  ExpectRowsEqual(ReferenceRows(), rows.ValueOrDie());
+  // The per-shard journals exist and carry replayable records.
+  auto journal = EvalJournal::Open(dir + "/shard_0.journal").ValueOrDie();
+  EXPECT_GT(journal->loaded_records(), 0u);
+}
+
+TEST_F(FleetTest, CorruptShardJournalFailsTheRunWithDataLoss) {
+  SKIP_IF_TSAN();
+  std::string dir = TempDirFor("fleet_journal_corrupt");
+  {
+    std::ofstream out(dir + "/shard_0.journal");
+    out << "choice\tA (sim)\tquantitykind_match\t1\t1\t1\t0\t0\tdeadbeef\n";
+  }
+  FleetEvalOptions options;
+  options.workers = 1;
+  options.journal_dir = dir;
+  auto rows = RunFleetDimEval(Specs(), Bench(), options);
+  ASSERT_FALSE(rows.ok());
+  // The worker's kDataLoss crosses the process boundary as a permanent
+  // failure: no retry loop, the run fails with the original code.
+  EXPECT_EQ(rows.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(FleetTest, WorkersFromEnvParsesAndClamps) {
+  ASSERT_EQ(::unsetenv("DIMQR_WORKERS"), 0);
+  EXPECT_EQ(WorkersFromEnv(), 1);
+  ASSERT_EQ(::setenv("DIMQR_WORKERS", "4", 1), 0);
+  EXPECT_EQ(WorkersFromEnv(), 4);
+  ASSERT_EQ(::setenv("DIMQR_WORKERS", "0", 1), 0);
+  EXPECT_EQ(WorkersFromEnv(), 1);
+  ASSERT_EQ(::setenv("DIMQR_WORKERS", "9999", 1), 0);
+  EXPECT_EQ(WorkersFromEnv(), 256);
+  ASSERT_EQ(::setenv("DIMQR_WORKERS", "garbage", 1), 0);
+  EXPECT_EQ(WorkersFromEnv(), 1);
+  ASSERT_EQ(::unsetenv("DIMQR_WORKERS"), 0);
+}
+
+TEST_F(FleetTest, RejectsNullModel) {
+  std::vector<FleetModelSpec> specs = Specs();
+  specs.push_back({nullptr, nullptr});
+  FleetEvalOptions options;
+  auto rows = RunFleetDimEval(specs, Bench(), options);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dimqr::eval

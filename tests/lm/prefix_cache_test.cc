@@ -221,5 +221,43 @@ TEST(PrefixCacheEvictionTest, ChurnNeverChangesBytesAtAnyThreadCount) {
   }
 }
 
+TEST(PrefixCacheEvictionTest, EvictAllRacingConcurrentDecodesIsSafe) {
+  // The serve-layer shedding path calls EvictAll() while eval fan-out may
+  // be mid-decode on other threads. Interleave evictions with concurrent
+  // cached decodes: no data race (this suite runs under TSan in CI) and
+  // every decoded byte must still equal the cold decode — an eviction can
+  // only cost a re-prefill, never change an output.
+  Transformer m = EvictTrainedTiny();
+  std::vector<std::vector<int>> prompts;
+  for (int i = 0; i < 32; ++i) {
+    prompts.push_back(
+        {1, 7, 8, static_cast<int>(6 + (i % 4)), 3, 6 + (i % 9)});
+  }
+  std::vector<std::vector<int>> cold(prompts.size());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    cold[i] = m.Greedy(prompts[i], 5, 2).ValueOrDie();
+  }
+  PrefixCache cache;
+  ScopedParallelism scope(4);
+  std::vector<std::vector<int>> hot(prompts.size());
+  Status status = ParallelFor(
+      static_cast<std::int64_t>(prompts.size()),
+      [&](std::int64_t begin, std::int64_t end, int) -> Status {
+        for (std::int64_t i = begin; i < end; ++i) {
+          const auto slot = static_cast<std::size_t>(i);
+          // Every few items one lane plays the shedding server.
+          if (slot % 5 == 0) (void)cache.EvictAll();
+          DIMQR_ASSIGN_OR_RETURN(
+              hot[slot], m.Greedy(prompts[slot], 5, 2,
+                                  ThreadLocalDecodeState(), &cache));
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    EXPECT_EQ(hot[i], cold[i]) << "prompt " << i;
+  }
+}
+
 }  // namespace
 }  // namespace dimqr::lm

@@ -14,6 +14,7 @@
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "lm/vocab.h"
+#include "serve/admission.h"
 #include "serve/loadgen.h"
 #include "serve/report.h"
 #include "serve/server.h"
@@ -393,6 +394,86 @@ TEST_F(ServeTest, DuplicateRequestIdsAreAnInputError) {
                                      MakeRequest(3, 1, 8)};
   EXPECT_EQ(server.Run(trace).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------- admission queue boundaries
+
+/// Fills `queue` to exactly `count` entries.
+void FillQueue(AdmissionQueue& queue, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_TRUE(queue.Offer(MakeRequest(1000 + i, 0, 7)).ok());
+  }
+}
+
+TEST_F(ServeTest, SheddingEntersAtExactEnterOccupancy) {
+  // The enter rule is `occupancy >= 0.75`: with capacity 16 the boundary
+  // occupancy 12/16 == 0.75 must ENTER shedding, and 11/16 must not.
+  AdmissionConfig config;
+  config.queue_capacity = 16;
+  {
+    AdmissionQueue below(config);
+    FillQueue(below, 11);
+    EXPECT_FALSE(below.UpdateShedding());
+    EXPECT_FALSE(below.shedding());
+  }
+  AdmissionQueue at(config);
+  FillQueue(at, 12);
+  EXPECT_TRUE(at.UpdateShedding());  // returns true only on the transition
+  EXPECT_TRUE(at.shedding());
+  EXPECT_EQ(at.stats().shed_entries, 1u);
+  // Re-applying at the same occupancy is not a new transition.
+  EXPECT_FALSE(at.UpdateShedding());
+  EXPECT_EQ(at.stats().shed_entries, 1u);
+}
+
+TEST_F(ServeTest, SheddingExitsAtExactExitOccupancy) {
+  // The exit rule is `occupancy <= 0.25`: a shedding queue drained to
+  // 5/16 must STAY shedding (hysteresis band) and 4/16 == 0.25 must exit.
+  AdmissionConfig config;
+  config.queue_capacity = 16;
+  AdmissionQueue queue(config);
+  FillQueue(queue, 12);
+  ASSERT_TRUE(queue.UpdateShedding());
+  ServeRequest popped;
+  while (queue.size() > 5) ASSERT_TRUE(queue.PopNext(&popped));
+  EXPECT_FALSE(queue.UpdateShedding());
+  EXPECT_TRUE(queue.shedding()) << "5/16 is inside the hysteresis band";
+  ASSERT_TRUE(queue.PopNext(&popped));  // down to 4/16 == 0.25
+  EXPECT_FALSE(queue.UpdateShedding());
+  EXPECT_FALSE(queue.shedding());
+  EXPECT_EQ(queue.stats().shed_exits, 1u);
+}
+
+TEST_F(ServeTest, JoinBudgetShrinksExactlyWhileShedding) {
+  AdmissionConfig config;
+  config.queue_capacity = 16;
+  config.max_join_per_round = 4;
+  config.shed_join_per_round = 1;
+  AdmissionQueue queue(config);
+  EXPECT_EQ(queue.join_budget(), 4);
+  FillQueue(queue, 12);
+  ASSERT_TRUE(queue.UpdateShedding());
+  EXPECT_EQ(queue.join_budget(), 1);
+  ServeRequest popped;
+  while (queue.size() > 4) ASSERT_TRUE(queue.PopNext(&popped));
+  queue.UpdateShedding();
+  EXPECT_EQ(queue.join_budget(), 4);
+}
+
+TEST_F(ServeTest, ShedToExitWatermarkStopsExactlyAtWatermark) {
+  // Shedding drains newest low-priority work until occupancy is at the
+  // exit watermark (4/16), never past it.
+  AdmissionConfig config;
+  config.queue_capacity = 16;
+  AdmissionQueue queue(config);
+  FillQueue(queue, 12);
+  ASSERT_TRUE(queue.UpdateShedding());
+  std::vector<ServeRequest> shed = queue.ShedToExitWatermark();
+  EXPECT_EQ(shed.size(), 8u);
+  EXPECT_EQ(queue.size(), 4u);
+  EXPECT_EQ(queue.stats().shed, 8u);
+  // At the watermark the next sweep sheds nothing further.
+  EXPECT_TRUE(queue.ShedToExitWatermark().empty());
 }
 
 }  // namespace
