@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <unordered_map>
@@ -301,6 +302,73 @@ void BM_MatMulNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMulNaive);
 
+void BM_MatMulScalarTier(benchmark::State& state) {
+  // The pre-SIMD blocked kernel, pinned to the scalar tier: the published
+  // BM_MatMulBlocked / BM_MatMulScalarTier ratio is the SIMD speedup claim.
+  lm::kernels::ScopedIsaForTest forced(lm::kernels::Isa::kScalar);
+  std::vector<float> a(kMatM * kMatK), b(kMatK * kMatN), c(kMatM * kMatN);
+  Rng rng(11);
+  for (float& x : a) x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  for (float& x : b) x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  for (auto _ : state) {
+    lm::kernels::MatMul(a.data(), b.data(), c.data(), kMatM, kMatK, kMatN);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatMulScalarTier);
+
+void BM_MatMul(benchmark::State& state) {
+  // Shape sweep over the regimes decode actually runs: m=1 is the GEMV
+  // every Step pays against the D x V output head, m=8 a short batched
+  // prefill, and the prime/odd point exercises every tail path (no
+  // dimension is a multiple of any vector width or block size).
+  const int m = static_cast<int>(state.range(0));
+  const int kk = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  std::vector<float> a(static_cast<std::size_t>(m) * kk);
+  std::vector<float> b(static_cast<std::size_t>(kk) * n);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  Rng rng(11);
+  for (float& x : a) x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  for (float& x : b) x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  for (auto _ : state) {
+    lm::kernels::MatMul(a.data(), b.data(), c.data(), m, kk, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(m) * kk * n);
+}
+BENCHMARK(BM_MatMul)
+    ->Args({1, 64, 32768})    // decode head GEMV (DecodeBenchConfig shape)
+    ->Args({8, 64, 32768})    // short batched prefill against the head
+    ->Args({1, 256, 64})      // decode FFN down-projection GEMV
+    ->Args({61, 127, 509});   // all-prime: every remainder path at once
+
+void BM_MatMulInt8(benchmark::State& state) {
+  // The quantized counterpart of the m=1 head GEMV: weights int8 with
+  // per-row scales, activations fp32. Compare against BM_MatMul/1/64/32768.
+  const int m = static_cast<int>(state.range(0));
+  const int kk = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  std::vector<float> a(static_cast<std::size_t>(m) * kk);
+  std::vector<float> w(static_cast<std::size_t>(kk) * n);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  Rng rng(11);
+  for (float& x : a) x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  for (float& x : w) x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+  std::vector<std::int8_t> q(w.size());
+  std::vector<float> scales(static_cast<std::size_t>(kk));
+  lm::kernels::QuantizeRowsInt8(w.data(), kk, n, q.data(), scales.data());
+  for (auto _ : state) {
+    lm::kernels::MatMulInt8(a.data(), q.data(), scales.data(), c.data(), m,
+                            kk, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(m) * kk * n);
+}
+BENCHMARK(BM_MatMulInt8)->Args({1, 64, 32768})->Args({8, 64, 32768});
+
 void BM_TrainBatch(benchmark::State& state) {
   ScopedParallelism scope(static_cast<int>(state.range(0)));
   lm::TransformerConfig config;
@@ -480,6 +548,33 @@ void BM_GreedyDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedyDecode)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GreedyDecodeInt8(benchmark::State& state) {
+  // Same decode as BM_GreedyDecode, through the int8 weight-quantized
+  // path: per-row-scaled int8 weight panels, fp32 activations and
+  // accumulation. The D x V head dominates, so this is the deployment
+  // number the quantized path exists for.
+  static const lm::Transformer* const kInt8Model = [] {
+    auto* m = new lm::Transformer(DecodeBenchModel());
+    m->EnableInt8Decode(true);
+    return m;
+  }();
+  const lm::Transformer& model = *kInt8Model;
+  std::vector<int> prompt =
+      DecodeBenchPrompt(static_cast<int>(state.range(0)));
+  lm::DecodeState arena;
+  arena.Bind(model.config());
+  for (auto _ : state) {
+    auto out = model.Greedy(prompt, kDecodeNewTokens, kDecodeNeverEos, arena,
+                            nullptr);
+    if (!out.ok()) {
+      state.SkipWithError("greedy failed");
+      return;
+    }
+    benchmark::DoNotOptimize(out.ValueOrDie().data());
+  }
+}
+BENCHMARK(BM_GreedyDecodeInt8)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_GreedyDecodePerToken(benchmark::State& state) {
   // Replica of the pre-PR decode loop: every prompt token went through a
@@ -733,6 +828,22 @@ int main(int argc, char** argv) {
                  "set DIMQR_ALLOW_NON_RELEASE_BENCH=1 to override.\n",
                  DIMQR_BUILD_TYPE);
     return 1;
+  }
+  // Announce the kernel dispatch tier: timings from different tiers are
+  // not comparable, so the tier travels with every result set (stderr
+  // banner for humans, benchmark context for the JSON consumers).
+  const char* isa = dimqr::lm::kernels::IsaName(dimqr::lm::kernels::ActiveIsa());
+  std::fprintf(stderr, "perf_microbench: kernel dispatch tier: %s%s\n", isa,
+               std::getenv("DIMQR_SIMD") != nullptr ? " (DIMQR_SIMD set)"
+                                                    : "");
+  benchmark::AddCustomContext("kernel_isa", isa);
+  benchmark::AddCustomContext(
+      "int8_decode_default",
+      dimqr::lm::Transformer::Int8DecodeDefault() ? "1" : "0");
+  // run_benches.sh parses /proc/cpuinfo into this so the JSON records
+  // what silicon produced the numbers.
+  if (const char* flags = std::getenv("DIMQR_CPU_SIMD_FLAGS")) {
+    benchmark::AddCustomContext("cpu_simd_flags", flags);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -87,8 +87,17 @@ fi
     echo "### $b"
     echo "############################################################"
     if [ "$b" = perf_microbench ]; then
-      ./build-rel/bench/$b --benchmark_out=BENCH_perf.json \
-                           --benchmark_out_format=json 2>&1
+      # Record the host's SIMD capability alongside the timings: kernel
+      # numbers from different dispatch tiers are not comparable, and the
+      # JSON consumers need to know what silicon produced them. Exported
+      # as an env var; perf_microbench adds it to the benchmark context.
+      CPU_SIMD_FLAGS=$(grep -m1 '^flags' /proc/cpuinfo 2>/dev/null \
+        | tr ' ' '\n' \
+        | grep -E '^(sse4_2|avx|avx2|fma|avx512[a-z0-9]*)$' \
+        | paste -sd, -)
+      DIMQR_CPU_SIMD_FLAGS="${CPU_SIMD_FLAGS:-none}" \
+        ./build-rel/bench/$b --benchmark_out=BENCH_perf.json \
+                             --benchmark_out_format=json 2>&1
     else
       ./build-rel/bench/$b --snapshot="$SNAP" 2>&1
     fi

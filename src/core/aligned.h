@@ -1,0 +1,63 @@
+#ifndef DIMQR_CORE_ALIGNED_H_
+#define DIMQR_CORE_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+/// \file aligned.h
+/// Cache-line-aligned heap storage for hot numeric buffers. Snapshot arenas
+/// already 64-byte-align every section (core/snapshot.h), but weights and
+/// scratch buffers built in memory land wherever the default allocator puts
+/// them — typically 16-byte aligned — so a 64-byte vector load can straddle
+/// a cache-line boundary. `AlignedVec` is a drop-in `std::vector` whose
+/// backing store always starts on a cache line, giving the SIMD kernels
+/// (lm/kernels.h) the same alignment guarantee for trained-in-memory models
+/// that mapped snapshots get for free.
+
+namespace dimqr {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// \brief Minimal std::allocator replacement whose allocations start on a
+/// `Alignment`-byte boundary (via the aligned operator new overloads, so
+/// allocation-counting tests still observe them).
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T));
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// \brief A std::vector whose data() is 64-byte aligned.
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace dimqr
+
+#endif  // DIMQR_CORE_ALIGNED_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -15,16 +16,15 @@ namespace {
 
 using dimqr::Result;
 using dimqr::Status;
+using kernels::Epilogue;
+using kernels::Gelu;  // single shared definition; fused epilogues must agree
 using kernels::MatMul;
+using kernels::MatMulEx;
 using kernels::MatMulGradA;
 using kernels::MatMulGradB;
+using kernels::MatMulInt8Ex;
 
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-
-float Gelu(float x) {
-  float inner = kGeluC * (x + 0.044715f * x * x * x);
-  return 0.5f * x * (1.0f + std::tanh(inner));
-}
 
 float GeluGrad(float x) {
   float x3 = x * x * x;
@@ -115,12 +115,63 @@ class TransformerLayout {
 
  private:
   static std::size_t Take(std::size_t* off, std::size_t n) {
+    // Regions start on 16-float (64-byte) boundaries so every matrix handed
+    // to the SIMD kernels is cache-line aligned whenever the backing buffer
+    // is (params_ uses AlignedVec; snapshot sections are 64-byte aligned).
+    // Pad floats are initialized to 0 and stay 0 forever: gradients never
+    // address them, and Adam maps (g=0, m=0, v=0) to an update of exactly 0.
     std::size_t at = *off;
-    *off += n;
+    *off = at + (n + 15) / 16 * 16;
     return at;
   }
   TransformerConfig c_;
 };
+
+/// \brief The int8 decode image: one quantized panel per projection matrix
+/// (per layer: qkv, o, w1, w2; plus the output head). Panels either own
+/// their bytes (quantized from fp32 weights) or alias a snapshot mapping
+/// (zero-copy load); `keepalive` pins the mapping in the latter case, so
+/// the image stays valid even after the model itself detaches.
+struct TransformerInt8Weights {
+  struct Panel {
+    AlignedVec<std::int8_t> q_own;   ///< Owned storage (empty when mapped).
+    AlignedVec<float> s_own;
+    std::span<const std::int8_t> q;  ///< k x n row-major quantized weights.
+    std::span<const float> s;        ///< k per-row scales.
+  };
+  struct Layer {
+    Panel qkv, o, w1, w2;
+  };
+  std::vector<Layer> layers;
+  Panel head;
+  std::shared_ptr<const snapshot::Snapshot> keepalive;
+};
+
+namespace {
+
+void QuantizePanel(const float* w, int k, int n,
+                   TransformerInt8Weights::Panel* panel) {
+  panel->q_own.resize(static_cast<std::size_t>(k) * n);
+  panel->s_own.resize(static_cast<std::size_t>(k));
+  kernels::QuantizeRowsInt8(w, k, n, panel->q_own.data(),
+                            panel->s_own.data());
+  panel->q = panel->q_own;
+  panel->s = panel->s_own;
+}
+
+/// One decode-path projection, routed to the fp32 or int8 kernels. `panel`
+/// is null on the fp32 path.
+inline void Project(const float* in, const float* w,
+                    const TransformerInt8Weights::Panel* panel, float* out,
+                    int m, int k, int n, const Epilogue& e) {
+  if (panel != nullptr) {
+    MatMulInt8Ex(in, panel->q.data(), panel->s.data(), out, m, k, n, e);
+  } else {
+    MatMulEx(in, w, out, m, k, n, e);
+  }
+}
+
+}  // namespace
 
 Result<Transformer> Transformer::Shell(const TransformerConfig& config) {
   if (config.vocab_size <= SpecialTokensGuard()) {
@@ -174,6 +225,7 @@ Result<Transformer> Transformer::Create(const TransformerConfig& config) {
   model.adam_m_.assign(layout.total, 0.0f);
   model.adam_v_.assign(layout.total, 0.0f);
   model.Reseat();
+  if (Int8DecodeDefault()) model.EnableInt8Decode(true);
   return model;
 }
 
@@ -185,6 +237,7 @@ Transformer& Transformer::operator=(const Transformer& other) {
   params_ = other.params_;
   adam_m_ = other.adam_m_;
   adam_v_ = other.adam_v_;
+  int8_ = other.int8_;  // same weights => shareable quantized image
   if (other.borrowed()) {
     // Copies of a snapshot-backed model share the mapped backing.
     params_v_ = other.params_v_;
@@ -211,12 +264,14 @@ Transformer& Transformer::operator=(Transformer&& other) noexcept {
   adam_m_ = std::move(other.adam_m_);
   adam_v_ = std::move(other.adam_v_);
   keepalive_ = std::move(other.keepalive_);
+  int8_ = std::move(other.int8_);
   if (!was_borrowed) Reseat();
   other.params_.clear();
   other.adam_m_.clear();
   other.adam_v_.clear();
   other.Reseat();
   other.keepalive_ = nullptr;
+  other.int8_ = nullptr;
   return *this;
 }
 
@@ -227,12 +282,50 @@ void Transformer::Detach() {
   adam_v_.assign(adam_v_v_.begin(), adam_v_v_.end());
   keepalive_ = nullptr;
   Reseat();
+  // int8_ stays valid: the weight VALUES are unchanged, and a mapped image
+  // pins its own snapshot via TransformerInt8Weights::keepalive.
+}
+
+bool Transformer::Int8DecodeDefault() {
+  static const bool kDefault = [] {
+    const char* env = std::getenv("DIMQR_INT8");
+    return env != nullptr && std::strcmp(env, "1") == 0;
+  }();
+  return kDefault;
+}
+
+void Transformer::EnableInt8Decode(bool enabled) {
+  if (!enabled) {
+    int8_ = nullptr;
+    return;
+  }
+  const TransformerLayout& lay = *layout_;
+  const TransformerConfig& c = config_;
+  const float* P = params_v_.data();
+  const int D = c.d_model, F = c.d_ff, V = c.vocab_size;
+  auto image = std::make_shared<TransformerInt8Weights>();
+  image->layers.resize(static_cast<std::size_t>(c.n_layers));
+  for (int l = 0; l < c.n_layers; ++l) {
+    const TransformerLayout::Layer& W = lay.layers[static_cast<std::size_t>(l)];
+    TransformerInt8Weights::Layer& out =
+        image->layers[static_cast<std::size_t>(l)];
+    QuantizePanel(P + W.w_qkv, D, 3 * D, &out.qkv);
+    QuantizePanel(P + W.w_o, D, D, &out.o);
+    QuantizePanel(P + W.w1, D, F, &out.w1);
+    QuantizePanel(P + W.w2, F, D, &out.w2);
+  }
+  QuantizePanel(P + lay.w_head, D, V, &image->head);
+  int8_ = std::move(image);
+}
+
+void Transformer::RebuildInt8() {
+  if (int8_ != nullptr) EnableInt8Decode(true);
 }
 
 int Transformer::SpecialTokensGuard() { return 6; }
 
 Result<double> Transformer::ForwardBackward(const LmExample& example,
-                                            std::vector<float>* grads) const {
+                                            AlignedVec<float>* grads) const {
   const TransformerConfig& c = config_;
   const TransformerLayout& lay = *layout_;
   const float* P = params_v_.data();
@@ -292,11 +385,9 @@ Result<double> Transformer::ForwardBackward(const LmExample& example,
                    &a.ln1_mean[t], &a.ln1_rstd[t]);
     }
     a.qkv.resize(static_cast<std::size_t>(T) * 3 * D);
-    MatMul(a.ln1.data(), P + W.w_qkv, a.qkv.data(), T, D, 3 * D);
-    for (int t = 0; t < T; ++t) {
-      float* row = a.qkv.data() + static_cast<std::size_t>(t) * 3 * D;
-      for (int i = 0; i < 3 * D; ++i) row[i] += P[W.b_qkv + i];
-    }
+    Epilogue qkv_epi;
+    qkv_epi.bias = P + W.b_qkv;
+    MatMulEx(a.ln1.data(), P + W.w_qkv, a.qkv.data(), T, D, 3 * D, qkv_epi);
     // attention per head
     a.att.assign(static_cast<std::size_t>(H) * T * T, 0.0f);
     a.ctx.assign(TD, 0.0f);
@@ -333,15 +424,12 @@ Result<double> Transformer::ForwardBackward(const LmExample& example,
         }
       }
     }
-    // output projection + residual
+    // output projection + residual (bias and skip fused into the GEMM)
     a.x_mid.resize(TD);
-    MatMul(a.ctx.data(), P + W.w_o, a.x_mid.data(), T, D, D);
-    for (int t = 0; t < T; ++t) {
-      for (int i = 0; i < D; ++i) {
-        std::size_t idx = static_cast<std::size_t>(t) * D + i;
-        a.x_mid[idx] += P[W.b_o + i] + a.x_in[idx];
-      }
-    }
+    Epilogue o_epi;
+    o_epi.bias = P + W.b_o;
+    o_epi.residual = a.x_in.data();
+    MatMulEx(a.ctx.data(), P + W.w_o, a.x_mid.data(), T, D, D, o_epi);
     // MLP
     a.ln2.resize(TD);
     a.ln2_mean.resize(T);
@@ -353,23 +441,18 @@ Result<double> Transformer::ForwardBackward(const LmExample& example,
                    &a.ln2_mean[t], &a.ln2_rstd[t]);
     }
     a.ff_pre.resize(static_cast<std::size_t>(T) * F);
-    MatMul(a.ln2.data(), P + W.w1, a.ff_pre.data(), T, D, F);
     a.ff_act.resize(static_cast<std::size_t>(T) * F);
-    for (int t = 0; t < T; ++t) {
-      for (int i = 0; i < F; ++i) {
-        std::size_t idx = static_cast<std::size_t>(t) * F + i;
-        a.ff_pre[idx] += P[W.b1 + i];
-        a.ff_act[idx] = Gelu(a.ff_pre[idx]);
-      }
-    }
+    // ff_pre keeps the post-bias preactivation (backward needs it); the
+    // GELU lands in ff_act from the same fused pass.
+    Epilogue ff_epi;
+    ff_epi.bias = P + W.b1;
+    ff_epi.gelu_out = a.ff_act.data();
+    MatMulEx(a.ln2.data(), P + W.w1, a.ff_pre.data(), T, D, F, ff_epi);
     a.x_out.resize(TD);
-    MatMul(a.ff_act.data(), P + W.w2, a.x_out.data(), T, F, D);
-    for (int t = 0; t < T; ++t) {
-      for (int i = 0; i < D; ++i) {
-        std::size_t idx = static_cast<std::size_t>(t) * D + i;
-        a.x_out[idx] += P[W.b2 + i] + a.x_mid[idx];
-      }
-    }
+    Epilogue out_epi;
+    out_epi.bias = P + W.b2;
+    out_epi.residual = a.x_mid.data();
+    MatMulEx(a.ff_act.data(), P + W.w2, a.x_out.data(), T, F, D, out_epi);
     x = a.x_out;
   }
 
@@ -390,55 +473,55 @@ Result<double> Transformer::ForwardBackward(const LmExample& example,
     return Status::InvalidArgument("no positions carry loss");
   }
 
+  // Gather the hidden rows that feed the loss and run the head ONCE as an
+  // n_loss-row GEMM with the softmax folded into its epilogue — the old
+  // code paid a separate D x V pass (plus a full softmax) per position.
+  std::vector<float> hs(static_cast<std::size_t>(n_loss) * D);
+  std::vector<int> loss_pos(static_cast<std::size_t>(n_loss));
+  {
+    int row = 0;
+    for (int t = 1; t < T; ++t) {
+      if (!mask[t]) continue;
+      loss_pos[static_cast<std::size_t>(row)] = t;
+      std::memcpy(hs.data() + static_cast<std::size_t>(row) * D,
+                  lnf.data() + static_cast<std::size_t>(t - 1) * D,
+                  sizeof(float) * static_cast<std::size_t>(D));
+      ++row;
+    }
+  }
+  std::vector<float> probs(static_cast<std::size_t>(n_loss) * V);
+  Epilogue head_epi;
+  head_epi.softmax_rows = true;
+  MatMulEx(hs.data(), P + lay.w_head, probs.data(), n_loss, D, V, head_epi);
+
   double loss = 0.0;
-  std::vector<float> dlnf;  // gradient wrt lnf rows (filled on backward)
-  if (grads != nullptr) dlnf.assign(TD, 0.0f);
-  std::vector<float> probs(V);
   const float loss_scale = 1.0f / static_cast<float>(n_loss);
-  for (int t = 1; t < T; ++t) {
-    if (!mask[t]) continue;
-    const float* hrow = lnf.data() + static_cast<std::size_t>(t - 1) * D;
-    // logits = hrow . Whead (D x V)
-    float maxv = -1e30f;
-    for (int vtok = 0; vtok < V; ++vtok) {
-      float acc = 0.0f;
-      const float* wcol = P + lay.w_head;  // row-major D x V
-      for (int i = 0; i < D; ++i) {
-        acc += hrow[i] * wcol[static_cast<std::size_t>(i) * V + vtok];
-      }
-      probs[vtok] = acc;
-      if (acc > maxv) maxv = acc;
-    }
-    float denom = 0.0f;
-    for (int vtok = 0; vtok < V; ++vtok) {
-      probs[vtok] = std::exp(probs[vtok] - maxv);
-      denom += probs[vtok];
-    }
-    float inv_denom = 1.0f / denom;
-    for (int vtok = 0; vtok < V; ++vtok) probs[vtok] *= inv_denom;
-    loss -= std::log(std::max(probs[tokens[t]], 1e-12f));
-    if (grads != nullptr) {
-      float* G = grads->data();
-      float* dh = dlnf.data() + static_cast<std::size_t>(t - 1) * D;
-      probs[tokens[t]] -= 1.0f;
-      for (int i = 0; i < D; ++i) {
-        const float* wrow = P + lay.w_head + static_cast<std::size_t>(i) * V;
-        float* gwrow = G + lay.w_head + static_cast<std::size_t>(i) * V;
-        float hi = hrow[i];
-        float acc = 0.0f;
-        for (int vtok = 0; vtok < V; ++vtok) {
-          float dl = probs[vtok] * loss_scale;
-          acc += dl * wrow[vtok];
-          gwrow[vtok] += dl * hi;
-        }
-        dh[i] += acc;
-      }
-    }
+  for (int r = 0; r < n_loss; ++r) {
+    const float* prow = probs.data() + static_cast<std::size_t>(r) * V;
+    loss -= std::log(
+        std::max(prow[tokens[static_cast<std::size_t>(loss_pos[r])]], 1e-12f));
   }
   loss /= n_loss;
   if (grads == nullptr) return loss;
 
   float* G = grads->data();
+  // dlogits = (probs - onehot(target)) * loss_scale, reusing probs in place;
+  // then both head gradients are single GEMMs over the gathered rows.
+  for (int r = 0; r < n_loss; ++r) {
+    float* prow = probs.data() + static_cast<std::size_t>(r) * V;
+    prow[tokens[static_cast<std::size_t>(loss_pos[r])]] -= 1.0f;
+    for (int vtok = 0; vtok < V; ++vtok) prow[vtok] *= loss_scale;
+  }
+  MatMulGradB(hs.data(), probs.data(), G + lay.w_head, n_loss, D, V);
+  std::vector<float> dhs(static_cast<std::size_t>(n_loss) * D, 0.0f);
+  MatMulGradA(probs.data(), P + lay.w_head, dhs.data(), n_loss, D, V);
+  std::vector<float> dlnf(TD, 0.0f);  // gradient wrt lnf rows
+  for (int r = 0; r < n_loss; ++r) {
+    const float* srow = dhs.data() + static_cast<std::size_t>(r) * D;
+    float* drow =
+        dlnf.data() + static_cast<std::size_t>(loss_pos[r] - 1) * D;
+    for (int i = 0; i < D; ++i) drow[i] += srow[i];
+  }
   // ---- backward ----
   std::vector<float> dx(TD, 0.0f);
   for (int t = 0; t < T; ++t) {
@@ -590,7 +673,7 @@ Result<double> Transformer::TrainBatch(const std::vector<LmExample>& batch,
   // is bit-for-bit identical at every DIMQR_THREADS setting.
   const std::int64_t grain = (n + 7) / 8;
   struct Partial {
-    std::vector<float> grads;
+    AlignedVec<float> grads;
     double loss = 0.0;
   };
   DIMQR_ASSIGN_OR_RETURN(
@@ -620,7 +703,7 @@ Result<double> Transformer::TrainBatch(const std::vector<LmExample>& batch,
             acc.loss += p.loss;
           },
           grain)));
-  const std::vector<float>& grads = total.grads;
+  const AlignedVec<float>& grads = total.grads;
 
   float inv_n = 1.0f / static_cast<float>(batch.size());
   ++adam_step_;
@@ -644,6 +727,7 @@ Result<double> Transformer::TrainBatch(const std::vector<LmExample>& batch,
         }
         return Status::OK();
       }));
+  RebuildInt8();  // weights changed; requantize the decode image (if on)
   return total.loss / static_cast<double>(batch.size());
 }
 
@@ -675,9 +759,9 @@ void DecodeState::Bind(const TransformerConfig& c) {
     const auto rows = static_cast<std::size_t>(max_seq_);
     const auto d = static_cast<std::size_t>(d_model_);
     keys_.assign(static_cast<std::size_t>(n_layers_),
-                 std::vector<float>(rows * d, 0.0f));
+                 AlignedVec<float>(rows * d, 0.0f));
     values_.assign(static_cast<std::size_t>(n_layers_),
-                   std::vector<float>(rows * d, 0.0f));
+                   AlignedVec<float>(rows * d, 0.0f));
     x_.assign(d, 0.0f);
     ln_.assign(d, 0.0f);
     qkv_.assign(3 * d, 0.0f);
@@ -731,11 +815,16 @@ Status Transformer::Step(DecodeState& state, int token) const {
   float* proj = state.proj_.data();
   float* ff = state.ff_.data();
   float* att = state.att_.data();
+  const TransformerInt8Weights* i8 = int8_.get();
   for (int l = 0; l < L; ++l) {
     const TransformerLayout::Layer& W = lay.layers[l];
+    const TransformerInt8Weights::Layer* q8 =
+        i8 == nullptr ? nullptr : &i8->layers[static_cast<std::size_t>(l)];
     LayerNormRow(x, P + W.ln1_g, P + W.ln1_b, ln, D, &mean, &rstd);
-    MatMul(ln, P + W.w_qkv, qkv, 1, D, 3 * D);
-    for (int i = 0; i < 3 * D; ++i) qkv[i] += P[W.b_qkv + i];
+    Epilogue qkv_epi;
+    qkv_epi.bias = P + W.b_qkv;
+    Project(ln, P + W.w_qkv, q8 == nullptr ? nullptr : &q8->qkv, qkv, 1, D,
+            3 * D, qkv_epi);
     float* kcache = state.keys_[static_cast<std::size_t>(l)].data();
     float* vcache = state.values_[static_cast<std::size_t>(l)].data();
     std::copy(qkv + D, qkv + 2 * D, kcache + static_cast<std::size_t>(t) * D);
@@ -765,24 +854,32 @@ Status Transformer::Step(DecodeState& state, int token) const {
         for (int i = 0; i < Dh; ++i) crow[i] += w * v[i];
       }
     }
-    MatMul(ctx, P + W.w_o, proj, 1, D, D);
-    for (int i = 0; i < D; ++i) x[i] += proj[i] + P[W.b_o + i];
+    // x += proj + bias, fused: the epilogue's residual+out both alias x, so
+    // the association x + (proj + bias) matches the old two-pass code.
+    Epilogue o_epi;
+    o_epi.bias = P + W.b_o;
+    o_epi.residual = x;
+    o_epi.out = x;
+    Project(ctx, P + W.w_o, q8 == nullptr ? nullptr : &q8->o, proj, 1, D, D,
+            o_epi);
     LayerNormRow(x, P + W.ln2_g, P + W.ln2_b, ln, D, &mean, &rstd);
-    MatMul(ln, P + W.w1, ff, 1, D, F);
-    for (int i = 0; i < F; ++i) ff[i] = Gelu(ff[i] + P[W.b1 + i]);
-    MatMul(ff, P + W.w2, proj, 1, F, D);
-    for (int i = 0; i < D; ++i) x[i] += proj[i] + P[W.b2 + i];
+    Epilogue ff_epi;
+    ff_epi.bias = P + W.b1;
+    ff_epi.gelu_out = ff;  // activation in place: ff = Gelu(ff + b1)
+    Project(ln, P + W.w1, q8 == nullptr ? nullptr : &q8->w1, ff, 1, D, F,
+            ff_epi);
+    Epilogue out_epi;
+    out_epi.bias = P + W.b2;
+    out_epi.residual = x;
+    out_epi.out = x;
+    Project(ff, P + W.w2, q8 == nullptr ? nullptr : &q8->w2, proj, 1, F, D,
+            out_epi);
   }
   ++state.position_;
   float* h_final = state.h_.data();
   LayerNormRow(x, P + lay.lnf_g, P + lay.lnf_b, h_final, D, &mean, &rstd);
-  float* logits = state.logits_.data();
-  std::fill(logits, logits + V, 0.0f);
-  for (int i = 0; i < D; ++i) {
-    const float* wrow = P + lay.w_head + static_cast<std::size_t>(i) * V;
-    float hi = h_final[i];
-    for (int vtok = 0; vtok < V; ++vtok) logits[vtok] += hi * wrow[vtok];
-  }
+  Project(h_final, P + lay.w_head, i8 == nullptr ? nullptr : &i8->head,
+          state.logits_.data(), 1, D, V, Epilogue{});
   return Status::OK();
 }
 
@@ -824,18 +921,20 @@ Status Transformer::Prefill(const int* tokens, int n,
   float* PROJ = state.rows_proj_.data();
   float* FF = state.rows_ff_.data();
   float* att = state.att_.data();
+  const TransformerInt8Weights* i8 = int8_.get();
   for (int l = 0; l < L; ++l) {
     const TransformerLayout::Layer& W = lay.layers[l];
+    const TransformerInt8Weights::Layer* q8 =
+        i8 == nullptr ? nullptr : &i8->layers[static_cast<std::size_t>(l)];
     for (int r = 0; r < n; ++r) {
       LayerNormRow(X + static_cast<std::size_t>(r) * D, P + W.ln1_g,
                    P + W.ln1_b, LN + static_cast<std::size_t>(r) * D, D,
                    &mean, &rstd);
     }
-    MatMul(LN, P + W.w_qkv, QKV, n, D, 3 * D);
-    for (int r = 0; r < n; ++r) {
-      float* qrow = QKV + static_cast<std::size_t>(r) * 3 * D;
-      for (int i = 0; i < 3 * D; ++i) qrow[i] += P[W.b_qkv + i];
-    }
+    Epilogue qkv_epi;
+    qkv_epi.bias = P + W.b_qkv;
+    Project(LN, P + W.w_qkv, q8 == nullptr ? nullptr : &q8->qkv, QKV, n, D,
+            3 * D, qkv_epi);
     float* kcache = state.keys_[static_cast<std::size_t>(l)].data();
     float* vcache = state.values_[static_cast<std::size_t>(l)].data();
     for (int r = 0; r < n; ++r) {
@@ -872,28 +971,28 @@ Status Transformer::Prefill(const int* tokens, int n,
         }
       }
     }
-    MatMul(CTX, P + W.w_o, PROJ, n, D, D);
-    for (int r = 0; r < n; ++r) {
-      float* xrow = X + static_cast<std::size_t>(r) * D;
-      const float* prow = PROJ + static_cast<std::size_t>(r) * D;
-      for (int i = 0; i < D; ++i) xrow[i] += prow[i] + P[W.b_o + i];
-    }
+    Epilogue o_epi;
+    o_epi.bias = P + W.b_o;
+    o_epi.residual = X;
+    o_epi.out = X;  // X += PROJ + bias, exactly the old two-pass association
+    Project(CTX, P + W.w_o, q8 == nullptr ? nullptr : &q8->o, PROJ, n, D, D,
+            o_epi);
     for (int r = 0; r < n; ++r) {
       LayerNormRow(X + static_cast<std::size_t>(r) * D, P + W.ln2_g,
                    P + W.ln2_b, LN + static_cast<std::size_t>(r) * D, D,
                    &mean, &rstd);
     }
-    MatMul(LN, P + W.w1, FF, n, D, F);
-    for (int r = 0; r < n; ++r) {
-      float* frow = FF + static_cast<std::size_t>(r) * F;
-      for (int i = 0; i < F; ++i) frow[i] = Gelu(frow[i] + P[W.b1 + i]);
-    }
-    MatMul(FF, P + W.w2, PROJ, n, F, D);
-    for (int r = 0; r < n; ++r) {
-      float* xrow = X + static_cast<std::size_t>(r) * D;
-      const float* prow = PROJ + static_cast<std::size_t>(r) * D;
-      for (int i = 0; i < D; ++i) xrow[i] += prow[i] + P[W.b2 + i];
-    }
+    Epilogue ff_epi;
+    ff_epi.bias = P + W.b1;
+    ff_epi.gelu_out = FF;  // activation in place: FF = Gelu(FF + b1)
+    Project(LN, P + W.w1, q8 == nullptr ? nullptr : &q8->w1, FF, n, D, F,
+            ff_epi);
+    Epilogue out_epi;
+    out_epi.bias = P + W.b2;
+    out_epi.residual = X;
+    out_epi.out = X;
+    Project(FF, P + W.w2, q8 == nullptr ? nullptr : &q8->w2, PROJ, n, F, D,
+            out_epi);
   }
   state.position_ = p0 + n;
   // Output head for the last row only — the big win over the per-token
@@ -902,13 +1001,8 @@ Status Transformer::Prefill(const int* tokens, int n,
   float* h_final = state.h_.data();
   LayerNormRow(X + static_cast<std::size_t>(n - 1) * D, P + lay.lnf_g,
                P + lay.lnf_b, h_final, D, &mean, &rstd);
-  float* logits = state.logits_.data();
-  std::fill(logits, logits + V, 0.0f);
-  for (int i = 0; i < D; ++i) {
-    const float* wrow = P + lay.w_head + static_cast<std::size_t>(i) * V;
-    float hi = h_final[i];
-    for (int vtok = 0; vtok < V; ++vtok) logits[vtok] += hi * wrow[vtok];
-  }
+  Project(h_final, P + lay.w_head, i8 == nullptr ? nullptr : &i8->head,
+          state.logits_.data(), 1, D, V, Epilogue{});
   return Status::OK();
 }
 
@@ -1017,6 +1111,26 @@ void Transformer::WriteTo(snapshot::ArenaWriter& writer) const {
   writer.PutArray(params_v_);
   writer.PutArray(adam_m_v_);
   writer.PutArray(adam_v_v_);
+  // Optional int8 decode trailer: a presence flag, then (q, scales) per
+  // projection panel in layout order (per layer: qkv, o, w1, w2; then the
+  // head). Quantization is a pure function of the weights, so packing the
+  // image at snapshot time and rebuilding it at load time give identical
+  // bytes; readers of pre-trailer snapshots stop before these bytes and
+  // quantize from the fp32 weights instead.
+  writer.PutPod(static_cast<std::uint32_t>(int8_ != nullptr ? 1 : 0));
+  if (int8_ != nullptr) {
+    auto put_panel = [&writer](const TransformerInt8Weights::Panel& p) {
+      writer.PutArray(p.q);
+      writer.PutArray(p.s);
+    };
+    for (const TransformerInt8Weights::Layer& l : int8_->layers) {
+      put_panel(l.qkv);
+      put_panel(l.o);
+      put_panel(l.w1);
+      put_panel(l.w2);
+    }
+    put_panel(int8_->head);
+  }
 }
 
 Result<Transformer> Transformer::FromArena(
@@ -1043,6 +1157,44 @@ Result<Transformer> Transformer::FromArena(
     return Status::IOError("transformer snapshot arrays do not match config");
   }
   model.keepalive_ = std::move(keepalive);
+  // Optional int8 trailer (absent in pre-trailer snapshots). The panels
+  // alias the mapping zero-copy; the image pins the snapshot itself so it
+  // outlives a later Detach().
+  if (reader.remaining() > 0) {
+    DIMQR_ASSIGN_OR_RETURN(std::uint32_t flag, reader.GetPod<std::uint32_t>());
+    if (flag != 0) {
+      auto image = std::make_shared<TransformerInt8Weights>();
+      image->layers.resize(static_cast<std::size_t>(config.n_layers));
+      const int D = config.d_model, F = config.d_ff, V = config.vocab_size;
+      struct PanelShape {
+        TransformerInt8Weights::Panel* panel;
+        int k, n;
+      };
+      std::vector<PanelShape> shapes;
+      for (auto& l : image->layers) {
+        shapes.push_back({&l.qkv, D, 3 * D});
+        shapes.push_back({&l.o, D, D});
+        shapes.push_back({&l.w1, D, F});
+        shapes.push_back({&l.w2, F, D});
+      }
+      shapes.push_back({&image->head, D, V});
+      for (const PanelShape& ps : shapes) {
+        DIMQR_ASSIGN_OR_RETURN(ps.panel->q, reader.GetArray<std::int8_t>());
+        DIMQR_ASSIGN_OR_RETURN(ps.panel->s, reader.GetArray<float>());
+        if (ps.panel->q.size() !=
+                static_cast<std::size_t>(ps.k) * static_cast<std::size_t>(ps.n) ||
+            ps.panel->s.size() != static_cast<std::size_t>(ps.k)) {
+          return Status::IOError(
+              "transformer int8 sections do not match config");
+        }
+      }
+      image->keepalive = model.keepalive_;
+      if (Int8DecodeDefault()) model.int8_ = std::move(image);
+    }
+  }
+  if (Int8DecodeDefault() && model.int8_ == nullptr) {
+    model.EnableInt8Decode(true);
+  }
   return model;
 }
 

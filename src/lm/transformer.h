@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/aligned.h"
 #include "core/snapshot.h"
 #include "core/status.h"
 
@@ -35,6 +36,7 @@ namespace dimqr::lm {
 class PrefixCache;
 class Transformer;
 class TransformerLayout;
+struct TransformerInt8Weights;
 
 /// \brief Architecture and optimization sizes.
 struct TransformerConfig {
@@ -96,13 +98,16 @@ class DecodeState {
   // Bound geometry (all zero while unbound).
   int max_seq_ = 0, d_model_ = 0, n_layers_ = 0, d_ff_ = 0, vocab_ = 0;
   /// Per layer: max_seq rows of d_model-wide K and V; rows [0, position_)
-  /// are valid.
-  std::vector<std::vector<float>> keys_;
-  std::vector<std::vector<float>> values_;
+  /// are valid. Scratch is cache-line aligned (AlignedVec) so the SIMD
+  /// kernels get aligned rows; logits_ stays a plain vector because it is
+  /// the public logits() type.
+  std::vector<AlignedVec<float>> keys_;
+  std::vector<AlignedVec<float>> values_;
   // Single-row scratch (Step).
-  std::vector<float> x_, ln_, qkv_, ctx_, proj_, ff_, att_, h_, logits_;
+  AlignedVec<float> x_, ln_, qkv_, ctx_, proj_, ff_, att_, h_;
+  std::vector<float> logits_;
   // Multi-row scratch (Prefill), max_seq rows each.
-  std::vector<float> rows_x_, rows_ln_, rows_qkv_, rows_ctx_, rows_proj_,
+  AlignedVec<float> rows_x_, rows_ln_, rows_qkv_, rows_ctx_, rows_proj_,
       rows_ff_;
 };
 
@@ -136,6 +141,19 @@ class Transformer {
   /// True when the weights alias a snapshot mapping rather than this
   /// object's own vectors.
   bool borrowed() const { return params_v_.data() != params_.data(); }
+
+  /// \brief Whether decode-path projections (Step/Prefill) run through the
+  /// int8 weight-quantized kernels. Defaults to DIMQR_INT8=1 in the
+  /// environment; off otherwise. Training and Loss always run fp32.
+  bool int8_decode() const { return int8_ != nullptr; }
+
+  /// Turns the int8 decode path on (quantizing the current weights if
+  /// needed) or off. Quantization is deterministic, so enabling it on two
+  /// copies of the same weights yields identical decode results.
+  void EnableInt8Decode(bool enabled);
+
+  /// True when DIMQR_INT8=1 (read once per process).
+  static bool Int8DecodeDefault();
 
   /// \brief Mean masked cross-entropy of one example (no gradient).
   dimqr::Result<double> Loss(const LmExample& example) const;
@@ -236,7 +254,11 @@ class Transformer {
   /// parameter gradients into it. Returns the mean masked CE loss, or an
   /// error for empty/oversized/invalid inputs.
   dimqr::Result<double> ForwardBackward(const LmExample& example,
-                                        std::vector<float>* grads) const;
+                                        AlignedVec<float>* grads) const;
+
+  /// Re-quantizes the current weights into int8_ (when the int8 decode
+  /// path is on). Called after any weight mutation or reseat.
+  void RebuildInt8();
 
   TransformerConfig config_;
   /// Parameter offsets — a pure function of config_, computed once at
@@ -244,12 +266,18 @@ class Transformer {
   /// forward pass and decode step).
   std::shared_ptr<const TransformerLayout> layout_;
 
-  // Owned storage (empty while borrowed from a snapshot mapping).
-  std::vector<float> params_;
+  // Owned storage (empty while borrowed from a snapshot mapping);
+  // cache-line aligned for the SIMD kernels.
+  AlignedVec<float> params_;
   // Adam state (moments + step counter); mutable across TrainBatch calls.
-  std::vector<float> adam_m_;
-  std::vector<float> adam_v_;
+  AlignedVec<float> adam_m_;
+  AlignedVec<float> adam_v_;
   std::int64_t adam_step_ = 0;
+
+  /// Int8 decode weights (null when the int8 path is off). Shared so
+  /// copies of an unchanged model share one quantized image; rebuilt
+  /// eagerly whenever the fp32 weights change.
+  std::shared_ptr<const TransformerInt8Weights> int8_;
 
   // Read-side views; alias the vectors above or a snapshot mapping.
   std::span<const float> params_v_;

@@ -1,0 +1,53 @@
+#include "core/aligned.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dimqr {
+namespace {
+
+bool Is64ByteAligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kCacheLineBytes == 0;
+}
+
+TEST(AlignedTest, VectorDataIsCacheLineAligned) {
+  // Sizes around the alignment quantum, including ones a plain allocator
+  // would place at arbitrary offsets.
+  for (std::size_t n : {1u, 7u, 15u, 16u, 17u, 63u, 64u, 65u, 1000u}) {
+    AlignedVec<float> v(n, 1.0f);
+    ASSERT_TRUE(Is64ByteAligned(v.data())) << "n=" << n;
+    AlignedVec<std::int8_t> b(n, 3);
+    ASSERT_TRUE(Is64ByteAligned(b.data())) << "n=" << n;
+  }
+}
+
+TEST(AlignedTest, SurvivesGrowthCopyAndMove) {
+  AlignedVec<float> v;
+  for (int i = 0; i < 300; ++i) {
+    v.push_back(static_cast<float>(i));
+    ASSERT_TRUE(Is64ByteAligned(v.data()));
+  }
+  AlignedVec<float> copy = v;
+  EXPECT_TRUE(Is64ByteAligned(copy.data()));
+  EXPECT_EQ(copy.size(), v.size());
+  AlignedVec<float> moved = std::move(copy);
+  EXPECT_TRUE(Is64ByteAligned(moved.data()));
+  EXPECT_EQ(moved[299], 299.0f);
+}
+
+TEST(AlignedTest, AllocatorEqualityAndRebind) {
+  AlignedAllocator<float> a;
+  AlignedAllocator<float> b{AlignedAllocator<double>{}};  // converting ctor
+  EXPECT_TRUE(a == b);  // stateless: any instance can free any allocation
+  using Rebound = std::allocator_traits<
+      AlignedAllocator<float>>::rebind_alloc<std::int8_t>;
+  static_assert(std::is_same_v<Rebound, AlignedAllocator<std::int8_t>>);
+}
+
+}  // namespace
+}  // namespace dimqr

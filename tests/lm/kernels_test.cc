@@ -1,0 +1,408 @@
+#include "lm/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "core/rng.h"
+#include "lm/transformer.h"
+
+// Property tests for the dispatching kernel layer: every vector tier must be
+// bit-identical to the scalar tier (which is itself pinned against the naive
+// reference elsewhere), fused epilogues must equal the unfused two-pass
+// form bitwise, and the int8 path must respect its analytic drift bound and
+// preserve greedy argmax on a trained model. Shapes deliberately include
+// primes, odd sizes, sub-vector-width dims, and tile-straddling sizes.
+
+namespace dimqr::lm {
+namespace {
+
+namespace k = dimqr::lm::kernels;
+
+std::vector<float> RandomMatrix(Rng& rng, int rows, int cols,
+                                double zero_rate = 0.1) {
+  std::vector<float> m(static_cast<std::size_t>(rows) * cols);
+  for (float& v : m) {
+    v = rng.Bernoulli(zero_rate) ? 0.0f
+                                 : static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  return m;
+}
+
+/// Shapes: unit, odd/prime, sub-block, >1 tile in both p (128) and j (512),
+/// GEMV (m=1), and the m=8 register-tile boundary.
+const std::vector<std::tuple<int, int, int>>& Shapes() {
+  static const std::vector<std::tuple<int, int, int>> kShapes = {
+      {1, 1, 1},      {3, 5, 7},       {7, 33, 129},   {8, 64, 96},
+      {31, 127, 65},  {61, 127, 509},  {5, 130, 527},  {1, 64, 512},
+      {9, 257, 1031}, {160, 192, 500},
+  };
+  return kShapes;
+}
+
+std::vector<k::Isa> VectorTiers() {
+  std::vector<k::Isa> tiers;
+  for (k::Isa isa : {k::Isa::kAvx2, k::Isa::kAvx512}) {
+    if (k::IsaAvailable(isa)) tiers.push_back(isa);
+  }
+  return tiers;
+}
+
+TEST(KernelDispatchTest, ActiveIsaIsAvailableAndNamed) {
+  k::Isa active = k::ActiveIsa();
+  EXPECT_TRUE(k::IsaAvailable(active));
+  EXPECT_TRUE(k::IsaAvailable(k::BestIsa()));
+  EXPECT_TRUE(k::IsaAvailable(k::Isa::kScalar));
+  for (k::Isa isa : {k::Isa::kScalar, k::Isa::kAvx2, k::Isa::kAvx512}) {
+    EXPECT_STRNE(k::IsaName(isa), "unknown");
+  }
+}
+
+TEST(KernelDispatchTest, ScopedIsaForTestForcesAndRestores) {
+  k::Isa before = k::ActiveIsa();
+  {
+    k::ScopedIsaForTest forced(k::Isa::kScalar);
+    EXPECT_EQ(k::ActiveIsa(), k::Isa::kScalar);
+  }
+  EXPECT_EQ(k::ActiveIsa(), before);
+}
+
+TEST(KernelTierTest, MatMulBitIdenticalAcrossTiers) {
+  std::vector<k::Isa> tiers = VectorTiers();
+  if (tiers.empty()) GTEST_SKIP() << "no vector tier on this host";
+  Rng rng(101);
+  for (auto [m, kk, n] : Shapes()) {
+    std::vector<float> a = RandomMatrix(rng, m, kk);
+    std::vector<float> b = RandomMatrix(rng, kk, n);
+    std::vector<float> c_scalar(static_cast<std::size_t>(m) * n, -1.0f);
+    {
+      k::ScopedIsaForTest forced(k::Isa::kScalar);
+      k::MatMul(a.data(), b.data(), c_scalar.data(), m, kk, n);
+    }
+    for (k::Isa isa : tiers) {
+      std::vector<float> c(static_cast<std::size_t>(m) * n, 2.0f);
+      k::ScopedIsaForTest forced(isa);
+      k::MatMul(a.data(), b.data(), c.data(), m, kk, n);
+      ASSERT_EQ(c, c_scalar) << k::IsaName(isa) << " m=" << m << " k=" << kk
+                             << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelTierTest, GradABitIdenticalAcrossTiers) {
+  std::vector<k::Isa> tiers = VectorTiers();
+  if (tiers.empty()) GTEST_SKIP() << "no vector tier on this host";
+  Rng rng(102);
+  for (auto [m, kk, n] : Shapes()) {
+    std::vector<float> dc = RandomMatrix(rng, m, n);
+    std::vector<float> b = RandomMatrix(rng, kk, n);
+    // Nonzero start: GradA accumulates (+=), so the seed must survive.
+    std::vector<float> da_scalar(static_cast<std::size_t>(m) * kk, 0.25f);
+    {
+      k::ScopedIsaForTest forced(k::Isa::kScalar);
+      k::MatMulGradA(dc.data(), b.data(), da_scalar.data(), m, kk, n);
+    }
+    for (k::Isa isa : tiers) {
+      std::vector<float> da(static_cast<std::size_t>(m) * kk, 0.25f);
+      k::ScopedIsaForTest forced(isa);
+      k::MatMulGradA(dc.data(), b.data(), da.data(), m, kk, n);
+      ASSERT_EQ(da, da_scalar) << k::IsaName(isa) << " m=" << m << " k=" << kk
+                               << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelTierTest, GradBBitIdenticalAcrossTiers) {
+  std::vector<k::Isa> tiers = VectorTiers();
+  if (tiers.empty()) GTEST_SKIP() << "no vector tier on this host";
+  Rng rng(103);
+  for (auto [m, kk, n] : Shapes()) {
+    std::vector<float> a = RandomMatrix(rng, m, kk);
+    std::vector<float> dc = RandomMatrix(rng, m, n);
+    std::vector<float> db_scalar(static_cast<std::size_t>(kk) * n, -0.5f);
+    {
+      k::ScopedIsaForTest forced(k::Isa::kScalar);
+      k::MatMulGradB(a.data(), dc.data(), db_scalar.data(), m, kk, n);
+    }
+    for (k::Isa isa : tiers) {
+      std::vector<float> db(static_cast<std::size_t>(kk) * n, -0.5f);
+      k::ScopedIsaForTest forced(isa);
+      k::MatMulGradB(a.data(), dc.data(), db.data(), m, kk, n);
+      ASSERT_EQ(db, db_scalar) << k::IsaName(isa) << " m=" << m << " k=" << kk
+                               << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelTierTest, Int8MatMulBitIdenticalAcrossTiers) {
+  std::vector<k::Isa> tiers = VectorTiers();
+  if (tiers.empty()) GTEST_SKIP() << "no vector tier on this host";
+  Rng rng(104);
+  for (auto [m, kk, n] : Shapes()) {
+    std::vector<float> a = RandomMatrix(rng, m, kk);
+    std::vector<float> w = RandomMatrix(rng, kk, n);
+    std::vector<std::int8_t> q(static_cast<std::size_t>(kk) * n);
+    std::vector<float> scales(static_cast<std::size_t>(kk));
+    k::QuantizeRowsInt8(w.data(), kk, n, q.data(), scales.data());
+    std::vector<float> c_scalar(static_cast<std::size_t>(m) * n, 3.0f);
+    {
+      k::ScopedIsaForTest forced(k::Isa::kScalar);
+      k::MatMulInt8(a.data(), q.data(), scales.data(), c_scalar.data(), m, kk,
+                    n);
+    }
+    for (k::Isa isa : tiers) {
+      std::vector<float> c(static_cast<std::size_t>(m) * n, -3.0f);
+      k::ScopedIsaForTest forced(isa);
+      k::MatMulInt8(a.data(), q.data(), scales.data(), c.data(), m, kk, n);
+      ASSERT_EQ(c, c_scalar) << k::IsaName(isa) << " m=" << m << " k=" << kk
+                             << " n=" << n;
+    }
+  }
+}
+
+/// The unfused reference for the elementwise epilogue + row softmax,
+/// mirroring the documented contract in kernels.h.
+void ReferenceEpilogue(const std::vector<float>& c, const k::Epilogue& e,
+                       int m, int n, std::vector<float>* out,
+                       std::vector<float>* gelu_out) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::size_t idx = static_cast<std::size_t>(i) * n + j;
+      float v = c[idx];
+      if (e.bias != nullptr) v += e.bias[j];
+      if (e.residual != nullptr) v = e.residual[idx] + v;
+      (*out)[idx] = v;
+      if (gelu_out != nullptr) (*gelu_out)[idx] = k::Gelu(v);
+    }
+  }
+  if (e.softmax_rows) {
+    for (int i = 0; i < m; ++i) {
+      float* row = out->data() + static_cast<std::size_t>(i) * n;
+      float maxv = -1e30f;
+      for (int j = 0; j < n; ++j) {
+        if (row[j] > maxv) maxv = row[j];
+      }
+      float denom = 0.0f;
+      for (int j = 0; j < n; ++j) {
+        row[j] = std::exp(row[j] - maxv);
+        denom += row[j];
+      }
+      float inv_denom = 1.0f / denom;
+      for (int j = 0; j < n; ++j) row[j] *= inv_denom;
+    }
+  }
+}
+
+TEST(KernelFusionTest, FusedEpilogueMatchesUnfusedBitwiseOnEveryTier) {
+  Rng rng(105);
+  std::vector<k::Isa> tiers = {k::Isa::kScalar};
+  for (k::Isa isa : VectorTiers()) tiers.push_back(isa);
+  for (auto [m, kk, n] : Shapes()) {
+    std::vector<float> a = RandomMatrix(rng, m, kk);
+    std::vector<float> b = RandomMatrix(rng, kk, n);
+    std::vector<float> bias = RandomMatrix(rng, 1, n, 0.0);
+    std::vector<float> residual = RandomMatrix(rng, m, n, 0.0);
+    const std::size_t mn = static_cast<std::size_t>(m) * n;
+    for (k::Isa isa : tiers) {
+      k::ScopedIsaForTest forced(isa);
+      std::vector<float> plain(mn);
+      k::MatMul(a.data(), b.data(), plain.data(), m, kk, n);
+
+      // bias + residual + separate gelu buffer.
+      k::Epilogue e;
+      e.bias = bias.data();
+      e.residual = residual.data();
+      std::vector<float> gelu(mn);
+      e.gelu_out = gelu.data();
+      std::vector<float> fused(mn);
+      k::MatMulEx(a.data(), b.data(), fused.data(), m, kk, n, e);
+      std::vector<float> want(mn), want_gelu(mn);
+      ReferenceEpilogue(plain, e, m, n, &want, &want_gelu);
+      ASSERT_EQ(fused, want) << k::IsaName(isa) << " m=" << m << " n=" << n;
+      ASSERT_EQ(gelu, want_gelu) << k::IsaName(isa);
+
+      // gelu_out aliasing c: the in-place decode FFN form (bias only).
+      k::Epilogue e2;
+      e2.bias = bias.data();
+      std::vector<float> inplace(mn);
+      e2.gelu_out = inplace.data();
+      k::MatMulEx(a.data(), b.data(), inplace.data(), m, kk, n, e2);
+      std::vector<float> want2(mn), want_gelu2(mn);
+      ReferenceEpilogue(plain, e2, m, n, &want2, &want_gelu2);
+      ASSERT_EQ(inplace, want_gelu2) << k::IsaName(isa) << " (in-place gelu)";
+
+      // out redirected away from c, with the residual aliasing out's
+      // buffer (the decode x += proj + bias form).
+      std::vector<float> x = residual;
+      k::Epilogue e3;
+      e3.bias = bias.data();
+      e3.residual = x.data();
+      e3.out = x.data();
+      std::vector<float> scratch(mn, -7.0f);
+      k::MatMulEx(a.data(), b.data(), scratch.data(), m, kk, n, e3);
+      std::vector<float> want_x(mn);
+      k::Epilogue eref;
+      eref.bias = bias.data();
+      eref.residual = residual.data();
+      ReferenceEpilogue(plain, eref, m, n, &want_x, nullptr);
+      ASSERT_EQ(x, want_x) << k::IsaName(isa) << " (residual==out alias)";
+
+      // row softmax fused into the output loop.
+      k::Epilogue e4;
+      e4.softmax_rows = true;
+      std::vector<float> soft(mn);
+      k::MatMulEx(a.data(), b.data(), soft.data(), m, kk, n, e4);
+      std::vector<float> want_soft = plain;
+      ReferenceEpilogue(plain, e4, m, n, &want_soft, nullptr);
+      ASSERT_EQ(soft, want_soft) << k::IsaName(isa) << " (softmax rows)";
+    }
+  }
+}
+
+TEST(Int8QuantizeTest, PerRowScalesBoundRoundtripError) {
+  Rng rng(106);
+  const int kk = 61, n = 129;
+  std::vector<float> w = RandomMatrix(rng, kk, n, 0.05);
+  // One exactly-zero row must quantize to scale 1, all-zero codes.
+  for (int j = 0; j < n; ++j) w[static_cast<std::size_t>(7) * n + j] = 0.0f;
+  std::vector<std::int8_t> q(static_cast<std::size_t>(kk) * n);
+  std::vector<float> scales(kk);
+  k::QuantizeRowsInt8(w.data(), kk, n, q.data(), scales.data());
+  for (int p = 0; p < kk; ++p) {
+    float absmax = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      absmax = std::max(absmax, std::fabs(w[static_cast<std::size_t>(p) * n + j]));
+    }
+    if (absmax == 0.0f) {
+      EXPECT_EQ(scales[p], 1.0f) << "row " << p;
+      for (int j = 0; j < n; ++j) {
+        ASSERT_EQ(q[static_cast<std::size_t>(p) * n + j], 0);
+      }
+      continue;
+    }
+    EXPECT_FLOAT_EQ(scales[p], absmax / 127.0f);
+    for (int j = 0; j < n; ++j) {
+      std::size_t idx = static_cast<std::size_t>(p) * n + j;
+      float recon = static_cast<float>(q[idx]) * scales[p];
+      // Round-to-nearest: at most half a quantization step, plus fp slack.
+      ASSERT_LE(std::fabs(recon - w[idx]), 0.5f * scales[p] * (1.0f + 1e-5f))
+          << "row " << p << " col " << j;
+      ASSERT_GE(q[idx], -127);
+      ASSERT_LE(q[idx], 127);
+    }
+  }
+  // Determinism: quantizing twice yields identical bytes.
+  std::vector<std::int8_t> q2(q.size());
+  std::vector<float> scales2(scales.size());
+  k::QuantizeRowsInt8(w.data(), kk, n, q2.data(), scales2.data());
+  EXPECT_EQ(q, q2);
+  EXPECT_EQ(scales, scales2);
+}
+
+TEST(Int8QuantizeTest, MatMulDriftWithinAnalyticBound) {
+  Rng rng(107);
+  for (auto [m, kk, n] : {std::tuple{1, 64, 512}, std::tuple{7, 61, 127},
+                          std::tuple{16, 128, 256}}) {
+    std::vector<float> a = RandomMatrix(rng, m, kk, 0.0);
+    std::vector<float> w = RandomMatrix(rng, kk, n, 0.0);
+    std::vector<std::int8_t> q(static_cast<std::size_t>(kk) * n);
+    std::vector<float> scales(kk);
+    k::QuantizeRowsInt8(w.data(), kk, n, q.data(), scales.data());
+    std::vector<float> c32(static_cast<std::size_t>(m) * n);
+    std::vector<float> c8(static_cast<std::size_t>(m) * n);
+    k::MatMul(a.data(), w.data(), c32.data(), m, kk, n);
+    k::MatMulInt8(a.data(), q.data(), scales.data(), c8.data(), m, kk, n);
+    for (int i = 0; i < m; ++i) {
+      // Per-row bound: each weight is off by at most scale/2, so the dot
+      // drifts by at most sum_p |a[i][p]| * scales[p] / 2 (plus fp slack
+      // for the accumulation itself).
+      float bound = 0.0f;
+      for (int p = 0; p < kk; ++p) {
+        bound += std::fabs(a[static_cast<std::size_t>(i) * kk + p]) *
+                 scales[p] * 0.5f;
+      }
+      bound = bound * (1.0f + 1e-4f) + 1e-5f;
+      for (int j = 0; j < n; ++j) {
+        std::size_t idx = static_cast<std::size_t>(i) * n + j;
+        ASSERT_LE(std::fabs(c8[idx] - c32[idx]), bound)
+            << "m=" << m << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+/// The model-level equivalence gate: int8 decode must reproduce fp32 greedy
+/// decoding exactly (same argmax at every step) on a trained model, and the
+/// logit drift must stay far below the decision margins training creates.
+TEST(Int8DecodeTest, GreedyMatchesFp32OnTrainedModel) {
+  TransformerConfig c;
+  c.vocab_size = 24;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_layers = 2;
+  c.d_ff = 32;
+  c.max_seq = 16;
+  c.seed = 7;
+  auto model_or = Transformer::Create(c);
+  ASSERT_TRUE(model_or.ok());
+  Transformer model = std::move(model_or).ValueOrDie();
+
+  // Overfit a few fixed sequences so decoding has confident margins.
+  std::vector<LmExample> batch;
+  for (int s = 0; s < 4; ++s) {
+    LmExample e;
+    e.tokens = {1, 6 + s, 7 + s, 8 + s, 9 + s, 2};
+    e.loss_mask.assign(e.tokens.size(), 0);
+    for (std::size_t i = 2; i < e.tokens.size(); ++i) e.loss_mask[i] = 1;
+    batch.push_back(std::move(e));
+  }
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 150; ++step) {
+    auto loss = model.TrainBatch(batch, 3e-3);
+    ASSERT_TRUE(loss.ok());
+    if (step == 0) first_loss = loss.ValueOrDie();
+    last_loss = loss.ValueOrDie();
+  }
+  ASSERT_LT(last_loss, first_loss);
+
+  Transformer quantized = model;
+  ASSERT_FALSE(quantized.int8_decode());
+  quantized.EnableInt8Decode(true);
+  ASSERT_TRUE(quantized.int8_decode());
+
+  for (int s = 0; s < 4; ++s) {
+    std::vector<int> prefix = {1, 6 + s};
+    auto fp32 = model.Greedy(prefix, 8, 2);
+    auto int8 = quantized.Greedy(prefix, 8, 2);
+    ASSERT_TRUE(fp32.ok());
+    ASSERT_TRUE(int8.ok());
+    EXPECT_EQ(fp32.ValueOrDie(), int8.ValueOrDie()) << "sequence " << s;
+
+    auto l32 = model.NextLogits(prefix);
+    auto l8 = quantized.NextLogits(prefix);
+    ASSERT_TRUE(l32.ok());
+    ASSERT_TRUE(l8.ok());
+    float spread = *std::max_element(l32.ValueOrDie().begin(), l32.ValueOrDie().end()) -
+                   *std::min_element(l32.ValueOrDie().begin(), l32.ValueOrDie().end());
+    for (std::size_t v = 0; v < l32.ValueOrDie().size(); ++v) {
+      ASSERT_LE(std::fabs(l8.ValueOrDie()[v] - l32.ValueOrDie()[v]), 0.05f * spread)
+          << "logit " << v;
+    }
+  }
+
+  // Turning the path back off restores exact fp32 behavior.
+  quantized.EnableInt8Decode(false);
+  ASSERT_FALSE(quantized.int8_decode());
+  auto again = quantized.NextLogits({1, 6});
+  auto ref = model.NextLogits({1, 6});
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(again.ValueOrDie(), ref.ValueOrDie());
+}
+
+}  // namespace
+}  // namespace dimqr::lm
